@@ -1,0 +1,42 @@
+// Ablation B: distance-function polling-interval sweep (DESIGN.md Section 5,
+// item 2 — the paper's "Brief Discussion" trade-off).
+//
+// The baseline's detection latency is quantized by its polling interval;
+// finer polling costs proportionally more timer work. Our approach needs no
+// timer, so its latency is constant across the sweep.
+#include <iostream>
+
+#include "apps/adpcm/app.hpp"
+#include "bench/campaign.hpp"
+
+int main() {
+  using namespace sccft;
+  apps::ExperimentRunner runner(
+      apps::minimize_replica_jitter(apps::adpcm::make_application()));
+
+  apps::ExperimentOptions base;
+  base.run_periods = 240;
+  base.fault_after_periods = 150;
+  base.attach_baseline_monitors = true;
+
+  util::Table table(
+      "Ablation B: distance-function polling interval (ADPCM, minimized jitter, 20 runs)");
+  table.set_header({"Polling interval", "DF latency (min/mean/max)",
+                    "Ours (min/mean/max)", "Timer ticks/sec"});
+
+  for (double poll_ms : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    auto options = base;
+    options.monitor_polling_interval = rtc::from_ms(poll_ms);
+    const auto campaign =
+        bench::run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica1);
+    table.add_row({util::format_double(poll_ms, 1) + " ms",
+                   bench::stat_row(campaign.distance_latency_ms),
+                   bench::stat_row(campaign.first_latency_ms),
+                   util::format_double(1000.0 / poll_ms, 0)});
+  }
+  std::cout << table << "\n";
+  std::cout << "The baseline's latency tracks the polling interval (plus the model's\n"
+               "max gap); our detection latency is identical in every row because the\n"
+               "framework performs no runtime timekeeping at all.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared experiment-campaign helpers for the table-regenerating benches.
+//
+// Each paper table aggregates statistics over 20 runs; these helpers run the
+// seed sweep and collect the quantities Tables 2 and 3 report.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "apps/common/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sccft::bench {
+
+inline constexpr int kRuns = 20;  // paper: "over 20 such runs"
+
+struct FaultCampaignResult {
+  util::SampleSet replicator_latency_ms;
+  util::SampleSet selector_latency_ms;
+  util::SampleSet first_latency_ms;
+  util::SampleSet distance_latency_ms;   // only if baselines attached
+  util::SampleSet watchdog_latency_ms;
+  int detected = 0;
+  int correct_replica = 0;
+  int false_positives = 0;
+  rtc::SizingReport sizing;
+};
+
+/// Runs `runs` fault-injection campaigns (seeds 1..runs) against `faulty`.
+inline FaultCampaignResult run_fault_campaign(apps::ExperimentRunner& runner,
+                                              apps::ExperimentOptions options,
+                                              ft::ReplicaIndex faulty,
+                                              int runs = kRuns) {
+  FaultCampaignResult result;
+  options.inject_fault = true;
+  options.faulty_replica = faulty;
+  for (int run = 1; run <= runs; ++run) {
+    options.seed = static_cast<std::uint64_t>(run);
+    const auto r = runner.run(options);
+    result.sizing = r.sizing;
+    if (r.false_positive) ++result.false_positives;
+    if (r.any_detection && !r.false_positive) {
+      ++result.detected;
+      if (r.correct_replica) ++result.correct_replica;
+      if (r.replicator_latency) {
+        result.replicator_latency_ms.add(rtc::to_ms(*r.replicator_latency));
+      }
+      if (r.selector_latency) {
+        result.selector_latency_ms.add(rtc::to_ms(*r.selector_latency));
+      }
+      if (r.first_latency) result.first_latency_ms.add(rtc::to_ms(*r.first_latency));
+    }
+    if (r.distance_latency) result.distance_latency_ms.add(rtc::to_ms(*r.distance_latency));
+    if (r.watchdog_latency) result.watchdog_latency_ms.add(rtc::to_ms(*r.watchdog_latency));
+  }
+  return result;
+}
+
+struct FaultFreeCampaignResult {
+  rtc::Tokens max_fill_r1 = 0, max_fill_r2 = 0, max_fill_s1 = 0, max_fill_s2 = 0;
+  util::SampleSet interarrival_ms;  // pooled over runs
+  int false_positives = 0;
+  rtc::SizingReport sizing;
+  std::size_t replicator_memory = 0, selector_memory = 0;
+};
+
+/// Runs `runs` fault-free campaigns; pools fill high-water marks and consumer
+/// inter-arrival statistics.
+inline FaultFreeCampaignResult run_fault_free_campaign(apps::ExperimentRunner& runner,
+                                                       apps::ExperimentOptions options,
+                                                       int runs = kRuns) {
+  FaultFreeCampaignResult result;
+  options.inject_fault = false;
+  for (int run = 1; run <= runs; ++run) {
+    options.seed = static_cast<std::uint64_t>(run);
+    const auto r = runner.run(options);
+    result.sizing = r.sizing;
+    result.max_fill_r1 = std::max(result.max_fill_r1, r.fill_r1);
+    result.max_fill_r2 = std::max(result.max_fill_r2, r.fill_r2);
+    result.max_fill_s1 = std::max(result.max_fill_s1, r.fill_s1);
+    result.max_fill_s2 = std::max(result.max_fill_s2, r.fill_s2);
+    if (r.any_detection) ++result.false_positives;
+    for (double v : r.consumer_interarrival_ms.samples()) result.interarrival_ms.add(v);
+    result.replicator_memory = r.replicator_memory_bytes;
+    result.selector_memory = r.selector_memory_bytes;
+  }
+  return result;
+}
+
+inline std::string ms(double v) { return util::format_double(v, 1) + " ms"; }
+
+inline std::string stat_row(const util::SampleSet& set) {
+  if (set.empty()) return "-";
+  return "min " + util::format_double(set.min(), 1) + " / mean " +
+         util::format_double(set.mean(), 1) + " / max " +
+         util::format_double(set.max(), 1) + " ms";
+}
+
+}  // namespace sccft::bench

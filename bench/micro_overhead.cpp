@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) for the Table 2 "Overhead" rows: the
+// real CPU cost of one replicator/selector operation versus a plain FIFO,
+// plus the cost of the design-time analyses.
+//
+// The paper reports the framework's runtime overhead as <= 0.02% of the
+// application period; these benchmarks measure the arbitration-path cost in
+// nanoseconds so the claim can be checked against any period.
+#include <benchmark/benchmark.h>
+
+#include "apps/mjpeg/app.hpp"
+#include "apps/common/generators.hpp"
+#include "apps/mjpeg/jpeg_codec.hpp"
+#include "ft/nreplica.hpp"
+#include "ft/replicator.hpp"
+#include "ft/selector.hpp"
+#include "kpn/channel.hpp"
+#include "rtc/gpc.hpp"
+#include "rtc/sizing.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sccft;
+
+kpn::Token small_token() {
+  return kpn::Token(std::vector<std::uint8_t>(64, 0xAB), 0, 0);
+}
+
+void BM_PlainFifoWriteRead(benchmark::State& state) {
+  sim::Simulator sim;
+  kpn::FifoChannel fifo(sim, "f", 8);
+  const auto token = small_token();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fifo.try_write(token.restamped(seq++, 0)));
+    benchmark::DoNotOptimize(fifo.try_read());
+  }
+}
+BENCHMARK(BM_PlainFifoWriteRead);
+
+void BM_ReplicatorWriteBothReads(benchmark::State& state) {
+  sim::Simulator sim;
+  ft::ReplicatorChannel replicator(sim, "rep", {4, 4, std::nullopt, std::nullopt});
+  auto& r1 = replicator.read_interface(ft::ReplicaIndex::kReplica1);
+  auto& r2 = replicator.read_interface(ft::ReplicaIndex::kReplica2);
+  const auto token = small_token();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replicator.try_write(token.restamped(seq++, 0)));
+    benchmark::DoNotOptimize(r1.try_read());
+    benchmark::DoNotOptimize(r2.try_read());
+  }
+}
+BENCHMARK(BM_ReplicatorWriteBothReads);
+
+void BM_SelectorPairArbitration(benchmark::State& state) {
+  sim::Simulator sim;
+  ft::SelectorChannel selector(
+      sim, "sel",
+      {.capacity1 = 8, .capacity2 = 8, .initial1 = 2, .initial2 = 2,
+       .divergence_threshold = 1'000'000,
+       .link1 = std::nullopt,
+       .link2 = std::nullopt});
+  auto& w1 = selector.write_interface(ft::ReplicaIndex::kReplica1);
+  auto& w2 = selector.write_interface(ft::ReplicaIndex::kReplica2);
+  const auto token = small_token();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    // One duplicate pair: enqueue + drop + consumer read.
+    benchmark::DoNotOptimize(w1.try_write(token.restamped(seq, 0)));
+    benchmark::DoNotOptimize(w2.try_write(token.restamped(seq, 0)));
+    benchmark::DoNotOptimize(selector.try_read());
+    ++seq;
+  }
+}
+BENCHMARK(BM_SelectorPairArbitration);
+
+void BM_PjdCurveEvaluation(benchmark::State& state) {
+  rtc::PJDUpperCurve upper(rtc::PJD::from_ms(30, 5, 30));
+  rtc::TimeNs t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(upper.value_at(t));
+    t = (t + 1'000'003) % rtc::from_ms(500.0);
+  }
+}
+BENCHMARK(BM_PjdCurveEvaluation);
+
+void BM_FullSizingAnalysis(benchmark::State& state) {
+  const auto app = apps::mjpeg::make_application();
+  const auto model = app.timing.to_model();
+  const auto horizon = app.timing.default_horizon();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtc::analyze_duplicated_network(model, horizon));
+  }
+}
+BENCHMARK(BM_FullSizingAnalysis)->Unit(benchmark::kMicrosecond);
+
+void BM_DetectionLatencyBound(benchmark::State& state) {
+  rtc::PJDLowerCurve lower(rtc::PJD::from_ms(30, 30, 30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rtc::detection_latency_bound_silence(lower, 4, rtc::from_ms(3000.0)));
+  }
+}
+BENCHMARK(BM_DetectionLatencyBound)->Unit(benchmark::kMicrosecond);
+
+void BM_NReplicaSelectorArbitration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  ft::NSelectorChannel selector(
+      sim, "nsel",
+      {std::vector<rtc::Tokens>(n, 8), std::vector<rtc::Tokens>(n, 2), 1'000'000,
+       true});
+  const auto token = small_token();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < n; ++r) {
+      benchmark::DoNotOptimize(selector.write_interface(static_cast<int>(r))
+                                   .try_write(token.restamped(seq, 0)));
+    }
+    benchmark::DoNotOptimize(selector.try_read());
+    ++seq;
+  }
+}
+BENCHMARK(BM_NReplicaSelectorArbitration)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MjpegEncodeFrame(benchmark::State& state) {
+  const auto frame = apps::generate_frame(320, 240, 1, 2014);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::mjpeg::encode_frame(frame, 75));
+  }
+}
+BENCHMARK(BM_MjpegEncodeFrame)->Unit(benchmark::kMillisecond);
+
+void BM_GpcAnalysis(benchmark::State& state) {
+  rtc::PJDUpperCurve upper(rtc::PJD::from_ms(10, 5, 10));
+  rtc::PJDLowerCurve lower(rtc::PJD::from_ms(10, 5, 10));
+  rtc::RateLatencyCurve service(rtc::from_ms(4.0), rtc::from_ms(2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtc::gpc_analyze(upper, lower, service, rtc::from_ms(500.0)));
+  }
+}
+BENCHMARK(BM_GpcAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

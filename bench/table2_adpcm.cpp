@@ -1,0 +1,8 @@
+// Regenerates the paper's Table 2, ADPCM application block.
+#include "apps/adpcm/app.hpp"
+#include "bench/table2_common.hpp"
+
+int main() {
+  sccft::bench::run_table2(sccft::apps::adpcm::make_application());
+  return 0;
+}

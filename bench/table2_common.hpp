@@ -1,0 +1,99 @@
+// Shared Table-2 harness: runs the full paper evaluation protocol for one
+// application and prints the Table 2 block (theoretical capacities vs.
+// observed fills, fault-detection latency vs. bounds, overheads, decoded
+// inter-frame timings reference vs. duplicated).
+#pragma once
+
+#include <iostream>
+
+#include "bench/campaign.hpp"
+
+namespace sccft::bench {
+
+inline void run_table2(apps::ApplicationSpec app) {
+  apps::ExperimentRunner runner(std::move(app));
+  const auto& name = runner.app().name;
+
+  apps::ExperimentOptions options;
+  options.run_periods = 240;
+  options.fault_after_periods = 150;
+
+  // --- fault-free campaign: fills + duplicated inter-arrival timings -------
+  auto dup_free = run_fault_free_campaign(runner, options);
+
+  // --- reference network: inter-arrival timings -----------------------------
+  auto ref_options = options;
+  ref_options.duplicated = false;
+  auto ref_free = run_fault_free_campaign(runner, ref_options);
+
+  // --- fault campaigns: each replica faulty, 20 runs each -------------------
+  auto fault1 = run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica1);
+  auto fault2 = run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica2);
+  util::SampleSet rep_lat = fault1.replicator_latency_ms;
+  for (double v : fault2.replicator_latency_ms.samples()) rep_lat.add(v);
+  util::SampleSet sel_lat = fault1.selector_latency_ms;
+  for (double v : fault2.selector_latency_ms.samples()) sel_lat.add(v);
+
+  const auto& sizing = dup_free.sizing;
+
+  util::Table fifo("Table 2 (" + name + "): FIFO dimensioning (Eq. 3/4) vs. observation");
+  fifo.set_header({"FIFO", "|R1|", "|R2|", "|S1|", "|S2|", "|S1|_0", "|S2|_0"});
+  fifo.add_row({"Theoretical capacity (tokens)", std::to_string(sizing.replicator_capacity1),
+                std::to_string(sizing.replicator_capacity2),
+                std::to_string(sizing.selector_capacity1),
+                std::to_string(sizing.selector_capacity2),
+                std::to_string(sizing.selector_initial1),
+                std::to_string(sizing.selector_initial2)});
+  fifo.add_row({"Max observed fill (no faults, 20 runs)",
+                std::to_string(dup_free.max_fill_r1), std::to_string(dup_free.max_fill_r2),
+                std::to_string(dup_free.max_fill_s1), std::to_string(dup_free.max_fill_s2),
+                "-", "-"});
+  std::cout << fifo << "\n";
+
+  util::Table latency("Table 2 (" + name + "): fault-detection latency (20 runs per faulty replica)");
+  latency.set_header({"Channel", "Min", "Mean", "Max", "Computed upper bound"});
+  auto lat_row = [&](const std::string& channel, const util::SampleSet& set,
+                     rtc::TimeNs bound) {
+    latency.add_row({channel, set.empty() ? "-" : ms(set.min()),
+                     set.empty() ? "-" : ms(set.mean()),
+                     set.empty() ? "-" : ms(set.max()), ms(rtc::to_ms(bound))});
+  };
+  lat_row("Replicator (overflow rule)", rep_lat, sizing.replicator_overflow_bound);
+  lat_row("Selector (stall/divergence)", sel_lat, sizing.selector_latency_bound);
+  std::cout << latency << "\n";
+
+  util::Table overhead("Table 2 (" + name + "): framework overhead");
+  overhead.set_header({"Component", "Control memory", "Notes"});
+  overhead.add_row({"Replicator", std::to_string(dup_free.replicator_memory) + " B",
+                    "+ " + std::to_string(sizing.replicator_capacity1 +
+                                          sizing.replicator_capacity2) +
+                        " token slots"});
+  overhead.add_row({"Selector", std::to_string(dup_free.selector_memory) + " B",
+                    "+ " + std::to_string(std::max(sizing.selector_capacity1,
+                                                   sizing.selector_capacity2)) +
+                        " token slots"});
+  overhead.add_row({"Runtime per op", "(see bench/micro_overhead)",
+                    "arbitration is O(1) counter updates"});
+  std::cout << overhead << "\n";
+
+  util::Table timings("Table 2 (" + name + "): consumer inter-arrival timings (ms)");
+  timings.set_header({"Network", "Min", "Mean", "Max", "Samples"});
+  auto tim_row = [&](const std::string& label, const util::SampleSet& set) {
+    timings.add_row({label, util::format_double(set.min(), 2),
+                     util::format_double(set.mean(), 2),
+                     util::format_double(set.max(), 2), std::to_string(set.count())});
+  };
+  tim_row("Reference", ref_free.interarrival_ms);
+  tim_row("Duplicated", dup_free.interarrival_ms);
+  std::cout << timings << "\n";
+
+  std::cout << "Detection campaigns: " << (fault1.detected + fault2.detected) << "/"
+            << 2 * kRuns << " faults detected, "
+            << (fault1.correct_replica + fault2.correct_replica)
+            << " blamed the correct replica, "
+            << (fault1.false_positives + fault2.false_positives +
+                dup_free.false_positives)
+            << " false positives.\n\n";
+}
+
+}  // namespace sccft::bench

@@ -1,0 +1,9 @@
+// Generates the Table 2 analog for the H.264 encoder (the paper ran this
+// application but omitted the numbers "due to space constraints").
+#include "apps/h264/app.hpp"
+#include "bench/table2_common.hpp"
+
+int main() {
+  sccft::bench::run_table2(sccft::apps::h264::make_application());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Regenerates the paper's Table 2, MJPEG decoder block.
+#include "apps/mjpeg/app.hpp"
+#include "bench/table2_common.hpp"
+
+int main() {
+  sccft::bench::run_table2(sccft::apps::mjpeg::make_application());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Regenerates the paper's Table 3: fault-detection latency of our approach
+// vs. the distance-function baseline (Neukirchner-style, 1 ms polling) for
+// all three applications.
+//
+// Following Section 4.3's setup, "timing variations from the replicas were
+// minimized" and the distance function runs with l = 1 in fail-silent mode.
+// Both monitors observe the same faulty replica; our numbers are the
+// channels' own (timer-free) detections, the baseline's come from the polled
+// monitor watching the replica's consumption stream.
+#include <iostream>
+
+#include "apps/adpcm/app.hpp"
+#include "apps/h264/app.hpp"
+#include "apps/mjpeg/app.hpp"
+#include "bench/campaign.hpp"
+
+namespace {
+
+using namespace sccft;
+
+struct Row {
+  std::string name;
+  util::SampleSet ours, distance, watchdog;
+};
+
+Row run_app(apps::ApplicationSpec app) {
+  Row row;
+  row.name = app.name;
+  apps::ExperimentRunner runner(apps::minimize_replica_jitter(std::move(app)));
+
+  apps::ExperimentOptions options;
+  options.run_periods = 240;
+  options.fault_after_periods = 150;
+  options.attach_baseline_monitors = true;
+  options.monitor_polling_interval = rtc::from_ms(1.0);
+  options.monitor_history_l = 1;
+
+  const auto campaign =
+      bench::run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica1);
+  row.ours = campaign.first_latency_ms;
+  row.distance = campaign.distance_latency_ms;
+  row.watchdog = campaign.watchdog_latency_ms;
+  return row;
+}
+
+std::string cell(const util::SampleSet& set, double (util::SampleSet::*fn)() const) {
+  return set.empty() ? "-" : util::format_double((set.*fn)(), 1);
+}
+
+}  // namespace
+
+int main() {
+  util::Table table(
+      "Table 3: Fault-detection latency (ms) — our approach vs. distance-function "
+      "baseline (1 ms polling, l=1, replica jitters minimized; 20 runs)");
+  table.set_header({"Application", "Ours max", "Ours min", "Ours mean", "DF max",
+                    "DF min", "DF mean", "WD mean"});
+
+  for (auto app : {apps::mjpeg::make_application(), apps::adpcm::make_application(),
+                   apps::h264::make_application()}) {
+    const Row row = run_app(std::move(app));
+    table.add_row({row.name, cell(row.ours, &util::SampleSet::max),
+                   cell(row.ours, &util::SampleSet::min),
+                   cell(row.ours, &util::SampleSet::mean),
+                   cell(row.distance, &util::SampleSet::max),
+                   cell(row.distance, &util::SampleSet::min),
+                   cell(row.distance, &util::SampleSet::mean),
+                   cell(row.watchdog, &util::SampleSet::mean)});
+  }
+  std::cout << table << "\n";
+  std::cout
+      << "Both approaches detect within a small number of periods. The\n"
+         "distance-function baseline needs a runtime timer per monitored\n"
+         "stream (4 timers in the paper's setup) and its latency is\n"
+         "quantized by the polling interval (see bench/ablation_polling);\n"
+         "our approach detects with zero runtime timekeeping, paying the\n"
+         "queue-fill time of the Eq. (3) capacity instead.\n";
+  return 0;
+}

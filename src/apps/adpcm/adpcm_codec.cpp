@@ -1,0 +1,142 @@
+#include "apps/adpcm/adpcm_codec.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/assert.hpp"
+
+namespace sccft::apps::adpcm {
+
+namespace {
+
+constexpr std::array<int, kStepTableSize> kStepTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,    19,
+    21,    23,    25,    28,    31,    34,    37,    41,    45,    50,    55,
+    60,    66,    73,    80,    88,    97,    107,   118,   130,   143,   157,
+    173,   190,   209,   230,   253,   279,   307,   337,   371,   408,   449,
+    494,   544,   598,   658,   724,   796,   876,   963,   1060,  1166,  1282,
+    1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,  3024,  3327,  3660,
+    4026,  4428,  4871,  5358,  5894,  6484,  7132,  7845,  8630,  9493,  10442,
+    11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767};
+
+constexpr std::array<int, 16> kIndexTable = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                             -1, -1, -1, -1, 2, 4, 6, 8};
+
+struct CodecState {
+  int predictor = 0;
+  int step_index = 0;
+};
+
+std::uint8_t encode_sample(CodecState& state, int sample) {
+  const int step = kStepTable[static_cast<std::size_t>(state.step_index)];
+  int diff = sample - state.predictor;
+  std::uint8_t code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  // Quantize diff/step into 3 bits with successive approximation.
+  int temp_step = step;
+  if (diff >= temp_step) {
+    code |= 4;
+    diff -= temp_step;
+  }
+  temp_step >>= 1;
+  if (diff >= temp_step) {
+    code |= 2;
+    diff -= temp_step;
+  }
+  temp_step >>= 1;
+  if (diff >= temp_step) code |= 1;
+
+  // Reconstruct exactly as the decoder will (predictor tracks the decoder).
+  int diffq = step >> 3;
+  if (code & 4) diffq += step;
+  if (code & 2) diffq += step >> 1;
+  if (code & 1) diffq += step >> 2;
+  state.predictor += (code & 8) ? -diffq : diffq;
+  state.predictor = std::clamp(state.predictor, -32'768, 32'767);
+  state.step_index =
+      std::clamp(state.step_index + kIndexTable[code], 0, kStepTableSize - 1);
+  return code;
+}
+
+int decode_sample(CodecState& state, std::uint8_t code) {
+  const int step = kStepTable[static_cast<std::size_t>(state.step_index)];
+  int diffq = step >> 3;
+  if (code & 4) diffq += step;
+  if (code & 2) diffq += step >> 1;
+  if (code & 1) diffq += step >> 2;
+  state.predictor += (code & 8) ? -diffq : diffq;
+  state.predictor = std::clamp(state.predictor, -32'768, 32'767);
+  state.step_index =
+      std::clamp(state.step_index + kIndexTable[code & 0xF], 0, kStepTableSize - 1);
+  return state.predictor;
+}
+
+}  // namespace
+
+int step_size(int index) {
+  SCCFT_EXPECTS(index >= 0 && index < kStepTableSize);
+  return kStepTable[static_cast<std::size_t>(index)];
+}
+
+std::vector<std::uint8_t> encode(std::span<const std::int16_t> samples) {
+  SCCFT_EXPECTS(!samples.empty());
+  CodecState state;
+  state.predictor = samples[0];
+
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + (samples.size() + 1) / 2);
+  const auto pred = static_cast<std::uint16_t>(state.predictor);
+  out.push_back(static_cast<std::uint8_t>(pred & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(pred >> 8));
+  out.push_back(static_cast<std::uint8_t>(state.step_index));
+  out.push_back(0);  // reserved
+  const auto count = static_cast<std::uint32_t>(samples.size());
+  out.push_back(static_cast<std::uint8_t>(count & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((count >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((count >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((count >> 24) & 0xFF));
+
+  std::uint8_t pending = 0;
+  bool have_pending = false;
+  for (std::int16_t sample : samples) {
+    const std::uint8_t code = encode_sample(state, sample);
+    if (!have_pending) {
+      pending = code;
+      have_pending = true;
+    } else {
+      out.push_back(static_cast<std::uint8_t>(pending | (code << 4)));
+      have_pending = false;
+    }
+  }
+  if (have_pending) out.push_back(pending);
+  return out;
+}
+
+std::vector<std::int16_t> decode(std::span<const std::uint8_t> block) {
+  SCCFT_EXPECTS(block.size() >= 8);
+  CodecState state;
+  state.predictor = static_cast<std::int16_t>(
+      static_cast<std::uint16_t>(block[0]) | (static_cast<std::uint16_t>(block[1]) << 8));
+  state.step_index = block[2];
+  SCCFT_EXPECTS(state.step_index < kStepTableSize);
+  const std::uint32_t count = static_cast<std::uint32_t>(block[4]) |
+                              (static_cast<std::uint32_t>(block[5]) << 8) |
+                              (static_cast<std::uint32_t>(block[6]) << 16) |
+                              (static_cast<std::uint32_t>(block[7]) << 24);
+  SCCFT_EXPECTS(block.size() >= 8 + (count + 1) / 2);
+
+  std::vector<std::int16_t> samples;
+  samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t byte = block[8 + i / 2];
+    const std::uint8_t code = (i % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
+    samples.push_back(static_cast<std::int16_t>(decode_sample(state, code)));
+  }
+  return samples;
+}
+
+}  // namespace sccft::apps::adpcm

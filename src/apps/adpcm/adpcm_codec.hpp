@@ -1,0 +1,28 @@
+// IMA ADPCM codec (the ADPCM application's encoder + decoder stages).
+//
+// Standard IMA/DVI ADPCM: 16-bit PCM compressed to 4-bit codes (the paper's
+// "encoder performs a 4:1 compression, which is reverted by the decoder").
+// Each encoded block carries its initial predictor/step-index state so blocks
+// (= tokens) are independently decodable.
+//
+// Block layout: i16 predictor, u8 step_index, u8 reserved,
+//               u32 sample_count, ceil(sample_count/2) nibble bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sccft::apps::adpcm {
+
+/// Encodes 16-bit PCM samples into one self-contained ADPCM block.
+[[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::int16_t> samples);
+
+/// Decodes one block back to PCM. Lossy but deterministic.
+[[nodiscard]] std::vector<std::int16_t> decode(std::span<const std::uint8_t> block);
+
+/// Step-size table access (exposed for tests).
+[[nodiscard]] int step_size(int index);
+inline constexpr int kStepTableSize = 89;
+
+}  // namespace sccft::apps::adpcm

@@ -1,0 +1,20 @@
+// The ADPCM application (paper Section 4.2, Figure 2 bottom).
+//
+// Input token: one 3 KB PCM data sample (1536 int16 samples) every ~6.3 ms.
+// The critical subnetwork is encoder -> decoder (4:1 compression, reverted);
+// output token: the decoded 3 KB sample. Timing per Table 1 (the OCR-legible
+// part gives producer <6.3, 0.1, 6.3> and replica 1 <6.3, 0.8, 6.3>; replica
+// 2's jitter is set to 2 periods = 12.6 ms, which reproduces all of Table 2's
+// ADPCM capacities |R|=2/4, |S|=4/8, |S|_0=2/4 exactly).
+#pragma once
+
+#include "apps/common/application.hpp"
+
+namespace sccft::apps::adpcm {
+
+inline constexpr int kSamplesPerToken = 1536;  // 3 KB of int16 PCM
+
+/// Builds the ADPCM encoder+decoder application spec.
+[[nodiscard]] ApplicationSpec make_application(std::uint64_t content_seed = 2014);
+
+}  // namespace sccft::apps::adpcm

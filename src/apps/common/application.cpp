@@ -1,0 +1,50 @@
+#include "apps/common/application.hpp"
+
+#include "util/assert.hpp"
+#include "util/crc32.hpp"
+
+namespace sccft::apps {
+
+Bytes ApplicationSpec::apply_reference(BytesView input) const {
+  switch (topology) {
+    case ReplicaTopology::kSingleStage:
+      SCCFT_EXPECTS(transform != nullptr);
+      return transform(input);
+    case ReplicaTopology::kTwoStage: {
+      SCCFT_EXPECTS(stage1 != nullptr && stage2 != nullptr);
+      const Bytes intermediate = stage1(input);
+      return stage2(intermediate);
+    }
+    case ReplicaTopology::kSplitMerge: {
+      SCCFT_EXPECTS(split != nullptr && part_transform != nullptr && merge != nullptr);
+      const auto [a, b] = split(input);
+      const Bytes ta = part_transform(a);
+      const Bytes tb = part_transform(b);
+      return merge(ta, tb);
+    }
+  }
+  SCCFT_ASSERT(false);
+  return {};
+}
+
+int ApplicationSpec::replica_process_count() const {
+  switch (topology) {
+    case ReplicaTopology::kSingleStage: return 1;
+    case ReplicaTopology::kTwoStage: return 2;
+    case ReplicaTopology::kSplitMerge: return 4;
+  }
+  return 1;
+}
+
+SharedBytes TransformCache::apply(const std::function<Bytes(BytesView)>& fn,
+                                  BytesView input) {
+  SCCFT_EXPECTS(fn != nullptr);
+  const auto key = std::make_pair(util::crc32(input), input.size());
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto result = std::make_shared<const Bytes>(fn(input));
+  cache_.emplace(key, result);
+  return result;
+}
+
+}  // namespace sccft::apps

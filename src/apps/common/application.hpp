@@ -1,0 +1,90 @@
+// Application specification: everything the experiment engine needs to build
+// the reference and duplicated process networks of one streaming application.
+//
+// The three paper applications (MJPEG decoder, ADPCM encoder+decoder, H.264
+// encoder) each provide an ApplicationSpec; the engine (experiment.hpp) then
+// assembles producer -> [replicated critical subnetwork] -> consumer with the
+// paper's channel machinery and timing models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ft/framework.hpp"
+#include "rtc/time.hpp"
+
+namespace sccft::apps {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+using SharedBytes = std::shared_ptr<const Bytes>;
+
+/// Internal structure of the critical subnetwork.
+enum class ReplicaTopology {
+  kSingleStage,  ///< one process: in -> f -> out            (H.264 encoder)
+  kTwoStage,     ///< chain: in -> f1 -> FIFO -> f2 -> out   (ADPCM enc+dec)
+  kSplitMerge,   ///< in -> split -> {a, b} -> merge -> out  (MJPEG decoder)
+};
+
+struct ApplicationSpec {
+  std::string name;
+  ft::AppTimingSpec timing;  ///< the paper's Table 1 row for this app
+  ReplicaTopology topology = ReplicaTopology::kSingleStage;
+
+  int input_token_bytes = 0;   ///< nominal input token size (reporting/mapping)
+  int output_token_bytes = 0;  ///< nominal output token size
+
+  /// Modelled computation time charged per stage per token on an SCC core.
+  rtc::TimeNs stage_compute_time = 0;
+
+  /// Number of distinct inputs before the generator cycles (keeps payload
+  /// caches bounded across 20-run sweeps without losing determinism).
+  std::uint64_t input_cycle = 64;
+
+  /// Deterministic input payload for logical index `i` (i < input_cycle).
+  std::function<Bytes(std::uint64_t)> make_input;
+
+  // Topology kSingleStage:
+  std::function<Bytes(BytesView)> transform;
+
+  // Topology kTwoStage:
+  std::function<Bytes(BytesView)> stage1;
+  std::function<Bytes(BytesView)> stage2;
+
+  // Topology kSplitMerge:
+  std::function<std::pair<Bytes, Bytes>(BytesView)> split;
+  std::function<Bytes(BytesView)> part_transform;
+  std::function<Bytes(BytesView, BytesView)> merge;
+
+  /// End-to-end critical-subnetwork function (for oracle comparisons).
+  [[nodiscard]] Bytes apply_reference(BytesView input) const;
+
+  /// Number of processes inside one replica for this topology.
+  [[nodiscard]] int replica_process_count() const;
+};
+
+/// Deterministic memoizing wrapper around a Bytes -> Bytes function, keyed by
+/// (tag, input checksum, input size). The replicas and the reference network
+/// transform identical inputs (the network is determinate), so memoization
+/// changes wall-clock cost only, never results.
+class TransformCache final {
+ public:
+  explicit TransformCache(std::string tag) : tag_(std::move(tag)) {}
+
+  [[nodiscard]] SharedBytes apply(const std::function<Bytes(BytesView)>& fn,
+                                  BytesView input);
+
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+
+ private:
+  std::string tag_;
+  std::map<std::pair<std::uint32_t, std::size_t>, SharedBytes> cache_;
+};
+
+}  // namespace sccft::apps

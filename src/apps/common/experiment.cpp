@@ -1,0 +1,592 @@
+#include "apps/common/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "kpn/network.hpp"
+#include "kpn/timing.hpp"
+#include "monitor/driver.hpp"
+#include "scc/mapping.hpp"
+#include "scc/platform.hpp"
+#include "util/assert.hpp"
+#include "util/crc32.hpp"
+#include "util/vcd.hpp"
+
+namespace sccft::apps {
+
+namespace {
+
+/// Names of the processes inside one replica, by topology.
+std::vector<std::string> replica_stage_names(ReplicaTopology topology) {
+  switch (topology) {
+    case ReplicaTopology::kSingleStage: return {"stage"};
+    case ReplicaTopology::kTwoStage: return {"enc", "dec"};
+    case ReplicaTopology::kSplitMerge: return {"split", "dec_a", "dec_b", "merge"};
+  }
+  return {"stage"};
+}
+
+constexpr rtc::Tokens kInternalFifoCapacity = 4;
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(ApplicationSpec app) : app_(std::move(app)) {
+  SCCFT_EXPECTS(app_.make_input != nullptr);
+  SCCFT_EXPECTS(app_.input_cycle > 0);
+}
+
+const kpn::Token& ExperimentRunner::input_token(std::uint64_t index) {
+  const std::uint64_t slot = index % app_.input_cycle;
+  if (input_cache_.size() <= slot) input_cache_.resize(app_.input_cycle);
+  if (!input_cache_[slot].valid()) {
+    input_cache_[slot] = kpn::Token(app_.make_input(slot), slot, 0);
+  }
+  return input_cache_[slot];
+}
+
+ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
+  SCCFT_EXPECTS(options.run_periods > 0);
+  SCCFT_EXPECTS(!options.inject_fault || options.duplicated);
+
+  ExperimentResult result;
+
+  sim::Simulator simulator;
+  std::optional<scc::Platform> platform;
+  if (options.use_platform) platform.emplace(simulator);
+  kpn::Network net(simulator);
+
+  const rtc::TimeNs period = app_.timing.producer.period;
+  const rtc::TimeNs run_until =
+      static_cast<rtc::TimeNs>(options.run_periods) * period;
+
+  // ----- process-to-core mapping -----------------------------------------
+  const auto stage_names = replica_stage_names(app_.topology);
+  std::vector<std::string> process_names{"producer"};
+  const int replica_count = options.duplicated ? 2 : 1;
+  for (int r = 0; r < replica_count; ++r) {
+    const std::string prefix = options.duplicated ? ("r" + std::to_string(r + 1)) : "ref";
+    for (const auto& stage : stage_names) process_names.push_back(prefix + "." + stage);
+  }
+  process_names.emplace_back("consumer");
+
+  std::vector<scc::TrafficEdge> traffic;
+  auto name_index = [&](const std::string& name) {
+    const auto it = std::find(process_names.begin(), process_names.end(), name);
+    SCCFT_ASSERT(it != process_names.end());
+    return static_cast<int>(it - process_names.begin());
+  };
+  for (int r = 0; r < replica_count; ++r) {
+    const std::string prefix = options.duplicated ? ("r" + std::to_string(r + 1)) : "ref";
+    const std::string head = prefix + "." + stage_names.front();
+    const std::string tail = prefix + "." + stage_names.back();
+    traffic.push_back({name_index("producer"), name_index(head),
+                       static_cast<std::uint64_t>(app_.input_token_bytes)});
+    traffic.push_back({name_index(tail), name_index("consumer"),
+                       static_cast<std::uint64_t>(app_.output_token_bytes)});
+    if (app_.topology == ReplicaTopology::kTwoStage) {
+      traffic.push_back({name_index(prefix + ".enc"), name_index(prefix + ".dec"),
+                         static_cast<std::uint64_t>(app_.input_token_bytes)});
+    } else if (app_.topology == ReplicaTopology::kSplitMerge) {
+      for (const char* part : {"dec_a", "dec_b"}) {
+        traffic.push_back({name_index(prefix + ".split"), name_index(prefix + "." + part),
+                           static_cast<std::uint64_t>(app_.input_token_bytes / 2)});
+        traffic.push_back({name_index(prefix + "." + part), name_index(prefix + ".merge"),
+                           static_cast<std::uint64_t>(app_.output_token_bytes / 2)});
+      }
+    }
+  }
+  const scc::Mapping mapping =
+      scc::map_low_contention(static_cast<int>(process_names.size()), traffic);
+  auto core_of = [&](const std::string& name) {
+    return mapping.process_to_core[static_cast<std::size_t>(name_index(name))];
+  };
+
+  auto link = [&](const std::string& from, const std::string& to)
+      -> std::optional<kpn::FifoChannel::LinkModel> {
+    if (!platform) return std::nullopt;
+    return kpn::FifoChannel::LinkModel{&platform->noc(), core_of(from), core_of(to)};
+  };
+
+  // ----- channels ----------------------------------------------------------
+  std::optional<ft::FaultTolerantHarness> harness;
+  kpn::TokenSink* producer_sink = nullptr;
+  kpn::TokenSource* consumer_source = nullptr;
+  kpn::TokenSource* replica_inputs[2] = {nullptr, nullptr};
+  kpn::TokenSink* replica_outputs[2] = {nullptr, nullptr};
+  kpn::FifoChannel* ref_in = nullptr;
+  kpn::FifoChannel* ref_out = nullptr;
+
+  if (options.duplicated) {
+    ft::FaultTolerantHarness::Config config;
+    config.timing = app_.timing;
+    config.name_prefix = app_.name;
+    config.platform = platform ? &*platform : nullptr;
+    config.producer_core = core_of("producer");
+    config.replica1_in_core = core_of("r1." + stage_names.front());
+    config.replica1_out_core = core_of("r1." + stage_names.back());
+    config.replica2_in_core = core_of("r2." + stage_names.front());
+    config.replica2_out_core = core_of("r2." + stage_names.back());
+    config.consumer_core = core_of("consumer");
+    config.enable_selector_stall_rule = options.enable_selector_stall_rule;
+    config.divergence_threshold_override = options.divergence_override;
+    config.replicator_capacity_override = options.replicator_capacity_override;
+    harness.emplace(net, config);
+
+    result.sizing = harness->sizing();
+    producer_sink = &harness->replicator();
+    consumer_source = &harness->selector();
+    replica_inputs[0] = &harness->replicator().read_interface(ft::ReplicaIndex::kReplica1);
+    replica_inputs[1] = &harness->replicator().read_interface(ft::ReplicaIndex::kReplica2);
+    replica_outputs[0] = &harness->selector().write_interface(ft::ReplicaIndex::kReplica1);
+    replica_outputs[1] = &harness->selector().write_interface(ft::ReplicaIndex::kReplica2);
+  } else {
+    // Reference network: same analysis, FIFOs F_P and F_C dimensioned per
+    // Eq. (3)/(4) with the replica-1 timing (the reference's own timing).
+    result.sizing =
+        rtc::analyze_duplicated_network(app_.timing.to_model(), app_.timing.default_horizon());
+    ref_in = &net.add_fifo(app_.name + ".F_P", result.sizing.replicator_capacity1,
+                           link("producer", "ref." + stage_names.front()));
+    ref_out = &net.add_fifo(app_.name + ".F_C", result.sizing.selector_capacity1,
+                            link("ref." + stage_names.back(), "consumer"));
+    producer_sink = ref_in;
+    consumer_source = ref_out;
+    replica_inputs[0] = ref_in;
+    replica_outputs[0] = ref_out;
+  }
+
+  // ----- baseline monitors (Table 3) --------------------------------------
+  std::optional<monitor::DistanceFunctionMonitor> distance_monitor;
+  std::optional<monitor::WatchdogMonitor> watchdog_monitor;
+  std::optional<monitor::TapSource> distance_tap;
+  std::optional<monitor::TapSource> watchdog_tap;
+  std::optional<rtc::TimeNs> distance_detect;
+  std::optional<rtc::TimeNs> watchdog_detect;
+  if (options.attach_baseline_monitors && options.duplicated) {
+    const int faulty = ft::index_of(options.faulty_replica);
+    const rtc::PJD model = faulty == 0 ? app_.timing.replica1_in : app_.timing.replica2_in;
+    distance_monitor.emplace(monitor::DistanceFunctionMonitor::Config{
+        .model = model,
+        .l = options.monitor_history_l,
+        .polling_interval = options.monitor_polling_interval,
+        .fail_silent_only = true});
+    watchdog_monitor.emplace(monitor::WatchdogMonitor::Config{
+        .timeout = monitor::WatchdogMonitor::sound_timeout(model),
+        .polling_interval = options.monitor_polling_interval});
+    // Chain the taps in front of the faulty replica's consumption interface.
+    distance_tap.emplace(*replica_inputs[faulty], *distance_monitor, simulator);
+    watchdog_tap.emplace(*distance_tap, *watchdog_monitor, simulator);
+    replica_inputs[faulty] = &*watchdog_tap;
+  }
+
+  // ----- processes ---------------------------------------------------------
+  const std::uint64_t seed_base = options.seed * 7919;
+
+  // Producer: emits input tokens shaped by the producer PJD.
+  net.add_process("producer", core_of("producer"), seed_base + 1,
+                  [this, producer_sink](kpn::ProcessContext& ctx) -> sim::Task {
+                    kpn::TimingShaper shaper(app_.timing.producer, 0, ctx.rng());
+                    for (std::uint64_t k = 0;; ++k) {
+                      const kpn::Token& cached = input_token(k);
+                      const rtc::TimeNs target = shaper.next_emission(ctx.now());
+                      if (target > ctx.now()) co_await ctx.delay(target - ctx.now());
+                      co_await kpn::write(*producer_sink,
+                                          cached.restamped(k, ctx.now()));
+                      shaper.commit(ctx.now());
+                    }
+                  });
+
+  // Replica builder: constructs the stages of one replica.
+  std::vector<kpn::Process*> replica_processes[2];
+  auto build_replica = [&](int r_index, const std::string& prefix,
+                           const rtc::PJD& in_model, const rtc::PJD& out_model,
+                           kpn::TokenSource* in, kpn::TokenSink* out) {
+    std::vector<kpn::Process*>& procs = replica_processes[r_index];
+    const std::uint64_t rs = seed_base + 100 * static_cast<std::uint64_t>(r_index + 1);
+    const rtc::TimeNs compute = app_.stage_compute_time;
+
+    switch (app_.topology) {
+      case ReplicaTopology::kSingleStage: {
+        procs.push_back(&net.add_process(
+            prefix + "." + stage_names[0], core_of(prefix + "." + stage_names[0]), rs + 1,
+            [this, in, out, in_model, out_model, compute](
+                kpn::ProcessContext& ctx) -> sim::Task {
+              kpn::TimingShaper consume(in_model, 0, ctx.rng());
+              kpn::TimingShaper emit(out_model, 0, ctx.rng());
+              rtc::TimeNs last_emit = -1;
+              while (true) {
+                SCCFT_FAULT_GATE(ctx);
+                const rtc::TimeNs slot = consume.next_emission(ctx.now());
+                if (slot > ctx.now()) co_await ctx.compute(slot - ctx.now());
+                kpn::Token token = co_await kpn::read(*in);
+                consume.commit(ctx.now());
+                SCCFT_FAULT_GATE(ctx);
+                co_await ctx.compute(compute);
+                const SharedBytes bytes = whole_cache_.apply(app_.transform, token.payload());
+                rtc::TimeNs target = emit.next_emission(ctx.now());
+                // A rate-degraded replica's interface slows proportionally
+                // (the paper's "does so at a rate lower than expected"):
+                // consecutive emissions are at least factor * period apart.
+                if (ctx.fault().rate_factor > 1.0 && last_emit >= 0) {
+                  target = std::max(
+                      target, last_emit + static_cast<rtc::TimeNs>(
+                                              ctx.fault().rate_factor *
+                                              static_cast<double>(out_model.period)));
+                }
+                if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
+                SCCFT_FAULT_GATE(ctx);
+                co_await kpn::write(*out, kpn::Token(bytes, token.seq(), ctx.now()));
+                emit.commit(ctx.now());
+                last_emit = ctx.now();
+              }
+            }));
+        break;
+      }
+      case ReplicaTopology::kTwoStage: {
+        auto& mid = net.add_fifo(prefix + ".mid", kInternalFifoCapacity,
+                                 link(prefix + ".enc", prefix + ".dec"));
+        procs.push_back(&net.add_process(
+            prefix + ".enc", core_of(prefix + ".enc"), rs + 1,
+            [this, in, &mid, in_model, compute](kpn::ProcessContext& ctx) -> sim::Task {
+              kpn::TimingShaper consume(in_model, 0, ctx.rng());
+              while (true) {
+                SCCFT_FAULT_GATE(ctx);
+                const rtc::TimeNs slot = consume.next_emission(ctx.now());
+                if (slot > ctx.now()) co_await ctx.compute(slot - ctx.now());
+                kpn::Token token = co_await kpn::read(*in);
+                consume.commit(ctx.now());
+                SCCFT_FAULT_GATE(ctx);
+                co_await ctx.compute(compute);
+                const SharedBytes bytes = stage1_cache_.apply(app_.stage1, token.payload());
+                co_await kpn::write(mid, kpn::Token(bytes, token.seq(), ctx.now()));
+              }
+            }));
+        procs.push_back(&net.add_process(
+            prefix + ".dec", core_of(prefix + ".dec"), rs + 2,
+            [this, &mid, out, out_model, compute](kpn::ProcessContext& ctx) -> sim::Task {
+              kpn::TimingShaper emit(out_model, 0, ctx.rng());
+              rtc::TimeNs last_emit = -1;
+              while (true) {
+                SCCFT_FAULT_GATE(ctx);
+                kpn::Token token = co_await kpn::read(mid);
+                SCCFT_FAULT_GATE(ctx);
+                co_await ctx.compute(compute);
+                const SharedBytes bytes = stage2_cache_.apply(app_.stage2, token.payload());
+                rtc::TimeNs target = emit.next_emission(ctx.now());
+                // A rate-degraded replica's interface slows proportionally
+                // (the paper's "does so at a rate lower than expected"):
+                // consecutive emissions are at least factor * period apart.
+                if (ctx.fault().rate_factor > 1.0 && last_emit >= 0) {
+                  target = std::max(
+                      target, last_emit + static_cast<rtc::TimeNs>(
+                                              ctx.fault().rate_factor *
+                                              static_cast<double>(out_model.period)));
+                }
+                if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
+                SCCFT_FAULT_GATE(ctx);
+                co_await kpn::write(*out, kpn::Token(bytes, token.seq(), ctx.now()));
+                emit.commit(ctx.now());
+                last_emit = ctx.now();
+              }
+            }));
+        break;
+      }
+      case ReplicaTopology::kSplitMerge: {
+        auto& to_a = net.add_fifo(prefix + ".to_a", kInternalFifoCapacity,
+                                  link(prefix + ".split", prefix + ".dec_a"));
+        auto& to_b = net.add_fifo(prefix + ".to_b", kInternalFifoCapacity,
+                                  link(prefix + ".split", prefix + ".dec_b"));
+        auto& from_a = net.add_fifo(prefix + ".from_a", kInternalFifoCapacity,
+                                    link(prefix + ".dec_a", prefix + ".merge"));
+        auto& from_b = net.add_fifo(prefix + ".from_b", kInternalFifoCapacity,
+                                    link(prefix + ".dec_b", prefix + ".merge"));
+        procs.push_back(&net.add_process(
+            prefix + ".split", core_of(prefix + ".split"), rs + 1,
+            [this, in, &to_a, &to_b, in_model](kpn::ProcessContext& ctx) -> sim::Task {
+              kpn::TimingShaper consume(in_model, 0, ctx.rng());
+              const auto top_fn = [this](BytesView input) { return app_.split(input).first; };
+              const auto bottom_fn = [this](BytesView input) {
+                return app_.split(input).second;
+              };
+              while (true) {
+                SCCFT_FAULT_GATE(ctx);
+                const rtc::TimeNs slot = consume.next_emission(ctx.now());
+                if (slot > ctx.now()) co_await ctx.compute(slot - ctx.now());
+                kpn::Token token = co_await kpn::read(*in);
+                consume.commit(ctx.now());
+                SCCFT_FAULT_GATE(ctx);
+                co_await ctx.compute(rtc::from_us(200));
+                const SharedBytes top = split_top_cache_.apply(top_fn, token.payload());
+                const SharedBytes bottom =
+                    split_bottom_cache_.apply(bottom_fn, token.payload());
+                co_await kpn::write(to_a, kpn::Token(top, token.seq(), ctx.now()));
+                co_await kpn::write(to_b, kpn::Token(bottom, token.seq(), ctx.now()));
+              }
+            }));
+        auto part_body = [this, compute](kpn::FifoChannel& from, kpn::FifoChannel& to) {
+          return [this, &from, &to, compute](kpn::ProcessContext& ctx) -> sim::Task {
+            while (true) {
+              SCCFT_FAULT_GATE(ctx);
+              kpn::Token token = co_await kpn::read(from);
+              SCCFT_FAULT_GATE(ctx);
+              co_await ctx.compute(compute);
+              const SharedBytes bytes = part_cache_.apply(app_.part_transform, token.payload());
+              co_await kpn::write(to, kpn::Token(bytes, token.seq(), ctx.now()));
+            }
+          };
+        };
+        procs.push_back(&net.add_process(prefix + ".dec_a", core_of(prefix + ".dec_a"),
+                                         rs + 2, part_body(to_a, from_a)));
+        procs.push_back(&net.add_process(prefix + ".dec_b", core_of(prefix + ".dec_b"),
+                                         rs + 3, part_body(to_b, from_b)));
+        procs.push_back(&net.add_process(
+            prefix + ".merge", core_of(prefix + ".merge"), rs + 4,
+            [this, &from_a, &from_b, out, out_model](kpn::ProcessContext& ctx) -> sim::Task {
+              kpn::TimingShaper emit(out_model, 0, ctx.rng());
+              rtc::TimeNs last_emit = -1;
+              while (true) {
+                SCCFT_FAULT_GATE(ctx);
+                kpn::Token top = co_await kpn::read(from_a);
+                kpn::Token bottom = co_await kpn::read(from_b);
+                SCCFT_FAULT_GATE(ctx);
+                co_await ctx.compute(rtc::from_us(200));
+                const auto key = std::make_pair(top.checksum(), bottom.checksum());
+                SharedBytes merged;
+                if (const auto it = merge_cache_.find(key); it != merge_cache_.end()) {
+                  merged = it->second;
+                } else {
+                  merged = std::make_shared<const Bytes>(
+                      app_.merge(top.payload(), bottom.payload()));
+                  merge_cache_.emplace(key, merged);
+                }
+                rtc::TimeNs target = emit.next_emission(ctx.now());
+                if (ctx.fault().rate_factor > 1.0 && last_emit >= 0) {
+                  target = std::max(
+                      target, last_emit + static_cast<rtc::TimeNs>(
+                                              ctx.fault().rate_factor *
+                                              static_cast<double>(out_model.period)));
+                }
+                if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
+                SCCFT_FAULT_GATE(ctx);
+                co_await kpn::write(*out, kpn::Token(merged, top.seq(), ctx.now()));
+                emit.commit(ctx.now());
+                last_emit = ctx.now();
+              }
+            }));
+        break;
+      }
+    }
+  };
+
+  if (options.duplicated) {
+    build_replica(0, "r1", app_.timing.replica1_in, app_.timing.replica1_out,
+                  replica_inputs[0], replica_outputs[0]);
+    build_replica(1, "r2", app_.timing.replica2_in, app_.timing.replica2_out,
+                  replica_inputs[1], replica_outputs[1]);
+  } else {
+    build_replica(0, "ref", app_.timing.replica1_in, app_.timing.replica1_out,
+                  replica_inputs[0], replica_outputs[0]);
+  }
+
+  // Consumer: shaped destructive reads; measures the output stream.
+  rtc::TimeNs last_data_read = -1;
+  net.add_process(
+      "consumer", core_of("consumer"), seed_base + 2,
+      [this, consumer_source, &result, &last_data_read](
+          kpn::ProcessContext& ctx) -> sim::Task {
+        kpn::TimingShaper shaper(app_.timing.consumer, 0, ctx.rng());
+        while (true) {
+          const rtc::TimeNs slot = shaper.next_emission(ctx.now());
+          if (slot > ctx.now()) co_await ctx.delay(slot - ctx.now());
+          const rtc::TimeNs before = ctx.now();
+          kpn::Token token = co_await kpn::read(*consumer_source);
+          if (ctx.now() > before) ++result.consumer_stalls;
+          shaper.commit(ctx.now());
+          ++result.consumer_tokens;
+          if (token.size_bytes() > 0) {
+            result.output_checksums.push_back(token.checksum());
+            if (last_data_read >= 0) {
+              result.consumer_interarrival_ms.add(rtc::to_ms(ctx.now() - last_data_read));
+            }
+            last_data_read = ctx.now();
+          }
+        }
+      });
+
+  // Polling processes for the baseline monitors.
+  if (distance_monitor) {
+    net.add_process("monitor.distance", core_of("consumer"), seed_base + 3,
+                    monitor::make_polling_body(*distance_monitor,
+                                               options.monitor_polling_interval,
+                                               &distance_detect));
+    net.add_process("monitor.watchdog", core_of("consumer"), seed_base + 4,
+                    monitor::make_polling_body(*watchdog_monitor,
+                                               options.monitor_polling_interval,
+                                               &watchdog_detect));
+  }
+
+  // ----- VCD waveform sampling ----------------------------------------------
+  std::optional<util::VcdWriter> vcd;
+  if (!options.vcd_path.empty() && options.duplicated) {
+    vcd.emplace(app_.name);
+    struct VcdSignals {
+      int fill_r1, fill_r2, space_s1, space_s2, sel_fill, fault_r1, fault_r2;
+    };
+    auto signals = std::make_shared<VcdSignals>(VcdSignals{
+        vcd->add_signal("replicator_fill_R1", 8), vcd->add_signal("replicator_fill_R2", 8),
+        vcd->add_signal("selector_space_S1", 8), vcd->add_signal("selector_space_S2", 8),
+        vcd->add_signal("selector_fill", 8), vcd->add_signal("fault_R1", 1),
+        vcd->add_signal("fault_R2", 1)});
+    net.add_process(
+        "vcd_sampler", core_of("consumer"), seed_base + 5,
+        [this, &options, signals, h = &*harness, w = &*vcd](
+            kpn::ProcessContext& ctx) -> sim::Task {
+          const rtc::TimeNs step = app_.timing.producer.period / 8;
+          while (true) {
+            auto flag = [&](ft::ReplicaIndex r) {
+              return (h->replicator().fault(r) || h->selector().fault(r)) ? 1u : 0u;
+            };
+            w->change(ctx.now(), signals->fill_r1,
+                      static_cast<std::uint64_t>(
+                          h->replicator().fill(ft::ReplicaIndex::kReplica1)));
+            w->change(ctx.now(), signals->fill_r2,
+                      static_cast<std::uint64_t>(
+                          h->replicator().fill(ft::ReplicaIndex::kReplica2)));
+            w->change(ctx.now(), signals->space_s1,
+                      static_cast<std::uint64_t>(
+                          h->selector().space(ft::ReplicaIndex::kReplica1)));
+            w->change(ctx.now(), signals->space_s2,
+                      static_cast<std::uint64_t>(
+                          h->selector().space(ft::ReplicaIndex::kReplica2)));
+            w->change(ctx.now(), signals->sel_fill,
+                      static_cast<std::uint64_t>(h->selector().fill()));
+            w->change(ctx.now(), signals->fault_r1, flag(ft::ReplicaIndex::kReplica1));
+            w->change(ctx.now(), signals->fault_r2, flag(ft::ReplicaIndex::kReplica2));
+            co_await ctx.delay(step);
+          }
+        });
+  }
+
+  // ----- fault injection ---------------------------------------------------
+  if (options.inject_fault) {
+    util::Xoshiro256 phase_rng(options.seed ^ 0xFA417BADC0FFEEULL);
+    const rtc::TimeNs fault_time =
+        static_cast<rtc::TimeNs>(options.fault_after_periods) * period +
+        phase_rng.uniform_int(0, period - 1);
+    result.fault_injected_at = fault_time;
+    harness->injector().schedule(
+        replica_processes[ft::index_of(options.faulty_replica)], fault_time,
+        options.fault_mode, options.rate_factor);
+    if (options.fault_mode == ft::FaultMode::kSilence) {
+      // A halted core stops issuing channel operations at the fault instant,
+      // including an in-flight blocked read/write — freeze its endpoints so
+      // the manifestation is immediate, matching the paper's fault model
+      // ("the faulty replica stops producing (or consuming) tokens
+      // altogether").
+      simulator.schedule_at(fault_time, [&harness, faulty = options.faulty_replica] {
+        harness->replicator().freeze_reader(faulty);
+        harness->selector().freeze_writer(faulty);
+      });
+    }
+  }
+
+  // ----- run ---------------------------------------------------------------
+  net.run_until(run_until);
+
+  // ----- harvest -----------------------------------------------------------
+  if (options.duplicated) {
+    result.fill_r1 = harness->replicator().queue_stats(ft::ReplicaIndex::kReplica1).max_fill;
+    result.fill_r2 = harness->replicator().queue_stats(ft::ReplicaIndex::kReplica2).max_fill;
+    result.fill_s1 = harness->selector().max_observed_fill(ft::ReplicaIndex::kReplica1);
+    result.fill_s2 = harness->selector().max_observed_fill(ft::ReplicaIndex::kReplica2);
+    result.replicator_memory_bytes = harness->replicator().control_memory_bytes();
+    result.selector_memory_bytes = harness->selector().control_memory_bytes();
+
+    const auto& log = harness->detections();
+    result.any_detection = !log.records.empty();
+    result.first_record = log.first();
+    if (result.first_record) {
+      if (result.fault_injected_at < 0 ||
+          result.first_record->detected_at < result.fault_injected_at) {
+        result.false_positive = true;
+      } else {
+        result.correct_replica =
+            result.first_record->replica == options.faulty_replica;
+        result.first_latency =
+            result.first_record->detected_at - result.fault_injected_at;
+        if (const auto rep = log.first_replicator()) {
+          result.replicator_latency = rep->detected_at - result.fault_injected_at;
+        }
+        if (const auto sel = log.first_selector()) {
+          result.selector_latency = sel->detected_at - result.fault_injected_at;
+        }
+      }
+    }
+  } else {
+    result.fill_r1 = ref_in->stats().max_fill;
+    result.fill_s1 = ref_out->stats().max_fill;
+  }
+
+  if (distance_detect && result.fault_injected_at >= 0 &&
+      *distance_detect >= result.fault_injected_at) {
+    result.distance_latency = *distance_detect - result.fault_injected_at;
+  }
+  if (watchdog_detect && result.fault_injected_at >= 0 &&
+      *watchdog_detect >= result.fault_injected_at) {
+    result.watchdog_latency = *watchdog_detect - result.fault_injected_at;
+  }
+  if (platform) result.noc_contention_stalls = platform->noc().contention_stalls();
+  if (vcd) {
+    SCCFT_ASSERT(vcd->write_file(options.vcd_path));
+  }
+
+  return result;
+}
+
+std::string ExperimentRunner::render_topology(bool duplicated) {
+  sim::Simulator simulator;
+  kpn::Network net(simulator);
+  const auto stage_names = replica_stage_names(app_.topology);
+  auto add_edges = [&](const std::string& prefix, const std::string& in_chan,
+                       const std::string& out_chan) {
+    net.register_edge("P (producer)", prefix + "." + stage_names.front(), in_chan,
+                      app_.input_token_bytes);
+    if (app_.topology == ReplicaTopology::kTwoStage) {
+      net.register_edge(prefix + ".enc", prefix + ".dec", prefix + ".mid");
+    } else if (app_.topology == ReplicaTopology::kSplitMerge) {
+      net.register_edge(prefix + ".split", prefix + ".dec_a", prefix + ".to_a");
+      net.register_edge(prefix + ".split", prefix + ".dec_b", prefix + ".to_b");
+      net.register_edge(prefix + ".dec_a", prefix + ".merge", prefix + ".from_a");
+      net.register_edge(prefix + ".dec_b", prefix + ".merge", prefix + ".from_b");
+    }
+    net.register_edge(prefix + "." + stage_names.back(), "C (consumer)", out_chan,
+                      app_.output_token_bytes);
+  };
+  if (duplicated) {
+    add_edges("r1", "replicator.R1", "selector.S1");
+    add_edges("r2", "replicator.R2", "selector.S2");
+  } else {
+    add_edges("ref", "F_P", "F_C");
+  }
+  return net.render_topology();
+}
+
+ApplicationSpec minimize_replica_jitter(ApplicationSpec app, double jitter_ms) {
+  const rtc::TimeNs jitter = rtc::from_ms(jitter_ms);
+  for (rtc::PJD* model : {&app.timing.replica1_in, &app.timing.replica1_out,
+                          &app.timing.replica2_in, &app.timing.replica2_out}) {
+    model->jitter = jitter;
+  }
+  // The producer/consumer jitters and the per-stage compute time must stay
+  // well below the replica jitters for the conformance argument of
+  // kpn/timing.hpp to hold. (With jitter = 0, all interfaces become strictly
+  // periodic; Eq. (3) then gives |R_i| = 1 and detection takes 1-2 periods —
+  // the regime of the paper's Table 3.)
+  app.timing.producer.jitter = std::min(app.timing.producer.jitter, jitter / 4);
+  app.timing.consumer.jitter = std::min(app.timing.consumer.jitter, jitter / 4);
+  app.stage_compute_time =
+      std::min(app.stage_compute_time, std::max(jitter / 8, rtc::from_us(100)));
+  return app;
+}
+
+}  // namespace sccft::apps

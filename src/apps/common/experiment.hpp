@@ -1,0 +1,117 @@
+// The experiment engine: builds the reference or duplicated process network
+// of an application on the simulated SCC, optionally injects one timing
+// fault, and collects everything the paper's Tables 2 and 3 report — FIFO
+// high-water marks, detection latencies per channel and rule, consumer
+// inter-arrival statistics, output checksums for equivalence checking, and
+// baseline-monitor detection latencies.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apps/common/application.hpp"
+#include "ft/framework.hpp"
+#include "monitor/distance_function.hpp"
+#include "monitor/watchdog.hpp"
+#include "util/stats.hpp"
+
+namespace sccft::apps {
+
+struct ExperimentOptions {
+  std::uint64_t seed = 1;
+
+  bool duplicated = true;       ///< false = run the reference network
+  bool inject_fault = false;
+  ft::ReplicaIndex faulty_replica = ft::ReplicaIndex::kReplica1;
+  ft::FaultMode fault_mode = ft::FaultMode::kSilence;
+  double rate_factor = 4.0;     ///< for kRateDegradation
+
+  /// Fault is injected at fault_after_periods * producer period plus a
+  /// seed-dependent phase within one period (the paper injects "after 18,000
+  /// frames"; we scale the warm-up down and randomize the phase across runs).
+  std::uint64_t fault_after_periods = 120;
+  std::uint64_t run_periods = 200;  ///< total simulated length in periods
+
+  bool use_platform = true;     ///< model the SCC NoC (false = ideal channels)
+  bool enable_selector_stall_rule = true;
+  rtc::Tokens divergence_override = 0;          ///< ablation A
+  rtc::Tokens replicator_capacity_override = 0; ///< ablation C (both queues)
+
+  /// Attach the Section 4.3 baseline monitors (distance function + watchdog)
+  /// to the faulty replica's consumption stream at the replicator.
+  bool attach_baseline_monitors = false;
+  rtc::TimeNs monitor_polling_interval = rtc::from_ms(1.0);
+  int monitor_history_l = 1;
+
+  /// If non-empty, dump channel fill levels / space counters / fault flags
+  /// as a VCD waveform (viewable in GTKWave) sampled 8x per period.
+  std::string vcd_path;
+};
+
+struct ExperimentResult {
+  rtc::SizingReport sizing;
+
+  // High-water marks (Table 2 "Max. Observed fill").
+  rtc::Tokens fill_r1 = 0, fill_r2 = 0, fill_s1 = 0, fill_s2 = 0;
+
+  // Detection outcomes.
+  std::optional<rtc::TimeNs> replicator_latency;  ///< overflow rule
+  std::optional<rtc::TimeNs> selector_latency;    ///< stall or divergence rule
+  std::optional<ft::DetectionRecord> first_record;
+  std::optional<rtc::TimeNs> first_latency;
+  bool any_detection = false;
+  bool false_positive = false;    ///< detection with no (or before the) fault
+  bool correct_replica = true;    ///< first detection blamed the right replica
+  rtc::TimeNs fault_injected_at = -1;
+
+  // Consumer-side stream measurements (Table 2 "Decoded Inter-Frame Timings").
+  util::SampleSet consumer_interarrival_ms;
+  std::vector<std::uint32_t> output_checksums;  ///< non-preload tokens, in order
+  std::uint64_t consumer_tokens = 0;
+  std::uint64_t consumer_stalls = 0;  ///< reads that blocked on an empty FIFO
+
+  // Overheads (Table 2 "Overhead / Memory").
+  std::size_t replicator_memory_bytes = 0;
+  std::size_t selector_memory_bytes = 0;
+
+  // Baseline monitors (Table 3), measured on the same run.
+  std::optional<rtc::TimeNs> distance_latency;
+  std::optional<rtc::TimeNs> watchdog_latency;
+
+  std::uint64_t noc_contention_stalls = 0;
+};
+
+/// Reusable runner: payload/transform caches persist across runs, so 20-run
+/// campaigns do each distinct encode/decode once.
+class ExperimentRunner final {
+ public:
+  explicit ExperimentRunner(ApplicationSpec app);
+
+  [[nodiscard]] ExperimentResult run(const ExperimentOptions& options);
+
+  [[nodiscard]] const ApplicationSpec& app() const { return app_; }
+
+  /// Renders the (duplicated or reference) topology as ASCII (Figures 1/2).
+  [[nodiscard]] std::string render_topology(bool duplicated);
+
+ private:
+  const kpn::Token& input_token(std::uint64_t index);
+
+  ApplicationSpec app_;
+  std::vector<kpn::Token> input_cache_;
+  TransformCache whole_cache_{"whole"};
+  TransformCache stage1_cache_{"stage1"};
+  TransformCache stage2_cache_{"stage2"};
+  TransformCache part_cache_{"part"};
+  TransformCache split_top_cache_{"split-top"};
+  TransformCache split_bottom_cache_{"split-bottom"};
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SharedBytes> merge_cache_;
+};
+
+/// Returns a copy of `app` with all replica jitters shrunk to `jitter_ms`
+/// (the paper's Table 3 setup: "timing variations from the replicas were
+/// minimized").
+[[nodiscard]] ApplicationSpec minimize_replica_jitter(ApplicationSpec app,
+                                                      double jitter_ms = 0.0);
+
+}  // namespace sccft::apps

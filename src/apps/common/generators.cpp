@@ -1,0 +1,79 @@
+#include "apps/common/generators.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::apps {
+
+Frame generate_frame(int width, int height, std::uint64_t index, std::uint64_t seed) {
+  SCCFT_EXPECTS(width > 0 && height > 0);
+  Frame frame{width, height, {}};
+  frame.pixels.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+
+  util::Xoshiro256 rng(seed ^ (index * 0x9E3779B97F4A7C15ULL));
+  const int box1_x = static_cast<int>((index * 3) % static_cast<std::uint64_t>(width));
+  const int box1_y = static_cast<int>((index * 2) % static_cast<std::uint64_t>(height));
+  const int box2_x = static_cast<int>((index * 5 + 40) % static_cast<std::uint64_t>(width));
+  const int box2_y =
+      static_cast<int>((index * 7 + 20) % static_cast<std::uint64_t>(height));
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Diagonal gradient background drifting with the frame index.
+      int value = ((x + y + static_cast<int>(index)) * 255) / (width + height);
+      // Two moving rectangles (hard edges exercise the codecs' AC paths).
+      if (x >= box1_x && x < box1_x + 32 && y >= box1_y && y < box1_y + 24) value = 230;
+      if (x >= box2_x && x < box2_x + 20 && y >= box2_y && y < box2_y + 40) value = 25;
+      // Small deterministic noise.
+      value += static_cast<int>(rng.uniform_int(-4, 4));
+      value = value < 0 ? 0 : (value > 255 ? 255 : value);
+      frame.pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                   static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(value);
+    }
+  }
+  return frame;
+}
+
+std::vector<std::int16_t> generate_audio(std::size_t count, std::uint64_t start,
+                                         std::uint64_t seed) {
+  std::vector<std::int16_t> samples(count);
+  util::Xoshiro256 rng(seed ^ (start * 0x2545F4914F6CDD1DULL));
+  constexpr double kRate = 48'000.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(start + i) / kRate;
+    double v = 0.4 * std::sin(2.0 * 3.14159265358979 * 440.0 * t) +
+               0.25 * std::sin(2.0 * 3.14159265358979 * 554.37 * t) +
+               0.2 * std::sin(2.0 * 3.14159265358979 * 659.25 * t);
+    v += rng.uniform(-0.01, 0.01);
+    const auto scaled = static_cast<int>(v * 30'000.0);
+    samples[i] = static_cast<std::int16_t>(
+        scaled < -32'768 ? -32'768 : (scaled > 32'767 ? 32'767 : scaled));
+  }
+  return samples;
+}
+
+std::vector<std::uint8_t> samples_to_bytes(const std::vector<std::int16_t>& samples) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(samples.size() * 2);
+  for (std::int16_t s : samples) {
+    const auto u = static_cast<std::uint16_t>(s);
+    bytes.push_back(static_cast<std::uint8_t>(u & 0xFF));
+    bytes.push_back(static_cast<std::uint8_t>(u >> 8));
+  }
+  return bytes;
+}
+
+std::vector<std::int16_t> bytes_to_samples(const std::vector<std::uint8_t>& bytes) {
+  SCCFT_EXPECTS(bytes.size() % 2 == 0);
+  std::vector<std::int16_t> samples(bytes.size() / 2);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(bytes[2 * i]) |
+        (static_cast<std::uint16_t>(bytes[2 * i + 1]) << 8));
+  }
+  return samples;
+}
+
+}  // namespace sccft::apps

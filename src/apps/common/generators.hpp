@@ -1,0 +1,47 @@
+// Deterministic synthetic workload generators.
+//
+// The paper feeds real encoded video (~30 fps MJPEG), PCM audio samples and
+// raw video (H.264 encoder input) to its applications. We do not have the
+// original media; these generators produce procedurally-synthesized frames
+// and audio that (a) are bit-deterministic per index and seed, so both
+// replicas and the reference network see identical inputs, and (b) have
+// enough structure (gradients, moving objects, tones) that the codecs do
+// real, data-dependent work at realistic compression ratios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sccft::apps {
+
+/// An 8-bit grayscale frame.
+struct Frame {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> pixels;  ///< row-major, width*height bytes
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] int size_bytes() const { return width * height; }
+};
+
+/// Generates frame `index` of a synthetic test sequence: smooth gradient
+/// background, two moving rectangles, a little deterministic noise.
+[[nodiscard]] Frame generate_frame(int width, int height, std::uint64_t index,
+                                   std::uint64_t seed);
+
+/// Generates `count` signed 16-bit PCM samples starting at sample offset
+/// `start`: a chord of three sine tones plus low-level deterministic noise.
+[[nodiscard]] std::vector<std::int16_t> generate_audio(std::size_t count,
+                                                       std::uint64_t start,
+                                                       std::uint64_t seed);
+
+/// Serializes int16 samples to little-endian bytes and back.
+[[nodiscard]] std::vector<std::uint8_t> samples_to_bytes(
+    const std::vector<std::int16_t>& samples);
+[[nodiscard]] std::vector<std::int16_t> bytes_to_samples(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace sccft::apps

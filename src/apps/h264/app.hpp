@@ -1,0 +1,24 @@
+// The H.264 encoder application (paper Section 4.2; results mentioned but
+// omitted from the paper "due to space constraints" — we generate its
+// Table 2 analog).
+//
+// Input token: one raw QCIF-like 176x144 grayscale frame (25,344 B) at
+// ~30 fps; the critical subnetwork is a single intra encoder stage; output
+// token: the encoded bitstream (size varies with content). The replica
+// jitters are deliberately asymmetric (the paper: "the upper bounds for
+// fault detection latency are not always symmetrical (e.g., the H.264
+// application)").
+#pragma once
+
+#include "apps/common/application.hpp"
+
+namespace sccft::apps::h264 {
+
+inline constexpr int kFrameWidth = 176;
+inline constexpr int kFrameHeight = 144;
+inline constexpr int kQp = 26;
+
+/// Builds the H.264 intra-encoder application spec.
+[[nodiscard]] ApplicationSpec make_application(std::uint64_t content_seed = 2014);
+
+}  // namespace sccft::apps::h264

@@ -1,0 +1,314 @@
+#include "apps/h264/h264_codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+#include "util/bitio.hpp"
+
+namespace sccft::apps::h264 {
+
+namespace {
+
+/// Position class of a coefficient: 0 = both coords even, 1 = both odd,
+/// 2 = mixed (H.264 8.5.9's three V/MF classes).
+int position_class(int x, int y) {
+  const bool ex = (x % 2) == 0;
+  const bool ey = (y % 2) == 0;
+  if (ex && ey) return 0;
+  if (!ex && !ey) return 1;
+  return 2;
+}
+
+/// Forward quant multipliers MF for qp%6 in {0..5} x class {0,1,2}.
+constexpr std::array<std::array<int, 3>, 6> kMf = {{{13107, 5243, 8066},
+                                                    {11916, 4660, 7490},
+                                                    {10082, 4194, 6554},
+                                                    {9362, 3647, 5825},
+                                                    {8192, 3355, 5243},
+                                                    {7282, 2893, 4559}}};
+
+/// Dequant scales V for qp%6 x class.
+constexpr std::array<std::array<int, 3>, 6> kV = {{{10, 16, 13},
+                                                   {11, 18, 14},
+                                                   {13, 20, 16},
+                                                   {14, 23, 18},
+                                                   {16, 25, 20},
+                                                   {18, 29, 23}}};
+
+struct Prediction {
+  std::array<int, 16> values{};
+};
+
+/// Builds the predictor for a block at (bx*4, by*4) from reconstructed
+/// neighbours; availability follows raster coding order.
+Prediction predict(IntraMode mode, const Frame& recon, int x0, int y0) {
+  Prediction pred;
+  const bool have_top = y0 > 0;
+  const bool have_left = x0 > 0;
+  auto top = [&](int dx) { return static_cast<int>(recon.at(x0 + dx, y0 - 1)); };
+  auto left = [&](int dy) { return static_cast<int>(recon.at(x0 - 1, y0 + dy)); };
+
+  switch (mode) {
+    case IntraMode::kVertical:
+      SCCFT_EXPECTS(have_top);
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) pred.values[static_cast<std::size_t>(y * 4 + x)] = top(x);
+      }
+      break;
+    case IntraMode::kHorizontal:
+      SCCFT_EXPECTS(have_left);
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) pred.values[static_cast<std::size_t>(y * 4 + x)] = left(y);
+      }
+      break;
+    case IntraMode::kDc: {
+      int sum = 0;
+      int count = 0;
+      if (have_top) {
+        for (int x = 0; x < 4; ++x) sum += top(x);
+        count += 4;
+      }
+      if (have_left) {
+        for (int y = 0; y < 4; ++y) sum += left(y);
+        count += 4;
+      }
+      const int dc = count > 0 ? (sum + count / 2) / count : 128;
+      pred.values.fill(dc);
+      break;
+    }
+  }
+  return pred;
+}
+
+int sad(const Prediction& pred, const Frame& source, int x0, int y0) {
+  int total = 0;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      total += std::abs(static_cast<int>(source.at(x0 + x, y0 + y)) -
+                        pred.values[static_cast<std::size_t>(y * 4 + x)]);
+    }
+  }
+  return total;
+}
+
+std::uint8_t clamp_pixel(int v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+void code_block(util::BitWriter& writer, const int levels[16]) {
+  int run = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (levels[i] == 0) {
+      ++run;
+      continue;
+    }
+    writer.write_ue(static_cast<std::uint32_t>(run));
+    writer.write_se(levels[i]);
+    run = 0;
+  }
+  writer.write_ue(16);  // end of block
+}
+
+void read_block(util::BitReader& reader, int levels[16]) {
+  std::fill_n(levels, 16, 0);
+  int i = 0;
+  while (i < 16) {
+    const std::uint32_t run = reader.read_ue();
+    if (run == 16) return;
+    i += static_cast<int>(run);
+    SCCFT_ASSERT(i < 16);
+    levels[i] = reader.read_se();
+    ++i;
+  }
+  const std::uint32_t eob = reader.read_ue();
+  SCCFT_ASSERT(eob == 16);
+}
+
+}  // namespace
+
+void forward_transform4x4(const int in[16], int out[16]) {
+  // Y = Cf X Cf^T with Cf = [[1,1,1,1],[2,1,-1,-2],[1,-1,-1,1],[1,-2,2,-1]].
+  int tmp[16];
+  for (int y = 0; y < 4; ++y) {
+    const int a = in[y * 4 + 0], b = in[y * 4 + 1], c = in[y * 4 + 2], d = in[y * 4 + 3];
+    const int s0 = a + d, s1 = b + c, s2 = b - c, s3 = a - d;
+    tmp[y * 4 + 0] = s0 + s1;
+    tmp[y * 4 + 1] = 2 * s3 + s2;
+    tmp[y * 4 + 2] = s0 - s1;
+    tmp[y * 4 + 3] = s3 - 2 * s2;
+  }
+  for (int x = 0; x < 4; ++x) {
+    const int a = tmp[0 * 4 + x], b = tmp[1 * 4 + x], c = tmp[2 * 4 + x], d = tmp[3 * 4 + x];
+    const int s0 = a + d, s1 = b + c, s2 = b - c, s3 = a - d;
+    out[0 * 4 + x] = s0 + s1;
+    out[1 * 4 + x] = 2 * s3 + s2;
+    out[2 * 4 + x] = s0 - s1;
+    out[3 * 4 + x] = s3 - 2 * s2;
+  }
+}
+
+void inverse_transform4x4(const int in[16], int out[16]) {
+  // H.264 8.5.12.2: rows then columns with half-pel terms, then (x+32)>>6.
+  int tmp[16];
+  for (int y = 0; y < 4; ++y) {
+    const int w0 = in[y * 4 + 0], w1 = in[y * 4 + 1], w2 = in[y * 4 + 2], w3 = in[y * 4 + 3];
+    const int e = w0 + w2, f = w0 - w2, g = w1 + (w3 >> 1), h = (w1 >> 1) - w3;
+    tmp[y * 4 + 0] = e + g;
+    tmp[y * 4 + 1] = f + h;
+    tmp[y * 4 + 2] = f - h;
+    tmp[y * 4 + 3] = e - g;
+  }
+  for (int x = 0; x < 4; ++x) {
+    const int w0 = tmp[0 * 4 + x], w1 = tmp[1 * 4 + x], w2 = tmp[2 * 4 + x], w3 = tmp[3 * 4 + x];
+    const int e = w0 + w2, f = w0 - w2, g = w1 + (w3 >> 1), h = (w1 >> 1) - w3;
+    out[0 * 4 + x] = (e + g + 32) >> 6;
+    out[1 * 4 + x] = (f + h + 32) >> 6;
+    out[2 * 4 + x] = (f - h + 32) >> 6;
+    out[3 * 4 + x] = (e - g + 32) >> 6;
+  }
+}
+
+int quantize(int coeff, int x, int y, int qp) {
+  SCCFT_EXPECTS(qp >= 0 && qp <= kMaxQp);
+  const int mf = kMf[static_cast<std::size_t>(qp % 6)]
+                    [static_cast<std::size_t>(position_class(x, y))];
+  const int qbits = 15 + qp / 6;
+  const int f = (1 << qbits) / 3;  // intra rounding offset
+  const int sign = coeff < 0 ? -1 : 1;
+  const int level = (std::abs(coeff) * mf + f) >> qbits;
+  return sign * level;
+}
+
+int dequantize(int level, int x, int y, int qp) {
+  SCCFT_EXPECTS(qp >= 0 && qp <= kMaxQp);
+  const int v = kV[static_cast<std::size_t>(qp % 6)]
+                  [static_cast<std::size_t>(position_class(x, y))];
+  return level * v * (1 << (qp / 6));
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame, int qp) {
+  SCCFT_EXPECTS(frame.width % kBlock == 0 && frame.height % kBlock == 0);
+  SCCFT_EXPECTS(qp >= 0 && qp <= kMaxQp);
+  SCCFT_EXPECTS(static_cast<int>(frame.pixels.size()) == frame.width * frame.height);
+
+  util::BitWriter writer;
+  writer.write_bits('H', 8);
+  writer.write_bits(static_cast<std::uint32_t>(frame.width), 16);
+  writer.write_bits(static_cast<std::uint32_t>(frame.height), 16);
+  writer.write_bits(static_cast<std::uint32_t>(qp), 8);
+
+  Frame recon{frame.width, frame.height, {}};
+  recon.pixels.assign(frame.pixels.size(), 0);
+
+  for (int y0 = 0; y0 < frame.height; y0 += kBlock) {
+    for (int x0 = 0; x0 < frame.width; x0 += kBlock) {
+      // Candidate modes by neighbour availability; pick best SAD.
+      IntraMode best_mode = IntraMode::kDc;
+      Prediction best_pred = predict(IntraMode::kDc, recon, x0, y0);
+      int best_sad = sad(best_pred, frame, x0, y0);
+      if (y0 > 0) {
+        auto pred = predict(IntraMode::kVertical, recon, x0, y0);
+        const int s = sad(pred, frame, x0, y0);
+        if (s < best_sad) {
+          best_sad = s;
+          best_mode = IntraMode::kVertical;
+          best_pred = pred;
+        }
+      }
+      if (x0 > 0) {
+        auto pred = predict(IntraMode::kHorizontal, recon, x0, y0);
+        const int s = sad(pred, frame, x0, y0);
+        if (s < best_sad) {
+          best_sad = s;
+          best_mode = IntraMode::kHorizontal;
+          best_pred = pred;
+        }
+      }
+
+      int residual[16];
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          residual[y * 4 + x] = static_cast<int>(frame.at(x0 + x, y0 + y)) -
+                                best_pred.values[static_cast<std::size_t>(y * 4 + x)];
+        }
+      }
+      int coeffs[16];
+      forward_transform4x4(residual, coeffs);
+      int levels[16];
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          levels[y * 4 + x] = quantize(coeffs[y * 4 + x], x, y, qp);
+        }
+      }
+
+      writer.write_ue(static_cast<std::uint32_t>(best_mode));
+      code_block(writer, levels);
+
+      // In-loop reconstruction for subsequent predictions.
+      int dequant[16];
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          dequant[y * 4 + x] = dequantize(levels[y * 4 + x], x, y, qp);
+        }
+      }
+      int rec_res[16];
+      inverse_transform4x4(dequant, rec_res);
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          const int value = best_pred.values[static_cast<std::size_t>(y * 4 + x)] +
+                            rec_res[y * 4 + x];
+          recon.pixels[static_cast<std::size_t>(y0 + y) *
+                           static_cast<std::size_t>(frame.width) +
+                       static_cast<std::size_t>(x0 + x)] = clamp_pixel(value);
+        }
+      }
+    }
+  }
+  return writer.finish();
+}
+
+Frame decode_frame(std::span<const std::uint8_t> data) {
+  util::BitReader reader(data);
+  const std::uint32_t magic = reader.read_bits(8);
+  SCCFT_EXPECTS(magic == 'H');
+  const int width = static_cast<int>(reader.read_bits(16));
+  const int height = static_cast<int>(reader.read_bits(16));
+  const int qp = static_cast<int>(reader.read_bits(8));
+  SCCFT_EXPECTS(width > 0 && width % kBlock == 0);
+  SCCFT_EXPECTS(height > 0 && height % kBlock == 0);
+  SCCFT_EXPECTS(qp <= kMaxQp);
+
+  Frame recon{width, height, {}};
+  recon.pixels.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                      0);
+
+  for (int y0 = 0; y0 < height; y0 += kBlock) {
+    for (int x0 = 0; x0 < width; x0 += kBlock) {
+      const auto mode = static_cast<IntraMode>(reader.read_ue());
+      const Prediction pred = predict(mode, recon, x0, y0);
+      int levels[16];
+      read_block(reader, levels);
+      int dequant[16];
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          dequant[y * 4 + x] = dequantize(levels[y * 4 + x], x, y, qp);
+        }
+      }
+      int rec_res[16];
+      inverse_transform4x4(dequant, rec_res);
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          const int value =
+              pred.values[static_cast<std::size_t>(y * 4 + x)] + rec_res[y * 4 + x];
+          recon.pixels[static_cast<std::size_t>(y0 + y) * static_cast<std::size_t>(width) +
+                       static_cast<std::size_t>(x0 + x)] = clamp_pixel(value);
+        }
+      }
+    }
+  }
+  return recon;
+}
+
+}  // namespace sccft::apps::h264

@@ -1,0 +1,51 @@
+// H.264-style intra-only encoder (the paper's third application).
+//
+// A faithful structural subset of H.264 intra coding: 4x4 luma blocks with
+// Vertical / Horizontal / DC intra prediction chosen by SAD, the H.264 4x4
+// integer core transform, the standard position-class quantization
+// (MF/V tables, QP period of 6), Exp-Golomb entropy coding (ue/se), and
+// in-loop reconstruction so prediction always uses decoded (not source)
+// neighbours — the property that makes intra coding order-dependent and
+// computationally real. A matching decoder is provided for round-trip
+// validation.
+//
+// Bitstream: magic 'H', width u16, height u16, qp u8, then per 4x4 block in
+// raster order: ue(mode), coefficients as (run, level) events, ue(16) EOB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common/generators.hpp"
+
+namespace sccft::apps::h264 {
+
+inline constexpr int kBlock = 4;
+inline constexpr int kMaxQp = 51;
+
+enum class IntraMode : std::uint8_t { kVertical = 0, kHorizontal = 1, kDc = 2 };
+
+/// Encodes a grayscale frame. Width/height must be multiples of 4; `qp` in
+/// [0, 51] as in H.264.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame, int qp = 26);
+
+/// Decodes an encoded frame (round-trip validation).
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> data);
+
+// --- exposed internals (unit-tested) ---
+
+/// H.264 forward core transform of a 4x4 residual (Cf * X * Cf^T).
+void forward_transform4x4(const int in[16], int out[16]);
+
+/// H.264 inverse core transform including the final (x + 32) >> 6 scaling.
+void inverse_transform4x4(const int in[16], int out[16]);
+
+/// Forward quantization of coefficient `coeff` at block position (x, y):
+/// level = sign * ((|coeff| * MF + f) >> (15 + qp/6)), per H.264 8.5.
+[[nodiscard]] int quantize(int coeff, int x, int y, int qp);
+
+/// Dequantization: coeff' = level * V * 2^(qp/6).
+[[nodiscard]] int dequantize(int level, int x, int y, int qp);
+
+}  // namespace sccft::apps::h264

@@ -1,0 +1,21 @@
+// The MJPEG decoder application (paper Section 4.2, Figure 2 top).
+//
+// Input token: one encoded frame (~10 KB). The critical subnetwork is
+// splitstream -> {decode_a, decode_b} -> mergeframe; output token: one
+// decoded 320x240 grayscale frame (76.8 KB). Timing per Table 1:
+// producer <30, 2, 30> ms, replica 1 <30, 5, 30>, replica 2 <30, 30, 30>,
+// consumer <30, 2, 30>.
+#pragma once
+
+#include "apps/common/application.hpp"
+
+namespace sccft::apps::mjpeg {
+
+inline constexpr int kFrameWidth = 320;
+inline constexpr int kFrameHeight = 240;
+inline constexpr int kQuality = 75;
+
+/// Builds the MJPEG decoder application spec.
+[[nodiscard]] ApplicationSpec make_application(std::uint64_t content_seed = 2014);
+
+}  // namespace sccft::apps::mjpeg

@@ -1,0 +1,462 @@
+#include "apps/mjpeg/jpeg_codec.hpp"
+
+#include <array>
+#include <optional>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+#include "util/bitio.hpp"
+#include "util/huffman.hpp"
+
+namespace sccft::apps::mjpeg {
+
+namespace {
+
+/// JPEG Annex K luminance quantization base table.
+constexpr std::array<int, 64> kBaseQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+std::array<int, 64> make_zigzag() {
+  std::array<int, 64> order{};
+  int i = 0;
+  for (int s = 0; s < 15; ++s) {
+    if (s % 2 == 0) {  // up-right
+      for (int y = std::min(s, 7); y >= std::max(0, s - 7); --y) {
+        order[static_cast<std::size_t>(i++)] = y * 8 + (s - y);
+      }
+    } else {  // down-left
+      for (int x = std::min(s, 7); x >= std::max(0, s - 7); --x) {
+        order[static_cast<std::size_t>(i++)] = (s - x) * 8 + x;
+      }
+    }
+  }
+  return order;
+}
+
+const std::array<int, 64> kZigzag = make_zigzag();
+
+/// DCT basis cosines, computed once.
+struct DctTables {
+  double c[8][8];  // c[u][x] = cos((2x+1) u pi / 16)
+  DctTables() {
+    for (int u = 0; u < 8; ++u) {
+      for (int x = 0; x < 8; ++x) {
+        c[u][x] = std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
+      }
+    }
+  }
+};
+const DctTables kDct;
+
+constexpr double alpha(int u) { return u == 0 ? 0.70710678118654752 : 1.0; }
+
+void quantize_block(const std::uint8_t* pixels, int stride,
+                    const std::array<int, 64>& quant, int out[64]) {
+  double coeffs[64];
+  fdct8x8(pixels, stride, coeffs);
+  for (int i = 0; i < 64; ++i) {
+    const int pos = kZigzag[static_cast<std::size_t>(i)];
+    out[i] = static_cast<int>(
+        std::lround(coeffs[pos] / static_cast<double>(quant[static_cast<std::size_t>(pos)])));
+  }
+}
+
+void reconstruct_block(const int quantized[64], std::uint8_t* pixels, int stride,
+                       const std::array<int, 64>& quant) {
+  double coeffs[64];
+  for (int z = 0; z < 64; ++z) {
+    const int pos = kZigzag[static_cast<std::size_t>(z)];
+    coeffs[pos] = static_cast<double>(quantized[z]) *
+                  static_cast<double>(quant[static_cast<std::size_t>(pos)]);
+  }
+  idct8x8(coeffs, pixels, stride);
+}
+
+// ---- Exp-Golomb entropy backend -------------------------------------------
+
+void eg_encode_block(util::BitWriter& writer, const int quantized[64], int& dc_pred) {
+  // DC: DPCM relative to the previous block in the slice.
+  writer.write_se(quantized[0] - dc_pred);
+  dc_pred = quantized[0];
+  // AC: (run, level) events; ue(63) terminates the block.
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    if (quantized[i] == 0) {
+      ++run;
+      continue;
+    }
+    writer.write_ue(static_cast<std::uint32_t>(run));
+    writer.write_se(quantized[i]);
+    run = 0;
+  }
+  writer.write_ue(63);  // end of block
+}
+
+void eg_decode_block(util::BitReader& reader, int quantized[64], int& dc_pred) {
+  std::fill_n(quantized, 64, 0);
+  dc_pred += reader.read_se();
+  quantized[0] = dc_pred;
+  int i = 1;
+  while (i < 64) {
+    const std::uint32_t run = reader.read_ue();
+    if (run == 63) return;  // end of block
+    i += static_cast<int>(run);
+    SCCFT_ASSERT(i < 64);
+    quantized[i] = reader.read_se();
+    ++i;
+  }
+  const std::uint32_t eob = reader.read_ue();
+  SCCFT_ASSERT(eob == 63);
+}
+
+// ---- Huffman entropy backend (JPEG-style category/amplitude coding) -------
+
+/// Bit category of a value: smallest s with |v| < 2^s (0 for v == 0).
+int category_of(int value) {
+  int magnitude = value < 0 ? -value : value;
+  int size = 0;
+  while (magnitude > 0) {
+    magnitude >>= 1;
+    ++size;
+  }
+  return size;
+}
+
+/// JPEG amplitude mapping: positive values as-is, negative values offset so
+/// the top bit distinguishes sign.
+std::uint32_t amplitude_bits(int value, int size) {
+  if (value >= 0) return static_cast<std::uint32_t>(value);
+  return static_cast<std::uint32_t>(value + (1 << size) - 1);
+}
+
+int amplitude_value(std::uint32_t bits, int size) {
+  if (size == 0) return 0;
+  if (bits < (1U << (size - 1))) {
+    return static_cast<int>(bits) - (1 << size) + 1;
+  }
+  return static_cast<int>(bits);
+}
+
+constexpr int kEob = 0x00;
+constexpr int kZrl = 0xF0;  // run of 16 zeros
+
+/// Emits one block's symbols: to `freq_dc`/`freq_ac` histograms when
+/// `writer == nullptr` (statistics pass), or to the bitstream otherwise.
+void huff_code_block(const int quantized[64], int& dc_pred,
+                     std::uint64_t* freq_dc, std::uint64_t* freq_ac,
+                     util::BitWriter* writer, const util::HuffmanTable* dc_table,
+                     const util::HuffmanTable* ac_table) {
+  const int diff = quantized[0] - dc_pred;
+  dc_pred = quantized[0];
+  const int dc_size = category_of(diff);
+  SCCFT_ASSERT(dc_size <= 15);
+  if (writer != nullptr) {
+    dc_table->encode(*writer, dc_size);
+    if (dc_size > 0) writer->write_bits(amplitude_bits(diff, dc_size), dc_size);
+  } else {
+    ++freq_dc[dc_size];
+  }
+
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    if (quantized[i] == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      if (writer != nullptr) {
+        ac_table->encode(*writer, kZrl);
+      } else {
+        ++freq_ac[kZrl];
+      }
+      run -= 16;
+    }
+    const int size = category_of(quantized[i]);
+    SCCFT_ASSERT(size >= 1 && size <= 15);
+    const int symbol = (run << 4) | size;
+    if (writer != nullptr) {
+      ac_table->encode(*writer, symbol);
+      writer->write_bits(amplitude_bits(quantized[i], size), size);
+    } else {
+      ++freq_ac[symbol];
+    }
+    run = 0;
+  }
+  if (writer != nullptr) {
+    ac_table->encode(*writer, kEob);
+  } else {
+    ++freq_ac[kEob];
+  }
+}
+
+void huff_decode_block(util::BitReader& reader, int quantized[64], int& dc_pred,
+                       const util::HuffmanTable& dc_table,
+                       const util::HuffmanTable& ac_table) {
+  std::fill_n(quantized, 64, 0);
+  const int dc_size = dc_table.decode(reader);
+  const int diff =
+      dc_size > 0 ? amplitude_value(reader.read_bits(dc_size), dc_size) : 0;
+  dc_pred += diff;
+  quantized[0] = dc_pred;
+  int i = 1;
+  while (i < 64) {
+    const int symbol = ac_table.decode(reader);
+    if (symbol == kEob) return;
+    if (symbol == kZrl) {
+      i += 16;
+      continue;
+    }
+    const int run = symbol >> 4;
+    const int size = symbol & 0x0F;
+    SCCFT_ASSERT(size >= 1);
+    i += run;
+    SCCFT_ASSERT(i < 64);
+    quantized[i] = amplitude_value(reader.read_bits(size), size);
+    ++i;
+  }
+  // The encoder unconditionally terminates each block with EOB — consume it
+  // even when the last coefficient landed exactly on index 63.
+  const int eob = ac_table.decode(reader);
+  SCCFT_ASSERT(eob == kEob);
+}
+
+/// Slice bitstream: magic ('S' = Exp-Golomb, 'T' = Huffman), width u16,
+/// rows u16, quality u8; for Huffman, the DC and AC tables follow (DHT-style
+/// serialization); then the coded blocks.
+std::vector<std::uint8_t> encode_slice(const Frame& frame, int y0, int rows,
+                                       int quality, EntropyMode mode) {
+  const auto quant = quant_table(quality);
+  const int blocks_x = frame.width / kBlockSize;
+  const int blocks_y = rows / kBlockSize;
+  auto block_at = [&](int bx, int by) {
+    return frame.pixels.data() +
+           static_cast<std::size_t>(y0 + by * kBlockSize) *
+               static_cast<std::size_t>(frame.width) +
+           static_cast<std::size_t>(bx * kBlockSize);
+  };
+
+  util::BitWriter writer;
+  writer.write_bits(mode == EntropyMode::kHuffman ? 'T' : 'S', 8);
+  writer.write_bits(static_cast<std::uint32_t>(frame.width), 16);
+  writer.write_bits(static_cast<std::uint32_t>(rows), 16);
+  writer.write_bits(static_cast<std::uint32_t>(quality), 8);
+
+  if (mode == EntropyMode::kExpGolomb) {
+    int dc_pred = 0;
+    for (int by = 0; by < blocks_y; ++by) {
+      for (int bx = 0; bx < blocks_x; ++bx) {
+        int quantized[64];
+        quantize_block(block_at(bx, by), frame.width, quant, quantized);
+        eg_encode_block(writer, quantized, dc_pred);
+      }
+    }
+    return writer.finish();
+  }
+
+  // Huffman: pass 1 gathers symbol statistics, pass 2 emits tables + codes.
+  std::uint64_t freq_dc[256] = {};
+  std::uint64_t freq_ac[256] = {};
+  int dc_pred = 0;
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      int quantized[64];
+      quantize_block(block_at(bx, by), frame.width, quant, quantized);
+      huff_code_block(quantized, dc_pred, freq_dc, freq_ac, nullptr, nullptr, nullptr);
+    }
+  }
+  const auto dc_table = util::HuffmanTable::build(freq_dc);
+  const auto ac_table = util::HuffmanTable::build(freq_ac);
+  dc_table.write_to(writer);
+  ac_table.write_to(writer);
+  dc_pred = 0;
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      int quantized[64];
+      quantize_block(block_at(bx, by), frame.width, quant, quantized);
+      huff_code_block(quantized, dc_pred, nullptr, nullptr, &writer, &dc_table,
+                      &ac_table);
+    }
+  }
+  return writer.finish();
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> data, std::size_t at) {
+  SCCFT_EXPECTS(at + 4 <= data.size());
+  return static_cast<std::uint32_t>(data[at]) |
+         (static_cast<std::uint32_t>(data[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[at + 3]) << 24);
+}
+
+}  // namespace
+
+void fdct8x8(const std::uint8_t* pixels, int stride, double out[64]) {
+  // Separable DCT: rows then columns (64 -> 2*8 multiplies per coefficient).
+  double centered[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      centered[y * 8 + x] = static_cast<double>(pixels[y * stride + x]) - 128.0;
+    }
+  }
+  double rows[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double sum = 0.0;
+      for (int x = 0; x < 8; ++x) sum += centered[y * 8 + x] * kDct.c[u][x];
+      rows[y * 8 + u] = 0.5 * alpha(u) * sum;
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double sum = 0.0;
+      for (int y = 0; y < 8; ++y) sum += rows[y * 8 + u] * kDct.c[v][y];
+      out[v * 8 + u] = 0.5 * alpha(v) * sum;
+    }
+  }
+}
+
+void idct8x8(const double in[64], std::uint8_t* pixels, int stride) {
+  double cols[64];
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      double sum = 0.0;
+      for (int v = 0; v < 8; ++v) sum += alpha(v) * in[v * 8 + u] * kDct.c[v][y];
+      cols[y * 8 + u] = 0.5 * sum;
+    }
+  }
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double sum = 0.0;
+      for (int u = 0; u < 8; ++u) sum += alpha(u) * cols[y * 8 + u] * kDct.c[u][x];
+      const int value = static_cast<int>(std::lround(0.5 * sum + 128.0));
+      pixels[y * stride + x] =
+          static_cast<std::uint8_t>(value < 0 ? 0 : (value > 255 ? 255 : value));
+    }
+  }
+}
+
+std::array<int, 64> quant_table(int quality) {
+  SCCFT_EXPECTS(quality >= 1 && quality <= 100);
+  // Standard IJG quality scaling.
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> table{};
+  for (int i = 0; i < 64; ++i) {
+    int q = (kBaseQuant[static_cast<std::size_t>(i)] * scale + 50) / 100;
+    table[static_cast<std::size_t>(i)] = q < 1 ? 1 : (q > 255 ? 255 : q);
+  }
+  return table;
+}
+
+const std::array<int, 64>& zigzag_order() { return kZigzag; }
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame, int quality,
+                                       EntropyMode mode) {
+  SCCFT_EXPECTS(frame.width % kBlockSize == 0);
+  SCCFT_EXPECTS(frame.height % (2 * kBlockSize) == 0);
+  SCCFT_EXPECTS(static_cast<int>(frame.pixels.size()) == frame.width * frame.height);
+
+  const int half = frame.height / 2;
+  const auto top = encode_slice(frame, 0, half, quality, mode);
+  const auto bottom = encode_slice(frame, half, half, quality, mode);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(top.size() + bottom.size() + 16);
+  out.push_back('J');
+  out.push_back('1');
+  append_u32(out, static_cast<std::uint32_t>(frame.width));
+  append_u32(out, static_cast<std::uint32_t>(frame.height));
+  append_u32(out, static_cast<std::uint32_t>(top.size()));
+  out.insert(out.end(), top.begin(), top.end());
+  append_u32(out, static_cast<std::uint32_t>(bottom.size()));
+  out.insert(out.end(), bottom.begin(), bottom.end());
+  return out;
+}
+
+EncodedSlices split_encoded(std::span<const std::uint8_t> data) {
+  SCCFT_EXPECTS(data.size() > 14);
+  SCCFT_EXPECTS(data[0] == 'J' && data[1] == '1');
+  std::size_t at = 10;
+  const std::uint32_t top_len = read_u32(data, at);
+  at += 4;
+  SCCFT_EXPECTS(at + top_len <= data.size());
+  EncodedSlices slices;
+  slices.top.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                    data.begin() + static_cast<std::ptrdiff_t>(at + top_len));
+  at += top_len;
+  const std::uint32_t bottom_len = read_u32(data, at);
+  at += 4;
+  SCCFT_EXPECTS(at + bottom_len <= data.size());
+  slices.bottom.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                       data.begin() + static_cast<std::ptrdiff_t>(at + bottom_len));
+  return slices;
+}
+
+Frame decode_slice(std::span<const std::uint8_t> slice) {
+  util::BitReader reader(slice);
+  const std::uint32_t magic = reader.read_bits(8);
+  SCCFT_EXPECTS(magic == 'S' || magic == 'T');
+  const int width = static_cast<int>(reader.read_bits(16));
+  const int rows = static_cast<int>(reader.read_bits(16));
+  const int quality = static_cast<int>(reader.read_bits(8));
+  SCCFT_EXPECTS(width > 0 && width % kBlockSize == 0);
+  SCCFT_EXPECTS(rows > 0 && rows % kBlockSize == 0);
+
+  std::optional<util::HuffmanTable> dc_table;
+  std::optional<util::HuffmanTable> ac_table;
+  if (magic == 'T') {
+    dc_table = util::HuffmanTable::read_from(reader);
+    ac_table = util::HuffmanTable::read_from(reader);
+  }
+
+  Frame frame{width, rows, {}};
+  frame.pixels.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(rows));
+  const auto quant = quant_table(quality);
+  int dc_pred = 0;
+  for (int by = 0; by < rows / kBlockSize; ++by) {
+    for (int bx = 0; bx < width / kBlockSize; ++bx) {
+      std::uint8_t* block = frame.pixels.data() +
+                            static_cast<std::size_t>(by * kBlockSize) *
+                                static_cast<std::size_t>(width) +
+                            static_cast<std::size_t>(bx * kBlockSize);
+      int quantized[64];
+      if (magic == 'T') {
+        huff_decode_block(reader, quantized, dc_pred, *dc_table, *ac_table);
+      } else {
+        eg_decode_block(reader, quantized, dc_pred);
+      }
+      reconstruct_block(quantized, block, width, quant);
+    }
+  }
+  return frame;
+}
+
+Frame merge_slices(const Frame& top, const Frame& bottom) {
+  SCCFT_EXPECTS(top.width == bottom.width);
+  Frame frame{top.width, top.height + bottom.height, {}};
+  frame.pixels.reserve(top.pixels.size() + bottom.pixels.size());
+  frame.pixels.insert(frame.pixels.end(), top.pixels.begin(), top.pixels.end());
+  frame.pixels.insert(frame.pixels.end(), bottom.pixels.begin(), bottom.pixels.end());
+  return frame;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> data) {
+  const EncodedSlices slices = split_encoded(data);
+  return merge_slices(decode_slice(slices.top), decode_slice(slices.bottom));
+}
+
+}  // namespace sccft::apps::mjpeg

@@ -1,0 +1,71 @@
+// JPEG-style intra frame codec for the MJPEG application.
+//
+// A real transform codec: 8x8 forward/inverse DCT, Annex-K-style quantization
+// scaled by a quality factor, zigzag scan, DPCM-coded DC, and run-level
+// entropy coding with Exp-Golomb codes (in place of JPEG's Huffman tables —
+// same structure, self-contained tables). Frames are encoded as two
+// independently-decodable *slices* (top and bottom half) so the MJPEG process
+// network's `splitstream` stage can split an encoded frame into parts that
+// the two decode processes handle concurrently, exactly as in the paper's
+// Figure 2 topology.
+//
+// Bitstream layout:
+//   FrameHeader: magic 'J1', width u16, height u16, quality u8
+//   u32 slice0_length, slice0 bytes, u32 slice1_length, slice1 bytes
+// Each slice independently codes its rows (DC prediction resets per slice).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common/generators.hpp"
+
+namespace sccft::apps::mjpeg {
+
+inline constexpr int kBlockSize = 8;
+
+/// Entropy-coding backend for the coefficient data.
+enum class EntropyMode : std::uint8_t {
+  kExpGolomb = 0,  ///< fixed structured codes, single pass, no tables
+  kHuffman = 1,    ///< per-slice optimized canonical Huffman tables with
+                   ///< JPEG-style category/amplitude coding (two passes,
+                   ///< better compression — the real-JPEG behaviour)
+};
+
+/// Encodes a grayscale frame; `quality` in [1, 100] scales the quantization
+/// table (higher = better fidelity, larger output). Width and height must be
+/// multiples of 8 and the height a multiple of 16 (two equal slices).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    const Frame& frame, int quality = 75, EntropyMode mode = EntropyMode::kHuffman);
+
+/// Decodes a full encoded frame (both slices).
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> data);
+
+/// Splits an encoded frame into its two standalone slices (each gets its own
+/// mini header and can be decoded by decode_slice).
+struct EncodedSlices {
+  std::vector<std::uint8_t> top;
+  std::vector<std::uint8_t> bottom;
+};
+[[nodiscard]] EncodedSlices split_encoded(std::span<const std::uint8_t> data);
+
+/// Decodes one standalone slice into a half-height frame.
+[[nodiscard]] Frame decode_slice(std::span<const std::uint8_t> slice);
+
+/// Stacks the two half frames back into a full frame.
+[[nodiscard]] Frame merge_slices(const Frame& top, const Frame& bottom);
+
+// --- exposed internals (unit-tested directly) ---
+
+/// Forward / inverse 8x8 DCT (separable, double precision internally).
+void fdct8x8(const std::uint8_t* pixels, int stride, double out[64]);
+void idct8x8(const double in[64], std::uint8_t* pixels, int stride);
+
+/// Quantization table for a quality factor (JPEG Annex K luminance base).
+[[nodiscard]] std::array<int, 64> quant_table(int quality);
+
+/// Zigzag scan order (index i of the scan -> position in the 8x8 block).
+[[nodiscard]] const std::array<int, 64>& zigzag_order();
+
+}  // namespace sccft::apps::mjpeg

@@ -1,0 +1,34 @@
+#include "ft/fault_injector.hpp"
+
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+
+void FaultInjector::schedule(std::vector<kpn::Process*> victims, rtc::TimeNs at,
+                             FaultMode mode, double rate_factor) {
+  SCCFT_EXPECTS(!armed_);  // single-fault hypothesis
+  SCCFT_EXPECTS(!victims.empty());
+  SCCFT_EXPECTS(at >= sim_.now());
+  SCCFT_EXPECTS(mode != FaultMode::kRateDegradation || rate_factor > 1.0);
+  for (auto* victim : victims) SCCFT_EXPECTS(victim != nullptr);
+
+  armed_ = true;
+  injected_at_ = at;
+  sim_.schedule_at(at, [this, victims = std::move(victims), mode, rate_factor] {
+    fired_ = true;
+    for (auto* victim : victims) {
+      kpn::FaultState& fault = victim->context().fault();
+      fault.faulted_at = sim_.now();
+      switch (mode) {
+        case FaultMode::kSilence:
+          fault.silenced = true;
+          break;
+        case FaultMode::kRateDegradation:
+          fault.rate_factor = rate_factor;
+          break;
+      }
+    }
+  });
+}
+
+}  // namespace sccft::ft

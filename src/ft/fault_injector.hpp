@@ -1,0 +1,46 @@
+// Timing-fault injection.
+//
+// Models the paper's fault hypothesis (Section 2): "the system can experience
+// at most a single timing fault, which is eventually observed when the faulty
+// replica either stops producing (or consuming) tokens, or does so at a rate
+// lower than expected". In the experiments (Section 4.2) "the faulty replica
+// stops producing (or consuming) tokens altogether" — the kSilence mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kpn/process.hpp"
+#include "rtc/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::ft {
+
+enum class FaultMode {
+  kSilence,          ///< the replica's processes halt permanently
+  kRateDegradation,  ///< compute times inflate by a factor (> 1)
+};
+
+/// Schedules a single permanent timing fault against a set of processes (all
+/// processes of one replica).
+class FaultInjector final {
+ public:
+  explicit FaultInjector(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Injects `mode` into every process in `victims` at simulated time `at`.
+  /// `rate_factor` only applies to kRateDegradation (must be > 1).
+  void schedule(std::vector<kpn::Process*> victims, rtc::TimeNs at,
+                FaultMode mode = FaultMode::kSilence, double rate_factor = 1.0);
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] rtc::TimeNs injected_at() const { return injected_at_; }
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  sim::Simulator& sim_;
+  bool armed_ = false;
+  bool fired_ = false;
+  rtc::TimeNs injected_at_ = -1;
+};
+
+}  // namespace sccft::ft

@@ -1,0 +1,123 @@
+#include "ft/framework.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+
+rtc::NetworkTimingModel AppTimingSpec::to_model() const {
+  rtc::NetworkTimingModel model;
+  auto fill = [](const rtc::PJD& pjd, rtc::CurveRef& upper, rtc::CurveRef& lower) {
+    upper = rtc::make_curve<rtc::PJDUpperCurve>(pjd);
+    lower = rtc::make_curve<rtc::PJDLowerCurve>(pjd);
+  };
+  fill(producer, model.producer_upper, model.producer_lower);
+  fill(replica1_in, model.replica1_in_upper, model.replica1_in_lower);
+  fill(replica2_in, model.replica2_in_upper, model.replica2_in_lower);
+  fill(replica1_out, model.replica1_out_upper, model.replica1_out_lower);
+  fill(replica2_out, model.replica2_out_upper, model.replica2_out_lower);
+  fill(consumer, model.consumer_upper, model.consumer_lower);
+  return model;
+}
+
+rtc::TimeNs AppTimingSpec::default_horizon() const {
+  rtc::TimeNs max_period = 0;
+  rtc::TimeNs max_jitter = 0;
+  for (const rtc::PJD* pjd : {&producer, &replica1_in, &replica2_in, &replica1_out,
+                              &replica2_out, &consumer}) {
+    max_period = std::max(max_period, pjd->period);
+    max_jitter = std::max(max_jitter, pjd->jitter);
+  }
+  return 100 * max_period + 2 * max_jitter;
+}
+
+std::optional<DetectionRecord> DetectionLog::first() const {
+  if (records.empty()) return std::nullopt;
+  return records.front();
+}
+
+std::optional<DetectionRecord> DetectionLog::first_replicator() const {
+  for (const auto& record : records) {
+    if (record.rule == DetectionRule::kReplicatorOverflow) return record;
+  }
+  return std::nullopt;
+}
+
+std::optional<DetectionRecord> DetectionLog::first_selector() const {
+  for (const auto& record : records) {
+    if (record.rule == DetectionRule::kSelectorStall ||
+        record.rule == DetectionRule::kSelectorDivergence) {
+      return record;
+    }
+  }
+  return std::nullopt;
+}
+
+FaultTolerantHarness::FaultTolerantHarness(kpn::Network& network, Config config)
+    : injector_(network.simulator()) {
+  const rtc::TimeNs horizon = config.timing.default_horizon();
+  sizing_ = rtc::analyze_duplicated_network(config.timing.to_model(), horizon);
+
+  auto link = [&](scc::CoreId src,
+                  scc::CoreId dst) -> std::optional<kpn::FifoChannel::LinkModel> {
+    if (config.platform == nullptr) return std::nullopt;
+    return kpn::FifoChannel::LinkModel{&config.platform->noc(), src, dst};
+  };
+
+  ReplicatorChannel::Config replicator_config{
+      .capacity1 = config.replicator_capacity_override > 0
+                       ? config.replicator_capacity_override
+                       : sizing_.replicator_capacity1,
+      .capacity2 = config.replicator_capacity_override > 0
+                       ? config.replicator_capacity_override
+                       : sizing_.replicator_capacity2,
+      .link1 = link(config.producer_core, config.replica1_in_core),
+      .link2 = link(config.producer_core, config.replica2_in_core)};
+  replicator_ = &network.adopt_channel(std::make_unique<ReplicatorChannel>(
+      network.simulator(), config.name_prefix + ".replicator", replicator_config));
+
+  SelectorChannel::Config selector_config{
+      .capacity1 = sizing_.selector_capacity1,
+      .capacity2 = sizing_.selector_capacity2,
+      .initial1 = sizing_.selector_initial1,
+      .initial2 = sizing_.selector_initial2,
+      .divergence_threshold = config.divergence_threshold_override > 0
+                                  ? config.divergence_threshold_override
+                                  : sizing_.selector_threshold,
+      .enable_stall_rule = config.enable_selector_stall_rule,
+      .link1 = link(config.replica1_out_core, config.consumer_core),
+      .link2 = link(config.replica2_out_core, config.consumer_core)};
+  selector_ = &network.adopt_channel(std::make_unique<SelectorChannel>(
+      network.simulator(), config.name_prefix + ".selector", selector_config));
+  if (config.preload_initial_tokens) {
+    selector_->preload_initial_tokens(config.initial_token);
+  }
+
+  auto observer = [this](const DetectionRecord& record) {
+    log_.records.push_back(record);
+  };
+  replicator_->set_fault_observer(observer);
+  selector_->set_fault_observer(observer);
+}
+
+std::optional<rtc::TimeNs> FaultTolerantHarness::first_detection_latency() const {
+  const auto record = log_.first();
+  if (!record || injector_.injected_at() < 0) return std::nullopt;
+  return record->detected_at - injector_.injected_at();
+}
+
+std::optional<rtc::TimeNs> FaultTolerantHarness::replicator_detection_latency() const {
+  const auto record = log_.first_replicator();
+  if (!record || injector_.injected_at() < 0) return std::nullopt;
+  return record->detected_at - injector_.injected_at();
+}
+
+std::optional<rtc::TimeNs> FaultTolerantHarness::selector_detection_latency() const {
+  const auto record = log_.first_selector();
+  if (!record || injector_.injected_at() < 0) return std::nullopt;
+  return record->detected_at - injector_.injected_at();
+}
+
+}  // namespace sccft::ft

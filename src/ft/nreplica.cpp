@@ -1,0 +1,369 @@
+#include "ft/nreplica.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+
+// ---------------------------------------------------------------------------
+// Sizing
+// ---------------------------------------------------------------------------
+
+NSizingReport analyze_n_replica_network(const NReplicaTimingModel& model,
+                                        rtc::TimeNs horizon) {
+  const std::size_t n = model.in_upper.size();
+  SCCFT_EXPECTS(n >= 2);
+  SCCFT_EXPECTS(model.in_lower.size() == n);
+  SCCFT_EXPECTS(model.out_upper.size() == n);
+  SCCFT_EXPECTS(model.out_lower.size() == n);
+
+  NSizingReport report;
+  report.replicator_capacity.reserve(n);
+  report.selector_capacity.reserve(n);
+  report.selector_initial.reserve(n);
+
+  rtc::TimeNs worst_overflow = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto capacity = rtc::min_fifo_capacity(*model.producer_upper,
+                                                 *model.in_lower[i], horizon);
+    SCCFT_ENSURES(capacity.has_value());
+    report.replicator_capacity.push_back(*capacity);
+
+    const auto initial = rtc::min_initial_fill(*model.out_lower[i],
+                                               *model.consumer_upper, horizon);
+    SCCFT_ENSURES(initial.has_value());
+    report.selector_initial.push_back(*initial);
+
+    const auto lead =
+        rtc::sup_difference(*model.out_upper[i], *model.consumer_lower, horizon);
+    SCCFT_ENSURES(lead.bounded);
+    report.selector_capacity.push_back(*initial + std::max<rtc::Tokens>(lead.value, 1));
+
+    const rtc::ZeroCurve silent;
+    const auto fill_time = rtc::first_time_difference_reaches(
+        *model.producer_lower, silent, *capacity + 1, horizon);
+    SCCFT_ENSURES(fill_time.has_value());
+    worst_overflow = std::max(worst_overflow, *fill_time);
+  }
+  report.replicator_overflow_bound = worst_overflow;
+
+  // D = 1 + max over ordered pairs of sup(alpha_i,out^u - alpha_j,out^l).
+  rtc::Tokens worst_sup = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto sup =
+          rtc::sup_difference(*model.out_upper[i], *model.out_lower[j], horizon);
+      SCCFT_ENSURES(sup.bounded && sup.stabilized);
+      worst_sup = std::max(worst_sup, sup.value);
+    }
+  }
+  report.divergence_threshold = worst_sup + 1;
+
+  // Eq. (7)/(8): worst silence-fault detection latency over healthy replicas.
+  rtc::TimeNs worst_latency = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bound = rtc::detection_latency_bound_silence(
+        *model.out_lower[i], report.divergence_threshold, horizon);
+    SCCFT_ENSURES(bound.has_value());
+    worst_latency = std::max(worst_latency, *bound);
+  }
+  report.selector_latency_bound = worst_latency;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// NReplicatorChannel
+// ---------------------------------------------------------------------------
+
+NReplicatorChannel::NReplicatorChannel(sim::Simulator& sim, std::string name,
+                                       std::vector<rtc::Tokens> capacities)
+    : sim_(sim), name_(std::move(name)) {
+  SCCFT_EXPECTS(capacities.size() >= 2);
+  queues_.resize(capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    SCCFT_EXPECTS(capacities[i] > 0);
+    queues_[i].capacity = capacities[i];
+    interfaces_.push_back(std::make_unique<ReadInterface>(*this, static_cast<int>(i)));
+  }
+}
+
+kpn::TokenSource& NReplicatorChannel::read_interface(int replica) {
+  SCCFT_EXPECTS(replica >= 0 && replica < replica_count());
+  return *interfaces_[static_cast<std::size_t>(replica)];
+}
+
+bool NReplicatorChannel::try_write(const kpn::Token& token) {
+  // Overflow rule per queue (Section 3.3, generalized).
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    Queue& queue = queues_[i];
+    if (!queue.fault &&
+        static_cast<rtc::Tokens>(queue.slots.size()) >= queue.capacity) {
+      declare_fault(static_cast<int>(i));
+    }
+  }
+  bool any_healthy = false;
+  for (Queue& queue : queues_) {
+    if (queue.fault) continue;
+    any_healthy = true;
+    queue.slots.push_back(token);
+    ++queue.writes;
+    queue.max_fill =
+        std::max(queue.max_fill, static_cast<rtc::Tokens>(queue.slots.size()));
+    if (queue.waiting_reader && !queue.reader_frozen) {
+      auto reader = queue.waiting_reader;
+      queue.waiting_reader = nullptr;
+      Queue* q = &queue;
+      sim_.schedule_after(0, [q, reader] {
+        if (!q->reader_frozen) reader.resume();
+      });
+    }
+  }
+  if (!any_healthy) ++dropped_;  // beyond the (N-1)-fault hypothesis
+  return true;
+}
+
+void NReplicatorChannel::await_writable(std::coroutine_handle<> writer) {
+  SCCFT_EXPECTS(!waiting_writer_);
+  waiting_writer_ = writer;  // never actually used: try_write always succeeds
+}
+
+std::optional<kpn::Token> NReplicatorChannel::queue_try_read(int replica) {
+  Queue& queue = queues_[static_cast<std::size_t>(replica)];
+  if (queue.reader_frozen || queue.slots.empty()) return std::nullopt;
+  kpn::Token token = std::move(queue.slots.front());
+  queue.slots.pop_front();
+  ++queue.reads;
+  return token;
+}
+
+void NReplicatorChannel::queue_await_readable(int replica,
+                                              std::coroutine_handle<> reader) {
+  Queue& queue = queues_[static_cast<std::size_t>(replica)];
+  SCCFT_EXPECTS(!queue.waiting_reader);
+  queue.waiting_reader = reader;
+  if (!queue.slots.empty() && !queue.reader_frozen) {
+    queue.waiting_reader = nullptr;
+    Queue* q = &queue;
+    sim_.schedule_after(0, [q, reader] {
+      if (!q->reader_frozen) reader.resume();
+    });
+  }
+}
+
+void NReplicatorChannel::declare_fault(int replica) {
+  Queue& queue = queues_[static_cast<std::size_t>(replica)];
+  SCCFT_ASSERT(!queue.fault);
+  queue.fault = true;
+  queue.detection =
+      NDetectionRecord{replica, DetectionRule::kReplicatorOverflow, sim_.now()};
+  if (observer_) observer_(*queue.detection);
+}
+
+bool NReplicatorChannel::fault(int replica) const {
+  return queues_[static_cast<std::size_t>(replica)].fault;
+}
+
+std::optional<NDetectionRecord> NReplicatorChannel::detection(int replica) const {
+  return queues_[static_cast<std::size_t>(replica)].detection;
+}
+
+rtc::Tokens NReplicatorChannel::fill(int replica) const {
+  return static_cast<rtc::Tokens>(queues_[static_cast<std::size_t>(replica)].slots.size());
+}
+
+rtc::Tokens NReplicatorChannel::max_fill(int replica) const {
+  return queues_[static_cast<std::size_t>(replica)].max_fill;
+}
+
+int NReplicatorChannel::healthy_count() const {
+  int healthy = 0;
+  for (const Queue& queue : queues_) healthy += queue.fault ? 0 : 1;
+  return healthy;
+}
+
+void NReplicatorChannel::freeze_reader(int replica) {
+  queues_[static_cast<std::size_t>(replica)].reader_frozen = true;
+}
+
+kpn::ChannelStats NReplicatorChannel::stats() const {
+  kpn::ChannelStats total;
+  for (const Queue& queue : queues_) {
+    total.max_fill = std::max(total.max_fill, queue.max_fill);
+    total.tokens_written += queue.writes;
+    total.tokens_read += queue.reads;
+  }
+  total.tokens_dropped = dropped_;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// NSelectorChannel
+// ---------------------------------------------------------------------------
+
+NSelectorChannel::NSelectorChannel(sim::Simulator& sim, std::string name, Config config)
+    : sim_(sim),
+      name_(std::move(name)),
+      divergence_threshold_(config.divergence_threshold),
+      enable_stall_rule_(config.enable_stall_rule) {
+  const std::size_t n = config.capacities.size();
+  SCCFT_EXPECTS(n >= 2);
+  SCCFT_EXPECTS(config.initials.size() == n);
+  SCCFT_EXPECTS(config.divergence_threshold >= 0);
+  sides_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SCCFT_EXPECTS(config.capacities[i] > 0);
+    SCCFT_EXPECTS(config.initials[i] >= 0 && config.initials[i] <= config.capacities[i]);
+    sides_[i].capacity = config.capacities[i];
+    sides_[i].space = config.capacities[i] - config.initials[i];
+    interfaces_.push_back(std::make_unique<WriteInterface>(*this, static_cast<int>(i)));
+  }
+}
+
+kpn::TokenSink& NSelectorChannel::write_interface(int replica) {
+  SCCFT_EXPECTS(replica >= 0 && replica < replica_count());
+  return *interfaces_[static_cast<std::size_t>(replica)];
+}
+
+bool NSelectorChannel::side_try_write(int replica, const kpn::Token& token) {
+  Side& side = sides_[static_cast<std::size_t>(replica)];
+  if (side.fault || side.writer_frozen) {
+    ++stats_.tokens_dropped;
+    return true;
+  }
+  if (side.space == 0) {
+    ++stats_.writer_blocks;
+    return false;
+  }
+
+  // First-of-group test: this is interface i's (received+1)-th token; it is
+  // fresh iff no peer has delivered that many tokens yet.
+  std::uint64_t best_peer = 0;
+  for (std::size_t j = 0; j < sides_.size(); ++j) {
+    if (static_cast<int>(j) == replica) continue;
+    best_peer = std::max(best_peer, sides_[j].received);
+  }
+  const bool fresh = side.received + 1 > best_peer;
+
+  side.space -= 1;
+  side.received += 1;
+  ++stats_.tokens_written;
+
+  if (fresh) {
+    queue_.push_back(token);
+    stats_.max_fill = std::max(stats_.max_fill, fill());
+    wake_reader();
+  } else {
+    ++stats_.tokens_dropped;
+  }
+  check_divergence();
+  return true;
+}
+
+void NSelectorChannel::side_await_writable(int replica, std::coroutine_handle<> writer) {
+  Side& side = sides_[static_cast<std::size_t>(replica)];
+  SCCFT_EXPECTS(!side.waiting_writer);
+  side.waiting_writer = writer;
+}
+
+std::optional<kpn::Token> NSelectorChannel::try_read() {
+  if (queue_.empty()) return std::nullopt;
+  kpn::Token token = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.tokens_read;
+  for (Side& side : sides_) side.space += 1;
+  if (enable_stall_rule_) {
+    // Flag any interface whose space exceeded its bound, as long as at least
+    // one healthy peer would remain ((N-1)-fault hypothesis).
+    for (std::size_t i = 0; i < sides_.size(); ++i) {
+      Side& side = sides_[i];
+      if (!side.fault && side.space > side.capacity && healthy_count() > 1) {
+        declare_fault(static_cast<int>(i), DetectionRule::kSelectorStall);
+      }
+    }
+  }
+  wake_writers();
+  return token;
+}
+
+void NSelectorChannel::await_readable(std::coroutine_handle<> reader) {
+  SCCFT_EXPECTS(!waiting_reader_);
+  waiting_reader_ = reader;
+  ++stats_.reader_blocks;
+  if (!queue_.empty()) wake_reader();
+}
+
+void NSelectorChannel::declare_fault(int replica, DetectionRule rule) {
+  Side& side = sides_[static_cast<std::size_t>(replica)];
+  SCCFT_ASSERT(!side.fault);
+  side.fault = true;
+  side.detection = NDetectionRecord{replica, rule, sim_.now()};
+  if (observer_) observer_(*side.detection);
+  if (side.waiting_writer) {
+    auto writer = side.waiting_writer;
+    side.waiting_writer = nullptr;
+    sim_.schedule_after(0, [writer] { writer.resume(); });
+  }
+}
+
+void NSelectorChannel::check_divergence() {
+  if (divergence_threshold_ <= 0) return;
+  std::uint64_t best = 0;
+  for (const Side& side : sides_) {
+    if (!side.fault) best = std::max(best, side.received);
+  }
+  for (std::size_t i = 0; i < sides_.size(); ++i) {
+    Side& side = sides_[i];
+    if (side.fault) continue;
+    if (healthy_count() <= 1) break;  // never convict the last healthy replica
+    if (best >= side.received + static_cast<std::uint64_t>(divergence_threshold_)) {
+      declare_fault(static_cast<int>(i), DetectionRule::kSelectorDivergence);
+    }
+  }
+}
+
+void NSelectorChannel::wake_reader() {
+  if (!waiting_reader_) return;
+  auto reader = waiting_reader_;
+  waiting_reader_ = nullptr;
+  sim_.schedule_after(0, [reader] { reader.resume(); });
+}
+
+void NSelectorChannel::wake_writers() {
+  for (Side& side : sides_) {
+    if (side.waiting_writer && (side.space > 0 || side.fault)) {
+      auto writer = side.waiting_writer;
+      side.waiting_writer = nullptr;
+      sim_.schedule_after(0, [writer] { writer.resume(); });
+    }
+  }
+}
+
+rtc::Tokens NSelectorChannel::space(int replica) const {
+  return sides_[static_cast<std::size_t>(replica)].space;
+}
+
+std::uint64_t NSelectorChannel::tokens_received(int replica) const {
+  return sides_[static_cast<std::size_t>(replica)].received;
+}
+
+bool NSelectorChannel::fault(int replica) const {
+  return sides_[static_cast<std::size_t>(replica)].fault;
+}
+
+std::optional<NDetectionRecord> NSelectorChannel::detection(int replica) const {
+  return sides_[static_cast<std::size_t>(replica)].detection;
+}
+
+int NSelectorChannel::healthy_count() const {
+  int healthy = 0;
+  for (const Side& side : sides_) healthy += side.fault ? 0 : 1;
+  return healthy;
+}
+
+void NSelectorChannel::freeze_writer(int replica) {
+  sides_[static_cast<std::size_t>(replica)].writer_frozen = true;
+}
+
+}  // namespace sccft::ft

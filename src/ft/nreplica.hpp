@@ -1,0 +1,232 @@
+// N-replica generalization of the replicator and selector channels.
+//
+// The paper (Section 1): "Without loss of generality, we focus on tolerating
+// at most one permanent timing fault, using two replicas ... a more general
+// setup for tolerating up to n timing faults can be easily constructed using
+// the principles outlined in this paper." This module constructs it:
+//
+//  * NReplicatorChannel — one FIFO per replica, the producer's write is
+//    duplicated into every non-faulty queue; a queue found full at a write
+//    attempt marks its replica faulty (the Eq. (3) capacities make that
+//    impossible for healthy replicas). Tolerates up to N-1 faults.
+//  * NSelectorChannel — one write interface per replica, one physical FIFO.
+//    Interface i's k-th token is the first of duplicate group k iff no peer
+//    has delivered k tokens yet (received-count test, the exact form of the
+//    paper's space comparison); later group members are dropped. Detection:
+//    stall rule (space_i > |S_i|) and divergence rule (received count lags
+//    the leader by >= D). Multiple replicas can be convicted over time, up
+//    to N-1.
+//
+// Sizing is the per-replica application of Eq. (3)-(5):
+//   |R_i| = sup(alpha_P^u - alpha_{i,in}^l),
+//   |S_i|_0 = sup(alpha_C^u - alpha_{i,out}^l),
+//   |S_i| = |S_i|_0 + sup(alpha_{i,out}^u - alpha_C^l),
+//   D = 1 + max over ordered pairs (i, j) of sup(alpha_i^u - alpha_j^l).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ft/replica.hpp"
+#include "kpn/channel.hpp"
+#include "rtc/sizing.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::ft {
+
+/// Detection record for the N-replica channels (replica index is an int).
+struct NDetectionRecord {
+  int replica = 0;
+  DetectionRule rule = DetectionRule::kReplicatorOverflow;
+  rtc::TimeNs detected_at = 0;
+};
+
+using NFaultObserver = std::function<void(const NDetectionRecord&)>;
+
+/// Per-replica timing models for the N-replica sizing analysis.
+struct NReplicaTimingModel {
+  rtc::CurveRef producer_upper, producer_lower;
+  rtc::CurveRef consumer_upper, consumer_lower;
+  std::vector<rtc::CurveRef> in_upper, in_lower;    // one per replica
+  std::vector<rtc::CurveRef> out_upper, out_lower;  // one per replica
+};
+
+struct NSizingReport {
+  std::vector<rtc::Tokens> replicator_capacity;  // |R_i|
+  std::vector<rtc::Tokens> selector_capacity;    // |S_i|
+  std::vector<rtc::Tokens> selector_initial;     // |S_i|_0
+  rtc::Tokens divergence_threshold = 0;          // D
+  rtc::TimeNs replicator_overflow_bound = 0;     // max_i (Eq. 3 fill time)
+  rtc::TimeNs selector_latency_bound = 0;        // Eq. (7)/(8) over all pairs
+};
+
+/// Runs the Section 3.4 analysis for N replicas. Throws on infeasible bounds.
+[[nodiscard]] NSizingReport analyze_n_replica_network(const NReplicaTimingModel& model,
+                                                      rtc::TimeNs horizon);
+
+/// Replicator channel with N reading interfaces.
+class NReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
+ public:
+  NReplicatorChannel(sim::Simulator& sim, std::string name,
+                     std::vector<rtc::Tokens> capacities);
+
+  [[nodiscard]] int replica_count() const { return static_cast<int>(queues_.size()); }
+  [[nodiscard]] kpn::TokenSource& read_interface(int replica);
+
+  // TokenSink (producer)
+  [[nodiscard]] bool try_write(const kpn::Token& token) override;
+  void await_writable(std::coroutine_handle<> writer) override;
+  [[nodiscard]] std::string sink_name() const override { return name_; }
+
+  // ChannelBase
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] kpn::ChannelStats stats() const override;
+
+  [[nodiscard]] bool fault(int replica) const;
+  [[nodiscard]] std::optional<NDetectionRecord> detection(int replica) const;
+  [[nodiscard]] rtc::Tokens fill(int replica) const;
+  [[nodiscard]] rtc::Tokens max_fill(int replica) const;
+  [[nodiscard]] int healthy_count() const;
+
+  void set_fault_observer(NFaultObserver observer) { observer_ = std::move(observer); }
+
+  /// Halts reads on interface `replica` (silence-fault injection support).
+  void freeze_reader(int replica);
+
+ private:
+  struct Queue {
+    rtc::Tokens capacity = 0;
+    std::deque<kpn::Token> slots;
+    std::coroutine_handle<> waiting_reader;
+    bool reader_frozen = false;
+    bool fault = false;
+    std::optional<NDetectionRecord> detection;
+    rtc::Tokens max_fill = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+
+  class ReadInterface final : public kpn::TokenSource {
+   public:
+    ReadInterface(NReplicatorChannel& owner, int replica)
+        : owner_(owner), replica_(replica) {}
+    [[nodiscard]] std::optional<kpn::Token> try_read() override {
+      return owner_.queue_try_read(replica_);
+    }
+    void await_readable(std::coroutine_handle<> reader) override {
+      owner_.queue_await_readable(replica_, reader);
+    }
+    [[nodiscard]] std::string source_name() const override {
+      return owner_.name_ + ".r" + std::to_string(replica_);
+    }
+
+   private:
+    NReplicatorChannel& owner_;
+    int replica_;
+  };
+
+  [[nodiscard]] std::optional<kpn::Token> queue_try_read(int replica);
+  void queue_await_readable(int replica, std::coroutine_handle<> reader);
+  void declare_fault(int replica);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::vector<Queue> queues_;
+  std::vector<std::unique_ptr<ReadInterface>> interfaces_;
+  std::coroutine_handle<> waiting_writer_;
+  NFaultObserver observer_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Selector channel with N writing interfaces.
+class NSelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
+ public:
+  struct Config {
+    std::vector<rtc::Tokens> capacities;  // |S_i|
+    std::vector<rtc::Tokens> initials;    // |S_i|_0
+    rtc::Tokens divergence_threshold = 0; // D; 0 disables the divergence rule
+    bool enable_stall_rule = true;
+  };
+
+  NSelectorChannel(sim::Simulator& sim, std::string name, Config config);
+
+  [[nodiscard]] int replica_count() const { return static_cast<int>(sides_.size()); }
+  [[nodiscard]] kpn::TokenSink& write_interface(int replica);
+
+  // TokenSource (consumer)
+  [[nodiscard]] std::optional<kpn::Token> try_read() override;
+  void await_readable(std::coroutine_handle<> reader) override;
+  [[nodiscard]] std::string source_name() const override { return name_; }
+
+  // ChannelBase
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] kpn::ChannelStats stats() const override { return stats_; }
+
+  [[nodiscard]] rtc::Tokens space(int replica) const;
+  [[nodiscard]] std::uint64_t tokens_received(int replica) const;
+  [[nodiscard]] bool fault(int replica) const;
+  [[nodiscard]] std::optional<NDetectionRecord> detection(int replica) const;
+  [[nodiscard]] rtc::Tokens fill() const {
+    return static_cast<rtc::Tokens>(queue_.size());
+  }
+  [[nodiscard]] int healthy_count() const;
+
+  void set_fault_observer(NFaultObserver observer) { observer_ = std::move(observer); }
+
+  /// Halts writes on interface `replica` (silence-fault injection support).
+  void freeze_writer(int replica);
+
+ private:
+  struct Side {
+    rtc::Tokens capacity = 0;
+    rtc::Tokens space = 0;
+    std::uint64_t received = 0;
+    std::coroutine_handle<> waiting_writer;
+    bool writer_frozen = false;
+    bool fault = false;
+    std::optional<NDetectionRecord> detection;
+  };
+
+  class WriteInterface final : public kpn::TokenSink {
+   public:
+    WriteInterface(NSelectorChannel& owner, int replica)
+        : owner_(owner), replica_(replica) {}
+    [[nodiscard]] bool try_write(const kpn::Token& token) override {
+      return owner_.side_try_write(replica_, token);
+    }
+    void await_writable(std::coroutine_handle<> writer) override {
+      owner_.side_await_writable(replica_, writer);
+    }
+    [[nodiscard]] std::string sink_name() const override {
+      return owner_.name_ + ".w" + std::to_string(replica_);
+    }
+
+   private:
+    NSelectorChannel& owner_;
+    int replica_;
+  };
+
+  [[nodiscard]] bool side_try_write(int replica, const kpn::Token& token);
+  void side_await_writable(int replica, std::coroutine_handle<> writer);
+  void declare_fault(int replica, DetectionRule rule);
+  void check_divergence();
+  void wake_reader();
+  void wake_writers();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::vector<Side> sides_;
+  std::vector<std::unique_ptr<WriteInterface>> interfaces_;
+  std::deque<kpn::Token> queue_;
+  rtc::Tokens divergence_threshold_ = 0;
+  bool enable_stall_rule_ = true;
+  std::coroutine_handle<> waiting_reader_;
+  kpn::ChannelStats stats_;
+  NFaultObserver observer_;
+};
+
+}  // namespace sccft::ft

@@ -1,0 +1,50 @@
+// Replica recovery / reintegration (extension beyond the paper).
+//
+// The paper tolerates one *permanent* fault and stops there; a production
+// system wants to repair: restart the faulty replica's processes and re-admit
+// it so the system regains its fault-tolerance margin. The sequence is:
+//
+//   1. the faulty replica's processes are restarted (fresh coroutines, fault
+//      state cleared) — its internal FIFOs are reset first so no stale
+//      coroutine handles remain registered anywhere;
+//   2. the replicator re-opens the replica's queue (stale tokens discarded:
+//      the replica rejoins at the producer's current stream position);
+//   3. the selector clears the fault flag and re-synchronizes the replica's
+//      received-token counter on its first write, using token sequence
+//      numbers (see SelectorChannel::reintegrate) so duplicate-pair identity
+//      is exact despite the tokens missed while the replica was down.
+//
+// After reintegration the system once again tolerates a (new) single fault —
+// including one in the other replica, which tests/ft_recovery_test.cpp
+// exercises.
+#pragma once
+
+#include <vector>
+
+#include "ft/replicator.hpp"
+#include "ft/selector.hpp"
+#include "kpn/channel.hpp"
+#include "kpn/process.hpp"
+
+namespace sccft::ft {
+
+/// Everything belonging to one replica that recovery must touch.
+struct ReplicaAssets {
+  ReplicaIndex index = ReplicaIndex::kReplica1;
+  std::vector<kpn::Process*> processes;          ///< the replica's processes
+  std::vector<kpn::FifoChannel*> internal_fifos; ///< FIFOs inside the replica
+};
+
+/// Performs the full recovery sequence for one replica. Precondition: the
+/// replica was frozen/silenced (its coroutines are parked and no channel
+/// holds a live handle to them — freeze_reader/freeze_writer guarantee this
+/// for the replicator/selector; internal FIFOs are reset here).
+inline void recover_replica(ReplicatorChannel& replicator, SelectorChannel& selector,
+                            const ReplicaAssets& assets) {
+  for (auto* fifo : assets.internal_fifos) fifo->reset();
+  replicator.reintegrate(assets.index);
+  selector.reintegrate(assets.index);
+  for (auto* process : assets.processes) process->restart();
+}
+
+}  // namespace sccft::ft

@@ -1,0 +1,52 @@
+// Replica identifiers and fault-detection records shared by the replicator
+// and selector channels.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "rtc/time.hpp"
+
+namespace sccft::ft {
+
+enum class ReplicaIndex { kReplica1 = 0, kReplica2 = 1 };
+
+[[nodiscard]] constexpr ReplicaIndex other(ReplicaIndex r) {
+  return r == ReplicaIndex::kReplica1 ? ReplicaIndex::kReplica2
+                                      : ReplicaIndex::kReplica1;
+}
+
+[[nodiscard]] constexpr int index_of(ReplicaIndex r) { return static_cast<int>(r); }
+
+[[nodiscard]] inline std::string to_string(ReplicaIndex r) {
+  return r == ReplicaIndex::kReplica1 ? "R1" : "R2";
+}
+
+/// Which detection rule fired.
+enum class DetectionRule {
+  kReplicatorOverflow,   ///< producer write attempt found space_i == 0
+  kSelectorStall,        ///< space_i exceeded |S_i| on a consumer read
+  kSelectorDivergence,   ///< |received_1 - received_2| reached D
+};
+
+[[nodiscard]] inline std::string to_string(DetectionRule rule) {
+  switch (rule) {
+    case DetectionRule::kReplicatorOverflow: return "replicator-overflow";
+    case DetectionRule::kSelectorStall: return "selector-stall";
+    case DetectionRule::kSelectorDivergence: return "selector-divergence";
+  }
+  return "?";
+}
+
+/// A fault-detection event: which replica, by which rule, when.
+struct DetectionRecord {
+  ReplicaIndex replica = ReplicaIndex::kReplica1;
+  DetectionRule rule = DetectionRule::kReplicatorOverflow;
+  rtc::TimeNs detected_at = 0;
+};
+
+/// Callback invoked exactly once per (channel, replica) on first detection.
+using FaultObserver = std::function<void(const DetectionRecord&)>;
+
+}  // namespace sccft::ft

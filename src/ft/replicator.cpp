@@ -1,0 +1,159 @@
+#include "ft/replicator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+
+ReplicatorChannel::ReplicatorChannel(sim::Simulator& sim, std::string name,
+                                     Config config)
+    : sim_(sim),
+      name_(std::move(name)),
+      read_interfaces_{ReadInterface(*this, ReplicaIndex::kReplica1),
+                       ReadInterface(*this, ReplicaIndex::kReplica2)} {
+  SCCFT_EXPECTS(config.capacity1 > 0 && config.capacity2 > 0);
+  queues_[0].capacity = config.capacity1;
+  queues_[0].link = config.link1;
+  queues_[1].capacity = config.capacity2;
+  queues_[1].link = config.link2;
+}
+
+kpn::TokenSource& ReplicatorChannel::read_interface(ReplicaIndex r) {
+  return read_interfaces_[static_cast<std::size_t>(index_of(r))];
+}
+
+bool ReplicatorChannel::try_write(const kpn::Token& token) {
+  // Section 3.3: a write attempt that finds space_i == 0 marks replica i
+  // faulty; from then on queue i receives no tokens. Applied per queue so a
+  // single fault never blocks the producer or starves the healthy replica.
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    Queue& queue = queues_[i];
+    if (!queue.fault && static_cast<rtc::Tokens>(queue.slots.size()) >= queue.capacity) {
+      declare_fault(static_cast<ReplicaIndex>(i));
+    }
+  }
+  // Rule 3 on the remaining healthy queues: all of them have space now
+  // (queues at capacity were just declared faulty), so the write proceeds.
+  bool any_healthy = false;
+  for (Queue& queue : queues_) {
+    if (queue.fault) continue;
+    any_healthy = true;
+    SCCFT_ASSERT(static_cast<rtc::Tokens>(queue.slots.size()) < queue.capacity);
+    enqueue(queue, token);
+  }
+  // Both replicas faulty exceeds the single-fault hypothesis; the write is
+  // still accepted (and dropped) so the producer is never wedged.
+  if (!any_healthy) {
+    ++queues_[0].stats.tokens_dropped;
+    ++queues_[1].stats.tokens_dropped;
+  }
+  return true;
+}
+
+void ReplicatorChannel::await_writable(std::coroutine_handle<> writer) {
+  // try_write never returns false (faults absorb overflow), so the producer
+  // never actually suspends here; kept for interface completeness.
+  SCCFT_EXPECTS(!waiting_writer_);
+  waiting_writer_ = writer;
+}
+
+void ReplicatorChannel::enqueue(Queue& queue, const kpn::Token& token) {
+  rtc::TimeNs available_at = sim_.now();
+  if (queue.link) {
+    available_at = queue.link->noc->transfer(queue.link->src, queue.link->dst,
+                                             token.size_bytes(), sim_.now());
+  }
+  queue.slots.push_back(Slot{token, available_at});
+  ++queue.stats.tokens_written;
+  queue.stats.max_fill =
+      std::max(queue.stats.max_fill, static_cast<rtc::Tokens>(queue.slots.size()));
+  if (queue.waiting_reader) wake_reader(queue, available_at);
+}
+
+void ReplicatorChannel::freeze_reader(ReplicaIndex r) {
+  Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
+  queue.reader_frozen = true;
+  queue.waiting_reader = nullptr;  // handle may soon dangle (restart)
+}
+
+void ReplicatorChannel::reintegrate(ReplicaIndex r) {
+  Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
+  queue.fault = false;
+  queue.detection.reset();
+  queue.reader_frozen = false;
+  queue.waiting_reader = nullptr;
+  queue.slots.clear();
+}
+
+std::optional<kpn::Token> ReplicatorChannel::queue_try_read(ReplicaIndex r) {
+  Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
+  if (queue.reader_frozen) return std::nullopt;
+  if (queue.slots.empty()) return std::nullopt;
+  if (queue.slots.front().available_at > sim_.now()) return std::nullopt;
+  kpn::Token token = std::move(queue.slots.front().token);
+  queue.slots.pop_front();
+  ++queue.stats.tokens_read;
+  wake_writer();
+  return token;
+}
+
+void ReplicatorChannel::queue_await_readable(ReplicaIndex r,
+                                             std::coroutine_handle<> reader) {
+  Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
+  SCCFT_EXPECTS(!queue.waiting_reader);
+  queue.waiting_reader = reader;
+  ++queue.stats.reader_blocks;
+  if (!queue.slots.empty()) {
+    wake_reader(queue, std::max(queue.slots.front().available_at, sim_.now()));
+  }
+}
+
+void ReplicatorChannel::declare_fault(ReplicaIndex r) {
+  Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
+  SCCFT_ASSERT(!queue.fault);
+  queue.fault = true;
+  queue.detection =
+      DetectionRecord{r, DetectionRule::kReplicatorOverflow, sim_.now()};
+  if (observer_) observer_(*queue.detection);
+}
+
+void ReplicatorChannel::wake_reader(Queue& queue, rtc::TimeNs when) {
+  if (queue.reader_frozen) return;  // a halted core never resumes its read
+  if (!queue.waiting_reader) return;
+  auto reader = queue.waiting_reader;
+  queue.waiting_reader = nullptr;
+  // Re-check at fire time: the replica may have been halted between the
+  // write that scheduled this wake and the token's availability instant.
+  sim_.schedule_at(std::max(when, sim_.now()), [&queue, reader] {
+    if (!queue.reader_frozen) reader.resume();
+  });
+}
+
+void ReplicatorChannel::wake_writer() {
+  if (!waiting_writer_) return;
+  auto writer = waiting_writer_;
+  waiting_writer_ = nullptr;
+  sim_.schedule_after(0, [writer] { writer.resume(); });
+}
+
+kpn::ChannelStats ReplicatorChannel::stats() const {
+  kpn::ChannelStats total;
+  for (const Queue& queue : queues_) {
+    total.max_fill = std::max(total.max_fill, queue.stats.max_fill);
+    total.tokens_written += queue.stats.tokens_written;
+    total.tokens_read += queue.stats.tokens_read;
+    total.tokens_dropped += queue.stats.tokens_dropped;
+    total.writer_blocks += queue.stats.writer_blocks;
+    total.reader_blocks += queue.stats.reader_blocks;
+  }
+  return total;
+}
+
+std::size_t ReplicatorChannel::control_memory_bytes() const {
+  // Control state only: counters, flags, waiters — not token payloads
+  // (Table 2 reports "1.5KB + N tokens"-style figures the same way).
+  return sizeof(ReplicatorChannel);
+}
+
+}  // namespace sccft::ft

@@ -1,0 +1,151 @@
+// The replicator channel (paper Section 3.1, rules 1-3; Section 3.3 fault
+// detection).
+//
+// One writing interface (the producer) and two reading interfaces (one per
+// replica). Every accepted token is duplicated into both per-replica FIFO
+// queues. Bookkeeping follows the paper exactly:
+//
+//   rule 1: two queues of capacities |R1|, |R2| with space/fill counters,
+//           initially fill_i = 0, space_i = |R_i|;
+//   rule 2: each reading interface destructively and blockingly reads its
+//           own queue; a read increments space_i and decrements fill_i;
+//   rule 3: a write enqueues into BOTH queues iff min(space_1, space_2) > 0,
+//           else the writer blocks.
+//
+// Fault detection (Section 3.3): under fault-free conditions the queues never
+// overflow (their capacities come from Eq. (3)), so if the producer attempts
+// a write and finds space_i == 0, replica i is declared faulty
+// (fault_i := TRUE) and the replicator stops inserting tokens into queue i —
+// the producer therefore never blocks on a dead replica, which prevents the
+// "deadlocked non-faulty replica" scenario of Section 1.1.
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "ft/replica.hpp"
+#include "kpn/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::ft {
+
+class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
+ public:
+  struct Config {
+    rtc::Tokens capacity1 = 1;  ///< |R1| from Eq. (3)
+    rtc::Tokens capacity2 = 1;  ///< |R2| from Eq. (3)
+    /// Optional NoC links producer->replica-input cores (latency modelling).
+    std::optional<kpn::FifoChannel::LinkModel> link1;
+    std::optional<kpn::FifoChannel::LinkModel> link2;
+  };
+
+  ReplicatorChannel(sim::Simulator& sim, std::string name, Config config);
+
+  /// The reading interface of replica `r` (single reader each).
+  [[nodiscard]] kpn::TokenSource& read_interface(ReplicaIndex r);
+
+  // TokenSink (the producer's single writing interface)
+  [[nodiscard]] bool try_write(const kpn::Token& token) override;
+  void await_writable(std::coroutine_handle<> writer) override;
+  [[nodiscard]] std::string sink_name() const override { return name_; }
+
+  // ChannelBase
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] kpn::ChannelStats stats() const override;
+
+  /// Per-queue statistics (Table 2's "Max. Observed fill" per |R_i|).
+  [[nodiscard]] kpn::ChannelStats queue_stats(ReplicaIndex r) const {
+    return queues_[static_cast<std::size_t>(index_of(r))].stats;
+  }
+
+  [[nodiscard]] bool fault(ReplicaIndex r) const {
+    return queues_[static_cast<std::size_t>(index_of(r))].fault;
+  }
+  [[nodiscard]] std::optional<DetectionRecord> detection(ReplicaIndex r) const {
+    return queues_[static_cast<std::size_t>(index_of(r))].detection;
+  }
+
+  /// Registers the observer notified on first detection per replica.
+  void set_fault_observer(FaultObserver observer) { observer_ = std::move(observer); }
+
+  /// Models the replica's core halting: from now on, no reads are served on
+  /// interface `r` (a crashed core issues no more reads, even if its process
+  /// coroutine is currently parked inside a read await). Used by silence
+  /// fault injection so that consumption stops exactly at the fault instant.
+  /// Any registered reader handle is forgotten (the coroutine may be
+  /// destroyed by a subsequent restart).
+  void freeze_reader(ReplicaIndex r);
+
+  /// Recovery extension: re-admits a previously faulty replica. Clears the
+  /// fault flag and the freeze, discards the stale queue contents (the
+  /// rejoining replica resumes from the producer's current position), and
+  /// resumes duplication into its queue.
+  void reintegrate(ReplicaIndex r);
+
+  [[nodiscard]] rtc::Tokens space(ReplicaIndex r) const {
+    const auto& queue = queues_[static_cast<std::size_t>(index_of(r))];
+    return queue.capacity - static_cast<rtc::Tokens>(queue.slots.size());
+  }
+  [[nodiscard]] rtc::Tokens fill(ReplicaIndex r) const {
+    return static_cast<rtc::Tokens>(
+        queues_[static_cast<std::size_t>(index_of(r))].slots.size());
+  }
+
+  /// Approximate resident memory of the channel's control structures in
+  /// bytes, excluding token payload storage (Table 2 "Memory overhead").
+  [[nodiscard]] std::size_t control_memory_bytes() const;
+
+ private:
+  struct Slot {
+    kpn::Token token;
+    rtc::TimeNs available_at = 0;
+  };
+  struct Queue {
+    rtc::Tokens capacity = 0;
+    std::deque<Slot> slots;
+    std::coroutine_handle<> waiting_reader;
+    bool reader_frozen = false;
+    bool fault = false;
+    std::optional<DetectionRecord> detection;
+    std::optional<kpn::FifoChannel::LinkModel> link;
+    kpn::ChannelStats stats;
+  };
+
+  /// TokenSource adapter bound to one queue.
+  class ReadInterface final : public kpn::TokenSource {
+   public:
+    ReadInterface(ReplicatorChannel& owner, ReplicaIndex replica)
+        : owner_(owner), replica_(replica) {}
+    [[nodiscard]] std::optional<kpn::Token> try_read() override {
+      return owner_.queue_try_read(replica_);
+    }
+    void await_readable(std::coroutine_handle<> reader) override {
+      owner_.queue_await_readable(replica_, reader);
+    }
+    [[nodiscard]] std::string source_name() const override {
+      return owner_.name_ + "." + to_string(replica_);
+    }
+
+   private:
+    ReplicatorChannel& owner_;
+    ReplicaIndex replica_;
+  };
+
+  [[nodiscard]] std::optional<kpn::Token> queue_try_read(ReplicaIndex r);
+  void queue_await_readable(ReplicaIndex r, std::coroutine_handle<> reader);
+  void declare_fault(ReplicaIndex r);
+  void enqueue(Queue& queue, const kpn::Token& token);
+  void wake_reader(Queue& queue, rtc::TimeNs when);
+  void wake_writer();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::array<Queue, 2> queues_;
+  std::array<ReadInterface, 2> read_interfaces_;
+  std::coroutine_handle<> waiting_writer_;
+  FaultObserver observer_;
+};
+
+}  // namespace sccft::ft

@@ -1,0 +1,226 @@
+#include "ft/selector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+
+SelectorChannel::SelectorChannel(sim::Simulator& sim, std::string name, Config config)
+    : sim_(sim),
+      name_(std::move(name)),
+      write_interfaces_{WriteInterface(*this, ReplicaIndex::kReplica1),
+                        WriteInterface(*this, ReplicaIndex::kReplica2)},
+      divergence_threshold_(config.divergence_threshold),
+      enable_stall_rule_(config.enable_stall_rule) {
+  SCCFT_EXPECTS(config.capacity1 > 0 && config.capacity2 > 0);
+  SCCFT_EXPECTS(config.initial1 >= 0 && config.initial1 <= config.capacity1);
+  SCCFT_EXPECTS(config.initial2 >= 0 && config.initial2 <= config.capacity2);
+  SCCFT_EXPECTS(config.divergence_threshold >= 0);
+  sides_[0].capacity = config.capacity1;
+  sides_[0].space = config.capacity1 - config.initial1;
+  sides_[0].initial = config.initial1;
+  sides_[0].link = config.link1;
+  sides_[1].capacity = config.capacity2;
+  sides_[1].space = config.capacity2 - config.initial2;
+  sides_[1].initial = config.initial2;
+  sides_[1].link = config.link2;
+}
+
+kpn::TokenSink& SelectorChannel::write_interface(ReplicaIndex r) {
+  return write_interfaces_[static_cast<std::size_t>(index_of(r))];
+}
+
+void SelectorChannel::preload_initial_tokens(const kpn::Token& token) {
+  SCCFT_EXPECTS(queue_.empty());
+  pending_preload_ =
+      std::max(sides_[0].capacity - sides_[0].space, sides_[1].capacity - sides_[1].space);
+  for (rtc::Tokens i = 0; i < pending_preload_; ++i) {
+    queue_.push_back(Slot{token, sim_.now(), std::nullopt});
+  }
+}
+
+bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
+  Side& side = sides_[static_cast<std::size_t>(index_of(r))];
+  Side& peer = sides_[static_cast<std::size_t>(index_of(other(r)))];
+
+  if (side.fault || side.writer_frozen) {
+    // A replica already declared faulty (or halted by fault injection) can
+    // neither block nor corrupt the stream: its writes are accepted and
+    // discarded.
+    ++stats_.tokens_dropped;
+    return true;
+  }
+  if (side.space == 0) {
+    // Rule 3: the writer blocks. Lemma 1: this depends only on space_i.
+    ++stats_.writer_blocks;
+    return false;
+  }
+
+  if (side.resync_pending) {
+    // Recovery: align this side's counter with the peer's using sequence
+    // numbers, so duplicate-pair identity stays exact despite the tokens
+    // this replica missed while down. After this, token.seq ==
+    // peer.last_seq + 1 is fresh; anything at or below peer.last_seq is a
+    // late duplicate. The space counter is re-anchored here too: the reads
+    // that happened while the replica refilled its pipeline must not count
+    // against its stall budget.
+    side.resync_pending = false;
+    side.space = side.capacity - side.initial;
+    if (peer.tokens_received > 0) {
+      const auto delta = static_cast<std::int64_t>(token.seq()) -
+                         static_cast<std::int64_t>(peer.last_seq) - 1;
+      const auto synced = static_cast<std::int64_t>(peer.tokens_received) + delta;
+      side.tokens_received = synced > 0 ? static_cast<std::uint64_t>(synced) : 0;
+    }
+  }
+
+  // First-of-pair test. The paper states this as "space_i <= space_j", which
+  // equals the received-token comparison below exactly when both interfaces
+  // start with the same free space (space_i(0) = space_j(0)). With per-
+  // replica capacities and initial fills (|S_1|-|S_1|_0 != |S_2|-|S_2|_0 for
+  // both paper applications) the raw space comparison is biased by the
+  // constant offset and drops one healthy token at failover; comparing
+  // received counts implements the intended semantics — interface i's k-th
+  // token is the first of pair k iff the peer has delivered fewer than k —
+  // exactly (KPN determinacy + FIFO order make the k-th arrival token k).
+  const bool first_of_pair = side.tokens_received + 1 > peer.tokens_received;
+  side.space -= 1;
+  side.tokens_received += 1;
+  side.last_seq = token.seq();
+  ++stats_.tokens_written;
+
+  if (first_of_pair) {
+    rtc::TimeNs available_at = sim_.now();
+    if (side.link) {
+      available_at = side.link->noc->transfer(side.link->src, side.link->dst,
+                                              token.size_bytes(), sim_.now());
+    }
+    queue_.push_back(Slot{token, available_at, r});
+    side.virtual_fill += 1;
+    side.max_virtual_fill = std::max(side.max_virtual_fill, side.virtual_fill);
+    stats_.max_fill = std::max(stats_.max_fill, fill() - pending_preload_);
+    if (waiting_reader_) wake_reader(available_at);
+  } else {
+    // Late duplicate of a token the peer already delivered: dropped.
+    ++stats_.tokens_dropped;
+  }
+
+  check_divergence();
+  return true;
+}
+
+void SelectorChannel::freeze_writer(ReplicaIndex r) {
+  Side& side = sides_[static_cast<std::size_t>(index_of(r))];
+  side.writer_frozen = true;
+  side.waiting_writer = nullptr;  // handle may soon dangle (restart)
+}
+
+void SelectorChannel::reintegrate(ReplicaIndex r) {
+  Side& side = sides_[static_cast<std::size_t>(index_of(r))];
+  side.fault = false;
+  side.detection.reset();
+  side.writer_frozen = false;
+  side.waiting_writer = nullptr;
+  side.space = side.capacity - side.initial;
+  side.virtual_fill = 0;
+  side.resync_pending = true;
+}
+
+void SelectorChannel::side_await_writable(ReplicaIndex r, std::coroutine_handle<> writer) {
+  Side& side = sides_[static_cast<std::size_t>(index_of(r))];
+  SCCFT_EXPECTS(!side.waiting_writer);
+  side.waiting_writer = writer;
+}
+
+std::optional<kpn::Token> SelectorChannel::try_read() {
+  if (queue_.empty()) return std::nullopt;
+  if (queue_.front().available_at > sim_.now()) return std::nullopt;
+  Slot slot = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.tokens_read;
+
+  // Rule 2: a read increments ALL space variables and decrements fill.
+  for (Side& side : sides_) side.space += 1;
+  if (slot.origin) {
+    Side& origin = sides_[static_cast<std::size_t>(index_of(*slot.origin))];
+    SCCFT_ASSERT(origin.virtual_fill > 0);
+    origin.virtual_fill -= 1;
+  } else {
+    SCCFT_ASSERT(pending_preload_ > 0);
+    pending_preload_ -= 1;
+  }
+
+  // Detection rule (a): replica i is faulty once space_i exceeds |S_i|.
+  // A side awaiting its post-recovery resync is immune: its counters refer
+  // to the pre-fault epoch until its first write re-anchors them.
+  if (enable_stall_rule_) {
+    for (std::size_t i = 0; i < sides_.size(); ++i) {
+      Side& side = sides_[i];
+      if (!side.fault && !side.resync_pending && !sides_[1 - i].fault &&
+          side.space > side.capacity) {
+        declare_fault(static_cast<ReplicaIndex>(i), DetectionRule::kSelectorStall);
+      }
+    }
+  }
+
+  wake_writers();
+  return std::move(slot.token);
+}
+
+void SelectorChannel::await_readable(std::coroutine_handle<> reader) {
+  SCCFT_EXPECTS(!waiting_reader_);
+  waiting_reader_ = reader;
+  ++stats_.reader_blocks;
+  if (!queue_.empty()) {
+    wake_reader(std::max(queue_.front().available_at, sim_.now()));
+  }
+}
+
+void SelectorChannel::declare_fault(ReplicaIndex r, DetectionRule rule) {
+  Side& side = sides_[static_cast<std::size_t>(index_of(r))];
+  SCCFT_ASSERT(!side.fault);
+  side.fault = true;
+  side.detection = DetectionRecord{r, rule, sim_.now()};
+  if (observer_) observer_(*side.detection);
+  // If the (now-faulty) replica is blocked on this interface, release it so a
+  // zombie replica cannot wedge; its retried write will be accepted-and-
+  // dropped via the fault path.
+  if (side.waiting_writer) {
+    auto writer = side.waiting_writer;
+    side.waiting_writer = nullptr;
+    sim_.schedule_after(0, [writer] { writer.resume(); });
+  }
+}
+
+void SelectorChannel::check_divergence() {
+  if (divergence_threshold_ <= 0) return;
+  if (sides_[0].fault || sides_[1].fault) return;  // single-fault hypothesis
+  if (sides_[0].resync_pending || sides_[1].resync_pending) return;  // recovery grace
+  const auto w1 = static_cast<std::int64_t>(sides_[0].tokens_received);
+  const auto w2 = static_cast<std::int64_t>(sides_[1].tokens_received);
+  if (std::abs(w1 - w2) >= divergence_threshold_) {
+    declare_fault(w1 < w2 ? ReplicaIndex::kReplica1 : ReplicaIndex::kReplica2,
+                  DetectionRule::kSelectorDivergence);
+  }
+}
+
+void SelectorChannel::wake_reader(rtc::TimeNs when) {
+  if (!waiting_reader_) return;
+  auto reader = waiting_reader_;
+  waiting_reader_ = nullptr;
+  sim_.schedule_at(std::max(when, sim_.now()), [reader] { reader.resume(); });
+}
+
+void SelectorChannel::wake_writers() {
+  for (Side& side : sides_) {
+    if (side.waiting_writer && (side.space > 0 || side.fault)) {
+      auto writer = side.waiting_writer;
+      side.waiting_writer = nullptr;
+      sim_.schedule_after(0, [writer] { writer.resume(); });
+    }
+  }
+}
+
+}  // namespace sccft::ft

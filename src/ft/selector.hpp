@@ -1,0 +1,180 @@
+// The selector channel (paper Section 3.1, rules 1-3; Section 3.3 fault
+// detection).
+//
+// Two writing interfaces (one per replica) and a single reading interface
+// (the consumer). The selector keeps ONE physical FIFO of capacity
+// |S| = max(|S1|, |S2|) and two virtual space counters:
+//
+//   rule 1: fill = 0, space_i = |S_i| initially (with Eq. (4) initial tokens
+//           preloaded, space_i starts at |S_i| - |S_i|_0 and fill at the
+//           preload count);
+//   rule 2: a consumer read increments BOTH space counters and decrements
+//           fill;
+//   rule 3: a write on interface i blocks if space_i == 0; otherwise, if
+//           space_i <= space_j the token is the FIRST of its duplicate pair
+//           and is enqueued (fill++), else it is the LATE duplicate and is
+//           dropped; space_i is decremented either way.
+//
+// Lemma 1 (isolation) holds by construction: interface j never touches
+// space_i, so back-pressure on replica i is independent of replica j.
+//
+// Fault detection (Section 3.3):
+//  (a) stall rule  — on a read, if space_i > |S_i| then replica i has fallen
+//      so far behind that it would eventually stall the consumer: faulty.
+//  (b) divergence rule — the difference in tokens *received* per interface
+//      |W_1 - W_2| reaching the Eq. (5) threshold D implicates the replica
+//      with fewer tokens. (The paper phrases this as |space_1 - space_2|;
+//      with equal |S_i| - |S_i|_0 the two are identical, and the received-
+//      token difference is the quantity its Eq. (6) latency analysis uses.)
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "ft/replica.hpp"
+#include "kpn/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::ft {
+
+class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
+ public:
+  struct Config {
+    rtc::Tokens capacity1 = 1;       ///< |S1|
+    rtc::Tokens capacity2 = 1;       ///< |S2|
+    rtc::Tokens initial1 = 0;        ///< |S1|_0 (Eq. 4)
+    rtc::Tokens initial2 = 0;        ///< |S2|_0
+    rtc::Tokens divergence_threshold = 0;  ///< D (Eq. 5); 0 disables rule (b)
+    bool enable_stall_rule = true;         ///< rule (a); ablatable
+    /// Optional NoC links replica-output -> consumer cores.
+    std::optional<kpn::FifoChannel::LinkModel> link1;
+    std::optional<kpn::FifoChannel::LinkModel> link2;
+  };
+
+  SelectorChannel(sim::Simulator& sim, std::string name, Config config);
+
+  /// The writing interface of replica `r` (single writer each).
+  [[nodiscard]] kpn::TokenSink& write_interface(ReplicaIndex r);
+
+  /// Optionally preloads the Eq. (4) initial tokens physically
+  /// (max(|S1|_0, |S2|_0) copies of `token`) so the consumer never blocks,
+  /// even at startup. The space counters are offset by |S_i|_0 either way
+  /// (rule 1 with initial conditions); without physical preload the consumer
+  /// simply blocks for the pipeline-fill transient, as the paper's
+  /// experimental setup does. Call before the run starts.
+  void preload_initial_tokens(const kpn::Token& token);
+
+  // TokenSource (the consumer's single reading interface)
+  [[nodiscard]] std::optional<kpn::Token> try_read() override;
+  void await_readable(std::coroutine_handle<> reader) override;
+  [[nodiscard]] std::string source_name() const override { return name_; }
+
+  // ChannelBase
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] kpn::ChannelStats stats() const override { return stats_; }
+
+  [[nodiscard]] rtc::Tokens space(ReplicaIndex r) const {
+    return sides_[static_cast<std::size_t>(index_of(r))].space;
+  }
+  [[nodiscard]] rtc::Tokens fill() const { return static_cast<rtc::Tokens>(queue_.size()); }
+
+  /// High-water mark of FIFO occupancy beyond the not-yet-consumed preload
+  /// (Table 2 reports observed fills this way: initial tokens excluded).
+  [[nodiscard]] rtc::Tokens max_observed_fill(ReplicaIndex r) const {
+    return sides_[static_cast<std::size_t>(index_of(r))].max_virtual_fill;
+  }
+
+  [[nodiscard]] std::uint64_t tokens_received(ReplicaIndex r) const {
+    return sides_[static_cast<std::size_t>(index_of(r))].tokens_received;
+  }
+
+  [[nodiscard]] bool fault(ReplicaIndex r) const {
+    return sides_[static_cast<std::size_t>(index_of(r))].fault;
+  }
+  [[nodiscard]] std::optional<DetectionRecord> detection(ReplicaIndex r) const {
+    return sides_[static_cast<std::size_t>(index_of(r))].detection;
+  }
+
+  void set_fault_observer(FaultObserver observer) { observer_ = std::move(observer); }
+
+  /// Models the replica's core halting: writes on interface `r` are accepted
+  /// and discarded from now on (a token half-written by a crashed core never
+  /// materializes). Used by silence fault injection so production stops
+  /// exactly at the fault instant. Any registered writer handle is forgotten.
+  void freeze_writer(ReplicaIndex r);
+
+  /// Recovery extension: re-admits a previously faulty replica. The space
+  /// counter restarts at |S_i| - |S_i|_0 and the received-token counter is
+  /// re-synchronized on the replica's first write after rejoining, using the
+  /// token's sequence number against the peer's last delivered sequence —
+  /// this restores exact duplicate-pair alignment even though the rejoining
+  /// replica skipped the tokens that were in flight while it was down.
+  void reintegrate(ReplicaIndex r);
+
+  /// Control-structure memory, payloads excluded (Table 2 memory overhead).
+  [[nodiscard]] std::size_t control_memory_bytes() const { return sizeof(SelectorChannel); }
+
+ private:
+  struct Slot {
+    kpn::Token token;
+    rtc::TimeNs available_at = 0;
+    std::optional<ReplicaIndex> origin;  ///< nullopt for preloaded tokens
+  };
+  struct Side {
+    rtc::Tokens capacity = 0;        ///< |S_i|
+    rtc::Tokens space = 0;           ///< space_i
+    std::uint64_t tokens_received = 0;  ///< W_i: accepted writes (queued or dropped)
+    rtc::Tokens virtual_fill = 0;    ///< enqueued-from-i minus consumed, >= 0
+    rtc::Tokens max_virtual_fill = 0;
+    rtc::Tokens initial = 0;         ///< |S_i|_0 (kept for reintegration)
+    std::uint64_t last_seq = 0;      ///< sequence of the most recent write
+    bool resync_pending = false;     ///< first write after reintegrate()
+    std::coroutine_handle<> waiting_writer;
+    bool writer_frozen = false;
+    bool fault = false;
+    std::optional<DetectionRecord> detection;
+    std::optional<kpn::FifoChannel::LinkModel> link;
+  };
+
+  class WriteInterface final : public kpn::TokenSink {
+   public:
+    WriteInterface(SelectorChannel& owner, ReplicaIndex replica)
+        : owner_(owner), replica_(replica) {}
+    [[nodiscard]] bool try_write(const kpn::Token& token) override {
+      return owner_.side_try_write(replica_, token);
+    }
+    void await_writable(std::coroutine_handle<> writer) override {
+      owner_.side_await_writable(replica_, writer);
+    }
+    [[nodiscard]] std::string sink_name() const override {
+      return owner_.name_ + "." + to_string(replica_);
+    }
+
+   private:
+    SelectorChannel& owner_;
+    ReplicaIndex replica_;
+  };
+
+  [[nodiscard]] bool side_try_write(ReplicaIndex r, const kpn::Token& token);
+  void side_await_writable(ReplicaIndex r, std::coroutine_handle<> writer);
+  void declare_fault(ReplicaIndex r, DetectionRule rule);
+  void check_divergence();
+  void wake_reader(rtc::TimeNs when);
+  void wake_writers();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::array<Side, 2> sides_;
+  std::array<WriteInterface, 2> write_interfaces_;
+  std::deque<Slot> queue_;
+  rtc::Tokens pending_preload_ = 0;  ///< preloaded tokens not yet consumed
+  rtc::Tokens divergence_threshold_ = 0;
+  bool enable_stall_rule_ = true;
+  std::coroutine_handle<> waiting_reader_;
+  kpn::ChannelStats stats_;
+  FaultObserver observer_;
+};
+
+}  // namespace sccft::ft

@@ -1,0 +1,90 @@
+#include "kpn/channel.hpp"
+
+#include <algorithm>
+
+namespace sccft::kpn {
+
+FifoChannel::FifoChannel(sim::Simulator& sim, std::string name, rtc::Tokens capacity,
+                         std::optional<LinkModel> link)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity), link_(std::move(link)) {
+  SCCFT_EXPECTS(capacity_ > 0);
+  if (link_) {
+    SCCFT_EXPECTS(link_->noc != nullptr);
+    SCCFT_EXPECTS(link_->src.valid() && link_->dst.valid());
+  }
+}
+
+std::optional<Token> FifoChannel::try_read() {
+  if (queue_.empty()) return std::nullopt;
+  if (queue_.front().available_at > sim_.now()) return std::nullopt;
+  Token token = std::move(queue_.front().token);
+  queue_.pop_front();
+  ++stats_.tokens_read;
+  wake_writer();
+  return token;
+}
+
+void FifoChannel::await_readable(std::coroutine_handle<> reader) {
+  SCCFT_EXPECTS(!waiting_reader_);
+  waiting_reader_ = reader;
+  ++stats_.reader_blocks;
+  // If a token is already queued but still in flight, arrange a wake at its
+  // availability time (its enqueue event may have fired before we waited).
+  if (!queue_.empty()) {
+    wake_reader_at(std::max(queue_.front().available_at, sim_.now()));
+  }
+}
+
+bool FifoChannel::try_write(const Token& token) {
+  if (fill() >= capacity_) {
+    ++stats_.writer_blocks;
+    return false;
+  }
+  TimeNs available_at = sim_.now();
+  if (link_) {
+    available_at = link_->noc->transfer(link_->src, link_->dst, token.size_bytes(),
+                                        sim_.now());
+  }
+  queue_.push_back(Slot{token, available_at});
+  ++stats_.tokens_written;
+  stats_.max_fill = std::max(stats_.max_fill, fill());
+  if (record_writes_) write_trace_.push_back(sim_.now());
+  if (waiting_reader_) wake_reader_at(available_at);
+  return true;
+}
+
+void FifoChannel::await_writable(std::coroutine_handle<> writer) {
+  SCCFT_EXPECTS(!waiting_writer_);
+  waiting_writer_ = writer;
+}
+
+void FifoChannel::preload(const Token& token, rtc::Tokens count) {
+  SCCFT_EXPECTS(count >= 0);
+  SCCFT_EXPECTS(fill() + count <= capacity_);
+  for (rtc::Tokens i = 0; i < count; ++i) {
+    queue_.push_back(Slot{token, sim_.now()});
+  }
+  stats_.max_fill = std::max(stats_.max_fill, fill());
+}
+
+void FifoChannel::reset() {
+  queue_.clear();
+  waiting_reader_ = nullptr;
+  waiting_writer_ = nullptr;
+}
+
+void FifoChannel::wake_reader_at(TimeNs when) {
+  if (!waiting_reader_) return;
+  auto reader = waiting_reader_;
+  waiting_reader_ = nullptr;
+  sim_.schedule_at(std::max(when, sim_.now()), [reader] { reader.resume(); });
+}
+
+void FifoChannel::wake_writer() {
+  if (!waiting_writer_) return;
+  auto writer = waiting_writer_;
+  waiting_writer_ = nullptr;
+  sim_.schedule_after(0, [writer] { writer.resume(); });
+}
+
+}  // namespace sccft::kpn

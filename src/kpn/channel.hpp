@@ -1,0 +1,198 @@
+// Channel interfaces and the bounded blocking FIFO channel.
+//
+// Processes communicate exclusively "via read and write operations on FIFO
+// channels with finite capacities, and the processes have blocking semantics"
+// (Section 2). The read/write interfaces here are the coroutine equivalent:
+// `co_await read(src)` suspends the process until a token is available;
+// `co_await write(sink, token)` suspends it until the channel accepts the
+// token. All channels are single-reader/single-writer per interface, matching
+// the paper's process-network model; the replicator and selector (src/ft/)
+// implement the same interfaces with their multi-interface semantics.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kpn/token.hpp"
+#include "scc/noc.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::kpn {
+
+/// Read interface: destructive, blocking, single reader.
+class TokenSource {
+ public:
+  virtual ~TokenSource() = default;
+
+  /// Takes the next token if one is available *now*; nullopt otherwise.
+  [[nodiscard]] virtual std::optional<Token> try_read() = 0;
+
+  /// Registers the (single) reader coroutine to be resumed when a token
+  /// becomes available. Pre: no other reader is registered.
+  virtual void await_readable(std::coroutine_handle<> reader) = 0;
+
+  [[nodiscard]] virtual std::string source_name() const = 0;
+};
+
+/// Write interface: blocking, single writer per interface.
+class TokenSink {
+ public:
+  virtual ~TokenSink() = default;
+
+  /// Attempts to hand `token` to the channel. Returns true if the write
+  /// completed (the channel may internally enqueue *or drop* the token — the
+  /// selector drops late duplicates; either way the write has succeeded from
+  /// the writer's perspective). Returns false if the writer must block.
+  [[nodiscard]] virtual bool try_write(const Token& token) = 0;
+
+  /// Registers the (single) writer coroutine of this interface to be resumed
+  /// when the channel can accept a token again.
+  virtual void await_writable(std::coroutine_handle<> writer) = 0;
+
+  [[nodiscard]] virtual std::string sink_name() const = 0;
+};
+
+/// Awaitable returned by read(): suspends until a token is available.
+class [[nodiscard]] ReadAwaiter final {
+ public:
+  explicit ReadAwaiter(TokenSource& source) : source_(source) {}
+
+  bool await_ready() {
+    token_ = source_.try_read();
+    return token_.has_value();
+  }
+  void await_suspend(std::coroutine_handle<> handle) { source_.await_readable(handle); }
+  Token await_resume() {
+    if (!token_) {
+      token_ = source_.try_read();
+      SCCFT_ASSERT(token_.has_value());  // channels resume readers only when readable
+    }
+    return std::move(*token_);
+  }
+
+ private:
+  TokenSource& source_;
+  std::optional<Token> token_;
+};
+
+/// Awaitable returned by write(): suspends until the channel accepts.
+class [[nodiscard]] WriteAwaiter final {
+ public:
+  WriteAwaiter(TokenSink& sink, Token token) : sink_(sink), token_(std::move(token)) {}
+
+  bool await_ready() {
+    accepted_ = sink_.try_write(token_);
+    return accepted_;
+  }
+  void await_suspend(std::coroutine_handle<> handle) { sink_.await_writable(handle); }
+  void await_resume() {
+    if (!accepted_) {
+      accepted_ = sink_.try_write(token_);
+      SCCFT_ASSERT(accepted_);  // channels resume writers only when writable
+    }
+  }
+
+ private:
+  TokenSink& sink_;
+  Token token_;
+  bool accepted_ = false;
+};
+
+[[nodiscard]] inline ReadAwaiter read(TokenSource& source) { return ReadAwaiter(source); }
+[[nodiscard]] inline WriteAwaiter write(TokenSink& sink, Token token) {
+  return WriteAwaiter(sink, std::move(token));
+}
+
+/// Occupancy and traffic statistics every channel keeps.
+struct ChannelStats {
+  rtc::Tokens max_fill = 0;        ///< high-water mark of queued tokens
+  std::uint64_t tokens_written = 0;
+  std::uint64_t tokens_read = 0;
+  std::uint64_t tokens_dropped = 0;   ///< selector-style duplicate drops
+  std::uint64_t writer_blocks = 0;    ///< times a writer had to suspend
+  std::uint64_t reader_blocks = 0;    ///< times a reader had to suspend
+};
+
+/// Root of the channel ownership hierarchy (networks own channels by base).
+class ChannelBase {
+ public:
+  virtual ~ChannelBase() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual ChannelStats stats() const = 0;
+};
+
+/// Bounded, blocking, single-reader single-writer FIFO channel.
+///
+/// If constructed with a NoC link (source/destination cores plus the platform
+/// NoC model), each token becomes *visible to the reader* only after the
+/// modelled transfer latency; it occupies FIFO space from the moment the
+/// write commits (the sender's iRCCE put reserves the MPB slot immediately).
+class FifoChannel final : public ChannelBase, public TokenSource, public TokenSink {
+ public:
+  /// A NoC-backed link between two mapped cores.
+  struct LinkModel {
+    scc::NocModel* noc = nullptr;
+    scc::CoreId src{};
+    scc::CoreId dst{};
+  };
+
+  FifoChannel(sim::Simulator& sim, std::string name, rtc::Tokens capacity,
+              std::optional<LinkModel> link = std::nullopt);
+
+  // TokenSource
+  [[nodiscard]] std::optional<Token> try_read() override;
+  void await_readable(std::coroutine_handle<> reader) override;
+  [[nodiscard]] std::string source_name() const override { return name_; }
+
+  // TokenSink
+  [[nodiscard]] bool try_write(const Token& token) override;
+  void await_writable(std::coroutine_handle<> writer) override;
+  [[nodiscard]] std::string sink_name() const override { return name_; }
+
+  // ChannelBase
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] ChannelStats stats() const override { return stats_; }
+
+  [[nodiscard]] rtc::Tokens capacity() const { return capacity_; }
+  [[nodiscard]] rtc::Tokens fill() const { return static_cast<rtc::Tokens>(queue_.size()); }
+
+  /// Pre-loads `count` copies of `token` (initial tokens |S|_0 per Eq. (4)).
+  void preload(const Token& token, rtc::Tokens count);
+
+  /// Enables recording of write timestamps (for curve calibration).
+  void enable_write_trace() { record_writes_ = true; }
+  [[nodiscard]] const std::vector<TimeNs>& write_trace() const { return write_trace_; }
+
+  /// Discards all queued tokens and forgets any registered waiters. Used
+  /// when the processes at both ends are being restarted (replica recovery):
+  /// their old coroutines are destroyed, so stored handles must not be
+  /// resumed.
+  void reset();
+
+ private:
+  struct Slot {
+    Token token;
+    TimeNs available_at = 0;
+  };
+
+  void wake_reader_at(TimeNs when);
+  void wake_writer();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  rtc::Tokens capacity_;
+  std::optional<LinkModel> link_;
+  std::deque<Slot> queue_;
+  std::coroutine_handle<> waiting_reader_;
+  std::coroutine_handle<> waiting_writer_;
+  ChannelStats stats_;
+  bool record_writes_ = false;
+  std::vector<TimeNs> write_trace_;
+};
+
+}  // namespace sccft::kpn

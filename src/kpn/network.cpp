@@ -1,0 +1,76 @@
+#include "kpn/network.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::kpn {
+
+Process& Network::add_process(std::string name, scc::CoreId core, std::uint64_t seed,
+                              Process::BodyFactory body) {
+  SCCFT_EXPECTS(!started_);
+  SCCFT_EXPECTS(find_process(name) == nullptr);
+  processes_.push_back(
+      std::make_unique<Process>(sim_, std::move(name), core, seed, std::move(body)));
+  return *processes_.back();
+}
+
+FifoChannel& Network::add_fifo(std::string name, rtc::Tokens capacity,
+                               std::optional<FifoChannel::LinkModel> link) {
+  SCCFT_EXPECTS(find_channel(name) == nullptr);
+  auto channel = std::make_unique<FifoChannel>(sim_, std::move(name), capacity,
+                                               std::move(link));
+  FifoChannel& ref = *channel;
+  channels_.push_back(std::move(channel));
+  return ref;
+}
+
+void Network::register_edge(const std::string& from_process,
+                            const std::string& to_process,
+                            const std::string& via_channel, int token_bytes) {
+  edges_.push_back(Edge{from_process, to_process, via_channel, token_bytes});
+}
+
+void Network::start() {
+  SCCFT_EXPECTS(!started_);
+  started_ = true;
+  for (auto& process : processes_) process->start();
+}
+
+void Network::run_until(rtc::TimeNs until) {
+  if (!started_) start();
+  sim_.run_until(until);
+  rethrow_failures();
+}
+
+void Network::rethrow_failures() const {
+  for (const auto& process : processes_) {
+    if (process->started()) process->rethrow_if_failed();
+  }
+}
+
+Process* Network::find_process(const std::string& name) {
+  for (auto& process : processes_) {
+    if (process->name() == name) return process.get();
+  }
+  return nullptr;
+}
+
+ChannelBase* Network::find_channel(const std::string& name) {
+  for (auto& channel : channels_) {
+    if (channel->name() == name) return channel.get();
+  }
+  return nullptr;
+}
+
+std::string Network::render_topology() const {
+  std::ostringstream os;
+  for (const auto& edge : edges_) {
+    os << "  " << edge.from << " --[" << edge.channel;
+    if (edge.token_bytes > 0) os << ", " << edge.token_bytes << " B/token";
+    os << "]--> " << edge.to << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sccft::kpn

@@ -1,0 +1,85 @@
+// Process-network container: owns processes and channels, runs them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kpn/channel.hpp"
+#include "kpn/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::kpn {
+
+/// A dataflow process network: processes (coroutines) + channels (FIFOs,
+/// replicators, selectors), with a recorded topology for rendering and
+/// mapping. Owns everything; addresses of processes and channels are stable
+/// for the network's lifetime.
+class Network final {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Adds a process; returns a stable reference.
+  Process& add_process(std::string name, scc::CoreId core, std::uint64_t seed,
+                       Process::BodyFactory body);
+
+  /// Adds a plain FIFO channel; returns a stable reference.
+  FifoChannel& add_fifo(std::string name, rtc::Tokens capacity,
+                        std::optional<FifoChannel::LinkModel> link = std::nullopt);
+
+  /// Transfers ownership of a custom channel (replicator, selector, ...).
+  template <typename ChannelT>
+  ChannelT& adopt_channel(std::unique_ptr<ChannelT> channel) {
+    ChannelT& ref = *channel;
+    channels_.push_back(std::move(channel));
+    return ref;
+  }
+
+  /// Records a topology edge for rendering / mapping (purely metadata; the
+  /// actual wiring is the interfaces captured by process bodies).
+  void register_edge(const std::string& from_process, const std::string& to_process,
+                     const std::string& via_channel, int token_bytes = 0);
+
+  /// Starts every process (at the current simulated time) and runs the
+  /// simulator until `until`. Rethrows the first exception that escaped a
+  /// process body.
+  void run_until(rtc::TimeNs until);
+
+  /// Starts processes without running (caller drives the simulator).
+  void start();
+
+  /// Rethrows the first captured process exception, if any.
+  void rethrow_failures() const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<ChannelBase>>& channels() const {
+    return channels_;
+  }
+  [[nodiscard]] Process* find_process(const std::string& name);
+  [[nodiscard]] ChannelBase* find_channel(const std::string& name);
+
+  struct Edge {
+    std::string from, to, channel;
+    int token_bytes = 0;
+  };
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// ASCII rendering of the topology (one "from --channel--> to" line per
+  /// edge), used by the Figure 1 / Figure 2 benches.
+  [[nodiscard]] std::string render_topology() const;
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<ChannelBase>> channels_;
+  std::vector<Edge> edges_;
+  bool started_ = false;
+};
+
+}  // namespace sccft::kpn

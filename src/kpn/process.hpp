@@ -1,0 +1,128 @@
+// Processes: coroutine actors mapped onto SCC cores.
+//
+// A process is a named coroutine with blocking-FIFO semantics, mapped to one
+// core (the paper maps one process per tile). Its body receives a
+// ProcessContext giving access to simulated time, per-process deterministic
+// randomness, compute-delay modelling, and the fault gate through which the
+// fault injector (src/ft/fault_injector.hpp) turns a healthy process into a
+// silent or degraded one.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "scc/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::kpn {
+
+/// Mutable fault status shared between a process and the fault injector.
+///
+/// The paper's fault model (Section 2): a faulty replica "either stops
+/// producing (or consuming) tokens, or does so at a rate lower than
+/// expected".
+struct FaultState {
+  bool silenced = false;      ///< process permanently stops at its next gate
+  double rate_factor = 1.0;   ///< >1.0 slows the process down proportionally
+  rtc::TimeNs faulted_at = -1;  ///< simulated time of injection, -1 if none
+
+  [[nodiscard]] bool faulty() const { return silenced || rate_factor > 1.0; }
+};
+
+class Process;
+
+/// Execution context handed to a process body.
+class ProcessContext final {
+ public:
+  ProcessContext(sim::Simulator& sim, std::string name, scc::CoreId core,
+                 std::uint64_t seed)
+      : sim_(sim), name_(std::move(name)), core_(core), rng_(seed) {}
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] rtc::TimeNs now() const { return sim_.now(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] scc::CoreId core() const { return core_; }
+  [[nodiscard]] util::Xoshiro256& rng() { return rng_; }
+
+  /// Models `ns` of computation on this core. Scaled by the fault state's
+  /// rate factor, so a degraded process computes proportionally slower.
+  [[nodiscard]] sim::Delay compute(rtc::TimeNs ns) {
+    const auto scaled =
+        static_cast<rtc::TimeNs>(static_cast<double>(ns) * fault_.rate_factor);
+    return sim::Delay{sim_, scaled};
+  }
+
+  /// Plain simulated-time delay (not affected by faults).
+  [[nodiscard]] sim::Delay delay(rtc::TimeNs ns) { return sim::Delay{sim_, ns}; }
+
+  [[nodiscard]] FaultState& fault() { return fault_; }
+  [[nodiscard]] const FaultState& fault() const { return fault_; }
+
+  /// True once the injector has silenced this process; bodies should
+  /// `co_await sim::Forever{}` when they observe this (see
+  /// SCCFT_FAULT_GATE below).
+  [[nodiscard]] bool silenced() const { return fault_.silenced; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  scc::CoreId core_;
+  util::Xoshiro256 rng_;
+  FaultState fault_;
+};
+
+/// Standard fault gate for process bodies: park forever if silenced.
+/// (A macro because `co_await` must appear in the body's own frame.)
+#define SCCFT_FAULT_GATE(ctx)                      \
+  do {                                             \
+    if ((ctx).silenced()) co_await ::sccft::sim::Forever{}; \
+  } while (false)
+
+/// A named, mapped process. The body factory is invoked once when the
+/// network starts; the resulting task is owned by the process.
+class Process final {
+ public:
+  using BodyFactory = std::function<sim::Task(ProcessContext&)>;
+
+  Process(sim::Simulator& sim, std::string name, scc::CoreId core, std::uint64_t seed,
+          BodyFactory body)
+      : context_(sim, std::move(name), core, seed), body_(std::move(body)) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return context_.name(); }
+  [[nodiscard]] scc::CoreId core() const { return context_.core(); }
+  [[nodiscard]] ProcessContext& context() { return context_; }
+
+  /// Instantiates and starts the body coroutine (runs until its first
+  /// suspension point).
+  void start() {
+    task_ = body_(context_);
+    task_.start();
+  }
+
+  /// Restarts the process: destroys the current coroutine (safe only if no
+  /// channel still holds its handle — clear/reset those first) and runs the
+  /// body factory again, with the fault state cleared. Models rebooting a
+  /// replica's core during recovery.
+  void restart() {
+    context_.fault() = FaultState{};
+    task_ = sim::Task{};  // destroy the old coroutine frame
+    start();
+  }
+
+  [[nodiscard]] bool started() const { return task_.valid(); }
+  [[nodiscard]] const sim::Task& task() const { return task_; }
+  void rethrow_if_failed() const { task_.rethrow_if_failed(); }
+
+ private:
+  ProcessContext context_;
+  BodyFactory body_;
+  sim::Task task_;
+};
+
+}  // namespace sccft::kpn

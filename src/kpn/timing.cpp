@@ -1,0 +1,37 @@
+#include "kpn/timing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sccft::kpn {
+
+TimingShaper::TimingShaper(rtc::PJD model, rtc::TimeNs anchor, util::Xoshiro256& rng)
+    : model_(model), anchor_(anchor), rng_(rng) {
+  SCCFT_EXPECTS(model_.period > 0);
+  SCCFT_EXPECTS(model_.jitter >= 0);
+  SCCFT_EXPECTS(model_.delay >= 0);
+}
+
+rtc::TimeNs TimingShaper::next_emission(rtc::TimeNs ready_at) {
+  const rtc::TimeNs phi =
+      model_.jitter > 0 ? rng_.uniform_int(0, model_.jitter) : 0;
+  // Event k's nominal time is anchor + d + k*P, jittered within [0, J].
+  const rtc::TimeNs nominal =
+      anchor_ + model_.delay + static_cast<rtc::TimeNs>(k_) * model_.period + phi;
+  rtc::TimeNs t = std::max(nominal, ready_at);
+  if (last_ >= 0) t = std::max(t, last_);  // emission times are monotone
+  // Contract: conformance requires the process to be ready within the jitter
+  // envelope. A later `ready_at` (overloaded process) is *allowed* — it is
+  // exactly the timing-fault condition the framework detects — so we do not
+  // assert here; the curves simply stop holding for a genuinely late stream.
+  ++k_;
+  last_ = t;
+  return t;
+}
+
+void TimingShaper::commit(rtc::TimeNs actual) {
+  last_ = std::max(last_, actual);
+}
+
+}  // namespace sccft::kpn

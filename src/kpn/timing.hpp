@@ -1,0 +1,50 @@
+// PJD-conforming emission-time shaping.
+//
+// Experiment processes (producers, replica interface processes) must emit
+// tokens whose timing provably satisfies a given <period, jitter,
+// min-distance> model, because the design-time sizing (src/rtc/sizing.hpp)
+// assumed exactly those curves. The shaper draws jittered nominal times and
+// enforces the minimum distance:
+//
+//   t_k = max( t_{k-1} + d,  anchor + k*P + phi_k,  now ),  phi_k ~ U[0, J].
+//
+// Claim (property-tested in tests/kpn_timing_test.cpp): the resulting stream
+// satisfies eta+/eta- of the PJD model. Sketch: each t_k lies in
+// [anchor + k*P, anchor + k*P + J] (the max() with t_{k-1}+d cannot push past
+// the jitter bound when d <= P, by induction), and consecutive emissions are
+// >= d apart by construction.
+#pragma once
+
+#include "rtc/pjd.hpp"
+#include "rtc/time.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::kpn {
+
+class TimingShaper final {
+ public:
+  /// `anchor` is the nominal time of emission 0.
+  TimingShaper(rtc::PJD model, rtc::TimeNs anchor, util::Xoshiro256& rng);
+
+  /// Returns the emission time for the next token, given the earliest time
+  /// the process could emit it (`ready_at`, usually now()). Monotone
+  /// non-decreasing across calls.
+  [[nodiscard]] rtc::TimeNs next_emission(rtc::TimeNs ready_at);
+
+  /// Records the *actual* event time when it may be later than the value
+  /// next_emission() returned (e.g. the read/write blocked); keeps the
+  /// min-distance guarantee anchored to real events.
+  void commit(rtc::TimeNs actual);
+
+  [[nodiscard]] const rtc::PJD& model() const { return model_; }
+  [[nodiscard]] std::uint64_t emitted() const { return k_; }
+
+ private:
+  rtc::PJD model_;
+  rtc::TimeNs anchor_;
+  util::Xoshiro256& rng_;
+  std::uint64_t k_ = 0;
+  rtc::TimeNs last_ = -1;
+};
+
+}  // namespace sccft::kpn

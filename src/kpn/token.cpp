@@ -1,0 +1,34 @@
+#include "kpn/token.hpp"
+
+#include "util/assert.hpp"
+#include "util/crc32.hpp"
+
+namespace sccft::kpn {
+
+Token::Token(std::vector<std::uint8_t> payload, std::uint64_t seq, TimeNs produced_at)
+    : payload_(std::make_shared<const std::vector<std::uint8_t>>(std::move(payload))),
+      seq_(seq),
+      produced_at_(produced_at) {
+  checksum_ = util::crc32(*payload_);
+}
+
+Token::Token(std::shared_ptr<const std::vector<std::uint8_t>> payload,
+             std::uint64_t seq, TimeNs produced_at)
+    : payload_(std::move(payload)), seq_(seq), produced_at_(produced_at) {
+  SCCFT_EXPECTS(payload_ != nullptr);
+  checksum_ = util::crc32(*payload_);
+}
+
+std::span<const std::uint8_t> Token::payload() const {
+  SCCFT_EXPECTS(payload_ != nullptr);
+  return *payload_;
+}
+
+Token Token::restamped(std::uint64_t seq, TimeNs produced_at) const {
+  Token copy = *this;
+  copy.seq_ = seq;
+  copy.produced_at_ = produced_at;
+  return copy;
+}
+
+}  // namespace sccft::kpn

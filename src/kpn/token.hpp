@@ -1,0 +1,54 @@
+// Data tokens flowing through the process network.
+//
+// The paper's model (Section 2): a token T_k[j] produced by replica R_k
+// carries a monotonically increasing sequence number j and has a timestamp
+// t(k, j). Payloads are immutable and shared (the replicator duplicates each
+// token to two FIFOs without copying the bytes), and carry a CRC-32 so that
+// the experiments can check *functional* equivalence (Theorem 2) in O(1)
+// space per token.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rtc/time.hpp"
+
+namespace sccft::kpn {
+
+using rtc::TimeNs;
+
+class Token final {
+ public:
+  Token() = default;
+
+  /// Creates a token with the given payload, sequence number and timestamp.
+  Token(std::vector<std::uint8_t> payload, std::uint64_t seq, TimeNs produced_at);
+
+  /// Creates a token sharing an existing payload (no copy, checksum reused by
+  /// the caller via restamped(); used by payload caches).
+  Token(std::shared_ptr<const std::vector<std::uint8_t>> payload, std::uint64_t seq,
+        TimeNs produced_at);
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] TimeNs produced_at() const { return produced_at_; }
+  [[nodiscard]] int size_bytes() const {
+    return payload_ ? static_cast<int>(payload_->size()) : 0;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const;
+  [[nodiscard]] std::uint32_t checksum() const { return checksum_; }
+  [[nodiscard]] bool valid() const { return payload_ != nullptr; }
+
+  /// Returns a copy of this token re-stamped with a new sequence number and
+  /// production time (used when a channel re-emits a token downstream).
+  [[nodiscard]] Token restamped(std::uint64_t seq, TimeNs produced_at) const;
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> payload_;
+  std::uint64_t seq_ = 0;
+  TimeNs produced_at_ = 0;
+  std::uint32_t checksum_ = 0;
+};
+
+}  // namespace sccft::kpn

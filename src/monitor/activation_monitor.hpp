@@ -1,0 +1,43 @@
+// Common interface of the baseline activation monitors the paper compares
+// against (Section 4.3 "Brief Comparison to the State-of-the-Art").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "rtc/time.hpp"
+
+namespace sccft::monitor {
+
+/// A monitor observing one event stream (e.g. a replica's token-consumption
+/// events) and judging its timing conformance.
+///
+/// Two entry points: on_event() is called at each observed activation;
+/// poll() is called by a periodic timer (granularity = the monitor's polling
+/// interval) and is the only way a *silent* stream can be convicted —
+/// exactly the runtime-timer dependence the paper's approach avoids.
+class ActivationMonitor {
+ public:
+  virtual ~ActivationMonitor() = default;
+
+  /// Records an activation at time `t`; returns a detection timestamp if the
+  /// event itself violates the model (too early / burst).
+  virtual std::optional<rtc::TimeNs> on_event(rtc::TimeNs t) = 0;
+
+  /// Timer tick at time `now`; returns a detection timestamp if the stream
+  /// has fallen silent / behind the model.
+  virtual std::optional<rtc::TimeNs> poll(rtc::TimeNs now) = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Monitor state size in bytes (for the memory-overhead comparison).
+  [[nodiscard]] virtual std::size_t state_bytes() const = 0;
+
+  /// Number of hardware/OS timers the monitor needs at runtime (the paper's
+  /// approach needs 0; the distance-function setup of Section 4.3 needs 4 —
+  /// two per channel).
+  [[nodiscard]] virtual int timers_required() const = 0;
+};
+
+}  // namespace sccft::monitor

@@ -1,0 +1,92 @@
+#include "monitor/distance_function.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::monitor {
+
+DistanceFunctionMonitor::DistanceFunctionMonitor(Config config) : config_(config) {
+  SCCFT_EXPECTS(config_.model.period > 0);
+  SCCFT_EXPECTS(config_.l >= 1);
+  SCCFT_EXPECTS(config_.polling_interval > 0);
+}
+
+rtc::TimeNs DistanceFunctionMonitor::min_span(int k) const {
+  SCCFT_EXPECTS(k >= 1);
+  if (k == 1) return 0;
+  // Smallest Delta with eta+(Delta) >= k: for eta+(Delta) = ceil((Delta+J)/P)
+  // that is Delta = (k-1)*P - J (clamped at 0).
+  const rtc::TimeNs by_jitter =
+      (static_cast<rtc::TimeNs>(k) - 1) * config_.model.period - config_.model.jitter;
+  return std::max<rtc::TimeNs>(by_jitter, 0);
+}
+
+rtc::TimeNs DistanceFunctionMonitor::max_span(int k) const {
+  SCCFT_EXPECTS(k >= 1);
+  // Smallest Delta with eta-(Delta) >= k: floor((Delta - J)/P) >= k at
+  // Delta = J + k*P.
+  return config_.model.jitter + static_cast<rtc::TimeNs>(k) * config_.model.period;
+}
+
+std::optional<rtc::TimeNs> DistanceFunctionMonitor::on_event(rtc::TimeNs t) {
+  if (detected_) return std::nullopt;
+  if (!config_.fail_silent_only) {
+    // Too-fast check against each remembered predecessor: the span covering
+    // (k+1) events (this one plus k history entries) must be >= min_span(k+1).
+    int k = 1;
+    for (rtc::TimeNs prev : history_) {
+      if (t - prev < min_span(k + 1)) {
+        detected_ = t;
+        return detected_;
+      }
+      ++k;
+    }
+  }
+  if (!seen_any_) {
+    seen_any_ = true;
+    first_event_ = t;
+  }
+  history_.push_front(t);
+  while (static_cast<int>(history_.size()) > config_.l) history_.pop_back();
+  return std::nullopt;
+}
+
+std::optional<rtc::TimeNs> DistanceFunctionMonitor::poll(rtc::TimeNs now) {
+  if (detected_) return std::nullopt;
+  // Silence check: by now, at least k more events must have followed each
+  // remembered event within max_span(k).
+  int k = 1;
+  for (rtc::TimeNs prev : history_) {
+    // history_[0] is the most recent event; k-1 events are known to have
+    // followed history_[k-1], so one more (the k-th) is due by max_span(k).
+    if (now - prev > max_span(k)) {
+      detected_ = now;
+      return detected_;
+    }
+    ++k;
+  }
+  if (!seen_any_) {
+    // No event yet at all: the first is due by the stream's phase delay plus
+    // jitter; allow one extra period of startup slack.
+    if (now > config_.model.delay + max_span(1)) {
+      detected_ = now;
+      return detected_;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string DistanceFunctionMonitor::describe() const {
+  std::ostringstream os;
+  os << "distance-function(l=" << config_.l << ", poll="
+     << rtc::to_ms(config_.polling_interval) << "ms, " << config_.model.to_string()
+     << ")";
+  return os.str();
+}
+
+std::size_t DistanceFunctionMonitor::state_bytes() const {
+  return sizeof(*this) + history_.size() * sizeof(rtc::TimeNs);
+}
+
+}  // namespace sccft::monitor

@@ -1,0 +1,67 @@
+// l-repetitive distance-function monitor (Neukirchner et al., RTSS 2012,
+// "Monitoring arbitrary activation patterns in real-time systems" — the
+// paper's reference [11] and its Table 3 baseline).
+//
+// The monitor keeps the last l activation timestamps. Conformance of a
+// stream to an arrival-curve pair is expressed through distance functions:
+//
+//   d_min(k) = minimum span allowed for k consecutive events
+//            = smallest Delta with eta+(Delta) >= k  (too-fast detection),
+//   d_max(k) = maximum span allowed before k further events must have
+//              arrived = smallest Delta with eta-(Delta) >= k
+//              (silence detection; for PJD, d_max(k) = J + k*P).
+//
+// An activation at time t is checked against every remembered predecessor
+// (l-repetitive approximation of the general distance function: only the l
+// most recent events are retained). Silence can only be convicted by the
+// polling timer — the approach's intrinsic cost versus the paper's: it needs
+// runtime timekeeping, and its detection latency is quantized by the polling
+// interval (the effect Table 3 and the "Brief Discussion" highlight).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "monitor/activation_monitor.hpp"
+#include "rtc/pjd.hpp"
+
+namespace sccft::monitor {
+
+class DistanceFunctionMonitor final : public ActivationMonitor {
+ public:
+  struct Config {
+    rtc::PJD model;                     ///< event model to enforce
+    int l = 1;                          ///< history depth (l-repetitive)
+    rtc::TimeNs polling_interval = rtc::from_ms(1.0);  ///< paper: 1 ms
+    /// Fail-silent modification (Section 4.3): only convict silence, do not
+    /// flag early events (the paper's fault model has no early events).
+    bool fail_silent_only = true;
+  };
+
+  explicit DistanceFunctionMonitor(Config config);
+
+  std::optional<rtc::TimeNs> on_event(rtc::TimeNs t) override;
+  std::optional<rtc::TimeNs> poll(rtc::TimeNs now) override;
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t state_bytes() const override;
+  [[nodiscard]] int timers_required() const override { return 1; }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] bool fault_detected() const { return detected_.has_value(); }
+  [[nodiscard]] std::optional<rtc::TimeNs> detection_time() const { return detected_; }
+
+  /// d_min(k): smallest window that may contain k events (k >= 1).
+  [[nodiscard]] rtc::TimeNs min_span(int k) const;
+  /// d_max(k): latest window by which k further events must have appeared.
+  [[nodiscard]] rtc::TimeNs max_span(int k) const;
+
+ private:
+  Config config_;
+  std::deque<rtc::TimeNs> history_;  ///< most recent first, size <= l
+  bool seen_any_ = false;
+  rtc::TimeNs first_event_ = 0;
+  std::optional<rtc::TimeNs> detected_;
+};
+
+}  // namespace sccft::monitor

@@ -1,0 +1,83 @@
+// Glue for running baseline monitors inside a simulated process network:
+// a transparent tap that feeds token events to a monitor, and a polling
+// process body that drives the monitor's timer (the runtime-timer cost our
+// framework avoids).
+#pragma once
+
+#include <optional>
+
+#include "kpn/channel.hpp"
+#include "kpn/process.hpp"
+#include "monitor/activation_monitor.hpp"
+#include "sim/task.hpp"
+
+namespace sccft::monitor {
+
+/// Wraps a TokenSource; every successful read is reported to the monitor as
+/// an activation (used to observe a replica's consumption stream).
+class TapSource final : public kpn::TokenSource {
+ public:
+  TapSource(kpn::TokenSource& inner, ActivationMonitor& monitor, sim::Simulator& sim)
+      : inner_(inner), monitor_(monitor), sim_(sim) {}
+
+  [[nodiscard]] std::optional<kpn::Token> try_read() override {
+    auto token = inner_.try_read();
+    if (token) (void)monitor_.on_event(sim_.now());
+    return token;
+  }
+  void await_readable(std::coroutine_handle<> reader) override {
+    inner_.await_readable(reader);
+  }
+  [[nodiscard]] std::string source_name() const override {
+    return inner_.source_name() + "+tap";
+  }
+
+ private:
+  kpn::TokenSource& inner_;
+  ActivationMonitor& monitor_;
+  sim::Simulator& sim_;
+};
+
+/// Wraps a TokenSink; every accepted write is reported as an activation
+/// (used to observe a replica's production stream).
+class TapSink final : public kpn::TokenSink {
+ public:
+  TapSink(kpn::TokenSink& inner, ActivationMonitor& monitor, sim::Simulator& sim)
+      : inner_(inner), monitor_(monitor), sim_(sim) {}
+
+  [[nodiscard]] bool try_write(const kpn::Token& token) override {
+    const bool accepted = inner_.try_write(token);
+    if (accepted) (void)monitor_.on_event(sim_.now());
+    return accepted;
+  }
+  void await_writable(std::coroutine_handle<> writer) override {
+    inner_.await_writable(writer);
+  }
+  [[nodiscard]] std::string sink_name() const override {
+    return inner_.sink_name() + "+tap";
+  }
+
+ private:
+  kpn::TokenSink& inner_;
+  ActivationMonitor& monitor_;
+  sim::Simulator& sim_;
+};
+
+/// Process body that fires the monitor's poll() every `interval` until a
+/// fault is detected (writing the detection time to `*detection_out`) or the
+/// simulation ends.
+[[nodiscard]] inline kpn::Process::BodyFactory make_polling_body(
+    ActivationMonitor& monitor, rtc::TimeNs interval,
+    std::optional<rtc::TimeNs>* detection_out) {
+  return [&monitor, interval, detection_out](kpn::ProcessContext& ctx) -> sim::Task {
+    while (true) {
+      co_await ctx.delay(interval);
+      if (const auto detected = monitor.poll(ctx.now())) {
+        if (detection_out != nullptr) *detection_out = *detected;
+        co_return;
+      }
+    }
+  };
+}
+
+}  // namespace sccft::monitor

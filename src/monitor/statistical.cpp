@@ -1,0 +1,67 @@
+#include "monitor/statistical.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::monitor {
+
+StatisticalMonitor::StatisticalMonitor(Config config) : config_(config) {
+  SCCFT_EXPECTS(config_.sigma_threshold > 0.0);
+  SCCFT_EXPECTS(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+  SCCFT_EXPECTS(config_.warmup_events >= 2);
+  SCCFT_EXPECTS(config_.polling_interval > 0);
+}
+
+double StatisticalMonitor::stddev_gap_ns() const { return std::sqrt(variance_); }
+
+double StatisticalMonitor::threshold_ns() const {
+  return mean_ + config_.sigma_threshold * stddev_gap_ns();
+}
+
+std::optional<rtc::TimeNs> StatisticalMonitor::on_event(rtc::TimeNs t) {
+  if (detected_) return std::nullopt;
+  if (events_seen_ > 0) {
+    const auto gap = static_cast<double>(t - last_event_);
+    if (events_seen_ <= config_.warmup_events) {
+      // Warm-up: plain running mean/variance seed.
+      const double delta = gap - mean_;
+      mean_ += delta / static_cast<double>(events_seen_);
+      variance_ += (delta * (gap - mean_) - variance_) /
+                   static_cast<double>(events_seen_);
+    } else {
+      // Armed: check, then update the EWMA.
+      if (gap > threshold_ns()) {
+        detected_ = t;
+        return detected_;
+      }
+      const double delta = gap - mean_;
+      mean_ += config_.ewma_alpha * delta;
+      variance_ = (1.0 - config_.ewma_alpha) *
+                  (variance_ + config_.ewma_alpha * delta * delta);
+    }
+  }
+  last_event_ = t;
+  ++events_seen_;
+  return std::nullopt;
+}
+
+std::optional<rtc::TimeNs> StatisticalMonitor::poll(rtc::TimeNs now) {
+  if (detected_ || !armed()) return std::nullopt;
+  const auto gap = static_cast<double>(now - last_event_);
+  if (gap > threshold_ns()) {
+    detected_ = now;
+    return detected_;
+  }
+  return std::nullopt;
+}
+
+std::string StatisticalMonitor::describe() const {
+  std::ostringstream os;
+  os << "statistical(EWMA, k=" << config_.sigma_threshold
+     << ", alpha=" << config_.ewma_alpha << ")";
+  return os.str();
+}
+
+}  // namespace sccft::monitor

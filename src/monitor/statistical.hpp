@@ -1,0 +1,54 @@
+// Statistical (inexact) anomaly monitor — the class of approaches the
+// paper's introduction dismisses for hard real-time use ("statistical or
+// probabilistic in nature, see [4,5] ... not suitable for embedded real time
+// systems").
+//
+// An EWMA-based detector: tracks the exponentially-weighted mean and
+// variance of inter-arrival gaps and flags a fault when the current gap
+// exceeds mean + k * stddev (checked at poll time for silence). Cheap and
+// model-free — but *inexact*: k trades false positives under legal bursty
+// jitter against detection latency, and no choice of k gives the guarantee
+// the paper's arrival-curve approach provides. The ablation/comparison
+// benches quantify exactly that.
+#pragma once
+
+#include "monitor/activation_monitor.hpp"
+
+namespace sccft::monitor {
+
+class StatisticalMonitor final : public ActivationMonitor {
+ public:
+  struct Config {
+    double sigma_threshold = 4.0;  ///< k in mean + k*stddev
+    double ewma_alpha = 0.1;       ///< smoothing factor for mean/variance
+    int warmup_events = 10;        ///< gaps observed before arming
+    rtc::TimeNs polling_interval = rtc::from_ms(1.0);
+  };
+
+  explicit StatisticalMonitor(Config config);
+
+  std::optional<rtc::TimeNs> on_event(rtc::TimeNs t) override;
+  std::optional<rtc::TimeNs> poll(rtc::TimeNs now) override;
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t state_bytes() const override { return sizeof(*this); }
+  [[nodiscard]] int timers_required() const override { return 1; }
+
+  [[nodiscard]] bool fault_detected() const { return detected_.has_value(); }
+  [[nodiscard]] std::optional<rtc::TimeNs> detection_time() const { return detected_; }
+  [[nodiscard]] double mean_gap_ns() const { return mean_; }
+  [[nodiscard]] double stddev_gap_ns() const;
+  [[nodiscard]] bool armed() const { return events_seen_ > config_.warmup_events; }
+
+ private:
+  [[nodiscard]] double threshold_ns() const;
+
+  Config config_;
+  rtc::TimeNs last_event_ = 0;
+  int events_seen_ = 0;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  std::optional<rtc::TimeNs> detected_;
+};
+
+}  // namespace sccft::monitor

@@ -1,0 +1,38 @@
+#include "monitor/watchdog.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::monitor {
+
+WatchdogMonitor::WatchdogMonitor(Config config) : config_(config) {
+  SCCFT_EXPECTS(config_.timeout > 0);
+  SCCFT_EXPECTS(config_.polling_interval > 0);
+}
+
+std::optional<rtc::TimeNs> WatchdogMonitor::on_event(rtc::TimeNs t) {
+  if (detected_) return std::nullopt;
+  last_event_ = t;
+  seen_any_ = true;
+  return std::nullopt;
+}
+
+std::optional<rtc::TimeNs> WatchdogMonitor::poll(rtc::TimeNs now) {
+  if (detected_) return std::nullopt;
+  const rtc::TimeNs reference = seen_any_ ? last_event_ : 0;
+  if (now - reference > config_.timeout) {
+    detected_ = now;
+    return detected_;
+  }
+  return std::nullopt;
+}
+
+std::string WatchdogMonitor::describe() const {
+  std::ostringstream os;
+  os << "watchdog(timeout=" << rtc::to_ms(config_.timeout) << "ms, poll="
+     << rtc::to_ms(config_.polling_interval) << "ms)";
+  return os.str();
+}
+
+}  // namespace sccft::monitor

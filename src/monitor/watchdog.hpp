@@ -1,0 +1,46 @@
+// Watchdog (heartbeat) monitor — the "simple timeout based solution" the
+// paper's introduction dismisses for bursty streams. Included as the second
+// baseline: it either needs a conservative timeout (slow detection) or
+// produces false positives under legal jitter, which the ablation bench
+// quantifies.
+#pragma once
+
+#include "monitor/activation_monitor.hpp"
+#include "rtc/pjd.hpp"
+
+namespace sccft::monitor {
+
+class WatchdogMonitor final : public ActivationMonitor {
+ public:
+  struct Config {
+    /// The watchdog timeout. For a PJD stream a *sound* timeout is
+    /// period + jitter (any smaller value can misfire on legal jitter).
+    rtc::TimeNs timeout = 0;
+    rtc::TimeNs polling_interval = rtc::from_ms(1.0);
+  };
+
+  explicit WatchdogMonitor(Config config);
+
+  /// Sound timeout for a PJD stream: P + J (the max legal gap successor).
+  [[nodiscard]] static rtc::TimeNs sound_timeout(const rtc::PJD& model) {
+    return model.period + model.jitter;
+  }
+
+  std::optional<rtc::TimeNs> on_event(rtc::TimeNs t) override;
+  std::optional<rtc::TimeNs> poll(rtc::TimeNs now) override;
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t state_bytes() const override { return sizeof(*this); }
+  [[nodiscard]] int timers_required() const override { return 1; }
+
+  [[nodiscard]] bool fault_detected() const { return detected_.has_value(); }
+  [[nodiscard]] std::optional<rtc::TimeNs> detection_time() const { return detected_; }
+
+ private:
+  Config config_;
+  rtc::TimeNs last_event_ = 0;
+  bool seen_any_ = false;
+  std::optional<rtc::TimeNs> detected_;
+};
+
+}  // namespace sccft::monitor

@@ -1,0 +1,152 @@
+#include "rtc/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace sccft::rtc {
+
+namespace {
+
+void check_sorted(std::span<const TimeNs> arrivals) {
+  SCCFT_EXPECTS(arrivals.size() >= 2);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    SCCFT_EXPECTS(arrivals[i] >= arrivals[i - 1]);
+  }
+}
+
+}  // namespace
+
+StaircaseCurve trace_upper_curve(std::span<const TimeNs> arrivals) {
+  check_sorted(arrivals);
+  const std::size_t n = arrivals.size();
+  // minspan[k] = smallest time span covering k consecutive events
+  // (k = 2..n). A half-open window of length Delta contains k events iff
+  // Delta > minspan(k), so the upper curve jumps to k at minspan(k) + 1.
+  std::vector<StaircaseCurve::Jump> jumps;
+  jumps.push_back({1, 1});  // any window of positive length can contain 1 event
+  TimeNs prev_at = 1;
+  for (std::size_t k = 2; k <= n; ++k) {
+    TimeNs minspan = std::numeric_limits<TimeNs>::max();
+    for (std::size_t i = 0; i + k <= n; ++i) {
+      minspan = std::min(minspan, arrivals[i + k - 1] - arrivals[i]);
+    }
+    const TimeNs at = std::max<TimeNs>(minspan + 1, prev_at + 1);
+    if (at == prev_at) {
+      jumps.back().step += 1;  // simultaneous events: merge the step
+    } else {
+      jumps.push_back({at, 1});
+      prev_at = at;
+    }
+  }
+  // Coalesce equal jump points produced by the max() clamp above.
+  std::vector<StaircaseCurve::Jump> merged;
+  for (const auto& jump : jumps) {
+    if (!merged.empty() && merged.back().at == jump.at) {
+      merged.back().step += jump.step;
+    } else {
+      merged.push_back(jump);
+    }
+  }
+  return StaircaseCurve(0, std::move(merged), 0, 0, 0, "trace-upper");
+}
+
+StaircaseCurve trace_lower_curve(std::span<const TimeNs> arrivals) {
+  check_sorted(arrivals);
+  const std::size_t n = arrivals.size();
+  const TimeNs span = arrivals.back() - arrivals.front();
+  SCCFT_EXPECTS(span > 0);
+  // maxspan[k] = largest "gap" containing only k events strictly inside:
+  // a window sliding between arrival i's right edge and arrival i+k+1 holds
+  // exactly k events. The lower curve reaches value k once Delta exceeds the
+  // largest such window, i.e. lower(Delta) >= k iff every window of length
+  // Delta holds >= k events iff Delta > maxgap(k-1) where
+  // maxgap(m) = max_i (arrivals[i + m + 1] - arrivals[i]) over interior fits.
+  std::vector<StaircaseCurve::Jump> jumps;
+  TimeNs prev_at = 0;
+  for (std::size_t k = 1; k + 1 <= n; ++k) {
+    // Largest window containing only (k-1) events: open interval between
+    // arrivals i and i+k (exclusive of both endpoints).
+    TimeNs maxgap = 0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      maxgap = std::max(maxgap, arrivals[i + k] - arrivals[i]);
+    }
+    if (maxgap > span) break;  // window no longer fits in the trace
+    const TimeNs at = std::max<TimeNs>(maxgap, prev_at + 1);
+    jumps.push_back({at, 1});
+    prev_at = at;
+  }
+  std::vector<StaircaseCurve::Jump> merged;
+  for (const auto& jump : jumps) {
+    if (!merged.empty() && merged.back().at == jump.at) {
+      merged.back().step += jump.step;
+    } else {
+      merged.push_back(jump);
+    }
+  }
+  return StaircaseCurve(0, std::move(merged), 0, 0, 0, "trace-lower");
+}
+
+PJD fit_pjd(std::span<const TimeNs> arrivals) {
+  check_sorted(arrivals);
+  const std::size_t n = arrivals.size();
+  const TimeNs span = arrivals.back() - arrivals.front();
+  SCCFT_EXPECTS(span > 0);
+  const auto period = static_cast<TimeNs>(std::llround(
+      static_cast<double>(span) / static_cast<double>(n - 1)));
+  SCCFT_ENSURES(period > 0);
+
+  TimeNs jitter = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimeNs expected = arrivals.front() + static_cast<TimeNs>(i) * period;
+    jitter = std::max(jitter, std::abs(arrivals[i] - expected));
+  }
+  // The deviation-from-grid estimate can under-cover: the grid anchor (first
+  // arrival) and the rounded period are both estimates. Calibration must be
+  // *conservative* — inflate the jitter until the fitted curves provably
+  // bound the trace (geometric steps; terminates because J >= span makes
+  // eta-/eta+ trivially loose).
+  const TimeNs max_jitter = span + period;
+  PJD fit{period, jitter, arrivals.front()};
+  while (fit.jitter < max_jitter) {
+    const PJDUpperCurve upper(fit);
+    const PJDLowerCurve lower(fit);
+    if (curves_bound_trace(upper, lower, arrivals)) break;
+    fit.jitter += std::max<TimeNs>(period / 16, 1);
+  }
+  return fit;
+}
+
+ArrivalCurvePair calibrate(std::span<const TimeNs> arrivals) {
+  return ArrivalCurvePair::from_pjd(fit_pjd(arrivals));
+}
+
+bool curves_bound_trace(const Curve& upper, const Curve& lower,
+                        std::span<const TimeNs> arrivals) {
+  check_sorted(arrivals);
+  const std::size_t n = arrivals.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const TimeNs window = arrivals[j] - arrivals[i] + 1;  // covers both, half-open
+      const auto count = static_cast<Tokens>(j - i + 1);
+      if (upper.value_at(window) < count) return false;
+    }
+  }
+  // Lower bound: count events in windows anchored between consecutive events.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Window starting just after arrivals[i], ending just before
+      // arrivals[j]: contains events i+1..j-1.
+      const TimeNs window = arrivals[j] - arrivals[i];
+      if (window <= 0) continue;
+      if (arrivals[i] + window > arrivals.back()) continue;  // must fit in span
+      const auto count = static_cast<Tokens>(j - i - 1);
+      if (lower.value_at(window - 1) > count + 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sccft::rtc

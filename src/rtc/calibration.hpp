@@ -1,0 +1,44 @@
+// Trace-based calibration of arrival curves.
+//
+// The paper notes that interface-level timing models "are either available,
+// or can be generated quickly from calibrations" (Section 1). This module
+// turns a measured arrival trace (sorted timestamps of token events) into
+//   (a) exact trace staircase curves (tightest bounds the trace supports), and
+//   (b) a conservative PJD fit suitable for the sizing math of sizing.hpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rtc/curve.hpp"
+#include "rtc/pjd.hpp"
+#include "rtc/time.hpp"
+
+namespace sccft::rtc {
+
+/// Exact upper staircase of a finite trace: the maximum number of events any
+/// half-open window of length Delta contains. Requires >= 2 events.
+[[nodiscard]] StaircaseCurve trace_upper_curve(std::span<const TimeNs> arrivals);
+
+/// Exact lower staircase of a finite trace: the minimum number of events over
+/// windows of length Delta that fit inside the trace span. Requires >= 2
+/// events. Windows extending past the trace are excluded (edge effects would
+/// otherwise produce a spuriously low bound).
+[[nodiscard]] StaircaseCurve trace_lower_curve(std::span<const TimeNs> arrivals);
+
+/// Conservative PJD model fitted to a trace:
+///   period = round(mean inter-arrival time),
+///   jitter = max deviation of arrivals from the fitted periodic grid,
+///   delay  = the first arrival (phase of event 0).
+/// The resulting eta+ / eta- dominate the trace's exact curves.
+[[nodiscard]] PJD fit_pjd(std::span<const TimeNs> arrivals);
+
+/// Convenience: calibrate a trace and return the fitted PJD's curve pair.
+[[nodiscard]] ArrivalCurvePair calibrate(std::span<const TimeNs> arrivals);
+
+/// Checks that `upper`/`lower` bound the given trace (useful as a validation
+/// step after calibration and as a test oracle).
+[[nodiscard]] bool curves_bound_trace(const Curve& upper, const Curve& lower,
+                                      std::span<const TimeNs> arrivals);
+
+}  // namespace sccft::rtc

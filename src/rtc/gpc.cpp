@@ -1,0 +1,126 @@
+#include "rtc/gpc.hpp"
+
+#include <algorithm>
+
+#include "rtc/minplus.hpp"
+#include "rtc/sizing.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::rtc {
+
+RateLatencyCurve::RateLatencyCurve(TimeNs token_period, TimeNs latency)
+    : token_period_(token_period), latency_(latency) {
+  SCCFT_EXPECTS(token_period_ > 0);
+  SCCFT_EXPECTS(latency_ >= 0);
+}
+
+Tokens RateLatencyCurve::value_at(TimeNs delta) const {
+  SCCFT_EXPECTS(delta >= 0);
+  if (delta <= latency_) return 0;
+  return (delta - latency_) / token_period_;
+}
+
+std::vector<TimeNs> RateLatencyCurve::jump_points_up_to(TimeNs horizon) const {
+  SCCFT_EXPECTS(horizon >= 0);
+  std::vector<TimeNs> points;
+  for (TimeNs k = 1;; ++k) {
+    const TimeNs at = latency_ + k * token_period_;
+    if (at > horizon) break;
+    points.push_back(at);
+  }
+  return points;
+}
+
+double RateLatencyCurve::long_term_rate() const {
+  return 1.0 / static_cast<double>(token_period_);
+}
+
+std::string RateLatencyCurve::describe() const {
+  return "rate-latency(1/" + std::to_string(token_period_) + "ns, T=" +
+         std::to_string(latency_) + "ns)";
+}
+
+std::optional<TimeNs> horizontal_deviation(const Curve& arrival_upper,
+                                           const Curve& service_lower,
+                                           TimeNs horizon) {
+  SCCFT_EXPECTS(horizon > 0);
+  // Unstable systems (arrivals faster than service) have an unbounded
+  // horizontal gap; any horizon-limited maximum would be misleading.
+  if (arrival_upper.long_term_rate() >
+      service_lower.long_term_rate() * (1.0 + 1e-9)) {
+    return std::nullopt;
+  }
+  // For staircases the worst horizontal gap occurs at an up-jump of the
+  // arrival curve: the d needed there is how much longer the service curve
+  // takes to reach that level. Compute, for each jump point t of alpha^u,
+  // the smallest s with beta^l(s) >= alpha^u(t); deviation = max(s - t).
+  TimeNs worst = 0;
+  auto service_jumps = service_lower.jump_points_up_to(2 * horizon);
+  auto reach_time = [&](Tokens level) -> std::optional<TimeNs> {
+    if (level <= service_lower.value_at(0)) return 0;
+    for (TimeNs at : service_jumps) {
+      if (service_lower.value_at(at) >= level) return at;
+    }
+    return std::nullopt;
+  };
+  std::vector<TimeNs> arrival_points = arrival_upper.jump_points_up_to(horizon);
+  arrival_points.insert(arrival_points.begin(), 0);
+  for (TimeNs t : arrival_points) {
+    const Tokens level = arrival_upper.value_at(t);
+    const auto s = reach_time(level);
+    if (!s) return std::nullopt;
+    worst = std::max(worst, *s - t);
+  }
+  return worst;
+}
+
+GpcResult gpc_analyze(const Curve& arrival_upper, const Curve& arrival_lower,
+                      const Curve& service_lower, TimeNs horizon) {
+  SCCFT_EXPECTS(horizon > 0);
+  // Stability: the service rate must cover the arrival rate.
+  SCCFT_EXPECTS(service_lower.long_term_rate() >=
+                arrival_upper.long_term_rate() * (1.0 - 1e-9));
+
+  const SupResult backlog = sup_difference(arrival_upper, service_lower, horizon);
+  SCCFT_ENSURES(backlog.bounded);
+  const auto delay = horizontal_deviation(arrival_upper, service_lower, horizon);
+  SCCFT_ENSURES(delay.has_value());
+
+  // Remaining service: beta'(Delta) = max(0, sup over 0 <= lambda <= Delta
+  // of beta(lambda) - alpha^u(lambda)). Materialize over the curves' jump
+  // points (the difference is piecewise constant in between, so its running
+  // maximum changes only there).
+  std::vector<TimeNs> points{0};
+  for (const Curve* curve : {&service_lower, &arrival_upper}) {
+    for (TimeNs at : curve->jump_points_up_to(horizon)) {
+      points.push_back(at);
+      if (at > 0) points.push_back(at - 1);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  Tokens running = 0;
+  Tokens prev_value = 0;
+  std::vector<StaircaseCurve::Jump> jumps;
+  for (TimeNs at : points) {
+    running = std::max(running,
+                       service_lower.value_at(at) - arrival_upper.value_at(at));
+    const Tokens value = std::max<Tokens>(running, 0);
+    if (value > prev_value) {
+      jumps.push_back({std::max<TimeNs>(at, 1), value - prev_value});
+      prev_value = value;
+    }
+  }
+
+  GpcResult result{
+      .output_upper = minplus_deconv(arrival_upper, service_lower, horizon),
+      .output_lower = minplus_conv(arrival_lower, service_lower, horizon),
+      .remaining_service =
+          StaircaseCurve(0, std::move(jumps), 0, 0, 0, "remaining-service"),
+      .backlog_bound = std::max<Tokens>(backlog.value, 0),
+      .delay_bound = *delay,
+  };
+  return result;
+}
+
+}  // namespace sccft::rtc

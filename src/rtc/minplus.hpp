@@ -1,0 +1,39 @@
+// Min-plus / max-plus algebra on staircase curves.
+//
+// Real-Time Calculus composes arrival and service curves with min-plus
+// convolution and deconvolution. The sizing math in sizing.hpp only needs
+// suprema of differences, but the full operators are provided so the library
+// can be used for general RTC workflows (e.g. propagating curves through a
+// chain of processes, as the paper's "interface-based rate analysis"
+// reference [1] does).
+//
+// All operators are exact for staircase curves over a bounded horizon: the
+// candidate set of a min-plus convolution's breakpoints is contained in the
+// pairwise sums of the operands' breakpoints.
+#pragma once
+
+#include "rtc/curve.hpp"
+#include "rtc/time.hpp"
+
+namespace sccft::rtc {
+
+/// (f (x) g)(Delta) = inf over 0 <= lambda <= Delta of f(lambda) + g(Delta-lambda).
+[[nodiscard]] Tokens minplus_conv_at(const Curve& f, const Curve& g, TimeNs delta);
+
+/// (f (/) g)(Delta) = sup over lambda in [0, horizon] of f(Delta+lambda) - g(lambda).
+[[nodiscard]] Tokens minplus_deconv_at(const Curve& f, const Curve& g, TimeNs delta,
+                                       TimeNs horizon);
+
+/// Materializes f (x) g on [0, horizon] as an explicit staircase.
+[[nodiscard]] StaircaseCurve minplus_conv(const Curve& f, const Curve& g, TimeNs horizon);
+
+/// Materializes f (/) g on [0, horizon] (sup taken over the same horizon).
+[[nodiscard]] StaircaseCurve minplus_deconv(const Curve& f, const Curve& g,
+                                            TimeNs horizon);
+
+/// Pointwise minimum / maximum / sum, materialized on [0, horizon].
+[[nodiscard]] StaircaseCurve pointwise_min(const Curve& f, const Curve& g, TimeNs horizon);
+[[nodiscard]] StaircaseCurve pointwise_max(const Curve& f, const Curve& g, TimeNs horizon);
+[[nodiscard]] StaircaseCurve pointwise_sum(const Curve& f, const Curve& g, TimeNs horizon);
+
+}  // namespace sccft::rtc

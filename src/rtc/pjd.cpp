@@ -1,0 +1,93 @@
+#include "rtc/pjd.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::rtc {
+
+PJD PJD::from_ms(double period_ms, double jitter_ms, double delay_ms) {
+  return PJD{rtc::from_ms(period_ms), rtc::from_ms(jitter_ms), rtc::from_ms(delay_ms)};
+}
+
+std::string PJD::to_string() const {
+  std::ostringstream os;
+  os << "<" << to_ms(period) << ", " << to_ms(jitter) << ", " << to_ms(delay) << "> ms";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const PJD& pjd) {
+  return os << pjd.to_string();
+}
+
+PJDUpperCurve::PJDUpperCurve(PJD model) : model_(model) {
+  SCCFT_EXPECTS(model_.period > 0);
+  SCCFT_EXPECTS(model_.jitter >= 0);
+  SCCFT_EXPECTS(model_.delay >= 0);
+}
+
+Tokens PJDUpperCurve::value_at(TimeNs delta) const {
+  SCCFT_EXPECTS(delta >= 0);
+  if (delta == 0) return 0;
+  return ceil_div(delta + model_.jitter, model_.period);
+}
+
+std::vector<TimeNs> PJDUpperCurve::jump_points_up_to(TimeNs horizon) const {
+  SCCFT_EXPECTS(horizon >= 0);
+  // ceil((Delta + J)/P) changes value between Delta = k*P - J and k*P - J + 1,
+  // plus the initial jump at Delta = 1 (from eta^+(0) = 0).
+  std::vector<TimeNs> points;
+  if (horizon >= 1) points.push_back(1);
+  for (TimeNs k = 1;; ++k) {
+    SCCFT_ASSERT(k < std::numeric_limits<TimeNs>::max() / 2 / model_.period);
+    const TimeNs at = k * model_.period - model_.jitter + 1;
+    if (at > horizon) break;
+    if (at > 1) points.push_back(at);
+  }
+  return points;
+}
+
+double PJDUpperCurve::long_term_rate() const {
+  return 1.0 / static_cast<double>(model_.period);
+}
+
+std::string PJDUpperCurve::describe() const { return "eta+" + model_.to_string(); }
+
+PJDLowerCurve::PJDLowerCurve(PJD model) : model_(model) {
+  SCCFT_EXPECTS(model_.period > 0);
+  SCCFT_EXPECTS(model_.jitter >= 0);
+  SCCFT_EXPECTS(model_.delay >= 0);
+}
+
+Tokens PJDLowerCurve::value_at(TimeNs delta) const {
+  SCCFT_EXPECTS(delta >= 0);
+  if (delta <= model_.jitter) return 0;
+  return floor_div(delta - model_.jitter, model_.period);
+}
+
+std::vector<TimeNs> PJDLowerCurve::jump_points_up_to(TimeNs horizon) const {
+  SCCFT_EXPECTS(horizon >= 0);
+  // floor((Delta - J)/P) steps at Delta = J + k*P, k >= 1.
+  std::vector<TimeNs> points;
+  for (TimeNs k = 1;; ++k) {
+    const TimeNs at = model_.jitter + k * model_.period;
+    if (at > horizon) break;
+    points.push_back(at);
+  }
+  return points;
+}
+
+double PJDLowerCurve::long_term_rate() const {
+  return 1.0 / static_cast<double>(model_.period);
+}
+
+std::string PJDLowerCurve::describe() const { return "eta-" + model_.to_string(); }
+
+ArrivalCurvePair ArrivalCurvePair::from_pjd(const PJD& model) {
+  return ArrivalCurvePair{make_curve<PJDUpperCurve>(model),
+                          make_curve<PJDLowerCurve>(model)};
+}
+
+}  // namespace sccft::rtc

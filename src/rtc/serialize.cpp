@@ -1,0 +1,106 @@
+#include "rtc/serialize.hpp"
+
+#include <sstream>
+
+#include "rtc/gpc.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::rtc {
+
+namespace {
+
+std::int64_t read_int(std::istringstream& is, const char* what) {
+  std::int64_t value = 0;
+  is >> value;
+  if (is.fail()) {
+    throw util::ContractViolation(std::string("malformed curve text: missing ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string to_text(const PJD& model) {
+  std::ostringstream os;
+  os << "pjd " << model.period << " " << model.jitter << " " << model.delay;
+  return os.str();
+}
+
+PJD pjd_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  is >> tag;
+  SCCFT_EXPECTS(tag == "pjd");
+  PJD model;
+  model.period = read_int(is, "period");
+  model.jitter = read_int(is, "jitter");
+  model.delay = read_int(is, "delay");
+  return model;
+}
+
+std::string curve_to_text(const Curve& curve) {
+  std::ostringstream os;
+  if (const auto* upper = dynamic_cast<const PJDUpperCurve*>(&curve)) {
+    const auto& m = upper->model();
+    os << "pjd-upper " << m.period << " " << m.jitter << " " << m.delay;
+  } else if (const auto* lower = dynamic_cast<const PJDLowerCurve*>(&curve)) {
+    const auto& m = lower->model();
+    os << "pjd-lower " << m.period << " " << m.jitter << " " << m.delay;
+  } else if (const auto* rl = dynamic_cast<const RateLatencyCurve*>(&curve)) {
+    os << "rate-latency " << rl->token_period() << " " << rl->latency();
+  } else if (dynamic_cast<const ZeroCurve*>(&curve) != nullptr) {
+    os << "zero";
+  } else if (const auto* stair = dynamic_cast<const StaircaseCurve*>(&curve)) {
+    os << "staircase " << stair->base() << " " << stair->jumps().size();
+    for (const auto& jump : stair->jumps()) {
+      os << " " << jump.at << " " << jump.step;
+    }
+    os << " " << stair->tail_start() << " " << stair->tail_period() << " "
+       << stair->tail_step();
+  } else {
+    throw util::ContractViolation("unsupported curve type for serialization: " +
+                                  curve.describe());
+  }
+  return os.str();
+}
+
+std::unique_ptr<Curve> curve_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  is >> tag;
+  if (tag == "pjd-upper" || tag == "pjd-lower") {
+    PJD model;
+    model.period = read_int(is, "period");
+    model.jitter = read_int(is, "jitter");
+    model.delay = read_int(is, "delay");
+    if (tag == "pjd-upper") return std::make_unique<PJDUpperCurve>(model);
+    return std::make_unique<PJDLowerCurve>(model);
+  }
+  if (tag == "rate-latency") {
+    const TimeNs token_period = read_int(is, "token period");
+    const TimeNs latency = read_int(is, "latency");
+    return std::make_unique<RateLatencyCurve>(token_period, latency);
+  }
+  if (tag == "zero") return std::make_unique<ZeroCurve>();
+  if (tag == "staircase") {
+    const Tokens base = read_int(is, "base");
+    const auto count = read_int(is, "jump count");
+    SCCFT_EXPECTS(count >= 0);
+    std::vector<StaircaseCurve::Jump> jumps;
+    jumps.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      StaircaseCurve::Jump jump;
+      jump.at = read_int(is, "jump at");
+      jump.step = read_int(is, "jump step");
+      jumps.push_back(jump);
+    }
+    const TimeNs tail_start = read_int(is, "tail start");
+    const TimeNs tail_period = read_int(is, "tail period");
+    const Tokens tail_step = read_int(is, "tail step");
+    return std::make_unique<StaircaseCurve>(base, std::move(jumps), tail_start,
+                                            tail_period, tail_step, "deserialized");
+  }
+  throw util::ContractViolation("unknown curve tag: " + tag);
+}
+
+}  // namespace sccft::rtc

@@ -1,0 +1,37 @@
+// Text (de)serialization of timing models and curves.
+//
+// A small line-oriented format so designs can be stored next to the code,
+// exchanged between the CLI tools, and diffed in review:
+//
+//   pjd <period_ns> <jitter_ns> <delay_ns>
+//   pjd-upper <period_ns> <jitter_ns> <delay_ns>
+//   pjd-lower <period_ns> <jitter_ns> <delay_ns>
+//   rate-latency <token_period_ns> <latency_ns>
+//   zero
+//   staircase <base> <jump_count> {<at_ns> <step>}... <tail_start> <tail_period> <tail_step>
+//
+// Round-trip guarantee: parse(serialize(x)) evaluates identically to x.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rtc/curve.hpp"
+#include "rtc/pjd.hpp"
+
+namespace sccft::rtc {
+
+/// Serializes a PJD model ("pjd P J d").
+[[nodiscard]] std::string to_text(const PJD& model);
+
+/// Parses a "pjd ..." line. Throws util::ContractViolation on malformed input.
+[[nodiscard]] PJD pjd_from_text(const std::string& text);
+
+/// Serializes any supported curve type (PJD upper/lower, rate-latency, zero,
+/// staircase). Throws for unknown curve types.
+[[nodiscard]] std::string curve_to_text(const Curve& curve);
+
+/// Parses any curve line produced by curve_to_text.
+[[nodiscard]] std::unique_ptr<Curve> curve_from_text(const std::string& text);
+
+}  // namespace sccft::rtc

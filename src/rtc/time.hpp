@@ -1,0 +1,53 @@
+// Time and token-count base types for the Real-Time Calculus layer.
+//
+// All simulated time in this repository is expressed in integer nanoseconds.
+// The DAC'14 paper's timing parameters are millisecond-scale (e.g. the ADPCM
+// period of 6.3 ms), so nanoseconds give exact integer arithmetic with no
+// rounding anywhere in the queue-sizing math.
+#pragma once
+
+#include <cstdint>
+
+namespace sccft::rtc {
+
+/// Simulated time / time-interval length in nanoseconds. Non-negative in all
+/// curve-domain contexts.
+using TimeNs = std::int64_t;
+
+/// Token (event) counts.
+using Tokens = std::int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+[[nodiscard]] constexpr TimeNs from_us(std::int64_t us) { return us * kNsPerUs; }
+[[nodiscard]] constexpr TimeNs from_ms(std::int64_t ms) { return ms * kNsPerMs; }
+[[nodiscard]] constexpr TimeNs from_ms(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs));
+}
+[[nodiscard]] constexpr TimeNs from_sec(double sec) {
+  return static_cast<TimeNs>(sec * static_cast<double>(kNsPerSec));
+}
+[[nodiscard]] constexpr double to_ms(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+[[nodiscard]] constexpr double to_us(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+[[nodiscard]] constexpr double to_sec(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+/// Ceiling division for non-negative numerator, positive denominator.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t num, std::int64_t den) {
+  return (num + den - 1) / den;
+}
+
+/// Floor division that is correct for negative numerators as well.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t num, std::int64_t den) {
+  const std::int64_t q = num / den;
+  return (num % den != 0 && (num < 0) != (den < 0)) ? q - 1 : q;
+}
+
+}  // namespace sccft::rtc

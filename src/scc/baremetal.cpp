@@ -1,0 +1,50 @@
+#include "scc/baremetal.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+
+BootReport baremetal_boot(Platform& platform, BaremetalConfig config) {
+  SCCFT_EXPECTS(config.core_release_stagger >= 0);
+  SCCFT_EXPECTS(config.per_core_init >= 0);
+  SCCFT_EXPECTS(config.barrier_margin >= 0);
+
+  sim::Simulator& sim = platform.simulator();
+  BootReport report;
+  report.core_ready_at.assign(kCoreCount, 0);
+
+  // The bootloader releases cores one after another; each runs its init
+  // (cache/interrupt configuration, MPB clear, kernel entry).
+  rtc::TimeNs last_ready = sim.now();
+  for (int core = 0; core < kCoreCount; ++core) {
+    const rtc::TimeNs release =
+        sim.now() + static_cast<rtc::TimeNs>(core) * config.core_release_stagger;
+    const rtc::TimeNs ready = release + config.per_core_init;
+    report.core_ready_at[static_cast<std::size_t>(core)] = ready;
+    last_ready = std::max(last_ready, ready);
+    sim.schedule_at(ready, [] { /* core is up */ });
+  }
+
+  // Barrier: once the last core is up (plus margin), synchronize all TSCs.
+  const rtc::TimeNs barrier = last_ready + config.barrier_margin;
+  sim.schedule_at(barrier, [&platform] { platform.synchronize_clocks(); });
+  const bool ok = sim.run_until(barrier);
+  SCCFT_ENSURES(ok);
+  report.sync_barrier_at = barrier;
+
+  // Measure the residual skew right after synchronization.
+  rtc::TimeNs max_skew = 0;
+  for (int core = 0; core < kCoreCount; ++core) {
+    const rtc::TimeNs skew = std::abs(platform.local_time(CoreId{core}) - sim.now());
+    max_skew = std::max(max_skew, skew);
+  }
+  report.max_skew_after_sync = max_skew;
+  report.l2_disabled = !platform.config().l2_cache_enabled;
+  report.interrupts_disabled = !platform.config().interrupts_enabled;
+  return report;
+}
+
+}  // namespace sccft::scc

@@ -1,0 +1,44 @@
+// Baremetal boot sequence model (paper Section 4.1 / reference [14],
+// BareMichael).
+//
+// The paper's experimental setup boots the SCC without an OS: cores come up
+// staggered (the bootloader releases them one after another), caches and
+// interrupts are configured per core, and all time-stamp counters are
+// synchronized at a barrier before the application starts — "All clocks are
+// synchronized at application boot time in order to get valid timing
+// results". This module reproduces that sequence on the simulated platform
+// so experiments start from a faithful initial state, and exposes the boot
+// report (per-core release times, post-sync clock skew) for validation.
+#pragma once
+
+#include <vector>
+
+#include "scc/platform.hpp"
+
+namespace sccft::scc {
+
+struct BaremetalConfig {
+  /// Delay between consecutive core releases by the bootloader.
+  rtc::TimeNs core_release_stagger = rtc::from_us(50);
+  /// Per-core init (cache config, MPB clear, baremetal kernel entry).
+  rtc::TimeNs per_core_init = rtc::from_us(200);
+  /// Barrier slop: how long after the last core the sync point fires.
+  rtc::TimeNs barrier_margin = rtc::from_us(20);
+};
+
+struct BootReport {
+  std::vector<rtc::TimeNs> core_ready_at;  ///< per-core init completion time
+  rtc::TimeNs sync_barrier_at = 0;         ///< when clocks were synchronized
+  rtc::TimeNs max_skew_after_sync = 0;     ///< |local - global| right after sync
+  bool l2_disabled = false;
+  bool interrupts_disabled = false;
+};
+
+/// Runs the boot sequence on `platform` (advancing its simulator) and
+/// returns the report. Postconditions: simulator time == sync_barrier_at,
+/// and every core's TSC-derived local time agrees with global time to within
+/// a few nanoseconds.
+[[nodiscard]] BootReport baremetal_boot(Platform& platform,
+                                        BaremetalConfig config = {});
+
+}  // namespace sccft::scc

@@ -1,0 +1,69 @@
+#include "scc/dram.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+
+int controller_of(TileId tile) {
+  SCCFT_EXPECTS(tile.valid());
+  // Quadrant affinity: west/east half x bottom/top half.
+  const int west = tile.column() < kMeshColumns / 2 ? 0 : 1;
+  const int south = tile.row() < kMeshRows / 2 ? 0 : 1;
+  return south * 2 + west;
+}
+
+TileId controller_tile(int controller) {
+  SCCFT_EXPECTS(controller >= 0 && controller < kMemoryControllerCount);
+  // Controllers sit at the mesh corners.
+  switch (controller) {
+    case 0: return TileId::at(0, 0);
+    case 1: return TileId::at(kMeshColumns - 1, 0);
+    case 2: return TileId::at(0, kMeshRows - 1);
+    default: return TileId::at(kMeshColumns - 1, kMeshRows - 1);
+  }
+}
+
+DramModel::DramModel(NocModel& noc, DramConfig config) : noc_(noc), config_(config) {
+  SCCFT_EXPECTS(config_.bandwidth_bytes_per_sec > 0.0);
+  SCCFT_EXPECTS(config_.access_latency >= 0);
+  busy_until_.fill(0);
+}
+
+rtc::TimeNs DramModel::service_time(int bytes) const {
+  return config_.access_latency +
+         static_cast<rtc::TimeNs>(static_cast<double>(bytes) /
+                                  config_.bandwidth_bytes_per_sec * 1e9);
+}
+
+rtc::TimeNs DramModel::transfer(CoreId src, CoreId dst, int bytes, rtc::TimeNs start) {
+  SCCFT_EXPECTS(src.valid() && dst.valid());
+  SCCFT_EXPECTS(bytes >= 0);
+  // The writer's controller serves the write; the reader fetches through the
+  // same controller (the data lives in that bank).
+  const int controller = controller_of(src.tile());
+  const CoreId gateway{controller_tile(controller).value * kCoresPerTile};
+
+  // Leg 1: src -> controller over the mesh (chunked like any NoC transfer).
+  rtc::TimeNs t = noc_.transfer(src, gateway, bytes, start);
+  // DRAM write+read service, FCFS at the controller.
+  rtc::TimeNs& busy = busy_until_[static_cast<std::size_t>(controller)];
+  if (busy > t) {
+    ++queued_;
+    t = busy;
+  }
+  t += 2 * service_time(bytes);  // write then read back
+  busy = t;
+  // Leg 2: controller -> dst.
+  return noc_.transfer(gateway, dst, bytes, t);
+}
+
+rtc::TimeNs DramModel::estimate_latency(CoreId src, CoreId dst, int bytes) const {
+  const int controller = controller_of(src.tile());
+  const CoreId gateway{controller_tile(controller).value * kCoresPerTile};
+  return noc_.estimate_latency(src, gateway, bytes) + 2 * service_time(bytes) +
+         noc_.estimate_latency(gateway, dst, bytes);
+}
+
+}  // namespace sccft::scc

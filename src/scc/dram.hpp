@@ -1,0 +1,65 @@
+// Off-chip DRAM path model.
+//
+// The SCC has four DDR3 memory controllers at the mesh edges; messages that
+// do not fit the MPB go through shared DRAM. The paper's setup explicitly
+// avoids this path ("all data was sent/received in chunk sizes not exceeding
+// 3KB, ensuring that all messages are routed exclusively via the message
+// passing buffers") because DRAM access is a shared, contended resource that
+// ruins timing predictability. This module models that alternative so the
+// avoidance can be quantified: each core is affine to its quadrant's
+// controller; a transfer pays mesh hops to the controller, a queued DRAM
+// service time at the controller (FCFS, one request at a time), and hops to
+// the destination.
+#pragma once
+
+#include <array>
+
+#include "rtc/time.hpp"
+#include "scc/noc.hpp"
+#include "scc/topology.hpp"
+
+namespace sccft::scc {
+
+struct DramConfig {
+  double ddr_frequency_hz = 800e6;
+  double bandwidth_bytes_per_sec = 1.6e9;  ///< effective per-controller
+  rtc::TimeNs access_latency = rtc::from_us(1);  ///< row activation etc.
+};
+
+inline constexpr int kMemoryControllerCount = 4;
+
+/// The memory controller serving a tile (quadrant affinity, as on the SCC).
+[[nodiscard]] int controller_of(TileId tile);
+
+/// Mesh tile adjacent to a controller (where its traffic enters the mesh).
+[[nodiscard]] TileId controller_tile(int controller);
+
+/// DRAM-path transfers: source core writes to DRAM through its controller,
+/// destination core reads it back through the same controller. Controllers
+/// are serially-reusable (FCFS): concurrent requests queue, which is exactly
+/// the unpredictability the paper's MPB-only policy avoids.
+class DramModel final {
+ public:
+  DramModel(NocModel& noc, DramConfig config = {});
+
+  /// Full transfer src -> DRAM -> dst; returns completion time and occupies
+  /// the controller for the service duration.
+  [[nodiscard]] rtc::TimeNs transfer(CoreId src, CoreId dst, int bytes,
+                                     rtc::TimeNs start);
+
+  /// Contention-free latency estimate (for comparison/planning).
+  [[nodiscard]] rtc::TimeNs estimate_latency(CoreId src, CoreId dst, int bytes) const;
+
+  [[nodiscard]] std::uint64_t queued_requests() const { return queued_; }
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] rtc::TimeNs service_time(int bytes) const;
+
+  NocModel& noc_;
+  DramConfig config_;
+  std::array<rtc::TimeNs, kMemoryControllerCount> busy_until_{};
+  std::uint64_t queued_ = 0;
+};
+
+}  // namespace sccft::scc

@@ -1,0 +1,118 @@
+#include "scc/mapping.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+
+std::uint64_t Mapping::cost(const std::vector<TrafficEdge>& edges) const {
+  std::uint64_t total = 0;
+  for (const auto& edge : edges) {
+    SCCFT_EXPECTS(edge.from_process >= 0 &&
+                  edge.from_process < static_cast<int>(process_to_core.size()));
+    SCCFT_EXPECTS(edge.to_process >= 0 &&
+                  edge.to_process < static_cast<int>(process_to_core.size()));
+    const auto from = process_to_core[static_cast<std::size_t>(edge.from_process)];
+    const auto to = process_to_core[static_cast<std::size_t>(edge.to_process)];
+    total += edge.bytes_per_period *
+             static_cast<std::uint64_t>(hop_count(from.tile(), to.tile()));
+  }
+  return total;
+}
+
+Mapping map_low_contention(int process_count, const std::vector<TrafficEdge>& edges) {
+  SCCFT_EXPECTS(process_count > 0 && process_count <= kTileCount);
+  const auto n = static_cast<std::size_t>(process_count);
+
+  // Dense symmetric traffic matrix.
+  std::vector<std::vector<std::uint64_t>> traffic(n, std::vector<std::uint64_t>(n, 0));
+  std::vector<std::uint64_t> degree(n, 0);
+  for (const auto& edge : edges) {
+    SCCFT_EXPECTS(edge.from_process >= 0 && edge.from_process < process_count);
+    SCCFT_EXPECTS(edge.to_process >= 0 && edge.to_process < process_count);
+    const auto a = static_cast<std::size_t>(edge.from_process);
+    const auto b = static_cast<std::size_t>(edge.to_process);
+    traffic[a][b] += edge.bytes_per_period;
+    traffic[b][a] += edge.bytes_per_period;
+    degree[a] += edge.bytes_per_period;
+    degree[b] += edge.bytes_per_period;
+  }
+
+  std::vector<int> process_tile(n, -1);
+  std::vector<bool> tile_used(kTileCount, false);
+
+  // Seed: heaviest-traffic process at the mesh center.
+  std::size_t seed = 0;
+  for (std::size_t p = 1; p < n; ++p) {
+    if (degree[p] > degree[seed]) seed = p;
+  }
+  const TileId center = TileId::at(kMeshColumns / 2, kMeshRows / 2);
+  process_tile[seed] = center.value;
+  tile_used[static_cast<std::size_t>(center.value)] = true;
+
+  for (std::size_t placed = 1; placed < n; ++placed) {
+    // Pick the unplaced process with the strongest ties to placed processes.
+    std::size_t best_process = n;
+    std::uint64_t best_tie = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (process_tile[p] >= 0) continue;
+      std::uint64_t tie = 0;
+      for (std::size_t q = 0; q < n; ++q) {
+        if (process_tile[q] >= 0) tie += traffic[p][q];
+      }
+      if (best_process == n || tie > best_tie) {
+        best_process = p;
+        best_tie = tie;
+      }
+    }
+    SCCFT_ASSERT(best_process < n);
+
+    // Place it on the free tile minimizing its weighted hop sum (falling back
+    // to distance-from-center for isolated processes).
+    int best_tile = -1;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    for (int t = 0; t < kTileCount; ++t) {
+      if (tile_used[static_cast<std::size_t>(t)]) continue;
+      std::uint64_t cost = 0;
+      for (std::size_t q = 0; q < n; ++q) {
+        if (process_tile[q] < 0) continue;
+        cost += traffic[best_process][q] *
+                static_cast<std::uint64_t>(hop_count(TileId{t}, TileId{process_tile[q]}));
+      }
+      // Deterministic tie-break: prefer tiles closer to the center, then
+      // lower tile id.
+      const std::uint64_t tiebreak =
+          cost * 1000 + static_cast<std::uint64_t>(hop_count(TileId{t}, center)) * 10 +
+          static_cast<std::uint64_t>(t) % 10;
+      if (best_tile < 0 || tiebreak < best_cost) {
+        best_tile = t;
+        best_cost = tiebreak;
+      }
+    }
+    SCCFT_ASSERT(best_tile >= 0);
+    process_tile[best_process] = best_tile;
+    tile_used[static_cast<std::size_t>(best_tile)] = true;
+  }
+
+  Mapping mapping;
+  mapping.process_to_core.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    mapping.process_to_core.push_back(
+        CoreId{process_tile[p] * kCoresPerTile});  // core 0 of the tile
+  }
+  return mapping;
+}
+
+Mapping map_row_major(int process_count) {
+  SCCFT_EXPECTS(process_count > 0 && process_count <= kTileCount);
+  Mapping mapping;
+  mapping.process_to_core.reserve(static_cast<std::size_t>(process_count));
+  for (int p = 0; p < process_count; ++p) {
+    mapping.process_to_core.push_back(CoreId{p * kCoresPerTile});
+  }
+  return mapping;
+}
+
+}  // namespace sccft::scc

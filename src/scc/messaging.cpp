@@ -1,0 +1,21 @@
+#include "scc/messaging.hpp"
+
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+
+rtc::TimeNs MessagePassing::send(CoreId src, CoreId dst, int bytes, rtc::TimeNs now) {
+  SCCFT_EXPECTS(src.valid() && dst.valid());
+  SCCFT_EXPECTS(bytes >= 0);
+  ++messages_sent_;
+  bytes_sent_ += static_cast<std::uint64_t>(bytes);
+  per_pair_[{src.value, dst.value}] += 1;
+  return noc_.transfer(src, dst, bytes, now);
+}
+
+std::uint64_t MessagePassing::messages_between(CoreId src, CoreId dst) const {
+  const auto it = per_pair_.find({src.value, dst.value});
+  return it == per_pair_.end() ? 0 : it->second;
+}
+
+}  // namespace sccft::scc

@@ -1,0 +1,71 @@
+#include "scc/noc.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+
+NocModel::NocModel(NocConfig config) : config_(config) {
+  SCCFT_EXPECTS(config_.max_chunk_bytes > 0);
+  SCCFT_EXPECTS(config_.router_frequency_hz > 0.0);
+  SCCFT_EXPECTS(config_.link_bandwidth_bytes_per_sec > 0.0);
+  link_busy_until_.fill(0);
+}
+
+TimeNs NocModel::transfer_chunk(TileId from, TileId to, int bytes, TimeNs start) {
+  ++chunks_sent_;
+  const TimeNs serialization = config_.serialization_latency(bytes);
+  if (from == to) {
+    return start + serialization;
+  }
+  const auto route = xy_route(from, to);
+  TimeNs t = start;
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const Link link{route[i], route[i + 1]};
+    const int idx = link_index(link);
+    if (config_.model_contention) {
+      TimeNs& busy_until = link_busy_until_[static_cast<std::size_t>(idx)];
+      if (busy_until > t) {
+        contention_stalls_++;
+        t = busy_until;
+      }
+      // The chunk occupies the link for its serialization time (wormhole
+      // pipelining: the head moves on after one hop latency, but the body
+      // streams through for the serialization duration).
+      busy_until = t + config_.hop_latency() + serialization;
+    }
+    t += config_.hop_latency();
+  }
+  return t + serialization;
+}
+
+TimeNs NocModel::transfer(CoreId src, CoreId dst, int bytes, TimeNs start) {
+  SCCFT_EXPECTS(src.valid() && dst.valid());
+  SCCFT_EXPECTS(bytes >= 0);
+  SCCFT_EXPECTS(start >= 0);
+  TimeNs t = start + config_.software_overhead_ns;
+  int remaining = bytes;
+  do {
+    const int chunk = std::min(remaining, config_.max_chunk_bytes);
+    t = transfer_chunk(src.tile(), dst.tile(), std::max(chunk, 1), t);
+    remaining -= chunk;
+  } while (remaining > 0);
+  return t;
+}
+
+TimeNs NocModel::estimate_latency(CoreId src, CoreId dst, int bytes) const {
+  SCCFT_EXPECTS(src.valid() && dst.valid());
+  SCCFT_EXPECTS(bytes >= 0);
+  const int chunks = std::max(1, (bytes + config_.max_chunk_bytes - 1) /
+                                     config_.max_chunk_bytes);
+  const int hops = hop_count(src.tile(), dst.tile());
+  TimeNs latency = config_.software_overhead_ns;
+  latency += static_cast<TimeNs>(chunks) *
+             (static_cast<TimeNs>(hops) * config_.hop_latency() +
+              config_.serialization_latency(
+                  std::max(1, std::min(bytes, config_.max_chunk_bytes))));
+  return latency;
+}
+
+}  // namespace sccft::scc

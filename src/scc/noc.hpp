@@ -1,0 +1,76 @@
+// Cycle-approximate model of the SCC's 2D-mesh network-on-chip.
+//
+// Transfers between cores go through per-tile message-passing buffers (MPB).
+// Following the paper's setup (Section 4.1): router frequency 800 MHz, tile
+// frequency 533 MHz, payloads chunked so no message exceeds 3 KiB ("ensuring
+// that all messages are routed exclusively via the message passing buffers").
+//
+// The latency model per chunk is
+//   t_chunk = t_sw + hops * t_hop + bytes / bw_link
+// where t_sw is the software send/receive overhead of the iRCCE-style
+// library, t_hop the per-router forwarding latency, and bw_link the effective
+// MPB-to-MPB copy bandwidth. Links are modelled as serially-reusable
+// resources: a chunk occupies every link of its XY route for its
+// serialization time, so concurrent transfers crossing the same link are
+// delayed (the paper avoids exactly this by low-contention mapping, which the
+// mapper in mapping.hpp reproduces).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rtc/time.hpp"
+#include "scc/topology.hpp"
+
+namespace sccft::scc {
+
+using rtc::TimeNs;
+
+/// Tunable latency/bandwidth parameters of the NoC model.
+struct NocConfig {
+  double router_frequency_hz = 800e6;
+  int cycles_per_hop = 4;            ///< router forwarding latency per hop
+  TimeNs software_overhead_ns = 2'000;  ///< iRCCE send+recv software path
+  double link_bandwidth_bytes_per_sec = 533e6;  ///< MPB copy bandwidth
+  int max_chunk_bytes = 3 * 1024;    ///< paper: chunk size <= 3 KiB
+  bool model_contention = true;      ///< serialize chunks on shared links
+
+  [[nodiscard]] TimeNs hop_latency() const {
+    return static_cast<TimeNs>(static_cast<double>(cycles_per_hop) /
+                               router_frequency_hz * 1e9);
+  }
+  [[nodiscard]] TimeNs serialization_latency(int bytes) const {
+    return static_cast<TimeNs>(static_cast<double>(bytes) /
+                               link_bandwidth_bytes_per_sec * 1e9);
+  }
+};
+
+/// Stateful NoC: computes message arrival times, accounting for chunking and
+/// (optionally) link contention. Deterministic: same call sequence, same
+/// results.
+class NocModel final {
+ public:
+  explicit NocModel(NocConfig config = {});
+
+  /// Computes when a `bytes`-sized message sent at `start` from `src` to
+  /// `dst` is fully received, updating link occupancy. Same-tile transfers
+  /// cost only the software overhead plus one MPB copy.
+  [[nodiscard]] TimeNs transfer(CoreId src, CoreId dst, int bytes, TimeNs start);
+
+  /// Pure latency query that does not reserve links (used for planning).
+  [[nodiscard]] TimeNs estimate_latency(CoreId src, CoreId dst, int bytes) const;
+
+  [[nodiscard]] const NocConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t chunks_sent() const { return chunks_sent_; }
+  [[nodiscard]] std::uint64_t contention_stalls() const { return contention_stalls_; }
+
+ private:
+  [[nodiscard]] TimeNs transfer_chunk(TileId from, TileId to, int bytes, TimeNs start);
+
+  NocConfig config_;
+  std::array<TimeNs, kLinkTableSize> link_busy_until_{};
+  std::uint64_t chunks_sent_ = 0;
+  std::uint64_t contention_stalls_ = 0;
+};
+
+}  // namespace sccft::scc

@@ -1,0 +1,46 @@
+#include "scc/platform.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::scc {
+
+Platform::Platform(sim::Simulator& sim, BootConfig config)
+    : sim_(sim),
+      config_(config),
+      noc_(NocConfig{.router_frequency_hz = config.router_frequency_hz,
+                     .cycles_per_hop = 4,
+                     .software_overhead_ns = 2'000,
+                     .link_bandwidth_bytes_per_sec = config.tile_frequency_hz,
+                     .max_chunk_bytes = 3 * 1024,
+                     .model_contention = true}) {
+  SCCFT_EXPECTS(config_.tile_frequency_hz > 0.0);
+  util::Xoshiro256 rng(config_.clock_seed);
+  clocks_.reserve(kCoreCount);
+  for (int core = 0; core < kCoreCount; ++core) {
+    const double drift_ppm =
+        rng.uniform(-config_.max_clock_drift_ppm, config_.max_clock_drift_ppm);
+    const auto offset_ns = static_cast<rtc::TimeNs>(rng.uniform_int(0, 1'000'000));
+    clocks_.emplace_back(config_.tile_frequency_hz, drift_ppm, offset_ns);
+  }
+}
+
+sim::TscClock& Platform::clock(CoreId core) {
+  SCCFT_EXPECTS(core.valid());
+  return clocks_[static_cast<std::size_t>(core.value)];
+}
+
+const sim::TscClock& Platform::clock(CoreId core) const {
+  SCCFT_EXPECTS(core.valid());
+  return clocks_[static_cast<std::size_t>(core.value)];
+}
+
+void Platform::synchronize_clocks() {
+  for (auto& clock : clocks_) clock.synchronize(sim_.now());
+}
+
+rtc::TimeNs Platform::local_time(CoreId core) const {
+  return clock(core).local_time_at(sim_.now());
+}
+
+}  // namespace sccft::scc

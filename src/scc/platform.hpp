@@ -1,0 +1,58 @@
+// The simulated SCC platform: boot configuration, per-core clocks, NoC.
+//
+// Mirrors the paper's experimental setup (Section 4.1): baremetal mode, L2
+// caches off, interrupts disabled, tile frequency 533 MHz, router frequency
+// 800 MHz, DDR3 at 800 MHz, all core clocks synchronized at application boot.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rtc/time.hpp"
+#include "scc/noc.hpp"
+#include "scc/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::scc {
+
+/// Boot parameters, defaulting to the paper's configuration.
+struct BootConfig {
+  double tile_frequency_hz = 533e6;
+  double router_frequency_hz = 800e6;
+  double ddr_frequency_hz = 800e6;
+  bool l2_cache_enabled = false;   ///< paper: switched off for predictability
+  bool interrupts_enabled = false; ///< paper: disabled
+  double max_clock_drift_ppm = 5.0;  ///< crystal tolerance across tiles
+  std::uint64_t clock_seed = 42;     ///< seed for per-core drift/offset draws
+};
+
+/// A booted SCC: owns the NoC model and one TSC clock per core.
+class Platform final {
+ public:
+  explicit Platform(sim::Simulator& sim, BootConfig config = {});
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const BootConfig& config() const { return config_; }
+  [[nodiscard]] NocModel& noc() { return noc_; }
+  [[nodiscard]] const NocModel& noc() const { return noc_; }
+
+  [[nodiscard]] sim::TscClock& clock(CoreId core);
+  [[nodiscard]] const sim::TscClock& clock(CoreId core) const;
+
+  /// Boot-time barrier: synchronizes every core's TSC to the current
+  /// simulated time (paper: "All clocks are synchronized at application boot
+  /// time in order to get valid timing results").
+  void synchronize_clocks();
+
+  /// Local TSC-derived timestamp on `core` at the current simulated time.
+  [[nodiscard]] rtc::TimeNs local_time(CoreId core) const;
+
+ private:
+  sim::Simulator& sim_;
+  BootConfig config_;
+  NocModel noc_;
+  std::vector<sim::TscClock> clocks_;
+};
+
+}  // namespace sccft::scc

@@ -1,0 +1,42 @@
+#include "scc/topology.hpp"
+
+#include <cstdlib>
+
+namespace sccft::scc {
+
+int hop_count(TileId from, TileId to) {
+  SCCFT_EXPECTS(from.valid() && to.valid());
+  return std::abs(from.column() - to.column()) + std::abs(from.row() - to.row());
+}
+
+std::vector<TileId> xy_route(TileId from, TileId to) {
+  SCCFT_EXPECTS(from.valid() && to.valid());
+  std::vector<TileId> route;
+  route.push_back(from);
+  int col = from.column();
+  int row = from.row();
+  while (col != to.column()) {
+    col += (to.column() > col) ? 1 : -1;
+    route.push_back(TileId::at(col, row));
+  }
+  while (row != to.row()) {
+    row += (to.row() > row) ? 1 : -1;
+    route.push_back(TileId::at(col, row));
+  }
+  return route;
+}
+
+int link_index(const Link& link) {
+  SCCFT_EXPECTS(link.from.valid() && link.to.valid());
+  SCCFT_EXPECTS(hop_count(link.from, link.to) == 1);
+  const int dc = link.to.column() - link.from.column();
+  const int dr = link.to.row() - link.from.row();
+  int direction = 0;
+  if (dc == 1) direction = 0;        // east
+  else if (dc == -1) direction = 1;  // west
+  else if (dr == 1) direction = 2;   // north
+  else direction = 3;                // south
+  return link.from.value * 4 + direction;
+}
+
+}  // namespace sccft::scc

@@ -1,0 +1,71 @@
+// Intel SCC topology model.
+//
+// The Single-chip Cloud Computer (Howard et al., ISSCC 2010) is a 48-core
+// IA-32 message-passing processor: 24 dual-core tiles arranged in a 6x4 mesh,
+// each tile with a router and a 16 KiB message-passing buffer (MPB, 8 KiB per
+// core), four DDR3 memory controllers at the mesh corners.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+
+inline constexpr int kMeshColumns = 6;
+inline constexpr int kMeshRows = 4;
+inline constexpr int kTileCount = kMeshColumns * kMeshRows;  // 24
+inline constexpr int kCoresPerTile = 2;
+inline constexpr int kCoreCount = kTileCount * kCoresPerTile;  // 48
+inline constexpr int kMpbBytesPerTile = 16 * 1024;
+inline constexpr int kMpbBytesPerCore = 8 * 1024;
+
+/// Strongly-typed tile identifier, 0..23, row-major from the mesh origin.
+struct TileId {
+  int value = 0;
+
+  [[nodiscard]] int column() const { return value % kMeshColumns; }
+  [[nodiscard]] int row() const { return value / kMeshColumns; }
+  [[nodiscard]] static TileId at(int column, int row) {
+    SCCFT_EXPECTS(column >= 0 && column < kMeshColumns);
+    SCCFT_EXPECTS(row >= 0 && row < kMeshRows);
+    return TileId{row * kMeshColumns + column};
+  }
+  [[nodiscard]] bool valid() const { return value >= 0 && value < kTileCount; }
+  friend bool operator==(const TileId&, const TileId&) = default;
+};
+
+/// Strongly-typed core identifier, 0..47. Cores 2t and 2t+1 live on tile t.
+struct CoreId {
+  int value = 0;
+
+  [[nodiscard]] TileId tile() const { return TileId{value / kCoresPerTile}; }
+  [[nodiscard]] int local_index() const { return value % kCoresPerTile; }
+  [[nodiscard]] bool valid() const { return value >= 0 && value < kCoreCount; }
+  [[nodiscard]] std::string name() const { return "core" + std::to_string(value); }
+  friend bool operator==(const CoreId&, const CoreId&) = default;
+};
+
+/// Manhattan distance between two tiles — the hop count of the SCC's
+/// dimension-ordered (X-then-Y) routing.
+[[nodiscard]] int hop_count(TileId from, TileId to);
+
+/// The sequence of tiles an X-then-Y routed packet traverses, inclusive of
+/// both endpoints.
+[[nodiscard]] std::vector<TileId> xy_route(TileId from, TileId to);
+
+/// A directed mesh link between adjacent tiles, identified by its endpoints.
+struct Link {
+  TileId from;
+  TileId to;
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+/// Index of a directed link in a dense per-link table (4 directions per tile).
+[[nodiscard]] int link_index(const Link& link);
+inline constexpr int kLinkTableSize = kTileCount * 4;
+
+}  // namespace sccft::scc

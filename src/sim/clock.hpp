@@ -1,0 +1,60 @@
+// Simulated hardware clocks.
+//
+// The SCC derives all timing measurements from per-core time-stamp counters
+// (TSC). Each core's TSC runs at the tile frequency and may carry a small
+// offset and drift relative to the global simulated time; clocks are
+// synchronized at application boot ("All clocks are synchronized at
+// application boot time", Section 4.1), which we model by capturing the
+// offset at sync time.
+#pragma once
+
+#include <cstdint>
+
+#include "rtc/time.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::sim {
+
+using rtc::TimeNs;
+
+/// A TSC-style cycle counter clock derived from global simulated time.
+class TscClock final {
+ public:
+  /// `frequency_hz` of the counter; `drift_ppm` models crystal inaccuracy
+  /// (parts per million); `offset_ns` is the power-on phase offset.
+  TscClock(double frequency_hz, double drift_ppm = 0.0, TimeNs offset_ns = 0)
+      : frequency_hz_(frequency_hz), drift_ppm_(drift_ppm), offset_ns_(offset_ns) {
+    SCCFT_EXPECTS(frequency_hz > 0.0);
+  }
+
+  /// Raw cycle count at global time `now`.
+  [[nodiscard]] std::uint64_t cycles_at(TimeNs now) const {
+    const double effective_hz = frequency_hz_ * (1.0 + drift_ppm_ * 1e-6);
+    const double t = static_cast<double>(now + offset_ns_) * 1e-9;
+    return static_cast<std::uint64_t>(t * effective_hz);
+  }
+
+  /// Local time in nanoseconds reconstructed from the cycle count using the
+  /// *nominal* frequency (as software on the core would do).
+  [[nodiscard]] TimeNs local_time_at(TimeNs now) const {
+    const double seconds = static_cast<double>(cycles_at(now)) / frequency_hz_;
+    return static_cast<TimeNs>(seconds * 1e9) - sync_correction_;
+  }
+
+  /// Boot-time synchronization: after sync, local_time_at(now) == now holds
+  /// up to drift accumulated since `now`.
+  void synchronize(TimeNs now) {
+    sync_correction_ = 0;
+    sync_correction_ = local_time_at(now) - now;
+  }
+
+  [[nodiscard]] double frequency_hz() const { return frequency_hz_; }
+
+ private:
+  double frequency_hz_;
+  double drift_ppm_;
+  TimeNs offset_ns_;
+  TimeNs sync_correction_ = 0;
+};
+
+}  // namespace sccft::sim

@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sccft::sim {
+
+void Simulator::schedule_at(TimeNs t, Callback cb) {
+  SCCFT_EXPECTS(t >= now_);
+  SCCFT_EXPECTS(cb != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_after(TimeNs delay, Callback cb) {
+  SCCFT_EXPECTS(delay >= 0);
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+void Simulator::dispatch_one() {
+  // Copy out before pop: the callback may schedule new events.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  SCCFT_ASSERT(event.time >= now_);
+  now_ = event.time;
+  ++events_processed_;
+  event.cb();
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    dispatch_one();
+  }
+}
+
+bool Simulator::run_until(TimeNs t) {
+  SCCFT_EXPECTS(t >= now_);
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    dispatch_one();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return !stopped_;
+}
+
+}  // namespace sccft::sim

@@ -1,0 +1,74 @@
+// Discrete-event simulation core.
+//
+// The framework's experiments run on a simulated Intel SCC (see src/scc/).
+// This module provides the event wheel: a deterministic, single-threaded
+// discrete-event simulator with integer-nanosecond time. Determinism comes
+// from a (time, sequence) total order on events — two events at the same
+// timestamp fire in scheduling order, so reruns are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "rtc/time.hpp"
+
+namespace sccft::sim {
+
+using rtc::TimeNs;
+
+class Simulator final {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  void schedule_at(TimeNs t, Callback cb);
+
+  /// Schedules `cb` `delay` nanoseconds from now (delay >= 0).
+  void schedule_after(TimeNs delay, Callback cb);
+
+  /// Runs until the event queue is empty or stop() is called.
+  void run();
+
+  /// Runs all events with timestamp <= `t`; afterwards now() == t unless the
+  /// queue drained earlier or stop() was called. Returns false if stopped.
+  bool run_until(TimeNs t);
+
+  /// Requests the run loop to exit after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch_one();
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sccft::sim

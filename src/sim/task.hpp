@@ -1,0 +1,102 @@
+// Coroutine task type for simulated processes.
+//
+// Process bodies in the KPN runtime (src/kpn/) are C++20 coroutines returning
+// sim::Task. A Task is a top-level, runtime-owned coroutine: nothing awaits
+// it; the simulator resumes it when the awaited condition (a delay elapsing,
+// a FIFO becoming readable/writable) is met. Exceptions escaping a process
+// body are captured and rethrown by the runtime after the simulation run, so
+// contract violations inside processes fail tests instead of vanishing.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace sccft::sim {
+
+class Task final {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+    bool done_flag = false;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    // Lazy start: the runtime decides when the process first runs.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept { done_flag = true; }
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+      done_flag = true;
+    }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+  /// Resumes the coroutine once (used by the runtime to start it).
+  void start() {
+    if (handle_ && !handle_.done()) handle_.resume();
+  }
+
+  /// Exception that escaped the body, if any (null otherwise).
+  [[nodiscard]] std::exception_ptr exception() const {
+    return handle_ ? handle_.promise().exception : nullptr;
+  }
+
+  /// Rethrows the captured exception if there is one.
+  void rethrow_if_failed() const {
+    if (auto ex = exception()) std::rethrow_exception(ex);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Awaitable that suspends the current coroutine for a simulated duration.
+/// `co_await Delay{sim, ns}` resumes exactly ns later in simulated time.
+struct Delay {
+  Simulator& sim;
+  TimeNs duration;
+
+  [[nodiscard]] bool await_ready() const noexcept { return duration == 0; }
+  void await_suspend(std::coroutine_handle<> handle) const {
+    sim.schedule_after(duration, [handle] { handle.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Awaitable that never resumes: a process awaiting Forever is permanently
+/// parked (used to model a replica falling silent after a timing fault).
+struct Forever {
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace sccft::sim

@@ -1,0 +1,44 @@
+// Contract-checking macros used across the framework.
+//
+// Following the C++ Core Guidelines (I.6/I.8: prefer expressing preconditions
+// and postconditions), every module states its contracts with these macros.
+// Violations throw `sccft::util::ContractViolation` so that unit tests can
+// assert on them (EXPECT_THROW) instead of aborting the whole test binary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sccft::util {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation final : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: `" + expr + "` at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace sccft::util
+
+/// Precondition check: argument/state requirements at function entry.
+#define SCCFT_EXPECTS(cond)                                                        \
+  do {                                                                             \
+    if (!(cond)) ::sccft::util::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define SCCFT_ENSURES(cond)                                                        \
+  do {                                                                             \
+    if (!(cond)) ::sccft::util::contract_failure("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// General internal-consistency assertion.
+#define SCCFT_ASSERT(cond)                                                         \
+  do {                                                                             \
+    if (!(cond)) ::sccft::util::contract_failure("assertion", #cond, __FILE__, __LINE__); \
+  } while (false)

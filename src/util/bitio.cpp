@@ -1,0 +1,80 @@
+#include "util/bitio.hpp"
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+void BitWriter::write_bits(std::uint32_t value, int bits) {
+  SCCFT_EXPECTS(bits >= 0 && bits <= 32);
+  if (bits == 0) return;
+  if (bits < 32) value &= (1U << bits) - 1U;
+  bit_count_ += static_cast<std::size_t>(bits);
+  for (int i = bits - 1; i >= 0; --i) {
+    const std::uint32_t bit = (value >> i) & 1U;
+    acc_ = (acc_ << 1) | bit;
+    if (++acc_bits_ == 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      acc_bits_ = 0;
+    }
+  }
+}
+
+void BitWriter::write_ue(std::uint32_t value) {
+  // codeNum = value; write (leadingZeroBits) zeros, then (value+1) in
+  // (leadingZeroBits + 1) bits.
+  const std::uint64_t code = static_cast<std::uint64_t>(value) + 1;
+  int len = 0;
+  while ((code >> len) > 1) ++len;  // floor(log2(code))
+  write_bits(0, len);
+  // code has (len + 1) significant bits; top bit is 1.
+  write_bits(static_cast<std::uint32_t>(code), len + 1);
+}
+
+void BitWriter::write_se(std::int32_t value) {
+  // Mapping per H.264 9.1.1: v>0 -> 2v-1, v<=0 -> -2v.
+  const std::uint32_t mapped =
+      value > 0 ? static_cast<std::uint32_t>(2 * static_cast<std::int64_t>(value) - 1)
+                : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(value));
+  write_ue(mapped);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_ << (8 - acc_bits_)));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::uint32_t BitReader::read_bits(int bits) {
+  SCCFT_EXPECTS(bits >= 0 && bits <= 32);
+  SCCFT_EXPECTS(pos_ + static_cast<std::size_t>(bits) <= data_.size() * 8);
+  std::uint32_t result = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ >> 3;
+    const int offset = 7 - static_cast<int>(pos_ & 7);
+    result = (result << 1) | ((data_[byte] >> offset) & 1U);
+    ++pos_;
+  }
+  return result;
+}
+
+std::uint32_t BitReader::read_ue() {
+  int zeros = 0;
+  while (!read_bit()) {
+    ++zeros;
+    SCCFT_ASSERT(zeros <= 32);
+  }
+  std::uint32_t suffix = zeros > 0 ? read_bits(zeros) : 0;
+  return ((1U << zeros) - 1U) + suffix;
+}
+
+std::int32_t BitReader::read_se() {
+  const std::uint32_t mapped = read_ue();
+  const auto half = static_cast<std::int64_t>((mapped + 1) / 2);
+  return static_cast<std::int32_t>((mapped & 1U) ? half : -half);
+}
+
+}  // namespace sccft::util

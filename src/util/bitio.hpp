@@ -1,0 +1,66 @@
+// Bit-level I/O used by the application codecs (MJPEG Huffman coding,
+// H.264-style Exp-Golomb coding).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sccft::util {
+
+/// MSB-first bit writer into a growable byte vector.
+class BitWriter final {
+ public:
+  /// Writes the lowest `bits` bits of `value`, most-significant bit first.
+  /// Requires 0 <= bits <= 32.
+  void write_bits(std::uint32_t value, int bits);
+
+  /// Writes a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1U : 0U, 1); }
+
+  /// Writes an unsigned Exp-Golomb code (H.264 ue(v)).
+  void write_ue(std::uint32_t value);
+
+  /// Writes a signed Exp-Golomb code (H.264 se(v)).
+  void write_se(std::int32_t value);
+
+  /// Pads the current byte with zero bits and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t acc_ = 0;   // bits accumulated, aligned to MSB side of a byte
+  int acc_bits_ = 0;        // number of valid bits in acc_ (0..7)
+  std::size_t bit_count_ = 0;
+};
+
+/// MSB-first bit reader over a byte span. The span must outlive the reader.
+class BitReader final {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads `bits` bits (0..32), MSB first. Throws ContractViolation past end.
+  [[nodiscard]] std::uint32_t read_bits(int bits);
+
+  [[nodiscard]] bool read_bit() { return read_bits(1) != 0; }
+
+  /// Reads an unsigned Exp-Golomb code.
+  [[nodiscard]] std::uint32_t read_ue();
+
+  /// Reads a signed Exp-Golomb code.
+  [[nodiscard]] std::int32_t read_se();
+
+  [[nodiscard]] std::size_t bits_consumed() const { return pos_; }
+  [[nodiscard]] std::size_t bits_remaining() const {
+    return data_.size() * 8 - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;  // bit position
+};
+
+}  // namespace sccft::util

@@ -1,0 +1,115 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports --flag value, --flag=value, and boolean --flag forms; collects
+// unknown flags as errors and renders a usage summary. Header-only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+class CliParser final {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declares a flag with a default value and help text.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help) {
+    SCCFT_EXPECTS(!name.empty());
+    SCCFT_EXPECTS(flags_.find(name) == flags_.end());
+    flags_[name] = Flag{default_value, help, default_value};
+  }
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// missing values. "--help" sets help_requested().
+  bool parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        help_requested_ = true;
+        continue;
+      }
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected positional argument: " + arg;
+        return false;
+      }
+      arg = arg.substr(2);
+      std::string value;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      }
+      const auto it = flags_.find(arg);
+      if (it == flags_.end()) {
+        error_ = "unknown flag: --" + arg;
+        return false;
+      }
+      if (eq == std::string::npos) {
+        // Boolean form (--flag) if the default is true/false; else consume
+        // the next argv element as the value.
+        if (it->second.default_value == "true" || it->second.default_value == "false") {
+          value = "true";
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        } else {
+          error_ = "flag --" + arg + " needs a value";
+          return false;
+        }
+      }
+      it->second.value = value;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string get(const std::string& name) const {
+    const auto it = flags_.find(name);
+    SCCFT_EXPECTS(it != flags_.end());
+    return it->second.value;
+  }
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const {
+    return std::stoll(get(name));
+  }
+  [[nodiscard]] double get_double(const std::string& name) const {
+    return std::stod(get(name));
+  }
+  [[nodiscard]] bool get_bool(const std::string& name) const {
+    return get(name) == "true" || get(name) == "1";
+  }
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  [[nodiscard]] std::string usage() const {
+    std::ostringstream os;
+    os << program_ << " — " << description_ << "\n\nFlags:\n";
+    for (const auto& [name, flag] : flags_) {
+      os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+         << flag.help << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::string value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace sccft::util

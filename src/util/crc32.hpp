@@ -1,0 +1,19 @@
+// CRC-32 (ISO-HDLC / zlib polynomial) for token payload integrity checks.
+//
+// The fault-tolerance experiments verify Theorem 2's *functional* equivalence
+// by comparing output streams; tokens carry a payload checksum so mismatches
+// are detected in O(1) space per token.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sccft::util {
+
+/// CRC-32 of `data`, with optional chaining through `seed` (pass a previous
+/// result to continue a running checksum).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0);
+
+}  // namespace sccft::util

@@ -1,0 +1,63 @@
+// Tiny CSV writer for experiment time-series and sweep outputs.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+class CsvWriter final {
+ public:
+  explicit CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+    SCCFT_EXPECTS(!header_.empty());
+  }
+
+  void add_row(std::vector<std::string> row) {
+    SCCFT_EXPECTS(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  [[nodiscard]] std::string render() const {
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) os << ',';
+        // Quote cells containing separators/quotes (RFC 4180).
+        const std::string& cell = cells[i];
+        if (cell.find_first_of(",\"\n") != std::string::npos) {
+          os << '"';
+          for (char c : cell) {
+            if (c == '"') os << '"';
+            os << c;
+          }
+          os << '"';
+        } else {
+          os << cell;
+        }
+      }
+      os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+  }
+
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << render();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sccft::util

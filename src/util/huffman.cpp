@@ -1,0 +1,213 @@
+#include "util/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+namespace {
+
+/// Computes per-symbol code lengths with a standard Huffman heap, then
+/// limits them to kMaxHuffmanBits with the classic bit-count adjustment
+/// (shallower codes absorb the overflow while Kraft equality is preserved).
+std::array<std::uint8_t, 256> compute_lengths(std::span<const std::uint64_t> freqs) {
+  struct Node {
+    std::uint64_t weight;
+    int id;  // < 256: leaf symbol; >= 256: internal
+  };
+  struct Heavier {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      return a.id > b.id;  // deterministic tie-break
+    }
+  };
+
+  std::vector<int> parent(512, -1);
+  std::priority_queue<Node, std::vector<Node>, Heavier> heap;
+  int active = 0;
+  for (int s = 0; s < static_cast<int>(freqs.size()) && s < 256; ++s) {
+    if (freqs[static_cast<std::size_t>(s)] > 0) {
+      heap.push(Node{freqs[static_cast<std::size_t>(s)], s});
+      ++active;
+    }
+  }
+  SCCFT_EXPECTS(active >= 1);
+
+  int next_internal = 256;
+  while (heap.size() >= 2) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    const int id = next_internal++;
+    SCCFT_ASSERT(id < 512);
+    parent[static_cast<std::size_t>(a.id)] = id;
+    parent[static_cast<std::size_t>(b.id)] = id;
+    heap.push(Node{a.weight + b.weight, id});
+  }
+
+  std::array<std::uint8_t, 256> lengths{};
+  std::array<std::uint8_t, 512> depth{};
+  // Depths top-down: iterate ids in decreasing order (parents have larger
+  // ids than children by construction).
+  for (int id = next_internal - 1; id >= 0; --id) {
+    const int p = parent[static_cast<std::size_t>(id)];
+    if (p >= 0) {
+      depth[static_cast<std::size_t>(id)] =
+          static_cast<std::uint8_t>(depth[static_cast<std::size_t>(p)] + 1);
+    }
+    if (id < 256 && freqs[static_cast<std::size_t>(id)] > 0) {
+      lengths[static_cast<std::size_t>(id)] =
+          std::max<std::uint8_t>(depth[static_cast<std::size_t>(id)], 1);
+    }
+  }
+
+  // Length-limit to kMaxHuffmanBits (JPEG Annex K.2 style adjustment on the
+  // per-length histogram, then re-derive per-symbol lengths canonically).
+  std::array<int, 64> bits{};
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) {
+      ++bits[lengths[static_cast<std::size_t>(s)]];
+    }
+  }
+  for (int i = 63; i > kMaxHuffmanBits; --i) {
+    while (bits[i] > 0) {
+      int j = i - 2;
+      while (j > 0 && bits[j] == 0) --j;
+      SCCFT_ASSERT(j > 0);
+      bits[i] -= 2;
+      bits[i - 1] += 1;
+      bits[j + 1] += 2;
+      bits[j] -= 1;
+    }
+  }
+  // Re-assign lengths: symbols sorted by (original length, symbol id) get
+  // the adjusted lengths in order.
+  std::vector<int> order;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (lengths[static_cast<std::size_t>(a)] != lengths[static_cast<std::size_t>(b)]) {
+      return lengths[static_cast<std::size_t>(a)] < lengths[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+  std::size_t at = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    for (int n = 0; n < bits[len]; ++n) {
+      SCCFT_ASSERT(at < order.size());
+      lengths[static_cast<std::size_t>(order[at++])] = static_cast<std::uint8_t>(len);
+    }
+  }
+  SCCFT_ASSERT(at == order.size());
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanTable HuffmanTable::build(std::span<const std::uint64_t> frequencies) {
+  SCCFT_EXPECTS(frequencies.size() <= 256);
+  const auto lengths = compute_lengths(frequencies);
+
+  HuffmanTable table;
+  // Canonical symbol order: by (length, symbol value).
+  std::vector<int> order;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (lengths[static_cast<std::size_t>(a)] != lengths[static_cast<std::size_t>(b)]) {
+      return lengths[static_cast<std::size_t>(a)] < lengths[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+  for (int s : order) {
+    table.counts_[static_cast<std::size_t>(lengths[static_cast<std::size_t>(s)] - 1)]++;
+    table.symbols_.push_back(static_cast<std::uint8_t>(s));
+  }
+  table.assign_canonical_codes();
+  return table;
+}
+
+void HuffmanTable::assign_canonical_codes() {
+  code_of_.fill(0);
+  length_of_.fill(0);
+  std::uint32_t code = 0;
+  std::size_t index = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    first_code_[static_cast<std::size_t>(len)] = static_cast<std::int32_t>(code);
+    first_index_[static_cast<std::size_t>(len)] = static_cast<std::int32_t>(index);
+    for (int n = 0; n < counts_[static_cast<std::size_t>(len - 1)]; ++n) {
+      const std::uint8_t symbol = symbols_[index];
+      code_of_[symbol] = static_cast<std::uint16_t>(code);
+      length_of_[symbol] = static_cast<std::uint8_t>(len);
+      ++code;
+      ++index;
+    }
+    code <<= 1;
+  }
+  SCCFT_ENSURES(index == symbols_.size());
+}
+
+HuffmanTable HuffmanTable::read_from(BitReader& reader) {
+  HuffmanTable table;
+  std::size_t total = 0;
+  for (int len = 0; len < kMaxHuffmanBits; ++len) {
+    table.counts_[static_cast<std::size_t>(len)] =
+        static_cast<std::uint16_t>(reader.read_bits(16));
+    total += table.counts_[static_cast<std::size_t>(len)];
+  }
+  SCCFT_EXPECTS(total >= 1 && total <= 256);
+  table.symbols_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    table.symbols_.push_back(static_cast<std::uint8_t>(reader.read_bits(8)));
+  }
+  table.assign_canonical_codes();
+  return table;
+}
+
+void HuffmanTable::write_to(BitWriter& writer) const {
+  for (int len = 0; len < kMaxHuffmanBits; ++len) {
+    writer.write_bits(counts_[static_cast<std::size_t>(len)], 16);
+  }
+  for (std::uint8_t symbol : symbols_) writer.write_bits(symbol, 8);
+}
+
+void HuffmanTable::encode(BitWriter& writer, int symbol) const {
+  SCCFT_EXPECTS(symbol >= 0 && symbol < 256);
+  SCCFT_EXPECTS(length_of_[static_cast<std::size_t>(symbol)] > 0);
+  writer.write_bits(code_of_[static_cast<std::size_t>(symbol)],
+                    length_of_[static_cast<std::size_t>(symbol)]);
+}
+
+int HuffmanTable::decode(BitReader& reader) const {
+  std::int32_t code = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    code = (code << 1) | static_cast<std::int32_t>(reader.read_bits(1));
+    const int count = counts_[static_cast<std::size_t>(len - 1)];
+    if (count > 0) {
+      const std::int32_t first = first_code_[static_cast<std::size_t>(len)];
+      if (code - first < count) {
+        return symbols_[static_cast<std::size_t>(
+            first_index_[static_cast<std::size_t>(len)] + (code - first))];
+      }
+    }
+  }
+  SCCFT_ASSERT(false);  // corrupt bitstream
+  return -1;
+}
+
+bool HuffmanTable::has_code(int symbol) const {
+  return symbol >= 0 && symbol < 256 &&
+         length_of_[static_cast<std::size_t>(symbol)] > 0;
+}
+
+int HuffmanTable::code_length(int symbol) const {
+  SCCFT_EXPECTS(has_code(symbol));
+  return length_of_[static_cast<std::size_t>(symbol)];
+}
+
+}  // namespace sccft::util

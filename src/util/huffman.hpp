@@ -1,0 +1,58 @@
+// Canonical Huffman coding (JPEG-style).
+//
+// Builds length-limited canonical Huffman codes from symbol frequencies and
+// encodes/decodes symbols through BitWriter/BitReader. The table serializes
+// in the JPEG DHT layout: 16 counts (codes of length 1..16) followed by the
+// symbols in canonical order — compact and self-describing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitio.hpp"
+
+namespace sccft::util {
+
+inline constexpr int kMaxHuffmanBits = 16;
+
+class HuffmanTable final {
+ public:
+  /// Builds a canonical, length-limited code for all symbols with non-zero
+  /// frequency. `frequencies[s]` is the weight of symbol s. At least one
+  /// symbol must have non-zero frequency.
+  [[nodiscard]] static HuffmanTable build(std::span<const std::uint64_t> frequencies);
+
+  /// Deserializes a table from the JPEG DHT layout via `reader`.
+  [[nodiscard]] static HuffmanTable read_from(BitReader& reader);
+
+  /// Serializes in the DHT-style layout: 16x u16 counts (u16 rather than
+  /// JPEG's u8 so a full 256-symbol alphabet of uniform depth is legal),
+  /// then the symbols (u8 each).
+  void write_to(BitWriter& writer) const;
+
+  /// Encodes `symbol` (must have been assigned a code).
+  void encode(BitWriter& writer, int symbol) const;
+
+  /// Decodes one symbol.
+  [[nodiscard]] int decode(BitReader& reader) const;
+
+  [[nodiscard]] bool has_code(int symbol) const;
+  [[nodiscard]] int code_length(int symbol) const;
+  [[nodiscard]] std::size_t symbol_count() const { return symbols_.size(); }
+
+ private:
+  void assign_canonical_codes();
+
+  std::array<std::uint16_t, kMaxHuffmanBits> counts_{};  // # codes of length i+1
+  std::vector<std::uint8_t> symbols_;                   // canonical order
+  // Encoder view: per symbol (0..255) code and length (0 = no code).
+  std::array<std::uint16_t, 256> code_of_{};
+  std::array<std::uint8_t, 256> length_of_{};
+  // Decoder view: first code value and first symbol index per length.
+  std::array<std::int32_t, kMaxHuffmanBits + 1> first_code_{};
+  std::array<std::int32_t, kMaxHuffmanBits + 1> first_index_{};
+};
+
+}  // namespace sccft::util

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Experiments default to kWarn so bench output stays
+// clean; tests can raise verbosity per-case.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sccft::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void logf(LogLevel level, const std::string& component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, component, os.str());
+}
+
+}  // namespace sccft::util

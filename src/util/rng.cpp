@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Xoshiro256::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SCCFT_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % span);
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Xoshiro256::uniform01() {
+  // 53 high-quality bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  SCCFT_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+double Xoshiro256::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  SCCFT_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+bool Xoshiro256::chance(double p) {
+  SCCFT_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+}  // namespace sccft::util

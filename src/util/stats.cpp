@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+void StreamingStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::min() const {
+  SCCFT_EXPECTS(count_ > 0);
+  return min_;
+}
+
+double StreamingStats::max() const {
+  SCCFT_EXPECTS(count_ > 0);
+  return max_;
+}
+
+double StreamingStats::mean() const {
+  SCCFT_EXPECTS(count_ > 0);
+  return mean_;
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::min() const {
+  SCCFT_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  SCCFT_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleSet::mean() const {
+  SCCFT_EXPECTS(!samples_.empty());
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  SCCFT_EXPECTS(!samples_.empty());
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::percentile(double p) const {
+  SCCFT_EXPECTS(!samples_.empty());
+  SCCFT_EXPECTS(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string format_si(double v, const std::string& unit, int precision) {
+  static constexpr const char* kPrefixes[] = {"", "k", "M", "G", "T"};
+  double mag = std::fabs(v);
+  std::size_t idx = 0;
+  while (mag >= 1000.0 && idx + 1 < std::size(kPrefixes)) {
+    mag /= 1000.0;
+    v /= 1000.0;
+    ++idx;
+  }
+  return format_double(v, precision) + " " + kPrefixes[idx] + unit;
+}
+
+}  // namespace sccft::util

@@ -1,0 +1,69 @@
+// Statistics collectors used by experiments and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sccft::util {
+
+/// Streaming min/max/mean/stddev via Welford's algorithm. O(1) memory.
+class StreamingStats final {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another collector into this one (parallel-reduction friendly).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores every sample; supports exact percentiles. Use for bounded-size runs
+/// (e.g. 20 experiment repetitions, or per-frame latencies of one stream).
+class SampleSet final {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Exact percentile by linear interpolation, p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width human-readable rendering helpers.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+[[nodiscard]] std::string format_si(double v, const std::string& unit, int precision = 2);
+
+}  // namespace sccft::util

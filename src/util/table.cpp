@@ -1,0 +1,102 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  SCCFT_EXPECTS(!header.empty());
+  header_ = std::move(header);
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SCCFT_EXPECTS(!header_.empty());
+  SCCFT_EXPECTS(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width, Align align) {
+  if (s.size() >= width) return s;
+  const std::size_t total = width - s.size();
+  switch (align) {
+    case Align::kLeft:
+      return s + std::string(total, ' ');
+    case Align::kRight:
+      return std::string(total, ' ') + s;
+    case Align::kCenter: {
+      const std::size_t left = total / 2;
+      return std::string(left, ' ') + s + std::string(total - left, ' ');
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  SCCFT_EXPECTS(!header_.empty());
+  const std::size_t cols = header_.size();
+
+  std::vector<std::size_t> width(cols);
+  for (std::size_t c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < cols; ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto align_of = [&](std::size_t c) {
+    if (c < alignment_.size()) return alignment_[c];
+    return c == 0 ? Align::kLeft : Align::kRight;
+  };
+
+  auto hline = [&] {
+    std::string line = "+";
+    for (std::size_t c = 0; c < cols; ++c) {
+      line += std::string(width[c] + 2, '-') + "+";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << hline();
+  os << "|";
+  for (std::size_t c = 0; c < cols; ++c) {
+    os << ' ' << pad(header_[c], width[c], Align::kCenter) << " |";
+  }
+  os << "\n" << hline();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      os << hline();
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << ' ' << pad(row.cells[c], width[c], align_of(c)) << " |";
+    }
+    os << "\n";
+  }
+  os << hline();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+}  // namespace sccft::util

@@ -1,0 +1,54 @@
+// ASCII table renderer for the benchmark harnesses.
+//
+// The DAC'14 paper reports its evaluation as tables (Tables 1-3); every bench
+// binary in bench/ regenerates its table through this renderer so the output
+// is directly comparable with the paper.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sccft::util {
+
+enum class Align { kLeft, kRight, kCenter };
+
+/// Simple column-aligned ASCII table with a title, header row, optional
+/// separator rows, and per-column alignment.
+class Table final {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; the number of header cells fixes the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Per-column alignment; defaults to left for col 0, right otherwise.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row. Must match the header's column count (short rows are
+  /// padded with empty cells).
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sccft::util

@@ -1,0 +1,90 @@
+#include "util/vcd.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+namespace {
+
+/// VCD identifiers are short printable-ASCII strings; generate base-94 codes.
+std::string make_id(int index) {
+  std::string id;
+  int value = index;
+  do {
+    id.push_back(static_cast<char>('!' + value % 94));
+    value /= 94;
+  } while (value > 0);
+  return id;
+}
+
+std::string to_binary(std::uint64_t value, int width) {
+  std::string bits(static_cast<std::size_t>(width), '0');
+  for (int b = 0; b < width; ++b) {
+    if ((value >> b) & 1ULL) bits[static_cast<std::size_t>(width - 1 - b)] = '1';
+  }
+  return bits;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::string scope) : scope_(std::move(scope)) {}
+
+int VcdWriter::add_signal(const std::string& name, int width) {
+  SCCFT_EXPECTS(width >= 1 && width <= 64);
+  SCCFT_EXPECTS(!name.empty());
+  const int handle = static_cast<int>(signals_.size());
+  signals_.push_back(Signal{name, width, make_id(handle)});
+  return handle;
+}
+
+void VcdWriter::change(std::int64_t t_ns, int signal, std::uint64_t value) {
+  SCCFT_EXPECTS(t_ns >= 0);
+  SCCFT_EXPECTS(signal >= 0 && signal < static_cast<int>(signals_.size()));
+  changes_.push_back(
+      Change{t_ns, signal, value, static_cast<std::uint64_t>(changes_.size())});
+}
+
+std::string VcdWriter::render() const {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << scope_ << " $end\n";
+  for (const auto& signal : signals_) {
+    os << "$var wire " << signal.width << " " << signal.id << " " << signal.name
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<Change> sorted = changes_;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Change& a, const Change& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+
+  std::int64_t current_time = -1;
+  for (const auto& change : sorted) {
+    if (change.time != current_time) {
+      os << "#" << change.time << "\n";
+      current_time = change.time;
+    }
+    const auto& signal = signals_[static_cast<std::size_t>(change.signal)];
+    if (signal.width == 1) {
+      os << (change.value ? '1' : '0') << signal.id << "\n";
+    } else {
+      os << "b" << to_binary(change.value, signal.width) << " " << signal.id << "\n";
+    }
+  }
+  return os.str();
+}
+
+bool VcdWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace sccft::util

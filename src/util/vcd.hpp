@@ -1,0 +1,53 @@
+// Minimal VCD (Value Change Dump, IEEE 1364) writer.
+//
+// The experiments can dump channel fill levels, space counters, and fault
+// flags as waveforms viewable in GTKWave & friends — the natural debugging
+// format for an EDA-flavoured simulator. Only the features needed here are
+// implemented: scalar integer signals in one scope, nanosecond timescale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sccft::util {
+
+class VcdWriter final {
+ public:
+  /// `scope` names the VCD module scope; timescale is fixed at 1 ns.
+  explicit VcdWriter(std::string scope = "sccft");
+
+  /// Registers a signal of `width` bits (1..64); returns its handle.
+  [[nodiscard]] int add_signal(const std::string& name, int width);
+
+  /// Records a value change at time `t_ns` (monotone non-decreasing per
+  /// call order is not required; changes are sorted on render).
+  void change(std::int64_t t_ns, int signal, std::uint64_t value);
+
+  /// Renders the complete VCD document.
+  [[nodiscard]] std::string render() const;
+
+  /// Writes the document to `path` (returns false on I/O failure).
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t change_count() const { return changes_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    int width = 1;
+    std::string id;  // VCD short identifier
+  };
+  struct Change {
+    std::int64_t time;
+    int signal;
+    std::uint64_t value;
+    std::uint64_t seq;  // stable sort tiebreak
+  };
+
+  std::string scope_;
+  std::vector<Signal> signals_;
+  std::vector<Change> changes_;
+};
+
+}  // namespace sccft::util

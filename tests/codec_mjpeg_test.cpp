@@ -1,0 +1,202 @@
+// JPEG-style codec tests: DCT correctness, quantization, slicing, round-trip
+// quality, and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/common/generators.hpp"
+#include "apps/mjpeg/jpeg_codec.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::apps::mjpeg {
+namespace {
+
+double psnr(const Frame& a, const Frame& b) {
+  SCCFT_ASSERT(a.pixels.size() == b.pixels.size());
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    const double d = static_cast<double>(a.pixels[i]) - static_cast<double>(b.pixels[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.pixels.size());
+  if (mse == 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+TEST(Dct, FlatBlockHasOnlyDc) {
+  std::uint8_t pixels[64];
+  std::fill_n(pixels, 64, 200);
+  double coeffs[64];
+  fdct8x8(pixels, 8, coeffs);
+  // DC = 8 * (200 - 128) = 576; all AC ~ 0.
+  EXPECT_NEAR(coeffs[0], 8.0 * (200.0 - 128.0), 1e-6);
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(coeffs[i], 0.0, 1e-9) << "AC " << i;
+}
+
+TEST(Dct, RoundTripLossless) {
+  util::Xoshiro256 rng(1);
+  std::uint8_t pixels[64];
+  std::uint8_t back[64];
+  for (int trial = 0; trial < 20; ++trial) {
+    for (auto& p : pixels) p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    double coeffs[64];
+    fdct8x8(pixels, 8, coeffs);
+    idct8x8(coeffs, back, 8);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(static_cast<int>(back[i]), static_cast<int>(pixels[i]), 1)
+          << "trial " << trial << " pixel " << i;
+    }
+  }
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  util::Xoshiro256 rng(2);
+  std::uint8_t pixels[64];
+  for (auto& p : pixels) p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  double coeffs[64];
+  fdct8x8(pixels, 8, coeffs);
+  double spatial = 0.0, spectral = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const double c = static_cast<double>(pixels[i]) - 128.0;
+    spatial += c * c;
+    spectral += coeffs[i] * coeffs[i];
+  }
+  EXPECT_NEAR(spectral, spatial, spatial * 1e-9);
+}
+
+TEST(Zigzag, IsAPermutationStartingAtDc) {
+  const auto& order = zigzag_order();
+  std::array<bool, 64> seen{};
+  for (int pos : order) {
+    ASSERT_GE(pos, 0);
+    ASSERT_LT(pos, 64);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(pos)]);
+    seen[static_cast<std::size_t>(pos)] = true;
+  }
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);   // (0,1)
+  EXPECT_EQ(order[2], 8);   // (1,0)
+  EXPECT_EQ(order[63], 63);
+}
+
+TEST(QuantTable, QualityScalesMonotonically) {
+  const auto q10 = quant_table(10);
+  const auto q50 = quant_table(50);
+  const auto q95 = quant_table(95);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_GE(q10[static_cast<std::size_t>(i)], q50[static_cast<std::size_t>(i)]);
+    EXPECT_GE(q50[static_cast<std::size_t>(i)], q95[static_cast<std::size_t>(i)]);
+    EXPECT_GE(q95[static_cast<std::size_t>(i)], 1);
+  }
+}
+
+TEST(Codec, RoundTripQualityReasonable) {
+  const Frame frame = generate_frame(320, 240, 3, 2014);
+  const auto encoded = encode_frame(frame, 75);
+  const Frame decoded = decode_frame(encoded);
+  EXPECT_EQ(decoded.width, 320);
+  EXPECT_EQ(decoded.height, 240);
+  EXPECT_GT(psnr(frame, decoded), 30.0);
+}
+
+TEST(Codec, CompressionRatioRealistic) {
+  // The paper's encoded frames are ~10 KB for 320x240 (76.8 KB raw).
+  const Frame frame = generate_frame(320, 240, 7, 2014);
+  const auto encoded = encode_frame(frame, 75);
+  EXPECT_LT(encoded.size(), 40'000u);
+  EXPECT_GT(encoded.size(), 2'000u);
+}
+
+TEST(Codec, HigherQualityLargerAndBetter) {
+  const Frame frame = generate_frame(320, 240, 5, 2014);
+  const auto low = encode_frame(frame, 25);
+  const auto high = encode_frame(frame, 95);
+  EXPECT_LT(low.size(), high.size());
+  EXPECT_LT(psnr(frame, decode_frame(low)), psnr(frame, decode_frame(high)));
+}
+
+TEST(Codec, Deterministic) {
+  const Frame frame = generate_frame(320, 240, 11, 2014);
+  EXPECT_EQ(encode_frame(frame, 75), encode_frame(frame, 75));
+}
+
+TEST(Slices, SplitAndMergeMatchesFullDecode) {
+  const Frame frame = generate_frame(320, 240, 9, 2014);
+  const auto encoded = encode_frame(frame, 75);
+  const auto slices = split_encoded(encoded);
+  const Frame top = decode_slice(slices.top);
+  const Frame bottom = decode_slice(slices.bottom);
+  EXPECT_EQ(top.height, 120);
+  EXPECT_EQ(bottom.height, 120);
+  const Frame merged = merge_slices(top, bottom);
+  const Frame direct = decode_frame(encoded);
+  EXPECT_EQ(merged.pixels, direct.pixels);
+}
+
+TEST(Slices, IndependentlyDecodable) {
+  // Decoding only the bottom slice must not depend on the top slice's bits.
+  const Frame frame = generate_frame(64, 32, 1, 99);
+  const auto slices = split_encoded(encode_frame(frame, 80));
+  const Frame bottom = decode_slice(slices.bottom);
+  EXPECT_EQ(bottom.width, 64);
+  EXPECT_EQ(bottom.height, 16);
+}
+
+TEST(Codec, RejectsBadDimensions) {
+  Frame bad{10, 16, std::vector<std::uint8_t>(160)};
+  EXPECT_THROW((void)encode_frame(bad, 75), util::ContractViolation);
+  Frame odd_height{16, 24, std::vector<std::uint8_t>(384)};
+  EXPECT_THROW((void)encode_frame(odd_height, 75), util::ContractViolation);
+}
+
+TEST(Codec, RejectsCorruptHeader) {
+  std::vector<std::uint8_t> garbage{'X', 'Y', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_THROW((void)decode_frame(garbage), util::ContractViolation);
+}
+
+TEST(Entropy, BothModesDecodeIdentically) {
+  // The two entropy backends carry the same quantized coefficients; decoding
+  // either bitstream must give pixel-identical frames.
+  const Frame frame = generate_frame(320, 240, 6, 2014);
+  const auto huffman = encode_frame(frame, 75, EntropyMode::kHuffman);
+  const auto golomb = encode_frame(frame, 75, EntropyMode::kExpGolomb);
+  EXPECT_EQ(decode_frame(huffman).pixels, decode_frame(golomb).pixels);
+}
+
+TEST(Entropy, HuffmanCompressesBetter) {
+  // Optimized per-slice Huffman tables beat the fixed Exp-Golomb codes — the
+  // reason real JPEG uses them.
+  for (std::uint64_t index : {1u, 5u, 9u}) {
+    const Frame frame = generate_frame(320, 240, index, 2014);
+    const auto huffman = encode_frame(frame, 75, EntropyMode::kHuffman);
+    const auto golomb = encode_frame(frame, 75, EntropyMode::kExpGolomb);
+    EXPECT_LT(huffman.size(), golomb.size()) << "frame " << index;
+  }
+}
+
+TEST(Entropy, MixedModeSlicesRejectedGracefully) {
+  // A Huffman slice fed to a decoder is fine; garbage magic is not.
+  const Frame frame = generate_frame(64, 32, 2, 7);
+  auto slices = split_encoded(encode_frame(frame, 80, EntropyMode::kHuffman));
+  EXPECT_NO_THROW((void)decode_slice(slices.top));
+  slices.top[0] = 'X';
+  EXPECT_THROW((void)decode_slice(slices.top), util::ContractViolation);
+}
+
+TEST(Entropy, HuffmanDeterministic) {
+  const Frame frame = generate_frame(320, 240, 13, 2014);
+  EXPECT_EQ(encode_frame(frame, 75, EntropyMode::kHuffman),
+            encode_frame(frame, 75, EntropyMode::kHuffman));
+}
+
+TEST(Generators, FramesDeterministicAndDistinct) {
+  const Frame a1 = generate_frame(320, 240, 4, 2014);
+  const Frame a2 = generate_frame(320, 240, 4, 2014);
+  const Frame b = generate_frame(320, 240, 5, 2014);
+  EXPECT_EQ(a1.pixels, a2.pixels);
+  EXPECT_NE(a1.pixels, b.pixels);
+}
+
+}  // namespace
+}  // namespace sccft::apps::mjpeg

@@ -1,0 +1,288 @@
+// N-replica channel tests: sizing generalization, arbitration with N
+// interfaces, and tolerance of multiple sequential faults.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ft/nreplica.hpp"
+#include "kpn/network.hpp"
+#include "kpn/process.hpp"
+#include "rtc/pjd.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+namespace {
+
+using kpn::Token;
+
+Token make_token(std::uint64_t seq) {
+  return Token(std::vector<std::uint8_t>{static_cast<std::uint8_t>(seq & 0xFF),
+                                         static_cast<std::uint8_t>(seq >> 8)},
+               seq, 0);
+}
+
+NReplicaTimingModel make_model(const std::vector<rtc::PJD>& replicas,
+                               const rtc::PJD& producer, const rtc::PJD& consumer) {
+  NReplicaTimingModel model;
+  model.producer_upper = rtc::make_curve<rtc::PJDUpperCurve>(producer);
+  model.producer_lower = rtc::make_curve<rtc::PJDLowerCurve>(producer);
+  model.consumer_upper = rtc::make_curve<rtc::PJDUpperCurve>(consumer);
+  model.consumer_lower = rtc::make_curve<rtc::PJDLowerCurve>(consumer);
+  for (const auto& pjd : replicas) {
+    model.in_upper.push_back(rtc::make_curve<rtc::PJDUpperCurve>(pjd));
+    model.in_lower.push_back(rtc::make_curve<rtc::PJDLowerCurve>(pjd));
+    model.out_upper.push_back(rtc::make_curve<rtc::PJDUpperCurve>(pjd));
+    model.out_lower.push_back(rtc::make_curve<rtc::PJDLowerCurve>(pjd));
+  }
+  return model;
+}
+
+TEST(NSizing, TwoReplicaCaseMatchesPairAnalysis) {
+  // The N=2 analysis must agree with the dedicated two-replica analysis for
+  // the MJPEG models.
+  const auto producer = rtc::PJD::from_ms(30, 2, 30);
+  const auto consumer = rtc::PJD::from_ms(30, 2, 30);
+  const auto r1 = rtc::PJD::from_ms(30, 5, 30);
+  const auto r2 = rtc::PJD::from_ms(30, 30, 30);
+  const auto report = analyze_n_replica_network(make_model({r1, r2}, producer, consumer),
+                                                rtc::from_ms(5000.0));
+  EXPECT_EQ(report.replicator_capacity, (std::vector<rtc::Tokens>{2, 3}));
+  EXPECT_EQ(report.selector_capacity, (std::vector<rtc::Tokens>{4, 6}));
+  EXPECT_EQ(report.selector_initial, (std::vector<rtc::Tokens>{2, 3}));
+  EXPECT_EQ(report.divergence_threshold, 4);
+  EXPECT_EQ(report.selector_latency_bound, rtc::from_ms(240.0));
+  EXPECT_EQ(report.replicator_overflow_bound, rtc::from_ms(122.0));
+}
+
+TEST(NSizing, ThresholdSetByWorstPair) {
+  const auto producer = rtc::PJD::from_ms(10, 1, 10);
+  const auto consumer = rtc::PJD::from_ms(10, 1, 10);
+  const auto tight = rtc::PJD::from_ms(10, 2, 10);
+  const auto loose = rtc::PJD::from_ms(10, 20, 10);
+  const auto pair = analyze_n_replica_network(
+      make_model({tight, loose}, producer, consumer), rtc::from_ms(5000.0));
+  const auto triple = analyze_n_replica_network(
+      make_model({tight, tight, loose}, producer, consumer), rtc::from_ms(5000.0));
+  // Adding another tight replica cannot worsen the worst pair.
+  EXPECT_EQ(triple.divergence_threshold, pair.divergence_threshold);
+  EXPECT_EQ(triple.replicator_capacity.size(), 3u);
+}
+
+TEST(NSizing, RejectsSingleReplica) {
+  const auto producer = rtc::PJD::from_ms(10, 1, 10);
+  EXPECT_THROW(
+      (void)analyze_n_replica_network(make_model({producer}, producer, producer),
+                                      rtc::from_ms(1000.0)),
+      util::ContractViolation);
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  kpn::Network net{sim};
+  NReplicatorChannel* replicator = nullptr;
+  NSelectorChannel* selector = nullptr;
+
+  explicit Fixture(int replicas) {
+    std::vector<rtc::Tokens> rep_caps(static_cast<std::size_t>(replicas), 3);
+    replicator = &net.adopt_channel(
+        std::make_unique<NReplicatorChannel>(sim, "nrep", rep_caps));
+    NSelectorChannel::Config config;
+    config.capacities.assign(static_cast<std::size_t>(replicas), 6);
+    config.initials.assign(static_cast<std::size_t>(replicas), 3);
+    config.divergence_threshold = 4;
+    selector = &net.adopt_channel(
+        std::make_unique<NSelectorChannel>(sim, "nsel", std::move(config)));
+  }
+};
+
+TEST(NReplicator, DuplicatesToAllQueues) {
+  Fixture fx(3);
+  ASSERT_TRUE(fx.replicator->try_write(make_token(0)));
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(fx.replicator->fill(r), 1);
+  for (int r = 0; r < 3; ++r) {
+    auto token = fx.replicator->read_interface(r).try_read();
+    ASSERT_TRUE(token.has_value());
+    EXPECT_EQ(token->seq(), 0u);
+  }
+}
+
+TEST(NReplicator, OverflowFlagsOnlyTheDeadQueue) {
+  Fixture fx(3);
+  // Queues 1 and 2 drain; queue 0 never reads.
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(fx.replicator->try_write(make_token(k)));
+    for (int r = 1; r < 3; ++r) (void)fx.replicator->read_interface(r).try_read();
+  }
+  EXPECT_TRUE(fx.replicator->fault(0));
+  EXPECT_FALSE(fx.replicator->fault(1));
+  EXPECT_FALSE(fx.replicator->fault(2));
+  EXPECT_EQ(fx.replicator->healthy_count(), 2);
+}
+
+TEST(NReplicator, ToleratesTwoSequentialFaults) {
+  Fixture fx(3);
+  std::vector<std::uint64_t> survivor;
+  std::uint64_t k = 0;
+  auto drain = [&](int r) {
+    while (auto token = fx.replicator->read_interface(r).try_read()) {
+      if (r == 2) survivor.push_back(token->seq());
+    }
+  };
+  // Phase 1: all healthy for 4 tokens.
+  for (; k < 4; ++k) {
+    ASSERT_TRUE(fx.replicator->try_write(make_token(k)));
+    for (int r = 0; r < 3; ++r) drain(r);
+  }
+  // Phase 2: replica 0 dies (stops reading).
+  for (; k < 10; ++k) {
+    ASSERT_TRUE(fx.replicator->try_write(make_token(k)));
+    for (int r = 1; r < 3; ++r) drain(r);
+  }
+  EXPECT_TRUE(fx.replicator->fault(0));
+  // Phase 3: replica 1 dies too.
+  for (; k < 16; ++k) {
+    ASSERT_TRUE(fx.replicator->try_write(make_token(k)));
+    drain(2);
+  }
+  EXPECT_TRUE(fx.replicator->fault(1));
+  EXPECT_FALSE(fx.replicator->fault(2));
+  // The survivor saw every token.
+  ASSERT_EQ(survivor.size(), 16u);
+  for (std::uint64_t i = 0; i < survivor.size(); ++i) EXPECT_EQ(survivor[i], i);
+}
+
+TEST(NSelector, FirstOfGroupWinsAcrossThreeWriters) {
+  Fixture fx(3);
+  std::vector<std::uint64_t> consumed;
+  auto drain = [&] {
+    while (auto token = fx.selector->try_read()) consumed.push_back(token->seq());
+  };
+  // Different leaders per group: 1 first for group 0, 2 first for group 1,
+  // 0 first for group 2; every later duplicate must be dropped.
+  ASSERT_TRUE(fx.selector->write_interface(1).try_write(make_token(0)));
+  ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(0)));
+  ASSERT_TRUE(fx.selector->write_interface(2).try_write(make_token(0)));
+  drain();
+  ASSERT_TRUE(fx.selector->write_interface(2).try_write(make_token(1)));
+  ASSERT_TRUE(fx.selector->write_interface(1).try_write(make_token(1)));
+  ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(1)));
+  drain();
+  ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(2)));
+  ASSERT_TRUE(fx.selector->write_interface(2).try_write(make_token(2)));
+  ASSERT_TRUE(fx.selector->write_interface(1).try_write(make_token(2)));
+  drain();
+  EXPECT_EQ(consumed, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(fx.selector->stats().tokens_dropped, 6u);
+}
+
+TEST(NSelector, DivergenceConvictsLaggards) {
+  Fixture fx(3);
+  // Interface 0 delivers; 1 and 2 silent. After D = 4 tokens, both laggards
+  // are convicted (but never the leader).
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(k)));
+    (void)fx.selector->try_read();
+  }
+  EXPECT_FALSE(fx.selector->fault(0));
+  EXPECT_TRUE(fx.selector->fault(1));
+  EXPECT_TRUE(fx.selector->fault(2));
+  EXPECT_EQ(fx.selector->healthy_count(), 1);
+}
+
+TEST(NSelector, NeverConvictsLastHealthyReplica) {
+  Fixture fx(2);
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(k)));
+    (void)fx.selector->try_read();
+  }
+  // Interface 1 convicted; interface 0 must survive no matter the counters.
+  EXPECT_TRUE(fx.selector->fault(1));
+  EXPECT_FALSE(fx.selector->fault(0));
+  EXPECT_EQ(fx.selector->healthy_count(), 1);
+}
+
+TEST(NSelector, SequentialFailoverPreservesStream) {
+  Fixture fx(3);
+  std::vector<std::uint64_t> consumed;
+  auto drain = [&] {
+    while (auto token = fx.selector->try_read()) consumed.push_back(token->seq());
+  };
+  std::uint64_t w0 = 0, w1 = 0, w2 = 0;
+  // All three in lockstep for 4 groups.
+  for (; w0 < 4; ++w0, ++w1, ++w2) {
+    ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(w0)));
+    ASSERT_TRUE(fx.selector->write_interface(1).try_write(make_token(w1)));
+    ASSERT_TRUE(fx.selector->write_interface(2).try_write(make_token(w2)));
+    drain();
+  }
+  // Replica 0 dies; 1 and 2 continue for 6 groups.
+  for (; w1 < 10; ++w1, ++w2) {
+    ASSERT_TRUE(fx.selector->write_interface(1).try_write(make_token(w1)));
+    ASSERT_TRUE(fx.selector->write_interface(2).try_write(make_token(w2)));
+    drain();
+  }
+  // Replica 1 dies; 2 carries on alone for 6 more.
+  for (; w2 < 16; ++w2) {
+    ASSERT_TRUE(fx.selector->write_interface(2).try_write(make_token(w2)));
+    drain();
+  }
+  ASSERT_EQ(consumed.size(), 16u);
+  for (std::uint64_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+  EXPECT_TRUE(fx.selector->fault(0));
+  EXPECT_TRUE(fx.selector->fault(1));
+  EXPECT_FALSE(fx.selector->fault(2));
+}
+
+TEST(NSelector, IsolationPerInterface) {
+  Fixture fx(3);
+  auto& w0 = fx.selector->write_interface(0);
+  // Exhaust interface 0's space (capacity 6, initial 3 -> space 3).
+  for (std::uint64_t k = 0; k < 3; ++k) ASSERT_TRUE(w0.try_write(make_token(k)));
+  EXPECT_EQ(fx.selector->space(0), 0);
+  EXPECT_FALSE(w0.try_write(make_token(3)));  // blocks
+  // Peers unaffected (Lemma 1 generalized).
+  EXPECT_EQ(fx.selector->space(1), 3);
+  ASSERT_TRUE(fx.selector->write_interface(1).try_write(make_token(0)));
+}
+
+TEST(NSelector, FrozenWriterDropsSilently) {
+  Fixture fx(3);
+  fx.selector->freeze_writer(1);
+  ASSERT_TRUE(fx.selector->write_interface(1).try_write(make_token(0)));
+  EXPECT_EQ(fx.selector->fill(), 0);
+  EXPECT_EQ(fx.selector->tokens_received(1), 0u);
+}
+
+class NReplicaParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(NReplicaParam, AllButOneFaultTolerated) {
+  const int n = GetParam();
+  Fixture fx(n);
+  std::vector<std::uint64_t> consumed;
+  auto drain = [&] {
+    while (auto token = fx.selector->try_read()) consumed.push_back(token->seq());
+  };
+  // Replica r dies after group 3 * (r + 1); the highest-index replica
+  // survives. Each alive replica writes every group.
+  std::vector<std::uint64_t> written(static_cast<std::size_t>(n), 0);
+  for (std::uint64_t group = 0; group < 4 * static_cast<std::uint64_t>(n); ++group) {
+    for (int r = 0; r < n; ++r) {
+      const bool alive =
+          r == n - 1 || group < 3 * (static_cast<std::uint64_t>(r) + 1);
+      if (!alive) continue;
+      ASSERT_TRUE(
+          fx.selector->write_interface(r).try_write(make_token(written[static_cast<std::size_t>(r)])));
+      written[static_cast<std::size_t>(r)] += 1;
+      drain();
+    }
+  }
+  const std::uint64_t total = 4 * static_cast<std::uint64_t>(n);
+  ASSERT_EQ(consumed.size(), total);
+  for (std::uint64_t i = 0; i < total; ++i) EXPECT_EQ(consumed[i], i);
+  EXPECT_FALSE(fx.selector->fault(n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoToFive, NReplicaParam, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sccft::ft

@@ -1,0 +1,199 @@
+// Replica recovery / reintegration tests: a killed replica is restarted,
+// rejoins the stream with exact duplicate-pair alignment, and the repaired
+// system then tolerates a fault in the OTHER replica.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ft/framework.hpp"
+#include "ft/recovery.hpp"
+#include "kpn/network.hpp"
+#include "kpn/timing.hpp"
+
+namespace sccft::ft {
+namespace {
+
+struct Rig {
+  sim::Simulator simulator;
+  kpn::Network net{simulator};
+  ft::AppTimingSpec timing;
+  std::optional<FaultTolerantHarness> harness;
+  std::vector<kpn::Process*> replicas;
+  std::vector<std::uint64_t> consumed;
+  bool gap = false;
+  bool duplicate = false;
+
+  Rig() {
+    timing.producer = rtc::PJD::from_ms(10, 1, 10);
+    timing.replica1_in = timing.replica1_out = rtc::PJD::from_ms(10, 2, 10);
+    timing.replica2_in = timing.replica2_out = rtc::PJD::from_ms(10, 6, 10);
+    timing.consumer = rtc::PJD::from_ms(10, 1, 10);
+    harness.emplace(net, FaultTolerantHarness::Config{.timing = timing});
+
+    net.add_process("producer", scc::CoreId{0}, 1,
+                    [this](kpn::ProcessContext& ctx) -> sim::Task {
+                      kpn::TimingShaper shaper(timing.producer, 0, ctx.rng());
+                      for (std::uint64_t k = 0;; ++k) {
+                        const rtc::TimeNs t = shaper.next_emission(ctx.now());
+                        if (t > ctx.now()) co_await ctx.delay(t - ctx.now());
+                        std::vector<std::uint8_t> payload(4, static_cast<std::uint8_t>(k));
+                        co_await kpn::write(harness->replicator(),
+                                            kpn::Token(std::move(payload), k, ctx.now()));
+                        shaper.commit(ctx.now());
+                      }
+                    });
+
+    auto replica_body = [this](ReplicaIndex which, rtc::PJD model) {
+      return [this, which, model](kpn::ProcessContext& ctx) -> sim::Task {
+        kpn::TimingShaper emit(model, ctx.now(), ctx.rng());
+        while (true) {
+          SCCFT_FAULT_GATE(ctx);
+          kpn::Token token =
+              co_await kpn::read(harness->replicator().read_interface(which));
+          SCCFT_FAULT_GATE(ctx);
+          const rtc::TimeNs t = emit.next_emission(ctx.now());
+          if (t > ctx.now()) co_await ctx.compute(t - ctx.now());
+          SCCFT_FAULT_GATE(ctx);
+          co_await kpn::write(harness->selector().write_interface(which), token);
+          emit.commit(ctx.now());
+        }
+      };
+    };
+    replicas.push_back(&net.add_process(
+        "r1", scc::CoreId{2}, 2, replica_body(ReplicaIndex::kReplica1, timing.replica1_out)));
+    replicas.push_back(&net.add_process(
+        "r2", scc::CoreId{4}, 3, replica_body(ReplicaIndex::kReplica2, timing.replica2_out)));
+
+    net.add_process("consumer", scc::CoreId{6}, 4,
+                    [this](kpn::ProcessContext& ctx) -> sim::Task {
+                      kpn::TimingShaper shaper(timing.consumer, 0, ctx.rng());
+                      std::uint64_t expected = 0;
+                      while (true) {
+                        const rtc::TimeNs t = shaper.next_emission(ctx.now());
+                        if (t > ctx.now()) co_await ctx.delay(t - ctx.now());
+                        kpn::Token token = co_await kpn::read(harness->selector());
+                        shaper.commit(ctx.now());
+                        if (token.seq() > expected) gap = true;
+                        if (token.seq() < expected) duplicate = true;
+                        expected = token.seq() + 1;
+                        consumed.push_back(token.seq());
+                      }
+                    });
+  }
+
+  void kill(ReplicaIndex r, rtc::TimeNs at) {
+    simulator.schedule_at(at, [this, r] {
+      replicas[static_cast<std::size_t>(index_of(r))]->context().fault().silenced = true;
+      harness->replicator().freeze_reader(r);
+      harness->selector().freeze_writer(r);
+    });
+  }
+
+  void recover(ReplicaIndex r, rtc::TimeNs at) {
+    simulator.schedule_at(at, [this, r] {
+      ReplicaAssets assets{r, {replicas[static_cast<std::size_t>(index_of(r))]}, {}};
+      recover_replica(harness->replicator(), harness->selector(), assets);
+    });
+  }
+};
+
+TEST(Recovery, ReplicaRejoinsWithoutCorruptingStream) {
+  Rig rig;
+  rig.kill(ReplicaIndex::kReplica1, rtc::from_ms(300.0));
+  rig.recover(ReplicaIndex::kReplica1, rtc::from_ms(800.0));
+  rig.net.run_until(rtc::from_sec(2.0));
+
+  EXPECT_FALSE(rig.gap) << "token lost across fault or rejoin";
+  EXPECT_FALSE(rig.duplicate) << "duplicate delivered after rejoin";
+  EXPECT_GT(rig.consumed.size(), 180u);
+  // The rejoined replica is healthy again and participating.
+  EXPECT_FALSE(rig.harness->selector().fault(ReplicaIndex::kReplica1));
+  EXPECT_FALSE(rig.harness->replicator().fault(ReplicaIndex::kReplica1));
+  EXPECT_GT(rig.harness->selector().tokens_received(ReplicaIndex::kReplica1), 0u);
+}
+
+TEST(Recovery, RepairedSystemToleratesSecondFault) {
+  Rig rig;
+  // Fault 1 in replica 1; recover it; fault 2 in replica 2.
+  rig.kill(ReplicaIndex::kReplica1, rtc::from_ms(300.0));
+  rig.recover(ReplicaIndex::kReplica1, rtc::from_ms(800.0));
+  rig.kill(ReplicaIndex::kReplica2, rtc::from_ms(1300.0));
+  rig.net.run_until(rtc::from_sec(2.5));
+
+  EXPECT_FALSE(rig.gap);
+  EXPECT_FALSE(rig.duplicate);
+  EXPECT_GT(rig.consumed.size(), 230u);  // stream survived both faults
+  // Replica 2's fault was detected after replica 1 rejoined.
+  EXPECT_TRUE(rig.harness->selector().fault(ReplicaIndex::kReplica2) ||
+              rig.harness->replicator().fault(ReplicaIndex::kReplica2));
+  EXPECT_FALSE(rig.harness->selector().fault(ReplicaIndex::kReplica1));
+}
+
+TEST(Recovery, ReintegrationClearsDetectionState) {
+  sim::Simulator simulator;
+  kpn::Network net(simulator);
+  ft::AppTimingSpec timing;
+  timing.producer = rtc::PJD::from_ms(10, 1, 10);
+  timing.replica1_in = timing.replica1_out = rtc::PJD::from_ms(10, 2, 10);
+  timing.replica2_in = timing.replica2_out = rtc::PJD::from_ms(10, 6, 10);
+  timing.consumer = rtc::PJD::from_ms(10, 1, 10);
+  FaultTolerantHarness harness(net, {.timing = timing});
+
+  // Force a replicator overflow on queue 1.
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    std::vector<std::uint8_t> payload{1};
+    ASSERT_TRUE(harness.replicator().try_write(kpn::Token(std::move(payload), k, 0)));
+    (void)harness.replicator().read_interface(ReplicaIndex::kReplica2).try_read();
+  }
+  ASSERT_TRUE(harness.replicator().fault(ReplicaIndex::kReplica1));
+
+  harness.replicator().reintegrate(ReplicaIndex::kReplica1);
+  EXPECT_FALSE(harness.replicator().fault(ReplicaIndex::kReplica1));
+  EXPECT_FALSE(harness.replicator().detection(ReplicaIndex::kReplica1).has_value());
+  EXPECT_EQ(harness.replicator().fill(ReplicaIndex::kReplica1), 0);
+  // New writes flow into the reopened queue again.
+  std::vector<std::uint8_t> payload{2};
+  ASSERT_TRUE(harness.replicator().try_write(kpn::Token(std::move(payload), 99, 0)));
+  EXPECT_EQ(harness.replicator().fill(ReplicaIndex::kReplica1), 1);
+}
+
+TEST(Recovery, SelectorResyncAlignsPairs) {
+  sim::Simulator simulator;
+  SelectorChannel selector(simulator, "sel",
+                           {.capacity1 = 4,
+                            .capacity2 = 4,
+                            .initial1 = 2,
+                            .initial2 = 2,
+                            .divergence_threshold = 50,
+                            .enable_stall_rule = false});
+  auto& w1 = selector.write_interface(ReplicaIndex::kReplica1);
+  auto& w2 = selector.write_interface(ReplicaIndex::kReplica2);
+  auto make = [](std::uint64_t seq) {
+    return kpn::Token(std::vector<std::uint8_t>{static_cast<std::uint8_t>(seq)}, seq, 0);
+  };
+  // Both deliver pairs 0..2; then replica 1 goes down.
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(w1.try_write(make(k)));
+    ASSERT_TRUE(w2.try_write(make(k)));
+    (void)selector.try_read();
+  }
+  selector.freeze_writer(ReplicaIndex::kReplica1);
+  // Replica 2 alone delivers 3..6.
+  for (std::uint64_t k = 3; k < 7; ++k) {
+    ASSERT_TRUE(w2.try_write(make(k)));
+    (void)selector.try_read();
+  }
+  // Reintegrate replica 1; it resumes at seq 7 (skipping 3..6).
+  selector.reintegrate(ReplicaIndex::kReplica1);
+  ASSERT_TRUE(w1.try_write(make(7)));  // FIRST of pair 7: must enqueue
+  auto fresh = selector.try_read();
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->seq(), 7u);
+  // Replica 2's 7 is now the late duplicate: dropped.
+  const auto fill_before = selector.fill();
+  ASSERT_TRUE(w2.try_write(make(7)));
+  EXPECT_EQ(selector.fill(), fill_before);
+}
+
+}  // namespace
+}  // namespace sccft::ft

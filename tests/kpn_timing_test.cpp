@@ -1,0 +1,152 @@
+// TimingShaper property tests: shaped emission streams must provably satisfy
+// the PJD arrival curves the sizing analysis assumes (the load-bearing
+// assumption of the whole framework).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kpn/timing.hpp"
+#include "rtc/calibration.hpp"
+#include "rtc/pjd.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::kpn {
+namespace {
+
+using rtc::PJD;
+using rtc::TimeNs;
+
+std::vector<TimeNs> shape_stream(const PJD& model, std::uint64_t seed, int count,
+                                 TimeNs ready_lag = 0) {
+  util::Xoshiro256 rng(seed);
+  TimingShaper shaper(model, 0, rng);
+  std::vector<TimeNs> emissions;
+  TimeNs now = 0;
+  for (int i = 0; i < count; ++i) {
+    const TimeNs t = shaper.next_emission(now);
+    emissions.push_back(t);
+    shaper.commit(t);
+    now = t + ready_lag;  // process becomes ready again after `ready_lag`
+  }
+  return emissions;
+}
+
+struct ShaperCase {
+  PJD model;
+  std::uint64_t seed;
+};
+
+class ShaperConformance : public ::testing::TestWithParam<ShaperCase> {};
+
+TEST_P(ShaperConformance, StreamSatisfiesItsOwnCurves) {
+  const auto& param = GetParam();
+  const auto emissions = shape_stream(param.model, param.seed, 400);
+  rtc::PJDUpperCurve upper(param.model);
+  rtc::PJDLowerCurve lower(param.model);
+  EXPECT_TRUE(rtc::curves_bound_trace(upper, lower, emissions))
+      << "shaped stream violates its own PJD curves for " << param.model.to_string();
+}
+
+TEST_P(ShaperConformance, EmissionsMonotone) {
+  const auto emissions = shape_stream(GetParam().model, GetParam().seed, 300);
+  for (std::size_t i = 1; i < emissions.size(); ++i) {
+    EXPECT_LE(emissions[i - 1], emissions[i]);
+  }
+}
+
+TEST_P(ShaperConformance, EmissionsWithinJitterEnvelope) {
+  const auto& model = GetParam().model;
+  const auto emissions = shape_stream(model, GetParam().seed, 300);
+  for (std::size_t k = 0; k < emissions.size(); ++k) {
+    const TimeNs nominal = model.delay + static_cast<TimeNs>(k) * model.period;
+    EXPECT_GE(emissions[k], nominal) << "token " << k << " too early";
+    EXPECT_LE(emissions[k], nominal + model.jitter) << "token " << k << " too late";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperModels, ShaperConformance,
+    ::testing::Values(ShaperCase{PJD::from_ms(30, 2, 30), 1},
+                      ShaperCase{PJD::from_ms(30, 5, 30), 2},
+                      ShaperCase{PJD::from_ms(30, 30, 30), 3},
+                      ShaperCase{PJD::from_ms(6.3, 0.1, 6.3), 4},
+                      ShaperCase{PJD::from_ms(6.3, 0.8, 6.3), 5},
+                      ShaperCase{PJD::from_ms(6.3, 12.6, 6.3), 6},
+                      ShaperCase{PJD::from_ms(30, 1, 30), 7},
+                      ShaperCase{PJD::from_ms(30, 20, 30), 8},
+                      ShaperCase{PJD::from_ms(10, 0, 0), 9},
+                      ShaperCase{PJD::from_ms(5, 50, 0), 10}));
+
+TEST(TimingShaper, DelayShiftsFirstEmission) {
+  util::Xoshiro256 rng(1);
+  TimingShaper shaper(PJD::from_ms(10, 0, 30), 0, rng);
+  EXPECT_EQ(shaper.next_emission(0), rtc::from_ms(30.0));
+}
+
+TEST(TimingShaper, AnchorShiftsWholeStream) {
+  util::Xoshiro256 rng1(1), rng2(1);
+  TimingShaper a(PJD::from_ms(10, 0, 0), 0, rng1);
+  TimingShaper b(PJD::from_ms(10, 0, 0), rtc::from_ms(7.0), rng2);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.next_emission(0) + rtc::from_ms(7.0), b.next_emission(0));
+  }
+}
+
+TEST(TimingShaper, LateReadyPushesEmission) {
+  util::Xoshiro256 rng(1);
+  TimingShaper shaper(PJD::from_ms(10, 1, 0), 0, rng);
+  const TimeNs t = shaper.next_emission(rtc::from_ms(55.0));
+  EXPECT_GE(t, rtc::from_ms(55.0));  // cannot emit before ready
+}
+
+TEST(TimingShaper, CommitKeepsMonotone) {
+  util::Xoshiro256 rng(1);
+  TimingShaper shaper(PJD::from_ms(10, 1, 0), 0, rng);
+  (void)shaper.next_emission(0);
+  shaper.commit(rtc::from_ms(100.0));  // actual event far later than target
+  const TimeNs next = shaper.next_emission(0);
+  EXPECT_GE(next, rtc::from_ms(100.0));
+}
+
+TEST(TimingShaper, EmittedCounts) {
+  util::Xoshiro256 rng(1);
+  TimingShaper shaper(PJD::from_ms(10, 0, 0), 0, rng);
+  EXPECT_EQ(shaper.emitted(), 0u);
+  (void)shaper.next_emission(0);
+  (void)shaper.next_emission(0);
+  EXPECT_EQ(shaper.emitted(), 2u);
+}
+
+TEST(TimingShaper, InvalidModelRejected) {
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW(TimingShaper(PJD{0, 0, 0}, 0, rng), util::ContractViolation);
+}
+
+// The cross-stream property the sizing relies on: a consumer stream shaped
+// with jitter J_c >= J_p + margin, consuming (blocking) from a producer
+// stream with jitter J_p, still conforms to the consumer's own curves.
+TEST(TimingShaper, BlockingConsumptionStillConforms) {
+  const PJD producer_model = PJD::from_ms(10, 2, 10);
+  const PJD consumer_model = PJD::from_ms(10, 6, 10);
+  util::Xoshiro256 prod_rng(11), cons_rng(12);
+  TimingShaper producer(producer_model, 0, prod_rng);
+  TimingShaper consumer(consumer_model, 0, cons_rng);
+
+  std::vector<TimeNs> consumption;
+  TimeNs producer_time = 0;
+  for (int k = 0; k < 400; ++k) {
+    producer_time = producer.next_emission(producer_time);
+    producer.commit(producer_time);
+    const TimeNs arrival = producer_time + rtc::from_us(50);  // transfer latency
+    const TimeNs slot = consumer.next_emission(0);
+    const TimeNs actual = std::max(slot, arrival);  // blocking read
+    consumer.commit(actual);
+    consumption.push_back(actual);
+  }
+  rtc::PJDUpperCurve upper(consumer_model);
+  rtc::PJDLowerCurve lower(consumer_model);
+  EXPECT_TRUE(rtc::curves_bound_trace(upper, lower, consumption));
+}
+
+}  // namespace
+}  // namespace sccft::kpn

@@ -1,0 +1,139 @@
+// Statistical (EWMA) baseline monitor tests — including the inexactness the
+// paper's introduction criticizes: a threshold low enough to detect quickly
+// misfires under legal bursty jitter; one high enough to be safe detects
+// slowly. No k gives a guarantee.
+#include <gtest/gtest.h>
+
+#include "kpn/timing.hpp"
+#include "monitor/statistical.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::monitor {
+namespace {
+
+using rtc::from_ms;
+using rtc::TimeNs;
+
+StatisticalMonitor::Config config_with(double sigma) {
+  return {.sigma_threshold = sigma,
+          .ewma_alpha = 0.1,
+          .warmup_events = 10,
+          .polling_interval = from_ms(1.0)};
+}
+
+/// Drives the monitor with a shaped PJD stream; returns the first detection
+/// (a false positive, since the stream is legal).
+std::optional<TimeNs> drive_legal_stream(StatisticalMonitor& monitor,
+                                         const rtc::PJD& model, int tokens,
+                                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  kpn::TimingShaper shaper(model, 0, rng);
+  TimeNs now = 0;
+  for (int k = 0; k < tokens; ++k) {
+    const TimeNs event = shaper.next_emission(now);
+    shaper.commit(event);
+    // Poll between events.
+    for (TimeNs t = now + from_ms(1.0); t < event; t += from_ms(1.0)) {
+      if (auto detected = monitor.poll(t)) return detected;
+    }
+    if (auto detected = monitor.on_event(event)) return detected;
+    now = event;
+  }
+  return std::nullopt;
+}
+
+TEST(Statistical, LearnsPeriodicGap) {
+  StatisticalMonitor monitor(config_with(4.0));
+  for (int k = 0; k < 50; ++k) {
+    (void)monitor.on_event(static_cast<TimeNs>(k) * from_ms(10.0));
+  }
+  EXPECT_TRUE(monitor.armed());
+  EXPECT_NEAR(monitor.mean_gap_ns(), static_cast<double>(from_ms(10.0)),
+              static_cast<double>(from_ms(0.5)));
+  EXPECT_FALSE(monitor.fault_detected());
+}
+
+TEST(Statistical, DetectsSilenceOnStrictlyPeriodicStream) {
+  StatisticalMonitor monitor(config_with(4.0));
+  TimeNs t = 0;
+  for (int k = 0; k < 40; ++k) {
+    t = static_cast<TimeNs>(k) * from_ms(10.0);
+    (void)monitor.on_event(t);
+  }
+  // Silence: poll forward until detection.
+  std::optional<TimeNs> detected;
+  for (TimeNs poll = t; poll < t + from_ms(500.0) && !detected; poll += from_ms(1.0)) {
+    detected = monitor.poll(poll);
+  }
+  ASSERT_TRUE(detected.has_value());
+  // Near-zero variance stream: detection shortly after one missed period.
+  EXPECT_LT(*detected - t, from_ms(30.0));
+}
+
+TEST(Statistical, TightThresholdMisfiresOnLegalJitter) {
+  // The paper's point about inexact methods: on a legal bursty stream
+  // (jitter = 2 periods), an aggressive threshold false-positives.
+  const rtc::PJD bursty = rtc::PJD::from_ms(10, 20, 0);
+  int false_positives = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    StatisticalMonitor monitor(config_with(1.5));
+    if (drive_legal_stream(monitor, bursty, 300, seed)) ++false_positives;
+  }
+  EXPECT_GT(false_positives, 0) << "expected the inexact monitor to misfire";
+}
+
+TEST(Statistical, SafeThresholdDetectsSlowerThanTight) {
+  // The inexactness trade-off: feeding the SAME legal stream to a tight
+  // (k=2) and a conservative (k=8) monitor and then going silent, the
+  // conservative one detects strictly later — safety is bought with latency.
+  const rtc::PJD model = rtc::PJD::from_ms(10, 6, 0);
+  StatisticalMonitor tight(config_with(2.0));
+  StatisticalMonitor safe(config_with(8.0));
+
+  util::Xoshiro256 rng(3);
+  kpn::TimingShaper shaper(model, 0, rng);
+  TimeNs last = 0;
+  for (int k = 0; k < 200; ++k) {
+    last = shaper.next_emission(last);
+    shaper.commit(last);
+    (void)tight.on_event(last);
+    (void)safe.on_event(last);
+  }
+  for (TimeNs poll = last; poll < last + from_ms(5000.0); poll += from_ms(1.0)) {
+    (void)tight.poll(poll);
+    (void)safe.poll(poll);
+    if (tight.fault_detected() && safe.fault_detected()) break;
+  }
+  // The tight monitor fires first — possibly even during the legal stream
+  // (a false positive, its other failure mode); the safe monitor fires
+  // strictly later.
+  ASSERT_TRUE(tight.fault_detected());
+  ASSERT_TRUE(safe.fault_detected());
+  EXPECT_LT(*tight.detection_time(), *safe.detection_time());
+}
+
+TEST(Statistical, NotArmedDuringWarmup) {
+  StatisticalMonitor monitor(config_with(3.0));
+  (void)monitor.on_event(0);
+  EXPECT_FALSE(monitor.armed());
+  EXPECT_FALSE(monitor.poll(from_ms(1000.0)).has_value());  // silent but unarmed
+}
+
+TEST(Statistical, InvalidConfigRejected) {
+  EXPECT_THROW(StatisticalMonitor(config_with(0.0)), util::ContractViolation);
+  auto config = config_with(3.0);
+  config.ewma_alpha = 0.0;
+  EXPECT_THROW(StatisticalMonitor{config}, util::ContractViolation);
+  config = config_with(3.0);
+  config.warmup_events = 1;
+  EXPECT_THROW(StatisticalMonitor{config}, util::ContractViolation);
+}
+
+TEST(Statistical, NeedsATimer) {
+  StatisticalMonitor monitor(config_with(3.0));
+  EXPECT_EQ(monitor.timers_required(), 1);
+}
+
+}  // namespace
+}  // namespace sccft::monitor

@@ -1,0 +1,164 @@
+// Baseline monitor tests: distance-function (Neukirchner-style) and watchdog.
+#include <gtest/gtest.h>
+
+#include "monitor/distance_function.hpp"
+#include "monitor/watchdog.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::monitor {
+namespace {
+
+using rtc::from_ms;
+using rtc::PJD;
+using rtc::TimeNs;
+
+DistanceFunctionMonitor::Config df_config(const PJD& model, int l = 1,
+                                          bool fail_silent_only = true) {
+  return {.model = model,
+          .l = l,
+          .polling_interval = from_ms(1.0),
+          .fail_silent_only = fail_silent_only};
+}
+
+TEST(DistanceFunction, ConformingStreamNeverFlagged) {
+  const PJD model = PJD::from_ms(10, 2, 0);
+  DistanceFunctionMonitor monitor(df_config(model));
+  TimeNs poll = 0;
+  for (int k = 0; k < 100; ++k) {
+    const TimeNs event = static_cast<TimeNs>(k) * model.period + (k % 3) * from_ms(0.5);
+    while (poll < event) {
+      EXPECT_FALSE(monitor.poll(poll).has_value()) << "poll at " << poll;
+      poll += from_ms(1.0);
+    }
+    EXPECT_FALSE(monitor.on_event(event).has_value());
+  }
+  EXPECT_FALSE(monitor.fault_detected());
+}
+
+TEST(DistanceFunction, SilenceDetectedAtNextPollAfterMaxSpan) {
+  const PJD model = PJD::from_ms(10, 2, 0);
+  DistanceFunctionMonitor monitor(df_config(model));
+  // Events at 0, 10, 20 ms then silence.
+  (void)monitor.on_event(0);
+  (void)monitor.on_event(from_ms(10.0));
+  (void)monitor.on_event(from_ms(20.0));
+  // Next event due by 20 + P + J = 32 ms; polls every 1 ms.
+  std::optional<TimeNs> detected;
+  for (TimeNs t = from_ms(21.0); t <= from_ms(60.0) && !detected; t += from_ms(1.0)) {
+    detected = monitor.poll(t);
+  }
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, from_ms(33.0));  // first poll after 32 ms
+}
+
+TEST(DistanceFunction, DeeperHistoryCatchesSlowRates) {
+  // A stream that keeps emitting but at half rate: each single gap is legal
+  // relative to the previous event only if J is large; with l=3 the monitor
+  // compares against older events and convicts sooner.
+  const PJD model = PJD::from_ms(10, 12, 0);
+  DistanceFunctionMonitor shallow(df_config(model, 1));
+  DistanceFunctionMonitor deep(df_config(model, 3));
+  std::optional<TimeNs> shallow_detect, deep_detect;
+  TimeNs t = 0;
+  for (int k = 0; k < 40 && (!shallow_detect || !deep_detect); ++k) {
+    t += from_ms(20.0);  // half the required rate
+    if (!shallow_detect) (void)shallow.on_event(t);
+    if (!deep_detect) (void)deep.on_event(t);
+    for (TimeNs poll = t; poll < t + from_ms(20.0); poll += from_ms(1.0)) {
+      if (!shallow_detect) shallow_detect = shallow.poll(poll);
+      if (!deep_detect) deep_detect = deep.poll(poll);
+    }
+  }
+  ASSERT_TRUE(deep_detect.has_value());
+  // The deep monitor detects no later than the shallow one.
+  if (shallow_detect) {
+    EXPECT_LE(*deep_detect, *shallow_detect);
+  }
+}
+
+TEST(DistanceFunction, TooFastBurstDetectedWhenEnabled) {
+  const PJD model = PJD::from_ms(10, 1, 0);
+  DistanceFunctionMonitor monitor(df_config(model, 2, /*fail_silent_only=*/false));
+  (void)monitor.on_event(0);
+  // Second event only 2 ms later: min_span(2) = P - J = 9 ms violated.
+  const auto detected = monitor.on_event(from_ms(2.0));
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(*detected, from_ms(2.0));
+}
+
+TEST(DistanceFunction, FailSilentModeIgnoresBursts) {
+  const PJD model = PJD::from_ms(10, 1, 0);
+  DistanceFunctionMonitor monitor(df_config(model, 2, /*fail_silent_only=*/true));
+  (void)monitor.on_event(0);
+  EXPECT_FALSE(monitor.on_event(from_ms(2.0)).has_value());
+}
+
+TEST(DistanceFunction, NoEventAtAllDetected) {
+  const PJD model = PJD::from_ms(10, 2, 5);
+  DistanceFunctionMonitor monitor(df_config(model));
+  // First event due by delay + J + P = 17 ms.
+  EXPECT_FALSE(monitor.poll(from_ms(16.0)).has_value());
+  EXPECT_TRUE(monitor.poll(from_ms(18.0)).has_value());
+}
+
+TEST(DistanceFunction, SpanFunctions) {
+  DistanceFunctionMonitor monitor(df_config(PJD::from_ms(10, 3, 0), 4));
+  EXPECT_EQ(monitor.min_span(1), 0);
+  EXPECT_EQ(monitor.min_span(2), from_ms(7.0));   // P - J
+  EXPECT_EQ(monitor.min_span(3), from_ms(17.0));  // 2P - J
+  EXPECT_EQ(monitor.max_span(1), from_ms(13.0));  // P + J
+  EXPECT_EQ(monitor.max_span(2), from_ms(23.0));
+}
+
+TEST(DistanceFunction, HistoryBoundedByL) {
+  DistanceFunctionMonitor monitor(df_config(PJD::from_ms(10, 1, 0), 2));
+  const auto base = monitor.state_bytes();
+  for (int k = 0; k < 50; ++k) (void)monitor.on_event(static_cast<TimeNs>(k) * from_ms(10.0));
+  EXPECT_LE(monitor.state_bytes(), base + 2 * sizeof(TimeNs));
+}
+
+TEST(DistanceFunction, NeedsOneTimer) {
+  DistanceFunctionMonitor monitor(df_config(PJD::from_ms(10, 1, 0)));
+  EXPECT_EQ(monitor.timers_required(), 1);
+}
+
+TEST(Watchdog, SilenceDetectedAfterTimeout) {
+  WatchdogMonitor monitor({.timeout = from_ms(12.0), .polling_interval = from_ms(1.0)});
+  (void)monitor.on_event(from_ms(5.0));
+  EXPECT_FALSE(monitor.poll(from_ms(17.0)).has_value());
+  EXPECT_TRUE(monitor.poll(from_ms(17.5)).has_value());
+}
+
+TEST(Watchdog, EventsResetTheTimer) {
+  WatchdogMonitor monitor({.timeout = from_ms(12.0)});
+  for (int k = 0; k < 20; ++k) {
+    const TimeNs t = static_cast<TimeNs>(k) * from_ms(10.0);
+    (void)monitor.on_event(t);
+    EXPECT_FALSE(monitor.poll(t + from_ms(9.0)).has_value());
+  }
+  EXPECT_FALSE(monitor.fault_detected());
+}
+
+TEST(Watchdog, SoundTimeoutAvoidsJitterFalsePositive) {
+  // With the sound timeout P + J, the worst legal gap (P + J) never fires.
+  const PJD model = PJD::from_ms(10, 6, 0);
+  WatchdogMonitor monitor({.timeout = WatchdogMonitor::sound_timeout(model)});
+  (void)monitor.on_event(0);
+  EXPECT_FALSE(monitor.poll(from_ms(16.0)).has_value());  // legal worst gap
+  EXPECT_TRUE(monitor.poll(from_ms(16.5)).has_value());   // beyond it: fault
+}
+
+TEST(Watchdog, TightTimeoutMisfiresOnLegalJitter) {
+  // The paper's motivation: a naive timeout = P misfires under legal jitter.
+  WatchdogMonitor naive({.timeout = from_ms(10.0)});
+  (void)naive.on_event(0);
+  // Legal next event at P + J = 16 ms; naive watchdog already fired.
+  EXPECT_TRUE(naive.poll(from_ms(11.0)).has_value());
+}
+
+TEST(Watchdog, InvalidConfigRejected) {
+  EXPECT_THROW(WatchdogMonitor({.timeout = 0}), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sccft::monitor

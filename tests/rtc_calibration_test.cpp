@@ -1,0 +1,114 @@
+// Trace-calibration tests: exact trace curves and conservative PJD fits.
+#include <gtest/gtest.h>
+
+#include "kpn/timing.hpp"
+#include "rtc/calibration.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::rtc {
+namespace {
+
+std::vector<TimeNs> periodic_trace(TimeNs period, int count, TimeNs jitter = 0,
+                                   std::uint64_t seed = 1) {
+  util::Xoshiro256 rng(seed);
+  std::vector<TimeNs> arrivals;
+  for (int k = 0; k < count; ++k) {
+    const TimeNs phi = jitter > 0 ? rng.uniform_int(0, jitter) : 0;
+    arrivals.push_back(static_cast<TimeNs>(k) * period + phi);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+TEST(TraceCurves, StrictlyPeriodicExactBounds) {
+  const auto trace = periodic_trace(100, 50);
+  const auto upper = trace_upper_curve(trace);
+  const auto lower = trace_lower_curve(trace);
+  // Upper: k events in a half-open window need length > (k-1)*100.
+  EXPECT_EQ(upper.value_at(1), 1);
+  EXPECT_EQ(upper.value_at(100), 1);
+  EXPECT_EQ(upper.value_at(101), 2);
+  EXPECT_EQ(upper.value_at(301), 4);
+  // Lower: a window of length 100+ must contain at least 1 event.
+  EXPECT_EQ(lower.value_at(99), 0);
+  EXPECT_GE(lower.value_at(201), 1);
+}
+
+TEST(TraceCurves, BoundTheirOwnTrace) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto trace = periodic_trace(100, 60, 30, seed);
+    const auto upper = trace_upper_curve(trace);
+    const auto lower = trace_lower_curve(trace);
+    EXPECT_TRUE(curves_bound_trace(upper, lower, trace)) << "seed " << seed;
+  }
+}
+
+TEST(TraceCurves, UpperMonotoneAndTight) {
+  const auto trace = periodic_trace(50, 40, 20, 3);
+  const auto upper = trace_upper_curve(trace);
+  Tokens prev = 0;
+  for (TimeNs t = 0; t <= 2'000; t += 10) {
+    EXPECT_GE(upper.value_at(t), prev);
+    prev = upper.value_at(t);
+  }
+  // Tight at the top: the whole trace fits in its span + 1.
+  const TimeNs span = trace.back() - trace.front();
+  EXPECT_EQ(upper.value_at(span + 1), static_cast<Tokens>(trace.size()));
+}
+
+TEST(FitPjd, RecoversPeriodOfCleanTrace) {
+  const auto trace = periodic_trace(1'000, 100);
+  const PJD fit = fit_pjd(trace);
+  EXPECT_EQ(fit.period, 1'000);
+  EXPECT_EQ(fit.jitter, 0);
+}
+
+TEST(FitPjd, JitterCoversDeviations) {
+  const auto trace = periodic_trace(1'000, 100, 300, 7);
+  const PJD fit = fit_pjd(trace);
+  EXPECT_NEAR(static_cast<double>(fit.period), 1'000.0, 10.0);
+  EXPECT_GT(fit.jitter, 0);
+  EXPECT_LE(fit.jitter, 400);
+}
+
+TEST(FitPjd, FittedCurvesBoundTheTrace) {
+  for (std::uint64_t seed = 11; seed <= 15; ++seed) {
+    const auto trace = periodic_trace(500, 80, 150, seed);
+    const auto pair = calibrate(trace);
+    EXPECT_TRUE(curves_bound_trace(*pair.upper, *pair.lower, trace)) << "seed " << seed;
+  }
+}
+
+TEST(FitPjd, ShaperOutputRecalibratesConsistently) {
+  // End-to-end: shape a stream from a PJD model, calibrate the trace, and
+  // check the fitted model's period matches and jitter is not larger than
+  // the original (the shaper draws within [0, J]).
+  const PJD model = PJD::from_ms(10, 3, 0);
+  util::Xoshiro256 rng(5);
+  kpn::TimingShaper shaper(model, 0, rng);
+  std::vector<TimeNs> trace;
+  for (int k = 0; k < 300; ++k) {
+    const TimeNs t = shaper.next_emission(0);
+    shaper.commit(t);
+    trace.push_back(t);
+  }
+  const PJD fit = fit_pjd(trace);
+  EXPECT_NEAR(static_cast<double>(fit.period), static_cast<double>(model.period),
+              static_cast<double>(model.period) * 0.02);
+  EXPECT_LE(fit.jitter, 2 * model.jitter);
+}
+
+TEST(Calibration, TooShortTraceRejected) {
+  const std::vector<TimeNs> one{42};
+  EXPECT_THROW((void)trace_upper_curve(one), util::ContractViolation);
+  EXPECT_THROW((void)fit_pjd(one), util::ContractViolation);
+}
+
+TEST(Calibration, UnsortedTraceRejected) {
+  const std::vector<TimeNs> bad{10, 5, 20};
+  EXPECT_THROW((void)fit_pjd(bad), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sccft::rtc

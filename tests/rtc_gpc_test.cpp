@@ -1,0 +1,164 @@
+// GPC / service-curve propagation tests.
+#include <gtest/gtest.h>
+
+#include "rtc/gpc.hpp"
+#include "rtc/minplus.hpp"
+#include "rtc/pjd.hpp"
+#include "rtc/sizing.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::rtc {
+namespace {
+
+constexpr TimeNs kHorizon = from_ms(2000.0);
+
+TEST(RateLatency, Evaluation) {
+  RateLatencyCurve service(from_ms(5.0), from_ms(2.0));
+  EXPECT_EQ(service.value_at(0), 0);
+  EXPECT_EQ(service.value_at(from_ms(2.0)), 0);
+  EXPECT_EQ(service.value_at(from_ms(7.0)), 1);
+  EXPECT_EQ(service.value_at(from_ms(12.0)), 2);
+  EXPECT_EQ(service.value_at(from_ms(52.0)), 10);
+  EXPECT_DOUBLE_EQ(service.long_term_rate(), 1.0 / from_ms(5.0));
+}
+
+TEST(RateLatency, JumpPointsBracketChanges) {
+  RateLatencyCurve service(from_ms(5.0), from_ms(2.0));
+  for (TimeNs at : service.jump_points_up_to(from_ms(100.0))) {
+    EXPECT_GT(service.value_at(at), service.value_at(at - 1));
+  }
+}
+
+TEST(RateLatency, InvalidRejected) {
+  EXPECT_THROW(RateLatencyCurve(0, 0), util::ContractViolation);
+  EXPECT_THROW(RateLatencyCurve(10, -1), util::ContractViolation);
+}
+
+TEST(HorizontalDeviation, PeriodicThroughFastServer) {
+  // Periodic 10 ms arrivals through a 5 ms/token, 2 ms latency server:
+  // each token waits at most latency + one service quantum.
+  PJDUpperCurve arrivals(PJD::from_ms(10, 0, 0));
+  RateLatencyCurve service(from_ms(5.0), from_ms(2.0));
+  const auto delay = horizontal_deviation(arrivals, service, kHorizon);
+  ASSERT_TRUE(delay.has_value());
+  // The first token can arrive at Delta = 1 ns (eta+ jumps there) and is
+  // served by latency + one quantum = 7 ms.
+  EXPECT_EQ(*delay, from_ms(7.0) - 1);
+}
+
+TEST(HorizontalDeviation, GrowsWithBurst) {
+  RateLatencyCurve service(from_ms(5.0), from_ms(1.0));
+  PJDUpperCurve smooth(PJD::from_ms(10, 0, 0));
+  PJDUpperCurve bursty(PJD::from_ms(10, 40, 0));
+  const auto d_smooth = horizontal_deviation(smooth, service, kHorizon);
+  const auto d_bursty = horizontal_deviation(bursty, service, kHorizon);
+  ASSERT_TRUE(d_smooth && d_bursty);
+  EXPECT_GT(*d_bursty, *d_smooth);
+}
+
+TEST(HorizontalDeviation, UnstableSystemReturnsNullopt) {
+  PJDUpperCurve arrivals(PJD::from_ms(5, 0, 0));       // 1 / 5 ms
+  RateLatencyCurve service(from_ms(10.0), 0);          // 1 / 10 ms
+  EXPECT_FALSE(horizontal_deviation(arrivals, service, from_ms(200.0)).has_value());
+}
+
+TEST(Gpc, OutputCurvesBracketAndStayOrdered) {
+  const PJD model = PJD::from_ms(10, 5, 0);
+  PJDUpperCurve upper(model);
+  PJDLowerCurve lower(model);
+  RateLatencyCurve service(from_ms(4.0), from_ms(3.0));
+  const auto result = gpc_analyze(upper, lower, service, from_ms(500.0));
+  for (TimeNs t = 0; t <= from_ms(400.0); t += from_ms(1.0)) {
+    // Output upper must dominate output lower...
+    EXPECT_GE(result.output_upper.value_at(t), result.output_lower.value_at(t));
+    // ...and the output upper can only be burstier than the input upper
+    // (jitter added by the server), never below the input lower.
+    EXPECT_GE(result.output_upper.value_at(t), lower.value_at(t));
+  }
+}
+
+TEST(Gpc, ConservationOfLongTermRate) {
+  const PJD model = PJD::from_ms(10, 3, 0);
+  PJDUpperCurve upper(model);
+  PJDLowerCurve lower(model);
+  RateLatencyCurve service(from_ms(2.0), from_ms(1.0));
+  const auto result = gpc_analyze(upper, lower, service, from_ms(800.0));
+  // Over the horizon the output bounds converge to the input rate: the
+  // server neither creates nor destroys tokens.
+  const TimeNs t = from_ms(600.0);
+  const double rate_u = static_cast<double>(result.output_upper.value_at(t)) /
+                        static_cast<double>(t);
+  const double rate_l = static_cast<double>(result.output_lower.value_at(t)) /
+                        static_cast<double>(t);
+  const double in_rate = 1.0 / static_cast<double>(model.period);
+  EXPECT_NEAR(rate_u, in_rate, in_rate * 0.15);
+  EXPECT_NEAR(rate_l, in_rate, in_rate * 0.15);
+}
+
+TEST(Gpc, BacklogMatchesVerticalDeviation) {
+  PJDUpperCurve upper(PJD::from_ms(10, 25, 0));
+  PJDLowerCurve lower(PJD::from_ms(10, 25, 0));
+  RateLatencyCurve service(from_ms(6.0), from_ms(2.0));
+  const auto result = gpc_analyze(upper, lower, service, from_ms(800.0));
+  Tokens dense = 0;
+  for (TimeNs t = 0; t <= from_ms(400.0); t += from_ms(0.5)) {
+    dense = std::max(dense, upper.value_at(t) - service.value_at(t));
+  }
+  EXPECT_EQ(result.backlog_bound, dense);
+}
+
+TEST(Gpc, RemainingServiceIsLeftover) {
+  PJDUpperCurve upper(PJD::from_ms(10, 0, 0));   // consumes 1 / 10 ms
+  PJDLowerCurve lower(PJD::from_ms(10, 0, 0));
+  RateLatencyCurve service(from_ms(2.0), 0);     // offers 1 / 2 ms
+  const auto result = gpc_analyze(upper, lower, service, from_ms(400.0));
+  // Long-run leftover rate = 1/2ms - 1/10ms = 4 tokens / 10 ms.
+  const TimeNs t = from_ms(300.0);
+  const double leftover = static_cast<double>(result.remaining_service.value_at(t)) /
+                          static_cast<double>(t);
+  EXPECT_NEAR(leftover, 1.0 / from_ms(2.5), 0.1 / from_ms(2.5));
+  // Monotone and never exceeds the full service.
+  Tokens prev = 0;
+  for (TimeNs x = 0; x <= from_ms(300.0); x += from_ms(1.0)) {
+    EXPECT_GE(result.remaining_service.value_at(x), prev);
+    EXPECT_LE(result.remaining_service.value_at(x), service.value_at(x));
+    prev = result.remaining_service.value_at(x);
+  }
+}
+
+TEST(Gpc, UnstableRejected) {
+  PJDUpperCurve upper(PJD::from_ms(5, 0, 0));
+  PJDLowerCurve lower(PJD::from_ms(5, 0, 0));
+  RateLatencyCurve service(from_ms(10.0), 0);
+  EXPECT_THROW((void)gpc_analyze(upper, lower, service, from_ms(200.0)),
+               util::ContractViolation);
+}
+
+// End-to-end design flow: derive a replica's output curves from its input
+// curves + service curve, then feed the derived curves into the Eq. (3)/(4)
+// sizing — the complete reference-[1] workflow.
+TEST(Gpc, DerivedCurvesFeedSizing) {
+  const PJD producer = PJD::from_ms(10, 1, 0);
+  PJDUpperCurve in_upper(producer);
+  PJDLowerCurve in_lower(producer);
+  RateLatencyCurve replica_service(from_ms(3.0), from_ms(2.0));
+  const auto derived = gpc_analyze(in_upper, in_lower, replica_service, from_ms(800.0));
+
+  // Consumer demands at the producer rate.
+  PJDUpperCurve consumer_upper(producer);
+  const auto initial =
+      min_initial_fill(derived.output_lower, consumer_upper, from_ms(700.0));
+  ASSERT_TRUE(initial.has_value());
+  EXPECT_GE(*initial, 1);
+  EXPECT_LE(*initial, 5);
+
+  // And the replicator capacity against the derived consumption (here the
+  // replica consumes as served: input bounded by its own upper curve).
+  const auto capacity = min_fifo_capacity(in_upper, derived.output_lower,
+                                          from_ms(700.0));
+  ASSERT_TRUE(capacity.has_value());
+  EXPECT_GE(*capacity, 1);
+}
+
+}  // namespace
+}  // namespace sccft::rtc

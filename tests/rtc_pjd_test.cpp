@@ -1,0 +1,141 @@
+// PJD event-bound curve tests (Eq. 2 machinery).
+#include <gtest/gtest.h>
+
+#include "rtc/pjd.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::rtc {
+namespace {
+
+TEST(PJDUpper, StrictlyPeriodicNoJitter) {
+  PJDUpperCurve upper(PJD::from_ms(10, 0, 0));
+  EXPECT_EQ(upper.value_at(0), 0);
+  EXPECT_EQ(upper.value_at(1), 1);               // any positive window: 1 event
+  EXPECT_EQ(upper.value_at(from_ms(10.0)), 1);   // half-open window of one period
+  EXPECT_EQ(upper.value_at(from_ms(10.0) + 1), 2);
+  EXPECT_EQ(upper.value_at(from_ms(95.0)), 10);
+}
+
+TEST(PJDUpper, JitterAddsBurst) {
+  PJDUpperCurve upper(PJD::from_ms(10, 25, 0));
+  // ceil((eps + 25)/10) = 3 events can cluster at a window edge.
+  EXPECT_EQ(upper.value_at(1), 3);
+}
+
+TEST(PJDUpper, DelayIsCurveInvariant) {
+  // The third tuple element is a phase delay; arrival curves are window-based
+  // and therefore identical for any delay (see pjd.hpp header for why the
+  // paper's Table 2 numbers force this interpretation).
+  PJDUpperCurve with_delay(PJD::from_ms(10, 25, 10));
+  PJDUpperCurve no_delay(PJD::from_ms(10, 25, 0));
+  PJDLowerCurve lower_with(PJD::from_ms(10, 25, 10));
+  PJDLowerCurve lower_without(PJD::from_ms(10, 25, 0));
+  for (TimeNs t = 0; t <= from_ms(120.0); t += from_ms(0.5)) {
+    EXPECT_EQ(with_delay.value_at(t), no_delay.value_at(t));
+    EXPECT_EQ(lower_with.value_at(t), lower_without.value_at(t));
+  }
+}
+
+TEST(PJDLower, NoEventsGuaranteedWithinJitter) {
+  PJDLowerCurve lower(PJD::from_ms(10, 15, 0));
+  EXPECT_EQ(lower.value_at(from_ms(15.0)), 0);
+  EXPECT_EQ(lower.value_at(from_ms(25.0)), 1);
+  EXPECT_EQ(lower.value_at(from_ms(35.0)), 2);
+}
+
+TEST(PJDLower, NeverExceedsUpper) {
+  const PJD model = PJD::from_ms(7, 11, 7);
+  PJDUpperCurve upper(model);
+  PJDLowerCurve lower(model);
+  for (TimeNs t = 0; t <= from_ms(300.0); t += from_ms(0.25)) {
+    EXPECT_LE(lower.value_at(t), upper.value_at(t)) << "at " << t;
+  }
+}
+
+TEST(PJDCurves, MonotoneNonDecreasing) {
+  for (const PJD model : {PJD::from_ms(10, 0, 10), PJD::from_ms(6.3, 12.6, 6.3),
+                          PJD::from_ms(30, 30, 30)}) {
+    PJDUpperCurve upper(model);
+    PJDLowerCurve lower(model);
+    Tokens pu = 0;
+    Tokens pl = 0;
+    for (TimeNs t = 0; t <= from_ms(200.0); t += from_ms(0.5)) {
+      EXPECT_GE(upper.value_at(t), pu);
+      EXPECT_GE(lower.value_at(t), pl);
+      pu = upper.value_at(t);
+      pl = lower.value_at(t);
+    }
+  }
+}
+
+TEST(PJDCurves, JumpPointsBracketEveryChange) {
+  // Property: the value changes exactly at the reported jump points.
+  for (const PJD model : {PJD::from_ms(10, 3, 10), PJD::from_ms(6.3, 12.6, 6.3)}) {
+    PJDUpperCurve upper(model);
+    const TimeNs horizon = from_ms(150.0);
+    const auto jumps = upper.jump_points_up_to(horizon);
+    ASSERT_FALSE(jumps.empty());
+    for (TimeNs at : jumps) {
+      EXPECT_GT(upper.value_at(at), upper.value_at(at - 1)) << "at " << at;
+    }
+    // Between consecutive jump points the curve is flat.
+    for (std::size_t i = 0; i + 1 < jumps.size(); ++i) {
+      EXPECT_EQ(upper.value_at(jumps[i]), upper.value_at(jumps[i + 1] - 1));
+    }
+  }
+}
+
+TEST(PJDCurves, LongTermRateIsOnePerPeriod) {
+  PJDUpperCurve upper(PJD::from_ms(10, 5, 10));
+  PJDLowerCurve lower(PJD::from_ms(10, 5, 10));
+  EXPECT_DOUBLE_EQ(upper.long_term_rate(), 1.0 / from_ms(10.0));
+  EXPECT_DOUBLE_EQ(lower.long_term_rate(), 1.0 / from_ms(10.0));
+}
+
+TEST(PJD, FromMsConvertsExactly) {
+  const PJD model = PJD::from_ms(6.3, 0.1, 6.3);
+  EXPECT_EQ(model.period, 6'300'000);
+  EXPECT_EQ(model.jitter, 100'000);
+  EXPECT_EQ(model.delay, 6'300'000);
+}
+
+TEST(PJD, InvalidModelsRejected) {
+  EXPECT_THROW(PJDUpperCurve(PJD{0, 0, 0}), util::ContractViolation);
+  EXPECT_THROW(PJDLowerCurve(PJD{-5, 0, 0}), util::ContractViolation);
+  EXPECT_THROW(PJDUpperCurve(PJD{10, -1, 0}), util::ContractViolation);
+}
+
+TEST(StaircaseCurve, EvaluatesJumpsAndTail) {
+  StaircaseCurve curve(1, {{10, 2}, {20, 1}}, 20, 5, 3);
+  EXPECT_EQ(curve.value_at(0), 1);
+  EXPECT_EQ(curve.value_at(9), 1);
+  EXPECT_EQ(curve.value_at(10), 3);
+  EXPECT_EQ(curve.value_at(20), 4);
+  EXPECT_EQ(curve.value_at(24), 4);
+  EXPECT_EQ(curve.value_at(25), 7);   // tail: +3 per 5 after 20
+  EXPECT_EQ(curve.value_at(30), 10);
+  EXPECT_DOUBLE_EQ(curve.long_term_rate(), 3.0 / 5.0);
+}
+
+TEST(StaircaseCurve, RejectsNonIncreasingJumps) {
+  EXPECT_THROW(StaircaseCurve(0, {{10, 1}, {10, 1}}, 0, 0, 0),
+               util::ContractViolation);
+  EXPECT_THROW(StaircaseCurve(0, {{10, 0}}, 0, 0, 0), util::ContractViolation);
+}
+
+TEST(ZeroCurveTest, AlwaysZero) {
+  ZeroCurve zero;
+  EXPECT_EQ(zero.value_at(0), 0);
+  EXPECT_EQ(zero.value_at(from_ms(1000.0)), 0);
+  EXPECT_TRUE(zero.jump_points_up_to(from_ms(1000.0)).empty());
+}
+
+TEST(CurveRef, DeepCopies) {
+  CurveRef a = make_curve<PJDUpperCurve>(PJD::from_ms(10, 0, 10));
+  CurveRef b = a;  // copy
+  EXPECT_EQ(a->value_at(from_ms(5.0)), b->value_at(from_ms(5.0)));
+  EXPECT_NE(&a.get(), &b.get());
+}
+
+}  // namespace
+}  // namespace sccft::rtc

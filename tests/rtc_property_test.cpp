@@ -1,0 +1,132 @@
+// Parameterized property sweeps over the Section 3.4 analysis: monotonicity,
+// scaling, and symmetry laws that must hold for every PJD configuration.
+#include <gtest/gtest.h>
+
+#include "rtc/pjd.hpp"
+#include "rtc/sizing.hpp"
+
+namespace sccft::rtc {
+namespace {
+
+struct ModelCase {
+  PJD producer;
+  PJD slow_replica;
+};
+
+class SizingLaws : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  static constexpr TimeNs kHorizon = 5'000 * kNsPerMs;
+};
+
+TEST_P(SizingLaws, CapacityMonotoneInConsumerJitter) {
+  const auto& param = GetParam();
+  PJDUpperCurve producer_upper(param.producer);
+  Tokens previous = 0;
+  for (double factor : {0.5, 1.0, 1.5, 2.0}) {
+    PJD consumer = param.slow_replica;
+    consumer.jitter = static_cast<TimeNs>(consumer.jitter * factor);
+    PJDLowerCurve lower(consumer);
+    const auto capacity = min_fifo_capacity(producer_upper, lower, kHorizon);
+    ASSERT_TRUE(capacity.has_value());
+    EXPECT_GE(*capacity, previous);
+    previous = *capacity;
+  }
+}
+
+TEST_P(SizingLaws, ThresholdSymmetricUnderSwap) {
+  const auto& param = GetParam();
+  PJDUpperCurve u1(param.producer), u2(param.slow_replica);
+  PJDLowerCurve l1(param.producer), l2(param.slow_replica);
+  const auto d_ab = divergence_threshold(u1, l1, u2, l2, kHorizon);
+  const auto d_ba = divergence_threshold(u2, l2, u1, l1, kHorizon);
+  ASSERT_TRUE(d_ab.has_value());
+  ASSERT_TRUE(d_ba.has_value());
+  EXPECT_EQ(*d_ab, *d_ba);
+}
+
+TEST_P(SizingLaws, TimeScalingLaw) {
+  // Scaling all time parameters by k scales every latency bound by k and
+  // leaves all token quantities (capacities, D) unchanged.
+  const auto& param = GetParam();
+  auto scaled = [](const PJD& model, int k) {
+    return PJD{model.period * k, model.jitter * k, model.delay * k};
+  };
+  for (int k : {2, 5}) {
+    PJDUpperCurve u1(param.producer), u2(param.slow_replica);
+    PJDLowerCurve l1(param.producer), l2(param.slow_replica);
+    PJDUpperCurve su1(scaled(param.producer, k)), su2(scaled(param.slow_replica, k));
+    PJDLowerCurve sl1(scaled(param.producer, k)), sl2(scaled(param.slow_replica, k));
+
+    const auto capacity = min_fifo_capacity(u1, l2, kHorizon);
+    const auto scaled_capacity = min_fifo_capacity(su1, sl2, k * kHorizon);
+    ASSERT_TRUE(capacity && scaled_capacity);
+    EXPECT_EQ(*capacity, *scaled_capacity);
+
+    const auto d = divergence_threshold(u1, l1, u2, l2, kHorizon);
+    const auto sd = divergence_threshold(su1, sl1, su2, sl2, k * kHorizon);
+    ASSERT_TRUE(d && sd);
+    EXPECT_EQ(*d, *sd);
+
+    const auto bound = detection_latency_bound_silence(l2, *d, kHorizon);
+    const auto scaled_bound = detection_latency_bound_silence(sl2, *sd, k * kHorizon);
+    ASSERT_TRUE(bound && scaled_bound);
+    EXPECT_EQ(*scaled_bound, k * *bound);
+  }
+}
+
+TEST_P(SizingLaws, LatencyBoundDominatesCapacityFillTime) {
+  // The divergence-rule bound (2D-1 tokens) is never faster than one token.
+  const auto& param = GetParam();
+  PJDUpperCurve u1(param.producer), u2(param.slow_replica);
+  PJDLowerCurve l1(param.producer), l2(param.slow_replica);
+  const auto d = divergence_threshold(u1, l1, u2, l2, kHorizon);
+  ASSERT_TRUE(d.has_value());
+  const auto bound = detection_latency_bound_silence(l2, *d, kHorizon);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_GE(*bound, param.slow_replica.period);
+}
+
+TEST_P(SizingLaws, ReportInternallyConsistent) {
+  const auto& param = GetParam();
+  NetworkTimingModel model;
+  auto fill = [](const PJD& pjd, CurveRef& upper, CurveRef& lower) {
+    upper = make_curve<PJDUpperCurve>(pjd);
+    lower = make_curve<PJDLowerCurve>(pjd);
+  };
+  fill(param.producer, model.producer_upper, model.producer_lower);
+  fill(param.producer, model.replica1_in_upper, model.replica1_in_lower);
+  fill(param.slow_replica, model.replica2_in_upper, model.replica2_in_lower);
+  fill(param.producer, model.replica1_out_upper, model.replica1_out_lower);
+  fill(param.slow_replica, model.replica2_out_upper, model.replica2_out_lower);
+  fill(param.producer, model.consumer_upper, model.consumer_lower);
+  const auto report = analyze_duplicated_network(model, kHorizon);
+
+  // The slow replica always needs at least as much of everything.
+  EXPECT_GE(report.replicator_capacity2, report.replicator_capacity1);
+  EXPECT_GE(report.selector_capacity2, report.selector_capacity1);
+  EXPECT_GE(report.selector_initial2, report.selector_initial1);
+  // Selector capacity covers its initial fill.
+  EXPECT_GT(report.selector_capacity1, report.selector_initial1);
+  EXPECT_GT(report.selector_capacity2, report.selector_initial2);
+  // Thresholds and bounds are positive and ordered sanely.
+  EXPECT_GE(report.selector_threshold, 2);
+  EXPECT_GT(report.selector_latency_bound, 0);
+  EXPECT_GT(report.replicator_overflow_bound, 0);
+  // Divergence-rule bound is never tighter than the overflow-rule bound by
+  // more than the capacity/threshold relationship allows.
+  EXPECT_GE(report.replicator_divergence_bound, report.replicator_overflow_bound / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelSweep, SizingLaws,
+    ::testing::Values(
+        ModelCase{PJD::from_ms(30, 2, 30), PJD::from_ms(30, 30, 30)},    // MJPEG
+        ModelCase{PJD::from_ms(6.3, 0.1, 6.3), PJD::from_ms(6.3, 12.6, 6.3)},  // ADPCM
+        ModelCase{PJD::from_ms(30, 1, 30), PJD::from_ms(30, 20, 30)},    // H.264
+        ModelCase{PJD::from_ms(10, 0, 10), PJD::from_ms(10, 5, 10)},
+        ModelCase{PJD::from_ms(8, 4, 8), PJD::from_ms(8, 24, 8)},
+        ModelCase{PJD::from_ms(100, 10, 100), PJD::from_ms(100, 150, 100)},
+        ModelCase{PJD::from_ms(1, 0.2, 1), PJD::from_ms(1, 2, 1)}));
+
+}  // namespace
+}  // namespace sccft::rtc

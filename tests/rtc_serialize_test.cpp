@@ -1,0 +1,80 @@
+// Curve/model text serialization tests: round-trip identity.
+#include <gtest/gtest.h>
+
+#include "rtc/gpc.hpp"
+#include "rtc/minplus.hpp"
+#include "rtc/serialize.hpp"
+#include "rtc/sizing.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::rtc {
+namespace {
+
+void expect_equal_on(const Curve& a, const Curve& b, TimeNs horizon) {
+  for (TimeNs t = 0; t <= horizon; t += horizon / 200 + 1) {
+    ASSERT_EQ(a.value_at(t), b.value_at(t)) << "at " << t;
+  }
+  EXPECT_DOUBLE_EQ(a.long_term_rate(), b.long_term_rate());
+}
+
+TEST(Serialize, PjdRoundTrip) {
+  const PJD model = PJD::from_ms(6.3, 12.6, 6.3);
+  const PJD parsed = pjd_from_text(to_text(model));
+  EXPECT_EQ(parsed, model);
+}
+
+TEST(Serialize, PjdUpperLowerRoundTrip) {
+  const PJD model = PJD::from_ms(30, 5, 30);
+  PJDUpperCurve upper(model);
+  PJDLowerCurve lower(model);
+  const auto upper2 = curve_from_text(curve_to_text(upper));
+  const auto lower2 = curve_from_text(curve_to_text(lower));
+  expect_equal_on(upper, *upper2, from_ms(500.0));
+  expect_equal_on(lower, *lower2, from_ms(500.0));
+}
+
+TEST(Serialize, RateLatencyRoundTrip) {
+  RateLatencyCurve service(from_ms(4.0), from_ms(2.0));
+  const auto parsed = curve_from_text(curve_to_text(service));
+  expect_equal_on(service, *parsed, from_ms(300.0));
+}
+
+TEST(Serialize, ZeroRoundTrip) {
+  ZeroCurve zero;
+  const auto parsed = curve_from_text(curve_to_text(zero));
+  expect_equal_on(zero, *parsed, from_ms(100.0));
+}
+
+TEST(Serialize, StaircaseWithTailRoundTrip) {
+  StaircaseCurve curve(2, {{10, 1}, {25, 3}}, 25, 7, 2, "x");
+  const auto parsed = curve_from_text(curve_to_text(curve));
+  expect_equal_on(curve, *parsed, 500);
+}
+
+TEST(Serialize, ComposedCurveRoundTrip) {
+  // Materialized min-plus results (with their rate tails) survive the trip.
+  PJDUpperCurve upper(PJD::from_ms(10, 5, 0));
+  RateLatencyCurve service(from_ms(4.0), from_ms(1.0));
+  const auto composed = minplus_deconv(upper, service, from_ms(300.0));
+  const auto parsed = curve_from_text(curve_to_text(composed));
+  expect_equal_on(composed, *parsed, from_ms(600.0));  // beyond the horizon: tail
+}
+
+TEST(Serialize, MalformedInputRejected) {
+  EXPECT_THROW((void)pjd_from_text("pjd 10"), util::ContractViolation);
+  EXPECT_THROW((void)pjd_from_text("nope 1 2 3"), util::ContractViolation);
+  EXPECT_THROW((void)curve_from_text("mystery 4"), util::ContractViolation);
+  EXPECT_THROW((void)curve_from_text("staircase 0"), util::ContractViolation);
+  EXPECT_THROW((void)curve_from_text("pjd-upper 10"), util::ContractViolation);
+}
+
+TEST(Serialize, ParsedCurvesUsableInSizing) {
+  const auto upper = curve_from_text("pjd-upper 30000000 2000000 30000000");
+  const auto lower = curve_from_text("pjd-lower 30000000 30000000 30000000");
+  const auto capacity = min_fifo_capacity(*upper, *lower, from_ms(5000.0));
+  ASSERT_TRUE(capacity.has_value());
+  EXPECT_EQ(*capacity, 3);  // the paper's |R2| for MJPEG
+}
+
+}  // namespace
+}  // namespace sccft::rtc

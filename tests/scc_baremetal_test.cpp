@@ -1,0 +1,73 @@
+// Baremetal boot-sequence tests (paper Section 4.1 fidelity).
+#include <gtest/gtest.h>
+
+#include "scc/baremetal.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+namespace {
+
+TEST(BaremetalBoot, AllCoresComeUpStaggered) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  const auto report = baremetal_boot(platform);
+  ASSERT_EQ(report.core_ready_at.size(), static_cast<std::size_t>(kCoreCount));
+  for (int core = 1; core < kCoreCount; ++core) {
+    EXPECT_GT(report.core_ready_at[static_cast<std::size_t>(core)],
+              report.core_ready_at[static_cast<std::size_t>(core - 1)])
+        << "core " << core << " not released after its predecessor";
+  }
+}
+
+TEST(BaremetalBoot, BarrierAfterLastCore) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  const auto report = baremetal_boot(platform);
+  EXPECT_GT(report.sync_barrier_at, report.core_ready_at.back());
+  EXPECT_EQ(sim.now(), report.sync_barrier_at);
+}
+
+TEST(BaremetalBoot, ClocksAgreeAfterSync) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  const auto report = baremetal_boot(platform);
+  // Paper: clocks synchronized at application boot. Residual skew is only
+  // rounding (a few ns), despite per-core drift/offset before boot.
+  EXPECT_LE(report.max_skew_after_sync, 5);
+  for (int core = 0; core < kCoreCount; ++core) {
+    EXPECT_NEAR(static_cast<double>(platform.local_time(CoreId{core})),
+                static_cast<double>(sim.now()), 5.0);
+  }
+}
+
+TEST(BaremetalBoot, PaperConfigurationApplied) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  const auto report = baremetal_boot(platform);
+  EXPECT_TRUE(report.l2_disabled);
+  EXPECT_TRUE(report.interrupts_disabled);
+}
+
+TEST(BaremetalBoot, CustomStaggerRespected) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  BaremetalConfig config;
+  config.core_release_stagger = rtc::from_us(100);
+  config.per_core_init = rtc::from_us(300);
+  const auto report = baremetal_boot(platform, config);
+  EXPECT_EQ(report.core_ready_at[0], rtc::from_us(300));
+  EXPECT_EQ(report.core_ready_at[1], rtc::from_us(400));
+  EXPECT_EQ(report.core_ready_at.back(),
+            rtc::from_us(300) + 47 * rtc::from_us(100));
+}
+
+TEST(BaremetalBoot, InvalidConfigRejected) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  BaremetalConfig config;
+  config.per_core_init = -1;
+  EXPECT_THROW((void)baremetal_boot(platform, config), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sccft::scc

@@ -1,0 +1,197 @@
+// SCC platform model tests: topology, XY routing, NoC latency/contention,
+// low-contention mapping, clock synchronization.
+#include <gtest/gtest.h>
+
+#include "scc/mapping.hpp"
+#include "scc/messaging.hpp"
+#include "scc/noc.hpp"
+#include "scc/platform.hpp"
+#include "scc/topology.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+namespace {
+
+TEST(Topology, Dimensions) {
+  EXPECT_EQ(kTileCount, 24);
+  EXPECT_EQ(kCoreCount, 48);
+  EXPECT_EQ(TileId::at(5, 3).value, 23);
+  EXPECT_EQ(CoreId{47}.tile().value, 23);
+  EXPECT_EQ(CoreId{47}.local_index(), 1);
+}
+
+TEST(Topology, HopCountIsManhattan) {
+  EXPECT_EQ(hop_count(TileId::at(0, 0), TileId::at(0, 0)), 0);
+  EXPECT_EQ(hop_count(TileId::at(0, 0), TileId::at(5, 3)), 8);
+  EXPECT_EQ(hop_count(TileId::at(2, 1), TileId::at(4, 1)), 2);
+}
+
+TEST(Topology, XyRouteGoesXThenY) {
+  const auto route = xy_route(TileId::at(1, 1), TileId::at(3, 3));
+  ASSERT_EQ(route.size(), 5u);  // 2 x-hops + 2 y-hops + origin
+  EXPECT_EQ(route[0], TileId::at(1, 1));
+  EXPECT_EQ(route[1], TileId::at(2, 1));
+  EXPECT_EQ(route[2], TileId::at(3, 1));
+  EXPECT_EQ(route[3], TileId::at(3, 2));
+  EXPECT_EQ(route[4], TileId::at(3, 3));
+}
+
+TEST(Topology, LinkIndexUniquePerDirectedLink) {
+  std::vector<int> seen;
+  for (int t = 0; t < kTileCount; ++t) {
+    const TileId from{t};
+    for (const auto& [dc, dr] : {std::pair{1, 0}, {-1, 0}, {0, 1}, {0, -1}}) {
+      const int col = from.column() + dc;
+      const int row = from.row() + dr;
+      if (col < 0 || col >= kMeshColumns || row < 0 || row >= kMeshRows) continue;
+      const int idx = link_index(Link{from, TileId::at(col, row)});
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, kLinkTableSize);
+      seen.push_back(idx);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Topology, NonAdjacentLinkRejected) {
+  EXPECT_THROW((void)link_index(Link{TileId::at(0, 0), TileId::at(2, 0)}),
+               util::ContractViolation);
+}
+
+TEST(Noc, LatencyGrowsWithDistance) {
+  NocModel noc;
+  const auto near = noc.estimate_latency(CoreId{0}, CoreId{2}, 1024);
+  const auto far = noc.estimate_latency(CoreId{0}, CoreId{46}, 1024);
+  EXPECT_GT(far, near);
+}
+
+TEST(Noc, LatencyGrowsWithSize) {
+  NocModel noc;
+  const auto small = noc.estimate_latency(CoreId{0}, CoreId{10}, 512);
+  const auto large = noc.estimate_latency(CoreId{0}, CoreId{10}, 64 * 1024);
+  EXPECT_GT(large, 10 * (small - noc.config().software_overhead_ns));
+}
+
+TEST(Noc, ChunkingAtThreeKib) {
+  NocModel noc;
+  noc = NocModel{};
+  (void)noc.transfer(CoreId{0}, CoreId{10}, 3 * 1024, 0);
+  EXPECT_EQ(noc.chunks_sent(), 1u);
+  (void)noc.transfer(CoreId{0}, CoreId{10}, 3 * 1024 + 1, 0);
+  EXPECT_EQ(noc.chunks_sent(), 3u);  // +2
+  (void)noc.transfer(CoreId{0}, CoreId{10}, 9 * 1024, 0);
+  EXPECT_EQ(noc.chunks_sent(), 6u);  // +3
+}
+
+TEST(Noc, ContentionDelaysSharedLink) {
+  NocConfig config;
+  config.model_contention = true;
+  NocModel noc(config);
+  // Two same-start transfers crossing the same links: second is delayed.
+  const auto first = noc.transfer(CoreId{0}, CoreId{10}, 3 * 1024, 0);
+  const auto second = noc.transfer(CoreId{0}, CoreId{10}, 3 * 1024, 0);
+  EXPECT_GT(second, first);
+  EXPECT_GT(noc.contention_stalls(), 0u);
+
+  NocConfig ideal = config;
+  ideal.model_contention = false;
+  NocModel free_noc(ideal);
+  const auto a = free_noc.transfer(CoreId{0}, CoreId{10}, 3 * 1024, 0);
+  const auto b = free_noc.transfer(CoreId{0}, CoreId{10}, 3 * 1024, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Noc, SameTileTransferSkipsMesh) {
+  NocModel noc;
+  const auto same = noc.estimate_latency(CoreId{0}, CoreId{1}, 1024);  // same tile
+  const auto cross = noc.estimate_latency(CoreId{0}, CoreId{2}, 1024);
+  EXPECT_LT(same, cross);
+}
+
+TEST(Messaging, CountsPerPair) {
+  NocModel noc;
+  MessagePassing mp(noc);
+  (void)mp.send(CoreId{0}, CoreId{4}, 100, 0);
+  (void)mp.send(CoreId{0}, CoreId{4}, 100, 10);
+  (void)mp.send(CoreId{4}, CoreId{0}, 100, 20);
+  EXPECT_EQ(mp.messages_sent(), 3u);
+  EXPECT_EQ(mp.bytes_sent(), 300u);
+  EXPECT_EQ(mp.messages_between(CoreId{0}, CoreId{4}), 2u);
+  EXPECT_EQ(mp.messages_between(CoreId{4}, CoreId{0}), 1u);
+}
+
+TEST(Mapping, OneProcessPerTile) {
+  const auto mapping = map_low_contention(10, {});
+  std::vector<int> tiles;
+  for (const auto core : mapping.process_to_core) {
+    tiles.push_back(core.tile().value);
+  }
+  std::sort(tiles.begin(), tiles.end());
+  EXPECT_EQ(std::adjacent_find(tiles.begin(), tiles.end()), tiles.end());
+}
+
+TEST(Mapping, LowContentionBeatsRowMajor) {
+  // A chain topology: 0 -> 1 -> 2 -> ... -> 9, heavy traffic.
+  std::vector<TrafficEdge> edges;
+  for (int i = 0; i + 1 < 10; ++i) {
+    edges.push_back({i, i + 1, 1'000'000});
+  }
+  const auto smart = map_low_contention(10, edges);
+  const auto naive = map_row_major(10);
+  EXPECT_LE(smart.cost(edges), naive.cost(edges));
+  // Adjacent chain stages should sit on adjacent tiles (cost = sum of hops =
+  // 9 edges * 1 hop in the optimum).
+  EXPECT_LE(smart.cost(edges) / 1'000'000, 12u);
+}
+
+TEST(Mapping, Deterministic) {
+  std::vector<TrafficEdge> edges{{0, 1, 10}, {1, 2, 20}, {2, 3, 5}};
+  const auto a = map_low_contention(4, edges);
+  const auto b = map_low_contention(4, edges);
+  for (std::size_t i = 0; i < a.process_to_core.size(); ++i) {
+    EXPECT_EQ(a.process_to_core[i], b.process_to_core[i]);
+  }
+}
+
+TEST(Mapping, RejectsTooManyProcesses) {
+  EXPECT_THROW(map_low_contention(kTileCount + 1, {}), util::ContractViolation);
+}
+
+TEST(Platform, BootDefaultsMatchPaper) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  EXPECT_DOUBLE_EQ(platform.config().tile_frequency_hz, 533e6);
+  EXPECT_DOUBLE_EQ(platform.config().router_frequency_hz, 800e6);
+  EXPECT_DOUBLE_EQ(platform.config().ddr_frequency_hz, 800e6);
+  EXPECT_FALSE(platform.config().l2_cache_enabled);
+  EXPECT_FALSE(platform.config().interrupts_enabled);
+}
+
+TEST(Platform, ClockSyncAlignsAllCores) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  sim.schedule_at(5'000'000, [] {});
+  sim.run();
+  platform.synchronize_clocks();
+  for (int c = 0; c < kCoreCount; ++c) {
+    EXPECT_NEAR(static_cast<double>(platform.local_time(CoreId{c})),
+                static_cast<double>(sim.now()), 3.0)
+        << "core " << c;
+  }
+}
+
+TEST(Platform, UnsyncedClocksDisagree) {
+  sim::Simulator sim;
+  Platform platform(sim);
+  sim.schedule_at(1'000'000, [] {});
+  sim.run();
+  bool any_off = false;
+  for (int c = 0; c < kCoreCount; ++c) {
+    if (std::abs(platform.local_time(CoreId{c}) - sim.now()) > 10) any_off = true;
+  }
+  EXPECT_TRUE(any_off);
+}
+
+}  // namespace
+}  // namespace sccft::scc

@@ -1,0 +1,133 @@
+// Simulator stress & determinism tests: large event volumes, deep coroutine
+// pipelines, and bit-identical reruns.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kpn/network.hpp"
+#include "kpn/process.hpp"
+#include "sim/simulator.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::sim {
+namespace {
+
+TEST(SimStress, MillionEventsInOrder) {
+  Simulator sim;
+  util::Xoshiro256 rng(42);
+  rtc::TimeNs last_seen = -1;
+  bool ordered = true;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const rtc::TimeNs at = rng.uniform_int(0, 10'000'000);
+    sim.schedule_at(at, [&, at] {
+      if (at < last_seen) ordered = false;
+      last_seen = at;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sim.events_processed(), 1'000'000u);
+}
+
+TEST(SimStress, DeepPipelineOfCoroutines) {
+  // 20 processes chained through 19 FIFOs; 500 tokens flow end to end.
+  Simulator sim;
+  kpn::Network net(sim);
+  constexpr int kStages = 20;
+  std::vector<kpn::FifoChannel*> fifos;
+  for (int i = 0; i + 1 < kStages; ++i) {
+    fifos.push_back(&net.add_fifo("f" + std::to_string(i), 4));
+  }
+  net.add_process("head", scc::CoreId{0}, 1,
+                  [&](kpn::ProcessContext& ctx) -> sim::Task {
+                    for (std::uint64_t k = 0; k < 500; ++k) {
+                      std::vector<std::uint8_t> payload{static_cast<std::uint8_t>(k)};
+                      co_await kpn::write(*fifos[0],
+                                          kpn::Token(std::move(payload), k, ctx.now()));
+                      co_await ctx.delay(100);
+                    }
+                  });
+  for (int i = 1; i + 1 < kStages; ++i) {
+    net.add_process("mid" + std::to_string(i), scc::CoreId{2 * (i % 23)},
+                    static_cast<std::uint64_t>(i) + 10,
+                    [&, i](kpn::ProcessContext& ctx) -> sim::Task {
+                      while (true) {
+                        kpn::Token token = co_await kpn::read(*fifos[static_cast<std::size_t>(i - 1)]);
+                        co_await ctx.delay(10);
+                        co_await kpn::write(*fifos[static_cast<std::size_t>(i)], token);
+                      }
+                    });
+  }
+  std::uint64_t received = 0;
+  bool in_order = true;
+  net.add_process("tail", scc::CoreId{46}, 99,
+                  [&](kpn::ProcessContext&) -> sim::Task {
+                    std::uint64_t expected = 0;
+                    while (true) {
+                      kpn::Token token =
+                          co_await kpn::read(*fifos[kStages - 2]);
+                      if (token.seq() != expected) in_order = false;
+                      ++expected;
+                      ++received;
+                    }
+                  });
+  net.run_until(1'000'000);
+  EXPECT_EQ(received, 500u);
+  EXPECT_TRUE(in_order);
+}
+
+TEST(SimStress, RerunsBitIdentical) {
+  // The whole-run event schedule digests to the same CRC across reruns.
+  auto run_once = [] {
+    Simulator sim;
+    util::Xoshiro256 rng(7);
+    std::vector<std::uint8_t> digest;
+    std::function<void(int)> chain = [&](int depth) {
+      digest.push_back(static_cast<std::uint8_t>(sim.now() & 0xFF));
+      if (depth < 2'000) {
+        sim.schedule_after(rng.uniform_int(1, 1'000), [&, depth] { chain(depth + 1); });
+      }
+    };
+    sim.schedule_at(0, [&] { chain(0); });
+    sim.run();
+    return util::crc32(digest);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(SimStress, ManyProcessesManyChannels) {
+  // 24 independent producer/consumer pairs (one per tile) run concurrently.
+  Simulator sim;
+  kpn::Network net(sim);
+  std::vector<std::uint64_t> counts(24, 0);
+  for (int pair = 0; pair < 24; ++pair) {
+    auto& fifo = net.add_fifo("p" + std::to_string(pair), 2);
+    net.add_process("w" + std::to_string(pair), scc::CoreId{2 * pair},
+                    static_cast<std::uint64_t>(pair) * 2 + 1,
+                    [&, pair](kpn::ProcessContext& ctx) -> sim::Task {
+                      for (std::uint64_t k = 0;; ++k) {
+                        std::vector<std::uint8_t> payload{static_cast<std::uint8_t>(pair)};
+                        co_await kpn::write(fifo, kpn::Token(std::move(payload), k, ctx.now()));
+                        co_await ctx.delay(1'000 + pair * 7);
+                      }
+                    });
+    net.add_process("r" + std::to_string(pair), scc::CoreId{2 * pair + 1},
+                    static_cast<std::uint64_t>(pair) * 2 + 2,
+                    [&, pair](kpn::ProcessContext&) -> sim::Task {
+                      while (true) {
+                        (void)co_await kpn::read(fifo);
+                        ++counts[static_cast<std::size_t>(pair)];
+                      }
+                    });
+  }
+  net.run_until(1'000'000);
+  for (int pair = 0; pair < 24; ++pair) {
+    EXPECT_GT(counts[static_cast<std::size_t>(pair)], 800u) << "pair " << pair;
+  }
+}
+
+}  // namespace
+}  // namespace sccft::sim

@@ -1,0 +1,106 @@
+// Bit-level I/O and Exp-Golomb coding tests.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/bitio.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::util {
+namespace {
+
+TEST(BitWriter, MsbFirstPacking) {
+  BitWriter writer;
+  writer.write_bits(0b101, 3);
+  writer.write_bits(0b01, 2);
+  writer.write_bits(0b110, 3);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10101110);
+}
+
+TEST(BitWriter, PadsFinalByteWithZeros) {
+  BitWriter writer;
+  writer.write_bits(0b11, 2);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b11000000);
+}
+
+TEST(BitWriter, BitCountTracksAll) {
+  BitWriter writer;
+  writer.write_bits(1, 1);
+  writer.write_bits(0xFFFF, 16);
+  EXPECT_EQ(writer.bit_count(), 17u);
+}
+
+TEST(BitRoundTrip, RandomFieldSequence) {
+  Xoshiro256 rng(3);
+  std::vector<std::pair<std::uint32_t, int>> fields;
+  BitWriter writer;
+  for (int i = 0; i < 500; ++i) {
+    const int bits = static_cast<int>(rng.uniform_int(1, 32));
+    const auto value =
+        static_cast<std::uint32_t>(rng.next() & ((bits == 32) ? ~0U : ((1U << bits) - 1)));
+    fields.emplace_back(value, bits);
+    writer.write_bits(value, bits);
+  }
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (const auto& [value, bits] : fields) {
+    EXPECT_EQ(reader.read_bits(bits), value);
+  }
+}
+
+TEST(ExpGolomb, UnsignedKnownCodes) {
+  // ue(0)=1, ue(1)=010, ue(2)=011, ue(3)=00100 ...
+  BitWriter writer;
+  writer.write_ue(0);
+  writer.write_ue(1);
+  writer.write_ue(2);
+  writer.write_ue(3);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.read_ue(), 0u);
+  EXPECT_EQ(reader.read_ue(), 1u);
+  EXPECT_EQ(reader.read_ue(), 2u);
+  EXPECT_EQ(reader.read_ue(), 3u);
+  // 1 + 3 + 3 + 5 bits = 12 bits -> 2 bytes.
+  EXPECT_EQ(bytes.size(), 2u);
+}
+
+TEST(ExpGolomb, UnsignedRoundTripSweep) {
+  BitWriter writer;
+  for (std::uint32_t v = 0; v < 2'000; ++v) writer.write_ue(v);
+  writer.write_ue(1'000'000);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (std::uint32_t v = 0; v < 2'000; ++v) EXPECT_EQ(reader.read_ue(), v);
+  EXPECT_EQ(reader.read_ue(), 1'000'000u);
+}
+
+TEST(ExpGolomb, SignedRoundTripSweep) {
+  BitWriter writer;
+  for (std::int32_t v = -500; v <= 500; ++v) writer.write_se(v);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (std::int32_t v = -500; v <= 500; ++v) EXPECT_EQ(reader.read_se(), v);
+}
+
+TEST(BitReader, ReadPastEndRejected) {
+  const std::vector<std::uint8_t> bytes{0xAB};
+  BitReader reader(bytes);
+  (void)reader.read_bits(8);
+  EXPECT_THROW((void)reader.read_bits(1), ContractViolation);
+}
+
+TEST(BitReader, RemainingBitsAccounting) {
+  const std::vector<std::uint8_t> bytes{0xAB, 0xCD};
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.bits_remaining(), 16u);
+  (void)reader.read_bits(5);
+  EXPECT_EQ(reader.bits_consumed(), 5u);
+  EXPECT_EQ(reader.bits_remaining(), 11u);
+}
+
+}  // namespace
+}  // namespace sccft::util

@@ -1,0 +1,93 @@
+// CLI flag parser tests.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+
+namespace sccft::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_flag("name", "default", "a string flag");
+  cli.add_flag("count", "3", "an int flag");
+  cli.add_flag("ratio", "1.5", "a double flag");
+  cli.add_flag("verbose", "false", "a boolean flag");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_EQ(cli.get_int("count"), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 1.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--name", "hello", "--count", "42"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get("name"), "hello");
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--name=world", "--ratio=2.25"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("name"), "world");
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.25);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueRejected) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--name"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, PositionalRejected) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpRequested) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage().find("test program"), std::string::npos);
+  EXPECT_NE(cli.usage().find("--count"), std::string::npos);
+}
+
+TEST(Cli, DuplicateFlagDefinitionRejected) {
+  CliParser cli("prog", "x");
+  cli.add_flag("a", "1", "first");
+  EXPECT_THROW(cli.add_flag("a", "2", "again"), ContractViolation);
+}
+
+TEST(Cli, UnknownGetRejected) {
+  auto cli = make_parser();
+  EXPECT_THROW((void)cli.get("nope"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sccft::util

@@ -1,0 +1,147 @@
+// Canonical Huffman coding tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/huffman.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::util {
+namespace {
+
+std::vector<std::uint64_t> freqs_of(const std::vector<int>& stream) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  for (int s : stream) freqs[static_cast<std::size_t>(s)]++;
+  return freqs;
+}
+
+std::vector<int> random_stream(std::uint64_t seed, int count, int alphabet) {
+  Xoshiro256 rng(seed);
+  std::vector<int> stream;
+  stream.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Skewed: low symbols much more likely (geometric-ish).
+    int s = 0;
+    while (s < alphabet - 1 && rng.chance(0.6)) ++s;
+    stream.push_back(s);
+  }
+  return stream;
+}
+
+TEST(Huffman, RoundTripSkewedStream) {
+  const auto stream = random_stream(1, 5'000, 40);
+  const auto table = HuffmanTable::build(freqs_of(stream));
+  BitWriter writer;
+  for (int s : stream) table.encode(writer, s);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (int s : stream) EXPECT_EQ(table.decode(reader), s);
+}
+
+TEST(Huffman, TableSerializationRoundTrip) {
+  const auto stream = random_stream(2, 2'000, 80);
+  const auto table = HuffmanTable::build(freqs_of(stream));
+  BitWriter writer;
+  table.write_to(writer);
+  for (int s : stream) table.encode(writer, s);
+  const auto bytes = writer.finish();
+
+  BitReader reader(bytes);
+  const auto loaded = HuffmanTable::read_from(reader);
+  EXPECT_EQ(loaded.symbol_count(), table.symbol_count());
+  for (int s : stream) EXPECT_EQ(loaded.decode(reader), s);
+}
+
+TEST(Huffman, ShorterCodesForFrequentSymbols) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs[7] = 1'000;
+  freqs[8] = 100;
+  freqs[9] = 10;
+  freqs[10] = 1;
+  const auto table = HuffmanTable::build(freqs);
+  EXPECT_LE(table.code_length(7), table.code_length(9));
+  EXPECT_LE(table.code_length(8), table.code_length(10));
+}
+
+TEST(Huffman, BeatsFixedWidthOnSkewedData) {
+  const auto stream = random_stream(3, 20'000, 64);  // 6-bit alphabet
+  const auto table = HuffmanTable::build(freqs_of(stream));
+  BitWriter writer;
+  for (int s : stream) table.encode(writer, s);
+  const std::size_t huff_bits = writer.bit_count();
+  EXPECT_LT(huff_bits, 20'000u * 6u);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs[42] = 99;
+  const auto table = HuffmanTable::build(freqs);
+  BitWriter writer;
+  table.encode(writer, 42);
+  table.encode(writer, 42);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(table.decode(reader), 42);
+  EXPECT_EQ(table.decode(reader), 42);
+}
+
+TEST(Huffman, FullAlphabet) {
+  std::vector<std::uint64_t> freqs(256, 1);
+  const auto table = HuffmanTable::build(freqs);
+  EXPECT_EQ(table.symbol_count(), 256u);
+  // Uniform 256-symbol alphabet: every code exactly 8 bits.
+  for (int s = 0; s < 256; ++s) EXPECT_EQ(table.code_length(s), 8);
+}
+
+TEST(Huffman, LengthLimitedUnderExtremeSkew) {
+  // Fibonacci-like frequencies force deep unbalanced trees; all code lengths
+  // must still be <= 16 and the code must stay decodable.
+  std::vector<std::uint64_t> freqs(256, 0);
+  std::uint64_t a = 1, b = 1;
+  for (int s = 0; s < 40; ++s) {
+    freqs[static_cast<std::size_t>(s)] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto table = HuffmanTable::build(freqs);
+  for (int s = 0; s < 40; ++s) {
+    EXPECT_LE(table.code_length(s), kMaxHuffmanBits) << "symbol " << s;
+  }
+  // Round trip with all symbols present.
+  BitWriter writer;
+  for (int s = 0; s < 40; ++s) table.encode(writer, s);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (int s = 0; s < 40; ++s) EXPECT_EQ(table.decode(reader), s);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  const auto stream = random_stream(5, 10'000, 120);
+  const auto table = HuffmanTable::build(freqs_of(stream));
+  double kraft = 0.0;
+  for (int s = 0; s < 256; ++s) {
+    if (table.has_code(s)) kraft += std::pow(2.0, -table.code_length(s));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, UncodedSymbolRejected) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs[1] = 5;
+  const auto table = HuffmanTable::build(freqs);
+  BitWriter writer;
+  EXPECT_THROW(table.encode(writer, 2), ContractViolation);
+  EXPECT_FALSE(table.has_code(2));
+}
+
+TEST(Huffman, EmptyAlphabetRejected) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  EXPECT_THROW((void)HuffmanTable::build(freqs), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sccft::util

@@ -1,0 +1,102 @@
+// Deterministic RNG tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::util {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, UniformIntInRange) {
+  Xoshiro256 rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all 9 values hit over 10k draws
+}
+
+TEST(Xoshiro256, UniformIntDegenerateRange) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), ContractViolation);
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20'000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, UniformIntUnbiasedMean) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 50'000; ++i) sum += static_cast<double>(rng.uniform_int(0, 9));
+  EXPECT_NEAR(sum / 50'000.0, 4.5, 0.1);
+}
+
+TEST(Xoshiro256, NormalMomentsRoughlyStandard) {
+  Xoshiro256 rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, NormalScaled) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 20'000; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / 20'000.0, 10.0, 0.1);
+}
+
+TEST(Xoshiro256, ChanceProbability) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50'000.0, 0.3, 0.02);
+  EXPECT_THROW((void)rng.chance(1.5), ContractViolation);
+}
+
+TEST(SplitMix64Test, KnownNonZeroStream) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sccft::util

@@ -1,0 +1,108 @@
+// Statistics collector tests.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace sccft::util {
+namespace {
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(StreamingStats, EmptyQueriesRejected) {
+  StreamingStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_THROW((void)stats.mean(), ContractViolation);
+  EXPECT_THROW((void)stats.min(), ContractViolation);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(StreamingStats, MergeEqualsSequential) {
+  StreamingStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3.0;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) set.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(set.min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.max(), 100.0);
+  EXPECT_DOUBLE_EQ(set.median(), 50.5);
+  EXPECT_NEAR(set.percentile(95.0), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(set.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.percentile(100.0), 100.0);
+}
+
+TEST(SampleSet, AddAfterSortInvalidatesCache) {
+  SampleSet set;
+  set.add(10.0);
+  EXPECT_DOUBLE_EQ(set.max(), 10.0);
+  set.add(20.0);
+  EXPECT_DOUBLE_EQ(set.max(), 20.0);  // cache refreshed
+}
+
+TEST(SampleSet, StddevMatchesStreaming) {
+  SampleSet set;
+  StreamingStats stream;
+  for (int i = 0; i < 40; ++i) {
+    const double v = (i * 37 % 11) * 1.5;
+    set.add(v);
+    stream.add(v);
+  }
+  EXPECT_NEAR(set.stddev(), stream.stddev(), 1e-9);
+  EXPECT_NEAR(set.mean(), stream.mean(), 1e-12);
+}
+
+TEST(SampleSet, EmptyRejected) {
+  SampleSet set;
+  EXPECT_THROW((void)set.percentile(50.0), ContractViolation);
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Format, SiPrefixes) {
+  EXPECT_EQ(format_si(1'500.0, "B", 1), "1.5 kB");
+  EXPECT_EQ(format_si(2'000'000.0, "B/s", 0), "2 MB/s");
+  EXPECT_EQ(format_si(12.0, "B", 0), "12 B");
+}
+
+}  // namespace
+}  // namespace sccft::util
