@@ -4,8 +4,10 @@
 // seed sweep and collect the quantities Tables 2 and 3 report.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/common/experiment.hpp"
 #include "util/stats.hpp"
@@ -24,6 +26,7 @@ struct FaultCampaignResult {
   int detected = 0;
   int correct_replica = 0;
   int false_positives = 0;
+  std::vector<std::uint64_t> seeds;  ///< RNG seed of every run, in order
   rtc::SizingReport sizing;
 };
 
@@ -37,6 +40,7 @@ inline FaultCampaignResult run_fault_campaign(apps::ExperimentRunner& runner,
   options.faulty_replica = faulty;
   for (int run = 1; run <= runs; ++run) {
     options.seed = static_cast<std::uint64_t>(run);
+    result.seeds.push_back(options.seed);
     const auto r = runner.run(options);
     result.sizing = r.sizing;
     if (r.false_positive) ++result.false_positives;
@@ -61,6 +65,7 @@ struct FaultFreeCampaignResult {
   rtc::Tokens max_fill_r1 = 0, max_fill_r2 = 0, max_fill_s1 = 0, max_fill_s2 = 0;
   util::SampleSet interarrival_ms;  // pooled over runs
   int false_positives = 0;
+  std::vector<std::uint64_t> seeds;  ///< RNG seed of every run, in order
   rtc::SizingReport sizing;
   std::size_t replicator_memory = 0, selector_memory = 0;
 };
@@ -74,6 +79,7 @@ inline FaultFreeCampaignResult run_fault_free_campaign(apps::ExperimentRunner& r
   options.inject_fault = false;
   for (int run = 1; run <= runs; ++run) {
     options.seed = static_cast<std::uint64_t>(run);
+    result.seeds.push_back(options.seed);
     const auto r = runner.run(options);
     result.sizing = r.sizing;
     result.max_fill_r1 = std::max(result.max_fill_r1, r.fill_r1);
@@ -89,6 +95,29 @@ inline FaultFreeCampaignResult run_fault_free_campaign(apps::ExperimentRunner& r
 }
 
 inline std::string ms(double v) { return util::format_double(v, 1) + " ms"; }
+
+/// Renders a campaign's per-run seeds for table titles and CSV headers, so
+/// every reported number can be reproduced exactly. Contiguous ranges
+/// (the common case: seeds 1..kRuns) are compacted to "first..last".
+inline std::string seed_list(const std::vector<std::uint64_t>& seeds) {
+  if (seeds.empty()) return "seeds -";
+  bool contiguous = true;
+  for (std::size_t i = 1; i < seeds.size(); ++i) {
+    if (seeds[i] != seeds[i - 1] + 1) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous && seeds.size() > 1) {
+    return "seeds " + std::to_string(seeds.front()) + ".." + std::to_string(seeds.back());
+  }
+  std::string out = "seeds ";
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(seeds[i]);
+  }
+  return out;
+}
 
 inline std::string stat_row(const util::SampleSet& set) {
   if (set.empty()) return "-";

@@ -44,13 +44,14 @@ inline void run_table2(apps::ApplicationSpec app) {
                 std::to_string(sizing.selector_capacity2),
                 std::to_string(sizing.selector_initial1),
                 std::to_string(sizing.selector_initial2)});
-  fifo.add_row({"Max observed fill (no faults, 20 runs)",
+  fifo.add_row({"Max observed fill (no faults, 20 runs, " + seed_list(dup_free.seeds) + ")",
                 std::to_string(dup_free.max_fill_r1), std::to_string(dup_free.max_fill_r2),
                 std::to_string(dup_free.max_fill_s1), std::to_string(dup_free.max_fill_s2),
                 "-", "-"});
   std::cout << fifo << "\n";
 
-  util::Table latency("Table 2 (" + name + "): fault-detection latency (20 runs per faulty replica)");
+  util::Table latency("Table 2 (" + name + "): fault-detection latency (20 runs per faulty replica, " +
+                      seed_list(fault1.seeds) + ")");
   latency.set_header({"Channel", "Min", "Mean", "Max", "Computed upper bound"});
   auto lat_row = [&](const std::string& channel, const util::SampleSet& set,
                      rtc::TimeNs bound) {
@@ -93,7 +94,8 @@ inline void run_table2(apps::ApplicationSpec app) {
             << " blamed the correct replica, "
             << (fault1.false_positives + fault2.false_positives +
                 dup_free.false_positives)
-            << " false positives.\n\n";
+            << " false positives (" << seed_list(fault1.seeds)
+            << " per campaign).\n\n";
 }
 
 }  // namespace sccft::bench

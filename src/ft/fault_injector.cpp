@@ -14,7 +14,9 @@ void FaultInjector::schedule(std::vector<kpn::Process*> victims, rtc::TimeNs at,
 
   armed_ = true;
   injected_at_ = at;
-  sim_.schedule_at(at, [this, victims = std::move(victims), mode, rate_factor] {
+  sim_.schedule_at(at, [this, victims = std::move(victims), mode, rate_factor,
+                        generation = generation_] {
+    if (generation != generation_) return;  // cancelled before firing
     fired_ = true;
     for (auto* victim : victims) {
       kpn::FaultState& fault = victim->context().fault();
@@ -29,6 +31,20 @@ void FaultInjector::schedule(std::vector<kpn::Process*> victims, rtc::TimeNs at,
       }
     }
   });
+}
+
+void FaultInjector::cancel() {
+  SCCFT_EXPECTS(armed_ && !fired_);
+  ++generation_;
+  armed_ = false;
+  injected_at_ = -1;
+}
+
+void FaultInjector::reset() {
+  SCCFT_EXPECTS(!armed_ || fired_);
+  armed_ = false;
+  fired_ = false;
+  injected_at_ = -1;
 }
 
 }  // namespace sccft::ft

@@ -7,6 +7,7 @@
 // stops producing (or consuming) tokens altogether" — the kSilence mode.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,9 @@ enum class FaultMode {
 };
 
 /// Schedules a single permanent timing fault against a set of processes (all
-/// processes of one replica).
+/// processes of one replica). For multi-fault campaigns (the taxonomy of
+/// ft/fault_plan.hpp) either call reset() between faults or use FaultCampaign,
+/// which manages several specs at once.
 class FaultInjector final {
  public:
   explicit FaultInjector(sim::Simulator& sim) : sim_(sim) {}
@@ -31,6 +34,17 @@ class FaultInjector final {
   /// `rate_factor` only applies to kRateDegradation (must be > 1).
   void schedule(std::vector<kpn::Process*> victims, rtc::TimeNs at,
                 FaultMode mode = FaultMode::kSilence, double rate_factor = 1.0);
+
+  /// Revokes a scheduled fault that has not fired yet. Contract: only legal
+  /// while armed and before the injection instant (a fault that already
+  /// happened cannot be un-happened).
+  void cancel();
+
+  /// Re-arms the injector for the next fault of a campaign. Contract: only
+  /// legal once the previous fault has fired (or none was ever scheduled) —
+  /// resetting over a still-pending fault would silently break the
+  /// single-pending-fault bookkeeping; cancel() it instead.
+  void reset();
 
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] rtc::TimeNs injected_at() const { return injected_at_; }
@@ -41,6 +55,9 @@ class FaultInjector final {
   bool armed_ = false;
   bool fired_ = false;
   rtc::TimeNs injected_at_ = -1;
+  /// Bumped by cancel(); the scheduled event compares its captured value and
+  /// becomes a no-op if the fault was revoked before firing.
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace sccft::ft

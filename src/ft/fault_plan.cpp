@@ -1,0 +1,198 @@
+#include "ft/fault_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPermanentSilence: return "permanent-silence";
+    case FaultKind::kTransientSilence: return "transient-silence";
+    case FaultKind::kIntermittentSilence: return "intermittent-silence";
+    case FaultKind::kRateDegradation: return "rate-degradation";
+    case FaultKind::kPayloadCorruption: return "payload-corruption";
+    case FaultKind::kNocLink: return "noc-link";
+  }
+  return "?";
+}
+
+FaultCampaign::FaultCampaign(sim::Simulator& sim, Wiring wiring)
+    : sim_(sim), wiring_(std::move(wiring)) {
+  SCCFT_EXPECTS(wiring_.replicator != nullptr);
+  SCCFT_EXPECTS(wiring_.selector != nullptr);
+}
+
+void FaultCampaign::add(FaultSpec spec) {
+  SCCFT_EXPECTS(!armed_);
+  SCCFT_EXPECTS(spec.at >= 0);
+  switch (spec.kind) {
+    case FaultKind::kPermanentSilence:
+      break;
+    case FaultKind::kTransientSilence:
+      SCCFT_EXPECTS(spec.duration > 0);
+      break;
+    case FaultKind::kIntermittentSilence:
+      SCCFT_EXPECTS(spec.duration > 0);
+      SCCFT_EXPECTS(spec.burst_on_mean > 0 && spec.burst_off_mean > 0);
+      break;
+    case FaultKind::kRateDegradation:
+      SCCFT_EXPECTS(spec.rate_factor > 1.0);
+      break;
+    case FaultKind::kPayloadCorruption:
+      SCCFT_EXPECTS(spec.corrupt_probability > 0.0 && spec.corrupt_probability <= 1.0);
+      break;
+    case FaultKind::kNocLink:
+      SCCFT_EXPECTS(wiring_.noc != nullptr);
+      break;
+  }
+  pending_.push_back(spec);
+}
+
+void FaultCampaign::arm() {
+  SCCFT_EXPECTS(!armed_);
+  armed_ = true;
+  // Stable storage: scheduled events keep references into armed_specs_, so
+  // it is filled once here and never resized again.
+  armed_specs_.reserve(pending_.size());
+  for (const FaultSpec& spec : pending_) armed_specs_.emplace_back(spec);
+  pending_.clear();
+  for (ArmedSpec& armed : armed_specs_) arm_spec(armed);
+}
+
+void FaultCampaign::arm_spec(ArmedSpec& armed) {
+  const FaultSpec& spec = armed.spec;
+  switch (spec.kind) {
+    case FaultKind::kPermanentSilence:
+      sim_.schedule_at(spec.at, [this, &armed] {
+        record(armed.spec, sim_.now());
+        begin_silence(armed.spec, -1);
+      });
+      break;
+
+    case FaultKind::kTransientSilence:
+      sim_.schedule_at(spec.at, [this, &armed] {
+        record(armed.spec, sim_.now());
+        begin_silence(armed.spec, armed.spec.at + armed.spec.duration);
+      });
+      sim_.schedule_at(spec.at + spec.duration,
+                       [this, &armed] { end_silence(armed.spec); });
+      break;
+
+    case FaultKind::kIntermittentSilence:
+      schedule_burst(armed, spec.at);
+      break;
+
+    case FaultKind::kRateDegradation:
+      sim_.schedule_at(spec.at, [this, &armed] {
+        record(armed.spec, sim_.now());
+        for (auto* victim : victims(armed.spec)) {
+          kpn::FaultState& fault = victim->context().fault();
+          fault.rate_factor = armed.spec.rate_factor;
+          if (fault.faulted_at < 0) fault.faulted_at = sim_.now();
+        }
+      });
+      if (spec.duration > 0) {
+        sim_.schedule_at(spec.at + spec.duration, [this, &armed] {
+          for (auto* victim : victims(armed.spec)) {
+            victim->context().fault().rate_factor = 1.0;
+          }
+        });
+      }
+      break;
+
+    case FaultKind::kPayloadCorruption:
+      sim_.schedule_at(spec.at, [this, &armed] {
+        record(armed.spec, sim_.now());
+        // The tamper models corruption between the replica's CRC stamping
+        // and the selector's verification — a flip in the core's output
+        // buffer or on the output link. Bit position and per-token chance
+        // come from the spec's private RNG stream.
+        wiring_.selector->set_write_tamper(
+            armed.spec.replica, [&armed](const kpn::Token& token) {
+              if (!token.valid() || token.size_bytes() == 0) return token;
+              if (!armed.rng.chance(armed.spec.corrupt_probability)) return token;
+              return token.corrupted(static_cast<std::size_t>(armed.rng.next()));
+            });
+      });
+      if (spec.duration > 0) {
+        sim_.schedule_at(spec.at + spec.duration, [this, &armed] {
+          wiring_.selector->set_write_tamper(armed.spec.replica, nullptr);
+        });
+      }
+      break;
+
+    case FaultKind::kNocLink: {
+      // The NoC model gates fault activity on its plan window, so the plan
+      // can be installed immediately; only the window needs deriving here.
+      scc::NocFaultPlan plan = spec.noc;
+      plan.window_start = spec.at;
+      plan.window_end = spec.duration > 0 ? spec.at + spec.duration
+                                          : std::numeric_limits<rtc::TimeNs>::max();
+      plan.seed = spec.seed;
+      wiring_.noc->inject_faults(plan);
+      sim_.schedule_at(spec.at,
+                       [this, &armed] { record(armed.spec, sim_.now()); });
+      break;
+    }
+  }
+}
+
+void FaultCampaign::begin_silence(const FaultSpec& spec, rtc::TimeNs until) {
+  for (auto* victim : victims(spec)) {
+    kpn::FaultState& fault = victim->context().fault();
+    fault.silenced = true;
+    fault.silence_until = until;
+    if (fault.faulted_at < 0) fault.faulted_at = sim_.now();
+  }
+  // Channel-level freeze so consumption/production stops at the fault
+  // instant even for a process currently parked inside a channel await.
+  // Handles are retained (see freeze_reader/freeze_writer): end_silence
+  // resumes them.
+  wiring_.replicator->freeze_reader(spec.replica);
+  wiring_.selector->freeze_writer(spec.replica);
+}
+
+void FaultCampaign::end_silence(const FaultSpec& spec) {
+  for (auto* victim : victims(spec)) {
+    // Idempotent: the process's own fault gate may have cleared it already.
+    victim->context().fault().clear_silence();
+  }
+  wiring_.replicator->unfreeze_reader(spec.replica);
+  wiring_.selector->unfreeze_writer(spec.replica);
+}
+
+void FaultCampaign::schedule_burst(ArmedSpec& armed, rtc::TimeNs at) {
+  const FaultSpec& spec = armed.spec;
+  const rtc::TimeNs window_end = spec.at + spec.duration;
+  if (at >= window_end) return;
+  // Burst lengths are uniform in [0.5, 1.5] x mean — bounded away from zero
+  // so every burst is observable, deterministic per seed.
+  const auto draw = [&armed](rtc::TimeNs mean) {
+    return std::max<rtc::TimeNs>(
+        1, static_cast<rtc::TimeNs>(armed.rng.uniform(0.5, 1.5) *
+                                    static_cast<double>(mean)));
+  };
+  const rtc::TimeNs on_len = std::min(draw(spec.burst_on_mean), window_end - at);
+  const rtc::TimeNs off_len = draw(spec.burst_off_mean);
+  sim_.schedule_at(at, [this, &armed, at, on_len] {
+    record(armed.spec, sim_.now());
+    begin_silence(armed.spec, at + on_len);
+  });
+  sim_.schedule_at(at + on_len, [this, &armed, at, on_len, off_len] {
+    end_silence(armed.spec);
+    // The next burst is scheduled only now, once this one ended: burst
+    // boundaries never interleave and the RNG stream stays in draw order.
+    schedule_burst(armed, at + on_len + off_len);
+  });
+}
+
+void FaultCampaign::record(const FaultSpec& spec, rtc::TimeNs at) {
+  const FaultInjectionRecord rec{spec.kind, spec.replica, at};
+  injections_.push_back(rec);
+  if (listener_) listener_(rec);
+}
+
+}  // namespace sccft::ft

@@ -1,0 +1,148 @@
+// Fault taxonomy and multi-fault campaigns (extension beyond the paper).
+//
+// The paper's fault hypothesis (Section 2) covers a single *permanent* timing
+// fault. Real silicon — and the SCC in particular, whose cores the authors
+// note are operated near threshold voltage — also exhibits:
+//
+//   * transient silence   — a core halts (SEU, watchdog reset) and comes back
+//                           by itself after a bounded outage;
+//   * intermittent bursts — a marginal core alternates between healthy and
+//                           silent phases on a random on/off schedule;
+//   * payload corruption  — a token's bytes are altered after production
+//                           (bit flip in a register file, MPB or link), which
+//                           the timing-only rules (a)/(b) cannot see but the
+//                           CRC rule (c) convicts;
+//   * NoC link faults     — chunks of a message are dropped or delayed in
+//                           the mesh; the sender retransmits after a timeout,
+//                           bounded by an attempt budget (scc/noc.hpp).
+//
+// FaultCampaign schedules any number of such faults against a running
+// duplicated network, lifting the single-shot restriction of FaultInjector.
+// Every stochastic choice (burst lengths, corrupted bit positions, drop
+// decisions) is driven by explicitly seeded xoshiro256** streams, so each
+// campaign is bit-reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ft/replicator.hpp"
+#include "ft/selector.hpp"
+#include "kpn/process.hpp"
+#include "rtc/time.hpp"
+#include "scc/noc.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::ft {
+
+enum class FaultKind {
+  kPermanentSilence,    ///< paper's model: the replica halts forever
+  kTransientSilence,    ///< halt for `duration`, then self-resume
+  kIntermittentSilence, ///< random on/off silence bursts within a window
+  kRateDegradation,     ///< compute times inflate by `rate_factor`
+  kPayloadCorruption,   ///< output tokens get post-CRC bit flips
+  kNocLink,             ///< mesh chunks dropped/delayed within a window
+};
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// One fault to inject. Which fields matter depends on `kind`; unused fields
+/// are ignored. All times are absolute simulated times.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kPermanentSilence;
+  ReplicaIndex replica = ReplicaIndex::kReplica1;  ///< victim (ignored for kNocLink)
+  rtc::TimeNs at = 0;        ///< injection instant
+  /// Fault lifetime. Required (> 0) for kTransientSilence and
+  /// kIntermittentSilence; optional for kRateDegradation and
+  /// kPayloadCorruption (0 = lasts until the end of the run).
+  rtc::TimeNs duration = 0;
+  double rate_factor = 4.0;          ///< kRateDegradation slowdown (> 1)
+  double corrupt_probability = 1.0;  ///< kPayloadCorruption per-token chance
+  rtc::TimeNs burst_on_mean = 0;     ///< kIntermittentSilence mean silent phase
+  rtc::TimeNs burst_off_mean = 0;    ///< kIntermittentSilence mean healthy phase
+  std::uint64_t seed = 1;            ///< per-spec deterministic RNG stream
+  scc::NocFaultPlan noc;             ///< kNocLink parameters (window set from at/duration)
+};
+
+/// A recorded fault activation (one per permanent/transient/rate/corruption
+/// injection; one per burst for intermittent faults).
+struct FaultInjectionRecord {
+  FaultKind kind = FaultKind::kPermanentSilence;
+  ReplicaIndex replica = ReplicaIndex::kReplica1;
+  rtc::TimeNs at = 0;
+};
+
+/// Schedules a set of FaultSpecs against one duplicated network. Unlike
+/// FaultInjector (one permanent fault, matching the paper's hypothesis), a
+/// campaign may carry any number of faults of any kind — the supervisor
+/// (ft/supervisor.hpp) is what keeps the system live across them.
+class FaultCampaign final {
+ public:
+  /// The campaign's handles into the system under test.
+  struct Wiring {
+    ReplicatorChannel* replicator = nullptr;
+    SelectorChannel* selector = nullptr;
+    /// Per-replica process lists (index 0 = kReplica1). Silence and rate
+    /// faults touch every process of the victim replica.
+    std::array<std::vector<kpn::Process*>, 2> processes;
+    scc::NocModel* noc = nullptr;  ///< required only for kNocLink specs
+  };
+
+  /// Invoked at every fault activation (before its effects apply), so a
+  /// supervisor can timestamp injections for detection-latency accounting.
+  using InjectionListener = std::function<void(const FaultInjectionRecord&)>;
+
+  FaultCampaign(sim::Simulator& sim, Wiring wiring);
+
+  FaultCampaign(const FaultCampaign&) = delete;
+  FaultCampaign& operator=(const FaultCampaign&) = delete;
+
+  /// Adds a fault to the campaign. Must be called before arm().
+  void add(FaultSpec spec);
+
+  /// Schedules every added fault. Call once, before or during the run.
+  void arm();
+
+  void set_injection_listener(InjectionListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] const std::vector<FaultInjectionRecord>& injections() const {
+    return injections_;
+  }
+
+ private:
+  /// A spec plus its private RNG stream (stable storage: filled at arm()
+  /// time and never resized afterwards, so scheduled events may hold
+  /// references into it).
+  struct ArmedSpec {
+    FaultSpec spec;
+    util::Xoshiro256 rng;
+    explicit ArmedSpec(const FaultSpec& s) : spec(s), rng(s.seed) {}
+  };
+
+  void arm_spec(ArmedSpec& armed);
+  void begin_silence(const FaultSpec& spec, rtc::TimeNs until);
+  void end_silence(const FaultSpec& spec);
+  void schedule_burst(ArmedSpec& armed, rtc::TimeNs at);
+  void record(const FaultSpec& spec, rtc::TimeNs at);
+
+  [[nodiscard]] std::vector<kpn::Process*>& victims(const FaultSpec& spec) {
+    return wiring_.processes[static_cast<std::size_t>(index_of(spec.replica))];
+  }
+
+  sim::Simulator& sim_;
+  Wiring wiring_;
+  std::vector<FaultSpec> pending_;
+  std::vector<ArmedSpec> armed_specs_;
+  bool armed_ = false;
+  InjectionListener listener_;
+  std::vector<FaultInjectionRecord> injections_;
+};
+
+}  // namespace sccft::ft

@@ -48,7 +48,8 @@ std::optional<DetectionRecord> DetectionLog::first_replicator() const {
 std::optional<DetectionRecord> DetectionLog::first_selector() const {
   for (const auto& record : records) {
     if (record.rule == DetectionRule::kSelectorStall ||
-        record.rule == DetectionRule::kSelectorDivergence) {
+        record.rule == DetectionRule::kSelectorDivergence ||
+        record.rule == DetectionRule::kSelectorCorruption) {
       return record;
     }
   }
@@ -87,6 +88,8 @@ FaultTolerantHarness::FaultTolerantHarness(kpn::Network& network, Config config)
                                   ? config.divergence_threshold_override
                                   : sizing_.selector_threshold,
       .enable_stall_rule = config.enable_selector_stall_rule,
+      .verify_checksums = config.verify_selector_checksums,
+      .corruption_conviction_threshold = config.corruption_conviction_threshold,
       .link1 = link(config.replica1_out_core, config.consumer_core),
       .link2 = link(config.replica2_out_core, config.consumer_core)};
   selector_ = &network.adopt_channel(std::make_unique<SelectorChannel>(
@@ -98,8 +101,8 @@ FaultTolerantHarness::FaultTolerantHarness(kpn::Network& network, Config config)
   auto observer = [this](const DetectionRecord& record) {
     log_.records.push_back(record);
   };
-  replicator_->set_fault_observer(observer);
-  selector_->set_fault_observer(observer);
+  replicator_->add_fault_observer(observer);
+  selector_->add_fault_observer(observer);
 }
 
 std::optional<rtc::TimeNs> FaultTolerantHarness::first_detection_latency() const {

@@ -75,6 +75,10 @@ class FaultTolerantHarness final {
     /// marker tokens the experiment harnesses skip during stream comparison).
     kpn::Token initial_token{};
     bool enable_selector_stall_rule = true;
+    /// Selector detection rule (c): CRC-verify every arriving token.
+    bool verify_selector_checksums = true;
+    /// CRC mismatches needed to convict a replica under rule (c).
+    int corruption_conviction_threshold = 3;
     /// Override Eq. (5)'s D (0 = use the analyzed value). For ablations.
     rtc::Tokens divergence_threshold_override = 0;
     /// Override Eq. (3)'s |R_1| = |R_2| (0 = use analyzed values). For the

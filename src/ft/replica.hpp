@@ -28,6 +28,7 @@ enum class DetectionRule {
   kReplicatorOverflow,   ///< producer write attempt found space_i == 0
   kSelectorStall,        ///< space_i exceeded |S_i| on a consumer read
   kSelectorDivergence,   ///< |received_1 - received_2| reached D
+  kSelectorCorruption,   ///< repeated CRC-32 mismatches on arriving tokens
 };
 
 [[nodiscard]] inline std::string to_string(DetectionRule rule) {
@@ -35,6 +36,7 @@ enum class DetectionRule {
     case DetectionRule::kReplicatorOverflow: return "replicator-overflow";
     case DetectionRule::kSelectorStall: return "selector-stall";
     case DetectionRule::kSelectorDivergence: return "selector-divergence";
+    case DetectionRule::kSelectorCorruption: return "selector-corruption";
   }
   return "?";
 }

@@ -61,8 +61,17 @@ void ReplicatorChannel::await_writable(std::coroutine_handle<> writer) {
 void ReplicatorChannel::enqueue(Queue& queue, const kpn::Token& token) {
   rtc::TimeNs available_at = sim_.now();
   if (queue.link) {
-    available_at = queue.link->noc->transfer(queue.link->src, queue.link->dst,
-                                             token.size_bytes(), sim_.now());
+    const auto outcome = queue.link->noc->transfer_ex(
+        queue.link->src, queue.link->dst, token.size_bytes(), sim_.now());
+    if (!outcome.delivered) {
+      // NoC fault exhausted its retransmission budget: this replica's copy
+      // is lost in transit. The replica simply skips one iteration; the
+      // selector's divergence rule catches a persistently lossy path.
+      ++queue.stats.tokens_written;
+      ++queue.stats.tokens_dropped;
+      return;
+    }
+    available_at = outcome.arrival;
   }
   queue.slots.push_back(Slot{token, available_at});
   ++queue.stats.tokens_written;
@@ -74,7 +83,19 @@ void ReplicatorChannel::enqueue(Queue& queue, const kpn::Token& token) {
 void ReplicatorChannel::freeze_reader(ReplicaIndex r) {
   Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
   queue.reader_frozen = true;
-  queue.waiting_reader = nullptr;  // handle may soon dangle (restart)
+  // The parked reader's handle is RETAINED: a transient fault must resume it
+  // (via unfreeze_reader) so its blocked read completes once the halt ends.
+  // Only reintegrate — the restart path — discards it and bumps the epoch;
+  // an in-flight wake that fires mid-freeze re-parks the handle instead.
+}
+
+void ReplicatorChannel::unfreeze_reader(ReplicaIndex r) {
+  Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
+  if (!queue.reader_frozen) return;
+  queue.reader_frozen = false;
+  if (queue.waiting_reader && !queue.slots.empty()) {
+    wake_reader(queue, std::max(queue.slots.front().available_at, sim_.now()));
+  }
 }
 
 void ReplicatorChannel::reintegrate(ReplicaIndex r) {
@@ -82,7 +103,8 @@ void ReplicatorChannel::reintegrate(ReplicaIndex r) {
   queue.fault = false;
   queue.detection.reset();
   queue.reader_frozen = false;
-  queue.waiting_reader = nullptr;
+  queue.waiting_reader = nullptr;  // restart destroyed the old coroutine frame
+  ++queue.epoch;                   // invalidate any wake already scheduled
   queue.slots.clear();
 }
 
@@ -115,7 +137,7 @@ void ReplicatorChannel::declare_fault(ReplicaIndex r) {
   queue.fault = true;
   queue.detection =
       DetectionRecord{r, DetectionRule::kReplicatorOverflow, sim_.now()};
-  if (observer_) observer_(*queue.detection);
+  for (const auto& observer : observers_) observer(*queue.detection);
 }
 
 void ReplicatorChannel::wake_reader(Queue& queue, rtc::TimeNs when) {
@@ -124,10 +146,19 @@ void ReplicatorChannel::wake_reader(Queue& queue, rtc::TimeNs when) {
   auto reader = queue.waiting_reader;
   queue.waiting_reader = nullptr;
   // Re-check at fire time: the replica may have been halted between the
-  // write that scheduled this wake and the token's availability instant.
-  sim_.schedule_at(std::max(when, sim_.now()), [&queue, reader] {
-    if (!queue.reader_frozen) reader.resume();
-  });
+  // write that scheduled this wake and the token's availability instant. A
+  // freeze re-parks the handle (a transient unfreeze must find it again); a
+  // reintegrate bumps the epoch so the stale wake cannot resume a coroutine
+  // the restart destroyed.
+  sim_.schedule_at(std::max(when, sim_.now()),
+                   [&queue, reader, epoch = queue.epoch] {
+                     if (queue.epoch != epoch) return;
+                     if (queue.reader_frozen) {
+                       queue.waiting_reader = reader;
+                       return;
+                     }
+                     reader.resume();
+                   });
 }
 
 void ReplicatorChannel::wake_writer() {

@@ -22,8 +22,10 @@
 
 #include <array>
 #include <coroutine>
+#include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "ft/replica.hpp"
 #include "kpn/channel.hpp"
@@ -67,16 +69,27 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
     return queues_[static_cast<std::size_t>(index_of(r))].detection;
   }
 
-  /// Registers the observer notified on first detection per replica.
-  void set_fault_observer(FaultObserver observer) { observer_ = std::move(observer); }
+  /// Replaces all registered observers with `observer`.
+  void set_fault_observer(FaultObserver observer) {
+    observers_.clear();
+    add_fault_observer(std::move(observer));
+  }
+  /// Adds an observer; all registered observers see every first detection.
+  void add_fault_observer(FaultObserver observer) {
+    if (observer) observers_.push_back(std::move(observer));
+  }
 
   /// Models the replica's core halting: from now on, no reads are served on
   /// interface `r` (a crashed core issues no more reads, even if its process
   /// coroutine is currently parked inside a read await). Used by silence
   /// fault injection so that consumption stops exactly at the fault instant.
-  /// Any registered reader handle is forgotten (the coroutine may be
-  /// destroyed by a subsequent restart).
+  /// A parked reader stays parked with its handle retained: transient faults
+  /// resume it via unfreeze_reader, recovery discards it via reintegrate.
   void freeze_reader(ReplicaIndex r);
+
+  /// Ends a transient halt: reads on interface `r` are served again and a
+  /// reader parked across the freeze is woken if its queue has tokens.
+  void unfreeze_reader(ReplicaIndex r);
 
   /// Recovery extension: re-admits a previously faulty replica. Clears the
   /// fault flag and the freeze, discards the stale queue contents (the
@@ -107,6 +120,9 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
     std::deque<Slot> slots;
     std::coroutine_handle<> waiting_reader;
     bool reader_frozen = false;
+    /// Bumped on freeze/reintegrate; scheduled reader wake-ups check it so a
+    /// stale event never resumes a coroutine destroyed by a restart.
+    std::uint64_t epoch = 0;
     bool fault = false;
     std::optional<DetectionRecord> detection;
     std::optional<kpn::FifoChannel::LinkModel> link;
@@ -145,7 +161,7 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
   std::array<Queue, 2> queues_;
   std::array<ReadInterface, 2> read_interfaces_;
   std::coroutine_handle<> waiting_writer_;
-  FaultObserver observer_;
+  std::vector<FaultObserver> observers_;
 };
 
 }  // namespace sccft::ft

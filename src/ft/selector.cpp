@@ -13,11 +13,14 @@ SelectorChannel::SelectorChannel(sim::Simulator& sim, std::string name, Config c
       write_interfaces_{WriteInterface(*this, ReplicaIndex::kReplica1),
                         WriteInterface(*this, ReplicaIndex::kReplica2)},
       divergence_threshold_(config.divergence_threshold),
-      enable_stall_rule_(config.enable_stall_rule) {
+      enable_stall_rule_(config.enable_stall_rule),
+      verify_checksums_(config.verify_checksums),
+      corruption_conviction_threshold_(config.corruption_conviction_threshold) {
   SCCFT_EXPECTS(config.capacity1 > 0 && config.capacity2 > 0);
   SCCFT_EXPECTS(config.initial1 >= 0 && config.initial1 <= config.capacity1);
   SCCFT_EXPECTS(config.initial2 >= 0 && config.initial2 <= config.capacity2);
   SCCFT_EXPECTS(config.divergence_threshold >= 0);
+  SCCFT_EXPECTS(config.corruption_conviction_threshold > 0);
   sides_[0].capacity = config.capacity1;
   sides_[0].space = config.capacity1 - config.initial1;
   sides_[0].initial = config.initial1;
@@ -58,7 +61,49 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
     return false;
   }
 
+  // Fault-injection tamper (models corruption in the replica's core or on
+  // its output link), then detection rule (c): verify the arriving token's
+  // CRC-32. A mismatch is quarantined — the write succeeds from the
+  // replica's view and consumes its space slot (Lemma 1: only space_i is
+  // touched, and rule (a) stays quiet for a replica that is producing on
+  // schedule), but the received count does NOT advance. The peer's healthy
+  // copy of the same pair is therefore delivered as first-of-pair, the
+  // consumer never sees the corrupted payload, and a persistently corrupting
+  // replica also drifts toward the rule (b) divergence threshold.
+  const kpn::Token* arriving = &token;
+  kpn::Token tampered;
+  if (side.tamper) {
+    tampered = side.tamper(token);
+    arriving = &tampered;
+  }
+  if (verify_checksums_ && arriving->valid() && !arriving->verify_checksum()) {
+    ++side.crc_mismatches;
+    ++stats_.tokens_dropped;
+    side.space -= 1;
+    side.count_resync_pending = true;
+    if (side.crc_mismatches >=
+        static_cast<std::uint64_t>(corruption_conviction_threshold_)) {
+      // Unlike (a)/(b), a CRC mismatch is direct evidence against replica i
+      // regardless of the peer's state.
+      declare_fault(r, DetectionRule::kSelectorCorruption);
+    }
+    return true;
+  }
+
   if (side.resync_pending) {
+    // A rejoining replica may only re-enter AT the delivered frontier. If its
+    // first token is ahead of peer.last_seq + 1, the missing sequence numbers
+    // exist solely in the peer's pipeline (e.g. the peer is mid-burst of a
+    // transient fault); enqueueing now would deliver the future before the
+    // past and turn the peer's copies into dropped "late duplicates" — a
+    // permanent gap. Hold the write until the peer catches up; conviction of
+    // the peer lifts the hold (the stream then has a genuine gap no ordering
+    // can repair, and this side must flow to keep the consumer alive).
+    if (!peer.fault && peer.tokens_received > 0 &&
+        token.seq() > peer.last_seq + 1) {
+      ++stats_.writer_blocks;
+      return false;
+    }
     // Recovery: align this side's counter with the peer's using sequence
     // numbers, so duplicate-pair identity stays exact despite the tokens
     // this replica missed while down. After this, token.seq ==
@@ -67,6 +112,7 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
     // that happened while the replica refilled its pipeline must not count
     // against its stall budget.
     side.resync_pending = false;
+    side.count_resync_pending = false;
     side.space = side.capacity - side.initial;
     if (peer.tokens_received > 0) {
       const auto delta = static_cast<std::int64_t>(token.seq()) -
@@ -74,6 +120,16 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
       const auto synced = static_cast<std::int64_t>(peer.tokens_received) + delta;
       side.tokens_received = synced > 0 ? static_cast<std::uint64_t>(synced) : 0;
     }
+  } else if (side.count_resync_pending && peer.tokens_received > 0) {
+    // Quarantined tokens were arrivals that never counted as received; this
+    // healthy token's sequence number restores the exact pair alignment
+    // (same formula as post-recovery resync, but the space counter — which
+    // tracked every arrival, quarantined or not — is left alone).
+    side.count_resync_pending = false;
+    const auto delta = static_cast<std::int64_t>(token.seq()) -
+                       static_cast<std::int64_t>(peer.last_seq) - 1;
+    const auto synced = static_cast<std::int64_t>(peer.tokens_received) + delta;
+    side.tokens_received = synced > 0 ? static_cast<std::uint64_t>(synced) : 0;
   }
 
   // First-of-pair test. The paper states this as "space_i <= space_j", which
@@ -87,17 +143,31 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
   // exactly (KPN determinacy + FIFO order make the k-th arrival token k).
   const bool first_of_pair = side.tokens_received + 1 > peer.tokens_received;
   side.space -= 1;
+
+  rtc::TimeNs available_at = sim_.now();
+  if (first_of_pair && side.link) {
+    const auto outcome = side.link->noc->transfer_ex(
+        side.link->src, side.link->dst, arriving->size_bytes(), sim_.now());
+    if (!outcome.delivered) {
+      // NoC fault exhausted its retransmission budget: the first-of-pair
+      // copy is lost in transit. Handled like a quarantine — the received
+      // count does not advance, so the peer's healthy copy of the same pair
+      // is delivered instead: duplicate execution masks link loss.
+      side.count_resync_pending = true;
+      ++stats_.tokens_written;
+      ++stats_.tokens_dropped;
+      check_divergence();
+      return true;
+    }
+    available_at = outcome.arrival;
+  }
+
   side.tokens_received += 1;
   side.last_seq = token.seq();
   ++stats_.tokens_written;
 
   if (first_of_pair) {
-    rtc::TimeNs available_at = sim_.now();
-    if (side.link) {
-      available_at = side.link->noc->transfer(side.link->src, side.link->dst,
-                                              token.size_bytes(), sim_.now());
-    }
-    queue_.push_back(Slot{token, available_at, r});
+    queue_.push_back(Slot{*arriving, available_at, r});
     side.virtual_fill += 1;
     side.max_virtual_fill = std::max(side.max_virtual_fill, side.virtual_fill);
     stats_.max_fill = std::max(stats_.max_fill, fill() - pending_preload_);
@@ -108,13 +178,35 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
   }
 
   check_divergence();
+  // This delivery advanced the frontier; a peer writer held at its rejoin
+  // point may now be able to proceed.
+  if (peer.resync_pending && peer.waiting_writer) wake_writers();
   return true;
 }
 
 void SelectorChannel::freeze_writer(ReplicaIndex r) {
   Side& side = sides_[static_cast<std::size_t>(index_of(r))];
   side.writer_frozen = true;
-  side.waiting_writer = nullptr;  // handle may soon dangle (restart)
+  // A parked writer's handle is RETAINED: a transient fault must resume it
+  // (via unfreeze_writer) with its in-flight token intact. Only reintegrate
+  // — the restart path, after which the handle dangles — discards it and
+  // bumps the epoch; an in-flight wake that fires mid-freeze re-parks the
+  // handle instead.
+}
+
+void SelectorChannel::unfreeze_writer(ReplicaIndex r) {
+  Side& side = sides_[static_cast<std::size_t>(index_of(r))];
+  if (!side.writer_frozen) return;
+  side.writer_frozen = false;
+  if (side.waiting_writer && (side.space > 0 || side.fault)) {
+    auto writer = side.waiting_writer;
+    side.waiting_writer = nullptr;
+    sim_.schedule_after(0, [writer] { writer.resume(); });
+  }
+}
+
+void SelectorChannel::set_write_tamper(ReplicaIndex r, WriteTamper tamper) {
+  sides_[static_cast<std::size_t>(index_of(r))].tamper = std::move(tamper);
 }
 
 void SelectorChannel::reintegrate(ReplicaIndex r) {
@@ -122,10 +214,13 @@ void SelectorChannel::reintegrate(ReplicaIndex r) {
   side.fault = false;
   side.detection.reset();
   side.writer_frozen = false;
-  side.waiting_writer = nullptr;
+  side.waiting_writer = nullptr;  // restart destroyed the old coroutine frame
+  ++side.epoch;                   // invalidate any wake already scheduled
   side.space = side.capacity - side.initial;
   side.virtual_fill = 0;
+  side.crc_mismatches = 0;
   side.resync_pending = true;
+  side.count_resync_pending = false;
 }
 
 void SelectorChannel::side_await_writable(ReplicaIndex r, std::coroutine_handle<> writer) {
@@ -183,15 +278,15 @@ void SelectorChannel::declare_fault(ReplicaIndex r, DetectionRule rule) {
   SCCFT_ASSERT(!side.fault);
   side.fault = true;
   side.detection = DetectionRecord{r, rule, sim_.now()};
-  if (observer_) observer_(*side.detection);
+  for (const auto& observer : observers_) observer(*side.detection);
   // If the (now-faulty) replica is blocked on this interface, release it so a
   // zombie replica cannot wedge; its retried write will be accepted-and-
-  // dropped via the fault path.
-  if (side.waiting_writer) {
-    auto writer = side.waiting_writer;
-    side.waiting_writer = nullptr;
-    sim_.schedule_after(0, [writer] { writer.resume(); });
-  }
+  // dropped via the fault path. Frozen writers stay parked (they resume via
+  // unfreeze or die via restart), and the wake checks the epoch so it cannot
+  // touch a coroutine a restart destroyed in the meantime. This also releases
+  // a peer writer held at its rejoin frontier: with this side convicted, the
+  // hold no longer applies.
+  wake_writers();
 }
 
 void SelectorChannel::check_divergence() {
@@ -215,10 +310,21 @@ void SelectorChannel::wake_reader(rtc::TimeNs when) {
 
 void SelectorChannel::wake_writers() {
   for (Side& side : sides_) {
-    if (side.waiting_writer && (side.space > 0 || side.fault)) {
+    if (side.waiting_writer && !side.writer_frozen &&
+        (side.space > 0 || side.fault)) {
       auto writer = side.waiting_writer;
       side.waiting_writer = nullptr;
-      sim_.schedule_after(0, [writer] { writer.resume(); });
+      // The epoch guard drops the wake if a restart invalidated the handle;
+      // if a freeze lands between scheduling and firing, the handle is
+      // re-parked instead of resumed so the token survives the fault.
+      sim_.schedule_after(0, [this, &side, writer, epoch = side.epoch] {
+        if (side.epoch != epoch) return;
+        if (side.writer_frozen) {
+          side.waiting_writer = writer;
+          return;
+        }
+        writer.resume();
+      });
     }
   }
 }

@@ -26,12 +26,21 @@
 //      with fewer tokens. (The paper phrases this as |space_1 - space_2|;
 //      with equal |S_i| - |S_i|_0 the two are identical, and the received-
 //      token difference is the quantity its Eq. (6) latency analysis uses.)
+//  (c) corruption rule (extension) — every arriving token's CRC-32 is
+//      re-verified against its stored checksum; a mismatch is quarantined
+//      (dropped without advancing the received count, so the peer's healthy
+//      copy becomes the delivered first-of-pair) and reaching the configured
+//      mismatch threshold convicts the replica through the same
+//      fault-declaration path as (a)/(b), preserving Lemma 1 isolation.
 #pragma once
 
 #include <array>
 #include <coroutine>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
+#include <vector>
 
 #include "ft/replica.hpp"
 #include "kpn/channel.hpp"
@@ -48,10 +57,19 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
     rtc::Tokens initial2 = 0;        ///< |S2|_0
     rtc::Tokens divergence_threshold = 0;  ///< D (Eq. 5); 0 disables rule (b)
     bool enable_stall_rule = true;         ///< rule (a); ablatable
+    bool verify_checksums = true;          ///< rule (c); ablatable
+    /// CRC mismatches needed to convict a replica (rule (c)). One corrupted
+    /// token could be a cosmic-ray single event; a repeat offender is a
+    /// faulty core or link.
+    int corruption_conviction_threshold = 3;
     /// Optional NoC links replica-output -> consumer cores.
     std::optional<kpn::FifoChannel::LinkModel> link1;
     std::optional<kpn::FifoChannel::LinkModel> link2;
   };
+
+  /// Fault-injection hook applied to every token arriving on one interface
+  /// (models corruption in the replica's core or on the output link).
+  using WriteTamper = std::function<kpn::Token(const kpn::Token&)>;
 
   SelectorChannel(sim::Simulator& sim, std::string name, Config config);
 
@@ -97,13 +115,37 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
     return sides_[static_cast<std::size_t>(index_of(r))].detection;
   }
 
-  void set_fault_observer(FaultObserver observer) { observer_ = std::move(observer); }
+  /// Tokens quarantined on interface `r` by the CRC rule (c).
+  [[nodiscard]] std::uint64_t crc_mismatches(ReplicaIndex r) const {
+    return sides_[static_cast<std::size_t>(index_of(r))].crc_mismatches;
+  }
+
+  /// Replaces all registered observers with `observer`.
+  void set_fault_observer(FaultObserver observer) {
+    observers_.clear();
+    add_fault_observer(std::move(observer));
+  }
+  /// Adds an observer; all registered observers see every first detection.
+  void add_fault_observer(FaultObserver observer) {
+    if (observer) observers_.push_back(std::move(observer));
+  }
+
+  /// Installs (or, with an empty function, removes) the fault-injection
+  /// tamper applied to tokens arriving on interface `r`.
+  void set_write_tamper(ReplicaIndex r, WriteTamper tamper);
 
   /// Models the replica's core halting: writes on interface `r` are accepted
   /// and discarded from now on (a token half-written by a crashed core never
   /// materializes). Used by silence fault injection so production stops
-  /// exactly at the fault instant. Any registered writer handle is forgotten.
+  /// exactly at the fault instant. A writer parked on the interface stays
+  /// parked (its handle is kept; transient faults resume it via
+  /// unfreeze_writer, recovery discards it via reintegrate).
   void freeze_writer(ReplicaIndex r);
+
+  /// Ends a transient halt: writes on interface `r` flow again and a writer
+  /// parked across the freeze is woken (its retried token is delivered late,
+  /// not lost).
+  void unfreeze_writer(ReplicaIndex r);
 
   /// Recovery extension: re-admits a previously faulty replica. The space
   /// counter restarts at |S_i| - |S_i|_0 and the received-token counter is
@@ -131,9 +173,19 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
     rtc::Tokens initial = 0;         ///< |S_i|_0 (kept for reintegration)
     std::uint64_t last_seq = 0;      ///< sequence of the most recent write
     bool resync_pending = false;     ///< first write after reintegrate()
+    /// Set by a CRC quarantine: the received count no longer matches the
+    /// arrival count, so it is re-anchored (by sequence number, against the
+    /// peer) on the next healthy write — otherwise the offset would
+    /// misclassify this replica's healthy tokens as late duplicates forever.
+    bool count_resync_pending = false;
     std::coroutine_handle<> waiting_writer;
     bool writer_frozen = false;
     bool fault = false;
+    std::uint64_t crc_mismatches = 0;  ///< rule (c) quarantine count
+    /// Bumped on freeze/reintegrate; scheduled writer wake-ups check it so a
+    /// stale event never resumes a coroutine destroyed by a restart.
+    std::uint64_t epoch = 0;
+    WriteTamper tamper;
     std::optional<DetectionRecord> detection;
     std::optional<kpn::FifoChannel::LinkModel> link;
   };
@@ -172,9 +224,11 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   rtc::Tokens pending_preload_ = 0;  ///< preloaded tokens not yet consumed
   rtc::Tokens divergence_threshold_ = 0;
   bool enable_stall_rule_ = true;
+  bool verify_checksums_ = true;
+  int corruption_conviction_threshold_ = 3;
   std::coroutine_handle<> waiting_reader_;
   kpn::ChannelStats stats_;
-  FaultObserver observer_;
+  std::vector<FaultObserver> observers_;
 };
 
 }  // namespace sccft::ft

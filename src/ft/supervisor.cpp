@@ -1,0 +1,143 @@
+#include "ft/supervisor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace sccft::ft {
+
+namespace {
+
+std::optional<rtc::TimeNs> mean_of(const std::vector<rtc::TimeNs>& samples) {
+  if (samples.empty()) return std::nullopt;
+  const auto sum = std::accumulate(samples.begin(), samples.end(),
+                                   static_cast<std::int64_t>(0));
+  return sum / static_cast<std::int64_t>(samples.size());
+}
+
+}  // namespace
+
+std::string to_string(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy: return "healthy";
+    case ReplicaHealth::kConvicted: return "convicted";
+    case ReplicaHealth::kRestarting: return "restarting";
+    case ReplicaHealth::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+std::optional<rtc::TimeNs> Supervisor::ReplicaReport::mean_time_to_repair() const {
+  return mean_of(repair_times);
+}
+
+std::optional<rtc::TimeNs> Supervisor::ReplicaReport::mean_detection_latency() const {
+  return mean_of(detection_latencies);
+}
+
+Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
+                       SelectorChannel& selector,
+                       std::array<ReplicaAssets, 2> assets)
+    : Supervisor(sim, replicator, selector, std::move(assets), Config{}) {}
+
+Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
+                       SelectorChannel& selector,
+                       std::array<ReplicaAssets, 2> assets, Config config)
+    : sim_(sim), replicator_(replicator), selector_(selector), config_(config) {
+  SCCFT_EXPECTS(config_.restart_budget >= 0);
+  SCCFT_EXPECTS(config_.initial_backoff >= 0);
+  SCCFT_EXPECTS(config_.backoff_factor >= 1.0);
+  SCCFT_EXPECTS(config_.max_backoff >= config_.initial_backoff);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    SCCFT_EXPECTS(index_of(assets[i].index) == static_cast<int>(i));
+    replicas_[i].assets = std::move(assets[i]);
+  }
+  const auto observer = [this](const DetectionRecord& record) {
+    on_detection(record);
+  };
+  replicator_.add_fault_observer(observer);
+  selector_.add_fault_observer(observer);
+}
+
+void Supervisor::note_fault_injected(ReplicaIndex replica, rtc::TimeNs at) {
+  replicas_[static_cast<std::size_t>(index_of(replica))].last_injection = at;
+}
+
+bool Supervisor::any_replica_serviceable() const {
+  return std::any_of(replicas_.begin(), replicas_.end(), [](const ReplicaState& s) {
+    return s.report.health != ReplicaHealth::kDegraded;
+  });
+}
+
+rtc::TimeNs Supervisor::backoff_for(const ReplicaState& state) const {
+  double backoff = static_cast<double>(config_.initial_backoff);
+  for (int i = 0; i < state.report.restarts; ++i) backoff *= config_.backoff_factor;
+  backoff = std::min(backoff, static_cast<double>(config_.max_backoff));
+  return static_cast<rtc::TimeNs>(backoff);
+}
+
+void Supervisor::on_detection(const DetectionRecord& record) {
+  ReplicaState& state =
+      replicas_[static_cast<std::size_t>(index_of(record.replica))];
+  // Both channels may convict the same fault (e.g. replicator overflow then
+  // selector stall); only the first verdict per fault episode acts.
+  if (state.report.health != ReplicaHealth::kHealthy) return;
+
+  state.report.faults_seen += 1;
+  state.convicted_at = record.detected_at;
+  if (state.last_injection >= 0 && record.detected_at >= state.last_injection) {
+    const rtc::TimeNs latency = record.detected_at - state.last_injection;
+    state.report.detection_latencies.push_back(latency);
+    if (config_.detection_latency_bound > 0 &&
+        latency <= config_.detection_latency_bound) {
+      state.report.detections_within_bound += 1;
+    }
+    state.last_injection = -1;  // consumed by this detection
+  }
+
+  if (state.report.restarts >= config_.restart_budget) {
+    // Budget exhausted: stop repairing. Conviction semantics keep the
+    // network live on the peer replica (graceful degradation).
+    transition(state, record.replica, ReplicaHealth::kDegraded);
+    return;
+  }
+
+  transition(state, record.replica, ReplicaHealth::kConvicted);
+  const auto replica = record.replica;
+  sim_.schedule_after(backoff_for(state),
+                      [this, replica, generation = state.generation] {
+                        ReplicaState& s = replicas_[static_cast<std::size_t>(
+                            index_of(replica))];
+                        if (s.generation != generation) return;
+                        if (s.report.health != ReplicaHealth::kConvicted) return;
+                        perform_restart(replica);
+                      });
+}
+
+void Supervisor::perform_restart(ReplicaIndex r) {
+  ReplicaState& state = replicas_[static_cast<std::size_t>(index_of(r))];
+  transition(state, r, ReplicaHealth::kRestarting);
+  ++state.generation;
+
+  // Quiesce the replica before tearing down its coroutines: after the
+  // freezes, no channel fires a wake into the old frames (the epoch bump in
+  // reintegrate then invalidates wakes already in flight).
+  replicator_.freeze_reader(r);
+  selector_.freeze_writer(r);
+  recover_replica(replicator_, selector_, state.assets);
+
+  state.report.restarts += 1;
+  if (state.convicted_at >= 0) {
+    state.report.repair_times.push_back(sim_.now() - state.convicted_at);
+    state.convicted_at = -1;
+  }
+  transition(state, r, ReplicaHealth::kHealthy);
+}
+
+void Supervisor::transition(ReplicaState& state, ReplicaIndex r, ReplicaHealth to) {
+  transitions_.push_back(HealthTransition{r, state.report.health, to, sim_.now()});
+  state.report.health = to;
+}
+
+}  // namespace sccft::ft

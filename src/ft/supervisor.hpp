@@ -1,0 +1,152 @@
+// Automated fault supervision (extension beyond the paper).
+//
+// The paper detects faults (Section 3.3) and the recovery extension
+// (ft/recovery.hpp) can repair a replica — but somebody has to connect the
+// two. The Supervisor closes the loop: it subscribes to every detection
+// verdict of the replicator and selector, and drives each replica through a
+// small health state machine:
+//
+//             detection                restart fires
+//   kHealthy ----------> kConvicted ----------------> kRestarting
+//      ^                     |  restart budget             |
+//      |                     |  exhausted                  | recover_replica
+//      |                     v                             | done
+//      |                kDegraded  (terminal)              |
+//      +---------------------------------------------------+
+//
+// Restarts are spaced by exponential backoff in *simulated* time
+// (initial_backoff x factor^restarts, capped), modelling the real cost of
+// rebooting an SCC core plus a damping margin against restart storms on a
+// flapping replica. When a replica exhausts its restart budget the
+// supervisor stops repairing it and the system degrades gracefully to
+// single-replica pass-through: the paper's conviction semantics already
+// guarantee the producer and consumer keep running on the healthy replica,
+// so degradation needs no extra mechanics — only the decision to stop
+// restarting.
+//
+// The supervisor also keeps per-replica health accounting: faults seen,
+// restarts spent, detection latencies (checked against the Eq. (6)-(8)
+// analytic bound when one is configured), and mean time to repair.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ft/fault_plan.hpp"
+#include "ft/recovery.hpp"
+#include "ft/replica.hpp"
+#include "ft/replicator.hpp"
+#include "ft/selector.hpp"
+#include "rtc/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::ft {
+
+enum class ReplicaHealth {
+  kHealthy,     ///< participating in duplicate execution
+  kConvicted,   ///< detected faulty, restart pending (backoff running)
+  kRestarting,  ///< recovery sequence executing
+  kDegraded,    ///< restart budget exhausted; permanently excluded
+};
+
+[[nodiscard]] std::string to_string(ReplicaHealth health);
+
+/// One edge of the health state machine, for post-run inspection.
+struct HealthTransition {
+  ReplicaIndex replica = ReplicaIndex::kReplica1;
+  ReplicaHealth from = ReplicaHealth::kHealthy;
+  ReplicaHealth to = ReplicaHealth::kHealthy;
+  rtc::TimeNs at = 0;
+};
+
+/// Watches detection verdicts and drives restart/reintegration automatically.
+class Supervisor final {
+ public:
+  struct Config {
+    /// Restarts allowed per replica before it is declared kDegraded.
+    int restart_budget = 3;
+    /// Backoff before the first restart of a replica.
+    rtc::TimeNs initial_backoff = 20'000'000;  // 20 ms
+    /// Backoff grows by this factor with every restart already spent.
+    double backoff_factor = 2.0;
+    /// Backoff ceiling.
+    rtc::TimeNs max_backoff = 500'000'000;  // 500 ms
+    /// Analytic detection-latency bound (Eq. 6-8); 0 disables the check.
+    rtc::TimeNs detection_latency_bound = 0;
+  };
+
+  /// Health accounting for one replica.
+  struct ReplicaReport {
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    std::uint64_t faults_seen = 0;   ///< detections acted upon
+    int restarts = 0;                ///< recoveries performed
+    /// Detection latencies (detection minus the matching injection), for
+    /// detections with a known injection time.
+    std::vector<rtc::TimeNs> detection_latencies;
+    std::uint64_t detections_within_bound = 0;
+    /// Repair times (reintegration minus detection), one per restart.
+    std::vector<rtc::TimeNs> repair_times;
+
+    [[nodiscard]] std::optional<rtc::TimeNs> mean_time_to_repair() const;
+    [[nodiscard]] std::optional<rtc::TimeNs> mean_detection_latency() const;
+  };
+
+  /// Subscribes to both channels' verdicts. `assets` describe what recovery
+  /// must touch per replica (index 0 = kReplica1); their pointers must
+  /// outlive the supervisor.
+  Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
+             SelectorChannel& selector, std::array<ReplicaAssets, 2> assets,
+             Config config);
+  Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
+             SelectorChannel& selector, std::array<ReplicaAssets, 2> assets);
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Timestamps a fault injection so the next detection of `replica` gets a
+  /// latency sample. Pass as FaultCampaign's injection listener:
+  ///   campaign.set_injection_listener([&](const FaultInjectionRecord& rec) {
+  ///     supervisor.note_fault_injected(rec.replica, rec.at);
+  ///   });
+  void note_fault_injected(ReplicaIndex replica, rtc::TimeNs at);
+
+  [[nodiscard]] ReplicaHealth health(ReplicaIndex r) const {
+    return replicas_[static_cast<std::size_t>(index_of(r))].report.health;
+  }
+  [[nodiscard]] const ReplicaReport& report(ReplicaIndex r) const {
+    return replicas_[static_cast<std::size_t>(index_of(r))].report;
+  }
+  [[nodiscard]] const std::vector<HealthTransition>& transitions() const {
+    return transitions_;
+  }
+  /// True while at least one replica is not degraded (the system still
+  /// delivers tokens; with both degraded only the single-fault hypothesis
+  /// was violated beyond repair).
+  [[nodiscard]] bool any_replica_serviceable() const;
+
+ private:
+  struct ReplicaState {
+    ReplicaAssets assets;
+    ReplicaReport report;
+    rtc::TimeNs last_injection = -1;   ///< most recent un-consumed injection
+    rtc::TimeNs convicted_at = -1;     ///< detection time of the open fault
+    std::uint64_t generation = 0;      ///< guards scheduled restarts
+  };
+
+  void on_detection(const DetectionRecord& record);
+  void perform_restart(ReplicaIndex r);
+  void transition(ReplicaState& state, ReplicaIndex r, ReplicaHealth to);
+  [[nodiscard]] rtc::TimeNs backoff_for(const ReplicaState& state) const;
+
+  sim::Simulator& sim_;
+  ReplicatorChannel& replicator_;
+  SelectorChannel& selector_;
+  Config config_;
+  std::array<ReplicaState, 2> replicas_;
+  std::vector<HealthTransition> transitions_;
+};
+
+}  // namespace sccft::ft

@@ -42,8 +42,17 @@ bool FifoChannel::try_write(const Token& token) {
   }
   TimeNs available_at = sim_.now();
   if (link_) {
-    available_at = link_->noc->transfer(link_->src, link_->dst, token.size_bytes(),
-                                        sim_.now());
+    const auto outcome = link_->noc->transfer_ex(link_->src, link_->dst,
+                                                 token.size_bytes(), sim_.now());
+    if (!outcome.delivered) {
+      // NoC fault after exhausting retransmissions: the write succeeded from
+      // the sender's view but the token never materializes at the reader.
+      ++stats_.tokens_written;
+      ++stats_.tokens_dropped;
+      if (record_writes_) write_trace_.push_back(sim_.now());
+      return true;
+    }
+    available_at = outcome.arrival;
   }
   queue_.push_back(Slot{token, available_at});
   ++stats_.tokens_written;

@@ -23,13 +23,22 @@ namespace sccft::kpn {
 ///
 /// The paper's fault model (Section 2): a faulty replica "either stops
 /// producing (or consuming) tokens, or does so at a rate lower than
-/// expected".
+/// expected". The extended taxonomy (ft/fault_plan.hpp) adds *transient*
+/// silence: `silence_until >= 0` marks a halt that self-resumes at that
+/// simulated time instead of parking the process forever.
 struct FaultState {
-  bool silenced = false;      ///< process permanently stops at its next gate
+  bool silenced = false;      ///< process stops at its next gate
+  rtc::TimeNs silence_until = -1;  ///< resume time for transient silence, -1 = permanent
   double rate_factor = 1.0;   ///< >1.0 slows the process down proportionally
   rtc::TimeNs faulted_at = -1;  ///< simulated time of injection, -1 if none
 
   [[nodiscard]] bool faulty() const { return silenced || rate_factor > 1.0; }
+
+  /// Ends a (transient) silence; idempotent.
+  void clear_silence() {
+    silenced = false;
+    silence_until = -1;
+  }
 };
 
 class Process;
@@ -74,11 +83,22 @@ class ProcessContext final {
   FaultState fault_;
 };
 
-/// Standard fault gate for process bodies: park forever if silenced.
-/// (A macro because `co_await` must appear in the body's own frame.)
-#define SCCFT_FAULT_GATE(ctx)                      \
-  do {                                             \
-    if ((ctx).silenced()) co_await ::sccft::sim::Forever{}; \
+/// Standard fault gate for process bodies: park forever if permanently
+/// silenced, or sleep through a transient silence window and resume. The loop
+/// re-checks after every wake-up so an overlapping re-injection extends the
+/// halt. (A macro because `co_await` must appear in the body's own frame.)
+#define SCCFT_FAULT_GATE(ctx)                                                \
+  do {                                                                       \
+    while ((ctx).silenced()) {                                               \
+      const ::sccft::rtc::TimeNs sccft_gate_until = (ctx).fault().silence_until; \
+      if (sccft_gate_until < 0) {                                            \
+        co_await ::sccft::sim::Forever{};                                    \
+      } else if ((ctx).now() >= sccft_gate_until) {                          \
+        (ctx).fault().clear_silence();                                       \
+      } else {                                                               \
+        co_await (ctx).delay(sccft_gate_until - (ctx).now());                \
+      }                                                                      \
+    }                                                                        \
   } while (false)
 
 /// A named, mapped process. The body factory is invoked once when the

@@ -24,6 +24,21 @@ std::span<const std::uint8_t> Token::payload() const {
   return *payload_;
 }
 
+bool Token::verify_checksum() const {
+  if (!payload_) return true;
+  return util::crc32(*payload_) == checksum_;
+}
+
+Token Token::corrupted(std::size_t bit_index) const {
+  SCCFT_EXPECTS(payload_ != nullptr && !payload_->empty());
+  auto flipped = std::make_shared<std::vector<std::uint8_t>>(*payload_);
+  const std::size_t bit = bit_index % (flipped->size() * 8);
+  (*flipped)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  Token copy = *this;           // keeps the (now stale) stored checksum
+  copy.payload_ = std::move(flipped);
+  return copy;
+}
+
 Token Token::restamped(std::uint64_t seq, TimeNs produced_at) const {
   Token copy = *this;
   copy.seq_ = seq;

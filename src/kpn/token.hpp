@@ -40,9 +40,22 @@ class Token final {
   [[nodiscard]] std::uint32_t checksum() const { return checksum_; }
   [[nodiscard]] bool valid() const { return payload_ != nullptr; }
 
+  /// Recomputes the CRC-32 over the payload and compares it with the stored
+  /// checksum. A token whose payload was altered *after* construction (silent
+  /// data corruption in a core or in transit) fails this check; tokens
+  /// without a payload pass vacuously.
+  [[nodiscard]] bool verify_checksum() const;
+
   /// Returns a copy of this token re-stamped with a new sequence number and
   /// production time (used when a channel re-emits a token downstream).
   [[nodiscard]] Token restamped(std::uint64_t seq, TimeNs produced_at) const;
+
+  /// Fault-injection helper: returns a copy whose payload has bit
+  /// `bit_index % (8 * size)` flipped while the stored checksum is kept
+  /// unchanged — i.e. a token corrupted after CRC stamping, exactly what
+  /// verify_checksum() is designed to convict. The original (shared) payload
+  /// is not touched. Requires a non-empty payload.
+  [[nodiscard]] Token corrupted(std::size_t bit_index) const;
 
  private:
   std::shared_ptr<const std::vector<std::uint8_t>> payload_;

@@ -41,18 +41,74 @@ TimeNs NocModel::transfer_chunk(TileId from, TileId to, int bytes, TimeNs start)
 }
 
 TimeNs NocModel::transfer(CoreId src, CoreId dst, int bytes, TimeNs start) {
+  return transfer_ex(src, dst, bytes, start).arrival;
+}
+
+NocTransferOutcome NocModel::transfer_ex(CoreId src, CoreId dst, int bytes,
+                                         TimeNs start) {
   SCCFT_EXPECTS(src.valid() && dst.valid());
   SCCFT_EXPECTS(bytes >= 0);
   SCCFT_EXPECTS(start >= 0);
+  NocTransferOutcome outcome;
+  const bool faulted = faults_active(start);
   TimeNs t = start + config_.software_overhead_ns;
   int remaining = bytes;
   do {
     const int chunk = std::min(remaining, config_.max_chunk_bytes);
-    t = transfer_chunk(src.tile(), dst.tile(), std::max(chunk, 1), t);
+    if (!faulted) {
+      t = transfer_chunk(src.tile(), dst.tile(), std::max(chunk, 1), t);
+    } else {
+      // Bounded retransmission: a dropped chunk is resent after the sender's
+      // timeout; once the attempt budget is exhausted the whole message is
+      // lost (healthy traffic degrades to extra latency, not silence).
+      bool chunk_delivered = false;
+      for (int attempt = 0; attempt <= fault_plan_->max_retries; ++attempt) {
+        if (attempt > 0) {
+          ++retransmissions_;
+          ++outcome.retransmissions;
+        }
+        const TimeNs arrival = transfer_chunk(src.tile(), dst.tile(),
+                                              std::max(chunk, 1), t);
+        if (fault_rng_.chance(fault_plan_->chunk_drop_probability)) {
+          ++chunks_dropped_;
+          t += fault_plan_->retry_timeout_ns;
+          continue;
+        }
+        t = arrival;
+        if (fault_plan_->chunk_delay_probability > 0.0 &&
+            fault_rng_.chance(fault_plan_->chunk_delay_probability)) {
+          ++chunks_delayed_;
+          t += fault_rng_.uniform_int(fault_plan_->delay_min_ns,
+                                      std::max(fault_plan_->delay_min_ns,
+                                               fault_plan_->delay_max_ns));
+        }
+        chunk_delivered = true;
+        break;
+      }
+      if (!chunk_delivered) {
+        ++messages_lost_;
+        outcome.delivered = false;
+        outcome.arrival = t;
+        return outcome;
+      }
+    }
     remaining -= chunk;
   } while (remaining > 0);
-  return t;
+  outcome.arrival = t;
+  return outcome;
 }
+
+void NocModel::inject_faults(const NocFaultPlan& plan) {
+  SCCFT_EXPECTS(plan.chunk_drop_probability >= 0.0 && plan.chunk_drop_probability <= 1.0);
+  SCCFT_EXPECTS(plan.chunk_delay_probability >= 0.0 && plan.chunk_delay_probability <= 1.0);
+  SCCFT_EXPECTS(plan.max_retries >= 0);
+  SCCFT_EXPECTS(plan.retry_timeout_ns >= 0);
+  SCCFT_EXPECTS(plan.window_start <= plan.window_end);
+  fault_plan_ = plan;
+  fault_rng_ = util::Xoshiro256(plan.seed);
+}
+
+void NocModel::clear_faults() { fault_plan_.reset(); }
 
 TimeNs NocModel::estimate_latency(CoreId src, CoreId dst, int bytes) const {
   SCCFT_EXPECTS(src.valid() && dst.valid());

@@ -18,9 +18,12 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
+#include <optional>
 
 #include "rtc/time.hpp"
 #include "scc/topology.hpp"
+#include "util/rng.hpp"
 
 namespace sccft::scc {
 
@@ -45,6 +48,31 @@ struct NocConfig {
   }
 };
 
+/// Injected NoC-level message faults (extension beyond the paper's fault
+/// hypothesis): within the active window, each chunk may be dropped (and
+/// retransmitted after a timeout, up to `max_retries` attempts) or delayed by
+/// a uniformly-drawn extra latency. Deterministic under a fixed seed.
+struct NocFaultPlan {
+  double chunk_drop_probability = 0.0;   ///< per-attempt drop chance
+  double chunk_delay_probability = 0.0;  ///< per-chunk extra-delay chance
+  TimeNs delay_min_ns = 0;               ///< extra delay lower bound
+  TimeNs delay_max_ns = 0;               ///< extra delay upper bound
+  TimeNs window_start = 0;               ///< faults active from here ...
+  TimeNs window_end = std::numeric_limits<TimeNs>::max();  ///< ... to here
+  int max_retries = 3;                   ///< retransmissions after the first try
+  TimeNs retry_timeout_ns = 50'000;      ///< sender timeout before a resend
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one message transfer under the fault model. `delivered` is
+/// false only when every retransmission attempt of some chunk was dropped —
+/// the message is then lost for good and `arrival` is the give-up time.
+struct NocTransferOutcome {
+  TimeNs arrival = 0;
+  bool delivered = true;
+  int retransmissions = 0;
+};
+
 /// Stateful NoC: computes message arrival times, accounting for chunking and
 /// (optionally) link contention. Deterministic: same call sequence, same
 /// results.
@@ -55,14 +83,37 @@ class NocModel final {
   /// Computes when a `bytes`-sized message sent at `start` from `src` to
   /// `dst` is fully received, updating link occupancy. Same-tile transfers
   /// cost only the software overhead plus one MPB copy.
+  /// With an active fault plan this includes retransmission delays; a message
+  /// lost for good still returns its give-up time (use transfer_ex to tell
+  /// the two apart).
   [[nodiscard]] TimeNs transfer(CoreId src, CoreId dst, int bytes, TimeNs start);
+
+  /// Like transfer(), but reports delivery status and retransmission count so
+  /// channels can drop lost tokens instead of delivering them late.
+  [[nodiscard]] NocTransferOutcome transfer_ex(CoreId src, CoreId dst, int bytes,
+                                               TimeNs start);
 
   /// Pure latency query that does not reserve links (used for planning).
   [[nodiscard]] TimeNs estimate_latency(CoreId src, CoreId dst, int bytes) const;
 
+  /// Installs (replacing any previous) the message-fault plan. Faults apply
+  /// to all transfers whose send time falls inside the plan's window.
+  void inject_faults(const NocFaultPlan& plan);
+
+  /// Removes the fault plan; subsequent transfers are fault-free.
+  void clear_faults();
+
+  [[nodiscard]] bool faults_active(TimeNs at) const {
+    return fault_plan_ && at >= fault_plan_->window_start && at < fault_plan_->window_end;
+  }
+
   [[nodiscard]] const NocConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t chunks_sent() const { return chunks_sent_; }
   [[nodiscard]] std::uint64_t contention_stalls() const { return contention_stalls_; }
+  [[nodiscard]] std::uint64_t chunks_dropped() const { return chunks_dropped_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t messages_lost() const { return messages_lost_; }
+  [[nodiscard]] std::uint64_t chunks_delayed() const { return chunks_delayed_; }
 
  private:
   [[nodiscard]] TimeNs transfer_chunk(TileId from, TileId to, int bytes, TimeNs start);
@@ -71,6 +122,12 @@ class NocModel final {
   std::array<TimeNs, kLinkTableSize> link_busy_until_{};
   std::uint64_t chunks_sent_ = 0;
   std::uint64_t contention_stalls_ = 0;
+  std::optional<NocFaultPlan> fault_plan_;
+  util::Xoshiro256 fault_rng_;
+  std::uint64_t chunks_dropped_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t chunks_delayed_ = 0;
 };
 
 }  // namespace sccft::scc

@@ -10,6 +10,7 @@
 
 #include <coroutine>
 #include <exception>
+#include <memory>
 #include <utility>
 
 #include "sim/simulator.hpp"
@@ -21,6 +22,11 @@ class Task final {
   struct promise_type {
     std::exception_ptr exception;
     bool done_flag = false;
+    /// Liveness token for scheduled wake-ups. Destroying the frame (e.g. a
+    /// supervisor restarting a faulty replica mid-delay) releases it, so a
+    /// pending Delay event observes the expired weak_ptr and never resumes a
+    /// dangling handle.
+    std::shared_ptr<const bool> liveness = std::make_shared<const bool>(true);
 
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -85,8 +91,21 @@ struct Delay {
   TimeNs duration;
 
   [[nodiscard]] bool await_ready() const noexcept { return duration == 0; }
-  void await_suspend(std::coroutine_handle<> handle) const {
-    sim.schedule_after(duration, [handle] { handle.resume(); });
+  template <typename Promise>
+  void await_suspend(std::coroutine_handle<Promise> handle) const {
+    if constexpr (requires { handle.promise().liveness; }) {
+      // Guard the wake-up with the frame's liveness token: if the coroutine
+      // is destroyed before the delay elapses (replica restart), the event
+      // fires into a no-op instead of a use-after-free.
+      sim.schedule_after(
+          duration,
+          [handle, alive = std::weak_ptr<const bool>(handle.promise().liveness)] {
+            if (alive.expired()) return;
+            handle.resume();
+          });
+    } else {
+      sim.schedule_after(duration, [handle] { handle.resume(); });
+    }
   }
   void await_resume() const noexcept {}
 };

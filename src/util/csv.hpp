@@ -21,6 +21,10 @@ class CsvWriter final {
     rows_.push_back(std::move(row));
   }
 
+  /// Adds a `# ...` comment line emitted before the column header — used to
+  /// record run provenance (e.g. the RNG seeds) inside the file itself.
+  void add_comment(std::string comment) { comments_.push_back(std::move(comment)); }
+
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
   [[nodiscard]] std::string render() const {
@@ -43,6 +47,7 @@ class CsvWriter final {
       }
       os << '\n';
     };
+    for (const auto& comment : comments_) os << "# " << comment << '\n';
     emit(header_);
     for (const auto& row : rows_) emit(row);
     return os.str();
@@ -57,6 +62,7 @@ class CsvWriter final {
 
  private:
   std::vector<std::string> header_;
+  std::vector<std::string> comments_;
   std::vector<std::vector<std::string>> rows_;
 };
 

@@ -95,6 +95,23 @@ struct Rig {
       recover_replica(harness->replicator(), harness->selector(), assets);
     });
   }
+
+  /// Transient outage: silence + freeze at `at`, self-clearing silence and
+  /// channel unfreeze at `at + duration` (no restart involved).
+  void pause(ReplicaIndex r, rtc::TimeNs at, rtc::TimeNs duration) {
+    simulator.schedule_at(at, [this, r, until = at + duration] {
+      auto& fault = replicas[static_cast<std::size_t>(index_of(r))]->context().fault();
+      fault.silenced = true;
+      fault.silence_until = until;
+      harness->replicator().freeze_reader(r);
+      harness->selector().freeze_writer(r);
+    });
+    simulator.schedule_at(at + duration, [this, r] {
+      replicas[static_cast<std::size_t>(index_of(r))]->context().fault().clear_silence();
+      harness->replicator().unfreeze_reader(r);
+      harness->selector().unfreeze_writer(r);
+    });
+  }
 };
 
 TEST(Recovery, ReplicaRejoinsWithoutCorruptingStream) {
@@ -127,6 +144,45 @@ TEST(Recovery, RepairedSystemToleratesSecondFault) {
   EXPECT_TRUE(rig.harness->selector().fault(ReplicaIndex::kReplica2) ||
               rig.harness->replicator().fault(ReplicaIndex::kReplica2));
   EXPECT_FALSE(rig.harness->selector().fault(ReplicaIndex::kReplica1));
+}
+
+TEST(Recovery, SameReplicaFaultsRecoversAndFaultsAgain) {
+  Rig rig;
+  // The same replica dies twice; each recovery must fully re-arm it — stale
+  // state from the first fault/repair cycle must not poison the second.
+  rig.kill(ReplicaIndex::kReplica1, rtc::from_ms(300.0));
+  rig.recover(ReplicaIndex::kReplica1, rtc::from_ms(600.0));
+  rig.kill(ReplicaIndex::kReplica1, rtc::from_ms(1000.0));
+  rig.recover(ReplicaIndex::kReplica1, rtc::from_ms(1300.0));
+  rig.net.run_until(rtc::from_sec(2.0));
+
+  EXPECT_FALSE(rig.gap) << "token lost across one of the two fault cycles";
+  EXPECT_FALSE(rig.duplicate);
+  EXPECT_GT(rig.consumed.size(), 180u);
+  // After the second recovery the replica participates again.
+  EXPECT_FALSE(rig.harness->selector().fault(ReplicaIndex::kReplica1));
+  EXPECT_FALSE(rig.harness->replicator().fault(ReplicaIndex::kReplica1));
+  EXPECT_FALSE(rig.replicas[0]->context().fault().faulty());
+}
+
+TEST(Recovery, RecoveryWhilePeerIsMidBurstKeepsTheStreamIntact) {
+  Rig rig;
+  // Replica 1 dies and is recovered at t=800ms — exactly while replica 2
+  // sits in a short transient outage (a burst of an intermittent fault).
+  // The rejoin must not rely on the peer being live at that instant, and
+  // nothing may deadlock even though both replicas are briefly down.
+  rig.kill(ReplicaIndex::kReplica1, rtc::from_ms(300.0));
+  rig.pause(ReplicaIndex::kReplica2, rtc::from_ms(790.0), rtc::from_ms(25.0));
+  rig.recover(ReplicaIndex::kReplica1, rtc::from_ms(800.0));
+  rig.net.run_until(rtc::from_sec(2.0));
+
+  EXPECT_FALSE(rig.gap);
+  EXPECT_FALSE(rig.duplicate);
+  EXPECT_GT(rig.consumed.size(), 150u);
+  // Both replicas ended up live: replica 1 rejoined, replica 2's burst ended.
+  EXPECT_FALSE(rig.harness->selector().fault(ReplicaIndex::kReplica1));
+  EXPECT_FALSE(rig.replicas[1]->context().fault().silenced);
+  EXPECT_GT(rig.harness->selector().tokens_received(ReplicaIndex::kReplica1), 0u);
 }
 
 TEST(Recovery, ReintegrationClearsDetectionState) {

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Configures, builds, and runs the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the SCCFT_SANITIZE CMake option).
+#
+# The coroutine-based runtime hands coroutine frames across scheduler events;
+# the classes of bug that matter most here — a stale wake-up resuming a frame
+# a restart already destroyed, a double resume, a container invalidating a
+# parked handle — are exactly what ASan/UBSan catch and plain tests may miss.
+#
+# Usage: tests/run_sanitized.sh [build-dir]   (default: build-sanitize)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build-sanitize"}
+
+cmake -B "${build_dir}" -S "${repo_root}" -DSCCFT_SANITIZE=ON
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure
