@@ -1,7 +1,11 @@
 // Shared experiment-campaign helpers for the table-regenerating benches.
 //
-// Each paper table aggregates statistics over 20 runs; these helpers run the
-// seed sweep and collect the quantities Tables 2 and 3 report.
+// Each paper table aggregates statistics over 20 runs. Aggregation rides the
+// metrics registry: every run's registry snapshot (ExperimentResult::metrics)
+// is merged into the campaign's — counters add, gauges keep the cross-run
+// maximum, series append in run order — and the reported numbers are read
+// back out of the merged registry, so each table cell traces to the same
+// record the run itself kept.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,7 @@
 #include <vector>
 
 #include "apps/common/experiment.hpp"
+#include "trace/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -28,6 +33,7 @@ struct FaultCampaignResult {
   int false_positives = 0;
   std::vector<std::uint64_t> seeds;  ///< RNG seed of every run, in order
   rtc::SizingReport sizing;
+  trace::MetricsRegistry merged;  ///< all runs' registries, merged
 };
 
 /// Runs `runs` fault-injection campaigns (seeds 1..runs) against `faulty`.
@@ -43,6 +49,7 @@ inline FaultCampaignResult run_fault_campaign(apps::ExperimentRunner& runner,
     result.seeds.push_back(options.seed);
     const auto r = runner.run(options);
     result.sizing = r.sizing;
+    result.merged.merge(*r.metrics);
     if (r.false_positive) ++result.false_positives;
     if (r.any_detection && !r.false_positive) {
       ++result.detected;
@@ -68,10 +75,12 @@ struct FaultFreeCampaignResult {
   std::vector<std::uint64_t> seeds;  ///< RNG seed of every run, in order
   rtc::SizingReport sizing;
   std::size_t replicator_memory = 0, selector_memory = 0;
+  trace::MetricsRegistry merged;  ///< all runs' registries, merged
 };
 
-/// Runs `runs` fault-free campaigns; pools fill high-water marks and consumer
-/// inter-arrival statistics.
+/// Runs `runs` fault-free campaigns. Fill high-water marks, control-memory
+/// footprints, and the pooled consumer inter-arrival statistics are all read
+/// from the merged registry.
 inline FaultFreeCampaignResult run_fault_free_campaign(apps::ExperimentRunner& runner,
                                                        apps::ExperimentOptions options,
                                                        int runs = kRuns) {
@@ -82,14 +91,31 @@ inline FaultFreeCampaignResult run_fault_free_campaign(apps::ExperimentRunner& r
     result.seeds.push_back(options.seed);
     const auto r = runner.run(options);
     result.sizing = r.sizing;
-    result.max_fill_r1 = std::max(result.max_fill_r1, r.fill_r1);
-    result.max_fill_r2 = std::max(result.max_fill_r2, r.fill_r2);
-    result.max_fill_s1 = std::max(result.max_fill_s1, r.fill_s1);
-    result.max_fill_s2 = std::max(result.max_fill_s2, r.fill_s2);
+    result.merged.merge(*r.metrics);
     if (r.any_detection) ++result.false_positives;
-    for (double v : r.consumer_interarrival_ms.samples()) result.interarrival_ms.add(v);
-    result.replicator_memory = r.replicator_memory_bytes;
-    result.selector_memory = r.selector_memory_bytes;
+  }
+  const std::string& app = runner.app().name;
+  const auto fill = [&result](const std::string& gauge) {
+    return static_cast<rtc::Tokens>(result.merged.gauge(gauge));
+  };
+  if (options.duplicated) {
+    const std::string rep = app + ".replicator", sel = app + ".selector";
+    result.max_fill_r1 = fill(rep + ".R1.max_fill");
+    result.max_fill_r2 = fill(rep + ".R2.max_fill");
+    result.max_fill_s1 = fill(sel + ".S1.max_observed_fill");
+    result.max_fill_s2 = fill(sel + ".S2.max_observed_fill");
+    result.replicator_memory =
+        static_cast<std::size_t>(result.merged.gauge(rep + ".control_bytes"));
+    result.selector_memory =
+        static_cast<std::size_t>(result.merged.gauge(sel + ".control_bytes"));
+  } else {
+    result.max_fill_r1 = fill(app + ".F_P.max_fill");
+    result.max_fill_s1 = fill(app + ".F_C.max_fill");
+  }
+  if (const auto* series = result.merged.find_series("consumer.interarrival_ns")) {
+    for (const std::int64_t v : series->samples()) {
+      result.interarrival_ms.add(rtc::to_ms(v));
+    }
   }
   return result;
 }

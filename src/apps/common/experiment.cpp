@@ -9,9 +9,9 @@
 #include "monitor/driver.hpp"
 #include "scc/mapping.hpp"
 #include "scc/platform.hpp"
+#include "trace/sinks.hpp"
 #include "util/assert.hpp"
 #include "util/crc32.hpp"
-#include "util/vcd.hpp"
 
 namespace sccft::apps {
 
@@ -52,6 +52,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
   ExperimentResult result;
 
   sim::Simulator simulator;
+  trace::MetricsRegistry& registry = simulator.trace().metrics();
+  if (options.trace_sink != nullptr) {
+    simulator.trace().subscribe(options.trace_sink, options.trace_mask);
+  }
   std::optional<scc::Platform> platform;
   if (options.use_platform) platform.emplace(simulator);
   kpn::Network net(simulator);
@@ -158,8 +162,8 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
   // ----- baseline monitors (Table 3) --------------------------------------
   std::optional<monitor::DistanceFunctionMonitor> distance_monitor;
   std::optional<monitor::WatchdogMonitor> watchdog_monitor;
-  std::optional<monitor::TapSource> distance_tap;
-  std::optional<monitor::TapSource> watchdog_tap;
+  std::optional<monitor::ActivationBridge> distance_bridge;
+  std::optional<monitor::ActivationBridge> watchdog_bridge;
   std::optional<rtc::TimeNs> distance_detect;
   std::optional<rtc::TimeNs> watchdog_detect;
   if (options.attach_baseline_monitors && options.duplicated) {
@@ -173,10 +177,13 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
     watchdog_monitor.emplace(monitor::WatchdogMonitor::Config{
         .timeout = monitor::WatchdogMonitor::sound_timeout(model),
         .polling_interval = options.monitor_polling_interval});
-    // Chain the taps in front of the faulty replica's consumption interface.
-    distance_tap.emplace(*replica_inputs[faulty], *distance_monitor, simulator);
-    watchdog_tap.emplace(*distance_tap, *watchdog_monitor, simulator);
-    replica_inputs[faulty] = &*watchdog_tap;
+    // Observe the faulty replica's consumption stream through its queue's
+    // dequeue events — no tap in the data path. Bridge order = subscription
+    // order, so the distance monitor still sees each activation first.
+    const trace::SubjectId watched =
+        harness->replicator().queue_subject(options.faulty_replica);
+    distance_bridge.emplace(simulator.trace(), watched, *distance_monitor);
+    watchdog_bridge.emplace(simulator.trace(), watched, *watchdog_monitor);
   }
 
   // ----- processes ---------------------------------------------------------
@@ -184,8 +191,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
 
   // Producer: emits input tokens shaped by the producer PJD.
   net.add_process("producer", core_of("producer"), seed_base + 1,
-                  [this, producer_sink](kpn::ProcessContext& ctx) -> sim::Task {
+                  [this, producer_sink, &simulator](kpn::ProcessContext& ctx) -> sim::Task {
                     kpn::TimingShaper shaper(app_.timing.producer, 0, ctx.rng());
+                    shaper.bind_trace(&simulator.trace(),
+                                      simulator.trace().intern("producer"));
                     for (std::uint64_t k = 0;; ++k) {
                       const kpn::Token& cached = input_token(k);
                       const rtc::TimeNs target = shaper.next_emission(ctx.now());
@@ -388,25 +397,32 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                   replica_inputs[0], replica_outputs[0]);
   }
 
-  // Consumer: shaped destructive reads; measures the output stream.
+  // Consumer: shaped destructive reads; measures the output stream. The
+  // stream statistics go to the metrics registry (hoisted references — the
+  // registry guarantees their stability); checksums stay on the result, they
+  // are data, not metrics.
   rtc::TimeNs last_data_read = -1;
   net.add_process(
       "consumer", core_of("consumer"), seed_base + 2,
-      [this, consumer_source, &result, &last_data_read](
+      [this, consumer_source, &result, &last_data_read, &simulator, &registry](
           kpn::ProcessContext& ctx) -> sim::Task {
         kpn::TimingShaper shaper(app_.timing.consumer, 0, ctx.rng());
+        shaper.bind_trace(&simulator.trace(), simulator.trace().intern("consumer"));
+        std::uint64_t& tokens = registry.counter_ref("consumer.tokens");
+        std::uint64_t& stalls = registry.counter_ref("consumer.stalls");
+        trace::Series& interarrival = registry.series_ref("consumer.interarrival_ns");
         while (true) {
           const rtc::TimeNs slot = shaper.next_emission(ctx.now());
           if (slot > ctx.now()) co_await ctx.delay(slot - ctx.now());
           const rtc::TimeNs before = ctx.now();
           kpn::Token token = co_await kpn::read(*consumer_source);
-          if (ctx.now() > before) ++result.consumer_stalls;
+          if (ctx.now() > before) ++stalls;
           shaper.commit(ctx.now());
-          ++result.consumer_tokens;
+          ++tokens;
           if (token.size_bytes() > 0) {
             result.output_checksums.push_back(token.checksum());
             if (last_data_read >= 0) {
-              result.consumer_interarrival_ms.add(rtc::to_ms(ctx.now() - last_data_read));
+              interarrival.add(ctx.now() - last_data_read);
             }
             last_data_read = ctx.now();
           }
@@ -425,46 +441,30 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                                                &watchdog_detect));
   }
 
-  // ----- VCD waveform sampling ----------------------------------------------
-  std::optional<util::VcdWriter> vcd;
+  // ----- VCD waveform export ----------------------------------------------
+  // Change-driven from the trace bus: every enqueue/dequeue/level event lands
+  // in the waveform at its exact instant (the old implementation polled the
+  // channels 8x per period from a dedicated sampler process).
+  std::optional<trace::VcdSink> vcd_sink;
   if (!options.vcd_path.empty() && options.duplicated) {
-    vcd.emplace(app_.name);
-    struct VcdSignals {
-      int fill_r1, fill_r2, space_s1, space_s2, sel_fill, fault_r1, fault_r2;
-    };
-    auto signals = std::make_shared<VcdSignals>(VcdSignals{
-        vcd->add_signal("replicator_fill_R1", 8), vcd->add_signal("replicator_fill_R2", 8),
-        vcd->add_signal("selector_space_S1", 8), vcd->add_signal("selector_space_S2", 8),
-        vcd->add_signal("selector_fill", 8), vcd->add_signal("fault_R1", 1),
-        vcd->add_signal("fault_R2", 1)});
-    net.add_process(
-        "vcd_sampler", core_of("consumer"), seed_base + 5,
-        [this, &options, signals, h = &*harness, w = &*vcd](
-            kpn::ProcessContext& ctx) -> sim::Task {
-          const rtc::TimeNs step = app_.timing.producer.period / 8;
-          while (true) {
-            auto flag = [&](ft::ReplicaIndex r) {
-              return (h->replicator().fault(r) || h->selector().fault(r)) ? 1u : 0u;
-            };
-            w->change(ctx.now(), signals->fill_r1,
-                      static_cast<std::uint64_t>(
-                          h->replicator().fill(ft::ReplicaIndex::kReplica1)));
-            w->change(ctx.now(), signals->fill_r2,
-                      static_cast<std::uint64_t>(
-                          h->replicator().fill(ft::ReplicaIndex::kReplica2)));
-            w->change(ctx.now(), signals->space_s1,
-                      static_cast<std::uint64_t>(
-                          h->selector().space(ft::ReplicaIndex::kReplica1)));
-            w->change(ctx.now(), signals->space_s2,
-                      static_cast<std::uint64_t>(
-                          h->selector().space(ft::ReplicaIndex::kReplica2)));
-            w->change(ctx.now(), signals->sel_fill,
-                      static_cast<std::uint64_t>(h->selector().fill()));
-            w->change(ctx.now(), signals->fault_r1, flag(ft::ReplicaIndex::kReplica1));
-            w->change(ctx.now(), signals->fault_r2, flag(ft::ReplicaIndex::kReplica2));
-            co_await ctx.delay(step);
-          }
-        });
+    vcd_sink.emplace(app_.name);
+    vcd_sink->watch_fill(harness->replicator().queue_subject(ft::ReplicaIndex::kReplica1),
+                         "replicator_fill_R1");
+    vcd_sink->watch_fill(harness->replicator().queue_subject(ft::ReplicaIndex::kReplica2),
+                         "replicator_fill_R2");
+    vcd_sink->watch_space(harness->selector().side_subject(ft::ReplicaIndex::kReplica1),
+                          "selector_space_S1");
+    vcd_sink->watch_space(harness->selector().side_subject(ft::ReplicaIndex::kReplica2),
+                          "selector_space_S2");
+    vcd_sink->watch_fill(harness->selector().trace_subject(), "selector_fill");
+    vcd_sink->watch_fault(0, "fault_R1");
+    vcd_sink->watch_fault(1, "fault_R2");
+    simulator.trace().subscribe(
+        &*vcd_sink, trace::bit(trace::EventKind::kEnqueue) |
+                        trace::bit(trace::EventKind::kDequeue) |
+                        trace::bit(trace::EventKind::kQueueLevel) |
+                        trace::bit(trace::EventKind::kDetection) |
+                        trace::bit(trace::EventKind::kReintegrate));
   }
 
   // ----- fault injection ---------------------------------------------------
@@ -494,13 +494,22 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
   net.run_until(run_until);
 
   // ----- harvest -----------------------------------------------------------
+  // Channels publish into the registry; the result reads the registry back.
+  // The registry is the single quantitative record of the run — Table 2 and
+  // the campaign aggregations all draw from it.
   if (options.duplicated) {
-    result.fill_r1 = harness->replicator().queue_stats(ft::ReplicaIndex::kReplica1).max_fill;
-    result.fill_r2 = harness->replicator().queue_stats(ft::ReplicaIndex::kReplica2).max_fill;
-    result.fill_s1 = harness->selector().max_observed_fill(ft::ReplicaIndex::kReplica1);
-    result.fill_s2 = harness->selector().max_observed_fill(ft::ReplicaIndex::kReplica2);
-    result.replicator_memory_bytes = harness->replicator().control_memory_bytes();
-    result.selector_memory_bytes = harness->selector().control_memory_bytes();
+    harness->replicator().publish_metrics(registry);
+    harness->selector().publish_metrics(registry);
+    const std::string rep = app_.name + ".replicator";
+    const std::string sel = app_.name + ".selector";
+    result.fill_r1 = static_cast<rtc::Tokens>(registry.gauge(rep + ".R1.max_fill"));
+    result.fill_r2 = static_cast<rtc::Tokens>(registry.gauge(rep + ".R2.max_fill"));
+    result.fill_s1 = static_cast<rtc::Tokens>(registry.gauge(sel + ".S1.max_observed_fill"));
+    result.fill_s2 = static_cast<rtc::Tokens>(registry.gauge(sel + ".S2.max_observed_fill"));
+    result.replicator_memory_bytes =
+        static_cast<std::size_t>(registry.gauge(rep + ".control_bytes"));
+    result.selector_memory_bytes =
+        static_cast<std::size_t>(registry.gauge(sel + ".control_bytes"));
 
     const auto& log = harness->detections();
     result.any_detection = !log.records.empty();
@@ -523,8 +532,20 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
       }
     }
   } else {
-    result.fill_r1 = ref_in->stats().max_fill;
-    result.fill_s1 = ref_out->stats().max_fill;
+    ref_in->publish_metrics(registry);
+    ref_out->publish_metrics(registry);
+    result.fill_r1 =
+        static_cast<rtc::Tokens>(registry.gauge(app_.name + ".F_P.max_fill"));
+    result.fill_s1 =
+        static_cast<rtc::Tokens>(registry.gauge(app_.name + ".F_C.max_fill"));
+  }
+
+  result.consumer_tokens = registry.counter("consumer.tokens");
+  result.consumer_stalls = registry.counter("consumer.stalls");
+  if (const auto* interarrival = registry.find_series("consumer.interarrival_ns")) {
+    for (const std::int64_t sample : interarrival->samples()) {
+      result.consumer_interarrival_ms.add(rtc::to_ms(sample));
+    }
   }
 
   if (distance_detect && result.fault_injected_at >= 0 &&
@@ -535,10 +556,18 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
       *watchdog_detect >= result.fault_injected_at) {
     result.watchdog_latency = *watchdog_detect - result.fault_injected_at;
   }
-  if (platform) result.noc_contention_stalls = platform->noc().contention_stalls();
-  if (vcd) {
-    SCCFT_ASSERT(vcd->write_file(options.vcd_path));
+  if (platform) {
+    result.noc_contention_stalls = platform->noc().contention_stalls();
+    registry.add("noc.contention_stalls", result.noc_contention_stalls);
   }
+  if (vcd_sink) {
+    simulator.trace().unsubscribe(&*vcd_sink);
+    SCCFT_ASSERT(vcd_sink->write_file(options.vcd_path));
+  }
+  if (options.trace_sink != nullptr) {
+    simulator.trace().unsubscribe(options.trace_sink);
+  }
+  result.metrics = std::make_shared<trace::MetricsRegistry>(registry);
 
   return result;
 }

@@ -6,6 +6,7 @@
 // baseline-monitor detection latencies.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "ft/framework.hpp"
 #include "monitor/distance_function.hpp"
 #include "monitor/watchdog.hpp"
+#include "trace/bus.hpp"
+#include "trace/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace sccft::apps {
@@ -44,8 +47,16 @@ struct ExperimentOptions {
   int monitor_history_l = 1;
 
   /// If non-empty, dump channel fill levels / space counters / fault flags
-  /// as a VCD waveform (viewable in GTKWave) sampled 8x per period.
+  /// as a VCD waveform (viewable in GTKWave), change-driven from the trace
+  /// bus.
   std::string vcd_path;
+
+  /// Optional external trace sink, subscribed for the duration of the run
+  /// with `trace_mask` (e.g. a BinarySink for determinism checks, a CsvSink
+  /// for offline analysis, a RingBufferSink flight recorder). Must outlive
+  /// run().
+  trace::Sink* trace_sink = nullptr;
+  std::uint32_t trace_mask = trace::kAllEvents;
 };
 
 struct ExperimentResult {
@@ -79,6 +90,11 @@ struct ExperimentResult {
   std::optional<rtc::TimeNs> watchdog_latency;
 
   std::uint64_t noc_contention_stalls = 0;
+
+  /// Snapshot of the run's full metrics registry (channel gauges/counters,
+  /// consumer stream series, trace-event counts). Campaign harnesses merge
+  /// these across runs instead of re-deriving aggregates by hand.
+  std::shared_ptr<trace::MetricsRegistry> metrics;
 };
 
 /// Reusable runner: payload/transform caches persist across runs, so 20-run

@@ -20,9 +20,23 @@ std::string to_string(FaultKind kind) {
 }
 
 FaultCampaign::FaultCampaign(sim::Simulator& sim, Wiring wiring)
-    : sim_(sim), wiring_(std::move(wiring)) {
+    : sim_(sim),
+      wiring_(std::move(wiring)),
+      subject_(sim.trace().intern("fault-campaign")),
+      adapter_(*this) {
   SCCFT_EXPECTS(wiring_.replicator != nullptr);
   SCCFT_EXPECTS(wiring_.selector != nullptr);
+  sim_.trace().subscribe(&adapter_, trace::bit(trace::EventKind::kInjection));
+}
+
+FaultCampaign::~FaultCampaign() { sim_.trace().unsubscribe(&adapter_); }
+
+void FaultCampaign::InjectionAdapter::on_event(const trace::Event& event) {
+  if (event.subject != owner_.subject_) return;
+  if (!owner_.listener_) return;
+  owner_.listener_(FaultInjectionRecord{static_cast<FaultKind>(event.a),
+                                        static_cast<ReplicaIndex>(event.b),
+                                        event.time});
 }
 
 void FaultCampaign::add(FaultSpec spec) {
@@ -190,9 +204,12 @@ void FaultCampaign::schedule_burst(ArmedSpec& armed, rtc::TimeNs at) {
 }
 
 void FaultCampaign::record(const FaultSpec& spec, rtc::TimeNs at) {
-  const FaultInjectionRecord rec{spec.kind, spec.replica, at};
-  injections_.push_back(rec);
-  if (listener_) listener_(rec);
+  injections_.push_back(FaultInjectionRecord{spec.kind, spec.replica, at});
+  // The activation travels the bus: the InjectionAdapter replays it to the
+  // registered listener, and the supervisor's own subscription timestamps
+  // its detection-latency sample without any manual wiring.
+  sim_.trace().emit(trace::EventKind::kInjection, subject_, at,
+                    static_cast<std::int64_t>(spec.kind), index_of(spec.replica));
 }
 
 }  // namespace sccft::ft

@@ -35,6 +35,7 @@
 #include "rtc/time.hpp"
 #include "scc/noc.hpp"
 #include "sim/simulator.hpp"
+#include "trace/bus.hpp"
 #include "util/rng.hpp"
 
 namespace sccft::ft {
@@ -97,9 +98,14 @@ class FaultCampaign final {
   using InjectionListener = std::function<void(const FaultInjectionRecord&)>;
 
   FaultCampaign(sim::Simulator& sim, Wiring wiring);
+  ~FaultCampaign();
 
   FaultCampaign(const FaultCampaign&) = delete;
   FaultCampaign& operator=(const FaultCampaign&) = delete;
+
+  /// Subject under which activations appear on the trace bus (kInjection,
+  /// a = FaultKind, b = victim replica index).
+  [[nodiscard]] trace::SubjectId trace_subject() const { return subject_; }
 
   /// Adds a fault to the campaign. Must be called before arm().
   void add(FaultSpec spec);
@@ -126,6 +132,18 @@ class FaultCampaign final {
     explicit ArmedSpec(const FaultSpec& s) : spec(s), rng(s.seed) {}
   };
 
+  /// Thin adapter keeping the InjectionListener API source-compatible:
+  /// activations travel the bus as kInjection events; this sink filters for
+  /// the campaign's subject and replays them to the registered listener.
+  class InjectionAdapter final : public trace::Sink {
+   public:
+    explicit InjectionAdapter(FaultCampaign& owner) : owner_(owner) {}
+    void on_event(const trace::Event& event) override;
+
+   private:
+    FaultCampaign& owner_;
+  };
+
   void arm_spec(ArmedSpec& armed);
   void begin_silence(const FaultSpec& spec, rtc::TimeNs until);
   void end_silence(const FaultSpec& spec);
@@ -138,11 +156,13 @@ class FaultCampaign final {
 
   sim::Simulator& sim_;
   Wiring wiring_;
+  trace::SubjectId subject_;
   std::vector<FaultSpec> pending_;
   std::vector<ArmedSpec> armed_specs_;
   bool armed_ = false;
   InjectionListener listener_;
   std::vector<FaultInjectionRecord> injections_;
+  InjectionAdapter adapter_;
 };
 
 }  // namespace sccft::ft

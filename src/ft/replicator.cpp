@@ -10,13 +10,29 @@ ReplicatorChannel::ReplicatorChannel(sim::Simulator& sim, std::string name,
                                      Config config)
     : sim_(sim),
       name_(std::move(name)),
+      subject_(sim.trace().intern(name_)),
       read_interfaces_{ReadInterface(*this, ReplicaIndex::kReplica1),
-                       ReadInterface(*this, ReplicaIndex::kReplica2)} {
+                       ReadInterface(*this, ReplicaIndex::kReplica2)},
+      observer_adapter_(*this) {
   SCCFT_EXPECTS(config.capacity1 > 0 && config.capacity2 > 0);
   queues_[0].capacity = config.capacity1;
+  queues_[0].subject = sim.trace().intern(name_ + ".R1");
   queues_[0].link = config.link1;
   queues_[1].capacity = config.capacity2;
+  queues_[1].subject = sim.trace().intern(name_ + ".R2");
   queues_[1].link = config.link2;
+  sim_.trace().subscribe(&observer_adapter_, trace::bit(trace::EventKind::kDetection));
+}
+
+ReplicatorChannel::~ReplicatorChannel() {
+  sim_.trace().unsubscribe(&observer_adapter_);
+}
+
+void ReplicatorChannel::ObserverAdapter::on_event(const trace::Event& event) {
+  if (event.subject != owner_.subject_) return;
+  const auto r = static_cast<ReplicaIndex>(event.a);
+  const DetectionRecord record{r, static_cast<DetectionRule>(event.b), event.time};
+  for (const auto& observer : owner_.observers_) observer(record);
 }
 
 kpn::TokenSource& ReplicatorChannel::read_interface(ReplicaIndex r) {
@@ -47,6 +63,8 @@ bool ReplicatorChannel::try_write(const kpn::Token& token) {
   if (!any_healthy) {
     ++queues_[0].stats.tokens_dropped;
     ++queues_[1].stats.tokens_dropped;
+    sim_.trace().emit(trace::EventKind::kTokenDrop, subject_, sim_.now(),
+                      static_cast<std::int64_t>(token.seq()));
   }
   return true;
 }
@@ -69,6 +87,8 @@ void ReplicatorChannel::enqueue(Queue& queue, const kpn::Token& token) {
       // selector's divergence rule catches a persistently lossy path.
       ++queue.stats.tokens_written;
       ++queue.stats.tokens_dropped;
+      sim_.trace().emit(trace::EventKind::kTokenDrop, queue.subject, sim_.now(),
+                        static_cast<std::int64_t>(token.seq()));
       return;
     }
     available_at = outcome.arrival;
@@ -77,12 +97,18 @@ void ReplicatorChannel::enqueue(Queue& queue, const kpn::Token& token) {
   ++queue.stats.tokens_written;
   queue.stats.max_fill =
       std::max(queue.stats.max_fill, static_cast<rtc::Tokens>(queue.slots.size()));
+  // Always-on (not macro-gated): the VCD sink derives fill waveforms from
+  // enqueue/dequeue events even in compiled-out builds.
+  sim_.trace().emit(trace::EventKind::kEnqueue, queue.subject, sim_.now(),
+                    static_cast<std::int64_t>(token.seq()),
+                    static_cast<std::int64_t>(queue.slots.size()));
   if (queue.waiting_reader) wake_reader(queue, available_at);
 }
 
 void ReplicatorChannel::freeze_reader(ReplicaIndex r) {
   Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
   queue.reader_frozen = true;
+  sim_.trace().emit(trace::EventKind::kFreeze, subject_, sim_.now(), index_of(r));
   // The parked reader's handle is RETAINED: a transient fault must resume it
   // (via unfreeze_reader) so its blocked read completes once the halt ends.
   // Only reintegrate — the restart path — discards it and bumps the epoch;
@@ -93,6 +119,7 @@ void ReplicatorChannel::unfreeze_reader(ReplicaIndex r) {
   Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
   if (!queue.reader_frozen) return;
   queue.reader_frozen = false;
+  sim_.trace().emit(trace::EventKind::kUnfreeze, subject_, sim_.now(), index_of(r));
   if (queue.waiting_reader && !queue.slots.empty()) {
     wake_reader(queue, std::max(queue.slots.front().available_at, sim_.now()));
   }
@@ -106,6 +133,7 @@ void ReplicatorChannel::reintegrate(ReplicaIndex r) {
   queue.waiting_reader = nullptr;  // restart destroyed the old coroutine frame
   ++queue.epoch;                   // invalidate any wake already scheduled
   queue.slots.clear();
+  sim_.trace().emit(trace::EventKind::kReintegrate, subject_, sim_.now(), index_of(r));
 }
 
 std::optional<kpn::Token> ReplicatorChannel::queue_try_read(ReplicaIndex r) {
@@ -116,6 +144,11 @@ std::optional<kpn::Token> ReplicatorChannel::queue_try_read(ReplicaIndex r) {
   kpn::Token token = std::move(queue.slots.front().token);
   queue.slots.pop_front();
   ++queue.stats.tokens_read;
+  // Always-on: the monitor ActivationBridge observes a replica's consumption
+  // stream through these dequeues, so they must survive compiled-out builds.
+  sim_.trace().emit(trace::EventKind::kDequeue, queue.subject, sim_.now(),
+                    static_cast<std::int64_t>(token.seq()),
+                    static_cast<std::int64_t>(queue.slots.size()));
   wake_writer();
   return token;
 }
@@ -126,6 +159,7 @@ void ReplicatorChannel::queue_await_readable(ReplicaIndex r,
   SCCFT_EXPECTS(!queue.waiting_reader);
   queue.waiting_reader = reader;
   ++queue.stats.reader_blocks;
+  SCCFT_TRACE(sim_.trace(), trace::EventKind::kReaderBlock, queue.subject, sim_.now());
   if (!queue.slots.empty()) {
     wake_reader(queue, std::max(queue.slots.front().available_at, sim_.now()));
   }
@@ -137,7 +171,10 @@ void ReplicatorChannel::declare_fault(ReplicaIndex r) {
   queue.fault = true;
   queue.detection =
       DetectionRecord{r, DetectionRule::kReplicatorOverflow, sim_.now()};
-  for (const auto& observer : observers_) observer(*queue.detection);
+  // The verdict travels the bus; the ObserverAdapter subscription replays it
+  // to the registered FaultObservers synchronously.
+  sim_.trace().emit(trace::EventKind::kDetection, subject_, sim_.now(), index_of(r),
+                    static_cast<std::int64_t>(DetectionRule::kReplicatorOverflow));
 }
 
 void ReplicatorChannel::wake_reader(Queue& queue, rtc::TimeNs when) {
@@ -179,6 +216,21 @@ kpn::ChannelStats ReplicatorChannel::stats() const {
     total.reader_blocks += queue.stats.reader_blocks;
   }
   return total;
+}
+
+void ReplicatorChannel::publish_metrics(trace::MetricsRegistry& registry) const {
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    const Queue& queue = queues_[i];
+    const std::string prefix = name_ + ".R" + std::to_string(i + 1);
+    registry.gauge_max(prefix + ".max_fill",
+                       static_cast<std::int64_t>(queue.stats.max_fill));
+    registry.add(prefix + ".tokens_written", queue.stats.tokens_written);
+    registry.add(prefix + ".tokens_read", queue.stats.tokens_read);
+    registry.add(prefix + ".tokens_dropped", queue.stats.tokens_dropped);
+    registry.add(prefix + ".reader_blocks", queue.stats.reader_blocks);
+  }
+  registry.gauge_max(name_ + ".control_bytes",
+                     static_cast<std::int64_t>(control_memory_bytes()));
 }
 
 std::size_t ReplicatorChannel::control_memory_bytes() const {

@@ -30,6 +30,7 @@
 #include "ft/replica.hpp"
 #include "kpn/channel.hpp"
 #include "sim/simulator.hpp"
+#include "trace/bus.hpp"
 
 namespace sccft::ft {
 
@@ -44,9 +45,18 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
   };
 
   ReplicatorChannel(sim::Simulator& sim, std::string name, Config config);
+  ~ReplicatorChannel() override;
 
   /// The reading interface of replica `r` (single reader each).
   [[nodiscard]] kpn::TokenSource& read_interface(ReplicaIndex r);
+
+  /// Trace subjects: the channel itself and each per-replica queue
+  /// ("<name>.R1"/"<name>.R2"). Bus subscribers (monitor bridges, VCD) key
+  /// their filters on these.
+  [[nodiscard]] trace::SubjectId trace_subject() const { return subject_; }
+  [[nodiscard]] trace::SubjectId queue_subject(ReplicaIndex r) const {
+    return queues_[static_cast<std::size_t>(index_of(r))].subject;
+  }
 
   // TokenSink (the producer's single writing interface)
   [[nodiscard]] bool try_write(const kpn::Token& token) override;
@@ -56,6 +66,7 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
   // ChannelBase
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] kpn::ChannelStats stats() const override;
+  void publish_metrics(trace::MetricsRegistry& registry) const override;
 
   /// Per-queue statistics (Table 2's "Max. Observed fill" per |R_i|).
   [[nodiscard]] kpn::ChannelStats queue_stats(ReplicaIndex r) const {
@@ -117,6 +128,7 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
   };
   struct Queue {
     rtc::Tokens capacity = 0;
+    trace::SubjectId subject = 0;
     std::deque<Slot> slots;
     std::coroutine_handle<> waiting_reader;
     bool reader_frozen = false;
@@ -149,6 +161,19 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
     ReplicaIndex replica_;
   };
 
+  /// Thin adapter keeping the FaultObserver API source-compatible: verdicts
+  /// travel the trace bus as kDetection events; this sink filters for the
+  /// owning channel's subject and replays them to the registered observers
+  /// synchronously, in registration order — exactly the legacy semantics.
+  class ObserverAdapter final : public trace::Sink {
+   public:
+    explicit ObserverAdapter(ReplicatorChannel& owner) : owner_(owner) {}
+    void on_event(const trace::Event& event) override;
+
+   private:
+    ReplicatorChannel& owner_;
+  };
+
   [[nodiscard]] std::optional<kpn::Token> queue_try_read(ReplicaIndex r);
   void queue_await_readable(ReplicaIndex r, std::coroutine_handle<> reader);
   void declare_fault(ReplicaIndex r);
@@ -158,10 +183,12 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
 
   sim::Simulator& sim_;
   std::string name_;
+  trace::SubjectId subject_;
   std::array<Queue, 2> queues_;
   std::array<ReadInterface, 2> read_interfaces_;
   std::coroutine_handle<> waiting_writer_;
   std::vector<FaultObserver> observers_;
+  ObserverAdapter observer_adapter_;
 };
 
 }  // namespace sccft::ft

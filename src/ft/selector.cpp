@@ -10,12 +10,14 @@ namespace sccft::ft {
 SelectorChannel::SelectorChannel(sim::Simulator& sim, std::string name, Config config)
     : sim_(sim),
       name_(std::move(name)),
+      subject_(sim.trace().intern(name_)),
       write_interfaces_{WriteInterface(*this, ReplicaIndex::kReplica1),
                         WriteInterface(*this, ReplicaIndex::kReplica2)},
       divergence_threshold_(config.divergence_threshold),
       enable_stall_rule_(config.enable_stall_rule),
       verify_checksums_(config.verify_checksums),
-      corruption_conviction_threshold_(config.corruption_conviction_threshold) {
+      corruption_conviction_threshold_(config.corruption_conviction_threshold),
+      observer_adapter_(*this) {
   SCCFT_EXPECTS(config.capacity1 > 0 && config.capacity2 > 0);
   SCCFT_EXPECTS(config.initial1 >= 0 && config.initial1 <= config.capacity1);
   SCCFT_EXPECTS(config.initial2 >= 0 && config.initial2 <= config.capacity2);
@@ -24,11 +26,25 @@ SelectorChannel::SelectorChannel(sim::Simulator& sim, std::string name, Config c
   sides_[0].capacity = config.capacity1;
   sides_[0].space = config.capacity1 - config.initial1;
   sides_[0].initial = config.initial1;
+  sides_[0].subject = sim.trace().intern(name_ + ".S1");
   sides_[0].link = config.link1;
   sides_[1].capacity = config.capacity2;
   sides_[1].space = config.capacity2 - config.initial2;
   sides_[1].initial = config.initial2;
+  sides_[1].subject = sim.trace().intern(name_ + ".S2");
   sides_[1].link = config.link2;
+  sim_.trace().subscribe(&observer_adapter_, trace::bit(trace::EventKind::kDetection));
+}
+
+SelectorChannel::~SelectorChannel() {
+  sim_.trace().unsubscribe(&observer_adapter_);
+}
+
+void SelectorChannel::ObserverAdapter::on_event(const trace::Event& event) {
+  if (event.subject != owner_.subject_) return;
+  const auto r = static_cast<ReplicaIndex>(event.a);
+  const DetectionRecord record{r, static_cast<DetectionRule>(event.b), event.time};
+  for (const auto& observer : owner_.observers_) observer(record);
 }
 
 kpn::TokenSink& SelectorChannel::write_interface(ReplicaIndex r) {
@@ -53,11 +69,15 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
     // neither block nor corrupt the stream: its writes are accepted and
     // discarded.
     ++stats_.tokens_dropped;
+    sim_.trace().emit(trace::EventKind::kTokenDrop, side.subject, sim_.now(),
+                      static_cast<std::int64_t>(token.seq()));
     return true;
   }
   if (side.space == 0) {
     // Rule 3: the writer blocks. Lemma 1: this depends only on space_i.
     ++stats_.writer_blocks;
+    SCCFT_TRACE(sim_.trace(), trace::EventKind::kWriterBlock, side.subject, sim_.now(),
+                static_cast<std::int64_t>(token.seq()));
     return false;
   }
 
@@ -81,6 +101,8 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
     ++stats_.tokens_dropped;
     side.space -= 1;
     side.count_resync_pending = true;
+    sim_.trace().emit(trace::EventKind::kQuarantine, subject_, sim_.now(), index_of(r),
+                      static_cast<std::int64_t>(side.crc_mismatches));
     if (side.crc_mismatches >=
         static_cast<std::uint64_t>(corruption_conviction_threshold_)) {
       // Unlike (a)/(b), a CRC mismatch is direct evidence against replica i
@@ -156,6 +178,8 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
       side.count_resync_pending = true;
       ++stats_.tokens_written;
       ++stats_.tokens_dropped;
+      sim_.trace().emit(trace::EventKind::kTokenDrop, side.subject, sim_.now(),
+                        static_cast<std::int64_t>(token.seq()));
       check_divergence();
       return true;
     }
@@ -171,11 +195,23 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
     side.virtual_fill += 1;
     side.max_virtual_fill = std::max(side.max_virtual_fill, side.virtual_fill);
     stats_.max_fill = std::max(stats_.max_fill, fill() - pending_preload_);
+    // Always-on: VCD fill waveforms derive from enqueue/dequeue events.
+    sim_.trace().emit(trace::EventKind::kEnqueue, subject_, sim_.now(),
+                      static_cast<std::int64_t>(token.seq()),
+                      static_cast<std::int64_t>(fill()));
     if (waiting_reader_) wake_reader(available_at);
   } else {
     // Late duplicate of a token the peer already delivered: dropped.
     ++stats_.tokens_dropped;
+    sim_.trace().emit(trace::EventKind::kTokenDrop, side.subject, sim_.now(),
+                      static_cast<std::int64_t>(token.seq()));
   }
+  // Always-on: the virtual fill/space levels drive the per-side VCD signals
+  // (space_i is what rules (a)/(b) reason about, so it belongs on waveforms
+  // even in compiled-out builds).
+  sim_.trace().emit(trace::EventKind::kQueueLevel, side.subject, sim_.now(),
+                    static_cast<std::int64_t>(side.virtual_fill),
+                    static_cast<std::int64_t>(side.space));
 
   check_divergence();
   // This delivery advanced the frontier; a peer writer held at its rejoin
@@ -235,6 +271,9 @@ std::optional<kpn::Token> SelectorChannel::try_read() {
   Slot slot = std::move(queue_.front());
   queue_.pop_front();
   ++stats_.tokens_read;
+  sim_.trace().emit(trace::EventKind::kDequeue, subject_, sim_.now(),
+                    static_cast<std::int64_t>(slot.token.valid() ? slot.token.seq() : 0),
+                    static_cast<std::int64_t>(fill()));
 
   // Rule 2: a read increments ALL space variables and decrements fill.
   for (Side& side : sides_) side.space += 1;
@@ -260,6 +299,12 @@ std::optional<kpn::Token> SelectorChannel::try_read() {
     }
   }
 
+  for (const Side& side : sides_) {
+    sim_.trace().emit(trace::EventKind::kQueueLevel, side.subject, sim_.now(),
+                      static_cast<std::int64_t>(side.virtual_fill),
+                      static_cast<std::int64_t>(side.space));
+  }
+
   wake_writers();
   return std::move(slot.token);
 }
@@ -268,6 +313,7 @@ void SelectorChannel::await_readable(std::coroutine_handle<> reader) {
   SCCFT_EXPECTS(!waiting_reader_);
   waiting_reader_ = reader;
   ++stats_.reader_blocks;
+  SCCFT_TRACE(sim_.trace(), trace::EventKind::kReaderBlock, subject_, sim_.now());
   if (!queue_.empty()) {
     wake_reader(std::max(queue_.front().available_at, sim_.now()));
   }
@@ -278,7 +324,10 @@ void SelectorChannel::declare_fault(ReplicaIndex r, DetectionRule rule) {
   SCCFT_ASSERT(!side.fault);
   side.fault = true;
   side.detection = DetectionRecord{r, rule, sim_.now()};
-  for (const auto& observer : observers_) observer(*side.detection);
+  // The verdict travels the bus; the ObserverAdapter subscription replays it
+  // to the registered FaultObservers synchronously.
+  sim_.trace().emit(trace::EventKind::kDetection, subject_, sim_.now(), index_of(r),
+                    static_cast<std::int64_t>(rule));
   // If the (now-faulty) replica is blocked on this interface, release it so a
   // zombie replica cannot wedge; its retried write will be accepted-and-
   // dropped via the fault path. Frozen writers stay parked (they resume via
@@ -299,6 +348,26 @@ void SelectorChannel::check_divergence() {
     declare_fault(w1 < w2 ? ReplicaIndex::kReplica1 : ReplicaIndex::kReplica2,
                   DetectionRule::kSelectorDivergence);
   }
+}
+
+void SelectorChannel::publish_metrics(trace::MetricsRegistry& registry) const {
+  for (std::size_t i = 0; i < sides_.size(); ++i) {
+    const Side& side = sides_[i];
+    const std::string prefix = name_ + ".S" + std::to_string(i + 1);
+    registry.gauge_max(prefix + ".max_observed_fill",
+                       static_cast<std::int64_t>(side.max_virtual_fill));
+    registry.add(prefix + ".tokens_received", side.tokens_received);
+    registry.add(prefix + ".crc_mismatches", side.crc_mismatches);
+  }
+  registry.gauge_max(name_ + ".max_fill",
+                     static_cast<std::int64_t>(stats_.max_fill));
+  registry.add(name_ + ".tokens_written", stats_.tokens_written);
+  registry.add(name_ + ".tokens_read", stats_.tokens_read);
+  registry.add(name_ + ".tokens_dropped", stats_.tokens_dropped);
+  registry.add(name_ + ".writer_blocks", stats_.writer_blocks);
+  registry.add(name_ + ".reader_blocks", stats_.reader_blocks);
+  registry.gauge_max(name_ + ".control_bytes",
+                     static_cast<std::int64_t>(control_memory_bytes()));
 }
 
 void SelectorChannel::wake_reader(rtc::TimeNs when) {

@@ -45,6 +45,7 @@
 #include "ft/replica.hpp"
 #include "kpn/channel.hpp"
 #include "sim/simulator.hpp"
+#include "trace/bus.hpp"
 
 namespace sccft::ft {
 
@@ -72,9 +73,17 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   using WriteTamper = std::function<kpn::Token(const kpn::Token&)>;
 
   SelectorChannel(sim::Simulator& sim, std::string name, Config config);
+  ~SelectorChannel() override;
 
   /// The writing interface of replica `r` (single writer each).
   [[nodiscard]] kpn::TokenSink& write_interface(ReplicaIndex r);
+
+  /// Trace subjects: the channel itself and each per-replica writing side
+  /// ("<name>.S1"/"<name>.S2"). Bus subscribers key their filters on these.
+  [[nodiscard]] trace::SubjectId trace_subject() const { return subject_; }
+  [[nodiscard]] trace::SubjectId side_subject(ReplicaIndex r) const {
+    return sides_[static_cast<std::size_t>(index_of(r))].subject;
+  }
 
   /// Optionally preloads the Eq. (4) initial tokens physically
   /// (max(|S1|_0, |S2|_0) copies of `token`) so the consumer never blocks,
@@ -92,6 +101,7 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   // ChannelBase
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] kpn::ChannelStats stats() const override { return stats_; }
+  void publish_metrics(trace::MetricsRegistry& registry) const override;
 
   [[nodiscard]] rtc::Tokens space(ReplicaIndex r) const {
     return sides_[static_cast<std::size_t>(index_of(r))].space;
@@ -166,6 +176,7 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   };
   struct Side {
     rtc::Tokens capacity = 0;        ///< |S_i|
+    trace::SubjectId subject = 0;
     rtc::Tokens space = 0;           ///< space_i
     std::uint64_t tokens_received = 0;  ///< W_i: accepted writes (queued or dropped)
     rtc::Tokens virtual_fill = 0;    ///< enqueued-from-i minus consumed, >= 0
@@ -209,6 +220,19 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
     ReplicaIndex replica_;
   };
 
+  /// Thin adapter keeping the FaultObserver API source-compatible: verdicts
+  /// travel the trace bus as kDetection events; this sink filters for the
+  /// owning channel's subject and replays them to the registered observers
+  /// synchronously, in registration order — exactly the legacy semantics.
+  class ObserverAdapter final : public trace::Sink {
+   public:
+    explicit ObserverAdapter(SelectorChannel& owner) : owner_(owner) {}
+    void on_event(const trace::Event& event) override;
+
+   private:
+    SelectorChannel& owner_;
+  };
+
   [[nodiscard]] bool side_try_write(ReplicaIndex r, const kpn::Token& token);
   void side_await_writable(ReplicaIndex r, std::coroutine_handle<> writer);
   void declare_fault(ReplicaIndex r, DetectionRule rule);
@@ -218,6 +242,7 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
 
   sim::Simulator& sim_;
   std::string name_;
+  trace::SubjectId subject_;
   std::array<Side, 2> sides_;
   std::array<WriteInterface, 2> write_interfaces_;
   std::deque<Slot> queue_;
@@ -229,6 +254,7 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   std::coroutine_handle<> waiting_reader_;
   kpn::ChannelStats stats_;
   std::vector<FaultObserver> observers_;
+  ObserverAdapter observer_adapter_;
 };
 
 }  // namespace sccft::ft

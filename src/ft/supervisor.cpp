@@ -44,7 +44,12 @@ Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
 Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
                        SelectorChannel& selector,
                        std::array<ReplicaAssets, 2> assets, Config config)
-    : sim_(sim), replicator_(replicator), selector_(selector), config_(config) {
+    : sim_(sim),
+      replicator_(replicator),
+      selector_(selector),
+      config_(config),
+      subject_(sim.trace().intern("supervisor")),
+      sink_(*this) {
   SCCFT_EXPECTS(config_.restart_budget >= 0);
   SCCFT_EXPECTS(config_.initial_backoff >= 0);
   SCCFT_EXPECTS(config_.backoff_factor >= 1.0);
@@ -52,12 +57,33 @@ Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     SCCFT_EXPECTS(index_of(assets[i].index) == static_cast<int>(i));
     replicas_[i].assets = std::move(assets[i]);
+    replicas_[i].metric_prefix = "supervisor.R" + std::to_string(i + 1);
   }
-  const auto observer = [this](const DetectionRecord& record) {
-    on_detection(record);
-  };
-  replicator_.add_fault_observer(observer);
-  selector_.add_fault_observer(observer);
+  // Subscribed after the channels' own ObserverAdapters (construction order),
+  // so externally registered FaultObservers — the framework's detection log
+  // in particular — still run before the supervisor acts, exactly as they
+  // did when everyone sat in the same observer list.
+  sim_.trace().subscribe(&sink_, trace::bit(trace::EventKind::kDetection) |
+                                     trace::bit(trace::EventKind::kInjection));
+}
+
+Supervisor::~Supervisor() { sim_.trace().unsubscribe(&sink_); }
+
+void Supervisor::BusSink::on_event(const trace::Event& event) {
+  if (event.kind == trace::EventKind::kInjection) {
+    // Injections carry the target replica in operand b; the timestamp seeds
+    // the next detection-latency sample (idempotent with manual
+    // note_fault_injected wiring, which records the same instant).
+    owner_.note_fault_injected(static_cast<ReplicaIndex>(event.b), event.time);
+    return;
+  }
+  if (event.subject != owner_.replicator_.trace_subject() &&
+      event.subject != owner_.selector_.trace_subject()) {
+    return;
+  }
+  owner_.on_detection(DetectionRecord{static_cast<ReplicaIndex>(event.a),
+                                      static_cast<DetectionRule>(event.b),
+                                      event.time});
 }
 
 void Supervisor::note_fault_injected(ReplicaIndex replica, rtc::TimeNs at) {
@@ -66,13 +92,35 @@ void Supervisor::note_fault_injected(ReplicaIndex replica, rtc::TimeNs at) {
 
 bool Supervisor::any_replica_serviceable() const {
   return std::any_of(replicas_.begin(), replicas_.end(), [](const ReplicaState& s) {
-    return s.report.health != ReplicaHealth::kDegraded;
+    return s.health != ReplicaHealth::kDegraded;
   });
 }
 
+Supervisor::ReplicaReport Supervisor::report(ReplicaIndex r) const {
+  const ReplicaState& state = replicas_[static_cast<std::size_t>(index_of(r))];
+  const trace::MetricsRegistry& registry = metrics();
+  ReplicaReport report;
+  report.health = state.health;
+  report.faults_seen = registry.counter(state.metric_prefix + ".faults_seen");
+  report.restarts =
+      static_cast<int>(registry.counter(state.metric_prefix + ".restarts"));
+  report.detections_within_bound =
+      registry.counter(state.metric_prefix + ".detections_within_bound");
+  if (const auto* s =
+          registry.find_series(state.metric_prefix + ".detection_latency_ns")) {
+    report.detection_latencies = s->samples();
+  }
+  if (const auto* s =
+          registry.find_series(state.metric_prefix + ".repair_time_ns")) {
+    report.repair_times = s->samples();
+  }
+  return report;
+}
+
 rtc::TimeNs Supervisor::backoff_for(const ReplicaState& state) const {
+  const auto restarts = metrics().counter(state.metric_prefix + ".restarts");
   double backoff = static_cast<double>(config_.initial_backoff);
-  for (int i = 0; i < state.report.restarts; ++i) backoff *= config_.backoff_factor;
+  for (std::uint64_t i = 0; i < restarts; ++i) backoff *= config_.backoff_factor;
   backoff = std::min(backoff, static_cast<double>(config_.max_backoff));
   return static_cast<rtc::TimeNs>(backoff);
 }
@@ -82,21 +130,22 @@ void Supervisor::on_detection(const DetectionRecord& record) {
       replicas_[static_cast<std::size_t>(index_of(record.replica))];
   // Both channels may convict the same fault (e.g. replicator overflow then
   // selector stall); only the first verdict per fault episode acts.
-  if (state.report.health != ReplicaHealth::kHealthy) return;
+  if (state.health != ReplicaHealth::kHealthy) return;
 
-  state.report.faults_seen += 1;
+  metrics().add(state.metric_prefix + ".faults_seen");
   state.convicted_at = record.detected_at;
   if (state.last_injection >= 0 && record.detected_at >= state.last_injection) {
     const rtc::TimeNs latency = record.detected_at - state.last_injection;
-    state.report.detection_latencies.push_back(latency);
+    metrics().record(state.metric_prefix + ".detection_latency_ns", latency);
     if (config_.detection_latency_bound > 0 &&
         latency <= config_.detection_latency_bound) {
-      state.report.detections_within_bound += 1;
+      metrics().add(state.metric_prefix + ".detections_within_bound");
     }
     state.last_injection = -1;  // consumed by this detection
   }
 
-  if (state.report.restarts >= config_.restart_budget) {
+  if (metrics().counter(state.metric_prefix + ".restarts") >=
+      static_cast<std::uint64_t>(config_.restart_budget)) {
     // Budget exhausted: stop repairing. Conviction semantics keep the
     // network live on the peer replica (graceful degradation).
     transition(state, record.replica, ReplicaHealth::kDegraded);
@@ -110,7 +159,7 @@ void Supervisor::on_detection(const DetectionRecord& record) {
                         ReplicaState& s = replicas_[static_cast<std::size_t>(
                             index_of(replica))];
                         if (s.generation != generation) return;
-                        if (s.report.health != ReplicaHealth::kConvicted) return;
+                        if (s.health != ReplicaHealth::kConvicted) return;
                         perform_restart(replica);
                       });
 }
@@ -127,17 +176,24 @@ void Supervisor::perform_restart(ReplicaIndex r) {
   selector_.freeze_writer(r);
   recover_replica(replicator_, selector_, state.assets);
 
-  state.report.restarts += 1;
+  metrics().add(state.metric_prefix + ".restarts");
+  sim_.trace().emit(trace::EventKind::kRestart, subject_, sim_.now(), index_of(r),
+                    static_cast<std::int64_t>(
+                        metrics().counter(state.metric_prefix + ".restarts")));
   if (state.convicted_at >= 0) {
-    state.report.repair_times.push_back(sim_.now() - state.convicted_at);
+    metrics().record(state.metric_prefix + ".repair_time_ns",
+                     sim_.now() - state.convicted_at);
     state.convicted_at = -1;
   }
   transition(state, r, ReplicaHealth::kHealthy);
 }
 
 void Supervisor::transition(ReplicaState& state, ReplicaIndex r, ReplicaHealth to) {
-  transitions_.push_back(HealthTransition{r, state.report.health, to, sim_.now()});
-  state.report.health = to;
+  transitions_.push_back(HealthTransition{r, state.health, to, sim_.now()});
+  sim_.trace().emit(trace::EventKind::kHealthTransition, subject_, sim_.now(),
+                    index_of(r), static_cast<std::int64_t>(state.health),
+                    static_cast<std::int64_t>(to));
+  state.health = to;
 }
 
 }  // namespace sccft::ft

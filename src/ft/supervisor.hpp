@@ -26,7 +26,12 @@
 //
 // The supervisor also keeps per-replica health accounting: faults seen,
 // restarts spent, detection latencies (checked against the Eq. (6)-(8)
-// analytic bound when one is configured), and mean time to repair.
+// analytic bound when one is configured), and mean time to repair. The
+// accounting lives in the simulator's MetricsRegistry (counters
+// "supervisor.R<i>.faults_seen" / ".restarts" / ".detections_within_bound",
+// series ".detection_latency_ns" / ".repair_time_ns"); report() assembles the
+// ReplicaReport view from the registry on demand, so harnesses can read the
+// same numbers without going through the supervisor at all.
 #pragma once
 
 #include <array>
@@ -42,6 +47,7 @@
 #include "ft/selector.hpp"
 #include "rtc/time.hpp"
 #include "sim/simulator.hpp"
+#include "trace/bus.hpp"
 
 namespace sccft::ft {
 
@@ -94,14 +100,17 @@ class Supervisor final {
     [[nodiscard]] std::optional<rtc::TimeNs> mean_detection_latency() const;
   };
 
-  /// Subscribes to both channels' verdicts. `assets` describe what recovery
-  /// must touch per replica (index 0 = kReplica1); their pointers must
-  /// outlive the supervisor.
+  /// Subscribes to both channels' verdicts (kDetection events on the
+  /// simulator's trace bus) and to kInjection events, which timestamp
+  /// latency samples automatically. `assets` describe what recovery must
+  /// touch per replica (index 0 = kReplica1); their pointers must outlive
+  /// the supervisor.
   Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
              SelectorChannel& selector, std::array<ReplicaAssets, 2> assets,
              Config config);
   Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
              SelectorChannel& selector, std::array<ReplicaAssets, 2> assets);
+  ~Supervisor();
 
   Supervisor(const Supervisor&) = delete;
   Supervisor& operator=(const Supervisor&) = delete;
@@ -114,11 +123,11 @@ class Supervisor final {
   void note_fault_injected(ReplicaIndex replica, rtc::TimeNs at);
 
   [[nodiscard]] ReplicaHealth health(ReplicaIndex r) const {
-    return replicas_[static_cast<std::size_t>(index_of(r))].report.health;
+    return replicas_[static_cast<std::size_t>(index_of(r))].health;
   }
-  [[nodiscard]] const ReplicaReport& report(ReplicaIndex r) const {
-    return replicas_[static_cast<std::size_t>(index_of(r))].report;
-  }
+  /// Assembled from the metrics registry on demand (the registry is the
+  /// single source of truth; this is a snapshot view of it).
+  [[nodiscard]] ReplicaReport report(ReplicaIndex r) const;
   [[nodiscard]] const std::vector<HealthTransition>& transitions() const {
     return transitions_;
   }
@@ -130,23 +139,40 @@ class Supervisor final {
  private:
   struct ReplicaState {
     ReplicaAssets assets;
-    ReplicaReport report;
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    std::string metric_prefix;         ///< "supervisor.R1" / "supervisor.R2"
     rtc::TimeNs last_injection = -1;   ///< most recent un-consumed injection
     rtc::TimeNs convicted_at = -1;     ///< detection time of the open fault
     std::uint64_t generation = 0;      ///< guards scheduled restarts
+  };
+
+  /// Bus subscription: verdicts (kDetection from either channel) drive the
+  /// state machine, kInjection events timestamp latency samples.
+  class BusSink final : public trace::Sink {
+   public:
+    explicit BusSink(Supervisor& owner) : owner_(owner) {}
+    void on_event(const trace::Event& event) override;
+
+   private:
+    Supervisor& owner_;
   };
 
   void on_detection(const DetectionRecord& record);
   void perform_restart(ReplicaIndex r);
   void transition(ReplicaState& state, ReplicaIndex r, ReplicaHealth to);
   [[nodiscard]] rtc::TimeNs backoff_for(const ReplicaState& state) const;
+  [[nodiscard]] trace::MetricsRegistry& metrics() const {
+    return sim_.trace().metrics();
+  }
 
   sim::Simulator& sim_;
   ReplicatorChannel& replicator_;
   SelectorChannel& selector_;
   Config config_;
+  trace::SubjectId subject_;
   std::array<ReplicaState, 2> replicas_;
   std::vector<HealthTransition> transitions_;
+  BusSink sink_;
 };
 
 }  // namespace sccft::ft

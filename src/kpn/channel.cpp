@@ -6,7 +6,11 @@ namespace sccft::kpn {
 
 FifoChannel::FifoChannel(sim::Simulator& sim, std::string name, rtc::Tokens capacity,
                          std::optional<LinkModel> link)
-    : sim_(sim), name_(std::move(name)), capacity_(capacity), link_(std::move(link)) {
+    : sim_(sim),
+      name_(std::move(name)),
+      subject_(sim.trace().intern(name_)),
+      capacity_(capacity),
+      link_(std::move(link)) {
   SCCFT_EXPECTS(capacity_ > 0);
   if (link_) {
     SCCFT_EXPECTS(link_->noc != nullptr);
@@ -20,6 +24,8 @@ std::optional<Token> FifoChannel::try_read() {
   Token token = std::move(queue_.front().token);
   queue_.pop_front();
   ++stats_.tokens_read;
+  SCCFT_TRACE(sim_.trace(), trace::EventKind::kDequeue, subject_, sim_.now(),
+              static_cast<std::int64_t>(token.seq()), fill());
   wake_writer();
   return token;
 }
@@ -28,6 +34,7 @@ void FifoChannel::await_readable(std::coroutine_handle<> reader) {
   SCCFT_EXPECTS(!waiting_reader_);
   waiting_reader_ = reader;
   ++stats_.reader_blocks;
+  SCCFT_TRACE(sim_.trace(), trace::EventKind::kReaderBlock, subject_, sim_.now());
   // If a token is already queued but still in flight, arrange a wake at its
   // availability time (its enqueue event may have fired before we waited).
   if (!queue_.empty()) {
@@ -38,6 +45,8 @@ void FifoChannel::await_readable(std::coroutine_handle<> reader) {
 bool FifoChannel::try_write(const Token& token) {
   if (fill() >= capacity_) {
     ++stats_.writer_blocks;
+    SCCFT_TRACE(sim_.trace(), trace::EventKind::kWriterBlock, subject_, sim_.now(),
+                static_cast<std::int64_t>(token.seq()));
     return false;
   }
   TimeNs available_at = sim_.now();
@@ -49,6 +58,8 @@ bool FifoChannel::try_write(const Token& token) {
       // the sender's view but the token never materializes at the reader.
       ++stats_.tokens_written;
       ++stats_.tokens_dropped;
+      SCCFT_TRACE(sim_.trace(), trace::EventKind::kTokenDrop, subject_, sim_.now(),
+                  static_cast<std::int64_t>(token.seq()));
       if (record_writes_) write_trace_.push_back(sim_.now());
       return true;
     }
@@ -57,6 +68,8 @@ bool FifoChannel::try_write(const Token& token) {
   queue_.push_back(Slot{token, available_at});
   ++stats_.tokens_written;
   stats_.max_fill = std::max(stats_.max_fill, fill());
+  SCCFT_TRACE(sim_.trace(), trace::EventKind::kEnqueue, subject_, sim_.now(),
+              static_cast<std::int64_t>(token.seq()), fill());
   if (record_writes_) write_trace_.push_back(sim_.now());
   if (waiting_reader_) wake_reader_at(available_at);
   return true;

@@ -20,6 +20,8 @@
 #include "kpn/token.hpp"
 #include "scc/noc.hpp"
 #include "sim/simulator.hpp"
+#include "trace/bus.hpp"
+#include "trace/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace sccft::kpn {
@@ -124,6 +126,22 @@ class ChannelBase {
   virtual ~ChannelBase() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual ChannelStats stats() const = 0;
+
+  /// Publishes the channel's statistics into `registry` under "<name>.*"
+  /// (gauge "<name>.max_fill", counters for the traffic totals). Channels
+  /// with per-interface bookkeeping (replicator, selector) extend this with
+  /// their per-queue/per-side metrics — the registry is how the experiment
+  /// harness harvests Table 2 without reaching into channel internals.
+  virtual void publish_metrics(trace::MetricsRegistry& registry) const {
+    const ChannelStats s = stats();
+    const std::string prefix = name();
+    registry.gauge_max(prefix + ".max_fill", s.max_fill);
+    registry.add(prefix + ".tokens_written", s.tokens_written);
+    registry.add(prefix + ".tokens_read", s.tokens_read);
+    registry.add(prefix + ".tokens_dropped", s.tokens_dropped);
+    registry.add(prefix + ".writer_blocks", s.writer_blocks);
+    registry.add(prefix + ".reader_blocks", s.reader_blocks);
+  }
 };
 
 /// Bounded, blocking, single-reader single-writer FIFO channel.
@@ -185,6 +203,7 @@ class FifoChannel final : public ChannelBase, public TokenSource, public TokenSi
 
   sim::Simulator& sim_;
   std::string name_;
+  trace::SubjectId subject_;
   rtc::Tokens capacity_;
   std::optional<LinkModel> link_;
   std::deque<Slot> queue_;

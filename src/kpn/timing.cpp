@@ -32,6 +32,10 @@ rtc::TimeNs TimingShaper::next_emission(rtc::TimeNs ready_at) {
 
 void TimingShaper::commit(rtc::TimeNs actual) {
   last_ = std::max(last_, actual);
+  if (trace_ != nullptr) {
+    SCCFT_TRACE(*trace_, trace::EventKind::kEmission, trace_subject_, actual,
+                static_cast<std::int64_t>(k_));
+  }
 }
 
 }  // namespace sccft::kpn

@@ -17,6 +17,7 @@
 
 #include "rtc/pjd.hpp"
 #include "rtc/time.hpp"
+#include "trace/bus.hpp"
 #include "util/rng.hpp"
 
 namespace sccft::kpn {
@@ -25,6 +26,15 @@ class TimingShaper final {
  public:
   /// `anchor` is the nominal time of emission 0.
   TimingShaper(rtc::PJD model, rtc::TimeNs anchor, util::Xoshiro256& rng);
+
+  /// Attaches the shaper to a trace bus: every commit() emits a kEmission
+  /// event under `subject`, so conformance of the shaped stream can be
+  /// audited offline against the PJD curves. Optional; pass nullptr to
+  /// detach.
+  void bind_trace(trace::TraceBus* bus, trace::SubjectId subject) {
+    trace_ = bus;
+    trace_subject_ = subject;
+  }
 
   /// Returns the emission time for the next token, given the earliest time
   /// the process could emit it (`ready_at`, usually now()). Monotone
@@ -43,6 +53,8 @@ class TimingShaper final {
   rtc::PJD model_;
   rtc::TimeNs anchor_;
   util::Xoshiro256& rng_;
+  trace::TraceBus* trace_ = nullptr;
+  trace::SubjectId trace_subject_ = 0;
   std::uint64_t k_ = 0;
   rtc::TimeNs last_ = -1;
 };

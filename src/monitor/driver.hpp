@@ -1,7 +1,11 @@
 // Glue for running baseline monitors inside a simulated process network:
-// a transparent tap that feeds token events to a monitor, and a polling
+// a trace-bus bridge that feeds token events to a monitor, and a polling
 // process body that drives the monitor's timer (the runtime-timer cost our
 // framework avoids).
+//
+// Monitors used to be attached by wrapping a channel interface in a tap;
+// with the trace spine they simply subscribe to the channel's enqueue or
+// dequeue events — observation without touching the data path at all.
 #pragma once
 
 #include <optional>
@@ -10,57 +14,39 @@
 #include "kpn/process.hpp"
 #include "monitor/activation_monitor.hpp"
 #include "sim/task.hpp"
+#include "trace/bus.hpp"
 
 namespace sccft::monitor {
 
-/// Wraps a TokenSource; every successful read is reported to the monitor as
-/// an activation (used to observe a replica's consumption stream).
-class TapSource final : public kpn::TokenSource {
+/// Feeds every matching trace event of one subject to an ActivationMonitor
+/// as an activation. Watch a channel's kDequeue events to observe a
+/// replica's consumption stream, or kEnqueue for its production stream.
+/// Subscribes on construction, unsubscribes on destruction; `bus` must
+/// outlive the bridge. Multiple bridges on the same subject are dispatched
+/// in subscription order.
+class ActivationBridge final : public trace::Sink {
  public:
-  TapSource(kpn::TokenSource& inner, ActivationMonitor& monitor, sim::Simulator& sim)
-      : inner_(inner), monitor_(monitor), sim_(sim) {}
+  ActivationBridge(trace::TraceBus& bus, trace::SubjectId subject,
+                   ActivationMonitor& monitor,
+                   trace::EventKind kind = trace::EventKind::kDequeue)
+      : bus_(bus), subject_(subject), kind_(kind), monitor_(monitor) {
+    bus_.subscribe(this, trace::bit(kind_));
+  }
+  ~ActivationBridge() override { bus_.unsubscribe(this); }
 
-  [[nodiscard]] std::optional<kpn::Token> try_read() override {
-    auto token = inner_.try_read();
-    if (token) (void)monitor_.on_event(sim_.now());
-    return token;
-  }
-  void await_readable(std::coroutine_handle<> reader) override {
-    inner_.await_readable(reader);
-  }
-  [[nodiscard]] std::string source_name() const override {
-    return inner_.source_name() + "+tap";
+  ActivationBridge(const ActivationBridge&) = delete;
+  ActivationBridge& operator=(const ActivationBridge&) = delete;
+
+  void on_event(const trace::Event& event) override {
+    if (event.subject != subject_ || event.kind != kind_) return;
+    (void)monitor_.on_event(event.time);
   }
 
  private:
-  kpn::TokenSource& inner_;
+  trace::TraceBus& bus_;
+  trace::SubjectId subject_;
+  trace::EventKind kind_;
   ActivationMonitor& monitor_;
-  sim::Simulator& sim_;
-};
-
-/// Wraps a TokenSink; every accepted write is reported as an activation
-/// (used to observe a replica's production stream).
-class TapSink final : public kpn::TokenSink {
- public:
-  TapSink(kpn::TokenSink& inner, ActivationMonitor& monitor, sim::Simulator& sim)
-      : inner_(inner), monitor_(monitor), sim_(sim) {}
-
-  [[nodiscard]] bool try_write(const kpn::Token& token) override {
-    const bool accepted = inner_.try_write(token);
-    if (accepted) (void)monitor_.on_event(sim_.now());
-    return accepted;
-  }
-  void await_writable(std::coroutine_handle<> writer) override {
-    inner_.await_writable(writer);
-  }
-  [[nodiscard]] std::string sink_name() const override {
-    return inner_.sink_name() + "+tap";
-  }
-
- private:
-  kpn::TokenSink& inner_;
-  ActivationMonitor& monitor_;
-  sim::Simulator& sim_;
 };
 
 /// Process body that fires the monitor's poll() every `interval` until a

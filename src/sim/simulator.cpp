@@ -6,9 +6,13 @@
 
 namespace sccft::sim {
 
+Simulator::Simulator() : trace_subject_(trace_.intern("sim")) {}
+
 void Simulator::schedule_at(TimeNs t, Callback cb) {
   SCCFT_EXPECTS(t >= now_);
   SCCFT_EXPECTS(cb != nullptr);
+  SCCFT_TRACE(trace_, trace::EventKind::kSimSchedule, trace_subject_, now_, t,
+              static_cast<std::int64_t>(next_seq_));
   queue_.push(Event{t, next_seq_++, std::move(cb)});
 }
 
@@ -24,6 +28,8 @@ void Simulator::dispatch_one() {
   SCCFT_ASSERT(event.time >= now_);
   now_ = event.time;
   ++events_processed_;
+  SCCFT_TRACE(trace_, trace::EventKind::kSimDispatch, trace_subject_, now_,
+              static_cast<std::int64_t>(event.seq));
   event.cb();
 }
 

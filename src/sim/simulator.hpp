@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "rtc/time.hpp"
+#include "trace/bus.hpp"
 
 namespace sccft::sim {
 
@@ -22,9 +23,14 @@ class Simulator final {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The simulation's trace spine: every layer built on this simulator emits
+  /// its events here and publishes its metrics into trace().metrics().
+  [[nodiscard]] trace::TraceBus& trace() { return trace_; }
+  [[nodiscard]] const trace::TraceBus& trace() const { return trace_; }
 
   /// Current simulated time. Starts at 0.
   [[nodiscard]] TimeNs now() const { return now_; }
@@ -69,6 +75,8 @@ class Simulator final {
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  trace::TraceBus trace_;
+  trace::SubjectId trace_subject_ = 0;
 };
 
 }  // namespace sccft::sim

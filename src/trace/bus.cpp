@@ -1,0 +1,89 @@
+#include "trace/bus.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sccft::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSimSchedule: return "sim-schedule";
+    case EventKind::kSimDispatch: return "sim-dispatch";
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kDequeue: return "dequeue";
+    case EventKind::kTokenDrop: return "token-drop";
+    case EventKind::kWriterBlock: return "writer-block";
+    case EventKind::kReaderBlock: return "reader-block";
+    case EventKind::kQueueLevel: return "queue-level";
+    case EventKind::kEmission: return "emission";
+    case EventKind::kDetection: return "detection";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kInjection: return "injection";
+    case EventKind::kFreeze: return "freeze";
+    case EventKind::kUnfreeze: return "unfreeze";
+    case EventKind::kReintegrate: return "reintegrate";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kHealthTransition: return "health-transition";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+TraceBus::TraceBus() {
+  subjects_.emplace_back();  // SubjectId 0: the empty subject
+  subject_index_.emplace(std::string(), 0);
+}
+
+SubjectId TraceBus::intern(std::string_view name) {
+  if (const auto it = subject_index_.find(std::string(name));
+      it != subject_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<SubjectId>(subjects_.size());
+  subjects_.emplace_back(name);
+  subject_index_.emplace(subjects_.back(), id);
+  return id;
+}
+
+const std::string& TraceBus::subject_name(SubjectId id) const {
+  SCCFT_EXPECTS(id < subjects_.size());
+  return subjects_[id];
+}
+
+void TraceBus::subscribe(Sink* sink, std::uint32_t mask) {
+  SCCFT_EXPECTS(sink != nullptr);
+  for (auto& subscriber : subscribers_) {
+    if (subscriber.sink == sink) {
+      subscriber.mask = mask;
+      recompute_mask();
+      return;
+    }
+  }
+  subscribers_.push_back(Subscriber{sink, mask});
+  recompute_mask();
+}
+
+void TraceBus::unsubscribe(Sink* sink) {
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [sink](const Subscriber& s) { return s.sink == sink; }),
+      subscribers_.end());
+  recompute_mask();
+}
+
+void TraceBus::recompute_mask() {
+  active_mask_ = 0;
+  for (const auto& subscriber : subscribers_) active_mask_ |= subscriber.mask;
+}
+
+void TraceBus::dispatch(const Event& event) {
+  const std::uint32_t kind_bit = bit(event.kind);
+  // Index loop: a sink's on_event may emit further (nested) events but must
+  // not subscribe/unsubscribe, so indices stay valid.
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    if ((subscribers_[i].mask & kind_bit) != 0) subscribers_[i].sink->on_event(event);
+  }
+}
+
+}  // namespace sccft::trace

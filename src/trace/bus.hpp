@@ -1,0 +1,102 @@
+// The trace bus: one audited code path for every observation the framework
+// makes about itself.
+//
+// Design goals, in priority order:
+//
+//  1. Near-zero cost when nobody listens. emit() is a single load + AND +
+//     branch against the OR of all subscriber masks; with no subscribers the
+//     entire data-path firehose costs one predictable branch per call site.
+//     Defining SCCFT_TRACE_COMPILED_OUT removes even that (macro below).
+//  2. Deterministic. Emission is passive: dispatch never schedules simulator
+//     events, never draws randomness, and subject interning is insertion-
+//     ordered — identical runs produce byte-identical event streams.
+//  3. Synchronous. Sinks see an event inside the emitting call, in
+//     subscription order, so behavioural subscribers (the supervisor, the
+//     detection log, monitor bridges) observe verdicts at exactly the
+//     instant the legacy observer callbacks did.
+//
+// The bus also owns the MetricsRegistry (trace/metrics.hpp) — the always-on
+// counter/series store the experiment harvests read — so "the trace spine"
+// is one object hanging off the Simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/metrics.hpp"
+
+namespace sccft::trace {
+
+/// A trace-event consumer. on_event must be passive with respect to the
+/// simulation (no scheduling, no RNG) and must not (un)subscribe sinks.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+class TraceBus final {
+ public:
+  TraceBus();
+  TraceBus(const TraceBus&) = delete;
+  TraceBus& operator=(const TraceBus&) = delete;
+
+  /// Returns a stable id for `name`, creating it on first use. Ids are
+  /// assigned in insertion order (determinism), and interning the same name
+  /// twice returns the same id.
+  [[nodiscard]] SubjectId intern(std::string_view name);
+
+  [[nodiscard]] const std::string& subject_name(SubjectId id) const;
+  [[nodiscard]] std::size_t subject_count() const { return subjects_.size(); }
+
+  /// Registers `sink` for every kind whose bit is set in `mask`. A sink may
+  /// be subscribed at most once; re-subscribing updates its mask.
+  void subscribe(Sink* sink, std::uint32_t mask = kAllEvents);
+  void unsubscribe(Sink* sink);
+
+  [[nodiscard]] bool wants(EventKind kind) const {
+    return (active_mask_ & bit(kind)) != 0;
+  }
+
+  /// The emission fast path: one branch when no sink wants `kind`.
+  void emit(EventKind kind, SubjectId subject, rtc::TimeNs time, std::int64_t a = 0,
+            std::int64_t b = 0, std::int64_t c = 0) {
+    if (wants(kind)) [[unlikely]] {
+      dispatch(Event{time, kind, subject, a, b, c});
+    }
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  void dispatch(const Event& event);
+  void recompute_mask();
+
+  struct Subscriber {
+    Sink* sink = nullptr;
+    std::uint32_t mask = 0;
+  };
+
+  std::uint32_t active_mask_ = 0;
+  std::vector<Subscriber> subscribers_;
+  std::vector<std::string> subjects_;
+  std::unordered_map<std::string, SubjectId> subject_index_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace sccft::trace
+
+/// Emission macro for high-frequency data-path events. Compiled out entirely
+/// (arguments unevaluated — keep them side-effect free) when the build
+/// defines SCCFT_TRACE_COMPILED_OUT; verdict-class events (see
+/// trace/event.hpp) are emitted via TraceBus::emit directly and survive.
+#if defined(SCCFT_TRACE_COMPILED_OUT)
+#define SCCFT_TRACE(bus, ...) ((void)0)
+#else
+#define SCCFT_TRACE(bus, ...) (bus).emit(__VA_ARGS__)
+#endif

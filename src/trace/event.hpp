@@ -1,0 +1,90 @@
+// Typed trace events: the vocabulary of the observability spine.
+//
+// Every layer of the framework reports what it does as one of these fixed
+// event kinds, stamped with *simulated* time and tagged with an interned
+// subject (a channel, a queue, a process, the supervisor...). The record is
+// a fixed-size POD so emission is a handful of stores and recording layers
+// (ring buffer, binary stream) need no allocation per event.
+//
+// Two classes of events exist, with different removal guarantees:
+//
+//  * data-path events (scheduling, enqueue/dequeue, fill levels, shaper
+//    emissions) are high-frequency and purely observational. They are
+//    emitted through the SCCFT_TRACE macro (trace/bus.hpp) and vanish
+//    entirely when the build defines SCCFT_TRACE_COMPILED_OUT.
+//  * verdict events (detections, injections, quarantines, freezes,
+//    restarts, health transitions) are rare and *semantically load-bearing*:
+//    the supervisor, the detection log, and the monitor bridges subscribe to
+//    them. They are emitted unconditionally so behaviour is identical with
+//    tracing compiled out — only the high-frequency firehose is removable.
+#pragma once
+
+#include <cstdint>
+
+#include "rtc/time.hpp"
+
+namespace sccft::trace {
+
+/// Interned subject handle (see TraceBus::intern). 0 is the empty subject.
+using SubjectId = std::uint32_t;
+
+enum class EventKind : std::uint8_t {
+  // --- sim/ (data-path) ----------------------------------------------------
+  kSimSchedule = 0,   ///< a: scheduled time, b: event seq
+  kSimDispatch,       ///< a: event seq
+  // --- kpn/ and ft/ channel data path --------------------------------------
+  kEnqueue,           ///< a: token seq, b: fill after the enqueue
+  kDequeue,           ///< a: token seq, b: fill after the dequeue
+  kTokenDrop,         ///< a: token seq (late duplicate / NoC loss / fault drop)
+  kWriterBlock,       ///< writer found the channel full and suspended
+  kReaderBlock,       ///< reader found the channel empty and suspended
+  kQueueLevel,        ///< a: fill, b: space (virtual counters included)
+  kEmission,          ///< TimingShaper commit; a: emissions so far
+  // --- ft/ verdicts and fault lifecycle ------------------------------------
+  kDetection,         ///< a: replica index, b: detection rule
+  kQuarantine,        ///< a: replica index, b: CRC mismatches so far
+  kInjection,         ///< a: fault kind, b: replica index
+  kFreeze,            ///< a: replica index (core halt begins)
+  kUnfreeze,          ///< a: replica index (transient halt ends)
+  kReintegrate,       ///< a: replica index (recovery re-admission)
+  kRestart,           ///< a: replica index, b: restarts spent so far
+  kHealthTransition,  ///< a: replica index, b: from-health, c: to-health
+  kCount,
+};
+
+inline constexpr std::size_t kEventKindCount = static_cast<std::size_t>(EventKind::kCount);
+static_assert(kEventKindCount <= 32, "EventKind must fit a 32-bit mask");
+
+/// One bit per event kind; sinks subscribe with an OR of these.
+[[nodiscard]] constexpr std::uint32_t bit(EventKind kind) {
+  return 1u << static_cast<std::uint32_t>(kind);
+}
+
+inline constexpr std::uint32_t kAllEvents = (1u << kEventKindCount) - 1u;
+
+/// Everything except the simulator's scheduling firehose — the default mask
+/// for the flight recorder: channel traffic plus the full fault lifecycle.
+inline constexpr std::uint32_t kFlightRecorderMask =
+    kAllEvents & ~(bit(EventKind::kSimSchedule) | bit(EventKind::kSimDispatch));
+
+/// The rare, always-on fault-lifecycle events.
+inline constexpr std::uint32_t kVerdictEvents =
+    bit(EventKind::kDetection) | bit(EventKind::kQuarantine) |
+    bit(EventKind::kInjection) | bit(EventKind::kFreeze) |
+    bit(EventKind::kUnfreeze) | bit(EventKind::kReintegrate) |
+    bit(EventKind::kRestart) | bit(EventKind::kHealthTransition);
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+/// A single trace record. Interpretation of a/b/c depends on `kind` (see the
+/// EventKind comments); unused operands are 0.
+struct Event {
+  rtc::TimeNs time = 0;
+  EventKind kind = EventKind::kSimSchedule;
+  SubjectId subject = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+}  // namespace sccft::trace

@@ -1,0 +1,65 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace sccft::trace {
+
+std::int64_t Series::min() const {
+  SCCFT_EXPECTS(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+std::int64_t Series::max() const {
+  SCCFT_EXPECTS(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::int64_t Series::sum() const {
+  std::int64_t total = 0;
+  for (const auto v : samples_) total += v;
+  return total;
+}
+
+double Series::mean() const {
+  SCCFT_EXPECTS(!samples_.empty());
+  return static_cast<double>(sum()) / static_cast<double>(samples_.size());
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauge_max(name, value);
+  for (const auto& [name, series] : other.series_) series_[name].append(series);
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  series_.clear();
+}
+
+std::string MetricsRegistry::render_csv() const {
+  util::CsvWriter csv({"metric", "kind", "value"});
+  for (const auto& [name, value] : counters_) {
+    csv.add_row({name, "counter", std::to_string(value)});
+  }
+  for (const auto& [name, value] : gauges_) {
+    csv.add_row({name, "gauge", std::to_string(value)});
+  }
+  for (const auto& [name, series] : series_) {
+    if (series.empty()) {
+      csv.add_row({name, "series", "0"});
+      continue;
+    }
+    csv.add_row({name + ".count", "series", std::to_string(series.count())});
+    csv.add_row({name + ".min", "series", std::to_string(series.min())});
+    csv.add_row({name + ".mean", "series", util::format_double(series.mean(), 3)});
+    csv.add_row({name + ".max", "series", std::to_string(series.max())});
+  }
+  return csv.render();
+}
+
+}  // namespace sccft::trace

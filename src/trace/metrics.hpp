@@ -1,0 +1,108 @@
+// The metrics registry: named counters, max-gauges, and sample series.
+//
+// Unlike trace events (optional, compile-time removable), the registry is the
+// *always-on* quantitative record: channels publish their occupancy and
+// traffic totals into it, the supervisor accounts MTTR / detection latencies
+// / restarts through it, and the bench harnesses aggregate whole campaigns
+// by merging per-run registries. Everything the paper's Tables 2/3/4 report
+// flows through here, so the numbers are identical whether or not event
+// recording is compiled in.
+//
+// Determinism: storage is name-ordered (std::map), so iteration, merging,
+// and CSV rendering are reproducible byte-for-byte across identical runs.
+// References returned by counter_ref()/series_ref() are stable for the
+// registry's lifetime (node-based map), so hot paths hoist the name lookup
+// out of their loops.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sccft::trace {
+
+/// An append-only sample series (integer-valued; callers pick the unit and
+/// encode it in the metric name, e.g. "consumer.interarrival_ns").
+class Series final {
+ public:
+  void add(std::int64_t v) { samples_.push_back(v); }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<std::int64_t>& samples() const { return samples_; }
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+  [[nodiscard]] std::int64_t sum() const;
+  [[nodiscard]] double mean() const;
+
+  void append(const Series& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
+ private:
+  std::vector<std::int64_t> samples_;
+};
+
+class MetricsRegistry final {
+ public:
+  // --- writes --------------------------------------------------------------
+  /// Adds `delta` to counter `name` (creating it at 0).
+  void add(std::string name, std::uint64_t delta = 1) { counters_[std::move(name)] += delta; }
+
+  /// Raises gauge `name` to `v` if `v` exceeds its current value.
+  void gauge_max(std::string name, std::int64_t v) {
+    auto [it, inserted] = gauges_.try_emplace(std::move(name), v);
+    if (!inserted && v > it->second) it->second = v;
+  }
+
+  /// Appends `v` to series `name`.
+  void record(std::string name, std::int64_t v) { series_[std::move(name)].add(v); }
+
+  /// Stable reference for hot paths (hoist the lookup out of the loop).
+  [[nodiscard]] std::uint64_t& counter_ref(std::string name) {
+    return counters_[std::move(name)];
+  }
+  [[nodiscard]] Series& series_ref(std::string name) { return series_[std::move(name)]; }
+
+  // --- reads ---------------------------------------------------------------
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::int64_t gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+  /// nullptr when the series does not exist.
+  [[nodiscard]] const Series* find_series(const std::string& name) const {
+    const auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Series>& all_series() const { return series_; }
+
+  // --- aggregation ---------------------------------------------------------
+  /// Campaign aggregation: counters add, gauges take the max, series append
+  /// (in call order, so pooled statistics reproduce the per-run sweep).
+  void merge(const MetricsRegistry& other);
+
+  void clear();
+
+  /// Renders "name,kind,value" rows (series as count/min/mean/max), sorted by
+  /// name — the machine-readable form of a run's entire quantitative record.
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace sccft::trace

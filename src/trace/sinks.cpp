@@ -1,0 +1,190 @@
+#include "trace/sinks.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace sccft::trace {
+
+// ---- RingBufferSink --------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : ring_(capacity) {
+  SCCFT_EXPECTS(capacity > 0);
+}
+
+std::vector<Event> RingBufferSink::events() const {
+  std::vector<Event> out;
+  const std::size_t kept = next_ < ring_.size() ? static_cast<std::size_t>(next_)
+                                                : ring_.size();
+  out.reserve(kept);
+  const std::uint64_t first = next_ - kept;
+  for (std::uint64_t i = first; i < next_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+void append_event_rows(util::CsvWriter& csv, const std::vector<Event>& events,
+                       const TraceBus& bus) {
+  for (const Event& event : events) {
+    csv.add_row({std::to_string(event.time), to_string(event.kind),
+                 bus.subject_name(event.subject), std::to_string(event.a),
+                 std::to_string(event.b), std::to_string(event.c)});
+  }
+}
+
+}  // namespace
+
+std::string RingBufferSink::render_csv(const TraceBus& bus) const {
+  util::CsvWriter csv({"time_ns", "kind", "subject", "a", "b", "c"});
+  csv.add_comment("flight recorder: last " + std::to_string(events().size()) +
+                  " events (" + std::to_string(dropped()) + " older dropped)");
+  append_event_rows(csv, events(), bus);
+  return csv.render();
+}
+
+// ---- BinarySink ------------------------------------------------------------
+
+namespace {
+
+void append_le(std::string& out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+}  // namespace
+
+void BinarySink::on_event(const Event& event) {
+  append_le(data_, static_cast<std::uint64_t>(event.time), 8);
+  data_.push_back(static_cast<char>(event.kind));
+  append_le(data_, event.subject, 4);
+  append_le(data_, static_cast<std::uint64_t>(event.a), 8);
+  append_le(data_, static_cast<std::uint64_t>(event.b), 8);
+  append_le(data_, static_cast<std::uint64_t>(event.c), 8);
+  ++count_;
+}
+
+// ---- CsvSink ---------------------------------------------------------------
+
+std::string CsvSink::render() const {
+  util::CsvWriter csv({"time_ns", "kind", "subject", "a", "b", "c"});
+  append_event_rows(csv, events_, *bus_);
+  return csv.render();
+}
+
+bool CsvSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+// ---- CounterSink -----------------------------------------------------------
+
+CounterSink::CounterSink(MetricsRegistry& registry) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    counters_[k] = &registry.counter_ref(
+        std::string("trace.events.") + to_string(static_cast<EventKind>(k)));
+  }
+}
+
+// ---- VcdSink ---------------------------------------------------------------
+
+VcdSink::VcdSink(std::string scope) : vcd_(std::move(scope)) {}
+
+void VcdSink::watch_fill(SubjectId subject, const std::string& signal_name, int width) {
+  const int signal = vcd_.add_signal(signal_name, width);
+  vcd_.change(0, signal, 0);
+  fill_watches_.push_back(Watch{subject, signal});
+}
+
+void VcdSink::watch_space(SubjectId subject, const std::string& signal_name, int width) {
+  const int signal = vcd_.add_signal(signal_name, width);
+  vcd_.change(0, signal, 0);
+  space_watches_.push_back(Watch{subject, signal});
+}
+
+void VcdSink::watch_fault(int replica_index, const std::string& signal_name) {
+  const int signal = vcd_.add_signal(signal_name, 1);
+  vcd_.change(0, signal, 0);
+  fault_watches_.push_back(Watch{static_cast<SubjectId>(replica_index), signal});
+}
+
+void VcdSink::on_event(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kEnqueue:
+    case EventKind::kDequeue:
+      for (const Watch& watch : fill_watches_) {
+        if (watch.subject == event.subject) {
+          vcd_.change(event.time, watch.signal, static_cast<std::uint64_t>(event.b));
+        }
+      }
+      break;
+    case EventKind::kQueueLevel:
+      for (const Watch& watch : fill_watches_) {
+        if (watch.subject == event.subject) {
+          vcd_.change(event.time, watch.signal, static_cast<std::uint64_t>(event.a));
+        }
+      }
+      for (const Watch& watch : space_watches_) {
+        if (watch.subject == event.subject) {
+          vcd_.change(event.time, watch.signal, static_cast<std::uint64_t>(event.b));
+        }
+      }
+      break;
+    case EventKind::kDetection:
+    case EventKind::kReintegrate:
+      for (const Watch& watch : fault_watches_) {
+        if (static_cast<std::int64_t>(watch.subject) == event.a) {
+          vcd_.change(event.time, watch.signal,
+                      event.kind == EventKind::kDetection ? 1u : 0u);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+namespace {
+
+struct FlightRecorder {
+  const RingBufferSink* sink = nullptr;
+  const TraceBus* bus = nullptr;
+  std::string path;
+};
+
+FlightRecorder& flight_recorder() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void dump_flight_recorder() noexcept {
+  const FlightRecorder& recorder = flight_recorder();
+  if (recorder.sink == nullptr || recorder.bus == nullptr) return;
+  try {
+    std::ofstream out(recorder.path);
+    if (out) out << recorder.sink->render_csv(*recorder.bus);
+  } catch (...) {
+    // A failed dump must never mask the original contract violation.
+  }
+}
+
+}  // namespace
+
+void install_flight_recorder(const RingBufferSink& sink, const TraceBus& bus,
+                             std::string path) {
+  flight_recorder() = FlightRecorder{&sink, &bus, std::move(path)};
+  util::set_contract_failure_hook(&dump_flight_recorder);
+}
+
+void uninstall_flight_recorder() {
+  flight_recorder() = FlightRecorder{};
+  util::set_contract_failure_hook(nullptr);
+}
+
+}  // namespace sccft::trace

@@ -1,0 +1,145 @@
+// Pluggable trace sinks.
+//
+//  * RingBufferSink — fixed-capacity flight recorder; keeps the last N
+//    events with no allocation per event. install_flight_recorder() arranges
+//    for its contents to be dumped to a file the moment a contract violation
+//    (util/assert.hpp) fires, so every SCCFT_EXPECTS/ASSERT failure comes
+//    with the event history that led up to it.
+//  * BinarySink — fixed-layout little-endian serialization; two identical
+//    runs produce byte-identical streams (the determinism oracle, and the
+//    RepTFD-style replay log).
+//  * CsvSink — human/tool-readable rows via util/csv.hpp.
+//  * CounterSink — per-kind event counts into a MetricsRegistry.
+//  * VcdSink — change-driven waveforms via util/vcd.hpp (fill levels, space
+//    counters, fault flags), replacing the old polling VCD sampler process.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/bus.hpp"
+#include "util/vcd.hpp"
+
+namespace sccft::trace {
+
+/// Keeps the most recent `capacity` events in a preallocated ring.
+class RingBufferSink final : public Sink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+
+  void on_event(const Event& event) override {
+    ring_[next_ % ring_.size()] = event;
+    ++next_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::uint64_t total_events() const { return next_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return next_ > ring_.size() ? next_ - ring_.size() : 0;
+  }
+  /// The retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+  void clear() { next_ = 0; }
+
+  /// Renders the retained events as CSV (subject names resolved via `bus`).
+  [[nodiscard]] std::string render_csv(const TraceBus& bus) const;
+
+ private:
+  std::vector<Event> ring_;
+  std::uint64_t next_ = 0;
+};
+
+/// Serializes every event as a fixed 37-byte little-endian record:
+/// time(8) kind(1) subject(4) a(8) b(8) c(8).
+class BinarySink final : public Sink {
+ public:
+  void on_event(const Event& event) override;
+
+  [[nodiscard]] const std::string& data() const { return data_; }
+  [[nodiscard]] std::size_t event_count() const { return count_; }
+  void clear() {
+    data_.clear();
+    count_ = 0;
+  }
+
+ private:
+  std::string data_;
+  std::size_t count_ = 0;
+};
+
+/// Collects events as CSV rows: time_ns,kind,subject,a,b,c.
+class CsvSink final : public Sink {
+ public:
+  /// `bus` resolves subject names at render time; must outlive the sink's use.
+  explicit CsvSink(const TraceBus& bus) : bus_(&bus) {}
+
+  void on_event(const Event& event) override { events_.push_back(event); }
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::string render() const;
+  bool write_file(const std::string& path) const;
+  void clear() { events_.clear(); }
+
+ private:
+  const TraceBus* bus_;
+  std::vector<Event> events_;
+};
+
+/// Counts events per kind (metric "trace.events.<kind>") into a registry.
+class CounterSink final : public Sink {
+ public:
+  explicit CounterSink(MetricsRegistry& registry);
+
+  void on_event(const Event& event) override {
+    ++*counters_[static_cast<std::size_t>(event.kind)];
+  }
+
+ private:
+  std::array<std::uint64_t*, kEventKindCount> counters_{};
+};
+
+/// Change-driven VCD waveforms. Watched subjects map onto VCD signals:
+///  * watch_fill  — tracks a queue's fill level (kEnqueue/kDequeue operand b,
+///    kQueueLevel operand a);
+///  * watch_space — tracks a space counter (kQueueLevel operand b);
+///  * watch_fault — a 1-bit flag latched by kDetection and cleared by
+///    kReintegrate for the given replica index, on any subject.
+class VcdSink final : public Sink {
+ public:
+  explicit VcdSink(std::string scope);
+
+  void watch_fill(SubjectId subject, const std::string& signal_name, int width = 8);
+  void watch_space(SubjectId subject, const std::string& signal_name, int width = 8);
+  void watch_fault(int replica_index, const std::string& signal_name);
+
+  void on_event(const Event& event) override;
+
+  [[nodiscard]] std::size_t change_count() const { return vcd_.change_count(); }
+  [[nodiscard]] std::string render() const { return vcd_.render(); }
+  bool write_file(const std::string& path) const { return vcd_.write_file(path); }
+
+ private:
+  struct Watch {
+    SubjectId subject = 0;
+    int signal = -1;
+  };
+
+  util::VcdWriter vcd_;
+  std::vector<Watch> fill_watches_;
+  std::vector<Watch> space_watches_;
+  std::vector<Watch> fault_watches_;  ///< subject field holds the replica index
+};
+
+/// Arms the contract-violation hook (util/assert.hpp): when any
+/// SCCFT_EXPECTS/ENSURES/ASSERT fails, `sink`'s contents are written to
+/// `path` before the ContractViolation propagates. One recorder may be armed
+/// at a time; `sink` and `bus` must stay alive while armed.
+void install_flight_recorder(const RingBufferSink& sink, const TraceBus& bus,
+                             std::string path);
+
+/// Disarms the flight recorder (safe to call when none is armed).
+void uninstall_flight_recorder();
+
+}  // namespace sccft::trace

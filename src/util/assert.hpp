@@ -17,8 +17,23 @@ class ContractViolation final : public std::logic_error {
   explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Invoked (if set) immediately before a ContractViolation is thrown — the
+/// hook used by the trace layer's flight recorder to dump the event history
+/// leading up to the failure. Must be noexcept and must not throw.
+using ContractFailureHook = void (*)() noexcept;
+
+inline ContractFailureHook& contract_failure_hook_slot() {
+  static ContractFailureHook hook = nullptr;
+  return hook;
+}
+
+inline void set_contract_failure_hook(ContractFailureHook hook) {
+  contract_failure_hook_slot() = hook;
+}
+
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const char* file, int line) {
+  if (const auto hook = contract_failure_hook_slot(); hook != nullptr) hook();
   throw ContractViolation(std::string(kind) + " failed: `" + expr + "` at " +
                           file + ":" + std::to_string(line));
 }

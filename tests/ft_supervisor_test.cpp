@@ -159,6 +159,24 @@ TEST(Supervisor, SilenceFaultIsAutoRecoveredWithinTheAnalyticBound) {
   EXPECT_EQ(seen, (std::vector<ReplicaHealth>{ReplicaHealth::kConvicted,
                                               ReplicaHealth::kRestarting,
                                               ReplicaHealth::kHealthy}));
+
+  // The report is a view of the metrics registry — the registry's raw
+  // counters/series must agree with it field for field.
+  const auto& metrics = rig.simulator.trace().metrics();
+  EXPECT_EQ(metrics.counter("supervisor.R1.faults_seen"), report.faults_seen);
+  EXPECT_EQ(metrics.counter("supervisor.R1.restarts"),
+            static_cast<std::uint64_t>(report.restarts));
+  EXPECT_EQ(metrics.counter("supervisor.R1.detections_within_bound"),
+            report.detections_within_bound);
+  const auto* latencies = metrics.find_series("supervisor.R1.detection_latency_ns");
+  ASSERT_NE(latencies, nullptr);
+  EXPECT_EQ(latencies->samples(), report.detection_latencies);
+  const auto* repairs = metrics.find_series("supervisor.R1.repair_time_ns");
+  ASSERT_NE(repairs, nullptr);
+  EXPECT_EQ(repairs->samples(), report.repair_times);
+  // The never-suspected replica has no registry footprint beyond zeros.
+  EXPECT_EQ(metrics.counter("supervisor.R2.faults_seen"), 0u);
+  EXPECT_EQ(metrics.counter("supervisor.R2.restarts"), 0u);
 }
 
 TEST(Supervisor, RepeatedFaultsAreEachRecoveredUntilBudgetLasts) {
