@@ -6,6 +6,14 @@
 // maximum, series append in run order — and the reported numbers are read
 // back out of the merged registry, so each table cell traces to the same
 // record the run itself kept.
+//
+// Parallel execution (`--jobs N`): the per-seed runs are embarrassingly
+// parallel — each owns an isolated single-threaded Simulator — so the
+// campaign fans them out onto a worker pool and then folds the results *in
+// seed order, not completion order*. Tables, CSV exports, and seed_list
+// provenance are therefore byte-identical at any job count; `--jobs 1` is
+// the exact serial path. Per-run log output is captured per worker and
+// flushed in seed order for the same reason.
 #pragma once
 
 #include <cstdint>
@@ -15,12 +23,46 @@
 
 #include "apps/common/experiment.hpp"
 #include "trace/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace sccft::bench {
 
 inline constexpr int kRuns = 20;  // paper: "over 20 such runs"
+
+/// One campaign run's deliverables, produced on a worker thread and folded on
+/// the campaign thread in seed order.
+struct CampaignRun {
+  apps::ExperimentResult result;
+  std::string log;  ///< per-run log lines, replayed in seed order
+};
+
+/// Fans `runs` seeded experiment runs (seeds 1..runs) out onto `jobs` worker
+/// threads and returns them indexed by run (index i = seed i+1), so callers
+/// fold in seed order regardless of completion order. Run-local sinks cannot
+/// be shared across concurrent runs, hence the contract on options.
+inline std::vector<CampaignRun> run_campaign_runs(apps::ExperimentRunner& runner,
+                                                  const apps::ExperimentOptions& options,
+                                                  int runs, int jobs) {
+  SCCFT_EXPECTS(runs > 0);
+  SCCFT_EXPECTS(jobs >= 1);
+  if (jobs > 1) {
+    SCCFT_EXPECTS(options.trace_sink == nullptr);
+    SCCFT_EXPECTS(options.vcd_path.empty());
+  }
+  std::vector<CampaignRun> per_run(static_cast<std::size_t>(runs));
+  util::parallel_for_ordered(runs, jobs, [&](int i) {
+    util::ScopedLogCapture capture;
+    apps::ExperimentOptions run_options = options;
+    run_options.seed = static_cast<std::uint64_t>(i) + 1;
+    per_run[static_cast<std::size_t>(i)].result = runner.run(run_options);
+    per_run[static_cast<std::size_t>(i)].log = capture.take();
+  });
+  return per_run;
+}
 
 struct FaultCampaignResult {
   util::SampleSet replicator_latency_ms;
@@ -36,18 +78,23 @@ struct FaultCampaignResult {
   trace::MetricsRegistry merged;  ///< all runs' registries, merged
 };
 
-/// Runs `runs` fault-injection campaigns (seeds 1..runs) against `faulty`.
+/// Runs `runs` fault-injection campaigns (seeds 1..runs) against `faulty` on
+/// `jobs` worker threads. Results are folded in seed order: byte-identical
+/// at any job count.
 inline FaultCampaignResult run_fault_campaign(apps::ExperimentRunner& runner,
                                               apps::ExperimentOptions options,
                                               ft::ReplicaIndex faulty,
-                                              int runs = kRuns) {
-  FaultCampaignResult result;
+                                              int runs = kRuns, int jobs = 1) {
   options.inject_fault = true;
   options.faulty_replica = faulty;
+  const std::vector<CampaignRun> per_run = run_campaign_runs(runner, options, runs, jobs);
+
+  FaultCampaignResult result;
   for (int run = 1; run <= runs; ++run) {
-    options.seed = static_cast<std::uint64_t>(run);
-    result.seeds.push_back(options.seed);
-    const auto r = runner.run(options);
+    const CampaignRun& pr = per_run[static_cast<std::size_t>(run - 1)];
+    util::flush_captured(pr.log);
+    result.seeds.push_back(static_cast<std::uint64_t>(run));
+    const apps::ExperimentResult& r = pr.result;
     result.sizing = r.sizing;
     result.merged.merge(*r.metrics);
     if (r.false_positive) ++result.false_positives;
@@ -83,13 +130,16 @@ struct FaultFreeCampaignResult {
 /// from the merged registry.
 inline FaultFreeCampaignResult run_fault_free_campaign(apps::ExperimentRunner& runner,
                                                        apps::ExperimentOptions options,
-                                                       int runs = kRuns) {
-  FaultFreeCampaignResult result;
+                                                       int runs = kRuns, int jobs = 1) {
   options.inject_fault = false;
+  const std::vector<CampaignRun> per_run = run_campaign_runs(runner, options, runs, jobs);
+
+  FaultFreeCampaignResult result;
   for (int run = 1; run <= runs; ++run) {
-    options.seed = static_cast<std::uint64_t>(run);
-    result.seeds.push_back(options.seed);
-    const auto r = runner.run(options);
+    const CampaignRun& pr = per_run[static_cast<std::size_t>(run - 1)];
+    util::flush_captured(pr.log);
+    result.seeds.push_back(static_cast<std::uint64_t>(run));
+    const apps::ExperimentResult& r = pr.result;
     result.sizing = r.sizing;
     result.merged.merge(*r.metrics);
     if (r.any_detection) ++result.false_positives;

@@ -11,9 +11,17 @@
 //   * stream integrity    — sequence gaps, duplicates, corrupted deliveries;
 //   * recovered throughput— consumer tokens/s in the final 500 ms window.
 //
-// Output: ASCII tables plus /tmp/sccft_fault_campaign.csv; every run's RNG
-// seed appears in the table titles and the CSV header for reproducibility.
+// Output: ASCII tables plus /tmp/sccft_fault_campaign.csv (override with
+// --csv PATH); every run's RNG seed appears in the table titles and the CSV
+// header for reproducibility.
+//
+// The scenario x seed grid is embarrassingly parallel: each run owns an
+// isolated Simulator. With --jobs N the grid fans out onto N workers and the
+// per-scenario statistics are folded in (scenario, seed) order, so the table
+// and the CSV are byte-identical at any job count. Wall clock is reported on
+// stderr (stdout stays diffable across job counts).
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -26,6 +34,7 @@
 #include "kpn/network.hpp"
 #include "kpn/timing.hpp"
 #include "scc/platform.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 
 namespace sccft::bench {
@@ -264,9 +273,35 @@ std::vector<Scenario> scenarios() {
   return list;
 }
 
-int run() {
+int run(int jobs, const std::string& csv_path) {
   std::vector<std::uint64_t> seeds;
   for (int s = 1; s <= kCampaignRuns; ++s) seeds.push_back(static_cast<std::uint64_t>(s));
+
+  // Fan the whole scenario x seed grid out onto the worker pool; collect into
+  // index-addressed slots so the fold below runs in (scenario, seed) order
+  // regardless of completion order.
+  const std::vector<Scenario> scenario_list = scenarios();
+  const int grid = static_cast<int>(scenario_list.size()) * kCampaignRuns;
+  struct GridCell {
+    RunOutcome outcome;
+    std::string log;
+  };
+  std::vector<GridCell> cells(static_cast<std::size_t>(grid));
+  const auto wall_start = std::chrono::steady_clock::now();
+  util::parallel_for_ordered(grid, jobs, [&](int i) {
+    util::ScopedLogCapture capture;
+    const auto scenario_index = static_cast<std::size_t>(i / kCampaignRuns);
+    const std::uint64_t seed = seeds[static_cast<std::size_t>(i % kCampaignRuns)];
+    cells[static_cast<std::size_t>(i)].outcome =
+        run_once(scenario_list[scenario_index], seed);
+    cells[static_cast<std::size_t>(i)].log = capture.take();
+  });
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  std::cerr << "fault campaign: " << grid << " runs in "
+            << static_cast<long long>(wall.count() * 1000.0) << " ms with --jobs "
+            << jobs << "\n";
+  for (const GridCell& cell : cells) util::flush_captured(cell.log);
 
   util::Table table("Fault campaign: expanded fault model under supervision (" +
                     std::to_string(kCampaignRuns) + " runs per scenario, " +
@@ -280,14 +315,18 @@ int run() {
   csv.add_comment("fault campaign, " + std::to_string(kCampaignRuns) +
                   " runs per scenario, " + seed_list(seeds));
 
-  for (const Scenario& scenario : scenarios()) {
+  for (std::size_t s = 0; s < scenario_list.size(); ++s) {
+    const Scenario& scenario = scenario_list[s];
     int detected = 0, false_conv = 0, restarts = 0, degraded = 0;
     int gap_runs = 0, dup_runs = 0;
     std::uint64_t corrupt = 0;
     util::SampleSet latency_ms, throughput;
     rtc::TimeNs bound = 0;
-    for (std::uint64_t seed : seeds) {
-      const RunOutcome r = run_once(scenario, seed);
+    for (int run = 0; run < kCampaignRuns; ++run) {
+      const RunOutcome& r =
+          cells[s * static_cast<std::size_t>(kCampaignRuns) +
+                static_cast<std::size_t>(run)]
+              .outcome;
       bound = r.bound;
       if (scenario.targets_replica) {
         if (r.target_convicted) ++detected;
@@ -331,9 +370,10 @@ int run() {
   std::cout << "Nominal consumer throughput is 100 tok/s (10 ms period); the\n"
                "throughput column is measured over the final 500 ms, i.e. after\n"
                "recovery (or degradation to single-replica pass-through).\n\n";
-  const std::string csv_path = "/tmp/sccft_fault_campaign.csv";
   if (csv.write_file(csv_path)) {
-    std::cout << "Series written to " << csv_path << "\n";
+    // stderr, like the wall clock: the path varies across invocations while
+    // stdout must stay byte-diffable between job counts.
+    std::cerr << "Series written to " << csv_path << "\n";
   }
   return 0;
 }
@@ -341,4 +381,18 @@ int run() {
 }  // namespace
 }  // namespace sccft::bench
 
-int main() { return sccft::bench::run(); }
+int main(int argc, char** argv) {
+  sccft::util::CliParser cli("fault_campaign",
+                             "Expanded fault-model campaign under supervision");
+  sccft::util::add_jobs_flag(cli);
+  cli.add_flag("csv", "/tmp/sccft_fault_campaign.csv", "output CSV path");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage();
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  return sccft::bench::run(sccft::util::get_jobs(cli), cli.get("csv"));
+}

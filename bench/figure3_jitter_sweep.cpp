@@ -11,10 +11,14 @@
 
 #include "apps/adpcm/app.hpp"
 #include "bench/campaign.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sccft;
+  const int jobs = util::parse_jobs_or_exit(
+      argc, argv, "figure3_jitter_sweep",
+      "Detection latency vs. replica-2 jitter (20-run campaigns per point)");
   util::Table table(
       "Figure 3: detection latency vs. replica-2 jitter (ADPCM rate, 20 runs/point)");
   table.set_header({"J2 (ms)", "D", "|R2|", "Replicator bound", "Selector bound",
@@ -31,8 +35,8 @@ int main() {
     apps::ExperimentOptions options;
     options.run_periods = 260;
     options.fault_after_periods = 160;
-    const auto campaign =
-        bench::run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica2);
+    const auto campaign = bench::run_fault_campaign(
+        runner, options, ft::ReplicaIndex::kReplica2, bench::kRuns, jobs);
 
     const auto& sizing = campaign.sizing;
     const double mean =

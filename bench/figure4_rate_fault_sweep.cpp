@@ -11,10 +11,14 @@
 
 #include "apps/adpcm/app.hpp"
 #include "bench/campaign.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sccft;
+  const int jobs = util::parse_jobs_or_exit(
+      argc, argv, "figure4_rate_fault_sweep",
+      "Detection latency vs. rate-fault severity (20-run campaigns per point)");
   apps::ExperimentRunner runner(apps::adpcm::make_application());
 
   const auto& timing = runner.app().timing;
@@ -39,8 +43,8 @@ int main() {
     options.fault_after_periods = 150;
     options.fault_mode = ft::FaultMode::kRateDegradation;
     options.rate_factor = factor;
-    const auto campaign =
-        bench::run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica1);
+    const auto campaign = bench::run_fault_campaign(
+        runner, options, ft::ReplicaIndex::kReplica1, bench::kRuns, jobs);
 
     const bool have = !campaign.first_latency_ms.empty();
     table.add_row(

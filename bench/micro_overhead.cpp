@@ -11,16 +11,23 @@
 // spine's end-to-end cost: a full MJPEG experiment run with a ring-buffer
 // flight recorder subscribed must stay within 2% of the untraced wall time,
 // and must produce the identical output stream.
+//
+// Run with --check-parallel-campaign (no google-benchmark) to gate campaign
+// determinism: the same MJPEG fault campaign executed at --jobs 1 and at
+// --jobs 4 must produce byte-identical merged metrics registries, seeds, and
+// latency samples; the measured wall-clock speedup is reported.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <string_view>
+#include <thread>
 
 #include "apps/mjpeg/app.hpp"
 #include "apps/common/experiment.hpp"
 #include "apps/common/generators.hpp"
+#include "bench/campaign.hpp"
 #include "apps/mjpeg/jpeg_codec.hpp"
 #include "ft/nreplica.hpp"
 #include "ft/replicator.hpp"
@@ -279,12 +286,81 @@ int check_trace_overhead() {
   return 0;
 }
 
+// --- parallel-campaign determinism gate ------------------------------------
+
+/// Gate: the identical MJPEG fault campaign run at --jobs 1 and --jobs 4 must
+/// fold to byte-identical results (merged registry CSV, seed provenance,
+/// detection-latency samples). Speedup is reported but not gated: on a
+/// single-core CI runner the parallel path can only tie.
+int check_parallel_campaign() {
+  apps::ExperimentRunner runner(apps::mjpeg::make_application());
+  apps::ExperimentOptions options;
+  options.run_periods = 240;
+  options.fault_after_periods = 150;
+  constexpr int kCampaignRuns = 8;
+
+  // Warm-up run populates the runner's shared payload/transform caches so the
+  // two timed campaigns below start from the same cache state.
+  {
+    apps::ExperimentOptions warm = options;
+    warm.seed = 1;
+    (void)runner.run(warm);
+  }
+
+  const auto timed_campaign = [&](int jobs, double* seconds) {
+    const auto start = std::chrono::steady_clock::now();
+    auto campaign = bench::run_fault_campaign(runner, options,
+                                              ft::ReplicaIndex::kReplica1,
+                                              kCampaignRuns, jobs);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    *seconds = elapsed.count();
+    return campaign;
+  };
+
+  double serial_s = 0.0, parallel_s = 0.0;
+  const auto serial = timed_campaign(1, &serial_s);
+  const auto parallel = timed_campaign(4, &parallel_s);
+
+  std::cout << "parallel campaign gate: " << kCampaignRuns << " runs, --jobs 1 in "
+            << static_cast<long long>(serial_s * 1e3) << " ms, --jobs 4 in "
+            << static_cast<long long>(parallel_s * 1e3) << " ms (speedup "
+            << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0) << "x, "
+            << std::thread::hardware_concurrency() << " hardware threads)\n";
+
+  bool ok = true;
+  if (serial.seeds != parallel.seeds) {
+    std::cout << "FAIL: seed provenance differs between job counts\n";
+    ok = false;
+  }
+  if (serial.first_latency_ms.samples() != parallel.first_latency_ms.samples()) {
+    std::cout << "FAIL: detection-latency samples differ between job counts\n";
+    ok = false;
+  }
+  if (serial.detected != parallel.detected ||
+      serial.false_positives != parallel.false_positives ||
+      serial.correct_replica != parallel.correct_replica) {
+    std::cout << "FAIL: detection tallies differ between job counts\n";
+    ok = false;
+  }
+  if (serial.merged.render_csv() != parallel.merged.render_csv()) {
+    std::cout << "FAIL: merged metrics registries are not byte-identical\n";
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::cout << "PASS: campaign results byte-identical at --jobs 1 and --jobs 4\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--check-trace-overhead") {
       return check_trace_overhead();
+    }
+    if (std::string_view(argv[i]) == "--check-parallel-campaign") {
+      return check_parallel_campaign();
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,8 +1,11 @@
 // Regenerates the paper's Table 2, ADPCM application block.
 #include "apps/adpcm/app.hpp"
 #include "bench/table2_common.hpp"
+#include "util/cli.hpp"
 
-int main() {
-  sccft::bench::run_table2(sccft::apps::adpcm::make_application());
+int main(int argc, char** argv) {
+  const int jobs = sccft::util::parse_jobs_or_exit(
+      argc, argv, "table2_adpcm", "Paper Table 2, ADPCM block (20-run campaigns)");
+  sccft::bench::run_table2(sccft::apps::adpcm::make_application(), jobs);
   return 0;
 }

@@ -6,6 +6,7 @@
 // registry is also exported as CSV so the table can be re-derived offline.
 #pragma once
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 
@@ -22,7 +23,7 @@ inline bool write_metrics_csv(const trace::MetricsRegistry& registry,
   return static_cast<bool>(out);
 }
 
-inline void run_table2(apps::ApplicationSpec app) {
+inline void run_table2(apps::ApplicationSpec app, int jobs = 1) {
   apps::ExperimentRunner runner(std::move(app));
   const auto& name = runner.app().name;
 
@@ -30,17 +31,27 @@ inline void run_table2(apps::ApplicationSpec app) {
   options.run_periods = 240;
   options.fault_after_periods = 150;
 
+  const auto wall_start = std::chrono::steady_clock::now();
+
   // --- fault-free campaign: fills + duplicated inter-arrival timings -------
-  auto dup_free = run_fault_free_campaign(runner, options);
+  auto dup_free = run_fault_free_campaign(runner, options, kRuns, jobs);
 
   // --- reference network: inter-arrival timings -----------------------------
   auto ref_options = options;
   ref_options.duplicated = false;
-  auto ref_free = run_fault_free_campaign(runner, ref_options);
+  auto ref_free = run_fault_free_campaign(runner, ref_options, kRuns, jobs);
 
   // --- fault campaigns: each replica faulty, 20 runs each -------------------
-  auto fault1 = run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica1);
-  auto fault2 = run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica2);
+  auto fault1 = run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica1, kRuns, jobs);
+  auto fault2 = run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica2, kRuns, jobs);
+
+  // Wall clock goes to stderr: stdout (tables + CSV paths) must stay
+  // byte-identical across --jobs values for the determinism diff lane.
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  std::cerr << "table2 " << name << ": 4 campaigns x " << kRuns << " runs in "
+            << static_cast<long long>(wall.count() * 1000.0) << " ms with --jobs "
+            << jobs << "\n";
   util::SampleSet rep_lat = fault1.replicator_latency_ms;
   for (double v : fault2.replicator_latency_ms.samples()) rep_lat.add(v);
   util::SampleSet sel_lat = fault1.selector_latency_ms;

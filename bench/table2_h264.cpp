@@ -2,8 +2,11 @@
 // application but omitted the numbers "due to space constraints").
 #include "apps/h264/app.hpp"
 #include "bench/table2_common.hpp"
+#include "util/cli.hpp"
 
-int main() {
-  sccft::bench::run_table2(sccft::apps::h264::make_application());
+int main(int argc, char** argv) {
+  const int jobs = sccft::util::parse_jobs_or_exit(
+      argc, argv, "table2_h264", "Table 2 analog, H.264 block (20-run campaigns)");
+  sccft::bench::run_table2(sccft::apps::h264::make_application(), jobs);
   return 0;
 }

@@ -1,8 +1,11 @@
 // Regenerates the paper's Table 2, MJPEG decoder block.
 #include "apps/mjpeg/app.hpp"
 #include "bench/table2_common.hpp"
+#include "util/cli.hpp"
 
-int main() {
-  sccft::bench::run_table2(sccft::apps::mjpeg::make_application());
+int main(int argc, char** argv) {
+  const int jobs = sccft::util::parse_jobs_or_exit(
+      argc, argv, "table2_mjpeg", "Paper Table 2, MJPEG block (20-run campaigns)");
+  sccft::bench::run_table2(sccft::apps::mjpeg::make_application(), jobs);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "apps/h264/app.hpp"
 #include "apps/mjpeg/app.hpp"
 #include "bench/campaign.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -23,7 +24,7 @@ struct Row {
   util::SampleSet ours, distance, watchdog;
 };
 
-Row run_app(apps::ApplicationSpec app) {
+Row run_app(apps::ApplicationSpec app, int jobs) {
   Row row;
   row.name = app.name;
   apps::ExperimentRunner runner(apps::minimize_replica_jitter(std::move(app)));
@@ -35,8 +36,8 @@ Row run_app(apps::ApplicationSpec app) {
   options.monitor_polling_interval = rtc::from_ms(1.0);
   options.monitor_history_l = 1;
 
-  const auto campaign =
-      bench::run_fault_campaign(runner, options, ft::ReplicaIndex::kReplica1);
+  const auto campaign = bench::run_fault_campaign(
+      runner, options, ft::ReplicaIndex::kReplica1, bench::kRuns, jobs);
   row.ours = campaign.first_latency_ms;
   row.distance = campaign.distance_latency_ms;
   row.watchdog = campaign.watchdog_latency_ms;
@@ -49,7 +50,10 @@ std::string cell(const util::SampleSet& set, double (util::SampleSet::*fn)() con
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = util::parse_jobs_or_exit(
+      argc, argv, "table3_comparison",
+      "Paper Table 3: detection latency vs. polled baselines (20-run campaigns)");
   util::Table table(
       "Table 3: Fault-detection latency (ms) — our approach vs. distance-function "
       "baseline (1 ms polling, l=1, replica jitters minimized; 20 runs)");
@@ -58,7 +62,7 @@ int main() {
 
   for (auto app : {apps::mjpeg::make_application(), apps::adpcm::make_application(),
                    apps::h264::make_application()}) {
-    const Row row = run_app(std::move(app));
+    const Row row = run_app(std::move(app), jobs);
     table.add_row({row.name, cell(row.ours, &util::SampleSet::max),
                    cell(row.ours, &util::SampleSet::min),
                    cell(row.ours, &util::SampleSet::mean),

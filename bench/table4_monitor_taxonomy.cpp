@@ -16,12 +16,17 @@
 //   distance-func   — Neukirchner-style l-repetitive monitor (paper's [11]);
 //   watchdog        — timeout P + J (sound) / timeout P (naive variant);
 //   statistical     — EWMA mean + k*sigma (the "inexact" class, papers [4,5]).
+#include <array>
 #include <iostream>
+#include <vector>
 
 #include "kpn/timing.hpp"
 #include "monitor/distance_function.hpp"
 #include "monitor/statistical.hpp"
 #include "monitor/watchdog.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -78,12 +83,26 @@ std::string stats_cell(const util::SampleSet& set) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = util::parse_jobs_or_exit(
+      argc, argv, "table4_monitor_taxonomy",
+      "Table 4 extension: monitor taxonomy under legal bursty jitter (20 trials)");
   const rtc::PJD model = rtc::PJD::from_ms(10, 20, 0);  // legal bursty stream
   constexpr int kTrials = 20;
+  constexpr int kMonitors = 6;
 
-  Outcome curve_based, distance, watchdog_sound, watchdog_naive, stat_tight, stat_safe;
-  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+  // Each trial is independent (own RNG seeded 1..kTrials), so the seed loop
+  // fans out across --jobs workers; per-seed partial Outcomes are folded in
+  // seed order below, keeping the table byte-identical at any job count.
+  struct Trial {
+    std::array<Outcome, kMonitors> outcomes;
+    std::string log;
+  };
+  std::vector<Trial> trials(kTrials);
+  util::parallel_for_ordered(kTrials, jobs, [&](int i) {
+    util::ScopedLogCapture capture;
+    const std::uint64_t seed = static_cast<std::uint64_t>(i) + 1;
+    Trial& trial = trials[static_cast<std::size_t>(i)];
     {
       // Arrival-curve envelope monitor: silence convicted once the gap
       // exceeds the eta- bound J + P — the same information our selector's
@@ -91,46 +110,67 @@ int main() {
       monitor::DistanceFunctionMonitor m(
           {.model = model, .l = 1, .polling_interval = from_ms(1.0),
            .fail_silent_only = true});
-      run_trial(m, model, seed, curve_based);
-      curve_based.timers = 0;  // in-framework form needs none (counters only)
+      run_trial(m, model, seed, trial.outcomes[0]);
+      trial.outcomes[0].timers = 0;  // in-framework form needs none (counters only)
     }
     {
       monitor::DistanceFunctionMonitor m(
           {.model = model, .l = 3, .polling_interval = from_ms(1.0),
            .fail_silent_only = true});
-      run_trial(m, model, seed, distance);
-      distance.timers = m.timers_required();
+      run_trial(m, model, seed, trial.outcomes[1]);
+      trial.outcomes[1].timers = m.timers_required();
     }
     {
       monitor::WatchdogMonitor m(
           {.timeout = monitor::WatchdogMonitor::sound_timeout(model),
            .polling_interval = from_ms(1.0)});
-      run_trial(m, model, seed, watchdog_sound);
-      watchdog_sound.timers = m.timers_required();
+      run_trial(m, model, seed, trial.outcomes[2]);
+      trial.outcomes[2].timers = m.timers_required();
     }
     {
       monitor::WatchdogMonitor m({.timeout = model.period,  // naive: timeout = P
                                   .polling_interval = from_ms(1.0)});
-      run_trial(m, model, seed, watchdog_naive);
-      watchdog_naive.timers = m.timers_required();
+      run_trial(m, model, seed, trial.outcomes[3]);
+      trial.outcomes[3].timers = m.timers_required();
     }
     {
       monitor::StatisticalMonitor m({.sigma_threshold = 1.5,
                                      .ewma_alpha = 0.1,
                                      .warmup_events = 10,
                                      .polling_interval = from_ms(1.0)});
-      run_trial(m, model, seed, stat_tight);
-      stat_tight.timers = m.timers_required();
+      run_trial(m, model, seed, trial.outcomes[4]);
+      trial.outcomes[4].timers = m.timers_required();
     }
     {
       monitor::StatisticalMonitor m({.sigma_threshold = 6.0,
                                      .ewma_alpha = 0.1,
                                      .warmup_events = 10,
                                      .polling_interval = from_ms(1.0)});
-      run_trial(m, model, seed, stat_safe);
-      stat_safe.timers = m.timers_required();
+      run_trial(m, model, seed, trial.outcomes[5]);
+      trial.outcomes[5].timers = m.timers_required();
+    }
+    trial.log = capture.take();
+  });
+
+  std::array<Outcome, kMonitors> merged;
+  for (const Trial& trial : trials) {
+    util::flush_captured(trial.log);
+    for (int m = 0; m < kMonitors; ++m) {
+      const Outcome& partial = trial.outcomes[static_cast<std::size_t>(m)];
+      Outcome& total = merged[static_cast<std::size_t>(m)];
+      total.false_positives += partial.false_positives;
+      for (const double sample : partial.latency_ms.samples()) {
+        total.latency_ms.add(sample);
+      }
+      total.timers = partial.timers;
     }
   }
+  const Outcome& curve_based = merged[0];
+  const Outcome& distance = merged[1];
+  const Outcome& watchdog_sound = merged[2];
+  const Outcome& watchdog_naive = merged[3];
+  const Outcome& stat_tight = merged[4];
+  const Outcome& stat_safe = merged[5];
 
   util::Table table(
       "Table 4 (extension): detection approaches under legal bursty jitter "

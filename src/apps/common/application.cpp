@@ -40,11 +40,17 @@ SharedBytes TransformCache::apply(const std::function<Bytes(BytesView)>& fn,
                                   BytesView input) {
   SCCFT_EXPECTS(fn != nullptr);
   const auto key = std::make_pair(util::crc32(input), input.size());
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Miss: transform outside the lock so concurrent workers are never
+  // serialized on an expensive encode/decode. First insert wins; any racing
+  // computation produced the same bytes.
   auto result = std::make_shared<const Bytes>(fn(input));
-  cache_.emplace(key, result);
-  return result;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.emplace(key, std::move(result)).first->second;
 }
 
 }  // namespace sccft::apps

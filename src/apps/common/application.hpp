@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -73,6 +74,11 @@ struct ApplicationSpec {
 /// (tag, input checksum, input size). The replicas and the reference network
 /// transform identical inputs (the network is determinate), so memoization
 /// changes wall-clock cost only, never results.
+///
+/// Thread-safe: parallel campaign workers share one cache. Transforms run
+/// outside the lock (concurrent misses may compute the same entry twice; the
+/// first insert wins), which is harmless because the transform is a pure
+/// function of the input — every computed value for a key is identical.
 class TransformCache final {
  public:
   explicit TransformCache(std::string tag) : tag_(std::move(tag)) {}
@@ -80,10 +86,14 @@ class TransformCache final {
   [[nodiscard]] SharedBytes apply(const std::function<Bytes(BytesView)>& fn,
                                   BytesView input);
 
-  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+  }
 
  private:
   std::string tag_;
+  mutable std::mutex mutex_;
   std::map<std::pair<std::uint32_t, std::size_t>, SharedBytes> cache_;
 };
 

@@ -34,13 +34,21 @@ constexpr rtc::Tokens kInternalFifoCapacity = 4;
 ExperimentRunner::ExperimentRunner(ApplicationSpec app) : app_(std::move(app)) {
   SCCFT_EXPECTS(app_.make_input != nullptr);
   SCCFT_EXPECTS(app_.input_cycle > 0);
+  // Size the payload cache up front: the vector never reallocates, so slot
+  // references handed to concurrent runs stay valid.
+  input_cache_.resize(app_.input_cycle);
 }
 
 const kpn::Token& ExperimentRunner::input_token(std::uint64_t index) {
   const std::uint64_t slot = index % app_.input_cycle;
-  if (input_cache_.size() <= slot) input_cache_.resize(app_.input_cycle);
+  std::unique_lock<std::mutex> lock(input_mutex_);
   if (!input_cache_[slot].valid()) {
-    input_cache_[slot] = kpn::Token(app_.make_input(slot), slot, 0);
+    // Generate outside the lock (make_input is pure and deterministic, so a
+    // racing worker computes the identical token; first write wins).
+    lock.unlock();
+    kpn::Token token(app_.make_input(slot), slot, 0);
+    lock.lock();
+    if (!input_cache_[slot].valid()) input_cache_[slot] = std::move(token);
   }
   return input_cache_[slot];
 }
@@ -361,12 +369,19 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                 co_await ctx.compute(rtc::from_us(200));
                 const auto key = std::make_pair(top.checksum(), bottom.checksum());
                 SharedBytes merged;
-                if (const auto it = merge_cache_.find(key); it != merge_cache_.end()) {
-                  merged = it->second;
-                } else {
+                {
+                  const std::lock_guard<std::mutex> lock(merge_mutex_);
+                  if (const auto it = merge_cache_.find(key); it != merge_cache_.end()) {
+                    merged = it->second;
+                  }
+                }
+                if (!merged) {
+                  // Merge outside the lock; first insert wins (the merge is a
+                  // pure function of the two payloads).
                   merged = std::make_shared<const Bytes>(
                       app_.merge(top.payload(), bottom.payload()));
-                  merge_cache_.emplace(key, merged);
+                  const std::lock_guard<std::mutex> lock(merge_mutex_);
+                  merged = merge_cache_.emplace(key, std::move(merged)).first->second;
                 }
                 rtc::TimeNs target = emit.next_emission(ctx.now());
                 if (ctx.fault().rate_factor > 1.0 && last_emit >= 0) {

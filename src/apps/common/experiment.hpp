@@ -6,8 +6,12 @@
 // baseline-monitor detection latencies.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/common/application.hpp"
@@ -99,6 +103,15 @@ struct ExperimentResult {
 
 /// Reusable runner: payload/transform caches persist across runs, so 20-run
 /// campaigns do each distinct encode/decode once.
+///
+/// run() is re-entrant: every run owns an isolated single-threaded Simulator,
+/// network, and metrics registry, so parallel campaign workers may call run()
+/// concurrently on one runner. The only cross-run state is the memoization
+/// caches, which are internally synchronized and deterministic (pure
+/// functions of the input — see TransformCache). Run-local trace sinks
+/// (options.trace_sink, vcd_path) stay run-local; sharing one sink object
+/// across concurrent runs is a caller bug (the TraceBus owner-thread
+/// contract catches cross-thread subscription).
 class ExperimentRunner final {
  public:
   explicit ExperimentRunner(ApplicationSpec app);
@@ -114,13 +127,18 @@ class ExperimentRunner final {
   const kpn::Token& input_token(std::uint64_t index);
 
   ApplicationSpec app_;
+  // Pre-sized to input_cycle at construction (never reallocates), each slot
+  // written once under input_mutex_: returned references stay valid across
+  // concurrent runs.
   std::vector<kpn::Token> input_cache_;
+  std::mutex input_mutex_;
   TransformCache whole_cache_{"whole"};
   TransformCache stage1_cache_{"stage1"};
   TransformCache stage2_cache_{"stage2"};
   TransformCache part_cache_{"part"};
   TransformCache split_top_cache_{"split-top"};
   TransformCache split_bottom_cache_{"split-bottom"};
+  std::mutex merge_mutex_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, SharedBytes> merge_cache_;
 };
 

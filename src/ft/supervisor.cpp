@@ -1,6 +1,7 @@
 #include "ft/supervisor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/assert.hpp"
@@ -117,12 +118,33 @@ Supervisor::ReplicaReport Supervisor::report(ReplicaIndex r) const {
   return report;
 }
 
-rtc::TimeNs Supervisor::backoff_for(const ReplicaState& state) const {
-  const auto restarts = metrics().counter(state.metric_prefix + ".restarts");
-  double backoff = static_cast<double>(config_.initial_backoff);
-  for (std::uint64_t i = 0; i < restarts; ++i) backoff *= config_.backoff_factor;
-  backoff = std::min(backoff, static_cast<double>(config_.max_backoff));
+rtc::TimeNs backoff_duration(const Supervisor::Config& config,
+                             std::uint64_t restarts) {
+  // The clamp is applied *before* exponentiation: the naive multiply loop
+  // overflowed to inf for large restart counts, and casting an
+  // out-of-double-range value to TimeNs is undefined behavior. Any restart
+  // count at or past the saturation point log_factor(max/initial) yields
+  // max_backoff exactly.
+  if (restarts == 0 || config.initial_backoff == 0) {
+    return std::min(config.initial_backoff, config.max_backoff);
+  }
+  if (config.backoff_factor <= 1.0) {
+    return std::min(config.initial_backoff, config.max_backoff);
+  }
+  const double initial = static_cast<double>(config.initial_backoff);
+  const double cap = static_cast<double>(config.max_backoff);
+  const double saturation =
+      std::log(cap / initial) / std::log(config.backoff_factor);
+  if (static_cast<double>(restarts) >= saturation) return config.max_backoff;
+  const double backoff =
+      initial * std::pow(config.backoff_factor, static_cast<double>(restarts));
+  if (backoff >= cap) return config.max_backoff;
   return static_cast<rtc::TimeNs>(backoff);
+}
+
+rtc::TimeNs Supervisor::backoff_for(const ReplicaState& state) const {
+  return backoff_duration(config_,
+                          metrics().counter(state.metric_prefix + ".restarts"));
 }
 
 void Supervisor::on_detection(const DetectionRecord& record) {

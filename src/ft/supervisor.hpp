@@ -175,4 +175,11 @@ class Supervisor final {
   BusSink sink_;
 };
 
+/// Closed-form exponential backoff: min(initial * factor^restarts, max), with
+/// the clamp applied before exponentiation so arbitrarily large restart
+/// counts saturate to max_backoff instead of overflowing through double
+/// infinity (casting an out-of-range double to TimeNs is undefined behavior).
+[[nodiscard]] rtc::TimeNs backoff_duration(const Supervisor::Config& config,
+                                           std::uint64_t restarts);
+
 }  // namespace sccft::ft

@@ -34,18 +34,21 @@ void Simulator::dispatch_one() {
 }
 
 void Simulator::run() {
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
+  // A stop requested between run segments must not be discarded: the loop
+  // condition observes it before dispatching anything, and observing is what
+  // consumes the request (sticky-until-observed).
+  while (!queue_.empty() && !stop_requested_) {
     dispatch_one();
   }
+  stopped_ = std::exchange(stop_requested_, false);
 }
 
 bool Simulator::run_until(TimeNs t) {
   SCCFT_EXPECTS(t >= now_);
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+  while (!queue_.empty() && !stop_requested_ && queue_.top().time <= t) {
     dispatch_one();
   }
+  stopped_ = std::exchange(stop_requested_, false);
   if (!stopped_ && now_ < t) now_ = t;
   return !stopped_;
 }

@@ -48,9 +48,16 @@ class Simulator final {
   /// queue drained earlier or stop() was called. Returns false if stopped.
   bool run_until(TimeNs t);
 
-  /// Requests the run loop to exit after the current event.
-  void stop() { stopped_ = true; }
+  /// Requests the run loop to exit after the current event. The request is
+  /// sticky: if no run loop is active, the *next* run()/run_until() observes
+  /// it and returns immediately (dispatching nothing) instead of silently
+  /// discarding it. A request is consumed by the run segment that observes it.
+  void stop() { stop_requested_ = true; }
 
+  /// True if a stop() request has not yet been observed by a run loop.
+  [[nodiscard]] bool stop_pending() const { return stop_requested_; }
+
+  /// True if the most recent run()/run_until() segment exited via stop().
   [[nodiscard]] bool stopped() const { return stopped_; }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
@@ -73,6 +80,7 @@ class Simulator final {
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   trace::TraceBus trace_;

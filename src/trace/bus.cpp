@@ -53,6 +53,7 @@ const std::string& TraceBus::subject_name(SubjectId id) const {
 
 void TraceBus::subscribe(Sink* sink, std::uint32_t mask) {
   SCCFT_EXPECTS(sink != nullptr);
+  assert_owning_thread();
   for (auto& subscriber : subscribers_) {
     if (subscriber.sink == sink) {
       subscriber.mask = mask;
@@ -65,6 +66,7 @@ void TraceBus::subscribe(Sink* sink, std::uint32_t mask) {
 }
 
 void TraceBus::unsubscribe(Sink* sink) {
+  assert_owning_thread();
   subscribers_.erase(
       std::remove_if(subscribers_.begin(), subscribers_.end(),
                      [sink](const Subscriber& s) { return s.sink == sink; }),
@@ -78,6 +80,7 @@ void TraceBus::recompute_mask() {
 }
 
 void TraceBus::dispatch(const Event& event) {
+  assert_owning_thread();
   const std::uint32_t kind_bit = bit(event.kind);
   // Index loop: a sink's on_event may emit further (nested) events but must
   // not subscribe/unsubscribe, so indices stay valid.

@@ -23,11 +23,13 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "trace/event.hpp"
 #include "trace/metrics.hpp"
+#include "util/assert.hpp"
 
 namespace sccft::trace {
 
@@ -77,11 +79,22 @@ class TraceBus final {
   void dispatch(const Event& event);
   void recompute_mask();
 
+  /// The bus is single-threaded state owned by one simulation. Parallel
+  /// campaigns run one Simulator (and thus one bus) per worker; any sink
+  /// subscription or dispatched event from a foreign thread is a wiring bug
+  /// (e.g. a shared cross-run sink) and trips this contract. Checked off the
+  /// emit fast path only — dispatch runs when somebody listens, and
+  /// subscribe/unsubscribe are setup-time.
+  void assert_owning_thread() const {
+    SCCFT_ASSERT(std::this_thread::get_id() == owner_thread_);
+  }
+
   struct Subscriber {
     Sink* sink = nullptr;
     std::uint32_t mask = 0;
   };
 
+  std::thread::id owner_thread_ = std::this_thread::get_id();
   std::uint32_t active_mask_ = 0;
   std::vector<Subscriber> subscribers_;
   std::vector<std::string> subjects_;

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace sccft::util {
 
@@ -111,5 +114,40 @@ class CliParser final {
   bool help_requested_ = false;
   std::string error_;
 };
+
+/// Declares the standard `--jobs N` campaign flag (default: the hardware
+/// concurrency). Campaign results are byte-identical at any job count, so
+/// the flag trades wall clock only.
+inline void add_jobs_flag(CliParser& cli) {
+  cli.add_flag("jobs", std::to_string(default_jobs()),
+               "worker threads for campaign fan-out (1 = serial; results are "
+               "byte-identical at any value)");
+}
+
+/// Returns the parsed, validated `--jobs` value (>= 1).
+[[nodiscard]] inline int get_jobs(const CliParser& cli) {
+  const std::int64_t jobs = cli.get_int("jobs");
+  SCCFT_EXPECTS(jobs >= 1);
+  return static_cast<int>(jobs);
+}
+
+/// One-call form for the bench mains: parses argv accepting only `--jobs`
+/// (and --help) and returns the job count. Prints usage and exits on --help
+/// or a parse error.
+[[nodiscard]] inline int parse_jobs_or_exit(int argc, const char* const* argv,
+                                            const std::string& program,
+                                            const std::string& description) {
+  CliParser cli(program, description);
+  add_jobs_flag(cli);
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    std::exit(2);
+  }
+  if (cli.help_requested()) {
+    std::fprintf(stdout, "%s", cli.usage().c_str());
+    std::exit(0);
+  }
+  return get_jobs(cli);
+}
 
 }  // namespace sccft::util

@@ -23,7 +23,22 @@ class CsvWriter final {
 
   /// Adds a `# ...` comment line emitted before the column header — used to
   /// record run provenance (e.g. the RNG seeds) inside the file itself.
-  void add_comment(std::string comment) { comments_.push_back(std::move(comment)); }
+  /// Embedded newlines would escape the `# ` framing and corrupt the header
+  /// block, so control characters are stored escaped (`\n`, `\r`).
+  void add_comment(std::string comment) {
+    std::string safe;
+    safe.reserve(comment.size());
+    for (const char c : comment) {
+      if (c == '\n') {
+        safe += "\\n";
+      } else if (c == '\r') {
+        safe += "\\r";
+      } else {
+        safe += c;
+      }
+    }
+    comments_.push_back(std::move(safe));
+  }
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 

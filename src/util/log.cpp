@@ -2,11 +2,21 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace sccft::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes whole lines to stderr so concurrent campaign workers can't
+// interleave mid-line.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+thread_local ScopedLogCapture* t_capture = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,7 +37,37 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   if (level < g_level.load()) return;
-  std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  line += '\n';
+  if (t_capture != nullptr) {
+    t_capture->buffer_ += line;
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << line;
+}
+
+ScopedLogCapture::ScopedLogCapture() : previous_(t_capture) { t_capture = this; }
+
+ScopedLogCapture::~ScopedLogCapture() { t_capture = previous_; }
+
+std::string ScopedLogCapture::take() {
+  std::string out;
+  out.swap(buffer_);
+  return out;
+}
+
+void flush_captured(const std::string& text) {
+  if (text.empty()) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << text;
 }
 
 }  // namespace sccft::util

@@ -13,8 +13,37 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// Emits one line if `level` passes the threshold. Thread-safe: lines from
+/// concurrent campaign workers never interleave mid-line. If the calling
+/// thread holds a ScopedLogCapture the line is buffered there instead of
+/// going to stderr, so parallel campaigns can flush per-run logs in seed
+/// order.
 void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+/// RAII capture of this thread's log lines. While alive, log_line appends to
+/// an in-memory buffer instead of stderr; the owner decides when (and in
+/// which order) the buffered text reaches the real sink — the campaign
+/// executor flushes one capture per run, in seed order. Captures nest per
+/// thread (inner capture shadows the outer until destroyed).
+class ScopedLogCapture final {
+ public:
+  ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+  ~ScopedLogCapture();
+
+  /// The lines captured so far, concatenated (each ends in '\n').
+  [[nodiscard]] std::string take();
+
+ private:
+  std::string buffer_;
+  ScopedLogCapture* previous_ = nullptr;
+  friend void log_line(LogLevel, const std::string&, const std::string&);
+};
+
+/// Writes previously captured log text to stderr, atomically with respect to
+/// concurrent log_line calls.
+void flush_captured(const std::string& text);
 
 namespace detail {
 inline void append_all(std::ostringstream&) {}

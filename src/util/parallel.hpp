@@ -1,0 +1,73 @@
+// Deterministic fan-out for embarrassingly parallel campaign workloads.
+//
+// parallel_for_ordered runs fn(0..n-1) on a fixed-size worker pool. Workers
+// pull indices from a shared counter, so completion order is nondeterministic
+// — determinism is the *caller's* obligation and the API is shaped to make it
+// easy to honor: every task writes only into its own index-addressed slot,
+// and the caller folds the slots in index order after join. With jobs <= 1
+// the loop degenerates to the exact serial path (no threads, no pool), so a
+// `--jobs 1` run is byte-identical to the pre-parallel code by construction.
+//
+// Exceptions: if tasks throw, the exception thrown by the *lowest index* is
+// rethrown after all workers join (again: reproducible at any job count).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sccft::util {
+
+/// Default worker count for `--jobs`: the hardware concurrency, at least 1.
+[[nodiscard]] inline int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Runs fn(i) for every i in [0, n) on min(jobs, n) threads (serially, on the
+/// calling thread, when jobs <= 1). Blocks until all tasks finish.
+inline void parallel_for_ordered(int n, int jobs, const std::function<void(int)>& fn) {
+  SCCFT_EXPECTS(n >= 0);
+  SCCFT_EXPECTS(fn != nullptr);
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;   // from the lowest-index failing task
+  int first_error_index = n;
+
+  auto worker = [&] {
+    for (int i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const int workers = std::min(jobs, n);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sccft::util

@@ -308,5 +308,71 @@ TEST(Supervisor, TransientFaultBelowDetectionRadarNeedsNoRestart) {
   EXPECT_GT(rig.consumed.size(), 80u);
 }
 
+// --- backoff_duration ------------------------------------------------------
+// Regression: the old O(restarts) multiply loop overflowed the double to inf
+// for large restart counts, and the final cast of an out-of-range double to
+// TimeNs is undefined behavior. The closed form must saturate exactly.
+
+TEST(BackoffDuration, SmallCountsFollowTheExponential) {
+  const Supervisor::Config config{.initial_backoff = rtc::from_ms(20.0),
+                                  .backoff_factor = 2.0,
+                                  .max_backoff = rtc::from_ms(500.0)};
+  EXPECT_EQ(backoff_duration(config, 0), rtc::from_ms(20.0));
+  EXPECT_EQ(backoff_duration(config, 1), rtc::from_ms(40.0));
+  EXPECT_EQ(backoff_duration(config, 2), rtc::from_ms(80.0));
+  EXPECT_EQ(backoff_duration(config, 3), rtc::from_ms(160.0));
+  EXPECT_EQ(backoff_duration(config, 4), rtc::from_ms(320.0));
+  EXPECT_EQ(backoff_duration(config, 5), rtc::from_ms(500.0));  // clamped
+}
+
+TEST(BackoffDuration, HugeRestartCountsSaturateToMax) {
+  const Supervisor::Config config{.initial_backoff = rtc::from_ms(20.0),
+                                  .backoff_factor = 2.0,
+                                  .max_backoff = rtc::from_ms(500.0)};
+  // Anything past the saturation point — including counts whose naive
+  // factor^n is far beyond double range — returns max_backoff exactly.
+  for (const std::uint64_t restarts :
+       {std::uint64_t{64}, std::uint64_t{1'000}, std::uint64_t{1'000'000},
+        std::uint64_t{1} << 62, ~std::uint64_t{0}}) {
+    EXPECT_EQ(backoff_duration(config, restarts), config.max_backoff)
+        << "restarts=" << restarts;
+  }
+}
+
+TEST(BackoffDuration, MonotoneNonDecreasingInRestarts) {
+  const Supervisor::Config config{.initial_backoff = rtc::from_ms(20.0),
+                                  .backoff_factor = 1.7,
+                                  .max_backoff = rtc::from_ms(500.0)};
+  rtc::TimeNs prev = 0;
+  for (std::uint64_t restarts = 0; restarts <= 100; ++restarts) {
+    const rtc::TimeNs backoff = backoff_duration(config, restarts);
+    EXPECT_GE(backoff, prev) << "restarts=" << restarts;
+    EXPECT_LE(backoff, config.max_backoff);
+    prev = backoff;
+  }
+  EXPECT_EQ(prev, config.max_backoff);
+}
+
+TEST(BackoffDuration, DegenerateConfigsStayClamped) {
+  // factor 1.0: constant backoff.
+  EXPECT_EQ(backoff_duration({.initial_backoff = rtc::from_ms(20.0),
+                              .backoff_factor = 1.0,
+                              .max_backoff = rtc::from_ms(500.0)},
+                             1'000'000),
+            rtc::from_ms(20.0));
+  // initial 0: stays 0 forever.
+  EXPECT_EQ(backoff_duration({.initial_backoff = 0,
+                              .backoff_factor = 2.0,
+                              .max_backoff = rtc::from_ms(500.0)},
+                             1'000'000),
+            0);
+  // initial == max: clamped from the first restart.
+  EXPECT_EQ(backoff_duration({.initial_backoff = rtc::from_ms(500.0),
+                              .backoff_factor = 2.0,
+                              .max_backoff = rtc::from_ms(500.0)},
+                             1),
+            rtc::from_ms(500.0));
+}
+
 }  // namespace
 }  // namespace sccft::ft

@@ -18,3 +18,7 @@ cmake --build "${build_dir}" -j "$(nproc)"
 # -LE bench: the wall-time gates (e.g. micro_overhead's 2% trace-overhead
 # budget) are meaningless under sanitizer instrumentation.
 ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure -LE bench
+# Drive the parallel campaign path (worker pool, per-thread log capture,
+# synchronized memoization caches) under ASan/UBSan: data races on the shared
+# caches or the capture stack would surface here, not in the serial suite.
+"${build_dir}/bench/fault_campaign" --jobs 2 --csv "${build_dir}/fault_campaign_sanitized.csv" > /dev/null

@@ -76,6 +76,42 @@ TEST(Simulator, StopHaltsProcessing) {
   EXPECT_TRUE(sim.stopped());
 }
 
+// Regression: stop() issued between run segments used to be discarded by the
+// next run()/run_until() (which reset the flag at entry). The request must be
+// sticky until a run loop observes it.
+TEST(Simulator, StopBetweenSegmentsIsSticky) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.stop();  // no run loop active: must not be lost
+  EXPECT_TRUE(sim.stop_pending());
+  EXPECT_FALSE(sim.run_until(100));  // observes the stop, dispatches nothing
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_FALSE(sim.stop_pending());  // consumed by the segment that observed it
+  // The next segment proceeds normally.
+  EXPECT_TRUE(sim.run_until(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.stopped());
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, StopConsumedOncePerSegment) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run();  // exits via the in-callback stop
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+  sim.run();  // stop was consumed: the remaining event now fires
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.stopped());
+}
+
 TEST(Simulator, SchedulingInThePastRejected) {
   Simulator sim;
   sim.schedule_at(100, [] {});

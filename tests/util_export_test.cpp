@@ -104,6 +104,31 @@ TEST(Csv, RowArityEnforced) {
   EXPECT_THROW(csv.add_row({"only-one"}), ContractViolation);
 }
 
+TEST(Csv, CommentsPrecedeHeader) {
+  CsvWriter csv({"a", "b"});
+  csv.add_comment("seeds 1..20");
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.render(), "# seeds 1..20\na,b\n1,2\n");
+}
+
+// Regression: a comment containing '\n' used to be emitted verbatim, so
+// everything after the newline escaped the `# ` framing and corrupted the
+// header block. Control characters must be stored escaped.
+TEST(Csv, CommentNewlinesCannotEscapeTheFraming) {
+  CsvWriter csv({"a"});
+  csv.add_comment("line one\nline two\r\nline three");
+  csv.add_row({"1"});
+  const std::string out = csv.render();
+  EXPECT_EQ(out, "# line one\\nline two\\r\\nline three\na\n1\n");
+  // Every physical line before the header is a comment line.
+  std::istringstream is(out);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line.rfind("# ", 0), 0u);
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "a");  // header intact, not split by the comment
+}
+
 TEST(Csv, FileRoundTrip) {
   CsvWriter csv({"k", "v"});
   csv.add_row({"1", "2"});
