@@ -70,6 +70,9 @@ struct FaultCampaignResult {
   util::SampleSet first_latency_ms;
   util::SampleSet distance_latency_ms;   // only if baselines attached
   util::SampleSet watchdog_latency_ms;
+  /// First Eq. (2) conformance breach of the faulty replica's output stream,
+  /// relative to the fault instant (only if options.online_monitor was set).
+  util::SampleSet online_latency_ms;
   int detected = 0;
   int correct_replica = 0;
   int false_positives = 0;
@@ -111,6 +114,15 @@ inline FaultCampaignResult run_fault_campaign(apps::ExperimentRunner& runner,
     }
     if (r.distance_latency) result.distance_latency_ms.add(rtc::to_ms(*r.distance_latency));
     if (r.watchdog_latency) result.watchdog_latency_ms.add(rtc::to_ms(*r.watchdog_latency));
+    if (r.fault_injected_at >= 0) {
+      for (const auto& stream : r.online_streams) {
+        if (stream.replica == ft::index_of(faulty) && stream.first_violation &&
+            stream.first_violation->at >= r.fault_injected_at) {
+          result.online_latency_ms.add(
+              rtc::to_ms(stream.first_violation->at - r.fault_injected_at));
+        }
+      }
+    }
   }
   return result;
 }

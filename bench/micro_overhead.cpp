@@ -16,6 +16,13 @@
 // determinism: the same MJPEG fault campaign executed at --jobs 1 and at
 // --jobs 4 must produce byte-identical merged metrics registries, seeds, and
 // latency samples; the measured wall-clock speedup is reported.
+//
+// Run with --check-online-overhead (no google-benchmark) to gate the online
+// RTC monitor's cost: attaching it to a full MJPEG run (--online-monitor)
+// must stay within 3% of the monitor-free wall time and leave the output
+// stream untouched. In a SCCFT_TRACE_COMPILED_OUT build the gate instead
+// verifies the zero-cost discipline directly: the monitor observes zero
+// events, so it has nothing to do at all.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -34,6 +41,8 @@
 #include "ft/selector.hpp"
 #include "kpn/channel.hpp"
 #include "rtc/gpc.hpp"
+#include "rtc/online/conformance.hpp"
+#include "rtc/online/estimator.hpp"
 #include "rtc/sizing.hpp"
 #include "sim/simulator.hpp"
 #include "trace/sinks.hpp"
@@ -162,6 +171,39 @@ void BM_GpcAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_GpcAnalysis)->Unit(benchmark::kMillisecond);
 
+// --- online-RTC estimator cost ---------------------------------------------
+// Per-event cost of the empirical-curve machinery: the monotone-pointer
+// update across an 8-level lattice (amortized O(levels) with no allocation
+// in steady state), alone and with the Eq. (2) conformance check on top.
+
+void BM_CurveEstimatorAddEvent(benchmark::State& state) {
+  rtc::online::CurveEstimator estimator(
+      {.base_delta = rtc::from_ms(10.0), .levels = 8});
+  rtc::TimeNs t = 0;
+  for (auto _ : state) {
+    estimator.add_event(t);
+    benchmark::DoNotOptimize(estimator.window_count(0));
+    t += 9'999'937;  // ~one period, prime-offset so windows keep sliding
+  }
+}
+BENCHMARK(BM_CurveEstimatorAddEvent);
+
+void BM_CurveEstimatorAddEventChecked(benchmark::State& state) {
+  const rtc::PJD model = rtc::PJD::from_ms(10, 20, 0);
+  rtc::online::CurveEstimator estimator(
+      {.base_delta = model.period, .levels = 8});
+  const auto curves = rtc::ArrivalCurvePair::from_pjd(model);
+  rtc::online::ConformanceChecker checker(estimator, curves.lower.get(),
+                                          curves.upper.get());
+  rtc::TimeNs t = 0;
+  for (auto _ : state) {
+    estimator.add_event(t);
+    benchmark::DoNotOptimize(checker.check(estimator));
+    t += 9'999'937;
+  }
+}
+BENCHMARK(BM_CurveEstimatorAddEventChecked);
+
 // --- trace-spine cost ------------------------------------------------------
 // Four regimes of the same emit site. The baseline loop body (no emit at
 // all) is exactly what a SCCFT_TRACE_COMPILED_OUT build pays; the
@@ -286,6 +328,94 @@ int check_trace_overhead() {
   return 0;
 }
 
+// --- online-monitor overhead gate ------------------------------------------
+
+/// Gate: attaching the online RTC monitor (estimators + conformance checks on
+/// producer/r1.out/r2.out) to a full MJPEG run may add at most 3% to the
+/// monitor-free wall time, and must not perturb the output stream. With
+/// SCCFT_TRACE_COMPILED_OUT the kEmission events the monitor feeds on do not
+/// exist, so the gate asserts the stronger property instead: zero observed
+/// events (and therefore literally no monitor work on the data path).
+int check_online_overhead() {
+  apps::ExperimentRunner runner(apps::mjpeg::make_application());
+  apps::ExperimentOptions options;
+  options.run_periods = 240;
+  options.seed = 1;
+
+  // Warm-up (monitor off): populates the runner's payload/transform caches.
+  apps::ExperimentResult off_result;
+  (void)timed_run(runner, options, &off_result);
+
+#ifdef SCCFT_TRACE_COMPILED_OUT
+  options.online_monitor = true;
+  apps::ExperimentResult on_result;
+  (void)timed_run(runner, options, &on_result);
+  std::uint64_t observed = 0;
+  for (const auto& stream : on_result.online_streams) observed += stream.events;
+  std::cout << "online overhead gate: data-path tracing compiled out, monitor "
+            << "observed " << observed << " events across "
+            << on_result.online_streams.size() << " streams\n";
+  if (observed != 0) {
+    std::cout << "FAIL: compiled-out build still delivered emission events\n";
+    return 1;
+  }
+  if (off_result.output_checksums != on_result.output_checksums) {
+    std::cout << "FAIL: the online monitor changed the output stream\n";
+    return 1;
+  }
+  std::cout << "PASS: zero events observed — the monitor is free by construction\n";
+  return 0;
+#else
+  constexpr double kMaxRatio = 1.03;
+  constexpr int kRepsPerRound = 5;
+  constexpr int kMaxRounds = 3;
+  double best_off = 1e30, best_on = 1e30;
+  apps::ExperimentResult on_result;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    for (int rep = 0; rep < kRepsPerRound; ++rep) {
+      options.online_monitor = false;
+      best_off = std::min(best_off, timed_run(runner, options));
+      options.online_monitor = true;
+      best_on = std::min(best_on, timed_run(runner, options, &on_result));
+      options.online_monitor = false;
+    }
+    if (best_on <= best_off * kMaxRatio) break;
+  }
+
+  std::uint64_t observed = 0;
+  bool violated = false;
+  for (const auto& stream : on_result.online_streams) {
+    observed += stream.events;
+    if (stream.first_violation) violated = true;
+  }
+  const double overhead_pct = (best_on / best_off - 1.0) * 100.0;
+  std::cout << "online overhead gate: monitor-off min "
+            << static_cast<long long>(best_off * 1e6) << " us, monitor-on min "
+            << static_cast<long long>(best_on * 1e6) << " us (" << overhead_pct
+            << "% overhead, " << observed << " events observed)\n";
+
+  if (observed == 0) {
+    std::cout << "FAIL: the monitor observed no emissions (wiring broken?)\n";
+    return 1;
+  }
+  if (violated) {
+    std::cout << "FAIL: conformance violation on a fault-free conformant run\n";
+    return 1;
+  }
+  if (off_result.output_checksums != on_result.output_checksums) {
+    std::cout << "FAIL: the online monitor changed the output stream\n";
+    return 1;
+  }
+  if (best_on > best_off * kMaxRatio) {
+    std::cout << "FAIL: online monitor exceeds the 3% overhead budget\n";
+    return 1;
+  }
+  std::cout << "PASS: online RTC monitor within the 3% budget, zero false "
+            << "positives\n";
+  return 0;
+#endif
+}
+
 // --- parallel-campaign determinism gate ------------------------------------
 
 /// Gate: the identical MJPEG fault campaign run at --jobs 1 and --jobs 4 must
@@ -361,6 +491,9 @@ int main(int argc, char** argv) {
     }
     if (std::string_view(argv[i]) == "--check-parallel-campaign") {
       return check_parallel_campaign();
+    }
+    if (std::string_view(argv[i]) == "--check-online-overhead") {
+      return check_online_overhead();
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,11 +1,11 @@
 // Regenerates the paper's Table 2, ADPCM application block.
 #include "apps/adpcm/app.hpp"
 #include "bench/table2_common.hpp"
-#include "util/cli.hpp"
 
 int main(int argc, char** argv) {
-  const int jobs = sccft::util::parse_jobs_or_exit(
+  const auto cli = sccft::bench::parse_table2_cli(
       argc, argv, "table2_adpcm", "Paper Table 2, ADPCM block (20-run campaigns)");
-  sccft::bench::run_table2(sccft::apps::adpcm::make_application(), jobs);
+  sccft::bench::run_table2(sccft::apps::adpcm::make_application(), cli.jobs,
+                           cli.online_monitor);
   return 0;
 }

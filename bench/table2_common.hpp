@@ -7,12 +7,42 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "bench/campaign.hpp"
+#include "util/cli.hpp"
 
 namespace sccft::bench {
+
+/// Shared argv handling for the table2_* mains: `--jobs N` plus the
+/// `--online-monitor` switch that attaches the rtc/online conformance
+/// monitor to every run.
+struct Table2Cli {
+  int jobs = 1;
+  bool online_monitor = false;
+};
+
+[[nodiscard]] inline Table2Cli parse_table2_cli(int argc, const char* const* argv,
+                                                const std::string& program,
+                                                const std::string& description) {
+  util::CliParser cli(program, description);
+  util::add_jobs_flag(cli);
+  cli.add_flag("online-monitor", "false",
+               "attach the online-RTC monitor (rtc/online): estimate empirical "
+               "arrival curves per run and report Eq. (2) conformance");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    std::exit(2);
+  }
+  if (cli.help_requested()) {
+    std::fprintf(stdout, "%s", cli.usage().c_str());
+    std::exit(0);
+  }
+  return Table2Cli{util::get_jobs(cli), cli.get_bool("online-monitor")};
+}
 
 /// Writes a merged campaign registry as "metric,kind,value" CSV rows.
 inline bool write_metrics_csv(const trace::MetricsRegistry& registry,
@@ -23,13 +53,15 @@ inline bool write_metrics_csv(const trace::MetricsRegistry& registry,
   return static_cast<bool>(out);
 }
 
-inline void run_table2(apps::ApplicationSpec app, int jobs = 1) {
+inline void run_table2(apps::ApplicationSpec app, int jobs = 1,
+                       bool online_monitor = false) {
   apps::ExperimentRunner runner(std::move(app));
   const auto& name = runner.app().name;
 
   apps::ExperimentOptions options;
   options.run_periods = 240;
   options.fault_after_periods = 150;
+  options.online_monitor = online_monitor;
 
   const auto wall_start = std::chrono::steady_clock::now();
 
@@ -119,6 +151,28 @@ inline void run_table2(apps::ApplicationSpec app, int jobs = 1) {
                 dup_free.false_positives)
             << " false positives (" << seed_list(fault1.seeds)
             << " per campaign).\n\n";
+
+  if (online_monitor) {
+    // Empirical-curve conformance (Eq. 2) from the merged registries. A
+    // conformant deployment shows zero violations in the fault-free campaign;
+    // the fault campaigns show the monitor flagging the injected misbehaviour
+    // as curve-level drift. With SCCFT_TRACE_COMPILED_OUT the monitor sees no
+    // kEmission events and every cell reads 0.
+    util::Table online("Table 2 (" + name +
+                       "): online RTC conformance (events / upper viol. / lower viol.)");
+    online.set_header({"Stream", "Fault-free", "R1 fault", "R2 fault"});
+    auto cell = [](const trace::MetricsRegistry& merged, const std::string& stream) {
+      const std::string prefix = "online." + stream;
+      return std::to_string(merged.counter(prefix + ".events")) + " / " +
+             std::to_string(merged.counter(prefix + ".upper_violations")) + " / " +
+             std::to_string(merged.counter(prefix + ".lower_violations"));
+    };
+    for (const char* stream : {"producer", "r1.out", "r2.out"}) {
+      online.add_row({stream, cell(dup_free.merged, stream), cell(fault1.merged, stream),
+                      cell(fault2.merged, stream)});
+    }
+    std::cout << online << "\n";
+  }
 
   // Machine-readable record of the fault-free campaign: the merged metrics
   // registry every cell of the fills/overhead/timings rows was read from.

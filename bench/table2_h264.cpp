@@ -2,11 +2,11 @@
 // application but omitted the numbers "due to space constraints").
 #include "apps/h264/app.hpp"
 #include "bench/table2_common.hpp"
-#include "util/cli.hpp"
 
 int main(int argc, char** argv) {
-  const int jobs = sccft::util::parse_jobs_or_exit(
+  const auto cli = sccft::bench::parse_table2_cli(
       argc, argv, "table2_h264", "Table 2 analog, H.264 block (20-run campaigns)");
-  sccft::bench::run_table2(sccft::apps::h264::make_application(), jobs);
+  sccft::bench::run_table2(sccft::apps::h264::make_application(), cli.jobs,
+                           cli.online_monitor);
   return 0;
 }

@@ -1,11 +1,11 @@
 // Regenerates the paper's Table 2, MJPEG decoder block.
 #include "apps/mjpeg/app.hpp"
 #include "bench/table2_common.hpp"
-#include "util/cli.hpp"
 
 int main(int argc, char** argv) {
-  const int jobs = sccft::util::parse_jobs_or_exit(
+  const auto cli = sccft::bench::parse_table2_cli(
       argc, argv, "table2_mjpeg", "Paper Table 2, MJPEG block (20-run campaigns)");
-  sccft::bench::run_table2(sccft::apps::mjpeg::make_application(), jobs);
+  sccft::bench::run_table2(sccft::apps::mjpeg::make_application(), cli.jobs,
+                           cli.online_monitor);
   return 0;
 }

@@ -21,10 +21,10 @@ using namespace sccft;
 
 struct Row {
   std::string name;
-  util::SampleSet ours, distance, watchdog;
+  util::SampleSet ours, distance, watchdog, online;
 };
 
-Row run_app(apps::ApplicationSpec app, int jobs) {
+Row run_app(apps::ApplicationSpec app, int jobs, bool online_monitor) {
   Row row;
   row.name = app.name;
   apps::ExperimentRunner runner(apps::minimize_replica_jitter(std::move(app)));
@@ -35,12 +35,14 @@ Row run_app(apps::ApplicationSpec app, int jobs) {
   options.attach_baseline_monitors = true;
   options.monitor_polling_interval = rtc::from_ms(1.0);
   options.monitor_history_l = 1;
+  options.online_monitor = online_monitor;
 
   const auto campaign = bench::run_fault_campaign(
       runner, options, ft::ReplicaIndex::kReplica1, bench::kRuns, jobs);
   row.ours = campaign.first_latency_ms;
   row.distance = campaign.distance_latency_ms;
   row.watchdog = campaign.watchdog_latency_ms;
+  row.online = campaign.online_latency_ms;
   return row;
 }
 
@@ -51,25 +53,44 @@ std::string cell(const util::SampleSet& set, double (util::SampleSet::*fn)() con
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = util::parse_jobs_or_exit(
-      argc, argv, "table3_comparison",
-      "Paper Table 3: detection latency vs. polled baselines (20-run campaigns)");
+  util::CliParser cli("table3_comparison",
+                      "Paper Table 3: detection latency vs. polled baselines "
+                      "(20-run campaigns)");
+  util::add_jobs_flag(cli);
+  cli.add_flag("online-monitor", "false",
+               "attach the online-RTC monitor (rtc/online) and add a column "
+               "with its curve-conformance detection latency");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::fprintf(stdout, "%s", cli.usage().c_str());
+    return 0;
+  }
+  const int jobs = util::get_jobs(cli);
+  const bool online_monitor = cli.get_bool("online-monitor");
+
   util::Table table(
       "Table 3: Fault-detection latency (ms) — our approach vs. distance-function "
       "baseline (1 ms polling, l=1, replica jitters minimized; 20 runs)");
-  table.set_header({"Application", "Ours max", "Ours min", "Ours mean", "DF max",
-                    "DF min", "DF mean", "WD mean"});
+  std::vector<std::string> header{"Application", "Ours max", "Ours min", "Ours mean",
+                                  "DF max",      "DF min",   "DF mean",  "WD mean"};
+  if (online_monitor) header.push_back("Online mean");
+  table.set_header(header);
 
   for (auto app : {apps::mjpeg::make_application(), apps::adpcm::make_application(),
                    apps::h264::make_application()}) {
-    const Row row = run_app(std::move(app), jobs);
-    table.add_row({row.name, cell(row.ours, &util::SampleSet::max),
-                   cell(row.ours, &util::SampleSet::min),
-                   cell(row.ours, &util::SampleSet::mean),
-                   cell(row.distance, &util::SampleSet::max),
-                   cell(row.distance, &util::SampleSet::min),
-                   cell(row.distance, &util::SampleSet::mean),
-                   cell(row.watchdog, &util::SampleSet::mean)});
+    const Row row = run_app(std::move(app), jobs, online_monitor);
+    std::vector<std::string> cells{row.name, cell(row.ours, &util::SampleSet::max),
+                                   cell(row.ours, &util::SampleSet::min),
+                                   cell(row.ours, &util::SampleSet::mean),
+                                   cell(row.distance, &util::SampleSet::max),
+                                   cell(row.distance, &util::SampleSet::min),
+                                   cell(row.distance, &util::SampleSet::mean),
+                                   cell(row.watchdog, &util::SampleSet::mean)};
+    if (online_monitor) cells.push_back(cell(row.online, &util::SampleSet::mean));
+    table.add_row(cells);
   }
   std::cout << table << "\n";
   std::cout
@@ -79,5 +100,15 @@ int main(int argc, char** argv) {
          "quantized by the polling interval (see bench/ablation_polling);\n"
          "our approach detects with zero runtime timekeeping, paying the\n"
          "queue-fill time of the Eq. (3) capacity instead.\n";
+  if (online_monitor) {
+    std::cout
+        << "\nOnline mean: first Eq. (2) conformance breach of the faulty\n"
+           "replica's output stream, measured from the fault instant. A '-'\n"
+           "means the minimized-jitter model was already breached before the\n"
+           "fault: shrinking a replica's design jitter below its real\n"
+           "pipeline variability makes the envelope unsound, and the monitor\n"
+           "reports exactly that (run table2_* --online-monitor for the\n"
+           "faithful-model conformance counts).\n";
+  }
   return 0;
 }

@@ -1,0 +1,228 @@
+// Table 5 (this reproduction's extension): online arrival-curve conformance
+// under PJD drift, and the re-dimensioned protection parameters.
+//
+// The paper dimensions |F_i| (Eq. 3), D (Eq. 5), and the detection-latency
+// bound (Eqs. 6-8) from design-time curves and stops there. This campaign
+// asks the deployment question: when the deployed stream *drifts* from its
+// PJD model — rate creep (emissions stretch apart) or jitter creep (extra
+// random displacement) — how fast does the online-RTC monitor flag the
+// Eq. (2) breach, and what do the paper's formulas say when re-run on the
+// *measured* curves?
+//
+// Per scenario (no drift + rate/jitter creep sweeps on replica 1's output
+// and the producer), 20-run campaigns on the ADPCM application report:
+//   * runs with a conformance violation on the drifted stream, and runs with
+//     a violation anywhere before the drift onset (false positives — must be
+//     0, the empirical curves of a conformant stream sit inside the design
+//     envelope by construction),
+//   * detection latency from drift onset to the first violation,
+//   * measured-vs-designed margins: |F_1| (Eq. 3 on the measured producer
+//     curve), D (Eq. 5 on the measured output curves), and the Eq. (8)
+//     latency bound at the designed D on the measured lower curves.
+//
+// Every run's empirical-curve snapshots are exported as CSV, folded in seed
+// order: byte-identical at any --jobs value (the determinism-lane contract).
+//
+// With SCCFT_TRACE_COMPILED_OUT the monitor observes no kEmission events;
+// every scenario then reports zero events and zero violations (stated in the
+// table header so the output is self-explaining in that configuration).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/adpcm/app.hpp"
+#include "bench/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace sccft;
+
+struct Scenario {
+  std::string name;
+  apps::DriftSpec drift;
+};
+
+/// The stream a drift target lands on (what the monitor should flag).
+std::string drifted_stream(apps::DriftSpec::Target target) {
+  switch (target) {
+    case apps::DriftSpec::Target::kProducer: return "producer";
+    case apps::DriftSpec::Target::kReplica1: return "r1.out";
+    case apps::DriftSpec::Target::kReplica2: return "r2.out";
+    case apps::DriftSpec::Target::kNone: break;
+  }
+  return "";
+}
+
+std::string opt_tokens(const std::optional<rtc::Tokens>& v) {
+  return v ? std::to_string(*v) : "-";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("table5_online_margins",
+                      "Online RTC conformance & re-dimensioning under PJD drift "
+                      "(ADPCM, 20-run campaigns per scenario)");
+  util::add_jobs_flag(cli);
+  cli.add_flag("runs", std::to_string(bench::kRuns), "runs per drift scenario");
+  cli.add_flag("csv", "/tmp/sccft_table5_online_margins.csv",
+               "path for the per-run empirical-curve export");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::fprintf(stdout, "%s", cli.usage().c_str());
+    return 0;
+  }
+  const int jobs = util::get_jobs(cli);
+  const int runs = static_cast<int>(cli.get_int("runs"));
+  SCCFT_EXPECTS(runs >= 1);
+  const std::string csv_path = cli.get("csv");
+
+  apps::ExperimentRunner runner(apps::adpcm::make_application());
+  const rtc::TimeNs period = runner.app().timing.producer.period;
+
+  apps::ExperimentOptions options;
+  options.run_periods = 240;
+  options.online_monitor = true;
+
+  constexpr std::uint64_t kDriftAfterPeriods = 120;
+  const rtc::TimeNs onset = static_cast<rtc::TimeNs>(kDriftAfterPeriods) * period;
+
+  using Target = apps::DriftSpec::Target;
+  auto drift = [&](Target target, double rate_mult, rtc::TimeNs extra_jitter) {
+    apps::DriftSpec spec;
+    spec.target = target;
+    spec.after_periods = kDriftAfterPeriods;
+    spec.rate_mult = rate_mult;
+    spec.extra_jitter = extra_jitter;
+    return spec;
+  };
+  const std::vector<Scenario> scenarios{
+      {"conformant (no drift)", {}},
+      {"R1 rate x1.25", drift(Target::kReplica1, 1.25, 0)},
+      {"R1 rate x1.5", drift(Target::kReplica1, 1.5, 0)},
+      {"R1 rate x2.0", drift(Target::kReplica1, 2.0, 0)},
+      {"R1 jitter +2P", drift(Target::kReplica1, 1.0, 2 * period)},
+      {"producer rate x1.5", drift(Target::kProducer, 1.5, 0)},
+  };
+
+  util::CsvWriter csv({"scenario", "seed", "stream", "at_ns", "events", "delta_ns",
+                       "upper", "lower", "lower_valid"});
+  csv.add_comment("empirical arrival-curve snapshots per run (rtc/online), " +
+                  std::string("drift onset at period ") +
+                  std::to_string(kDriftAfterPeriods));
+
+  util::Table table(
+      "Table 5 (adpcm): online RTC conformance under drift (" + std::to_string(runs) +
+      " runs per scenario; zero events/violations everywhere means the build "
+      "compiled data-path tracing out)");
+  table.set_header({"Scenario", "Viol. runs", "FP runs", "Detection latency",
+                    "|F1| meas (max)", "|F1| design", "D meas (max)", "D design",
+                    "Eq.8 meas (max)"});
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  for (const auto& scenario : scenarios) {
+    auto scenario_options = options;
+    scenario_options.drift = scenario.drift;
+    const auto per_run = bench::run_campaign_runs(runner, scenario_options, runs, jobs);
+
+    const std::string watched = drifted_stream(scenario.drift.target);
+    int violated_runs = 0;
+    int false_positive_runs = 0;
+    util::SampleSet latency_ms;
+    std::optional<rtc::Tokens> fifo_meas_max, div_meas_max;
+    std::optional<rtc::TimeNs> lat_meas_max;
+    rtc::Tokens fifo_design = 0, div_design = 0;
+
+    for (int run = 1; run <= runs; ++run) {
+      const bench::CampaignRun& pr = per_run[static_cast<std::size_t>(run - 1)];
+      util::flush_captured(pr.log);
+      const apps::ExperimentResult& r = pr.result;
+
+      bool early = false;
+      bool drifted_hit = false;
+      for (const auto& stream : r.online_streams) {
+        if (stream.first_violation && stream.first_violation->at < onset) early = true;
+        if (stream.name == watched && stream.first_violation &&
+            stream.first_violation->at >= onset) {
+          drifted_hit = true;
+          latency_ms.add(rtc::to_ms(stream.first_violation->at - onset));
+        }
+        for (const auto& point : stream.snapshot.points) {
+          csv.add_row({scenario.name, std::to_string(run), stream.name,
+                       std::to_string(stream.snapshot.at),
+                       std::to_string(stream.snapshot.events),
+                       std::to_string(point.delta), std::to_string(point.upper),
+                       std::to_string(point.lower),
+                       point.lower_valid ? "1" : "0"});
+        }
+      }
+      if (watched.empty()) {
+        // No-drift scenario: any violation at all is a false positive.
+        for (const auto& stream : r.online_streams) {
+          if (stream.first_violation) early = true;
+        }
+      }
+      if (early) ++false_positive_runs;
+      if (drifted_hit) ++violated_runs;
+
+      if (r.online_margins) {
+        const auto& m = *r.online_margins;
+        fifo_design = m.designed_fifo1;
+        div_design = m.designed_divergence;
+        if (m.measured_fifo1 && (!fifo_meas_max || *m.measured_fifo1 > *fifo_meas_max)) {
+          fifo_meas_max = m.measured_fifo1;
+        }
+        if (m.measured_divergence &&
+            (!div_meas_max || *m.measured_divergence > *div_meas_max)) {
+          div_meas_max = m.measured_divergence;
+        }
+        if (m.measured_latency && (!lat_meas_max || *m.measured_latency > *lat_meas_max)) {
+          lat_meas_max = m.measured_latency;
+        }
+      }
+    }
+
+    table.add_row({scenario.name,
+                   std::to_string(violated_runs) + "/" + std::to_string(runs),
+                   std::to_string(false_positive_runs), bench::stat_row(latency_ms),
+                   opt_tokens(fifo_meas_max), std::to_string(fifo_design),
+                   opt_tokens(div_meas_max), std::to_string(div_design),
+                   lat_meas_max ? bench::ms(rtc::to_ms(*lat_meas_max)) : "-"});
+  }
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  std::cerr << "table5_online_margins: " << scenarios.size() << " scenarios x "
+            << runs << " runs in "
+            << static_cast<long long>(wall.count() * 1000.0) << " ms with --jobs "
+            << jobs << "\n";
+
+  std::cout << table << "\n";
+  std::cout << "Margins compare Eqs. (3)/(5)/(8) re-run on measured curves "
+               "(horizon: the snapshots' certified lattice span) against the "
+               "design-time sizing. A conformant stream's measured values never "
+               "exceed the designed ones. Drift inflates the divergence column: "
+               "the drifted stream's measured lower curve collapses, so Eq. (5) "
+               "re-derived on measurements demands a far larger D than the "
+               "design — the quantitative case for re-dimensioning after a "
+               "model change rather than trusting design-time curves.\n\n";
+  // Provenance goes to stderr with the wall clock: stdout must stay
+  // byte-identical across --jobs AND across --csv destinations, so the
+  // determinism lane can cmp it directly.
+  if (csv.write_file(csv_path)) {
+    std::cerr << "per-run empirical curves (seeds 1.." << runs
+              << " per scenario) written to " << csv_path << "\n";
+  } else {
+    std::cerr << "WARNING: could not write " << csv_path << "\n";
+  }
+  return 0;
+}

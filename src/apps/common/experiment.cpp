@@ -7,6 +7,7 @@
 #include "kpn/network.hpp"
 #include "kpn/timing.hpp"
 #include "monitor/driver.hpp"
+#include "rtc/online/monitor.hpp"
 #include "scc/mapping.hpp"
 #include "scc/platform.hpp"
 #include "trace/sinks.hpp"
@@ -28,6 +29,27 @@ std::vector<std::string> replica_stage_names(ReplicaTopology topology) {
 }
 
 constexpr rtc::Tokens kInternalFifoCapacity = 4;
+
+/// Per-stream drift, resolved from DriftSpec for capture into one process
+/// lambda. `apply` adjusts an emission target in place; no RNG is drawn
+/// before the onset instant (pre-drift behaviour is bit-identical to the
+/// drift-free run).
+struct DriftParams {
+  bool active = false;
+  rtc::TimeNs onset = 0;
+  double rate_mult = 1.0;
+  rtc::TimeNs extra_jitter = 0;
+
+  void apply(rtc::TimeNs& target, rtc::TimeNs last_emit, rtc::TimeNs period,
+             util::Xoshiro256& rng) const {
+    if (!active || target < onset) return;
+    if (rate_mult > 1.0 && last_emit >= 0) {
+      target = std::max(target, last_emit + static_cast<rtc::TimeNs>(
+                                                rate_mult * static_cast<double>(period)));
+    }
+    if (extra_jitter > 0) target += rng.uniform_int(0, extra_jitter);
+  }
+};
 
 }  // namespace
 
@@ -194,22 +216,72 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
     watchdog_bridge.emplace(simulator.trace(), watched, *watchdog_monitor);
   }
 
+  // ----- online-RTC monitor (rtc/online) -----------------------------------
+  // Taps the producer's and both replicas' emission streams off the trace
+  // bus, estimates their empirical arrival curves, and escalates Eq. (2)
+  // breaches to the Supervisor path as kCurveViolation.
+  std::optional<rtc::online::OnlineMonitor> online_monitor;
+  if (options.online_monitor && options.duplicated) {
+    SCCFT_EXPECTS(options.online_levels >= 1);
+    const rtc::online::LatticeConfig lattice{
+        .base_delta =
+            options.online_base_delta > 0 ? options.online_base_delta : period,
+        .levels = options.online_levels};
+    auto stream = [](std::string subject, int replica, const rtc::PJD& model) {
+      auto curves = rtc::ArrivalCurvePair::from_pjd(model);
+      rtc::online::StreamSpec spec;
+      spec.name = subject;
+      spec.subject = std::move(subject);
+      spec.replica = replica;
+      spec.design_lower = std::move(curves.lower);
+      spec.design_upper = std::move(curves.upper);
+      return spec;
+    };
+    std::vector<rtc::online::StreamSpec> specs;
+    specs.push_back(stream("producer", -1, app_.timing.producer));
+    specs.push_back(stream("r1.out", 0, app_.timing.replica1_out));
+    specs.push_back(stream("r2.out", 1, app_.timing.replica2_out));
+    online_monitor.emplace(simulator.trace(), lattice, std::move(specs));
+  }
+
   // ----- processes ---------------------------------------------------------
   const std::uint64_t seed_base = options.seed * 7919;
 
+  // Resolve the drift spec onto its target stream.
+  DriftParams producer_drift;
+  DriftParams replica_drift[2];
+  if (options.drift.target != DriftSpec::Target::kNone) {
+    DriftParams params;
+    params.active = options.drift.rate_mult > 1.0 || options.drift.extra_jitter > 0;
+    params.onset = static_cast<rtc::TimeNs>(options.drift.after_periods) * period;
+    params.rate_mult = options.drift.rate_mult;
+    params.extra_jitter = options.drift.extra_jitter;
+    switch (options.drift.target) {
+      case DriftSpec::Target::kNone: break;
+      case DriftSpec::Target::kProducer: producer_drift = params; break;
+      case DriftSpec::Target::kReplica1: replica_drift[0] = params; break;
+      case DriftSpec::Target::kReplica2: replica_drift[1] = params; break;
+    }
+  }
+
   // Producer: emits input tokens shaped by the producer PJD.
   net.add_process("producer", core_of("producer"), seed_base + 1,
-                  [this, producer_sink, &simulator](kpn::ProcessContext& ctx) -> sim::Task {
+                  [this, producer_sink, &simulator,
+                   producer_drift](kpn::ProcessContext& ctx) -> sim::Task {
                     kpn::TimingShaper shaper(app_.timing.producer, 0, ctx.rng());
                     shaper.bind_trace(&simulator.trace(),
                                       simulator.trace().intern("producer"));
+                    rtc::TimeNs last_emit = -1;
                     for (std::uint64_t k = 0;; ++k) {
                       const kpn::Token& cached = input_token(k);
-                      const rtc::TimeNs target = shaper.next_emission(ctx.now());
+                      rtc::TimeNs target = shaper.next_emission(ctx.now());
+                      producer_drift.apply(target, last_emit, shaper.model().period,
+                                           ctx.rng());
                       if (target > ctx.now()) co_await ctx.delay(target - ctx.now());
                       co_await kpn::write(*producer_sink,
                                           cached.restamped(k, ctx.now()));
                       shaper.commit(ctx.now());
+                      last_emit = ctx.now();
                     }
                   });
 
@@ -221,15 +293,20 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
     std::vector<kpn::Process*>& procs = replica_processes[r_index];
     const std::uint64_t rs = seed_base + 100 * static_cast<std::uint64_t>(r_index + 1);
     const rtc::TimeNs compute = app_.stage_compute_time;
+    // The replica's output-emission stream is traced under "<prefix>.out" so
+    // the online-RTC monitor (and any offline audit) can tap it.
+    const trace::SubjectId out_subject = simulator.trace().intern(prefix + ".out");
+    const DriftParams drift = replica_drift[r_index];
 
     switch (app_.topology) {
       case ReplicaTopology::kSingleStage: {
         procs.push_back(&net.add_process(
             prefix + "." + stage_names[0], core_of(prefix + "." + stage_names[0]), rs + 1,
-            [this, in, out, in_model, out_model, compute](
-                kpn::ProcessContext& ctx) -> sim::Task {
+            [this, in, out, in_model, out_model, compute, &simulator, out_subject,
+             drift](kpn::ProcessContext& ctx) -> sim::Task {
               kpn::TimingShaper consume(in_model, 0, ctx.rng());
               kpn::TimingShaper emit(out_model, 0, ctx.rng());
+              emit.bind_trace(&simulator.trace(), out_subject);
               rtc::TimeNs last_emit = -1;
               while (true) {
                 SCCFT_FAULT_GATE(ctx);
@@ -250,6 +327,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                                               ctx.fault().rate_factor *
                                               static_cast<double>(out_model.period)));
                 }
+                drift.apply(target, last_emit, out_model.period, ctx.rng());
                 if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
                 SCCFT_FAULT_GATE(ctx);
                 co_await kpn::write(*out, kpn::Token(bytes, token.seq(), ctx.now()));
@@ -280,8 +358,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
             }));
         procs.push_back(&net.add_process(
             prefix + ".dec", core_of(prefix + ".dec"), rs + 2,
-            [this, &mid, out, out_model, compute](kpn::ProcessContext& ctx) -> sim::Task {
+            [this, &mid, out, out_model, compute, &simulator, out_subject,
+             drift](kpn::ProcessContext& ctx) -> sim::Task {
               kpn::TimingShaper emit(out_model, 0, ctx.rng());
+              emit.bind_trace(&simulator.trace(), out_subject);
               rtc::TimeNs last_emit = -1;
               while (true) {
                 SCCFT_FAULT_GATE(ctx);
@@ -299,6 +379,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                                               ctx.fault().rate_factor *
                                               static_cast<double>(out_model.period)));
                 }
+                drift.apply(target, last_emit, out_model.period, ctx.rng());
                 if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
                 SCCFT_FAULT_GATE(ctx);
                 co_await kpn::write(*out, kpn::Token(bytes, token.seq(), ctx.now()));
@@ -358,8 +439,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                                          rs + 3, part_body(to_b, from_b)));
         procs.push_back(&net.add_process(
             prefix + ".merge", core_of(prefix + ".merge"), rs + 4,
-            [this, &from_a, &from_b, out, out_model](kpn::ProcessContext& ctx) -> sim::Task {
+            [this, &from_a, &from_b, out, out_model, &simulator, out_subject,
+             drift](kpn::ProcessContext& ctx) -> sim::Task {
               kpn::TimingShaper emit(out_model, 0, ctx.rng());
+              emit.bind_trace(&simulator.trace(), out_subject);
               rtc::TimeNs last_emit = -1;
               while (true) {
                 SCCFT_FAULT_GATE(ctx);
@@ -390,6 +473,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                                               ctx.fault().rate_factor *
                                               static_cast<double>(out_model.period)));
                 }
+                drift.apply(target, last_emit, out_model.period, ctx.rng());
                 if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
                 SCCFT_FAULT_GATE(ctx);
                 co_await kpn::write(*out, kpn::Token(merged, top.seq(), ctx.now()));
@@ -574,6 +658,23 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
   if (platform) {
     result.noc_contention_stalls = platform->noc().contention_stalls();
     registry.add("noc.contention_stalls", result.noc_contention_stalls);
+  }
+  if (online_monitor) {
+    // Finalize at the nominal end time (not simulator.now(), which depends on
+    // the last dispatched event) so snapshots are pure functions of the seed.
+    const auto reports = online_monitor->finalize(run_until);
+    result.online_streams.reserve(reports.size());
+    for (const auto& report : reports) {
+      result.online_streams.push_back({report.name, report.replica, report.events,
+                                       report.upper_violations,
+                                       report.lower_violations, report.first,
+                                       report.snapshot});
+    }
+    if (reports.size() == 3 && reports[0].events > 0) {
+      result.online_margins = rtc::online::redimension(
+          reports[0].snapshot, reports[1].snapshot, reports[2].snapshot,
+          app_.timing.to_model(), result.sizing);
+    }
   }
   if (vcd_sink) {
     simulator.trace().unsubscribe(&*vcd_sink);

@@ -18,11 +18,29 @@
 #include "ft/framework.hpp"
 #include "monitor/distance_function.hpp"
 #include "monitor/watchdog.hpp"
+#include "rtc/online/conformance.hpp"
+#include "rtc/online/dimensioner.hpp"
+#include "rtc/online/snapshot.hpp"
 #include "trace/bus.hpp"
 #include "trace/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace sccft::apps {
+
+/// Gradual timing drift of one stream — the mis-modeled-deployment scenario
+/// the online-RTC monitor exists to catch. Unlike an injected fault (an
+/// abrupt failure the ft layer detects), drift keeps the stream alive but
+/// slides it out of its design PJD envelope: rate creep stretches the
+/// emission spacing, jitter creep adds extra random displacement. No RNG is
+/// drawn before the onset, so the pre-drift prefix of a run is identical to
+/// the drift-free run with the same seed.
+struct DriftSpec {
+  enum class Target { kNone, kProducer, kReplica1, kReplica2 };
+  Target target = Target::kNone;
+  std::uint64_t after_periods = 0;  ///< onset, in producer periods
+  double rate_mult = 1.0;   ///< > 1: emissions at least mult * period apart
+  rtc::TimeNs extra_jitter = 0;  ///< adds U[0, extra_jitter] per emission
+};
 
 struct ExperimentOptions {
   std::uint64_t seed = 1;
@@ -61,6 +79,21 @@ struct ExperimentOptions {
   /// run().
   trace::Sink* trace_sink = nullptr;
   std::uint32_t trace_mask = trace::kAllEvents;
+
+  /// Online-RTC monitor (rtc/online): estimate empirical arrival curves of
+  /// the producer and both replica output streams from their kEmission
+  /// events, check Eq. (2) conformance against the design PJD curves
+  /// (breaches reach the Supervisor path as kCurveViolation), and
+  /// re-dimension Eqs. (3)/(5)/(8) on the measured curves. Duplicated
+  /// network only. kEmission is a data-path event: with
+  /// SCCFT_TRACE_COMPILED_OUT the monitor observes nothing and reports
+  /// zero-event streams (the zero-cost discipline).
+  bool online_monitor = false;
+  int online_levels = 8;                ///< power-of-two lattice size
+  rtc::TimeNs online_base_delta = 0;    ///< Delta_0; 0 = producer period
+
+  /// Timing drift applied to one stream's emissions (see DriftSpec).
+  DriftSpec drift;
 };
 
 struct ExperimentResult {
@@ -94,6 +127,22 @@ struct ExperimentResult {
   std::optional<rtc::TimeNs> watchdog_latency;
 
   std::uint64_t noc_contention_stalls = 0;
+
+  /// Online-RTC results, one entry per monitored stream (producer, r1.out,
+  /// r2.out), populated when options.online_monitor was set.
+  struct OnlineStream {
+    std::string name;
+    int replica = -1;
+    std::uint64_t events = 0;
+    std::uint64_t upper_violations = 0;
+    std::uint64_t lower_violations = 0;
+    std::optional<rtc::online::ConformanceChecker::Violation> first_violation;
+    rtc::online::EmpiricalCurveSnapshot snapshot;
+  };
+  std::vector<OnlineStream> online_streams;
+  /// Eqs. (3)/(5)/(8) re-derived on the measured curves (nullopt when the
+  /// monitor was off or saw no events).
+  std::optional<rtc::online::OnlineMargins> online_margins;
 
   /// Snapshot of the run's full metrics registry (channel gauges/counters,
   /// consumer stream series, trace-event counts). Campaign harnesses merge

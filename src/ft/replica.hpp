@@ -29,6 +29,8 @@ enum class DetectionRule {
   kSelectorStall,        ///< space_i exceeded |S_i| on a consumer read
   kSelectorDivergence,   ///< |received_1 - received_2| reached D
   kSelectorCorruption,   ///< repeated CRC-32 mismatches on arriving tokens
+  kCurveConformance,     ///< empirical arrival curve left the design envelope
+                         ///< (online RTC monitor, Eq. 2 breach)
 };
 
 [[nodiscard]] inline std::string to_string(DetectionRule rule) {
@@ -37,6 +39,7 @@ enum class DetectionRule {
     case DetectionRule::kSelectorStall: return "selector-stall";
     case DetectionRule::kSelectorDivergence: return "selector-divergence";
     case DetectionRule::kSelectorCorruption: return "selector-corruption";
+    case DetectionRule::kCurveConformance: return "curve-conformance";
   }
   return "?";
 }

@@ -65,7 +65,8 @@ Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
   // in particular — still run before the supervisor acts, exactly as they
   // did when everyone sat in the same observer list.
   sim_.trace().subscribe(&sink_, trace::bit(trace::EventKind::kDetection) |
-                                     trace::bit(trace::EventKind::kInjection));
+                                     trace::bit(trace::EventKind::kInjection) |
+                                     trace::bit(trace::EventKind::kCurveViolation));
 }
 
 Supervisor::~Supervisor() { sim_.trace().unsubscribe(&sink_); }
@@ -76,6 +77,18 @@ void Supervisor::BusSink::on_event(const trace::Event& event) {
     // the next detection-latency sample (idempotent with manual
     // note_fault_injected wiring, which records the same instant).
     owner_.note_fault_injected(static_cast<ReplicaIndex>(event.b), event.time);
+    return;
+  }
+  if (event.kind == trace::EventKind::kCurveViolation) {
+    // Online-RTC conformance breach (rtc/online). The subject is the drifted
+    // stream, not the replicator/selector; operand a names the convicted
+    // replica (-1: a non-replica stream such as the producer — noted but not
+    // actionable by replica recovery).
+    if (event.a == 0 || event.a == 1) {
+      owner_.on_detection(DetectionRecord{static_cast<ReplicaIndex>(event.a),
+                                          DetectionRule::kCurveConformance,
+                                          event.time});
+    }
     return;
   }
   if (event.subject != owner_.replicator_.trace_subject() &&

@@ -1,0 +1,85 @@
+// Online verification of the paper's Eq. (2) conformance condition
+//
+//     alpha^l(t - s)  <=  G[s, t)  <=  alpha^u(t - s)
+//
+// against a configured design curve pair, evaluated on a CurveEstimator's
+// lattice. The checker pre-samples the design curves at every lattice point
+// at construction, so a check is a handful of integer comparisons with no
+// curve evaluation on the hot path.
+//
+// Two kinds of breach:
+//   * upper breach — the estimator's current (instant-ending) window count
+//     exceeds alpha^u(Delta_j): the stream bursts beyond its design model
+//     (rate creep, jitter creep). Detected at the event that overflows the
+//     window, so detection latency is one event.
+//   * lower breach — some fully-observed window held fewer events than
+//     alpha^l(Delta_j): the stream starved beyond its design model. Witnessed
+//     by the estimator's running minima, which advance on polls as well as on
+//     events (a silent stream still gets caught).
+//
+// The checker records every breach (counters for the dimensioning report) but
+// exposes `first()` separately so callers can escalate exactly once per
+// stream — the ft::Supervisor treats the first conformance violation like any
+// other detection and re-checks are redundant while recovery is in flight.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rtc/curve.hpp"
+#include "rtc/online/estimator.hpp"
+#include "rtc/time.hpp"
+
+namespace sccft::rtc::online {
+
+class ConformanceChecker {
+ public:
+  struct Violation {
+    TimeNs at = 0;        ///< virtual time of the breach
+    int level = 0;        ///< lattice level that tripped
+    bool upper = false;   ///< true: upper breach, false: lower breach
+    Tokens observed = 0;  ///< the offending window count
+    Tokens bound = 0;     ///< the design-curve value it crossed
+
+    friend bool operator==(const Violation&, const Violation&) = default;
+  };
+
+  /// Samples `design_lower` / `design_upper` on the lattice of `estimator`.
+  /// The estimator reference is only used for its deltas; any estimator with
+  /// the same LatticeConfig may be passed to check().
+  ConformanceChecker(const CurveEstimator& estimator, const Curve& design_lower,
+                     const Curve& design_upper);
+
+  /// Evaluate Eq. (2) on the estimator's current records. Returns the breach
+  /// found this call (if any); all breaches are also counted.
+  std::optional<Violation> check(const CurveEstimator& estimator);
+
+  [[nodiscard]] const std::optional<Violation>& first() const { return first_; }
+  [[nodiscard]] std::uint64_t upper_violations() const { return upper_violations_; }
+  [[nodiscard]] std::uint64_t lower_violations() const { return lower_violations_; }
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+  [[nodiscard]] Tokens upper_bound(int level) const {
+    return upper_bound_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] Tokens lower_bound(int level) const {
+    return lower_bound_[static_cast<std::size_t>(level)];
+  }
+
+ private:
+  std::vector<Tokens> upper_bound_;
+  std::vector<Tokens> lower_bound_;
+  // A lower breach at level j stays visible in the estimator's running
+  // minimum forever; remember the worst value already reported so only a
+  // *deepening* starvation re-counts.
+  std::vector<Tokens> lower_reported_;
+  std::vector<bool> lower_reported_valid_;
+
+  std::optional<Violation> first_;
+  std::uint64_t upper_violations_ = 0;
+  std::uint64_t lower_violations_ = 0;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace sccft::rtc::online

@@ -1,0 +1,65 @@
+// Online re-dimensioning: the paper's Section 3.4 analyses (Eqs. 3-8) re-run
+// on *measured* arrival curves instead of design-time PJD models.
+//
+// Given empirical snapshots of the producer and both replica output streams,
+// the dimensioner rebuilds the measured counterparts of the quantities the
+// framework was dimensioned with —
+//
+//   |F_i|  (Eq. 3)  replicator FIFO capacity against each replica's design
+//                   input service,
+//   D      (Eq. 5)  selector divergence threshold from the replicas' measured
+//                   output curves,
+//   L      (Eq. 8)  silence-fault detection latency at the *designed*
+//                   threshold D, from each replica's measured lower curve —
+//
+// and reports the margins (designed minus measured). For a stream that
+// conforms to its design model the empirical curves are pointwise inside the
+// design envelope, so every margin is >= 0: positive slack means the design
+// over-provisioned; a negative FIFO/D margin means the deployed stream needs
+// more than the design gave it (and the ConformanceChecker will have flagged
+// the same drift at curve level).
+//
+// All computations reuse rtc/sizing verbatim — the sizing code is the oracle,
+// the only new ingredient is the empirical curves. The analysis horizon is
+// clamped to the snapshots' certified span (empirical_horizon) because the
+// measured curves are flat beyond their lattice and would otherwise make
+// every sup look infinite-horizon-stable.
+#pragma once
+
+#include <optional>
+
+#include "rtc/online/snapshot.hpp"
+#include "rtc/sizing.hpp"
+#include "rtc/time.hpp"
+
+namespace sccft::rtc::online {
+
+/// Measured-vs-designed dimensioning quantities. `measured_*` fields are
+/// nullopt when the corresponding bound is infeasible on the measured data
+/// (e.g. the run was too short for any lower window to certify).
+struct OnlineMargins {
+  std::optional<Tokens> measured_fifo1;  ///< Eq. (3) on measured producer upper
+  std::optional<Tokens> measured_fifo2;
+  Tokens designed_fifo1 = 0;
+  Tokens designed_fifo2 = 0;
+
+  std::optional<Tokens> measured_divergence;  ///< Eq. (5) on measured outputs
+  Tokens designed_divergence = 0;
+
+  std::optional<TimeNs> measured_latency;  ///< Eq. (8) at designed D, measured lower
+  TimeNs designed_latency = 0;
+
+  TimeNs horizon = 0;  ///< the clamped analysis horizon actually used
+};
+
+/// Re-run the sizing analyses on measured curves. `design` supplies the
+/// replica-input service curves (Eq. 3 needs the consuming side, which the
+/// emission taps cannot measure) and `designed` the design-time quantities the
+/// margins are taken against.
+[[nodiscard]] OnlineMargins redimension(const EmpiricalCurveSnapshot& producer,
+                                        const EmpiricalCurveSnapshot& replica1_out,
+                                        const EmpiricalCurveSnapshot& replica2_out,
+                                        const NetworkTimingModel& design,
+                                        const SizingReport& designed);
+
+}  // namespace sccft::rtc::online

@@ -1,0 +1,105 @@
+#include "rtc/online/estimator.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace sccft::rtc::online {
+
+CurveEstimator::CurveEstimator(const LatticeConfig& config) {
+  SCCFT_EXPECTS(config.base_delta > 0);
+  SCCFT_EXPECTS(config.levels >= 1);
+  SCCFT_EXPECTS(config.levels <= 48);
+  // The largest window must fit in TimeNs.
+  SCCFT_EXPECTS(config.base_delta <=
+                (std::numeric_limits<TimeNs>::max() >> (config.levels - 1)));
+
+  deltas_.reserve(static_cast<std::size_t>(config.levels));
+  for (int j = 0; j < config.levels; ++j) {
+    deltas_.push_back(config.base_delta << j);
+  }
+  const auto n = deltas_.size();
+  strict_.assign(n, 0);
+  closed_.assign(n, 0);
+  upper_.assign(n, 0);
+  lower_.assign(n, 0);
+  lower_valid_.assign(n, false);
+}
+
+void CurveEstimator::add_event(TimeNs at) {
+  SCCFT_EXPECTS(at >= instant_);
+  SCCFT_EXPECTS(at >= 0);
+  if (first_event_ < 0) first_event_ = at;
+  tail_equal_ = (!times_.empty() && times_.back() == at) ? tail_equal_ + 1 : 1;
+  times_.push_back(at);
+  ++events_;
+  observe(at, /*is_event=*/true);
+}
+
+void CurveEstimator::advance_to(TimeNs at) {
+  SCCFT_EXPECTS(at >= instant_);
+  observe(at, /*is_event=*/false);
+}
+
+Tokens CurveEstimator::window_count(int level) const {
+  SCCFT_EXPECTS(level >= 0 && level < levels());
+  const std::uint64_t end = base_ + times_.size();
+  return static_cast<Tokens>(end - strict_[static_cast<std::size_t>(level)]);
+}
+
+void CurveEstimator::observe(TimeNs at, bool is_event) {
+  instant_ = at;
+  const std::uint64_t end = base_ + times_.size();
+  // Events at exactly `at` belong to (lo, at] windows but not [lo, at) ones —
+  // and only [lo, at) windows are complete (later calls may still add events
+  // at time `at`).
+  const std::uint64_t at_tail =
+      (!times_.empty() && times_.back() == at) ? tail_equal_ : 0;
+
+  for (std::size_t j = 0; j < deltas_.size(); ++j) {
+    const TimeNs lo = at - deltas_[j];
+
+    auto& strict = strict_[j];
+    while (strict < end && times_[static_cast<std::size_t>(strict - base_)] <= lo) ++strict;
+    auto& closed = closed_[j];
+    while (closed < end && times_[static_cast<std::size_t>(closed - base_)] < lo) ++closed;
+
+    if (is_event) {
+      const auto count = static_cast<Tokens>(end - strict);
+      if (count > upper_[j]) upper_[j] = count;
+    }
+    if (first_event_ >= 0 && lo >= first_event_) {
+      const auto count = static_cast<Tokens>(end - closed - at_tail);
+      if (!lower_valid_[j] || count < lower_[j]) {
+        lower_valid_[j] = true;
+        lower_[j] = count;
+      }
+    }
+  }
+
+  // Events older than the largest window can no longer be referenced by any
+  // pointer (all pointers are monotone and already past them).
+  const std::uint64_t keep_from = closed_.back();
+  while (base_ < keep_from) {
+    times_.pop_front();
+    ++base_;
+  }
+}
+
+EmpiricalCurveSnapshot CurveEstimator::snapshot(TimeNs at) {
+  advance_to(at);
+  EmpiricalCurveSnapshot snap;
+  snap.at = instant_;
+  snap.events = events_;
+  snap.first_event = first_event_;
+  snap.points.reserve(deltas_.size());
+  for (std::size_t j = 0; j < deltas_.size(); ++j) {
+    snap.points.push_back({.delta = deltas_[j],
+                           .upper = upper_[j],
+                           .lower = lower_[j],
+                           .lower_valid = lower_valid_[j]});
+  }
+  return snap;
+}
+
+}  // namespace sccft::rtc::online

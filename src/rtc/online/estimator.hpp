@@ -1,0 +1,122 @@
+// Online empirical arrival-curve estimation (the measurement half of the
+// runtime-conformance subsystem).
+//
+// A CurveEstimator watches one token stream — a sequence of emission
+// timestamps in nondecreasing virtual time — and maintains, for every window
+// length Delta_j of a power-of-two lattice
+//
+//     Delta_j = base_delta * 2^j,   j = 0 .. levels-1,
+//
+// two records:
+//
+//   upper_[j] = max over observed event instants t of  G(t - Delta_j, t]
+//   lower_[j] = min over observed instants t of        G[t - Delta_j, t)
+//               (only windows lying fully inside the observed span count)
+//
+// where G(I) is the number of events in interval I. These are the empirical
+// staircases alpha-hat^u / alpha-hat^l of the paper's Eq. (2), sampled on the
+// lattice.
+//
+// Soundness (the property the subsystem's tests pin down): every recorded
+// count is the count of a *real* window of the stream, so for a stream that
+// conforms to a design curve pair (alpha^l, alpha^u),
+//
+//     upper_[j] <= alpha^u(Delta_j)   and   lower_[j] >= alpha^l(Delta_j).
+//
+// The max over (t-Delta, t] windows is restricted to event instants because
+// the supremum of the right-closed window count is attained when the window
+// ends exactly at an event; polling between events can only lower it. The min
+// over [t-Delta, t) windows is updated at every observation (events *and*
+// advance_to polls) because the infimum can occur between events — e.g. a
+// silent stream's minimum is witnessed by polling, never by an event. Windows
+// reaching before the first event are skipped (the stream's span starts at
+// its first emission; counting the idle prefix would record spurious zeros).
+//
+// Mechanics: timestamps are buffered in a deque; per level a pair of
+// monotone pointers marks the first buffered event inside the current
+// window's half-open/closed variants. Pointers only move forward, and events
+// older than the largest lattice window are evicted from the front, so the
+// cost is O(levels) amortized per event and the buffer holds at most the
+// events of the largest window. Everything is keyed to virtual time —
+// snapshots are pure functions of the event stream and therefore
+// byte-identical across repeated runs and across `--jobs` values.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rtc/online/snapshot.hpp"
+#include "rtc/time.hpp"
+
+namespace sccft::rtc::online {
+
+/// The power-of-two window lattice the estimator samples on.
+struct LatticeConfig {
+  TimeNs base_delta = 0;  ///< Delta_0, must be > 0 (typically the stream period)
+  int levels = 8;         ///< lattice size; Delta_max = base_delta << (levels-1)
+};
+
+class CurveEstimator {
+ public:
+  explicit CurveEstimator(const LatticeConfig& config);
+
+  /// Record one emission at virtual time `at` (nondecreasing across calls,
+  /// and not before the last advance_to).
+  void add_event(TimeNs at);
+
+  /// Advance the observation instant without an event — lets the lower-curve
+  /// minima witness silent stretches. Idempotent for equal `at`.
+  void advance_to(TimeNs at);
+
+  [[nodiscard]] int levels() const { return static_cast<int>(deltas_.size()); }
+  [[nodiscard]] TimeNs delta(int level) const { return deltas_[static_cast<std::size_t>(level)]; }
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] TimeNs instant() const { return instant_; }
+  [[nodiscard]] TimeNs first_event() const { return first_event_; }
+
+  /// Current count of events in (instant - Delta_level, instant].
+  [[nodiscard]] Tokens window_count(int level) const;
+
+  /// Running records per level (what snapshot() freezes).
+  [[nodiscard]] Tokens upper_record(int level) const {
+    return upper_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] bool lower_valid(int level) const {
+    return lower_valid_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] Tokens lower_record(int level) const {
+    return lower_[static_cast<std::size_t>(level)];
+  }
+
+  /// Events currently buffered (bounded by the largest window's content).
+  [[nodiscard]] std::size_t buffered_events() const { return times_.size(); }
+
+  /// Advance to `at` and freeze the empirical staircases.
+  [[nodiscard]] EmpiricalCurveSnapshot snapshot(TimeNs at);
+
+ private:
+  void observe(TimeNs at, bool is_event);
+
+  std::vector<TimeNs> deltas_;
+
+  std::deque<TimeNs> times_;   ///< buffered event timestamps, nondecreasing
+  std::uint64_t base_ = 0;     ///< absolute index of times_.front()
+  std::uint64_t tail_equal_ = 0;  ///< trailing events with ts == times_.back()
+
+  // Per level: absolute index of the first buffered event with
+  //   ts >  instant - Delta  (strict_: the (lo, instant] window), and
+  //   ts >= instant - Delta  (closed_: the [lo, instant) window).
+  std::vector<std::uint64_t> strict_;
+  std::vector<std::uint64_t> closed_;
+
+  std::vector<Tokens> upper_;
+  std::vector<Tokens> lower_;
+  std::vector<bool> lower_valid_;
+
+  TimeNs instant_ = 0;
+  TimeNs first_event_ = -1;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace sccft::rtc::online

@@ -1,0 +1,80 @@
+#include "rtc/online/monitor.hpp"
+
+namespace sccft::rtc::online {
+
+OnlineMonitor::OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
+                             std::vector<StreamSpec> specs)
+    : bus_(bus) {
+  streams_.reserve(specs.size());
+  for (auto& spec : specs) {
+    CurveEstimator estimator(lattice);
+    ConformanceChecker checker(estimator, spec.design_lower.get(),
+                               spec.design_upper.get());
+    streams_.push_back(Stream{.subject = bus_.intern(spec.subject),
+                              .name = std::move(spec.name),
+                              .replica = spec.replica,
+                              .estimator = std::move(estimator),
+                              .checker = std::move(checker)});
+  }
+  bus_.subscribe(this, trace::bit(trace::EventKind::kEmission));
+}
+
+OnlineMonitor::~OnlineMonitor() { bus_.unsubscribe(this); }
+
+void OnlineMonitor::on_event(const trace::Event& event) {
+  if (event.kind != trace::EventKind::kEmission) return;
+  for (auto& stream : streams_) {
+    if (stream.subject == event.subject) {
+      stream.estimator.add_event(event.time);
+      handle(stream, event.time);
+    } else if (event.time > stream.estimator.instant()) {
+      // Cross-stream advance: a peer's traffic moves this stream's clock, so
+      // starvation is witnessed without waiting for the starved stream to
+      // speak (or for finalize).
+      stream.estimator.advance_to(event.time);
+      handle(stream, event.time);
+    }
+  }
+}
+
+void OnlineMonitor::handle(Stream& stream, TimeNs at) {
+  const auto violation = stream.checker.check(stream.estimator);
+  if (violation && !stream.escalated) {
+    stream.escalated = true;
+    // Verdict-class event: always-on emit (not the macro) so the supervisor
+    // sees it on the same code path as every other detection.
+    bus_.emit(trace::EventKind::kCurveViolation, stream.subject, at,
+              stream.replica, violation->upper ? 0 : 1, violation->level);
+  }
+}
+
+std::vector<OnlineMonitor::StreamReport> OnlineMonitor::finalize(TimeNs at) {
+  std::vector<StreamReport> reports;
+  reports.reserve(streams_.size());
+  auto& metrics = bus_.metrics();
+  for (auto& stream : streams_) {
+    if (at > stream.estimator.instant()) {
+      stream.estimator.advance_to(at);
+      handle(stream, at);
+    }
+    StreamReport report;
+    report.name = stream.name;
+    report.replica = stream.replica;
+    report.snapshot = stream.estimator.snapshot(stream.estimator.instant());
+    report.events = stream.estimator.events();
+    report.upper_violations = stream.checker.upper_violations();
+    report.lower_violations = stream.checker.lower_violations();
+    report.first = stream.checker.first();
+    metrics.add("online." + stream.name + ".events", report.events);
+    metrics.add("online." + stream.name + ".upper_violations", report.upper_violations);
+    metrics.add("online." + stream.name + ".lower_violations", report.lower_violations);
+    if (report.first) {
+      metrics.gauge_max("online." + stream.name + ".first_violation_ns",
+                        report.first->at);
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace sccft::rtc::online

@@ -1,0 +1,97 @@
+// The runtime glue of the online-RTC subsystem: a TraceBus sink that feeds
+// token-emission events into per-stream CurveEstimators, runs the
+// ConformanceChecker after every observation, and escalates the first breach
+// per stream as a kCurveViolation verdict event — which the ft::Supervisor
+// subscribes to and treats like any other detection.
+//
+// Data flow (ARCHITECTURE.md "Layer 2.6"):
+//
+//     TimingShaper --kEmission--> TraceBus --> OnlineMonitor
+//         OnlineMonitor --> CurveEstimator (per stream)
+//                       --> ConformanceChecker --kCurveViolation--> Supervisor
+//         finalize()    --> snapshots + counters --> MetricsRegistry
+//                           (snapshots feed the OnlineDimensioner offline)
+//
+// The monitor is an optional observer: it costs nothing when not constructed,
+// and because its only input is the kEmission data-path event (emitted via
+// the SCCFT_TRACE macro) it receives *no events at all* when the build
+// defines SCCFT_TRACE_COMPILED_OUT — the zero-cost discipline doubles as a
+// zero-function guarantee, which the micro_overhead gate pins down.
+//
+// Every stream's estimator is advanced on *every* tracked emission (not just
+// its own): a starving stream's lower-curve minima are witnessed by the
+// traffic of its healthy peers, so under-run drift is detected while the
+// stream is still (too) quiet, not only at finalize time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtc/curve.hpp"
+#include "rtc/online/conformance.hpp"
+#include "rtc/online/estimator.hpp"
+#include "rtc/online/snapshot.hpp"
+#include "rtc/time.hpp"
+#include "trace/bus.hpp"
+
+namespace sccft::rtc::online {
+
+/// One stream to watch: which trace subject carries its emissions, what the
+/// design envelope is, and which replica to convict when it drifts.
+struct StreamSpec {
+  std::string subject;  ///< trace subject of the stream's kEmission events
+  std::string name;     ///< short name for metrics/reports ("producer", "r1.out")
+  int replica = -1;     ///< ft replica index for escalation (-1: not a replica)
+  CurveRef design_lower;
+  CurveRef design_upper;
+};
+
+class OnlineMonitor final : public trace::Sink {
+ public:
+  OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
+                std::vector<StreamSpec> specs);
+  ~OnlineMonitor() override;
+  OnlineMonitor(const OnlineMonitor&) = delete;
+  OnlineMonitor& operator=(const OnlineMonitor&) = delete;
+
+  void on_event(const trace::Event& event) override;
+
+  /// Everything the harvest needs about one stream after a run.
+  struct StreamReport {
+    std::string name;
+    int replica = -1;
+    std::uint64_t events = 0;
+    std::uint64_t upper_violations = 0;
+    std::uint64_t lower_violations = 0;
+    std::optional<ConformanceChecker::Violation> first;
+    EmpiricalCurveSnapshot snapshot;
+  };
+
+  /// Advance all streams to `at` (witnessing any terminal starvation), run a
+  /// final conformance check, publish per-stream counters into the bus's
+  /// MetricsRegistry (`online.<name>.*`), and return the reports. Call once,
+  /// after the simulation finishes and before the registry is harvested.
+  std::vector<StreamReport> finalize(TimeNs at);
+
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+
+ private:
+  struct Stream {
+    trace::SubjectId subject = 0;
+    std::string name;
+    int replica = -1;
+    CurveEstimator estimator;
+    ConformanceChecker checker;
+    bool escalated = false;
+  };
+
+  /// Conformance check + one-shot verdict escalation.
+  void handle(Stream& stream, TimeNs at);
+
+  trace::TraceBus& bus_;
+  std::vector<Stream> streams_;
+};
+
+}  // namespace sccft::rtc::online

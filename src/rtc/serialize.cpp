@@ -103,4 +103,60 @@ std::unique_ptr<Curve> curve_from_text(const std::string& text) {
   throw util::ContractViolation("unknown curve tag: " + tag);
 }
 
+std::string snapshot_to_text(const online::EmpiricalCurveSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "empirical " << snapshot.at << " " << snapshot.events << " "
+     << snapshot.first_event << " " << snapshot.points.size();
+  for (const auto& point : snapshot.points) {
+    os << " " << point.delta << " " << point.upper << " " << point.lower << " "
+       << (point.lower_valid ? 1 : 0);
+  }
+  return os.str();
+}
+
+online::EmpiricalCurveSnapshot snapshot_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  is >> tag;
+  if (tag != "empirical") {
+    throw util::ContractViolation("unknown snapshot tag: " + tag);
+  }
+  online::EmpiricalCurveSnapshot snapshot;
+  snapshot.at = read_int(is, "at");
+  const std::int64_t events = read_int(is, "events");
+  if (events < 0) throw util::ContractViolation("malformed snapshot: negative event count");
+  snapshot.events = static_cast<std::uint64_t>(events);
+  snapshot.first_event = read_int(is, "first event");
+  const std::int64_t count = read_int(is, "point count");
+  // A lattice of 2^k windows never has more than a few dozen points; a huge
+  // count is certainly garbage and must not drive a giant allocation.
+  constexpr std::int64_t kMaxPoints = 4096;
+  if (count < 0 || count > kMaxPoints) {
+    throw util::ContractViolation("malformed snapshot: implausible point count " +
+                                  std::to_string(count));
+  }
+  snapshot.points.reserve(static_cast<std::size_t>(count));
+  TimeNs prev_delta = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    online::EmpiricalCurveSnapshot::Point point;
+    point.delta = read_int(is, "point delta");
+    if (point.delta <= prev_delta) {
+      throw util::ContractViolation("malformed snapshot: deltas must be strictly increasing");
+    }
+    prev_delta = point.delta;
+    point.upper = read_int(is, "point upper");
+    point.lower = read_int(is, "point lower");
+    if (point.upper < 0 || point.lower < 0) {
+      throw util::ContractViolation("malformed snapshot: negative window count");
+    }
+    const std::int64_t valid = read_int(is, "point lower-valid flag");
+    if (valid != 0 && valid != 1) {
+      throw util::ContractViolation("malformed snapshot: lower-valid flag must be 0 or 1");
+    }
+    point.lower_valid = valid == 1;
+    snapshot.points.push_back(point);
+  }
+  return snapshot;
+}
+
 }  // namespace sccft::rtc

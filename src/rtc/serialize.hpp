@@ -9,14 +9,17 @@
 //   rate-latency <token_period_ns> <latency_ns>
 //   zero
 //   staircase <base> <jump_count> {<at_ns> <step>}... <tail_start> <tail_period> <tail_step>
+//   empirical <at_ns> <events> <first_event_ns> <point_count> {<delta_ns> <upper> <lower> <lower_valid>}...
 //
-// Round-trip guarantee: parse(serialize(x)) evaluates identically to x.
+// Round-trip guarantee: parse(serialize(x)) evaluates identically to x (for
+// empirical snapshots: compares equal field-by-field).
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "rtc/curve.hpp"
+#include "rtc/online/snapshot.hpp"
 #include "rtc/pjd.hpp"
 
 namespace sccft::rtc {
@@ -33,5 +36,13 @@ namespace sccft::rtc {
 
 /// Parses any curve line produced by curve_to_text.
 [[nodiscard]] std::unique_ptr<Curve> curve_from_text(const std::string& text);
+
+/// Serializes an empirical curve snapshot ("empirical ..." line).
+[[nodiscard]] std::string snapshot_to_text(const online::EmpiricalCurveSnapshot& snapshot);
+
+/// Parses an "empirical ..." line. Throws util::ContractViolation on
+/// malformed input (wrong tag, missing/garbage fields, absurd point counts,
+/// non-increasing deltas, out-of-range flags) — never undefined behaviour.
+[[nodiscard]] online::EmpiricalCurveSnapshot snapshot_from_text(const std::string& text);
 
 }  // namespace sccft::rtc

@@ -25,6 +25,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kReintegrate: return "reintegrate";
     case EventKind::kRestart: return "restart";
     case EventKind::kHealthTransition: return "health-transition";
+    case EventKind::kCurveViolation: return "curve-violation";
     case EventKind::kCount: break;
   }
   return "?";

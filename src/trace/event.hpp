@@ -49,6 +49,9 @@ enum class EventKind : std::uint8_t {
   kReintegrate,       ///< a: replica index (recovery re-admission)
   kRestart,           ///< a: replica index, b: restarts spent so far
   kHealthTransition,  ///< a: replica index, b: from-health, c: to-health
+  kCurveViolation,    ///< empirical curve left the design envelope;
+                      ///< a: replica index (-1: none), b: 0 upper / 1 lower,
+                      ///< c: lattice level
   kCount,
 };
 
@@ -72,7 +75,8 @@ inline constexpr std::uint32_t kVerdictEvents =
     bit(EventKind::kDetection) | bit(EventKind::kQuarantine) |
     bit(EventKind::kInjection) | bit(EventKind::kFreeze) |
     bit(EventKind::kUnfreeze) | bit(EventKind::kReintegrate) |
-    bit(EventKind::kRestart) | bit(EventKind::kHealthTransition);
+    bit(EventKind::kRestart) | bit(EventKind::kHealthTransition) |
+    bit(EventKind::kCurveViolation);
 
 [[nodiscard]] const char* to_string(EventKind kind);
 

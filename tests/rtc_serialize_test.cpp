@@ -3,6 +3,7 @@
 
 #include "rtc/gpc.hpp"
 #include "rtc/minplus.hpp"
+#include "rtc/online/estimator.hpp"
 #include "rtc/serialize.hpp"
 #include "rtc/sizing.hpp"
 #include "util/assert.hpp"
@@ -66,6 +67,49 @@ TEST(Serialize, MalformedInputRejected) {
   EXPECT_THROW((void)curve_from_text("mystery 4"), util::ContractViolation);
   EXPECT_THROW((void)curve_from_text("staircase 0"), util::ContractViolation);
   EXPECT_THROW((void)curve_from_text("pjd-upper 10"), util::ContractViolation);
+}
+
+TEST(Serialize, EmpiricalSnapshotRoundTrip) {
+  // A live snapshot straight from an estimator...
+  online::CurveEstimator estimator({.base_delta = 100, .levels = 4});
+  for (TimeNs t = 100; t <= 1500; t += 100) estimator.add_event(t);
+  const auto live = estimator.snapshot(1500);
+  EXPECT_EQ(snapshot_from_text(snapshot_to_text(live)), live);
+
+  // ...and a hand-built one exercising the edge fields: no events yet
+  // (first_event = -1) and a mix of certified / uncertified lower records.
+  online::EmpiricalCurveSnapshot edge;
+  edge.at = 42;
+  edge.events = 0;
+  edge.first_event = -1;
+  edge.points = {{.delta = 10, .upper = 3, .lower = 1, .lower_valid = true},
+                 {.delta = 20, .upper = 5, .lower = 0, .lower_valid = false}};
+  EXPECT_EQ(snapshot_from_text(snapshot_to_text(edge)), edge);
+}
+
+TEST(Serialize, MalformedSnapshotRejected) {
+  // Wrong tag.
+  EXPECT_THROW((void)snapshot_from_text("staircase 0"), util::ContractViolation);
+  // Truncated header and truncated point list.
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 5"), util::ContractViolation);
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 5 0 1 100 2"),
+               util::ContractViolation);
+  // Negative event count.
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 -5 0 0"), util::ContractViolation);
+  // Implausible point count (must not drive a giant allocation).
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 5 0 999999999"),
+               util::ContractViolation);
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 5 0 -1"), util::ContractViolation);
+  // Deltas must be strictly increasing.
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 5 0 2 100 1 0 1 100 2 0 1"),
+               util::ContractViolation);
+  // Negative window counts.
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 5 0 1 100 -1 0 1"),
+               util::ContractViolation);
+  // Valid flag outside {0, 1}, and garbage where a number belongs.
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 5 0 1 100 2 0 7"),
+               util::ContractViolation);
+  EXPECT_THROW((void)snapshot_from_text("empirical 10 five 0 0"), util::ContractViolation);
 }
 
 TEST(Serialize, ParsedCurvesUsableInSizing) {
