@@ -1,0 +1,308 @@
+// Chaos soak driver: randomized multi-fault storms under invariant oracles,
+// with automatic shrinking of the first failure to a minimal reproducer.
+//
+//   chaos_soak --runs 200 --jobs 8            # the soak itself
+//   chaos_soak --replay /tmp/artifact.txt     # re-execute a failure bundle
+//   chaos_soak --plant-bug drop-after-second-restart --runs 64
+//                                             # end-to-end pipeline check
+//
+// Every run is a pure function of its seed (seed0 + index), so stdout and
+// the CSV are byte-identical for any --jobs value. Wall-clock time, file
+// paths, and progress chatter go to stderr, which is allowed to vary.
+// --minutes caps wall time by stopping BETWEEN blocks of runs: the runs that
+// did execute are still deterministic, but how many fit the budget is not —
+// only --runs-bound soaks are byte-diffable end to end.
+//
+// On the first (lowest-index) violating run the driver writes a failure
+// artifact (seed, fault plan, oracle verdicts, flight-recorder dump,
+// registry snapshot), ddmin-shrinks the plan to a 1-minimal reproducer,
+// appends it to the artifact, and re-validates the artifact by replaying it
+// through the same parse -> run -> oracle path `--replay` uses.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/artifact.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/shrink.hpp"
+#include "chaos/storm.hpp"
+#include "ft/fault_plan.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace sccft::bench {
+namespace {
+
+int restarts_of(const chaos::RunObservation& obs) {
+  return static_cast<int>(
+      std::count_if(obs.transitions.begin(), obs.transitions.end(),
+                    [](const ft::HealthTransition& t) {
+                      return t.to == ft::ReplicaHealth::kRestarting;
+                    }));
+}
+
+struct SoakCell {
+  chaos::StormPlan plan;
+  chaos::RunObservation obs;
+  std::vector<chaos::Violation> violations;
+  std::string log;
+  bool executed = false;
+};
+
+/// Re-runs an artifact's plan (the shrunk one when present) and reports
+/// whether any of the recorded violation codes come back.
+int replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "chaos_soak: cannot open artifact " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  chaos::FailureArtifact artifact;
+  try {
+    artifact = chaos::parse_artifact(text.str());
+  } catch (const util::ContractViolation& violation) {
+    std::cerr << "chaos_soak: malformed artifact: " << violation.what() << "\n";
+    return 2;
+  }
+
+  chaos::StormPlan plan;
+  plan.seed = artifact.seed;
+  plan.run_length = artifact.run_length;
+  plan.faults = artifact.shrunk ? *artifact.shrunk : artifact.plan;
+  const chaos::RunOptions options{.planted = artifact.planted};
+
+  std::cout << "replaying seed " << plan.seed << " with " << plan.faults.size()
+            << " fault(s) (" << (artifact.shrunk ? "shrunk" : "full")
+            << " plan, planted bug: " << chaos::to_string(artifact.planted)
+            << ")\n";
+  const chaos::RunObservation golden =
+      chaos::run_golden(plan.seed, plan.run_length);
+  const chaos::RunObservation obs = chaos::run_storm(plan, options);
+  const std::vector<chaos::Violation> found =
+      chaos::check_invariants(plan, obs, golden);
+
+  bool reproduced = false;
+  for (const chaos::Violation& violation : found) {
+    const bool recorded =
+        std::any_of(artifact.violations.begin(), artifact.violations.end(),
+                    [&](const chaos::Violation& original) {
+                      return original.code == violation.code;
+                    });
+    std::cout << "  " << chaos::to_string(violation.code) << ": "
+              << violation.detail << (recorded ? "" : "  [new]") << "\n";
+    reproduced = reproduced || recorded;
+  }
+  std::cout << (reproduced ? "REPRODUCED\n" : "did NOT reproduce\n");
+  return reproduced ? 0 : 1;
+}
+
+int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
+         chaos::PlantedBug planted, bool shrink, const std::string& csv_path,
+         const std::string& artifact_path) {
+  SCCFT_EXPECTS(runs >= 1);
+  const chaos::StormGenerator generator{chaos::StormConfig{}};
+  const chaos::RunOptions options{.planted = planted};
+
+  std::vector<SoakCell> cells(static_cast<std::size_t>(runs));
+  const auto wall_start = std::chrono::steady_clock::now();
+  // Blocks keep --minutes honest without a mid-run abort: the budget is
+  // checked only at block boundaries, so every executed run is complete.
+  const int block = std::max(4 * jobs, 16);
+  int scheduled = 0;
+  while (scheduled < runs) {
+    if (minutes > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - wall_start;
+      if (elapsed.count() >= minutes * 60.0) break;
+    }
+    const int n = std::min(block, runs - scheduled);
+    util::parallel_for_ordered(n, jobs, [&, scheduled](int i) {
+      util::ScopedLogCapture capture;
+      SoakCell& cell = cells[static_cast<std::size_t>(scheduled + i)];
+      cell.plan = generator.generate(seed0 + static_cast<std::uint64_t>(scheduled + i));
+      const chaos::RunObservation golden =
+          chaos::run_golden(cell.plan.seed, cell.plan.run_length);
+      cell.obs = chaos::run_storm(cell.plan, options);
+      cell.violations = chaos::check_invariants(cell.plan, cell.obs, golden);
+      cell.executed = true;
+      cell.log = capture.take();
+    });
+    scheduled += n;
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  std::cerr << "chaos soak: " << scheduled << "/" << runs << " runs in "
+            << static_cast<long long>(wall.count() * 1000.0)
+            << " ms with --jobs " << jobs << "\n";
+  for (int i = 0; i < scheduled; ++i) {
+    util::flush_captured(cells[static_cast<std::size_t>(i)].log);
+  }
+
+  // Fold in index order: everything below is a pure function of the cells.
+  int clean = 0, lossless = 0;
+  std::map<std::string, int> code_histogram;
+  std::optional<int> first_violating;
+  util::CsvWriter csv({"run", "seed", "faults", "lossless", "consumed",
+                       "restarts", "violations", "first_code"});
+  csv.add_comment("chaos soak, seed0 " + std::to_string(seed0) +
+                  ", planted bug " + chaos::to_string(planted));
+  for (int i = 0; i < scheduled; ++i) {
+    const SoakCell& cell = cells[static_cast<std::size_t>(i)];
+    const bool is_lossless = chaos::plan_is_lossless(cell.plan.faults);
+    if (is_lossless) ++lossless;
+    if (cell.violations.empty()) {
+      ++clean;
+    } else {
+      if (!first_violating) first_violating = i;
+      for (const chaos::Violation& violation : cell.violations) {
+        ++code_histogram[chaos::to_string(violation.code)];
+      }
+    }
+    csv.add_row({std::to_string(i), std::to_string(cell.plan.seed),
+                 std::to_string(cell.plan.faults.size()),
+                 is_lossless ? "1" : "0",
+                 std::to_string(cell.obs.consumed_seqs.size()),
+                 std::to_string(restarts_of(cell.obs)),
+                 std::to_string(cell.violations.size()),
+                 cell.violations.empty()
+                     ? ""
+                     : chaos::to_string(cell.violations.front().code)});
+  }
+
+  util::Table table("Chaos soak: " + std::to_string(scheduled) +
+                    " randomized multi-fault storms (seed0 " +
+                    std::to_string(seed0) + ", planted bug " +
+                    chaos::to_string(planted) + ")");
+  table.set_header({"Metric", "Value"});
+  table.add_row({"runs executed", std::to_string(scheduled)});
+  table.add_row({"clean runs", std::to_string(clean)});
+  table.add_row({"violating runs", std::to_string(scheduled - clean)});
+  table.add_row({"lossless plans", std::to_string(lossless)});
+  for (const auto& [code, count] : code_histogram) {
+    table.add_row({"  " + code, std::to_string(count)});
+  }
+  std::cout << table << "\n";
+
+  if (csv.write_file(csv_path)) {
+    std::cerr << "Series written to " << csv_path << "\n";
+  }
+
+  if (!first_violating) {
+    std::cout << "all runs clean: no artifact produced\n";
+    return 0;
+  }
+
+  // --- failure artifact + shrink + self-replay ------------------------------
+  const SoakCell& failing = cells[static_cast<std::size_t>(*first_violating)];
+  chaos::FailureArtifact artifact = chaos::make_artifact(
+      failing.plan, options, failing.obs, failing.violations);
+  std::cout << "first violation at run " << *first_violating << " (seed "
+            << failing.plan.seed << ", " << failing.plan.faults.size()
+            << " faults):\n";
+  for (const chaos::Violation& violation : failing.violations) {
+    std::cout << "  " << chaos::to_string(violation.code) << ": "
+              << violation.detail << "\n";
+  }
+
+  if (shrink) {
+    const chaos::ShrinkResult minimal =
+        chaos::shrink_plan(failing.plan, options, failing.violations);
+    artifact.shrunk = minimal.faults;
+    std::cout << "shrunk " << failing.plan.faults.size() << " -> "
+              << minimal.faults.size() << " fault(s) in " << minimal.probes
+              << " probes\n";
+    for (const ft::FaultSpec& spec : minimal.faults) {
+      std::cout << "  " << ft::serialize(spec) << "\n";
+    }
+  }
+
+  std::ofstream out(artifact_path);
+  if (out) {
+    out << chaos::serialize(artifact);
+    std::cerr << "Artifact written to " << artifact_path << "\n";
+  } else {
+    std::cerr << "chaos_soak: cannot write artifact " << artifact_path << "\n";
+  }
+
+  // Round-trip the artifact through the replay path to prove the bundle is
+  // self-contained. Deterministic, so it belongs on stdout.
+  const chaos::FailureArtifact parsed =
+      chaos::parse_artifact(chaos::serialize(artifact));
+  chaos::StormPlan replay_plan;
+  replay_plan.seed = parsed.seed;
+  replay_plan.run_length = parsed.run_length;
+  replay_plan.faults = parsed.shrunk ? *parsed.shrunk : parsed.plan;
+  const chaos::RunObservation golden =
+      chaos::run_golden(replay_plan.seed, replay_plan.run_length);
+  const chaos::RunObservation obs =
+      chaos::run_storm(replay_plan, chaos::RunOptions{.planted = parsed.planted});
+  const std::vector<chaos::Violation> found =
+      chaos::check_invariants(replay_plan, obs, golden);
+  const bool reproduced =
+      std::any_of(found.begin(), found.end(), [&](const chaos::Violation& v) {
+        return std::any_of(parsed.violations.begin(), parsed.violations.end(),
+                           [&](const chaos::Violation& original) {
+                             return original.code == v.code;
+                           });
+      });
+  std::cout << "artifact replay: " << (reproduced ? "REPRODUCED" : "LOST") << "\n";
+  return reproduced ? 1 : 3;  // violations found: nonzero either way
+}
+
+}  // namespace
+}  // namespace sccft::bench
+
+int main(int argc, char** argv) {
+  sccft::util::CliParser cli("chaos_soak",
+                             "Randomized multi-fault storms under invariant "
+                             "oracles, with ddmin shrinking");
+  sccft::util::add_jobs_flag(cli);
+  cli.add_flag("runs", "200", "number of storms to run");
+  cli.add_flag("minutes", "0", "wall-clock budget (0 = unlimited; see header)");
+  cli.add_flag("seed0", "1", "seed of the first run (run i uses seed0 + i)");
+  cli.add_flag("plant-bug", "none",
+               "test-only defect: none | drop-after-second-restart | "
+               "corrupt-after-restart");
+  cli.add_flag("shrink", "true", "ddmin-shrink the first failure");
+  cli.add_flag("csv", "/tmp/sccft_chaos_soak.csv", "output CSV path");
+  cli.add_flag("artifact", "/tmp/sccft_chaos_artifact.txt",
+               "failure artifact output path");
+  cli.add_flag("replay", "", "replay a failure artifact instead of soaking");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage();
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  if (!cli.get("replay").empty()) {
+    return sccft::bench::replay(cli.get("replay"));
+  }
+  sccft::chaos::PlantedBug planted = sccft::chaos::PlantedBug::kNone;
+  try {
+    planted = sccft::chaos::planted_bug_from_text(cli.get("plant-bug"));
+  } catch (const sccft::util::ContractViolation&) {
+    std::cerr << "chaos_soak: unknown --plant-bug tag '" << cli.get("plant-bug")
+              << "'\n" << cli.usage();
+    return 2;
+  }
+  return sccft::bench::soak(static_cast<int>(cli.get_int("runs")),
+                            sccft::util::get_jobs(cli), cli.get_double("minutes"),
+                            static_cast<std::uint64_t>(cli.get_int("seed0")),
+                            planted, cli.get_bool("shrink"), cli.get("csv"),
+                            cli.get("artifact"));
+}

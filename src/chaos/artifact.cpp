@@ -1,0 +1,174 @@
+#include "chaos/artifact.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ft/fault_plan.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::chaos {
+namespace {
+
+[[noreturn]] void malformed(const char* what) {
+  util::contract_failure("precondition", what, __FILE__, __LINE__);
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size()) malformed("artifact number has trailing garbage");
+    return value;
+  } catch (const std::logic_error&) {
+    malformed("artifact field is not a number");
+  }
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Consumes lines up to (excluding) the exact terminator line; advances `i`
+/// past the terminator. Throws if the terminator never arrives.
+std::string take_section(const std::vector<std::string>& lines, std::size_t& i,
+                         const std::string& terminator) {
+  std::string body;
+  while (i < lines.size()) {
+    if (lines[i] == terminator) {
+      ++i;
+      return body;
+    }
+    body += lines[i];
+    body += '\n';
+    ++i;
+  }
+  malformed("artifact section is truncated");
+}
+
+std::vector<ft::FaultSpec> parse_plan_section(const std::vector<std::string>& lines,
+                                              std::size_t& i,
+                                              const std::string& terminator) {
+  return ft::parse_fault_plan(take_section(lines, i, terminator));
+}
+
+}  // namespace
+
+FailureArtifact make_artifact(const StormPlan& plan, const RunOptions& options,
+                              const RunObservation& obs,
+                              std::vector<Violation> violations) {
+  SCCFT_EXPECTS(!violations.empty());
+  FailureArtifact artifact;
+  artifact.seed = plan.seed;
+  artifact.run_length = plan.run_length;
+  artifact.planted = options.planted;
+  artifact.violations = std::move(violations);
+  artifact.plan = plan.faults;
+  artifact.flight_csv = obs.flight_csv;
+  artifact.registry_csv = obs.metrics.render_csv();
+  return artifact;
+}
+
+std::string serialize(const FailureArtifact& artifact) {
+  std::ostringstream out;
+  out << "sccft-chaos-artifact v1\n";
+  out << "seed " << artifact.seed << '\n';
+  out << "run-length-ns " << artifact.run_length << '\n';
+  out << "planted " << to_string(artifact.planted) << '\n';
+  for (const Violation& violation : artifact.violations) {
+    out << "violation " << to_string(violation.code) << ' ' << violation.detail
+        << '\n';
+  }
+  out << "plan-begin\n" << ft::serialize(artifact.plan) << "plan-end\n";
+  if (artifact.shrunk) {
+    out << "shrunk-begin\n" << ft::serialize(*artifact.shrunk) << "shrunk-end\n";
+  }
+  out << "flight-begin\n" << artifact.flight_csv;
+  if (!artifact.flight_csv.empty() && artifact.flight_csv.back() != '\n') out << '\n';
+  out << "flight-end\n";
+  out << "registry-begin\n" << artifact.registry_csv;
+  if (!artifact.registry_csv.empty() && artifact.registry_csv.back() != '\n') {
+    out << '\n';
+  }
+  out << "registry-end\n";
+  return out.str();
+}
+
+FailureArtifact parse_artifact(const std::string& text) {
+  const std::vector<std::string> lines = split_lines(text);
+  std::size_t i = 0;
+  if (i >= lines.size() || lines[i] != "sccft-chaos-artifact v1") {
+    malformed("artifact header missing or wrong version");
+  }
+  ++i;
+
+  FailureArtifact artifact;
+  bool seen_seed = false;
+  bool seen_run_length = false;
+  bool seen_plan = false;
+  while (i < lines.size()) {
+    const std::string& line = lines[i];
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key.empty()) {  // blank separator lines are tolerated between sections
+      ++i;
+      continue;
+    }
+    if (key == "seed") {
+      std::string value;
+      fields >> value;
+      artifact.seed = parse_u64(value);
+      seen_seed = true;
+      ++i;
+    } else if (key == "run-length-ns") {
+      std::string value;
+      fields >> value;
+      artifact.run_length = static_cast<rtc::TimeNs>(parse_u64(value));
+      seen_run_length = true;
+      ++i;
+    } else if (key == "planted") {
+      std::string tag;
+      fields >> tag;
+      artifact.planted = planted_bug_from_text(tag);
+      ++i;
+    } else if (key == "violation") {
+      std::string tag;
+      fields >> tag;
+      Violation violation;
+      violation.code = violation_code_from_text(tag);
+      std::getline(fields, violation.detail);
+      if (!violation.detail.empty() && violation.detail.front() == ' ') {
+        violation.detail.erase(0, 1);
+      }
+      artifact.violations.push_back(std::move(violation));
+      ++i;
+    } else if (line == "plan-begin") {
+      ++i;
+      artifact.plan = parse_plan_section(lines, i, "plan-end");
+      seen_plan = true;
+    } else if (line == "shrunk-begin") {
+      ++i;
+      artifact.shrunk = parse_plan_section(lines, i, "shrunk-end");
+    } else if (line == "flight-begin") {
+      ++i;
+      artifact.flight_csv = take_section(lines, i, "flight-end");
+    } else if (line == "registry-begin") {
+      ++i;
+      artifact.registry_csv = take_section(lines, i, "registry-end");
+    } else {
+      malformed("artifact contains an unknown directive");
+    }
+  }
+  if (!seen_seed) malformed("artifact is missing its seed");
+  if (!seen_run_length) malformed("artifact is missing its run length");
+  if (!seen_plan) malformed("artifact is missing its fault plan");
+  if (artifact.violations.empty()) malformed("artifact records no violations");
+  if (artifact.run_length <= 0) malformed("artifact run length must be positive");
+  return artifact;
+}
+
+}  // namespace sccft::chaos

@@ -1,0 +1,70 @@
+// Invariant oracles: the chaos soak's judgment layer.
+//
+// After every storm the oracles re-derive, from the RunObservation alone,
+// whether the run respected the framework's proven properties. Each check is
+// deliberately phrased against a DIFFERENT view of the run than the
+// mechanism it audits (the consumed stream audits the selector, the
+// transition log audits the supervisor, the metrics registry audits the
+// trace spine), so a bug cannot hide by corrupting its own bookkeeping.
+//
+//   * Ordering / duplicate-freedom   — the consumed sequence numbers must be
+//     strictly increasing (selector no-duplicate + in-order, uncondition-
+//     ally: not even a NoC storm may reorder or re-deliver).
+//   * Output equivalence (Theorem 2) — every delivered token must carry the
+//     byte-identical payload fingerprint the fault-free golden run delivered
+//     for that sequence number, and no token may fail its CRC.
+//   * Conviction evidence (Lemma 1)  — a replica may only be convicted if a
+//     fault was actually injected against it before the conviction (any NoC
+//     fault in the plan excuses convictions wholesale: mesh loss starves
+//     innocent cores by design).
+//   * Supervisor legality            — only the documented health-machine
+//     edges, in nondecreasing time, within the restart budget.
+//   * Spine consistency              — the flight recorder's lifetime event
+//     count must equal the CounterSink totals, and the supervisor's restart/
+//     fault counters must equal the transition log.
+//   * No-loss + liveness             — ONLY for lossless plans (see
+//     chaos/storm.hpp): no sequence gap, and the stream still delivering at
+//     the end of the run. Cross-replica and NoC storms can create genuine,
+//     designed gaps, so these two checks are gated on the guarantee's
+//     precondition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "chaos/storm.hpp"
+
+namespace sccft::chaos {
+
+enum class ViolationCode {
+  kContractViolation,    ///< run died on SCCFT_EXPECTS/ENSURES/ASSERT
+  kDuplicateDelivery,    ///< consumed seq repeated or regressed
+  kCorruptDelivery,      ///< consumed token failed its CRC
+  kGoldenMismatch,       ///< payload differs from the fault-free run
+  kUnjustifiedConviction,///< replica convicted with no fault against it
+  kIllegalTransition,    ///< health edge outside the documented machine
+  kBudgetExceeded,       ///< more restarts than the configured budget
+  kSpineInconsistent,    ///< flight recorder / metrics registry disagree
+  kSequenceGap,          ///< lossless plan lost a token
+  kStalledStream,        ///< lossless plan stopped delivering
+};
+
+[[nodiscard]] const char* to_string(ViolationCode code);
+/// Parses a to_string(ViolationCode) tag; throws util::ContractViolation on
+/// an unknown tag.
+[[nodiscard]] ViolationCode violation_code_from_text(const std::string& tag);
+
+struct Violation {
+  ViolationCode code = ViolationCode::kContractViolation;
+  std::string detail;
+};
+
+/// Runs every oracle over `obs`; `golden` is the fault-free reference run for
+/// the same seed. Returns the violations found, in check order (empty =
+/// clean run).
+[[nodiscard]] std::vector<Violation> check_invariants(const StormPlan& plan,
+                                                      const RunObservation& obs,
+                                                      const RunObservation& golden);
+
+}  // namespace sccft::chaos

@@ -1,0 +1,215 @@
+#include "chaos/runner.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "ft/framework.hpp"
+#include "kpn/network.hpp"
+#include "kpn/timing.hpp"
+#include "scc/platform.hpp"
+#include "trace/sinks.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::chaos {
+namespace {
+
+/// Counts supervisor restarts as they happen, so the planted bugs can key
+/// their misbehaviour off the recovery lifecycle.
+struct RestartCounter final : trace::Sink {
+  int restarts = 0;
+  void on_event(const trace::Event&) override { ++restarts; }
+};
+
+}  // namespace
+
+const char* to_string(PlantedBug bug) {
+  switch (bug) {
+    case PlantedBug::kNone: return "none";
+    case PlantedBug::kDropAfterSecondRestart: return "drop-after-second-restart";
+    case PlantedBug::kCorruptAfterRestart: return "corrupt-after-restart";
+  }
+  return "?";
+}
+
+PlantedBug planted_bug_from_text(const std::string& tag) {
+  for (const PlantedBug bug :
+       {PlantedBug::kNone, PlantedBug::kDropAfterSecondRestart,
+        PlantedBug::kCorruptAfterRestart}) {
+    if (tag == to_string(bug)) return bug;
+  }
+  util::contract_failure("precondition", "tag is a known planted bug", __FILE__,
+                         __LINE__);
+}
+
+RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
+  SCCFT_EXPECTS(plan.run_length > 0);
+  sim::Simulator simulator;
+  kpn::Network net(simulator);
+  const bool with_noc =
+      std::any_of(plan.faults.begin(), plan.faults.end(), [](const ft::FaultSpec& s) {
+        return s.kind == ft::FaultKind::kNocLink;
+      });
+  std::optional<scc::Platform> platform;
+  if (with_noc) platform.emplace(simulator);
+
+  ft::AppTimingSpec timing;
+  timing.producer = rtc::PJD::from_ms(10, 1, 10);
+  timing.replica1_in = timing.replica1_out = rtc::PJD::from_ms(10, 2, 10);
+  timing.replica2_in = timing.replica2_out = rtc::PJD::from_ms(10, 6, 10);
+  timing.consumer = rtc::PJD::from_ms(10, 1, 10);
+
+  ft::FaultTolerantHarness::Config config{.timing = timing};
+  if (with_noc) {
+    config.platform = &*platform;
+    config.producer_core = scc::CoreId{0};
+    config.replica1_in_core = config.replica1_out_core = scc::CoreId{2};
+    config.replica2_in_core = config.replica2_out_core = scc::CoreId{4};
+    config.consumer_core = scc::CoreId{6};
+  }
+  ft::FaultTolerantHarness harness(net, config);
+
+  RunObservation obs;
+
+  // The redundant observers: the ring keeps the recent event history for the
+  // failure artifact, the counter sink keeps lifetime per-kind totals in the
+  // registry — the consistency oracle cross-checks the two. Both subscribe
+  // the same mask, so their counts must agree exactly. (The global
+  // install_flight_recorder hook is deliberately NOT used: it is
+  // process-wide state and chaos runs execute many simulators in parallel.)
+  trace::RingBufferSink ring(options.ring_capacity);
+  trace::CounterSink counters(simulator.trace().metrics());
+  simulator.trace().subscribe(&ring, trace::kFlightRecorderMask);
+  simulator.trace().subscribe(&counters, trace::kFlightRecorderMask);
+  RestartCounter restart_counter;
+  simulator.trace().subscribe(&restart_counter,
+                              trace::bit(trace::EventKind::kRestart));
+
+  const std::uint64_t seed = plan.seed;
+  net.add_process("producer", scc::CoreId{0}, seed * 10 + 1,
+                  [&](kpn::ProcessContext& ctx) -> sim::Task {
+                    kpn::TimingShaper shaper(timing.producer, 0, ctx.rng());
+                    for (std::uint64_t k = 0;; ++k) {
+                      const rtc::TimeNs t = shaper.next_emission(ctx.now());
+                      if (t > ctx.now()) co_await ctx.delay(t - ctx.now());
+                      std::vector<std::uint8_t> payload(4, static_cast<std::uint8_t>(k));
+                      co_await kpn::write(harness.replicator(),
+                                          kpn::Token(std::move(payload), k, ctx.now()));
+                      shaper.commit(ctx.now());
+                    }
+                  });
+
+  auto replica_body = [&](ft::ReplicaIndex which, rtc::PJD model) {
+    return [&harness, which, model](kpn::ProcessContext& ctx) -> sim::Task {
+      kpn::TimingShaper emit(model, ctx.now(), ctx.rng());
+      rtc::TimeNs last_emit = -1;
+      while (true) {
+        SCCFT_FAULT_GATE(ctx);
+        kpn::Token token =
+            co_await kpn::read(harness.replicator().read_interface(which));
+        SCCFT_FAULT_GATE(ctx);
+        rtc::TimeNs target = emit.next_emission(ctx.now());
+        if (ctx.fault().rate_factor > 1.0 && last_emit >= 0) {
+          target = std::max(target,
+                            last_emit + static_cast<rtc::TimeNs>(
+                                            ctx.fault().rate_factor *
+                                            static_cast<double>(model.period)));
+        }
+        if (target > ctx.now()) co_await ctx.compute(target - ctx.now());
+        SCCFT_FAULT_GATE(ctx);
+        co_await kpn::write(harness.selector().write_interface(which), token);
+        emit.commit(ctx.now());
+        last_emit = ctx.now();
+      }
+    };
+  };
+  std::vector<kpn::Process*> replicas;
+  replicas.push_back(&net.add_process(
+      "r1", scc::CoreId{2}, seed * 10 + 2,
+      replica_body(ft::ReplicaIndex::kReplica1, timing.replica1_out)));
+  replicas.push_back(&net.add_process(
+      "r2", scc::CoreId{4}, seed * 10 + 3,
+      replica_body(ft::ReplicaIndex::kReplica2, timing.replica2_out)));
+
+  bool planted_fired = false;
+  net.add_process(
+      "consumer", scc::CoreId{6}, seed * 10 + 4,
+      [&](kpn::ProcessContext& ctx) -> sim::Task {
+        kpn::TimingShaper shaper(timing.consumer, 0, ctx.rng());
+        while (true) {
+          const rtc::TimeNs t = shaper.next_emission(ctx.now());
+          if (t > ctx.now()) co_await ctx.delay(t - ctx.now());
+          kpn::Token token = co_await kpn::read(harness.selector());
+          shaper.commit(ctx.now());
+          if (!token.verify_checksum()) ++obs.corrupt_delivered;
+          std::uint32_t fingerprint = token.checksum();
+          // Test-only defect hooks (see PlantedBug).
+          if (options.planted == PlantedBug::kDropAfterSecondRestart &&
+              !planted_fired && restart_counter.restarts >= 2) {
+            planted_fired = true;
+            continue;  // the token vanishes: a manufactured sequence gap
+          }
+          if (options.planted == PlantedBug::kCorruptAfterRestart &&
+              !planted_fired && restart_counter.restarts >= 1) {
+            planted_fired = true;
+            fingerprint ^= 1;  // a manufactured golden-run divergence
+          }
+          obs.consumed_seqs.push_back(token.seq());
+          obs.consumed_times.push_back(ctx.now());
+          obs.consumed_fingerprints.push_back(fingerprint);
+        }
+      });
+
+  std::array<ft::ReplicaAssets, 2> assets{
+      ft::ReplicaAssets{ft::ReplicaIndex::kReplica1, {replicas[0]}, {}},
+      ft::ReplicaAssets{ft::ReplicaIndex::kReplica2, {replicas[1]}, {}}};
+  const ft::Supervisor::Config supervisor_config{
+      .restart_budget = 3, .initial_backoff = rtc::from_ms(20.0)};
+  ft::Supervisor supervisor(simulator, harness.replicator(), harness.selector(),
+                            assets, supervisor_config);
+  obs.restart_budget = supervisor_config.restart_budget;
+
+  ft::FaultCampaign::Wiring wiring;
+  wiring.replicator = &harness.replicator();
+  wiring.selector = &harness.selector();
+  wiring.processes[0] = {replicas[0]};
+  wiring.processes[1] = {replicas[1]};
+  if (with_noc) wiring.noc = &platform->noc();
+  ft::FaultCampaign campaign(simulator, wiring);
+  campaign.set_injection_listener([&](const ft::FaultInjectionRecord& rec) {
+    supervisor.note_fault_injected(rec.replica, rec.at);
+  });
+  for (const ft::FaultSpec& spec : plan.faults) campaign.add(spec);
+  campaign.arm();
+
+  try {
+    net.run_until(plan.run_length);
+  } catch (const util::ContractViolation& violation) {
+    // The run died mid-simulation. Capture what we have — the artifact's
+    // flight recorder is most valuable exactly here.
+    obs.contract_violation = violation.what();
+  }
+
+  obs.transitions = supervisor.transitions();
+  obs.final_health[0] = supervisor.health(ft::ReplicaIndex::kReplica1);
+  obs.final_health[1] = supervisor.health(ft::ReplicaIndex::kReplica2);
+  obs.injections = campaign.injections();
+  obs.flight_total_events = ring.total_events();
+  obs.flight_csv = ring.render_csv(simulator.trace());
+  harness.replicator().publish_metrics(simulator.trace().metrics());
+  harness.selector().publish_metrics(simulator.trace().metrics());
+  obs.metrics = simulator.trace().metrics();
+
+  simulator.trace().unsubscribe(&ring);
+  simulator.trace().unsubscribe(&counters);
+  simulator.trace().unsubscribe(&restart_counter);
+  return obs;
+}
+
+RunObservation run_golden(std::uint64_t seed, rtc::TimeNs run_length) {
+  StormPlan golden;
+  golden.seed = seed;
+  golden.run_length = run_length;
+  return run_storm(golden);
+}
+
+}  // namespace sccft::chaos

@@ -1,0 +1,98 @@
+// Executes one chaos storm against a fresh duplicated network and records
+// everything the invariant oracles (chaos/oracle.hpp) need for their verdict.
+//
+// The rig mirrors the fault-campaign harness (bench/fault_campaign.cpp): a
+// producer, two supervised replicas, a consumer, and a FaultCampaign armed
+// with the storm's fault plan; NoC storms additionally route the duplicated
+// channels over the SCC mesh model. Every run owns an isolated Simulator and
+// derives all randomness from the storm seed, so run_storm is a pure
+// function of (plan, options) — the property the soak driver's --jobs
+// determinism and the shrinker's re-execution both stand on.
+//
+// The observation deliberately captures REDUNDANT views of the same run —
+// the consumed stream, the supervisor's transition log, the flight-recorder
+// ring, and the metrics registry — because several oracles work by
+// cross-checking one view against another.
+//
+// PlantedBug is the test-only defect hook the acceptance criteria call for:
+// it wires a deliberate invariant violation into the consumer so the whole
+// pipeline (oracle -> artifact -> ddmin shrink -> replay) can be exercised
+// end to end against a KNOWN bug, without touching production code paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/storm.hpp"
+#include "ft/supervisor.hpp"
+#include "trace/event.hpp"
+#include "trace/metrics.hpp"
+
+namespace sccft::chaos {
+
+/// Deliberate, test-only defects injected at the consumer boundary.
+enum class PlantedBug {
+  kNone,
+  /// Silently drop one delivered token once two restarts have happened:
+  /// manufactures a sequence gap, which the no-loss oracle must catch on a
+  /// lossless plan (and ddmin must shrink to the <= 2 faults that force the
+  /// two restarts).
+  kDropAfterSecondRestart,
+  /// Record a wrong payload fingerprint for one token after the first
+  /// restart: manufactures a divergence from the fault-free golden run,
+  /// which the output-equivalence oracle catches on ANY plan.
+  kCorruptAfterRestart,
+};
+
+[[nodiscard]] const char* to_string(PlantedBug bug);
+/// Parses a to_string(PlantedBug) tag; throws util::ContractViolation on an
+/// unknown tag.
+[[nodiscard]] PlantedBug planted_bug_from_text(const std::string& tag);
+
+struct RunOptions {
+  PlantedBug planted = PlantedBug::kNone;
+  /// Flight-recorder ring capacity (events retained for the artifact).
+  std::size_t ring_capacity = 4096;
+};
+
+/// Everything observed about one run, in the redundant views the oracles
+/// cross-check.
+struct RunObservation {
+  // --- the delivered stream, in consumption order -------------------------
+  std::vector<std::uint64_t> consumed_seqs;
+  std::vector<rtc::TimeNs> consumed_times;
+  /// CRC-32 fingerprint per consumed token (golden-run equivalence).
+  std::vector<std::uint32_t> consumed_fingerprints;
+  std::uint64_t corrupt_delivered = 0;  ///< tokens failing verify_checksum()
+
+  // --- supervisor ----------------------------------------------------------
+  std::vector<ft::HealthTransition> transitions;
+  ft::ReplicaHealth final_health[2] = {ft::ReplicaHealth::kHealthy,
+                                       ft::ReplicaHealth::kHealthy};
+  int restart_budget = 0;  ///< config echoed for the budget oracle
+
+  // --- fault campaign ------------------------------------------------------
+  std::vector<ft::FaultInjectionRecord> injections;
+
+  // --- trace spine ---------------------------------------------------------
+  std::uint64_t flight_total_events = 0;  ///< ring's lifetime count
+  std::string flight_csv;                 ///< retained ring contents
+  trace::MetricsRegistry metrics;         ///< end-of-run registry snapshot
+
+  /// Set when the run died on a SCCFT_EXPECTS/ENSURES/ASSERT failure instead
+  /// of completing (the message); itself an unconditional violation.
+  std::optional<std::string> contract_violation;
+};
+
+/// Runs `plan` to its run_length and returns the observation. Deterministic:
+/// identical (plan, options) give identical observations.
+[[nodiscard]] RunObservation run_storm(const StormPlan& plan,
+                                       const RunOptions& options = {});
+
+/// The fault-free reference for Theorem-2 output equivalence: the same rig
+/// and seed with an empty fault plan.
+[[nodiscard]] RunObservation run_golden(std::uint64_t seed, rtc::TimeNs run_length);
+
+}  // namespace sccft::chaos

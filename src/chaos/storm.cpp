@@ -1,0 +1,193 @@
+#include "chaos/storm.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::chaos {
+namespace {
+
+/// Uniform simulated duration in [lo_ms, hi_ms).
+rtc::TimeNs ms_between(util::Xoshiro256& rng, double lo_ms, double hi_ms) {
+  return rtc::from_ms(rng.uniform(lo_ms, hi_ms));
+}
+
+ft::ReplicaIndex pick_replica(util::Xoshiro256& rng) {
+  return rng.chance(0.5) ? ft::ReplicaIndex::kReplica1 : ft::ReplicaIndex::kReplica2;
+}
+
+/// A random fault of any replica-targeting kind at `at` against `victim`.
+/// Durations are chosen so every kind can complete (and be detected) well
+/// within a multi-second run.
+ft::FaultSpec replica_fault(util::Xoshiro256& rng, ft::ReplicaIndex victim,
+                            rtc::TimeNs at) {
+  ft::FaultSpec spec;
+  spec.replica = victim;
+  spec.at = at;
+  spec.seed = rng.next();
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+      spec.kind = ft::FaultKind::kPermanentSilence;
+      break;
+    case 1:
+      spec.kind = ft::FaultKind::kTransientSilence;
+      spec.duration = ms_between(rng, 30.0, 300.0);
+      break;
+    case 2:
+      spec.kind = ft::FaultKind::kIntermittentSilence;
+      spec.duration = ms_between(rng, 200.0, 600.0);
+      spec.burst_on_mean = ms_between(rng, 20.0, 60.0);
+      spec.burst_off_mean = ms_between(rng, 80.0, 200.0);
+      break;
+    case 3:
+      spec.kind = ft::FaultKind::kRateDegradation;
+      spec.rate_factor = rng.uniform(2.0, 6.0);
+      spec.duration = ms_between(rng, 100.0, 400.0);
+      break;
+    default:
+      spec.kind = ft::FaultKind::kPayloadCorruption;
+      spec.corrupt_probability = rng.uniform(0.3, 1.0);
+      spec.duration = ms_between(rng, 100.0, 400.0);
+      break;
+  }
+  return spec;
+}
+
+ft::FaultSpec silence_fault(util::Xoshiro256& rng, ft::ReplicaIndex victim,
+                            rtc::TimeNs at) {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kTransientSilence;
+  spec.replica = victim;
+  spec.at = at;
+  spec.duration = ms_between(rng, 150.0, 400.0);
+  spec.seed = rng.next();
+  return spec;
+}
+
+ft::FaultSpec noc_fault(util::Xoshiro256& rng, rtc::TimeNs at) {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kNocLink;
+  spec.at = at;
+  spec.duration = ms_between(rng, 300.0, 800.0);
+  spec.seed = rng.next();
+  spec.noc.chunk_drop_probability = rng.uniform(0.05, 0.4);
+  spec.noc.chunk_delay_probability = rng.uniform(0.0, 0.3);
+  spec.noc.delay_min_ns = 10'000;
+  spec.noc.delay_max_ns = static_cast<rtc::TimeNs>(rng.uniform_int(50'000, 200'000));
+  return spec;
+}
+
+}  // namespace
+
+bool plan_is_lossless(const std::vector<ft::FaultSpec>& faults) {
+  bool saw_replica_fault = false;
+  ft::ReplicaIndex victim = ft::ReplicaIndex::kReplica1;
+  for (const ft::FaultSpec& spec : faults) {
+    if (spec.kind == ft::FaultKind::kNocLink) return false;
+    if (saw_replica_fault && spec.replica != victim) return false;
+    victim = spec.replica;
+    saw_replica_fault = true;
+  }
+  return true;
+}
+
+StormGenerator::StormGenerator(StormConfig config) : config_(config) {
+  SCCFT_EXPECTS(config_.run_length >= rtc::from_sec(1.0));
+  SCCFT_EXPECTS(config_.min_faults >= 1);
+  SCCFT_EXPECTS(config_.max_faults >= config_.min_faults);
+  SCCFT_EXPECTS(config_.adversarial_probability >= 0.0 &&
+                config_.adversarial_probability <= 1.0);
+}
+
+StormPlan StormGenerator::generate(std::uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  StormPlan plan;
+  plan.seed = seed;
+  plan.run_length = config_.run_length;
+
+  // Onsets land in the steady-state window: past the start-up transient and
+  // early enough that detection + restart can still play out before the end.
+  const double onset_lo = 200.0;
+  const double onset_hi = rtc::to_ms(config_.run_length) - 300.0;
+  auto onset = [&] { return ms_between(rng, onset_lo, onset_hi); };
+
+  const int n_faults =
+      static_cast<int>(rng.uniform_int(config_.min_faults, config_.max_faults));
+
+  if (!rng.chance(config_.adversarial_probability)) {
+    // Guarded storm: every fault hits ONE victim, so the untouched peer keeps
+    // the no-loss guarantee alive no matter how badly the victim flaps.
+    const ft::ReplicaIndex victim = pick_replica(rng);
+    for (int i = 0; i < n_faults; ++i) {
+      plan.faults.push_back(replica_fault(rng, victim, onset()));
+    }
+  } else {
+    // Adversarial template: a hand-picked cross-replica interleaving seeds
+    // the storm, then random faults fill it up to n_faults.
+    const ft::ReplicaIndex a = pick_replica(rng);
+    const ft::ReplicaIndex b = ft::other(a);
+    const int max_template = config_.allow_noc ? 4 : 3;
+    switch (rng.uniform_int(0, max_template)) {
+      case 0: {
+        // Second fault during the first one's reintegration: the follow-up
+        // onset is drawn across conviction + backoff + resync of fault A.
+        const ft::FaultSpec first = silence_fault(rng, a, onset());
+        plan.faults.push_back(first);
+        plan.faults.push_back(replica_fault(
+            rng, b, first.at + ms_between(rng, 150.0, 500.0)));
+        break;
+      }
+      case 1: {
+        // Corruption while the peer's restart backoff leaves this replica as
+        // the sole deliverer.
+        const ft::FaultSpec first = silence_fault(rng, a, onset());
+        ft::FaultSpec corrupt;
+        corrupt.kind = ft::FaultKind::kPayloadCorruption;
+        corrupt.replica = b;
+        corrupt.at = first.at + ms_between(rng, 50.0, 200.0);
+        corrupt.duration = ms_between(rng, 100.0, 400.0);
+        corrupt.corrupt_probability = rng.uniform(0.3, 1.0);
+        corrupt.seed = rng.next();
+        plan.faults.push_back(first);
+        plan.faults.push_back(corrupt);
+        break;
+      }
+      case 2: {
+        // Rate drift on one replica plus silence on the other: the drifting
+        // side must carry the stream while convicted-and-slow.
+        ft::FaultSpec drift;
+        drift.kind = ft::FaultKind::kRateDegradation;
+        drift.replica = a;
+        drift.at = onset();
+        drift.rate_factor = rng.uniform(2.0, 6.0);
+        drift.duration = ms_between(rng, 300.0, 800.0);
+        drift.seed = rng.next();
+        plan.faults.push_back(drift);
+        plan.faults.push_back(
+            silence_fault(rng, b, drift.at + ms_between(rng, 100.0, 400.0)));
+        break;
+      }
+      case 3: {
+        // Plain cross-replica mix; the fill loop below does the work.
+        plan.faults.push_back(replica_fault(rng, a, onset()));
+        break;
+      }
+      default: {
+        // Mesh loss stacked on a replica outage: retransmissions fight for a
+        // window in which only one replica produces.
+        const ft::FaultSpec mesh = noc_fault(rng, onset());
+        plan.faults.push_back(mesh);
+        plan.faults.push_back(silence_fault(
+            rng, a, mesh.at + ms_between(rng, 50.0, 200.0)));
+        break;
+      }
+    }
+    while (static_cast<int>(plan.faults.size()) < n_faults) {
+      plan.faults.push_back(replica_fault(rng, pick_replica(rng), onset()));
+    }
+  }
+  return plan;
+}
+
+}  // namespace sccft::chaos

@@ -1,0 +1,71 @@
+// Randomized multi-fault storm generation (the chaos soak's input side).
+//
+// A *storm* is a seeded-random fault plan drawn from the full FaultKind
+// taxonomy of ft/fault_plan.hpp: several faults per run, hitting both
+// replicas, the NoC links, and the channels, with randomized onsets and
+// durations. Beyond uniform sampling, the generator deliberately composes
+// the adversarial interleavings that single-fault campaigns never reach:
+// a second fault landing during a reintegration window, corruption during a
+// restart backoff, rate drift on one replica while the other goes silent,
+// and mesh loss stacked on top of a replica outage (StreamGuard-style
+// perturbation campaigns, arXiv:2606.30848).
+//
+// Every stochastic choice comes from one xoshiro256** stream seeded by the
+// storm seed, so plan generation is bit-reproducible: the seed alone
+// recreates the plan, and the serialized plan (ft/fault_plan.hpp) recreates
+// the run without the generator.
+//
+// Storms are classified on generation: a plan is *lossless* iff the no-loss
+// guarantee of the paper's Theorem 2 applies to it — every fault targets the
+// SAME replica and the mesh is untouched, so the healthy peer covers the
+// whole stream (even through restart-budget exhaustion, which degrades to
+// single-replica pass-through). The invariant oracles (chaos/oracle.hpp) run
+// the no-gap and liveness checks only on lossless plans; cross-replica and
+// NoC storms keep the ordering, duplicate-freedom, and output-equivalence
+// oracles, where genuine gaps are part of the designed semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ft/fault_plan.hpp"
+#include "rtc/time.hpp"
+
+namespace sccft::chaos {
+
+/// One generated chaos run input: the seed recreates `faults` exactly.
+struct StormPlan {
+  std::uint64_t seed = 0;
+  rtc::TimeNs run_length = 0;
+  std::vector<ft::FaultSpec> faults;
+};
+
+/// True iff the Theorem-2 no-loss guarantee applies: no NoC faults and all
+/// replica faults hit one victim, leaving the peer to cover the stream.
+[[nodiscard]] bool plan_is_lossless(const std::vector<ft::FaultSpec>& faults);
+
+struct StormConfig {
+  rtc::TimeNs run_length = rtc::from_sec(2.0);
+  /// Faults per storm, inclusive bounds.
+  int min_faults = 1;
+  int max_faults = 4;
+  /// Permit kNocLink faults in adversarial storms.
+  bool allow_noc = true;
+  /// Probability of drawing an adversarial cross-replica template instead of
+  /// a guarded single-victim (lossless) storm.
+  double adversarial_probability = 0.5;
+};
+
+/// Seeded storm factory. Stateless between calls: generate(seed) is a pure
+/// function of (config, seed).
+class StormGenerator final {
+ public:
+  explicit StormGenerator(StormConfig config = {});
+
+  [[nodiscard]] StormPlan generate(std::uint64_t seed) const;
+
+ private:
+  StormConfig config_;
+};
+
+}  // namespace sccft::chaos

@@ -1,7 +1,11 @@
 #include "ft/fault_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
 #include <limits>
+#include <sstream>
 
 #include "util/assert.hpp"
 
@@ -17,6 +21,168 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kNocLink: return "noc-link";
   }
   return "?";
+}
+
+FaultKind fault_kind_from_text(const std::string& tag) {
+  for (const FaultKind kind :
+       {FaultKind::kPermanentSilence, FaultKind::kTransientSilence,
+        FaultKind::kIntermittentSilence, FaultKind::kRateDegradation,
+        FaultKind::kPayloadCorruption, FaultKind::kNocLink}) {
+    if (tag == to_string(kind)) return kind;
+  }
+  util::contract_failure("precondition", "tag is a known fault kind", __FILE__,
+                         __LINE__);
+}
+
+// ---------------------------------------------------------------------------
+// Text serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kMaxPlanLines = 10'000;
+
+/// Full-precision double rendering so parse(serialize(x)) is exact.
+std::string render_double(double value) {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+  return out.str();
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::int64_t parse_int(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  SCCFT_EXPECTS(end != nullptr && *end == '\0' && end != token.c_str());
+  SCCFT_EXPECTS(errno != ERANGE);
+  return static_cast<std::int64_t>(value);
+}
+
+std::uint64_t parse_uint(const std::string& token) {
+  SCCFT_EXPECTS(!token.empty() && token.front() != '-');
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  SCCFT_EXPECTS(end != nullptr && *end == '\0' && end != token.c_str());
+  SCCFT_EXPECTS(errno != ERANGE);
+  return static_cast<std::uint64_t>(value);
+}
+
+double parse_double(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  SCCFT_EXPECTS(end != nullptr && *end == '\0' && end != token.c_str());
+  SCCFT_EXPECTS(errno != ERANGE);
+  SCCFT_EXPECTS(std::isfinite(value));
+  return value;
+}
+
+}  // namespace
+
+std::string serialize(const FaultSpec& spec) {
+  std::ostringstream out;
+  out << "fault " << to_string(spec.kind) << ' '
+      << (index_of(spec.replica) + 1) << ' ' << spec.at << ' ' << spec.duration
+      << ' ' << render_double(spec.rate_factor) << ' '
+      << render_double(spec.corrupt_probability) << ' ' << spec.burst_on_mean
+      << ' ' << spec.burst_off_mean << ' ' << spec.seed << ' '
+      << render_double(spec.noc.chunk_drop_probability) << ' '
+      << render_double(spec.noc.chunk_delay_probability) << ' '
+      << spec.noc.delay_min_ns << ' ' << spec.noc.delay_max_ns << ' '
+      << spec.noc.max_retries << ' ' << spec.noc.retry_timeout_ns;
+  return out.str();
+}
+
+std::string serialize(const std::vector<FaultSpec>& plan) {
+  std::string out;
+  for (const FaultSpec& spec : plan) {
+    out += serialize(spec);
+    out += '\n';
+  }
+  return out;
+}
+
+FaultSpec parse_fault_spec(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  SCCFT_EXPECTS(tokens.size() == 16);
+  SCCFT_EXPECTS(tokens[0] == "fault");
+
+  FaultSpec spec;
+  spec.kind = fault_kind_from_text(tokens[1]);
+  const std::int64_t replica = parse_int(tokens[2]);
+  SCCFT_EXPECTS(replica == 1 || replica == 2);
+  spec.replica = replica == 1 ? ReplicaIndex::kReplica1 : ReplicaIndex::kReplica2;
+  spec.at = parse_int(tokens[3]);
+  SCCFT_EXPECTS(spec.at >= 0);
+  spec.duration = parse_int(tokens[4]);
+  SCCFT_EXPECTS(spec.duration >= 0);
+  spec.rate_factor = parse_double(tokens[5]);
+  spec.corrupt_probability = parse_double(tokens[6]);
+  SCCFT_EXPECTS(spec.corrupt_probability >= 0.0 && spec.corrupt_probability <= 1.0);
+  spec.burst_on_mean = parse_int(tokens[7]);
+  SCCFT_EXPECTS(spec.burst_on_mean >= 0);
+  spec.burst_off_mean = parse_int(tokens[8]);
+  SCCFT_EXPECTS(spec.burst_off_mean >= 0);
+  spec.seed = parse_uint(tokens[9]);
+  spec.noc.chunk_drop_probability = parse_double(tokens[10]);
+  SCCFT_EXPECTS(spec.noc.chunk_drop_probability >= 0.0 &&
+                spec.noc.chunk_drop_probability <= 1.0);
+  spec.noc.chunk_delay_probability = parse_double(tokens[11]);
+  SCCFT_EXPECTS(spec.noc.chunk_delay_probability >= 0.0 &&
+                spec.noc.chunk_delay_probability <= 1.0);
+  spec.noc.delay_min_ns = parse_int(tokens[12]);
+  SCCFT_EXPECTS(spec.noc.delay_min_ns >= 0);
+  spec.noc.delay_max_ns = parse_int(tokens[13]);
+  SCCFT_EXPECTS(spec.noc.delay_max_ns >= spec.noc.delay_min_ns);
+  spec.noc.max_retries = static_cast<int>(parse_int(tokens[14]));
+  SCCFT_EXPECTS(spec.noc.max_retries >= 0);
+  spec.noc.retry_timeout_ns = parse_int(tokens[15]);
+  SCCFT_EXPECTS(spec.noc.retry_timeout_ns >= 0);
+
+  // Per-kind semantic checks, mirroring FaultCampaign::add: a plan that
+  // parses is a plan that arms.
+  switch (spec.kind) {
+    case FaultKind::kPermanentSilence:
+    case FaultKind::kNocLink:
+      break;
+    case FaultKind::kTransientSilence:
+      SCCFT_EXPECTS(spec.duration > 0);
+      break;
+    case FaultKind::kIntermittentSilence:
+      SCCFT_EXPECTS(spec.duration > 0);
+      SCCFT_EXPECTS(spec.burst_on_mean > 0 && spec.burst_off_mean > 0);
+      break;
+    case FaultKind::kRateDegradation:
+      SCCFT_EXPECTS(spec.rate_factor > 1.0);
+      break;
+    case FaultKind::kPayloadCorruption:
+      SCCFT_EXPECTS(spec.corrupt_probability > 0.0);
+      break;
+  }
+  return spec;
+}
+
+std::vector<FaultSpec> parse_fault_plan(const std::string& text) {
+  std::vector<FaultSpec> plan;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    SCCFT_EXPECTS(++lines <= kMaxPlanLines);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    plan.push_back(parse_fault_spec(line));
+  }
+  return plan;
 }
 
 FaultCampaign::FaultCampaign(sim::Simulator& sim, Wiring wiring)

@@ -51,6 +51,10 @@ enum class FaultKind {
 
 [[nodiscard]] std::string to_string(FaultKind kind);
 
+/// Parses a to_string(FaultKind) tag. Throws util::ContractViolation on an
+/// unknown tag.
+[[nodiscard]] FaultKind fault_kind_from_text(const std::string& tag);
+
 /// One fault to inject. Which fields matter depends on `kind`; unused fields
 /// are ignored. All times are absolute simulated times.
 struct FaultSpec {
@@ -68,6 +72,38 @@ struct FaultSpec {
   std::uint64_t seed = 1;            ///< per-spec deterministic RNG stream
   scc::NocFaultPlan noc;             ///< kNocLink parameters (window set from at/duration)
 };
+
+// ---------------------------------------------------------------------------
+// Text serialization — the chaos artifact / replay format (src/chaos).
+//
+// One line per fault, whitespace-separated, same idiom as rtc/serialize.hpp:
+//
+//   fault <kind> <replica:1|2> <at_ns> <duration_ns> <rate_factor>
+//         <corrupt_probability> <burst_on_ns> <burst_off_ns> <seed>
+//         <noc_drop_p> <noc_delay_p> <noc_delay_min_ns> <noc_delay_max_ns>
+//         <noc_max_retries> <noc_retry_timeout_ns>
+//
+// A plan is a sequence of such lines; blank lines and lines starting with '#'
+// are ignored. Round-trip guarantee: parse(serialize(x)) == x field-by-field
+// (the NoC window/seed are derived from at/duration/seed at arm() time and
+// are deliberately not serialized).
+// ---------------------------------------------------------------------------
+
+/// Serializes one fault as a single "fault ..." line (no trailing newline).
+[[nodiscard]] std::string serialize(const FaultSpec& spec);
+
+/// Serializes a plan, one "fault ..." line per spec, trailing newline each.
+[[nodiscard]] std::string serialize(const std::vector<FaultSpec>& plan);
+
+/// Parses one "fault ..." line. Throws util::ContractViolation on malformed
+/// input: wrong tag, missing/extra/garbage fields, out-of-range values, or a
+/// spec that FaultCampaign::add would reject (e.g. a transient silence with
+/// zero duration) — never undefined behaviour.
+[[nodiscard]] FaultSpec parse_fault_spec(const std::string& line);
+
+/// Parses a multi-line plan (blank lines and '#' comments skipped). Throws
+/// util::ContractViolation on any malformed line or absurd line counts.
+[[nodiscard]] std::vector<FaultSpec> parse_fault_plan(const std::string& text);
 
 /// A recorded fault activation (one per permanent/transient/rate/corruption
 /// injection; one per burst for intermittent faults).

@@ -114,14 +114,26 @@ bool NReplicatorChannel::try_write(const kpn::Token& token) {
     if (queue.waiting_reader && !queue.reader_frozen) {
       auto reader = queue.waiting_reader;
       queue.waiting_reader = nullptr;
-      Queue* q = &queue;
-      sim_.schedule_after(0, [q, reader] {
-        if (!q->reader_frozen) reader.resume();
-      });
+      wake_reader(queue, reader);
     }
   }
   if (!any_healthy) ++dropped_;  // beyond the (N-1)-fault hypothesis
   return true;
+}
+
+void NReplicatorChannel::wake_reader(Queue& queue, std::coroutine_handle<> reader) {
+  // The epoch guard drops the wake if a restart invalidated the handle; if a
+  // freeze lands between scheduling and firing, the handle is re-parked
+  // instead of resumed so its in-flight read survives the fault.
+  Queue* q = &queue;
+  sim_.schedule_after(0, [q, reader, epoch = queue.epoch] {
+    if (q->epoch != epoch) return;
+    if (q->reader_frozen) {
+      q->waiting_reader = reader;
+      return;
+    }
+    reader.resume();
+  });
 }
 
 void NReplicatorChannel::await_writable(std::coroutine_handle<> writer) {
@@ -145,10 +157,7 @@ void NReplicatorChannel::queue_await_readable(int replica,
   queue.waiting_reader = reader;
   if (!queue.slots.empty() && !queue.reader_frozen) {
     queue.waiting_reader = nullptr;
-    Queue* q = &queue;
-    sim_.schedule_after(0, [q, reader] {
-      if (!q->reader_frozen) reader.resume();
-    });
+    wake_reader(queue, reader);
   }
 }
 
@@ -187,6 +196,30 @@ void NReplicatorChannel::freeze_reader(int replica) {
   queues_[static_cast<std::size_t>(replica)].reader_frozen = true;
 }
 
+void NReplicatorChannel::unfreeze_reader(int replica) {
+  Queue& queue = queues_[static_cast<std::size_t>(replica)];
+  if (!queue.reader_frozen) return;
+  queue.reader_frozen = false;
+  if (queue.waiting_reader && !queue.slots.empty()) {
+    auto reader = queue.waiting_reader;
+    queue.waiting_reader = nullptr;
+    wake_reader(queue, reader);
+  }
+}
+
+void NReplicatorChannel::reintegrate(int replica) {
+  SCCFT_EXPECTS(replica >= 0 && replica < replica_count());
+  Queue& queue = queues_[static_cast<std::size_t>(replica)];
+  queue.fault = false;
+  queue.detection.reset();
+  queue.reader_frozen = false;
+  queue.waiting_reader = nullptr;  // restart destroyed the old coroutine frame
+  ++queue.epoch;                   // invalidate any wake already scheduled
+  // Rejoin at the producer's CURRENT position: the stale backlog belongs to
+  // pairs the peers already delivered (or to a gap no replay can repair).
+  queue.slots.clear();
+}
+
 kpn::ChannelStats NReplicatorChannel::stats() const {
   kpn::ChannelStats total;
   for (const Queue& queue : queues_) {
@@ -217,6 +250,7 @@ NSelectorChannel::NSelectorChannel(sim::Simulator& sim, std::string name, Config
     SCCFT_EXPECTS(config.initials[i] >= 0 && config.initials[i] <= config.capacities[i]);
     sides_[i].capacity = config.capacities[i];
     sides_[i].space = config.capacities[i] - config.initials[i];
+    sides_[i].initial = config.initials[i];
     interfaces_.push_back(std::make_unique<WriteInterface>(*this, static_cast<int>(i)));
   }
 }
@@ -237,6 +271,44 @@ bool NSelectorChannel::side_try_write(int replica, const kpn::Token& token) {
     return false;
   }
 
+  if (side.resync_pending) {
+    // A rejoining replica may only re-enter AT the delivered frontier. The
+    // frontier is defined by the most advanced non-resyncing peer; if this
+    // token is ahead of that peer's last_seq + 1, the missing sequence
+    // numbers exist solely in peers' pipelines, and enqueueing now would
+    // deliver the future before the past — a permanent gap. Hold the write
+    // while a HEALTHY peer still owns the frontier (conviction of that peer
+    // lifts the hold: the gap is then genuine and this side must flow).
+    const Side* leader = nullptr;  // healthy frontier owner (hold authority)
+    const Side* anchor = nullptr;  // most advanced peer (resync reference)
+    for (std::size_t j = 0; j < sides_.size(); ++j) {
+      if (static_cast<int>(j) == replica) continue;
+      const Side& candidate = sides_[j];
+      if (candidate.resync_pending) continue;  // pre-fault-epoch counters
+      if (!anchor || candidate.received > anchor->received) anchor = &candidate;
+      if (candidate.fault) continue;
+      if (!leader || candidate.received > leader->received) leader = &candidate;
+    }
+    if (leader && leader->received > 0 && token.seq() > leader->last_seq + 1) {
+      side.held_seq = token.seq();
+      ++stats_.writer_blocks;
+      return false;
+    }
+    // Recovery: align this side's counter with the most advanced peer using
+    // sequence numbers, so duplicate-group identity stays exact despite the
+    // tokens this replica missed while down. The space budget was already
+    // re-anchored by reintegrate(); reads during the pipeline refill must
+    // not count against its stall budget.
+    side.resync_pending = false;
+    side.space = side.capacity - side.initial;
+    if (anchor && anchor->received > 0) {
+      const auto delta = static_cast<std::int64_t>(token.seq()) -
+                         static_cast<std::int64_t>(anchor->last_seq) - 1;
+      const auto synced = static_cast<std::int64_t>(anchor->received) + delta;
+      side.received = synced > 0 ? static_cast<std::uint64_t>(synced) : 0;
+    }
+  }
+
   // First-of-group test: this is interface i's (received+1)-th token; it is
   // fresh iff no peer has delivered that many tokens yet.
   std::uint64_t best_peer = 0;
@@ -244,20 +316,35 @@ bool NSelectorChannel::side_try_write(int replica, const kpn::Token& token) {
     if (static_cast<int>(j) == replica) continue;
     best_peer = std::max(best_peer, sides_[j].received);
   }
-  const bool fresh = side.received + 1 > best_peer;
+  // Seq-monotone safety net, mirroring the 2-replica selector: input loss
+  // can skew the replicas' arrival counts until the same sequence number
+  // tests fresh on more than one interface, so nothing at or below the
+  // enqueued frontier is ever delivered twice.
+  const bool fresh = side.received + 1 > best_peer &&
+                     static_cast<std::int64_t>(token.seq()) > last_enqueued_seq_;
 
   side.space -= 1;
   side.received += 1;
+  side.last_seq = token.seq();
   ++stats_.tokens_written;
 
   if (fresh) {
     queue_.push_back(token);
+    last_enqueued_seq_ = static_cast<std::int64_t>(token.seq());
     stats_.max_fill = std::max(stats_.max_fill, fill());
     wake_reader();
   } else {
     ++stats_.tokens_dropped;
   }
   check_divergence();
+  // This delivery advanced the frontier; a peer writer held at its rejoin
+  // point may now be able to proceed.
+  for (const Side& peer : sides_) {
+    if (peer.resync_pending && peer.waiting_writer) {
+      wake_writers();
+      break;
+    }
+  }
   return true;
 }
 
@@ -275,10 +362,13 @@ std::optional<kpn::Token> NSelectorChannel::try_read() {
   for (Side& side : sides_) side.space += 1;
   if (enable_stall_rule_) {
     // Flag any interface whose space exceeded its bound, as long as at least
-    // one healthy peer would remain ((N-1)-fault hypothesis).
+    // one healthy peer would remain ((N-1)-fault hypothesis). A side awaiting
+    // its post-recovery resync is immune: its counters refer to the pre-fault
+    // epoch until its first write re-anchors them.
     for (std::size_t i = 0; i < sides_.size(); ++i) {
       Side& side = sides_[i];
-      if (!side.fault && side.space > side.capacity && healthy_count() > 1) {
+      if (!side.fault && !side.resync_pending && side.space > side.capacity &&
+          healthy_count() > 1) {
         declare_fault(static_cast<int>(i), DetectionRule::kSelectorStall);
       }
     }
@@ -300,22 +390,25 @@ void NSelectorChannel::declare_fault(int replica, DetectionRule rule) {
   side.fault = true;
   side.detection = NDetectionRecord{replica, rule, sim_.now()};
   if (observer_) observer_(*side.detection);
-  if (side.waiting_writer) {
-    auto writer = side.waiting_writer;
-    side.waiting_writer = nullptr;
-    sim_.schedule_after(0, [writer] { writer.resume(); });
-  }
+  // Release any writer blocked on this interface so a zombie replica cannot
+  // wedge; its retried write is accepted-and-dropped via the fault path.
+  // This also releases a peer writer held at its rejoin frontier: with this
+  // side convicted, the hold no longer applies.
+  wake_writers();
 }
 
 void NSelectorChannel::check_divergence() {
   if (divergence_threshold_ <= 0) return;
   std::uint64_t best = 0;
   for (const Side& side : sides_) {
-    if (!side.fault) best = std::max(best, side.received);
+    // A resyncing side's received count is pre-fault-epoch noise: it neither
+    // defines the leader nor can be convicted until its first write
+    // re-anchors it (recovery grace, as in the 2-replica selector).
+    if (!side.fault && !side.resync_pending) best = std::max(best, side.received);
   }
   for (std::size_t i = 0; i < sides_.size(); ++i) {
     Side& side = sides_[i];
-    if (side.fault) continue;
+    if (side.fault || side.resync_pending) continue;
     if (healthy_count() <= 1) break;  // never convict the last healthy replica
     if (best >= side.received + static_cast<std::uint64_t>(divergence_threshold_)) {
       declare_fault(static_cast<int>(i), DetectionRule::kSelectorDivergence);
@@ -330,12 +423,43 @@ void NSelectorChannel::wake_reader() {
   sim_.schedule_after(0, [reader] { reader.resume(); });
 }
 
+bool NSelectorChannel::frontier_hold_active(std::size_t i) const {
+  const Side& side = sides_[i];
+  if (!side.resync_pending) return false;
+  const Side* leader = nullptr;
+  for (std::size_t j = 0; j < sides_.size(); ++j) {
+    if (j == i) continue;
+    const Side& candidate = sides_[j];
+    if (candidate.resync_pending || candidate.fault) continue;
+    if (!leader || candidate.received > leader->received) leader = &candidate;
+  }
+  return leader && leader->received > 0 && side.held_seq > leader->last_seq + 1;
+}
+
 void NSelectorChannel::wake_writers() {
-  for (Side& side : sides_) {
-    if (side.waiting_writer && (side.space > 0 || side.fault)) {
+  for (std::size_t i = 0; i < sides_.size(); ++i) {
+    Side& side = sides_[i];
+    // A writer refused by the rejoin frontier hold is only resumed once the
+    // hold has lifted (the frontier reached held_seq - 1, or its owner was
+    // convicted); waking it earlier would make its try_write retry fail,
+    // which the kpn WriteAwaiter treats as a contract violation.
+    if (side.waiting_writer && !side.writer_frozen &&
+        (side.space > 0 || side.fault) && !frontier_hold_active(i)) {
       auto writer = side.waiting_writer;
       side.waiting_writer = nullptr;
-      sim_.schedule_after(0, [writer] { writer.resume(); });
+      Side* s = &side;
+      // The epoch guard drops the wake if a restart invalidated the handle;
+      // if a freeze or a re-armed frontier hold lands between scheduling and
+      // firing, the handle is re-parked instead of resumed so the token
+      // survives the fault.
+      sim_.schedule_after(0, [this, s, i, writer, epoch = side.epoch] {
+        if (s->epoch != epoch) return;
+        if (s->writer_frozen || frontier_hold_active(i)) {
+          s->waiting_writer = writer;
+          return;
+        }
+        writer.resume();
+      });
     }
   }
 }
@@ -363,7 +487,32 @@ int NSelectorChannel::healthy_count() const {
 }
 
 void NSelectorChannel::freeze_writer(int replica) {
+  // The parked handle is RETAINED: a transient fault must resume it (via
+  // unfreeze_writer) with its in-flight token intact. Only reintegrate — the
+  // restart path, after which the handle dangles — discards it.
   sides_[static_cast<std::size_t>(replica)].writer_frozen = true;
+}
+
+void NSelectorChannel::unfreeze_writer(int replica) {
+  Side& side = sides_[static_cast<std::size_t>(replica)];
+  if (!side.writer_frozen) return;
+  side.writer_frozen = false;
+  // Route through wake_writers: a writer that parked at the rejoin frontier
+  // hold BEFORE the freeze landed must stay parked until the hold lifts, and
+  // the wake needs the epoch guard in case a restart supersedes this thaw.
+  wake_writers();
+}
+
+void NSelectorChannel::reintegrate(int replica) {
+  SCCFT_EXPECTS(replica >= 0 && replica < replica_count());
+  Side& side = sides_[static_cast<std::size_t>(replica)];
+  side.fault = false;
+  side.detection.reset();
+  side.writer_frozen = false;
+  side.waiting_writer = nullptr;  // restart destroyed the old coroutine frame
+  ++side.epoch;                   // invalidate any wake already scheduled
+  side.space = side.capacity - side.initial;
+  side.resync_pending = true;
 }
 
 }  // namespace sccft::ft

@@ -95,7 +95,17 @@ class NReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink 
   void set_fault_observer(NFaultObserver observer) { observer_ = std::move(observer); }
 
   /// Halts reads on interface `replica` (silence-fault injection support).
+  /// A parked reader's handle is retained so unfreeze_reader can resume it.
   void freeze_reader(int replica);
+  /// Lifts a freeze_reader; wakes the parked reader if tokens are available.
+  void unfreeze_reader(int replica);
+
+  /// Re-admits a restarted replica: clears the fault verdict, reopens the
+  /// queue at the producer's CURRENT position (stale slots are discarded —
+  /// the peers delivered them while this replica was down), and bumps the
+  /// wake epoch so wakes aimed at the destroyed coroutine frame are dropped.
+  /// Mirrors ReplicatorChannel::reintegrate for the 2-replica channel.
+  void reintegrate(int replica);
 
  private:
   struct Queue {
@@ -108,6 +118,9 @@ class NReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink 
     rtc::Tokens max_fill = 0;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    /// Restart generation: wakes scheduled before a reintegrate must not
+    /// resume the coroutine frame the restart destroyed.
+    std::uint64_t epoch = 0;
   };
 
   class ReadInterface final : public kpn::TokenSource {
@@ -132,6 +145,9 @@ class NReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink 
   [[nodiscard]] std::optional<kpn::Token> queue_try_read(int replica);
   void queue_await_readable(int replica, std::coroutine_handle<> reader);
   void declare_fault(int replica);
+  /// Schedules an epoch-guarded resume of `reader` (re-parks it if a freeze
+  /// lands before the wake fires).
+  void wake_reader(Queue& queue, std::coroutine_handle<> reader);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -178,17 +194,40 @@ class NSelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource 
   void set_fault_observer(NFaultObserver observer) { observer_ = std::move(observer); }
 
   /// Halts writes on interface `replica` (silence-fault injection support).
+  /// A parked writer's handle is retained so unfreeze_writer can resume it.
   void freeze_writer(int replica);
+  /// Lifts a freeze_writer; wakes the parked writer if it can proceed.
+  void unfreeze_writer(int replica);
+
+  /// Re-admits a restarted replica: clears the fault verdict, resets the
+  /// space budget to capacity - initial, and marks the side resync-pending.
+  /// The side's first write then re-anchors its received counter against the
+  /// most advanced peer by sequence number (and is HELD at the delivered
+  /// frontier while a healthy peer still has the missing tokens in its
+  /// pipeline), so duplicate-group identity stays exact despite the tokens
+  /// this replica missed while down. Mirrors SelectorChannel::reintegrate.
+  void reintegrate(int replica);
 
  private:
   struct Side {
     rtc::Tokens capacity = 0;
     rtc::Tokens space = 0;
+    rtc::Tokens initial = 0;  ///< |S_i|_0, restored by reintegrate()
     std::uint64_t received = 0;
+    std::uint64_t last_seq = 0;  ///< seq of the last counted token
+    /// Sequence of the write last refused by the rejoin frontier hold;
+    /// wake_writers only resumes the held writer once the hold has lifted.
+    std::uint64_t held_seq = 0;
     std::coroutine_handle<> waiting_writer;
     bool writer_frozen = false;
     bool fault = false;
+    /// Set by reintegrate(); cleared when the first post-rejoin write
+    /// re-anchors the counters. While set, stall/divergence are suspended
+    /// for this side (its counters refer to the pre-fault epoch).
+    bool resync_pending = false;
     std::optional<NDetectionRecord> detection;
+    /// Restart generation guarding scheduled wakes (see Queue::epoch).
+    std::uint64_t epoch = 0;
   };
 
   class WriteInterface final : public kpn::TokenSink {
@@ -216,12 +255,17 @@ class NSelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource 
   void check_divergence();
   void wake_reader();
   void wake_writers();
+  [[nodiscard]] bool frontier_hold_active(std::size_t i) const;
 
   sim::Simulator& sim_;
   std::string name_;
   std::vector<Side> sides_;
   std::vector<std::unique_ptr<WriteInterface>> interfaces_;
   std::deque<kpn::Token> queue_;
+  /// Highest sequence number ever enqueued for delivery (-1 before the
+  /// first); keeps the delivered stream strictly increasing under arrival-
+  /// count skew (see side_try_write).
+  std::int64_t last_enqueued_seq_ = -1;
   rtc::Tokens divergence_threshold_ = 0;
   bool enable_stall_rule_ = true;
   std::coroutine_handle<> waiting_reader_;

@@ -121,8 +121,12 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
     // permanent gap. Hold the write until the peer catches up; conviction of
     // the peer lifts the hold (the stream then has a genuine gap no ordering
     // can repair, and this side must flow to keep the consumer alive).
-    if (!peer.fault && peer.tokens_received > 0 &&
+    // A peer that is itself resync-pending has pre-fault counters and no
+    // claim on the frontier (holding against it can deadlock both rejoining
+    // writers); the first of the two to write re-anchors instead.
+    if (!peer.fault && !peer.resync_pending && peer.tokens_received > 0 &&
         token.seq() > peer.last_seq + 1) {
+      side.held_seq = token.seq();
       ++stats_.writer_blocks;
       return false;
     }
@@ -163,7 +167,17 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
   // received counts implements the intended semantics — interface i's k-th
   // token is the first of pair k iff the peer has delivered fewer than k —
   // exactly (KPN determinacy + FIFO order make the k-th arrival token k).
-  const bool first_of_pair = side.tokens_received + 1 > peer.tokens_received;
+  const bool count_fresh = side.tokens_received + 1 > peer.tokens_received;
+  // Seq-monotone safety net. The count comparison assumes both replicas saw
+  // the same input stream; NoC loss on a producer->replica link starves one
+  // replica, skews the arrival counts, and can make BOTH copies of one
+  // sequence number test fresh (each replica's k-th token need not be token
+  // k any more). The delivered stream must stay strictly increasing no
+  // matter what, so nothing at or below the enqueued frontier is ever
+  // delivered twice — the late copy is dropped like any duplicate (the
+  // count still advances, which is what rules (a)/(b) reason about).
+  const bool first_of_pair =
+      count_fresh && static_cast<std::int64_t>(token.seq()) > last_enqueued_seq_;
   side.space -= 1;
 
   rtc::TimeNs available_at = sim_.now();
@@ -192,6 +206,7 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
 
   if (first_of_pair) {
     queue_.push_back(Slot{*arriving, available_at, r});
+    last_enqueued_seq_ = static_cast<std::int64_t>(token.seq());
     side.virtual_fill += 1;
     side.max_virtual_fill = std::max(side.max_virtual_fill, side.virtual_fill);
     stats_.max_fill = std::max(stats_.max_fill, fill() - pending_preload_);
@@ -234,11 +249,10 @@ void SelectorChannel::unfreeze_writer(ReplicaIndex r) {
   Side& side = sides_[static_cast<std::size_t>(index_of(r))];
   if (!side.writer_frozen) return;
   side.writer_frozen = false;
-  if (side.waiting_writer && (side.space > 0 || side.fault)) {
-    auto writer = side.waiting_writer;
-    side.waiting_writer = nullptr;
-    sim_.schedule_after(0, [writer] { writer.resume(); });
-  }
+  // Route through wake_writers: a writer that parked at the rejoin frontier
+  // hold BEFORE the freeze landed must stay parked until the hold lifts, and
+  // the wake needs the epoch guard in case a restart supersedes this thaw.
+  wake_writers();
 }
 
 void SelectorChannel::set_write_tamper(ReplicaIndex r, WriteTamper tamper) {
@@ -257,6 +271,11 @@ void SelectorChannel::reintegrate(ReplicaIndex r) {
   side.crc_mismatches = 0;
   side.resync_pending = true;
   side.count_resync_pending = false;
+  // Always-on repair boundary: together with the replicator's kReintegrate
+  // this brackets recover_replica in flight-recorder dumps, so a post-mortem
+  // can see exactly when a replica was re-admitted (and the chaos oracles
+  // can correlate convictions with repairs).
+  sim_.trace().emit(trace::EventKind::kReintegrate, subject_, sim_.now(), index_of(r));
 }
 
 void SelectorChannel::side_await_writable(ReplicaIndex r, std::coroutine_handle<> writer) {
@@ -377,18 +396,32 @@ void SelectorChannel::wake_reader(rtc::TimeNs when) {
   sim_.schedule_at(std::max(when, sim_.now()), [reader] { reader.resume(); });
 }
 
+bool SelectorChannel::frontier_hold_active(std::size_t i) const {
+  const Side& side = sides_[i];
+  if (!side.resync_pending) return false;
+  const Side& peer = sides_[1 - i];
+  return !peer.fault && !peer.resync_pending && peer.tokens_received > 0 &&
+         side.held_seq > peer.last_seq + 1;
+}
+
 void SelectorChannel::wake_writers() {
-  for (Side& side : sides_) {
+  for (std::size_t i = 0; i < sides_.size(); ++i) {
+    Side& side = sides_[i];
+    // A writer refused by the rejoin frontier hold is only resumed once the
+    // hold has lifted (the peer's frontier reached held_seq - 1, or the peer
+    // was convicted); waking it earlier would make its try_write retry fail,
+    // which the kpn WriteAwaiter treats as a contract violation.
     if (side.waiting_writer && !side.writer_frozen &&
-        (side.space > 0 || side.fault)) {
+        (side.space > 0 || side.fault) && !frontier_hold_active(i)) {
       auto writer = side.waiting_writer;
       side.waiting_writer = nullptr;
       // The epoch guard drops the wake if a restart invalidated the handle;
-      // if a freeze lands between scheduling and firing, the handle is
-      // re-parked instead of resumed so the token survives the fault.
-      sim_.schedule_after(0, [this, &side, writer, epoch = side.epoch] {
+      // if a freeze or a re-armed frontier hold lands between scheduling and
+      // firing, the handle is re-parked instead of resumed so the token
+      // survives the fault.
+      sim_.schedule_after(0, [this, &side, i, writer, epoch = side.epoch] {
         if (side.epoch != epoch) return;
-        if (side.writer_frozen) {
+        if (side.writer_frozen || frontier_hold_active(i)) {
           side.waiting_writer = writer;
           return;
         }

@@ -184,6 +184,10 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
     rtc::Tokens initial = 0;         ///< |S_i|_0 (kept for reintegration)
     std::uint64_t last_seq = 0;      ///< sequence of the most recent write
     bool resync_pending = false;     ///< first write after reintegrate()
+    /// Sequence of the write last refused by the rejoin frontier hold;
+    /// wake_writers consults it so a held writer is only resumed once the
+    /// hold has actually lifted (try_write would succeed).
+    std::uint64_t held_seq = 0;
     /// Set by a CRC quarantine: the received count no longer matches the
     /// arrival count, so it is re-anchored (by sequence number, against the
     /// peer) on the next healthy write — otherwise the offset would
@@ -239,6 +243,7 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   void check_divergence();
   void wake_reader(rtc::TimeNs when);
   void wake_writers();
+  [[nodiscard]] bool frontier_hold_active(std::size_t i) const;
 
   sim::Simulator& sim_;
   std::string name_;
@@ -247,6 +252,10 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   std::array<WriteInterface, 2> write_interfaces_;
   std::deque<Slot> queue_;
   rtc::Tokens pending_preload_ = 0;  ///< preloaded tokens not yet consumed
+  /// Highest sequence number ever enqueued for delivery (-1 before the
+  /// first). Guards the strictly-increasing delivered stream when NoC input
+  /// loss skews the replicas' arrival counts (see side_try_write).
+  std::int64_t last_enqueued_seq_ = -1;
   rtc::Tokens divergence_threshold_ = 0;
   bool enable_stall_rule_ = true;
   bool verify_checksums_ = true;

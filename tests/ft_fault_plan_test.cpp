@@ -491,5 +491,114 @@ TEST(FaultCampaign, SpecValidationRejectsNonsense) {
                util::ContractViolation);
 }
 
+// ---- text serialization (the chaos artifact / replay format) --------------
+
+FaultSpec sample_spec(FaultKind kind) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.replica = ReplicaIndex::kReplica2;
+  spec.at = rtc::from_ms(312.5);
+  spec.duration = rtc::from_ms(87.25);
+  spec.rate_factor = 3.6180339887498949;
+  spec.corrupt_probability = 0.33333333333333331;
+  spec.burst_on_mean = rtc::from_ms(31.0);
+  spec.burst_off_mean = rtc::from_ms(153.0);
+  spec.seed = 0xDEADBEEFCAFEBABEull;
+  spec.noc.chunk_drop_probability = 0.125;
+  spec.noc.chunk_delay_probability = 0.0625;
+  spec.noc.delay_min_ns = 1'000;
+  spec.noc.delay_max_ns = 9'000;
+  spec.noc.max_retries = 5;
+  spec.noc.retry_timeout_ns = 75'000;
+  return spec;
+}
+
+void expect_specs_equal(const FaultSpec& a, const FaultSpec& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.replica, b.replica);
+  EXPECT_EQ(a.at, b.at);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.rate_factor, b.rate_factor);
+  EXPECT_EQ(a.corrupt_probability, b.corrupt_probability);
+  EXPECT_EQ(a.burst_on_mean, b.burst_on_mean);
+  EXPECT_EQ(a.burst_off_mean, b.burst_off_mean);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.noc.chunk_drop_probability, b.noc.chunk_drop_probability);
+  EXPECT_EQ(a.noc.chunk_delay_probability, b.noc.chunk_delay_probability);
+  EXPECT_EQ(a.noc.delay_min_ns, b.noc.delay_min_ns);
+  EXPECT_EQ(a.noc.delay_max_ns, b.noc.delay_max_ns);
+  EXPECT_EQ(a.noc.max_retries, b.noc.max_retries);
+  EXPECT_EQ(a.noc.retry_timeout_ns, b.noc.retry_timeout_ns);
+}
+
+TEST(FaultPlanText, SpecRoundTripsEveryKindFieldByField) {
+  for (const FaultKind kind :
+       {FaultKind::kPermanentSilence, FaultKind::kTransientSilence,
+        FaultKind::kIntermittentSilence, FaultKind::kRateDegradation,
+        FaultKind::kPayloadCorruption, FaultKind::kNocLink}) {
+    const FaultSpec spec = sample_spec(kind);
+    expect_specs_equal(spec, parse_fault_spec(serialize(spec)));
+  }
+}
+
+TEST(FaultPlanText, PlanRoundTripsWithCommentsAndBlanksSkipped) {
+  std::vector<FaultSpec> plan;
+  plan.push_back(sample_spec(FaultKind::kTransientSilence));
+  plan.push_back(sample_spec(FaultKind::kPayloadCorruption));
+  plan.push_back(sample_spec(FaultKind::kNocLink));
+  const std::string text =
+      "# a comment\n\n" + serialize(plan) + "   \n# trailing comment\n";
+  const std::vector<FaultSpec> parsed = parse_fault_plan(text);
+  ASSERT_EQ(parsed.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    expect_specs_equal(plan[i], parsed[i]);
+  }
+}
+
+TEST(FaultPlanText, KindTagRoundTripsAndRejectsUnknown) {
+  for (const FaultKind kind :
+       {FaultKind::kPermanentSilence, FaultKind::kTransientSilence,
+        FaultKind::kIntermittentSilence, FaultKind::kRateDegradation,
+        FaultKind::kPayloadCorruption, FaultKind::kNocLink}) {
+    EXPECT_EQ(fault_kind_from_text(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)fault_kind_from_text("meteor-strike"), util::ContractViolation);
+  EXPECT_THROW((void)fault_kind_from_text(""), util::ContractViolation);
+}
+
+TEST(FaultPlanText, MalformedLinesThrowNeverCrash) {
+  const std::string good = serialize(sample_spec(FaultKind::kTransientSilence));
+  // Fuzz-style line mutations: truncations, extra fields, garbage tokens.
+  const std::vector<std::string> bad = {
+      "",                                  // empty
+      "fault",                             // tag only
+      good + " 7",                         // extra field
+      good.substr(0, good.rfind(' ')),     // one field short
+      "tluaf" + good.substr(5),            // wrong tag
+      "fault bogus-kind 1 0 0 1 1 0 0 1 0 0 0 0 3 50000",  // unknown kind
+      "fault transient-silence 3 0 1 1 1 0 0 1 0 0 0 0 3 50000",  // replica 3
+      "fault transient-silence 1 -5 1 1 1 0 0 1 0 0 0 0 3 50000",  // at < 0
+      "fault transient-silence 1 0 0 1 1 0 0 1 0 0 0 0 3 50000",   // dur = 0
+      "fault rate-degradation 1 0 0 1.0 1 0 0 1 0 0 0 0 3 50000",  // rate <= 1
+      "fault payload-corruption 1 0 0 1 1.5 0 0 1 0 0 0 0 3 50000",  // p > 1
+      "fault payload-corruption 1 0 0 1 nan 0 0 1 0 0 0 0 3 50000",  // not finite
+      "fault intermittent-silence 1 0 9 1 1 0 0 1 0 0 0 0 3 50000",  // no bursts
+      "fault transient-silence 1 0 1e99x 1 1 0 0 1 0 0 0 0 3 50000",  // garbage int
+      "fault transient-silence 1 0 1 1 1 0 0 -1 0 0 0 0 3 50000",   // negative seed
+      "fault noc-link 1 0 0 1 1 0 0 1 0.5 0 9000 1000 3 50000",     // max < min
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)parse_fault_spec(line), util::ContractViolation) << line;
+  }
+  // A malformed line poisons the whole plan.
+  EXPECT_THROW((void)parse_fault_plan(good + "\nfault junk\n"), util::ContractViolation);
+}
+
+TEST(FaultPlanText, AbsurdLineCountsAreRejected) {
+  std::string text;
+  for (int i = 0; i < 10'001; ++i) text += "\n";
+  EXPECT_THROW((void)parse_fault_plan(text), util::ContractViolation);
+}
+
 }  // namespace
 }  // namespace sccft::ft

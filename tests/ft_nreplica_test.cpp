@@ -253,6 +253,145 @@ TEST(NSelector, FrozenWriterDropsSilently) {
   EXPECT_EQ(fx.selector->tokens_received(1), 0u);
 }
 
+TEST(NReplicator, ReintegrateReopensQueueAtCurrentPosition) {
+  Fixture fx(3);
+  // Queue 0 never drains: overflows and is convicted.
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(fx.replicator->try_write(make_token(k)));
+    for (int r = 1; r < 3; ++r) (void)fx.replicator->read_interface(r).try_read();
+  }
+  ASSERT_TRUE(fx.replicator->fault(0));
+  EXPECT_GT(fx.replicator->fill(0), 0);
+
+  fx.replicator->reintegrate(0);
+  EXPECT_FALSE(fx.replicator->fault(0));
+  EXPECT_FALSE(fx.replicator->detection(0).has_value());
+  // The stale backlog is discarded: the replica rejoins at the producer's
+  // current position, not at tokens its peers already delivered.
+  EXPECT_EQ(fx.replicator->fill(0), 0);
+
+  ASSERT_TRUE(fx.replicator->try_write(make_token(5)));
+  auto token = fx.replicator->read_interface(0).try_read();
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(token->seq(), 5u);
+  EXPECT_EQ(fx.replicator->healthy_count(), 3);
+}
+
+TEST(NSelector, ReintegrateResyncRealignsDuplicateGroups) {
+  Fixture fx(3);
+  std::vector<std::uint64_t> consumed;
+  auto drain = [&] {
+    while (auto token = fx.selector->try_read()) consumed.push_back(token->seq());
+  };
+  // Lockstep for groups 0..3, then interface 0 goes silent and the peers
+  // carry on until divergence (D = 4) convicts it.
+  std::uint64_t seq = 0;
+  for (; seq < 4; ++seq) {
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    drain();
+  }
+  for (; seq < 10; ++seq) {
+    for (int r = 1; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    drain();
+  }
+  ASSERT_TRUE(fx.selector->fault(0));
+
+  fx.selector->reintegrate(0);
+  EXPECT_FALSE(fx.selector->fault(0));
+  EXPECT_EQ(fx.selector->space(0), 3);  // capacity - initial restored
+
+  // A late duplicate of an already-delivered group is recognized as such by
+  // the sequence-number resync and dropped, not delivered again.
+  const auto delivered = consumed.size();
+  ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(seq - 1)));
+  drain();
+  EXPECT_EQ(consumed.size(), delivered);
+
+  // From here interface 0 is a first-class member again: writing the next
+  // group first makes IT the leader and the peers' copies the duplicates.
+  for (; seq < 13; ++seq) {
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    drain();
+  }
+  ASSERT_EQ(consumed.size(), 13u);
+  for (std::uint64_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(NSelector, RejoinAheadOfFrontierHeldUntilPeerCatchesUp) {
+  Fixture fx(3);
+  std::vector<std::uint64_t> consumed;
+  auto drain = [&] {
+    while (auto token = fx.selector->try_read()) consumed.push_back(token->seq());
+  };
+  std::uint64_t seq = 0;
+  for (; seq < 4; ++seq) {
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    drain();
+  }
+  // Interface 0 halts (transient outage); peers advance to seq 5.
+  fx.selector->freeze_writer(0);
+  for (; seq < 6; ++seq) {
+    for (int r = 1; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    drain();
+  }
+  fx.selector->reintegrate(0);
+
+  // The restarted replica resumes at seq 8 — ahead of the delivered frontier
+  // (5). Tokens 6 and 7 exist only in the peers' pipelines, so the write is
+  // HELD (returns false), not enqueued: delivering 8 now would turn the
+  // peers' 6 and 7 into dropped late duplicates — a permanent gap.
+  EXPECT_FALSE(fx.selector->write_interface(0).try_write(make_token(8)));
+  for (; seq < 8; ++seq) {
+    for (int r = 1; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    drain();
+  }
+  // Frontier caught up: the retried write re-anchors and is fresh.
+  ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(8)));
+  drain();
+  ASSERT_EQ(consumed.size(), 9u);
+  for (std::uint64_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(NSelector, ResyncSideImmuneToStallAndDivergenceUntilReanchored) {
+  Fixture fx(3);
+  std::uint64_t seq = 0;
+  for (; seq < 4; ++seq) {
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    while (fx.selector->try_read()) {
+    }
+  }
+  fx.selector->reintegrate(0);
+  // While the rejoined side refills its pipeline, its counters refer to the
+  // pre-fault epoch: 8 more groups push its stale received count D+ behind
+  // the leader and its space past capacity, yet neither rule may convict it.
+  for (; seq < 12; ++seq) {
+    for (int r = 1; r < 3; ++r) {
+      ASSERT_TRUE(fx.selector->write_interface(r).try_write(make_token(seq)));
+    }
+    while (fx.selector->try_read()) {
+    }
+  }
+  EXPECT_GT(fx.selector->space(0), 6);  // would trip the stall rule
+  EXPECT_FALSE(fx.selector->fault(0));
+  // Its first write re-anchors and re-admits it.
+  ASSERT_TRUE(fx.selector->write_interface(0).try_write(make_token(seq)));
+  EXPECT_EQ(fx.selector->tokens_received(0), fx.selector->tokens_received(1) + 1);
+}
+
 class NReplicaParam : public ::testing::TestWithParam<int> {};
 
 TEST_P(NReplicaParam, AllButOneFaultTolerated) {
