@@ -5,6 +5,13 @@
 //   chaos_soak --replay /tmp/artifact.txt     # re-execute a failure bundle
 //   chaos_soak --plant-bug drop-after-second-restart --runs 64
 //                                             # end-to-end pipeline check
+//   chaos_soak --control-plane --runs 200     # extended taxonomy: storms also
+//                                             # attack the supervisor/counters/
+//                                             # trace sink, with the watchdog +
+//                                             # scrubber defenses armed
+//   chaos_soak --control-demo                 # ablation: each control-plane
+//                                             # storm clean with defenses on,
+//                                             # violating with one defense off
 //
 // Every run is a pure function of its seed (seed0 + index), so stdout and
 // the CSV are byte-identical for any --jobs value. Wall-clock time, file
@@ -82,11 +89,18 @@ int replay(const std::string& path) {
   plan.seed = artifact.seed;
   plan.run_length = artifact.run_length;
   plan.faults = artifact.shrunk ? *artifact.shrunk : artifact.plan;
-  const chaos::RunOptions options{.planted = artifact.planted};
+  chaos::RunOptions options;
+  options.planted = artifact.planted;
+  options.control_plane = artifact.control_plane;
 
   std::cout << "replaying seed " << plan.seed << " with " << plan.faults.size()
             << " fault(s) (" << (artifact.shrunk ? "shrunk" : "full")
             << " plan, planted bug: " << chaos::to_string(artifact.planted)
+            << ", defenses: "
+            << (options.control_plane.enabled
+                    ? std::string(options.control_plane.watchdog ? "watchdog" : "no-watchdog") +
+                          "/" + (options.control_plane.scrubber ? "scrubber" : "no-scrubber")
+                    : std::string("off"))
             << ")\n";
   const chaos::RunObservation golden =
       chaos::run_golden(plan.seed, plan.run_length);
@@ -110,11 +124,16 @@ int replay(const std::string& path) {
 }
 
 int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
-         chaos::PlantedBug planted, bool shrink, const std::string& csv_path,
+         chaos::PlantedBug planted, const chaos::ControlPlaneOptions& cp,
+         bool shrink, const std::string& csv_path,
          const std::string& artifact_path) {
   SCCFT_EXPECTS(runs >= 1);
-  const chaos::StormGenerator generator{chaos::StormConfig{}};
-  const chaos::RunOptions options{.planted = planted};
+  chaos::StormConfig storm_config;
+  storm_config.control_plane = cp.enabled;
+  const chaos::StormGenerator generator{storm_config};
+  chaos::RunOptions options;
+  options.planted = planted;
+  options.control_plane = cp;
 
   std::vector<SoakCell> cells(static_cast<std::size_t>(runs));
   const auto wall_start = std::chrono::steady_clock::now();
@@ -153,16 +172,21 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
 
   // Fold in index order: everything below is a pure function of the cells.
   int clean = 0, lossless = 0;
+  std::uint64_t watchdog_resets = 0, scrub_repairs = 0;
   std::map<std::string, int> code_histogram;
   std::optional<int> first_violating;
   util::CsvWriter csv({"run", "seed", "faults", "lossless", "consumed",
-                       "restarts", "violations", "first_code"});
+                       "restarts", "heartbeats", "wd_resets", "scrub_repairs",
+                       "violations", "first_code"});
   csv.add_comment("chaos soak, seed0 " + std::to_string(seed0) +
-                  ", planted bug " + chaos::to_string(planted));
+                  ", planted bug " + chaos::to_string(planted) +
+                  ", control plane " + (cp.enabled ? "on" : "off"));
   for (int i = 0; i < scheduled; ++i) {
     const SoakCell& cell = cells[static_cast<std::size_t>(i)];
     const bool is_lossless = chaos::plan_is_lossless(cell.plan.faults);
     if (is_lossless) ++lossless;
+    watchdog_resets += cell.obs.watchdog_resets;
+    scrub_repairs += cell.obs.scrub_repairs;
     if (cell.violations.empty()) {
       ++clean;
     } else {
@@ -176,6 +200,9 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
                  is_lossless ? "1" : "0",
                  std::to_string(cell.obs.consumed_seqs.size()),
                  std::to_string(restarts_of(cell.obs)),
+                 std::to_string(cell.obs.heartbeats),
+                 std::to_string(cell.obs.watchdog_resets),
+                 std::to_string(cell.obs.scrub_repairs),
                  std::to_string(cell.violations.size()),
                  cell.violations.empty()
                      ? ""
@@ -191,6 +218,10 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
   table.add_row({"clean runs", std::to_string(clean)});
   table.add_row({"violating runs", std::to_string(scheduled - clean)});
   table.add_row({"lossless plans", std::to_string(lossless)});
+  if (cp.enabled) {
+    table.add_row({"watchdog resets", std::to_string(watchdog_resets)});
+    table.add_row({"scrub repairs", std::to_string(scrub_repairs)});
+  }
   for (const auto& [code, count] : code_histogram) {
     table.add_row({"  " + code, std::to_string(count)});
   }
@@ -247,8 +278,10 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
   replay_plan.faults = parsed.shrunk ? *parsed.shrunk : parsed.plan;
   const chaos::RunObservation golden =
       chaos::run_golden(replay_plan.seed, replay_plan.run_length);
-  const chaos::RunObservation obs =
-      chaos::run_storm(replay_plan, chaos::RunOptions{.planted = parsed.planted});
+  chaos::RunOptions replay_options;
+  replay_options.planted = parsed.planted;
+  replay_options.control_plane = parsed.control_plane;
+  const chaos::RunObservation obs = chaos::run_storm(replay_plan, replay_options);
   const std::vector<chaos::Violation> found =
       chaos::check_invariants(replay_plan, obs, golden);
   const bool reproduced =
@@ -260,6 +293,118 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
       });
   std::cout << "artifact replay: " << (reproduced ? "REPRODUCED" : "LOST") << "\n";
   return reproduced ? 1 : 3;  // violations found: nonzero either way
+}
+
+// ---------------------------------------------------------------------------
+// --control-demo: the last-line-defense ablation study
+// ---------------------------------------------------------------------------
+
+/// Runs one single-fault control-plane plan under the given defense config
+/// and returns the oracle verdicts.
+std::vector<chaos::Violation> demo_run(const ft::FaultSpec& spec,
+                                       const chaos::ControlPlaneOptions& cp) {
+  chaos::StormPlan plan;
+  plan.seed = 7;  // rig seed (timing jitter); the fault's own rng uses spec.seed
+  plan.run_length = rtc::from_ms(2000.0);
+  plan.faults = {spec};
+  chaos::RunOptions options;
+  options.control_plane = cp;
+  const chaos::RunObservation golden =
+      chaos::run_golden(plan.seed, plan.run_length);
+  const chaos::RunObservation obs = chaos::run_storm(plan, options);
+  return chaos::check_invariants(plan, obs, golden);
+}
+
+/// Three planted control-plane storms, each run twice: with the full defense
+/// stack (must pass every oracle) and with exactly the defense that guards it
+/// disabled (must fail the named oracle). Exit 0 only if all six runs behave
+/// as designed.
+int control_demo() {
+  chaos::ControlPlaneOptions defended;
+  defended.enabled = true;
+
+  struct DemoCase {
+    const char* name;
+    ft::FaultSpec spec;
+    chaos::ControlPlaneOptions ablated;
+    chaos::ViolationCode expected;
+  };
+  std::vector<DemoCase> cases;
+
+  {  // 1. Permanent supervisor hang; only the watchdog can clear it.
+    DemoCase c;
+    c.name = "supervisor-hang (permanent)";
+    c.spec.kind = ft::FaultKind::kSupervisorHang;
+    c.spec.at = rtc::from_ms(600.0);
+    c.spec.duration = 0;  // nothing in software ever clears it
+    c.spec.tile = 3;
+    c.ablated = defended;
+    c.ablated.watchdog = false;
+    c.expected = chaos::ViolationCode::kSilentSupervisor;
+    cases.push_back(c);
+  }
+  {  // 2. Wedged flight recorder; only the scrubber resyncs the ring.
+    DemoCase c;
+    c.name = "trace-sink-stuck (600 ms)";
+    c.spec.kind = ft::FaultKind::kTraceSinkStuck;
+    c.spec.at = rtc::from_ms(500.0);
+    c.spec.duration = rtc::from_ms(600.0);
+    c.spec.tile = 0;
+    c.ablated = defended;
+    c.ablated.scrubber = false;
+    c.expected = chaos::ViolationCode::kSpineInconsistent;
+    cases.push_back(c);
+  }
+  {  // 3. Repeated TMR flips pinned to the selector S1 capacity word (a
+     // quiescent word: never rewritten, so without the scrubber the
+     // corruption accumulates until the vote collapses to the corrupt copy
+     // and the stall rule convicts an innocent replica). The spec seed is
+     // chosen empirically so the accumulated copy-0 XOR undershoots the live
+     // space watermark within the fault window.
+    DemoCase c;
+    c.name = "counter-corruption (S1 capacity)";
+    c.spec.kind = ft::FaultKind::kCounterCorruption;
+    c.spec.at = rtc::from_ms(500.0);
+    c.spec.duration = rtc::from_ms(1200.0);
+    c.spec.burst_on_mean = rtc::from_ms(20.0);
+    c.spec.burst_off_mean = 3;  // pin to global scrub word 2 (selector S1 capacity)
+    c.spec.seed = 4;
+    c.ablated = defended;
+    c.ablated.scrubber = false;
+    c.expected = chaos::ViolationCode::kUnjustifiedConviction;
+    cases.push_back(c);
+  }
+
+  util::Table table("Control-plane ablation: defenses on vs. one defense off");
+  table.set_header({"Storm", "Defenses on", "Ablated defense", "Ablated verdict"});
+  bool ok = true;
+  for (const DemoCase& c : cases) {
+    const std::vector<chaos::Violation> with_defense = demo_run(c.spec, defended);
+    const std::vector<chaos::Violation> without = demo_run(c.spec, c.ablated);
+    const bool clean_on = with_defense.empty();
+    const bool failed_as_designed =
+        std::any_of(without.begin(), without.end(),
+                    [&](const chaos::Violation& v) { return v.code == c.expected; });
+    ok = ok && clean_on && failed_as_designed;
+    std::string verdict;
+    for (const chaos::Violation& v : without) {
+      if (!verdict.empty()) verdict += ", ";
+      verdict += chaos::to_string(v.code);
+    }
+    if (verdict.empty()) verdict = "(clean)";
+    table.add_row({c.name, clean_on ? "PASS" : "VIOLATED",
+                   !c.ablated.watchdog ? "watchdog" : "scrubber", verdict});
+    if (!clean_on) {
+      for (const chaos::Violation& v : with_defense) {
+        std::cout << "  [defended run violated] " << c.name << ": "
+                  << chaos::to_string(v.code) << ": " << v.detail << "\n";
+      }
+    }
+  }
+  std::cout << table << "\n";
+  std::cout << (ok ? "ablation study behaved as designed\n"
+                   : "ablation study FAILED\n");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -277,6 +422,15 @@ int main(int argc, char** argv) {
                "test-only defect: none | drop-after-second-restart | "
                "corrupt-after-restart");
   cli.add_flag("shrink", "true", "ddmin-shrink the first failure");
+  cli.add_flag("control-plane", "false",
+               "extend storms with control-plane faults and arm the "
+               "watchdog + scrubber defenses");
+  cli.add_flag("disable-watchdog", "false",
+               "ablation: keep --control-plane but leave the watchdog unarmed");
+  cli.add_flag("disable-scrubber", "false",
+               "ablation: keep --control-plane but stop the scrubber");
+  cli.add_flag("control-demo", "false",
+               "run the three planted control-plane ablation storms and exit");
   cli.add_flag("csv", "/tmp/sccft_chaos_soak.csv", "output CSV path");
   cli.add_flag("artifact", "/tmp/sccft_chaos_artifact.txt",
                "failure artifact output path");
@@ -292,6 +446,13 @@ int main(int argc, char** argv) {
   if (!cli.get("replay").empty()) {
     return sccft::bench::replay(cli.get("replay"));
   }
+  if (cli.get_bool("control-demo")) {
+    return sccft::bench::control_demo();
+  }
+  sccft::chaos::ControlPlaneOptions cp;
+  cp.enabled = cli.get_bool("control-plane");
+  cp.watchdog = !cli.get_bool("disable-watchdog");
+  cp.scrubber = !cli.get_bool("disable-scrubber");
   sccft::chaos::PlantedBug planted = sccft::chaos::PlantedBug::kNone;
   try {
     planted = sccft::chaos::planted_bug_from_text(cli.get("plant-bug"));
@@ -303,6 +464,6 @@ int main(int argc, char** argv) {
   return sccft::bench::soak(static_cast<int>(cli.get_int("runs")),
                             sccft::util::get_jobs(cli), cli.get_double("minutes"),
                             static_cast<std::uint64_t>(cli.get_int("seed0")),
-                            planted, cli.get_bool("shrink"), cli.get("csv"),
+                            planted, cp, cli.get_bool("shrink"), cli.get("csv"),
                             cli.get("artifact"));
 }

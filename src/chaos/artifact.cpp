@@ -65,6 +65,7 @@ FailureArtifact make_artifact(const StormPlan& plan, const RunOptions& options,
   artifact.seed = plan.seed;
   artifact.run_length = plan.run_length;
   artifact.planted = options.planted;
+  artifact.control_plane = options.control_plane;
   artifact.violations = std::move(violations);
   artifact.plan = plan.faults;
   artifact.flight_csv = obs.flight_csv;
@@ -78,6 +79,12 @@ std::string serialize(const FailureArtifact& artifact) {
   out << "seed " << artifact.seed << '\n';
   out << "run-length-ns " << artifact.run_length << '\n';
   out << "planted " << to_string(artifact.planted) << '\n';
+  out << "control-plane " << (artifact.control_plane.enabled ? 1 : 0) << ' '
+      << (artifact.control_plane.watchdog ? 1 : 0) << ' '
+      << (artifact.control_plane.scrubber ? 1 : 0) << ' '
+      << artifact.control_plane.heartbeat_period << ' '
+      << artifact.control_plane.watchdog_deadline << ' '
+      << artifact.control_plane.scrub_period << '\n';
   for (const Violation& violation : artifact.violations) {
     out << "violation " << to_string(violation.code) << ' ' << violation.detail
         << '\n';
@@ -134,6 +141,24 @@ FailureArtifact parse_artifact(const std::string& text) {
       std::string tag;
       fields >> tag;
       artifact.planted = planted_bug_from_text(tag);
+      ++i;
+    } else if (key == "control-plane") {
+      std::string enabled, watchdog, scrubber, heartbeat, deadline, scrub;
+      fields >> enabled >> watchdog >> scrubber >> heartbeat >> deadline >> scrub;
+      const auto parse_bool = [](const std::string& token) {
+        if (token == "1") return true;
+        if (token == "0") return false;
+        malformed("control-plane flag must be 0 or 1");
+      };
+      artifact.control_plane.enabled = parse_bool(enabled);
+      artifact.control_plane.watchdog = parse_bool(watchdog);
+      artifact.control_plane.scrubber = parse_bool(scrubber);
+      artifact.control_plane.heartbeat_period =
+          static_cast<rtc::TimeNs>(parse_u64(heartbeat));
+      artifact.control_plane.watchdog_deadline =
+          static_cast<rtc::TimeNs>(parse_u64(deadline));
+      artifact.control_plane.scrub_period =
+          static_cast<rtc::TimeNs>(parse_u64(scrub));
       ++i;
     } else if (key == "violation") {
       std::string tag;

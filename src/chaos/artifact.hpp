@@ -13,6 +13,10 @@
 //   seed <u64>
 //   run-length-ns <i64>
 //   planted <planted-bug-tag>
+//   control-plane <enabled:0|1> <watchdog:0|1> <scrubber:0|1>
+//                 <heartbeat_ns> <deadline_ns> <scrub_ns>
+//                                               (optional; legacy artifacts
+//                                                omit it = defenses off)
 //   violation <code-tag> <free-text detail>     (repeated, >= 1)
 //   plan-begin
 //   fault ...                                   (ft/fault_plan.hpp lines)
@@ -47,6 +51,8 @@ struct FailureArtifact {
   std::uint64_t seed = 0;
   rtc::TimeNs run_length = 0;
   PlantedBug planted = PlantedBug::kNone;
+  /// Defense configuration of the failing run, replayed verbatim.
+  ControlPlaneOptions control_plane;
   std::vector<Violation> violations;
   std::vector<ft::FaultSpec> plan;
   /// Minimal reproducer, present once the shrinker has run.

@@ -35,6 +35,7 @@ const char* to_string(ViolationCode code) {
     case ViolationCode::kSpineInconsistent: return "spine-inconsistent";
     case ViolationCode::kSequenceGap: return "sequence-gap";
     case ViolationCode::kStalledStream: return "stalled-stream";
+    case ViolationCode::kSilentSupervisor: return "silent-supervisor";
   }
   return "?";
 }
@@ -45,7 +46,8 @@ ViolationCode violation_code_from_text(const std::string& tag) {
         ViolationCode::kCorruptDelivery, ViolationCode::kGoldenMismatch,
         ViolationCode::kUnjustifiedConviction, ViolationCode::kIllegalTransition,
         ViolationCode::kBudgetExceeded, ViolationCode::kSpineInconsistent,
-        ViolationCode::kSequenceGap, ViolationCode::kStalledStream}) {
+        ViolationCode::kSequenceGap, ViolationCode::kStalledStream,
+        ViolationCode::kSilentSupervisor}) {
     if (tag == to_string(code)) return code;
   }
   util::contract_failure("precondition", "tag is a known violation code",
@@ -131,7 +133,12 @@ std::vector<Violation> check_invariants(const StormPlan& plan,
       const bool justified = std::any_of(
           obs.injections.begin(), obs.injections.end(),
           [&](const ft::FaultInjectionRecord& record) {
-            return record.replica == transition.replica && record.at <= transition.at;
+            // Control-plane injections carry no meaningful replica: they
+            // attack the machinery, not a core, so they justify nothing — a
+            // conviction caused by corrupted bookkeeping must be flagged.
+            return !ft::is_control_plane(record.kind) &&
+                   record.replica == transition.replica &&
+                   record.at <= transition.at;
           });
       if (!justified) {
         flag(ViolationCode::kUnjustifiedConviction,
@@ -232,6 +239,29 @@ std::vector<Violation> check_invariants(const StormPlan& plan,
                ? std::string("nothing was ever delivered")
                : "last delivery at " + std::to_string(obs.consumed_times.back()) +
                      " ns, liveness floor " + std::to_string(liveness_floor) + " ns");
+    }
+  }
+
+  // --- supervisor liveness (heartbeat), gated on a configured beacon -------
+  if (obs.control_plane.enabled && obs.control_plane.heartbeat_period > 0) {
+    // A healthy supervisor beats every heartbeat_period; a hung one that the
+    // watchdog reset resumes within deadline + period. The floor allows both
+    // plus slack — only a hang nothing ever cleared can undershoot it.
+    const rtc::TimeNs heartbeat_floor =
+        plan.run_length - (obs.control_plane.heartbeat_period +
+                           obs.control_plane.watchdog_deadline + rtc::from_ms(50.0));
+    if (obs.last_heartbeat < heartbeat_floor) {
+      flag(ViolationCode::kSilentSupervisor,
+           obs.last_heartbeat < 0
+               ? std::string("no heartbeat was ever observed")
+               : "last heartbeat at " + std::to_string(obs.last_heartbeat) +
+                     " ns, floor " + std::to_string(heartbeat_floor) + " ns");
+    }
+    const std::uint64_t counted_beats = obs.metrics.counter("supervisor.heartbeats");
+    if (counted_beats != obs.heartbeats) {
+      flag(ViolationCode::kSpineInconsistent,
+           "supervisor.heartbeats = " + std::to_string(counted_beats) +
+               " but the bus observer saw " + std::to_string(obs.heartbeats));
     }
   }
   return violations;

@@ -27,6 +27,11 @@
 //     the end of the run. Cross-replica and NoC storms can create genuine,
 //     designed gaps, so these two checks are gated on the guarantee's
 //     precondition.
+//   * Supervisor liveness (heartbeat) — ONLY for control-plane runs with a
+//     heartbeat configured: the beacon must still be firing near the end of
+//     the run (a hung supervisor that nothing reset goes silent forever),
+//     and the observed beacon count must match the supervisor's own counter
+//     (audited views again: bus observer vs. metrics registry).
 #pragma once
 
 #include <string>
@@ -48,6 +53,7 @@ enum class ViolationCode {
   kSpineInconsistent,    ///< flight recorder / metrics registry disagree
   kSequenceGap,          ///< lossless plan lost a token
   kStalledStream,        ///< lossless plan stopped delivering
+  kSilentSupervisor,     ///< heartbeat beacon stopped (control-plane runs)
 };
 
 [[nodiscard]] const char* to_string(ViolationCode code);

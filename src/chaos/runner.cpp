@@ -4,9 +4,11 @@
 #include <array>
 
 #include "ft/framework.hpp"
+#include "ft/scrub.hpp"
 #include "kpn/network.hpp"
 #include "kpn/timing.hpp"
 #include "scc/platform.hpp"
+#include "scc/watchdog.hpp"
 #include "trace/sinks.hpp"
 #include "util/assert.hpp"
 
@@ -18,6 +20,24 @@ namespace {
 struct RestartCounter final : trace::Sink {
   int restarts = 0;
   void on_event(const trace::Event&) override { ++restarts; }
+};
+
+/// Observes the supervisor's kHeartbeat beacons for the silent-supervisor
+/// oracle: an independent count plus the time the beacon last fired.
+struct HeartbeatMonitor final : trace::Sink {
+  std::uint64_t count = 0;
+  rtc::TimeNs last = -1;
+  void on_event(const trace::Event& event) override {
+    ++count;
+    last = event.time;
+  }
+};
+
+/// A replica task loop's handle onto its per-tile watchdog channel; null
+/// until the control-plane rig wires one up.
+struct WatchdogHook {
+  scc::WatchdogTimer* watchdog = nullptr;
+  int channel = -1;
 };
 
 }  // namespace
@@ -83,6 +103,9 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   RestartCounter restart_counter;
   simulator.trace().subscribe(&restart_counter,
                               trace::bit(trace::EventKind::kRestart));
+  HeartbeatMonitor heartbeat_monitor;
+  simulator.trace().subscribe(&heartbeat_monitor,
+                              trace::bit(trace::EventKind::kHeartbeat));
 
   const std::uint64_t seed = plan.seed;
   net.add_process("producer", scc::CoreId{0}, seed * 10 + 1,
@@ -98,8 +121,15 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
                     }
                   });
 
+  // Per-replica watchdog hooks: filled in only when the control-plane rig
+  // arms the watchdog (below), read from inside the task loops. Lives in
+  // this frame, which outlives the simulation.
+  std::array<WatchdogHook, 2> watchdog_hooks{};
+
   auto replica_body = [&](ft::ReplicaIndex which, rtc::PJD model) {
-    return [&harness, which, model](kpn::ProcessContext& ctx) -> sim::Task {
+    WatchdogHook* hook =
+        &watchdog_hooks[static_cast<std::size_t>(ft::index_of(which))];
+    return [&harness, which, model, hook](kpn::ProcessContext& ctx) -> sim::Task {
       kpn::TimingShaper emit(model, ctx.now(), ctx.rng());
       rtc::TimeNs last_emit = -1;
       while (true) {
@@ -119,6 +149,9 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
         co_await kpn::write(harness.selector().write_interface(which), token);
         emit.commit(ctx.now());
         last_emit = ctx.now();
+        // One heartbeat per completed iteration: a frozen or wedged loop
+        // stops kicking and the per-tile deadline does the convicting.
+        if (hook->watchdog != nullptr) hook->watchdog->kick(hook->channel);
       }
     };
   };
@@ -162,11 +195,54 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   std::array<ft::ReplicaAssets, 2> assets{
       ft::ReplicaAssets{ft::ReplicaIndex::kReplica1, {replicas[0]}, {}},
       ft::ReplicaAssets{ft::ReplicaIndex::kReplica2, {replicas[1]}, {}}};
-  const ft::Supervisor::Config supervisor_config{
+  const ControlPlaneOptions& cp = options.control_plane;
+  ft::Supervisor::Config supervisor_config{
       .restart_budget = 3, .initial_backoff = rtc::from_ms(20.0)};
+  if (cp.enabled) supervisor_config.heartbeat_period = cp.heartbeat_period;
   ft::Supervisor supervisor(simulator, harness.replicator(), harness.selector(),
                             assets, supervisor_config);
   obs.restart_budget = supervisor_config.restart_budget;
+
+  // --- last-line defense: per-tile watchdog + control-state scrubber -------
+  std::optional<scc::WatchdogTimer> watchdog;
+  std::optional<ft::Scrubber> scrubber;
+  if (cp.enabled && cp.watchdog) {
+    watchdog.emplace(simulator,
+                     scc::WatchdogTimer::Config{.deadline = cp.watchdog_deadline});
+    const int supervisor_channel = watchdog->add_channel(
+        "supervisor", scc::CoreId{6}.tile(),
+        [&supervisor] { supervisor.on_self_watchdog_reset(); });
+    supervisor.attach_watchdog(&*watchdog, supervisor_channel);
+    watchdog_hooks[0] = WatchdogHook{
+        &*watchdog,
+        watchdog->add_channel("core.r1", scc::CoreId{2}.tile(), [&supervisor] {
+          supervisor.on_core_watchdog_reset(ft::ReplicaIndex::kReplica1);
+        })};
+    watchdog_hooks[1] = WatchdogHook{
+        &*watchdog,
+        watchdog->add_channel("core.r2", scc::CoreId{4}.tile(), [&supervisor] {
+          supervisor.on_core_watchdog_reset(ft::ReplicaIndex::kReplica2);
+        })};
+    watchdog->arm_all();
+  }
+  if (cp.enabled && cp.scrubber) {
+    scrubber.emplace(simulator, ft::Scrubber::Config{.period = cp.scrub_period});
+    scrubber->add_target(&harness.replicator());
+    scrubber->add_target(&harness.selector());
+    // The ring audit's independent tally: the CounterSink subscribes the
+    // same mask, so its per-kind totals are what the ring should have seen.
+    scrubber->watch_flight_ring(&ring, [&simulator] {
+      std::uint64_t total = 0;
+      for (std::size_t k = 0; k < trace::kEventKindCount; ++k) {
+        const auto kind = static_cast<trace::EventKind>(k);
+        if ((trace::kFlightRecorderMask & trace::bit(kind)) == 0) continue;
+        total += simulator.trace().metrics().counter(
+            std::string("trace.events.") + trace::to_string(kind));
+      }
+      return total;
+    });
+    scrubber->start();
+  }
 
   ft::FaultCampaign::Wiring wiring;
   wiring.replicator = &harness.replicator();
@@ -174,6 +250,12 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   wiring.processes[0] = {replicas[0]};
   wiring.processes[1] = {replicas[1]};
   if (with_noc) wiring.noc = &platform->noc();
+  // Control-plane targets are wired unconditionally: a storm may attack the
+  // protection machinery whether or not the defenses are armed — that
+  // asymmetry is exactly what the ablation demos measure.
+  wiring.supervisor = &supervisor;
+  wiring.scrubbables = {&harness.replicator(), &harness.selector()};
+  wiring.flight_ring = &ring;
   ft::FaultCampaign campaign(simulator, wiring);
   campaign.set_injection_listener([&](const ft::FaultInjectionRecord& rec) {
     supervisor.note_fault_injected(rec.replica, rec.at);
@@ -199,9 +281,17 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   harness.selector().publish_metrics(simulator.trace().metrics());
   obs.metrics = simulator.trace().metrics();
 
+  obs.control_plane = cp;
+  obs.heartbeats = heartbeat_monitor.count;
+  obs.last_heartbeat = heartbeat_monitor.last;
+  obs.watchdog_resets = watchdog ? watchdog->total_resets() : 0;
+  obs.scrub_repairs = scrubber ? scrubber->total_repairs() : 0;
+  obs.flight_ring_resyncs = scrubber ? scrubber->ring_resyncs() : 0;
+
   simulator.trace().unsubscribe(&ring);
   simulator.trace().unsubscribe(&counters);
   simulator.trace().unsubscribe(&restart_counter);
+  simulator.trace().unsubscribe(&heartbeat_monitor);
   return obs;
 }
 

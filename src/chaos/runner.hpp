@@ -51,10 +51,32 @@ enum class PlantedBug {
 /// unknown tag.
 [[nodiscard]] PlantedBug planted_bug_from_text(const std::string& tag);
 
+/// The last-line-defense configuration of a run: per-tile hardware watchdog
+/// (scc/watchdog.hpp), control-state scrubber (ft/scrub.hpp), and the
+/// supervisor heartbeat they monitor. Disabled by default so existing rigs
+/// keep byte-identical schedules; the control-plane soak enables all three,
+/// and the ablation demos disable exactly one to show the planted storms
+/// fail without it.
+struct ControlPlaneOptions {
+  bool enabled = false;
+  bool watchdog = true;   ///< arm the hardware watchdog (needs enabled)
+  bool scrubber = true;   ///< run the periodic scrubber (needs enabled)
+  /// Supervisor liveness-beacon period (kHeartbeat cadence).
+  rtc::TimeNs heartbeat_period = rtc::from_ms(25.0);
+  /// Watchdog deadline: must exceed every benign kick gap of the rig
+  /// (rate-degraded emission stretches to ~60 ms, intermittent silence
+  /// bursts to ~90 ms), so only genuine hangs trip it.
+  rtc::TimeNs watchdog_deadline = rtc::from_ms(120.0);
+  /// Scrub period: far below the storm generator's 40-80 ms flip period, so
+  /// a second flip cannot land on a word before the first is repaired.
+  rtc::TimeNs scrub_period = rtc::from_ms(5.0);
+};
+
 struct RunOptions {
   PlantedBug planted = PlantedBug::kNone;
   /// Flight-recorder ring capacity (events retained for the artifact).
   std::size_t ring_capacity = 4096;
+  ControlPlaneOptions control_plane;
 };
 
 /// Everything observed about one run, in the redundant views the oracles
@@ -80,6 +102,14 @@ struct RunObservation {
   std::uint64_t flight_total_events = 0;  ///< ring's lifetime count
   std::string flight_csv;                 ///< retained ring contents
   trace::MetricsRegistry metrics;         ///< end-of-run registry snapshot
+
+  // --- control plane (last-line defense) -----------------------------------
+  ControlPlaneOptions control_plane;      ///< options echoed for the oracles
+  std::uint64_t heartbeats = 0;           ///< kHeartbeat events observed
+  rtc::TimeNs last_heartbeat = -1;        ///< time of the final heartbeat
+  std::uint64_t watchdog_resets = 0;      ///< reset-line firings (all channels)
+  std::uint64_t scrub_repairs = 0;        ///< TMR minority copies rewritten
+  std::uint64_t flight_ring_resyncs = 0;  ///< wedged-ring force resyncs
 
   /// Set when the run died on a SCCFT_EXPECTS/ENSURES/ASSERT failure instead
   /// of completing (the message); itself an unconditional violation.

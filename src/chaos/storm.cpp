@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "scc/topology.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -65,6 +66,55 @@ ft::FaultSpec silence_fault(util::Xoshiro256& rng, ft::ReplicaIndex victim,
   return spec;
 }
 
+int pick_tile(util::Xoshiro256& rng) {
+  return static_cast<int>(rng.uniform_int(0, scc::kTileCount - 1));
+}
+
+/// A bounded supervisor wedge: long enough that conviction/backoff/restart
+/// windows fall inside it, short enough that a self-clearing hang still
+/// leaves the run time to recover when no watchdog is wired.
+ft::FaultSpec supervisor_hang_fault(util::Xoshiro256& rng, rtc::TimeNs at) {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kSupervisorHang;
+  spec.at = at;
+  spec.duration = ms_between(rng, 100.0, 400.0);
+  spec.tile = pick_tile(rng);
+  spec.seed = rng.next();
+  return spec;
+}
+
+/// Periodic single-bit flips into random TMR control words. The 40-80 ms
+/// flip period sits far above any sane scrub period, so a running scrubber
+/// repairs each flip before the next can land on the same word.
+ft::FaultSpec counter_flip_fault(util::Xoshiro256& rng, rtc::TimeNs at) {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kCounterCorruption;
+  spec.at = at;
+  spec.duration = ms_between(rng, 200.0, 600.0);
+  spec.burst_on_mean = ms_between(rng, 40.0, 80.0);
+  spec.tile = pick_tile(rng);
+  spec.seed = rng.next();
+  return spec;
+}
+
+ft::FaultSpec sink_stuck_fault(util::Xoshiro256& rng, rtc::TimeNs at) {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kTraceSinkStuck;
+  spec.at = at;
+  spec.duration = ms_between(rng, 100.0, 500.0);
+  spec.tile = pick_tile(rng);
+  spec.seed = rng.next();
+  return spec;
+}
+
+ft::FaultSpec control_plane_fault(util::Xoshiro256& rng, rtc::TimeNs at) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return supervisor_hang_fault(rng, at);
+    case 1: return counter_flip_fault(rng, at);
+    default: return sink_stuck_fault(rng, at);
+  }
+}
+
 ft::FaultSpec noc_fault(util::Xoshiro256& rng, rtc::TimeNs at) {
   ft::FaultSpec spec;
   spec.kind = ft::FaultKind::kNocLink;
@@ -84,6 +134,10 @@ bool plan_is_lossless(const std::vector<ft::FaultSpec>& faults) {
   bool saw_replica_fault = false;
   ft::ReplicaIndex victim = ft::ReplicaIndex::kReplica1;
   for (const ft::FaultSpec& spec : faults) {
+    // Control-plane faults have no data-path victim: with the watchdog and
+    // scrubber standing, they must not cost a single token — that is the
+    // last-line-defense acceptance bar, so they do not soften the guarantee.
+    if (ft::is_control_plane(spec.kind)) continue;
     if (spec.kind == ft::FaultKind::kNocLink) return false;
     if (saw_replica_fault && spec.replica != victim) return false;
     victim = spec.replica;
@@ -127,8 +181,17 @@ StormPlan StormGenerator::generate(std::uint64_t seed) const {
     // the storm, then random faults fill it up to n_faults.
     const ft::ReplicaIndex a = pick_replica(rng);
     const ft::ReplicaIndex b = ft::other(a);
-    const int max_template = config_.allow_noc ? 4 : 3;
-    switch (rng.uniform_int(0, max_template)) {
+    // Template ids draw from an explicit list so optional families (NoC,
+    // control-plane) extend it without renumbering: with both off the draw
+    // is bit-identical to the historical uniform_int(0, 3) / (0, 4).
+    std::vector<int> templates{0, 1, 2, 3};
+    if (config_.allow_noc) templates.push_back(4);
+    if (config_.control_plane) {
+      templates.push_back(5);
+      templates.push_back(6);
+    }
+    switch (templates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(templates.size()) - 1))]) {
       case 0: {
         // Second fault during the first one's reintegration: the follow-up
         // onset is drawn across conviction + backoff + resync of fault A.
@@ -173,6 +236,7 @@ StormPlan StormGenerator::generate(std::uint64_t seed) const {
         plan.faults.push_back(replica_fault(rng, a, onset()));
         break;
       }
+      case 4:
       default: {
         // Mesh loss stacked on a replica outage: retransmissions fight for a
         // window in which only one replica produces.
@@ -182,9 +246,38 @@ StormPlan StormGenerator::generate(std::uint64_t seed) const {
             rng, a, mesh.at + ms_between(rng, 50.0, 200.0)));
         break;
       }
+      case 5: {
+        // Supervisor hang during reintegration: the silence convicts the
+        // victim, then the supervisor core wedges inside the conviction +
+        // backoff window — the scheduled restart fires into a hung core and
+        // is lost unless the hardware watchdog resets it.
+        const ft::FaultSpec first = silence_fault(rng, a, onset());
+        plan.faults.push_back(first);
+        plan.faults.push_back(supervisor_hang_fault(
+            rng, first.at + ms_between(rng, 10.0, 60.0)));
+        break;
+      }
+      case 6: {
+        // Counter flips with the flight recorder wedged on top: the scrubber
+        // must repair the bookkeeping AND resync the ring while blind-spot
+        // windows overlap.
+        const ft::FaultSpec flips = counter_flip_fault(rng, onset());
+        plan.faults.push_back(flips);
+        plan.faults.push_back(sink_stuck_fault(
+            rng, flips.at + ms_between(rng, 20.0, 100.0)));
+        break;
+      }
     }
     while (static_cast<int>(plan.faults.size()) < n_faults) {
       plan.faults.push_back(replica_fault(rng, pick_replica(rng), onset()));
+    }
+  }
+  if (config_.control_plane) {
+    // Every control-plane storm carries 1-2 attacks on the protection
+    // machinery itself, on top of whatever the data-path draw produced.
+    const int extra = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < extra; ++i) {
+      plan.faults.push_back(control_plane_fault(rng, onset()));
     }
   }
   return plan;

@@ -54,6 +54,12 @@ struct StormConfig {
   /// Probability of drawing an adversarial cross-replica template instead of
   /// a guarded single-victim (lossless) storm.
   double adversarial_probability = 0.5;
+  /// Extend the taxonomy with control-plane faults (kSupervisorHang,
+  /// kCounterCorruption, kTraceSinkStuck): every storm gains 1-2 attacks on
+  /// the protection machinery, and two extra adversarial templates target
+  /// the hang-during-reintegration and flip-plus-wedge interleavings. Off by
+  /// default so existing soak lanes keep byte-identical plans.
+  bool control_plane = false;
 };
 
 /// Seeded storm factory. Stateless between calls: generate(seed) is a pure

@@ -7,6 +7,9 @@
 #include <limits>
 #include <sstream>
 
+#include "ft/supervisor.hpp"
+#include "scc/topology.hpp"
+#include "trace/sinks.hpp"
 #include "util/assert.hpp"
 
 namespace sccft::ft {
@@ -19,6 +22,9 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kRateDegradation: return "rate-degradation";
     case FaultKind::kPayloadCorruption: return "payload-corruption";
     case FaultKind::kNocLink: return "noc-link";
+    case FaultKind::kSupervisorHang: return "supervisor-hang";
+    case FaultKind::kCounterCorruption: return "counter-corruption";
+    case FaultKind::kTraceSinkStuck: return "trace-sink-stuck";
   }
   return "?";
 }
@@ -27,7 +33,9 @@ FaultKind fault_kind_from_text(const std::string& tag) {
   for (const FaultKind kind :
        {FaultKind::kPermanentSilence, FaultKind::kTransientSilence,
         FaultKind::kIntermittentSilence, FaultKind::kRateDegradation,
-        FaultKind::kPayloadCorruption, FaultKind::kNocLink}) {
+        FaultKind::kPayloadCorruption, FaultKind::kNocLink,
+        FaultKind::kSupervisorHang, FaultKind::kCounterCorruption,
+        FaultKind::kTraceSinkStuck}) {
     if (tag == to_string(kind)) return kind;
   }
   util::contract_failure("precondition", "tag is a known fault kind", __FILE__,
@@ -98,7 +106,8 @@ std::string serialize(const FaultSpec& spec) {
       << render_double(spec.noc.chunk_drop_probability) << ' '
       << render_double(spec.noc.chunk_delay_probability) << ' '
       << spec.noc.delay_min_ns << ' ' << spec.noc.delay_max_ns << ' '
-      << spec.noc.max_retries << ' ' << spec.noc.retry_timeout_ns;
+      << spec.noc.max_retries << ' ' << spec.noc.retry_timeout_ns << ' '
+      << spec.tile;
   return out.str();
 }
 
@@ -113,7 +122,9 @@ std::string serialize(const std::vector<FaultSpec>& plan) {
 
 FaultSpec parse_fault_spec(const std::string& line) {
   const std::vector<std::string> tokens = tokenize(line);
-  SCCFT_EXPECTS(tokens.size() == 16);
+  // 16 tokens is the legacy (pre-control-plane) format without the trailing
+  // tile field: stored chaos artifacts stay replayable, tile defaults to 0.
+  SCCFT_EXPECTS(tokens.size() == 16 || tokens.size() == 17);
   SCCFT_EXPECTS(tokens[0] == "fault");
 
   FaultSpec spec;
@@ -147,12 +158,19 @@ FaultSpec parse_fault_spec(const std::string& line) {
   SCCFT_EXPECTS(spec.noc.max_retries >= 0);
   spec.noc.retry_timeout_ns = parse_int(tokens[15]);
   SCCFT_EXPECTS(spec.noc.retry_timeout_ns >= 0);
+  if (tokens.size() == 17) {
+    spec.tile = static_cast<int>(parse_int(tokens[16]));
+    SCCFT_EXPECTS(spec.tile >= 0 && spec.tile < scc::kTileCount);
+  }
 
   // Per-kind semantic checks, mirroring FaultCampaign::add: a plan that
   // parses is a plan that arms.
   switch (spec.kind) {
     case FaultKind::kPermanentSilence:
     case FaultKind::kNocLink:
+    case FaultKind::kSupervisorHang:
+    case FaultKind::kCounterCorruption:
+    case FaultKind::kTraceSinkStuck:
       break;
     case FaultKind::kTransientSilence:
       SCCFT_EXPECTS(spec.duration > 0);
@@ -226,6 +244,15 @@ void FaultCampaign::add(FaultSpec spec) {
       break;
     case FaultKind::kNocLink:
       SCCFT_EXPECTS(wiring_.noc != nullptr);
+      break;
+    case FaultKind::kSupervisorHang:
+      SCCFT_EXPECTS(wiring_.supervisor != nullptr);
+      break;
+    case FaultKind::kCounterCorruption:
+      SCCFT_EXPECTS(!wiring_.scrubbables.empty());
+      break;
+    case FaultKind::kTraceSinkStuck:
+      SCCFT_EXPECTS(wiring_.flight_ring != nullptr);
       break;
   }
   pending_.push_back(spec);
@@ -317,7 +344,72 @@ void FaultCampaign::arm_spec(ArmedSpec& armed) {
                        [this, &armed] { record(armed.spec, sim_.now()); });
       break;
     }
+
+    case FaultKind::kSupervisorHang:
+      sim_.schedule_at(spec.at, [this, &armed] {
+        record(armed.spec, sim_.now());
+        wiring_.supervisor->inject_hang();
+      });
+      if (spec.duration > 0) {
+        sim_.schedule_at(spec.at + spec.duration,
+                         [this] { wiring_.supervisor->clear_hang(); });
+      }
+      break;
+
+    case FaultKind::kCounterCorruption:
+      schedule_flip(armed, spec.at, 0);
+      break;
+
+    case FaultKind::kTraceSinkStuck:
+      sim_.schedule_at(spec.at, [this, &armed] {
+        record(armed.spec, sim_.now());
+        wiring_.flight_ring->set_wedged(true);
+      });
+      if (spec.duration > 0) {
+        sim_.schedule_at(spec.at + spec.duration,
+                         [this] { wiring_.flight_ring->set_wedged(false); });
+      }
+      break;
   }
+}
+
+void FaultCampaign::schedule_flip(ArmedSpec& armed, rtc::TimeNs at,
+                                  int flip_index) {
+  sim_.schedule_at(at, [this, &armed, at, flip_index] {
+    const FaultSpec& spec = armed.spec;
+    record(spec, sim_.now());
+    std::int64_t total_words = 0;
+    for (Scrubbable* target : wiring_.scrubbables) {
+      total_words += target->control_word_count();
+    }
+    if (total_words > 0) {
+      // burst_off_mean pins the victim word (1-based); otherwise a fresh
+      // word is drawn per flip. The copy rotates with the flip index and the
+      // mask is drawn fresh every flip: two copies must never carry the
+      // *same* corruption, or they would outvote the clean copy and the
+      // scrubber's majority repair could not be the defense under test.
+      std::int64_t word = spec.burst_off_mean > 0
+                              ? (spec.burst_off_mean - 1) % total_words
+                              : armed.rng.uniform_int(0, total_words - 1);
+      const int copy = flip_index % 3;
+      const std::uint64_t mask = std::uint64_t{1}
+                                 << armed.rng.uniform_int(0, 30);
+      for (Scrubbable* target : wiring_.scrubbables) {
+        const std::int64_t words = target->control_word_count();
+        if (word < words) {
+          target->corrupt_control_word(static_cast<int>(word), copy, mask);
+          break;
+        }
+        word -= words;
+      }
+    }
+    if (spec.burst_on_mean > 0 && spec.duration > 0) {
+      const rtc::TimeNs next = at + spec.burst_on_mean;
+      if (next < spec.at + spec.duration) {
+        schedule_flip(armed, next, flip_index + 1);
+      }
+    }
+  });
 }
 
 void FaultCampaign::begin_silence(const FaultSpec& spec, rtc::TimeNs until) {

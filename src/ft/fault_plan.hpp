@@ -16,6 +16,21 @@
 //                           the mesh; the sender retransmits after a timeout,
 //                           bounded by an attempt budget (scc/noc.hpp).
 //
+// Beyond the data path, the *protection machinery itself* can fail — the
+// control plane runs on the same near-threshold cores as the replicas:
+//
+//   * supervisor hang     — the supervisor core wedges: detections are
+//                           swallowed, scheduled restarts never fire, the
+//                           heartbeat stops. Only the per-tile hardware
+//                           watchdog (scc/watchdog.hpp) can recover it.
+//   * counter corruption  — a bit flip lands in channel bookkeeping (space
+//                           counters, sequence frontiers). TMR shadow copies
+//                           plus the periodic scrubber (ft/scrub.hpp) absorb
+//                           it; without scrubbing, flips accumulate until
+//                           the majority vote fails.
+//   * trace sink stuck    — the flight recorder stops draining (hung DMA);
+//                           the scrubber's ring audit force-resyncs it.
+//
 // FaultCampaign schedules any number of such faults against a running
 // duplicated network, lifting the single-shot restriction of FaultInjector.
 // Every stochastic choice (burst lengths, corrupted bit positions, drop
@@ -30,6 +45,7 @@
 #include <vector>
 
 #include "ft/replicator.hpp"
+#include "ft/scrub.hpp"
 #include "ft/selector.hpp"
 #include "kpn/process.hpp"
 #include "rtc/time.hpp"
@@ -38,7 +54,13 @@
 #include "trace/bus.hpp"
 #include "util/rng.hpp"
 
+namespace sccft::trace {
+class RingBufferSink;
+}  // namespace sccft::trace
+
 namespace sccft::ft {
+
+class Supervisor;
 
 enum class FaultKind {
   kPermanentSilence,    ///< paper's model: the replica halts forever
@@ -47,9 +69,23 @@ enum class FaultKind {
   kRateDegradation,     ///< compute times inflate by `rate_factor`
   kPayloadCorruption,   ///< output tokens get post-CRC bit flips
   kNocLink,             ///< mesh chunks dropped/delayed within a window
+  // Control-plane faults: the targets are the protection machinery, not the
+  // replicated data path. `replica` is ignored; `tile` locates the victim.
+  kSupervisorHang,      ///< supervisor core wedges for `duration` (0 = forever)
+  kCounterCorruption,   ///< periodic bit flips into TMR'd channel bookkeeping
+  kTraceSinkStuck,      ///< flight-recorder ring stops draining for `duration`
 };
 
 [[nodiscard]] std::string to_string(FaultKind kind);
+
+/// True for the kinds that attack the protection machinery rather than a
+/// replica. Control-plane faults have no data-path victim: lossless-plan
+/// classification and conviction-justification oracles skip them.
+[[nodiscard]] constexpr bool is_control_plane(FaultKind kind) {
+  return kind == FaultKind::kSupervisorHang ||
+         kind == FaultKind::kCounterCorruption ||
+         kind == FaultKind::kTraceSinkStuck;
+}
 
 /// Parses a to_string(FaultKind) tag. Throws util::ContractViolation on an
 /// unknown tag.
@@ -71,6 +107,13 @@ struct FaultSpec {
   rtc::TimeNs burst_off_mean = 0;    ///< kIntermittentSilence mean healthy phase
   std::uint64_t seed = 1;            ///< per-spec deterministic RNG stream
   scc::NocFaultPlan noc;             ///< kNocLink parameters (window set from at/duration)
+  /// Victim tile for control-plane kinds (informational for kSupervisorHang /
+  /// kTraceSinkStuck; ignored by data-path kinds). For kCounterCorruption the
+  /// flip schedule reuses existing fields: flips repeat every `burst_on_mean`
+  /// ns while inside [at, at+duration) (single flip if either is 0), and
+  /// `burst_off_mean` > 0 pins every flip to global scrub word index
+  /// `burst_off_mean - 1` (0 = a fresh RNG-chosen word per flip).
+  int tile = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -81,7 +124,10 @@ struct FaultSpec {
 //   fault <kind> <replica:1|2> <at_ns> <duration_ns> <rate_factor>
 //         <corrupt_probability> <burst_on_ns> <burst_off_ns> <seed>
 //         <noc_drop_p> <noc_delay_p> <noc_delay_min_ns> <noc_delay_max_ns>
-//         <noc_max_retries> <noc_retry_timeout_ns>
+//         <noc_max_retries> <noc_retry_timeout_ns> <tile>
+//
+// The trailing <tile> field is optional on parse (legacy 16-token lines get
+// tile = 0), always emitted on serialize.
 //
 // A plan is a sequence of such lines; blank lines and lines starting with '#'
 // are ignored. Round-trip guarantee: parse(serialize(x)) == x field-by-field
@@ -127,6 +173,12 @@ class FaultCampaign final {
     /// faults touch every process of the victim replica.
     std::array<std::vector<kpn::Process*>, 2> processes;
     scc::NocModel* noc = nullptr;  ///< required only for kNocLink specs
+    /// Control-plane targets. Required only for the matching kinds:
+    Supervisor* supervisor = nullptr;  ///< kSupervisorHang
+    /// kCounterCorruption: global scrub word index spans these targets in
+    /// order (word i of target t follows every word of targets 0..t-1).
+    std::vector<Scrubbable*> scrubbables;
+    trace::RingBufferSink* flight_ring = nullptr;  ///< kTraceSinkStuck
   };
 
   /// Invoked at every fault activation (before its effects apply), so a
@@ -184,6 +236,7 @@ class FaultCampaign final {
   void begin_silence(const FaultSpec& spec, rtc::TimeNs until);
   void end_silence(const FaultSpec& spec);
   void schedule_burst(ArmedSpec& armed, rtc::TimeNs at);
+  void schedule_flip(ArmedSpec& armed, rtc::TimeNs at, int flip_index);
   void record(const FaultSpec& spec, rtc::TimeNs at);
 
   [[nodiscard]] std::vector<kpn::Process*>& victims(const FaultSpec& spec) {

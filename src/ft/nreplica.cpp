@@ -87,6 +87,9 @@ NReplicatorChannel::NReplicatorChannel(sim::Simulator& sim, std::string name,
     queues_[i].capacity = capacities[i];
     interfaces_.push_back(std::make_unique<ReadInterface>(*this, static_cast<int>(i)));
   }
+  // Scrubbable word order (stable, documented in the header). Registered
+  // after the final resize: queues_ never reallocates afterwards.
+  for (Queue& queue : queues_) scrub_set_.add(queue.capacity);
 }
 
 kpn::TokenSource& NReplicatorChannel::read_interface(int replica) {
@@ -253,6 +256,17 @@ NSelectorChannel::NSelectorChannel(sim::Simulator& sim, std::string name, Config
     sides_[i].initial = config.initials[i];
     interfaces_.push_back(std::make_unique<WriteInterface>(*this, static_cast<int>(i)));
   }
+  // Scrubbable word order (stable, documented in the header). Registered
+  // after the final resize: sides_ never reallocates afterwards.
+  for (Side& side : sides_) {
+    scrub_set_.add(side.capacity);
+    scrub_set_.add(side.initial);
+    scrub_set_.add(side.space);
+    scrub_set_.add(side.received);
+    scrub_set_.add(side.last_seq);
+  }
+  scrub_set_.add(last_enqueued_seq_);
+  scrub_set_.add(divergence_threshold_);
 }
 
 kpn::TokenSink& NSelectorChannel::write_interface(int replica) {
@@ -314,7 +328,7 @@ bool NSelectorChannel::side_try_write(int replica, const kpn::Token& token) {
   std::uint64_t best_peer = 0;
   for (std::size_t j = 0; j < sides_.size(); ++j) {
     if (static_cast<int>(j) == replica) continue;
-    best_peer = std::max(best_peer, sides_[j].received);
+    best_peer = std::max(best_peer, static_cast<std::uint64_t>(sides_[j].received));
   }
   // Seq-monotone safety net, mirroring the 2-replica selector: input loss
   // can skew the replicas' arrival counts until the same sequence number
@@ -404,7 +418,9 @@ void NSelectorChannel::check_divergence() {
     // A resyncing side's received count is pre-fault-epoch noise: it neither
     // defines the leader nor can be convicted until its first write
     // re-anchors it (recovery grace, as in the 2-replica selector).
-    if (!side.fault && !side.resync_pending) best = std::max(best, side.received);
+    if (!side.fault && !side.resync_pending) {
+      best = std::max(best, static_cast<std::uint64_t>(side.received));
+    }
   }
   for (std::size_t i = 0; i < sides_.size(); ++i) {
     Side& side = sides_[i];

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "ft/replica.hpp"
+#include "ft/scrub.hpp"
 #include "kpn/channel.hpp"
 #include "rtc/sizing.hpp"
 #include "sim/simulator.hpp"
@@ -69,7 +70,9 @@ struct NSizingReport {
                                                       rtc::TimeNs horizon);
 
 /// Replicator channel with N reading interfaces.
-class NReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
+class NReplicatorChannel final : public kpn::ChannelBase,
+                                 public kpn::TokenSink,
+                                 public Scrubbable {
  public:
   NReplicatorChannel(sim::Simulator& sim, std::string name,
                      std::vector<rtc::Tokens> capacities);
@@ -107,9 +110,17 @@ class NReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink 
   /// Mirrors ReplicatorChannel::reintegrate for the 2-replica channel.
   void reintegrate(int replica);
 
+  // Scrubbable: word order is {queue_0.capacity, ..., queue_{N-1}.capacity}.
+  [[nodiscard]] std::string scrub_name() const override { return name_; }
+  [[nodiscard]] int control_word_count() const override { return scrub_set_.size(); }
+  void corrupt_control_word(int word, int copy, std::uint64_t mask) override {
+    scrub_set_.corrupt(word, copy, mask);
+  }
+  [[nodiscard]] ScrubReport scrub_control_state() override { return scrub_set_.scrub(); }
+
  private:
   struct Queue {
-    rtc::Tokens capacity = 0;
+    Tmr<rtc::Tokens> capacity = 0;  ///< TMR-protected (see Scrubbable above)
     std::deque<kpn::Token> slots;
     std::coroutine_handle<> waiting_reader;
     bool reader_frozen = false;
@@ -156,10 +167,13 @@ class NReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink 
   std::coroutine_handle<> waiting_writer_;
   NFaultObserver observer_;
   std::uint64_t dropped_ = 0;
+  ScrubSet scrub_set_;
 };
 
 /// Selector channel with N writing interfaces.
-class NSelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
+class NSelectorChannel final : public kpn::ChannelBase,
+                               public kpn::TokenSource,
+                               public Scrubbable {
  public:
   struct Config {
     std::vector<rtc::Tokens> capacities;  // |S_i|
@@ -208,13 +222,24 @@ class NSelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource 
   /// this replica missed while down. Mirrors SelectorChannel::reintegrate.
   void reintegrate(int replica);
 
+  // Scrubbable: word order is per side {capacity, initial, space, received,
+  // last_seq} for sides 0..N-1, then {last_enqueued_seq_,
+  // divergence_threshold_}.
+  [[nodiscard]] std::string scrub_name() const override { return name_; }
+  [[nodiscard]] int control_word_count() const override { return scrub_set_.size(); }
+  void corrupt_control_word(int word, int copy, std::uint64_t mask) override {
+    scrub_set_.corrupt(word, copy, mask);
+  }
+  [[nodiscard]] ScrubReport scrub_control_state() override { return scrub_set_.scrub(); }
+
  private:
+  // TMR-protected like SelectorChannel::Side (see ft/scrub.hpp).
   struct Side {
-    rtc::Tokens capacity = 0;
-    rtc::Tokens space = 0;
-    rtc::Tokens initial = 0;  ///< |S_i|_0, restored by reintegrate()
-    std::uint64_t received = 0;
-    std::uint64_t last_seq = 0;  ///< seq of the last counted token
+    Tmr<rtc::Tokens> capacity = 0;
+    Tmr<rtc::Tokens> space = 0;
+    Tmr<rtc::Tokens> initial = 0;  ///< |S_i|_0, restored by reintegrate()
+    Tmr<std::uint64_t> received = 0;
+    Tmr<std::uint64_t> last_seq = 0;  ///< seq of the last counted token
     /// Sequence of the write last refused by the rejoin frontier hold;
     /// wake_writers only resumes the held writer once the hold has lifted.
     std::uint64_t held_seq = 0;
@@ -265,12 +290,13 @@ class NSelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource 
   /// Highest sequence number ever enqueued for delivery (-1 before the
   /// first); keeps the delivered stream strictly increasing under arrival-
   /// count skew (see side_try_write).
-  std::int64_t last_enqueued_seq_ = -1;
-  rtc::Tokens divergence_threshold_ = 0;
+  Tmr<std::int64_t> last_enqueued_seq_ = -1;
+  Tmr<rtc::Tokens> divergence_threshold_ = 0;
   bool enable_stall_rule_ = true;
   std::coroutine_handle<> waiting_reader_;
   kpn::ChannelStats stats_;
   NFaultObserver observer_;
+  ScrubSet scrub_set_;
 };
 
 }  // namespace sccft::ft

@@ -31,6 +31,7 @@ enum class DetectionRule {
   kSelectorCorruption,   ///< repeated CRC-32 mismatches on arriving tokens
   kCurveConformance,     ///< empirical arrival curve left the design envelope
                          ///< (online RTC monitor, Eq. 2 breach)
+  kWatchdogTimeout,      ///< per-tile hardware watchdog expired (scc/watchdog)
 };
 
 [[nodiscard]] inline std::string to_string(DetectionRule rule) {
@@ -40,6 +41,7 @@ enum class DetectionRule {
     case DetectionRule::kSelectorDivergence: return "selector-divergence";
     case DetectionRule::kSelectorCorruption: return "selector-corruption";
     case DetectionRule::kCurveConformance: return "curve-conformance";
+    case DetectionRule::kWatchdogTimeout: return "watchdog-timeout";
   }
   return "?";
 }

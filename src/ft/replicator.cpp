@@ -21,6 +21,9 @@ ReplicatorChannel::ReplicatorChannel(sim::Simulator& sim, std::string name,
   queues_[1].capacity = config.capacity2;
   queues_[1].subject = sim.trace().intern(name_ + ".R2");
   queues_[1].link = config.link2;
+  // Scrubbable word order (stable, documented in the header).
+  scrub_set_.add(queues_[0].capacity);
+  scrub_set_.add(queues_[1].capacity);
   sim_.trace().subscribe(&observer_adapter_, trace::bit(trace::EventKind::kDetection));
 }
 

@@ -28,13 +28,16 @@
 #include <vector>
 
 #include "ft/replica.hpp"
+#include "ft/scrub.hpp"
 #include "kpn/channel.hpp"
 #include "sim/simulator.hpp"
 #include "trace/bus.hpp"
 
 namespace sccft::ft {
 
-class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
+class ReplicatorChannel final : public kpn::ChannelBase,
+                                public kpn::TokenSink,
+                                public Scrubbable {
  public:
   struct Config {
     rtc::Tokens capacity1 = 1;  ///< |R1| from Eq. (3)
@@ -121,13 +124,23 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
   /// bytes, excluding token payload storage (Table 2 "Memory overhead").
   [[nodiscard]] std::size_t control_memory_bytes() const;
 
+  // Scrubbable: TMR-protected control words, in stable index order
+  //   {R1.capacity, R2.capacity}. The fills are implicit deque sizes, so the
+  //   capacities are the only words the overflow rule reads from memory.
+  [[nodiscard]] std::string scrub_name() const override { return name_; }
+  [[nodiscard]] int control_word_count() const override { return scrub_set_.size(); }
+  void corrupt_control_word(int word, int copy, std::uint64_t mask) override {
+    scrub_set_.corrupt(word, copy, mask);
+  }
+  [[nodiscard]] ScrubReport scrub_control_state() override { return scrub_set_.scrub(); }
+
  private:
   struct Slot {
     kpn::Token token;
     rtc::TimeNs available_at = 0;
   };
   struct Queue {
-    rtc::Tokens capacity = 0;
+    Tmr<rtc::Tokens> capacity = 0;  ///< TMR-protected (see Scrubbable above)
     trace::SubjectId subject = 0;
     std::deque<Slot> slots;
     std::coroutine_handle<> waiting_reader;
@@ -189,6 +202,7 @@ class ReplicatorChannel final : public kpn::ChannelBase, public kpn::TokenSink {
   std::coroutine_handle<> waiting_writer_;
   std::vector<FaultObserver> observers_;
   ObserverAdapter observer_adapter_;
+  ScrubSet scrub_set_;
 };
 
 }  // namespace sccft::ft

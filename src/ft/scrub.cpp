@@ -1,0 +1,69 @@
+#include "ft/scrub.hpp"
+
+#include <utility>
+
+#include "trace/sinks.hpp"
+
+namespace sccft::ft {
+
+Scrubber::Scrubber(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(std::move(config)) {
+  SCCFT_EXPECTS(config_.period > 0);
+  subject_ = sim_.trace().intern(config_.name);
+}
+
+void Scrubber::add_target(Scrubbable* target) {
+  SCCFT_EXPECTS(!started_);
+  SCCFT_EXPECTS(target != nullptr);
+  targets_.push_back(target);
+}
+
+void Scrubber::watch_flight_ring(trace::RingBufferSink* ring,
+                                 std::function<std::uint64_t()> expected_total) {
+  SCCFT_EXPECTS(!started_);
+  SCCFT_EXPECTS(ring != nullptr);
+  SCCFT_EXPECTS(expected_total != nullptr);
+  ring_ = ring;
+  expected_total_ = std::move(expected_total);
+}
+
+void Scrubber::start() {
+  SCCFT_EXPECTS(!started_);
+  started_ = true;
+  sim_.schedule_after(config_.period, [this] { tick(); });
+}
+
+void Scrubber::tick() {
+  trace::MetricsRegistry& metrics = sim_.trace().metrics();
+  // Channel control words first: their kScrubRepair events must land before
+  // the ring audit below, so a resync's fast-forward covers them too.
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const ScrubReport report = targets_[i]->scrub_control_state();
+    metrics.add("scrub.words_checked", static_cast<std::uint64_t>(report.words));
+    if (report.repairs == 0 && report.unrepairable == 0) continue;
+    total_repairs_ += static_cast<std::uint64_t>(report.repairs);
+    metrics.add("scrub.repairs", static_cast<std::uint64_t>(report.repairs));
+    if (report.unrepairable > 0) {
+      metrics.add("scrub.unrepairable",
+                  static_cast<std::uint64_t>(report.unrepairable));
+    }
+    sim_.trace().emit(trace::EventKind::kScrubRepair, subject_, sim_.now(),
+                      static_cast<std::int64_t>(i), report.repairs,
+                      report.unrepairable);
+  }
+  // Flight-ring audit: resync FIRST (un-wedging the sink), then emit — so
+  // the repair event itself is recorded by both the ring and the tally.
+  if (ring_ != nullptr) {
+    const std::uint64_t expected = expected_total_();
+    if (expected != ring_->total_events() || ring_->wedged()) {
+      ring_->force_resync(expected);
+      ++ring_resyncs_;
+      metrics.add("scrub.flight_ring_resyncs");
+      sim_.trace().emit(trace::EventKind::kScrubRepair, subject_, sim_.now(),
+                        -1, 0, 0);
+    }
+  }
+  sim_.schedule_after(config_.period, [this] { tick(); });
+}
+
+}  // namespace sccft::ft

@@ -1,0 +1,233 @@
+// Control-state scrubbing: TMR shadow copies + a periodic majority repairer.
+//
+// The channel bookkeeping that the paper's detection rules read — space and
+// fill counters, sequence frontiers, capacity constants — lives in the same
+// memory the faults it guards against can flip. A single corrupted space
+// counter can convict a healthy replica (a false positive the Supervisor
+// will happily spend restart budget on) or mask a real stall. The classical
+// remedy is triple modular redundancy with periodic scrubbing: keep three
+// copies of every control word, read by majority vote, and run a scrubber
+// often enough that a *second* independent flip cannot land before the first
+// is repaired.
+//
+// Pieces:
+//
+//  * Tmr<T>        — a TMR-protected integral scalar. Reads vote (2-of-3
+//                    majority; all-distinct falls back to copy 0), writes
+//                    refresh all three copies — so every read-modify-write
+//                    in the channel hot path re-synchronizes the word for
+//                    free. Only words that are never rewritten (capacities,
+//                    thresholds, frontiers of a wedged stream) depend on the
+//                    scrubber for repair.
+//  * Scrubbable    — the interface a channel exposes: an ordered list of
+//                    control words that can be corrupted (fault injection)
+//                    and scrubbed (repair).
+//  * ScrubSet      — registration helper: a channel lists its Tmr members
+//                    once in its constructor and delegates Scrubbable to it.
+//  * Scrubber      — the periodic process: majority-repairs every target on
+//                    a configurable period, counts repairs in the
+//                    MetricsRegistry, and emits always-on kScrubRepair
+//                    events. It can also audit the flight recorder ring
+//                    against an independent event tally and force-resync a
+//                    wedged sink (kTraceSinkStuck).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::trace {
+class RingBufferSink;
+}  // namespace sccft::trace
+
+namespace sccft::ft {
+
+/// Per-word scrub outcome.
+struct ScrubWordResult {
+  int repairs = 0;          ///< minority copies rewritten to the majority
+  bool unrepairable = false;  ///< all three copies distinct; copy 0 adopted
+};
+
+/// Aggregate scrub outcome over one Scrubbable target.
+struct ScrubReport {
+  int words = 0;
+  int repairs = 0;
+  int unrepairable = 0;
+};
+
+/// A TMR-protected integral scalar. Drop-in for the plain type in channel
+/// bookkeeping: implicit conversion reads the majority vote, assignment and
+/// compound ops rewrite all three copies.
+template <typename T>
+class Tmr {
+  static_assert(std::is_integral_v<T>, "Tmr protects integral control words");
+
+ public:
+  Tmr() = default;
+  Tmr(T value) { set(value); }  // NOLINT(google-explicit-constructor)
+
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in scalar semantics
+  [[nodiscard]] operator T() const { return vote(); }
+
+  Tmr& operator=(T value) {
+    set(value);
+    return *this;
+  }
+  Tmr& operator+=(T delta) {
+    set(static_cast<T>(vote() + delta));
+    return *this;
+  }
+  Tmr& operator-=(T delta) {
+    set(static_cast<T>(vote() - delta));
+    return *this;
+  }
+  Tmr& operator++() {
+    set(static_cast<T>(vote() + 1));
+    return *this;
+  }
+
+  /// Majority read: any two agreeing copies win; all-distinct falls back to
+  /// copy 0 (the corruption the scrubber reports as unrepairable).
+  [[nodiscard]] T vote() const {
+    if (copies_[0] == copies_[1] || copies_[0] == copies_[2]) return copies_[0];
+    if (copies_[1] == copies_[2]) return copies_[1];
+    return copies_[0];
+  }
+
+  void set(T value) { copies_[0] = copies_[1] = copies_[2] = value; }
+
+  /// Fault-injection hook: XORs `mask` into one copy.
+  void corrupt(int copy, std::uint64_t mask) {
+    SCCFT_EXPECTS(copy >= 0 && copy < 3);
+    using U = std::make_unsigned_t<T>;
+    copies_[copy] = static_cast<T>(
+        static_cast<U>(copies_[copy]) ^ static_cast<U>(mask));
+  }
+
+  /// Majority repair: rewrites minority copies; adopts copy 0 when all three
+  /// disagree (and reports it, so the metric records the near-miss).
+  ScrubWordResult scrub() {
+    ScrubWordResult result;
+    if (copies_[0] == copies_[1] && copies_[1] == copies_[2]) return result;
+    const T majority = vote();
+    if (copies_[0] != copies_[1] && copies_[1] != copies_[2] &&
+        copies_[0] != copies_[2]) {
+      result.unrepairable = true;
+    }
+    for (T& copy : copies_) {
+      if (copy != majority) {
+        copy = majority;
+        ++result.repairs;
+      }
+    }
+    return result;
+  }
+
+ private:
+  T copies_[3] = {};
+};
+
+/// A channel (or any other holder of TMR control words) the scrubber can
+/// walk. Word indices are stable and documented by the implementer; the
+/// fault plan addresses words by global index across the registered targets.
+class Scrubbable {
+ public:
+  virtual ~Scrubbable() = default;
+
+  [[nodiscard]] virtual std::string scrub_name() const = 0;
+  [[nodiscard]] virtual int control_word_count() const = 0;
+  /// Flips `mask` into copy `copy` of word `word` (fault injection).
+  virtual void corrupt_control_word(int word, int copy, std::uint64_t mask) = 0;
+  /// Majority-repairs every word; returns the aggregate outcome.
+  virtual ScrubReport scrub_control_state() = 0;
+};
+
+/// Type-erased list of Tmr members. Channels register their control words
+/// once (order defines the stable word index) and delegate Scrubbable calls.
+class ScrubSet {
+ public:
+  template <typename T>
+  void add(Tmr<T>& word) {
+    words_.push_back(Slot{
+        [&word](int copy, std::uint64_t mask) { word.corrupt(copy, mask); },
+        [&word] { return word.scrub(); },
+    });
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(words_.size()); }
+
+  void corrupt(int word, int copy, std::uint64_t mask) {
+    SCCFT_EXPECTS(word >= 0 && word < size());
+    words_[static_cast<std::size_t>(word)].corrupt(copy, mask);
+  }
+
+  [[nodiscard]] ScrubReport scrub() {
+    ScrubReport report;
+    report.words = size();
+    for (Slot& slot : words_) {
+      const ScrubWordResult r = slot.scrub();
+      report.repairs += r.repairs;
+      if (r.unrepairable) ++report.unrepairable;
+    }
+    return report;
+  }
+
+ private:
+  struct Slot {
+    std::function<void(int, std::uint64_t)> corrupt;
+    std::function<ScrubWordResult()> scrub;
+  };
+  std::vector<Slot> words_;
+};
+
+/// The periodic scrubbing process. Deterministic: one simulator event per
+/// period, targets walked in registration order.
+class Scrubber final {
+ public:
+  struct Config {
+    rtc::TimeNs period = rtc::from_ms(5.0);
+    std::string name = "scrubber";
+  };
+
+  explicit Scrubber(sim::Simulator& sim, Config config);
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Registers a scrub target. Must be called before start().
+  void add_target(Scrubbable* target);
+
+  /// Audits `ring` each tick against `expected_total` (an independent tally
+  /// of events the ring should have recorded, e.g. a CounterSink sum). On
+  /// mismatch the ring is force-resynced — which also un-wedges a stuck
+  /// sink, the software analogue of the watchdog resetting a hung recorder.
+  void watch_flight_ring(trace::RingBufferSink* ring,
+                         std::function<std::uint64_t()> expected_total);
+
+  /// Schedules the first tick `period` from now.
+  void start();
+
+  [[nodiscard]] rtc::TimeNs period() const { return config_.period; }
+  [[nodiscard]] std::uint64_t total_repairs() const { return total_repairs_; }
+  [[nodiscard]] std::uint64_t ring_resyncs() const { return ring_resyncs_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  Config config_;
+  trace::SubjectId subject_ = 0;
+  std::vector<Scrubbable*> targets_;
+  trace::RingBufferSink* ring_ = nullptr;
+  std::function<std::uint64_t()> expected_total_;
+  bool started_ = false;
+  std::uint64_t total_repairs_ = 0;
+  std::uint64_t ring_resyncs_ = 0;
+};
+
+}  // namespace sccft::ft

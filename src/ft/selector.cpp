@@ -33,6 +33,19 @@ SelectorChannel::SelectorChannel(sim::Simulator& sim, std::string name, Config c
   sides_[1].initial = config.initial2;
   sides_[1].subject = sim.trace().intern(name_ + ".S2");
   sides_[1].link = config.link2;
+  // Scrubbable word order (stable, documented in the header): per side
+  // {capacity, initial, space, virtual_fill, tokens_received, last_seq},
+  // then the channel-level frontier and divergence threshold.
+  for (Side& side : sides_) {
+    scrub_set_.add(side.capacity);
+    scrub_set_.add(side.initial);
+    scrub_set_.add(side.space);
+    scrub_set_.add(side.virtual_fill);
+    scrub_set_.add(side.tokens_received);
+    scrub_set_.add(side.last_seq);
+  }
+  scrub_set_.add(last_enqueued_seq_);
+  scrub_set_.add(divergence_threshold_);
   sim_.trace().subscribe(&observer_adapter_, trace::bit(trace::EventKind::kDetection));
 }
 
@@ -208,7 +221,8 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
     queue_.push_back(Slot{*arriving, available_at, r});
     last_enqueued_seq_ = static_cast<std::int64_t>(token.seq());
     side.virtual_fill += 1;
-    side.max_virtual_fill = std::max(side.max_virtual_fill, side.virtual_fill);
+    side.max_virtual_fill =
+        std::max(side.max_virtual_fill, static_cast<rtc::Tokens>(side.virtual_fill));
     stats_.max_fill = std::max(stats_.max_fill, fill() - pending_preload_);
     // Always-on: VCD fill waveforms derive from enqueue/dequeue events.
     sim_.trace().emit(trace::EventKind::kEnqueue, subject_, sim_.now(),

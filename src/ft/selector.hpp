@@ -43,13 +43,16 @@
 #include <vector>
 
 #include "ft/replica.hpp"
+#include "ft/scrub.hpp"
 #include "kpn/channel.hpp"
 #include "sim/simulator.hpp"
 #include "trace/bus.hpp"
 
 namespace sccft::ft {
 
-class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
+class SelectorChannel final : public kpn::ChannelBase,
+                              public kpn::TokenSource,
+                              public Scrubbable {
  public:
   struct Config {
     rtc::Tokens capacity1 = 1;       ///< |S1|
@@ -168,21 +171,35 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   /// Control-structure memory, payloads excluded (Table 2 memory overhead).
   [[nodiscard]] std::size_t control_memory_bytes() const { return sizeof(SelectorChannel); }
 
+  // Scrubbable: TMR-protected control words, in stable index order
+  //   side1 {capacity, initial, space, virtual_fill, tokens_received,
+  //          last_seq}, side2 {same}, last_enqueued_seq_,
+  //   divergence_threshold_  (14 words).
+  [[nodiscard]] std::string scrub_name() const override { return name_; }
+  [[nodiscard]] int control_word_count() const override { return scrub_set_.size(); }
+  void corrupt_control_word(int word, int copy, std::uint64_t mask) override {
+    scrub_set_.corrupt(word, copy, mask);
+  }
+  [[nodiscard]] ScrubReport scrub_control_state() override { return scrub_set_.scrub(); }
+
  private:
   struct Slot {
     kpn::Token token;
     rtc::TimeNs available_at = 0;
     std::optional<ReplicaIndex> origin;  ///< nullopt for preloaded tokens
   };
+  // The per-side bookkeeping the detection rules read is TMR-protected
+  // (Tmr<T>, ft/scrub.hpp): a kCounterCorruption flip lands in one shadow
+  // copy and is outvoted until the scrubber repairs it.
   struct Side {
-    rtc::Tokens capacity = 0;        ///< |S_i|
+    Tmr<rtc::Tokens> capacity = 0;   ///< |S_i|
     trace::SubjectId subject = 0;
-    rtc::Tokens space = 0;           ///< space_i
-    std::uint64_t tokens_received = 0;  ///< W_i: accepted writes (queued or dropped)
-    rtc::Tokens virtual_fill = 0;    ///< enqueued-from-i minus consumed, >= 0
+    Tmr<rtc::Tokens> space = 0;      ///< space_i
+    Tmr<std::uint64_t> tokens_received = 0;  ///< W_i: accepted writes (queued or dropped)
+    Tmr<rtc::Tokens> virtual_fill = 0;  ///< enqueued-from-i minus consumed, >= 0
     rtc::Tokens max_virtual_fill = 0;
-    rtc::Tokens initial = 0;         ///< |S_i|_0 (kept for reintegration)
-    std::uint64_t last_seq = 0;      ///< sequence of the most recent write
+    Tmr<rtc::Tokens> initial = 0;    ///< |S_i|_0 (kept for reintegration)
+    Tmr<std::uint64_t> last_seq = 0;  ///< sequence of the most recent write
     bool resync_pending = false;     ///< first write after reintegrate()
     /// Sequence of the write last refused by the rejoin frontier hold;
     /// wake_writers consults it so a held writer is only resumed once the
@@ -255,8 +272,8 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   /// Highest sequence number ever enqueued for delivery (-1 before the
   /// first). Guards the strictly-increasing delivered stream when NoC input
   /// loss skews the replicas' arrival counts (see side_try_write).
-  std::int64_t last_enqueued_seq_ = -1;
-  rtc::Tokens divergence_threshold_ = 0;
+  Tmr<std::int64_t> last_enqueued_seq_ = -1;
+  Tmr<rtc::Tokens> divergence_threshold_ = 0;
   bool enable_stall_rule_ = true;
   bool verify_checksums_ = true;
   int corruption_conviction_threshold_ = 3;
@@ -264,6 +281,7 @@ class SelectorChannel final : public kpn::ChannelBase, public kpn::TokenSource {
   kpn::ChannelStats stats_;
   std::vector<FaultObserver> observers_;
   ObserverAdapter observer_adapter_;
+  ScrubSet scrub_set_;
 };
 
 }  // namespace sccft::ft

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "scc/watchdog.hpp"
 #include "util/assert.hpp"
 
 namespace sccft::ft {
@@ -67,12 +68,24 @@ Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
   sim_.trace().subscribe(&sink_, trace::bit(trace::EventKind::kDetection) |
                                      trace::bit(trace::EventKind::kInjection) |
                                      trace::bit(trace::EventKind::kCurveViolation));
+  SCCFT_EXPECTS(config_.heartbeat_period >= 0);
+  if (config_.heartbeat_period > 0) {
+    sim_.schedule_after(config_.heartbeat_period, [this] { tick(); });
+  }
 }
 
 Supervisor::~Supervisor() { sim_.trace().unsubscribe(&sink_); }
 
 void Supervisor::BusSink::on_event(const trace::Event& event) {
+  // Hang gate (kSupervisorHang): a wedged supervisor core sees nothing. The
+  // events still happened — the flight recorder has them — but this observer
+  // misses them, which is exactly the failure the hardware watchdog exists
+  // to bound (on_self_watchdog_reset re-drives standing detections).
+  if (owner_.hung_) return;
   if (event.kind == trace::EventKind::kInjection) {
+    // Control-plane injections have no replica victim: operand b is
+    // meaningless as a ReplicaIndex and must not seed a latency sample.
+    if (is_control_plane(static_cast<FaultKind>(event.a))) return;
     // Injections carry the target replica in operand b; the timestamp seeds
     // the next detection-latency sample (idempotent with manual
     // note_fault_injected wiring, which records the same instant).
@@ -188,14 +201,22 @@ void Supervisor::on_detection(const DetectionRecord& record) {
   }
 
   transition(state, record.replica, ReplicaHealth::kConvicted);
-  const auto replica = record.replica;
+  schedule_restart(record.replica);
+}
+
+void Supervisor::schedule_restart(ReplicaIndex r) {
+  ReplicaState& state = replicas_[static_cast<std::size_t>(index_of(r))];
   sim_.schedule_after(backoff_for(state),
-                      [this, replica, generation = state.generation] {
-                        ReplicaState& s = replicas_[static_cast<std::size_t>(
-                            index_of(replica))];
+                      [this, r, generation = state.generation] {
+                        ReplicaState& s =
+                            replicas_[static_cast<std::size_t>(index_of(r))];
                         if (s.generation != generation) return;
                         if (s.health != ReplicaHealth::kConvicted) return;
-                        perform_restart(replica);
+                        // A hung supervisor core drops its own timer work:
+                        // the restart is lost until the hardware watchdog
+                        // resets the core and re-schedules it.
+                        if (hung_) return;
+                        perform_restart(r);
                       });
 }
 
@@ -221,6 +242,63 @@ void Supervisor::perform_restart(ReplicaIndex r) {
     state.convicted_at = -1;
   }
   transition(state, r, ReplicaHealth::kHealthy);
+}
+
+void Supervisor::attach_watchdog(scc::WatchdogTimer* watchdog, int channel) {
+  SCCFT_EXPECTS(watchdog != nullptr);
+  SCCFT_EXPECTS(channel >= 0 && channel < watchdog->channel_count());
+  watchdog_ = watchdog;
+  watchdog_channel_ = channel;
+}
+
+void Supervisor::inject_hang() {
+  hung_ = true;
+  metrics().add("supervisor.hangs");
+}
+
+void Supervisor::tick() {
+  // The tick models the supervisor core's timer interrupt, so it always
+  // re-arms — a hung core still takes interrupts, it just does nothing
+  // useful in them (no heartbeat, no watchdog kick, so the deadline runs
+  // out and the hardware path below fires).
+  sim_.schedule_after(config_.heartbeat_period, [this] { tick(); });
+  if (hung_) return;
+  ++heartbeats_;
+  metrics().add("supervisor.heartbeats");
+  sim_.trace().emit(trace::EventKind::kHeartbeat, subject_, sim_.now(),
+                    static_cast<std::int64_t>(heartbeats_));
+  if (watchdog_ != nullptr) watchdog_->kick(watchdog_channel_);
+}
+
+void Supervisor::on_self_watchdog_reset() {
+  clear_hang();
+  metrics().add("supervisor.watchdog_resets");
+  // Repair what the hang broke. Restart timers that fired while hung were
+  // swallowed (schedule_restart's hung_ guard), so every still-convicted
+  // replica gets a fresh one; detections the BusSink missed are still
+  // latched in the channels' verdict state and can be re-driven.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const auto r = static_cast<ReplicaIndex>(i);
+    ReplicaState& state = replicas_[i];
+    if (state.health == ReplicaHealth::kConvicted) {
+      schedule_restart(r);
+    } else if (state.health == ReplicaHealth::kHealthy) {
+      std::optional<DetectionRecord> standing = replicator_.detection(r);
+      if (!standing) standing = selector_.detection(r);
+      if (standing) on_detection(*standing);
+    }
+  }
+}
+
+void Supervisor::on_core_watchdog_reset(ReplicaIndex replica) {
+  // The reset line is hardware: it convicts through the ordinary detection
+  // path (budget, backoff, degradation all apply) but never through the
+  // hung_-gated bus sink.
+  const ReplicaState& state =
+      replicas_[static_cast<std::size_t>(index_of(replica))];
+  if (state.health != ReplicaHealth::kHealthy) return;
+  on_detection(DetectionRecord{replica, DetectionRule::kWatchdogTimeout,
+                               sim_.now()});
 }
 
 void Supervisor::transition(ReplicaState& state, ReplicaIndex r, ReplicaHealth to) {

@@ -49,6 +49,10 @@
 #include "sim/simulator.hpp"
 #include "trace/bus.hpp"
 
+namespace sccft::scc {
+class WatchdogTimer;
+}  // namespace sccft::scc
+
 namespace sccft::ft {
 
 enum class ReplicaHealth {
@@ -82,6 +86,11 @@ class Supervisor final {
     rtc::TimeNs max_backoff = 500'000'000;  // 500 ms
     /// Analytic detection-latency bound (Eq. 6-8); 0 disables the check.
     rtc::TimeNs detection_latency_bound = 0;
+    /// Liveness-beacon period: every `heartbeat_period` ns the supervisor
+    /// emits kHeartbeat and kicks its watchdog channel (if attached).
+    /// 0 (the default) disables the tick entirely — existing rigs keep
+    /// byte-identical event schedules.
+    rtc::TimeNs heartbeat_period = 0;
   };
 
   /// Health accounting for one replica.
@@ -136,6 +145,36 @@ class Supervisor final {
   /// was violated beyond repair).
   [[nodiscard]] bool any_replica_serviceable() const;
 
+  // --- control-plane fault tolerance (scc/watchdog, ft/scrub) --------------
+
+  /// Ties this supervisor to `channel` of a hardware watchdog: every
+  /// heartbeat tick kicks it, and the channel's ResetHandler should call
+  /// on_self_watchdog_reset(). Call before the watchdog is armed.
+  void attach_watchdog(scc::WatchdogTimer* watchdog, int channel);
+
+  /// Fault hook (kSupervisorHang): while hung the supervisor swallows every
+  /// bus event, scheduled restarts are dropped on fire, and the heartbeat
+  /// stays silent. The tick keeps *rescheduling itself* — a hung core still
+  /// burns timer interrupts; it just does no useful work in them.
+  void inject_hang();
+  /// Self-recovery end of a bounded hang (kSupervisorHang with duration).
+  void clear_hang() { hung_ = false; }
+  [[nodiscard]] bool hung() const { return hung_; }
+  [[nodiscard]] std::uint64_t heartbeats() const { return heartbeats_; }
+
+  /// Hardware watchdog fired on the *supervisor's* tile: model of the reset
+  /// line un-wedging the core. Clears the hang, then repairs what the hang
+  /// broke: re-schedules the restart of every convicted replica (the backoff
+  /// timers that fired while hung were swallowed) and re-drives standing
+  /// channel detections that were masked.
+  void on_self_watchdog_reset();
+
+  /// Hardware watchdog fired on a replica core's tile. Feeds the ordinary
+  /// detection path (DetectionRule::kWatchdogTimeout), so conviction,
+  /// backoff, and the restart budget all apply unchanged. Bypasses the hang
+  /// gate: the watchdog is hardware, a hung supervisor cannot mask it.
+  void on_core_watchdog_reset(ReplicaIndex replica);
+
  private:
   struct ReplicaState {
     ReplicaAssets assets;
@@ -159,6 +198,8 @@ class Supervisor final {
 
   void on_detection(const DetectionRecord& record);
   void perform_restart(ReplicaIndex r);
+  void schedule_restart(ReplicaIndex r);
+  void tick();
   void transition(ReplicaState& state, ReplicaIndex r, ReplicaHealth to);
   [[nodiscard]] rtc::TimeNs backoff_for(const ReplicaState& state) const;
   [[nodiscard]] trace::MetricsRegistry& metrics() const {
@@ -173,6 +214,10 @@ class Supervisor final {
   std::array<ReplicaState, 2> replicas_;
   std::vector<HealthTransition> transitions_;
   BusSink sink_;
+  bool hung_ = false;
+  std::uint64_t heartbeats_ = 0;
+  scc::WatchdogTimer* watchdog_ = nullptr;
+  int watchdog_channel_ = -1;
 };
 
 /// Closed-form exponential backoff: min(initial * factor^restarts, max), with

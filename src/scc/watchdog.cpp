@@ -1,0 +1,83 @@
+#include "scc/watchdog.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sccft::scc {
+
+WatchdogTimer::WatchdogTimer(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(std::move(config)) {
+  SCCFT_EXPECTS(config_.deadline > 0);
+}
+
+int WatchdogTimer::add_channel(std::string label, TileId tile,
+                               ResetHandler on_reset) {
+  SCCFT_EXPECTS(!armed_);
+  SCCFT_EXPECTS(tile.valid());
+  SCCFT_EXPECTS(on_reset != nullptr);
+  Channel channel;
+  channel.subject = sim_.trace().intern(config_.name + "." + label);
+  channel.label = std::move(label);
+  channel.tile = tile;
+  channel.on_reset = std::move(on_reset);
+  channels_.push_back(std::move(channel));
+  return static_cast<int>(channels_.size()) - 1;
+}
+
+void WatchdogTimer::kick(int channel) {
+  SCCFT_EXPECTS(channel >= 0 && channel < channel_count());
+  channels_[static_cast<std::size_t>(channel)].last_kick = sim_.now();
+}
+
+void WatchdogTimer::arm_all() {
+  SCCFT_EXPECTS(!armed_);
+  armed_ = true;
+  for (int i = 0; i < channel_count(); ++i) {
+    Channel& channel = channels_[static_cast<std::size_t>(i)];
+    channel.last_kick = sim_.now();
+    schedule_check(i, channel.last_kick + config_.deadline + 1);
+  }
+}
+
+void WatchdogTimer::schedule_check(int index, rtc::TimeNs at) {
+  sim_.schedule_at(at, [this, index] { check(index); });
+}
+
+void WatchdogTimer::check(int index) {
+  Channel& channel = channels_[static_cast<std::size_t>(index)];
+  const rtc::TimeNs now = sim_.now();
+  if (channel.last_kick + config_.deadline >= now) {
+    // Alive: a kick moved the deadline forward since this check was armed.
+    schedule_check(index, channel.last_kick + config_.deadline + 1);
+    return;
+  }
+  // Expired: pull the reset line. The event and metric are always-on — a
+  // watchdog firing is a verdict, not data-path telemetry.
+  ++channel.resets;
+  sim_.trace().metrics().add(config_.name + "." + channel.label + ".resets");
+  sim_.trace().emit(trace::EventKind::kWatchdogReset, channel.subject, now,
+                    index, channel.tile.value,
+                    static_cast<std::int64_t>(channel.resets));
+  channel.on_reset();
+  channel.last_kick = now;
+  schedule_check(index, channel.last_kick + config_.deadline + 1);
+}
+
+std::uint64_t WatchdogTimer::resets(int channel) const {
+  SCCFT_EXPECTS(channel >= 0 && channel < channel_count());
+  return channels_[static_cast<std::size_t>(channel)].resets;
+}
+
+std::uint64_t WatchdogTimer::total_resets() const {
+  std::uint64_t total = 0;
+  for (const Channel& channel : channels_) total += channel.resets;
+  return total;
+}
+
+rtc::TimeNs WatchdogTimer::last_kick(int channel) const {
+  SCCFT_EXPECTS(channel >= 0 && channel < channel_count());
+  return channels_[static_cast<std::size_t>(channel)].last_kick;
+}
+
+}  // namespace sccft::scc

@@ -1,0 +1,94 @@
+// Per-tile hardware watchdog timer — the last line of defense.
+//
+// On real SCC silicon every software layer of the fault-tolerance stack —
+// the selector's detection rules, the Supervisor's restart machinery, even
+// the trace spine — runs on the same cores it protects. A hung core takes
+// its defenses down with it. The classical answer (cf. "Fault Tolerant Real
+// Time Systems", arXiv:1001.3756) is a hardware timer that software can only
+// *delay*, never stop: the task loop kicks it every iteration, and if the
+// deadline passes without a kick the timer force-resets the core through a
+// path no software hang can block.
+//
+// This model keeps that independence in simulated time:
+//
+//  * `kick(channel)` only records the kick timestamp — no trace event, no
+//    allocation, nothing on the simulator queue. It is cheap enough to call
+//    once per task-loop iteration.
+//  * `arm_all()` schedules one deadline check per channel. A check fired at
+//    time t re-arms itself at `last_kick + deadline + 1`; a kick landing
+//    *exactly* at `last_kick + deadline` therefore still counts as alive
+//    (the check runs one tick later and sees it). Exactly one check event
+//    per channel is outstanding at any time, so the watchdog's load on the
+//    event queue is O(channels), independent of kick rate.
+//  * On expiry the watchdog emits an always-on kWatchdogReset event, bumps
+//    the per-channel `watchdog.<label>.resets` metric, and invokes the
+//    channel's ResetHandler — which feeds the Supervisor's existing
+//    restart-budget accounting (see Supervisor::on_core_watchdog_reset).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scc/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace sccft::scc {
+
+class WatchdogTimer final {
+ public:
+  /// Invoked from the watchdog's own timer context when a channel expires.
+  /// The handler models the hardware reset line: it must not assume any
+  /// software on the watched core is still making progress.
+  using ResetHandler = std::function<void()>;
+
+  struct Config {
+    /// Maximum time between kicks before the reset line fires.
+    rtc::TimeNs deadline = rtc::from_ms(100.0);
+    /// Subject-name prefix for trace events and metrics.
+    std::string name = "watchdog";
+  };
+
+  explicit WatchdogTimer(sim::Simulator& sim, Config config);
+
+  WatchdogTimer(const WatchdogTimer&) = delete;
+  WatchdogTimer& operator=(const WatchdogTimer&) = delete;
+
+  /// Registers a watched heartbeat source on `tile`. Returns the channel
+  /// index used with kick(). Must be called before arm_all().
+  int add_channel(std::string label, TileId tile, ResetHandler on_reset);
+
+  /// Records a heartbeat on `channel` at the current simulated time.
+  void kick(int channel);
+
+  /// Starts the deadline checks. Every channel's kick clock begins at the
+  /// current simulated time.
+  void arm_all();
+
+  [[nodiscard]] rtc::TimeNs deadline() const { return config_.deadline; }
+  [[nodiscard]] int channel_count() const { return static_cast<int>(channels_.size()); }
+  [[nodiscard]] std::uint64_t resets(int channel) const;
+  [[nodiscard]] std::uint64_t total_resets() const;
+  [[nodiscard]] rtc::TimeNs last_kick(int channel) const;
+
+ private:
+  struct Channel {
+    std::string label;
+    TileId tile;
+    ResetHandler on_reset;
+    trace::SubjectId subject = 0;
+    rtc::TimeNs last_kick = 0;
+    std::uint64_t resets = 0;
+  };
+
+  void check(int index);
+  void schedule_check(int index, rtc::TimeNs at);
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::vector<Channel> channels_;
+  bool armed_ = false;
+};
+
+}  // namespace sccft::scc

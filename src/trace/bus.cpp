@@ -26,6 +26,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kRestart: return "restart";
     case EventKind::kHealthTransition: return "health-transition";
     case EventKind::kCurveViolation: return "curve-violation";
+    case EventKind::kWatchdogReset: return "watchdog-reset";
+    case EventKind::kHeartbeat: return "heartbeat";
+    case EventKind::kScrubRepair: return "scrub-repair";
     case EventKind::kCount: break;
   }
   return "?";

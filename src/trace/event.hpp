@@ -52,6 +52,13 @@ enum class EventKind : std::uint8_t {
   kCurveViolation,    ///< empirical curve left the design envelope;
                       ///< a: replica index (-1: none), b: 0 upper / 1 lower,
                       ///< c: lattice level
+  // --- scc/ and ft/ control-plane last-line defense ------------------------
+  kWatchdogReset,     ///< hardware watchdog fired; a: channel index,
+                      ///< b: tile id, c: resets on this channel so far
+  kHeartbeat,         ///< supervisor liveness beacon; a: heartbeats so far
+  kScrubRepair,       ///< scrubber repaired control state; a: target index
+                      ///< (-1: flight-ring resync), b: repaired words,
+                      ///< c: unrepairable words
   kCount,
 };
 
@@ -76,7 +83,8 @@ inline constexpr std::uint32_t kVerdictEvents =
     bit(EventKind::kInjection) | bit(EventKind::kFreeze) |
     bit(EventKind::kUnfreeze) | bit(EventKind::kReintegrate) |
     bit(EventKind::kRestart) | bit(EventKind::kHealthTransition) |
-    bit(EventKind::kCurveViolation);
+    bit(EventKind::kCurveViolation) | bit(EventKind::kWatchdogReset) |
+    bit(EventKind::kHeartbeat) | bit(EventKind::kScrubRepair);
 
 [[nodiscard]] const char* to_string(EventKind kind);
 

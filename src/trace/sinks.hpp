@@ -30,6 +30,7 @@ class RingBufferSink final : public Sink {
   explicit RingBufferSink(std::size_t capacity = 4096);
 
   void on_event(const Event& event) override {
+    if (wedged_) return;  // a stuck sink silently loses events (kTraceSinkStuck)
     ring_[next_ % ring_.size()] = event;
     ++next_;
   }
@@ -46,9 +47,24 @@ class RingBufferSink final : public Sink {
   /// Renders the retained events as CSV (subject names resolved via `bus`).
   [[nodiscard]] std::string render_csv(const TraceBus& bus) const;
 
+  /// Fault hook: while wedged the sink drops every event (models a hung
+  /// recorder core whose DMA stopped draining).
+  void set_wedged(bool wedged) { wedged_ = wedged; }
+  [[nodiscard]] bool wedged() const { return wedged_; }
+
+  /// Scrubber repair: un-wedges the sink and fast-forwards the event total
+  /// to `total` (the count an independent tally says should have arrived).
+  /// Retained ring *contents* may interleave pre-wedge history; consumers of
+  /// a resynced ring must trust only the totals.
+  void force_resync(std::uint64_t total) {
+    wedged_ = false;
+    next_ = total;
+  }
+
  private:
   std::vector<Event> ring_;
   std::uint64_t next_ = 0;
+  bool wedged_ = false;
 };
 
 /// Serializes every event as a fixed 37-byte little-endian record:

@@ -1,0 +1,238 @@
+// Control-plane chaos tests: storms that attack the protection machinery
+// itself (supervisor hangs, TMR counter flips, a wedged flight recorder)
+// must be free when the watchdog + scrubber defenses are armed, and each
+// planted storm must demonstrably fail its oracle when exactly the defense
+// that guards it is disabled. Also covers the extended storm taxonomy and
+// the artifact round-trip of the defense configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "chaos/artifact.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/storm.hpp"
+#include "ft/fault_plan.hpp"
+
+namespace sccft::chaos {
+namespace {
+
+ControlPlaneOptions defended() {
+  ControlPlaneOptions cp;
+  cp.enabled = true;
+  return cp;
+}
+
+std::vector<Violation> run_plan(std::vector<ft::FaultSpec> faults,
+                                const ControlPlaneOptions& cp) {
+  StormPlan plan;
+  plan.seed = 7;
+  plan.run_length = rtc::from_ms(2000.0);
+  plan.faults = std::move(faults);
+  RunOptions options;
+  options.control_plane = cp;
+  const RunObservation golden = run_golden(plan.seed, plan.run_length);
+  const RunObservation obs = run_storm(plan, options);
+  return check_invariants(plan, obs, golden);
+}
+
+bool has_code(const std::vector<Violation>& violations, ViolationCode code) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.code == code; });
+}
+
+std::string codes_of(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += std::string(to_string(v.code)) + "(" + v.detail + ") ";
+  }
+  return out;
+}
+
+// A supervisor hang nothing in software ever clears (duration 0).
+ft::FaultSpec permanent_hang() {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kSupervisorHang;
+  spec.at = rtc::from_ms(600.0);
+  spec.duration = 0;
+  spec.tile = 3;
+  return spec;
+}
+
+ft::FaultSpec wedged_ring() {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kTraceSinkStuck;
+  spec.at = rtc::from_ms(500.0);
+  spec.duration = rtc::from_ms(600.0);
+  return spec;
+}
+
+// Flips pinned to the selector's S1 capacity word — quiescent, so without
+// the scrubber the corruption accumulates until the TMR vote collapses and
+// the stall rule convicts an innocent replica. Seed chosen empirically so
+// the accumulated copy-0 XOR undershoots the live space watermark.
+ft::FaultSpec pinned_counter_flips() {
+  ft::FaultSpec spec;
+  spec.kind = ft::FaultKind::kCounterCorruption;
+  spec.at = rtc::from_ms(500.0);
+  spec.duration = rtc::from_ms(1200.0);
+  spec.burst_on_mean = rtc::from_ms(20.0);
+  spec.burst_off_mean = 3;  // global scrub word 2 = selector S1 capacity
+  spec.seed = 4;
+  return spec;
+}
+
+// --- supervisor hang vs. the watchdog -------------------------------------
+
+TEST(ControlPlane, PermanentHangIsClearedByTheWatchdog) {
+  const std::vector<Violation> violations = run_plan({permanent_hang()}, defended());
+  EXPECT_TRUE(violations.empty()) << codes_of(violations);
+}
+
+TEST(ControlPlane, PermanentHangWithoutTheWatchdogGoesSilentForever) {
+  ControlPlaneOptions cp = defended();
+  cp.watchdog = false;
+  const std::vector<Violation> violations = run_plan({permanent_hang()}, cp);
+  EXPECT_TRUE(has_code(violations, ViolationCode::kSilentSupervisor))
+      << codes_of(violations);
+}
+
+// --- wedged flight recorder vs. the scrubber ------------------------------
+
+TEST(ControlPlane, WedgedRingIsResyncedByTheScrubber) {
+  const std::vector<Violation> violations = run_plan({wedged_ring()}, defended());
+  EXPECT_TRUE(violations.empty()) << codes_of(violations);
+}
+
+TEST(ControlPlane, WedgedRingWithoutTheScrubberBreaksSpineConsistency) {
+  ControlPlaneOptions cp = defended();
+  cp.scrubber = false;
+  const std::vector<Violation> violations = run_plan({wedged_ring()}, cp);
+  EXPECT_TRUE(has_code(violations, ViolationCode::kSpineInconsistent))
+      << codes_of(violations);
+}
+
+// --- counter corruption vs. the scrubber ----------------------------------
+
+TEST(ControlPlane, PinnedCounterFlipsAreScrubbedBeforeTheyAccumulate) {
+  const std::vector<Violation> violations =
+      run_plan({pinned_counter_flips()}, defended());
+  EXPECT_TRUE(violations.empty()) << codes_of(violations);
+}
+
+TEST(ControlPlane, PinnedCounterFlipsWithoutTheScrubberConvictAnInnocent) {
+  ControlPlaneOptions cp = defended();
+  cp.scrubber = false;
+  const std::vector<Violation> violations = run_plan({pinned_counter_flips()}, cp);
+  EXPECT_TRUE(has_code(violations, ViolationCode::kUnjustifiedConviction))
+      << codes_of(violations);
+}
+
+// --- watchdog reset racing a reintegration --------------------------------
+
+TEST(ControlPlane, SupervisorHangDuringRecoveryIsRepairedWithoutLoss) {
+  // A real data-path fault convicts R1; the supervisor then hangs while the
+  // restart machinery is in flight (the storm generator's adversarial
+  // template 5). The watchdog reset must re-drive the swallowed restart and
+  // the run must end with every oracle green — including no-loss, since a
+  // silence fault plus a control-plane fault is still a lossless plan.
+  ft::FaultSpec silence;
+  silence.kind = ft::FaultKind::kPermanentSilence;
+  silence.replica = ft::ReplicaIndex::kReplica1;
+  silence.at = rtc::from_ms(500.0);
+  ft::FaultSpec hang = permanent_hang();
+  hang.at = rtc::from_ms(530.0);
+  const std::vector<Violation> violations = run_plan({silence, hang}, defended());
+  EXPECT_TRUE(violations.empty()) << codes_of(violations);
+}
+
+// --- storm taxonomy --------------------------------------------------------
+
+TEST(ControlPlane, GeneratorEmitsControlPlaneFaultsOnlyWhenEnabled) {
+  StormConfig off;
+  const StormGenerator vanilla{off};
+  StormConfig on;
+  on.control_plane = true;
+  const StormGenerator extended{on};
+  int with_control_plane = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (const ft::FaultSpec& spec : vanilla.generate(seed).faults) {
+      EXPECT_FALSE(ft::is_control_plane(spec.kind)) << "seed " << seed;
+    }
+    const StormPlan plan = extended.generate(seed);
+    if (std::any_of(plan.faults.begin(), plan.faults.end(),
+                    [](const ft::FaultSpec& s) {
+                      return ft::is_control_plane(s.kind);
+                    })) {
+      ++with_control_plane;
+    }
+  }
+  // Every extended storm carries at least one control-plane fault.
+  EXPECT_EQ(with_control_plane, 30);
+}
+
+TEST(ControlPlane, LosslessnessIgnoresControlPlaneFaults) {
+  // Control-plane faults have no data-path victim: a plan made only of them
+  // still promises gap-free delivery, which is exactly what makes the
+  // defenses-on soak a meaningful acceptance gate.
+  EXPECT_TRUE(plan_is_lossless(
+      {permanent_hang(), wedged_ring(), pinned_counter_flips()}));
+  ft::FaultSpec silence;
+  silence.kind = ft::FaultKind::kPermanentSilence;
+  silence.replica = ft::ReplicaIndex::kReplica2;
+  silence.at = rtc::from_ms(400.0);
+  EXPECT_TRUE(plan_is_lossless({silence, permanent_hang()}));
+}
+
+// --- artifact round-trip ---------------------------------------------------
+
+TEST(ControlPlane, ArtifactRoundTripsTheDefenseConfiguration) {
+  FailureArtifact artifact;
+  artifact.seed = 9;
+  artifact.run_length = rtc::from_ms(2000.0);
+  artifact.control_plane.enabled = true;
+  artifact.control_plane.watchdog = false;
+  artifact.control_plane.scrubber = true;
+  artifact.control_plane.heartbeat_period = rtc::from_ms(10.0);
+  artifact.control_plane.watchdog_deadline = rtc::from_ms(80.0);
+  artifact.control_plane.scrub_period = rtc::from_ms(2.0);
+  artifact.violations.push_back(
+      Violation{ViolationCode::kSilentSupervisor, "no heartbeat"});
+  artifact.plan.push_back(permanent_hang());
+
+  const FailureArtifact parsed = parse_artifact(serialize(artifact));
+  EXPECT_TRUE(parsed.control_plane.enabled);
+  EXPECT_FALSE(parsed.control_plane.watchdog);
+  EXPECT_TRUE(parsed.control_plane.scrubber);
+  EXPECT_EQ(parsed.control_plane.heartbeat_period, rtc::from_ms(10.0));
+  EXPECT_EQ(parsed.control_plane.watchdog_deadline, rtc::from_ms(80.0));
+  EXPECT_EQ(parsed.control_plane.scrub_period, rtc::from_ms(2.0));
+  ASSERT_EQ(parsed.plan.size(), 1u);
+  EXPECT_EQ(parsed.plan[0].kind, ft::FaultKind::kSupervisorHang);
+  EXPECT_EQ(parsed.plan[0].tile, 3);
+  EXPECT_EQ(serialize(parsed), serialize(artifact));
+}
+
+TEST(ControlPlane, LegacyArtifactsWithoutTheDirectiveDefaultToDefensesOff) {
+  const std::string legacy =
+      "sccft-chaos-artifact v1\n"
+      "seed 3\n"
+      "run-length-ns 2000000000\n"
+      "planted none\n"
+      "violation stalled-stream nothing was ever delivered\n"
+      "plan-begin\n"
+      "plan-end\n"
+      "flight-begin\n"
+      "flight-end\n"
+      "registry-begin\n"
+      "registry-end\n";
+  const FailureArtifact parsed = parse_artifact(legacy);
+  EXPECT_FALSE(parsed.control_plane.enabled);
+  EXPECT_TRUE(parsed.control_plane.watchdog);
+  EXPECT_TRUE(parsed.control_plane.scrubber);
+}
+
+}  // namespace
+}  // namespace sccft::chaos

@@ -263,10 +263,11 @@ std::string valid_artifact_text() {
          "seed 7\n"
          "run-length-ns 2000000000\n"
          "planted none\n"
+         "control-plane 0 1 1 25000000 120000000 5000000\n"
          "violation sequence-gap gap after seq 12\n"
          "plan-begin\n"
          "fault transient-silence 1 500000000 100000000 4 1 0 0 9 0 0 0 0 3 "
-         "50000\n"
+         "50000 0\n"
          "plan-end\n"
          "flight-begin\n"
          "time,kind\n"
@@ -302,6 +303,10 @@ TEST(Artifact, MalformedInputThrows) {
       "sccft-chaos-artifact v1\nseed 1\nrun-length-ns 12x\n",  // trailing junk
       "sccft-chaos-artifact v1\nseed 1\nplanted quantum-bit-flip\n",
       "sccft-chaos-artifact v1\nseed 1\nviolation made-up-code detail\n",
+      // control-plane flags are strictly 0|1; periods must be numbers
+      "sccft-chaos-artifact v1\nseed 1\ncontrol-plane 2 1 1 1 1 1\n",
+      "sccft-chaos-artifact v1\nseed 1\ncontrol-plane 1 1 1 soon 1 1\n",
+      "sccft-chaos-artifact v1\nseed 1\ncontrol-plane 1 1\n",  // truncated
       "sccft-chaos-artifact v1\nseed 1\nrun-length-ns 5\nviolation "
       "sequence-gap x\nplan-begin\nfault garbage\nplan-end\n",  // bad fault line
       "sccft-chaos-artifact v1\nseed 1\nrun-length-ns 5\nviolation "

@@ -489,6 +489,13 @@ TEST(FaultCampaign, SpecValidationRejectsNonsense) {
                util::ContractViolation);
   EXPECT_THROW(campaign.add({.kind = FaultKind::kNocLink}),  // no NoC wired
                util::ContractViolation);
+  // Control-plane kinds need their targets wired.
+  EXPECT_THROW(campaign.add({.kind = FaultKind::kSupervisorHang}),
+               util::ContractViolation);
+  EXPECT_THROW(campaign.add({.kind = FaultKind::kCounterCorruption}),
+               util::ContractViolation);
+  EXPECT_THROW(campaign.add({.kind = FaultKind::kTraceSinkStuck}),
+               util::ContractViolation);
 }
 
 // ---- text serialization (the chaos artifact / replay format) --------------
@@ -510,6 +517,7 @@ FaultSpec sample_spec(FaultKind kind) {
   spec.noc.delay_max_ns = 9'000;
   spec.noc.max_retries = 5;
   spec.noc.retry_timeout_ns = 75'000;
+  spec.tile = 5;
   return spec;
 }
 
@@ -529,13 +537,16 @@ void expect_specs_equal(const FaultSpec& a, const FaultSpec& b) {
   EXPECT_EQ(a.noc.delay_max_ns, b.noc.delay_max_ns);
   EXPECT_EQ(a.noc.max_retries, b.noc.max_retries);
   EXPECT_EQ(a.noc.retry_timeout_ns, b.noc.retry_timeout_ns);
+  EXPECT_EQ(a.tile, b.tile);
 }
 
 TEST(FaultPlanText, SpecRoundTripsEveryKindFieldByField) {
   for (const FaultKind kind :
        {FaultKind::kPermanentSilence, FaultKind::kTransientSilence,
         FaultKind::kIntermittentSilence, FaultKind::kRateDegradation,
-        FaultKind::kPayloadCorruption, FaultKind::kNocLink}) {
+        FaultKind::kPayloadCorruption, FaultKind::kNocLink,
+        FaultKind::kSupervisorHang, FaultKind::kCounterCorruption,
+        FaultKind::kTraceSinkStuck}) {
     const FaultSpec spec = sample_spec(kind);
     expect_specs_equal(spec, parse_fault_spec(serialize(spec)));
   }
@@ -559,21 +570,31 @@ TEST(FaultPlanText, KindTagRoundTripsAndRejectsUnknown) {
   for (const FaultKind kind :
        {FaultKind::kPermanentSilence, FaultKind::kTransientSilence,
         FaultKind::kIntermittentSilence, FaultKind::kRateDegradation,
-        FaultKind::kPayloadCorruption, FaultKind::kNocLink}) {
+        FaultKind::kPayloadCorruption, FaultKind::kNocLink,
+        FaultKind::kSupervisorHang, FaultKind::kCounterCorruption,
+        FaultKind::kTraceSinkStuck}) {
     EXPECT_EQ(fault_kind_from_text(to_string(kind)), kind);
   }
   EXPECT_THROW((void)fault_kind_from_text("meteor-strike"), util::ContractViolation);
   EXPECT_THROW((void)fault_kind_from_text(""), util::ContractViolation);
+  // Near-miss tags for the control-plane kinds must not fuzzy-match.
+  EXPECT_THROW((void)fault_kind_from_text("supervisor-hung"), util::ContractViolation);
+  EXPECT_THROW((void)fault_kind_from_text("counter-corrupt"), util::ContractViolation);
+  EXPECT_THROW((void)fault_kind_from_text("trace-sink"), util::ContractViolation);
 }
 
 TEST(FaultPlanText, MalformedLinesThrowNeverCrash) {
   const std::string good = serialize(sample_spec(FaultKind::kTransientSilence));
+  // Dropping the trailing tile field leaves a legacy 16-token line, which
+  // stays parseable (tile defaults to 0); dropping one more field must throw.
+  const std::string legacy = good.substr(0, good.rfind(' '));
+  EXPECT_EQ(parse_fault_spec(legacy).tile, 0);
   // Fuzz-style line mutations: truncations, extra fields, garbage tokens.
   const std::vector<std::string> bad = {
       "",                                  // empty
       "fault",                             // tag only
       good + " 7",                         // extra field
-      good.substr(0, good.rfind(' ')),     // one field short
+      legacy.substr(0, legacy.rfind(' ')), // two fields short
       "tluaf" + good.substr(5),            // wrong tag
       "fault bogus-kind 1 0 0 1 1 0 0 1 0 0 0 0 3 50000",  // unknown kind
       "fault transient-silence 3 0 1 1 1 0 0 1 0 0 0 0 3 50000",  // replica 3
@@ -586,6 +607,12 @@ TEST(FaultPlanText, MalformedLinesThrowNeverCrash) {
       "fault transient-silence 1 0 1e99x 1 1 0 0 1 0 0 0 0 3 50000",  // garbage int
       "fault transient-silence 1 0 1 1 1 0 0 -1 0 0 0 0 3 50000",   // negative seed
       "fault noc-link 1 0 0 1 1 0 0 1 0.5 0 9000 1000 3 50000",     // max < min
+      // Control-plane fuzz: unknown tags and out-of-range tile ids.
+      "fault watchdog-reset 1 0 0 1 1 0 0 1 0 0 0 0 3 50000 0",     // unknown kind
+      "fault supervisor-hang 1 0 0 1 1 0 0 1 0 0 0 0 3 50000 24",   // tile >= 24
+      "fault supervisor-hang 1 0 0 1 1 0 0 1 0 0 0 0 3 50000 -1",   // tile < 0
+      "fault trace-sink-stuck 1 0 0 1 1 0 0 1 0 0 0 0 3 50000 999", // tile absurd
+      "fault counter-corruption 1 0 0 1 1 0 0 1 0 0 0 0 3 50000 x", // garbage tile
   };
   for (const std::string& line : bad) {
     EXPECT_THROW((void)parse_fault_spec(line), util::ContractViolation) << line;

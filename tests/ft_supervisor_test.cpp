@@ -13,6 +13,8 @@
 #include "ft/supervisor.hpp"
 #include "kpn/network.hpp"
 #include "kpn/timing.hpp"
+#include "scc/watchdog.hpp"
+#include "trace/bus.hpp"
 
 namespace sccft::ft {
 namespace {
@@ -306,6 +308,126 @@ TEST(Supervisor, TransientFaultBelowDetectionRadarNeedsNoRestart) {
   EXPECT_FALSE(rig.gap);
   EXPECT_FALSE(rig.duplicate);
   EXPECT_GT(rig.consumed.size(), 80u);
+}
+
+// --- heartbeat beacon + hang / watchdog interplay --------------------------
+
+struct HeartbeatLog : trace::Sink {
+  std::vector<trace::Event> events;
+  void on_event(const trace::Event& event) override { events.push_back(event); }
+};
+
+TEST(Supervisor, HeartbeatBeaconIsStrictlyMonotoneAndMatchesTheCounter) {
+  Rig rig;
+  HeartbeatLog log;
+  rig.simulator.trace().subscribe(&log,
+                                  trace::bit(trace::EventKind::kHeartbeat));
+  Supervisor supervisor(rig.simulator, rig.harness->replicator(),
+                        rig.harness->selector(), rig.assets(),
+                        {.restart_budget = 3,
+                         .initial_backoff = rtc::from_ms(20.0),
+                         .heartbeat_period = rtc::from_ms(25.0)});
+  rig.net.run_until(rtc::from_sec(1.0));
+
+  // ~40 beats in a second; every beat strictly later than the previous one
+  // and carrying a strictly increasing beat count.
+  EXPECT_EQ(supervisor.heartbeats(), log.events.size());
+  EXPECT_GE(log.events.size(), 39u);
+  for (std::size_t i = 1; i < log.events.size(); ++i) {
+    EXPECT_GT(log.events[i].time, log.events[i - 1].time);
+    EXPECT_EQ(log.events[i].a, log.events[i - 1].a + 1);
+  }
+  // Bus-observer view and registry view agree (the spine oracle's check).
+  EXPECT_EQ(rig.simulator.trace().metrics().counter("supervisor.heartbeats"),
+            supervisor.heartbeats());
+  rig.simulator.trace().unsubscribe(&log);
+}
+
+TEST(Supervisor, DisabledHeartbeatKeepsTheSupervisorSilent) {
+  Rig rig;
+  HeartbeatLog log;
+  rig.simulator.trace().subscribe(&log,
+                                  trace::bit(trace::EventKind::kHeartbeat));
+  Supervisor supervisor(rig.simulator, rig.harness->replicator(),
+                        rig.harness->selector(), rig.assets(),
+                        {.restart_budget = 3,
+                         .initial_backoff = rtc::from_ms(20.0)});
+  rig.net.run_until(rtc::from_ms(500.0));
+  EXPECT_EQ(supervisor.heartbeats(), 0u);
+  EXPECT_TRUE(log.events.empty());
+  rig.simulator.trace().unsubscribe(&log);
+}
+
+TEST(Supervisor, HangSwallowsTheDetectionUntilTheWatchdogResets) {
+  Rig rig;
+  Supervisor supervisor(rig.simulator, rig.harness->replicator(),
+                        rig.harness->selector(), rig.assets(),
+                        {.restart_budget = 3,
+                         .initial_backoff = rtc::from_ms(20.0),
+                         .heartbeat_period = rtc::from_ms(25.0)});
+  scc::WatchdogTimer watchdog(rig.simulator,
+                              {.deadline = rtc::from_ms(120.0), .name = "wd"});
+  const int channel = watchdog.add_channel(
+      "supervisor", scc::TileId{1}, [&] { supervisor.on_self_watchdog_reset(); });
+  supervisor.attach_watchdog(&watchdog, channel);
+  watchdog.arm_all();
+
+  FaultCampaign::Wiring wiring = rig.wiring();
+  wiring.supervisor = &supervisor;
+  FaultCampaign campaign(rig.simulator, wiring);
+  wire(supervisor, campaign);
+  // The supervisor hangs permanently (duration 0: software never clears it)
+  // just before R1 falls silent. The detection fires into a deaf supervisor;
+  // only the watchdog reset can revive it and re-drive the standing verdict.
+  campaign.add({.kind = FaultKind::kSupervisorHang, .at = rtc::from_ms(300.0)});
+  campaign.add({.kind = FaultKind::kPermanentSilence,
+                .replica = ReplicaIndex::kReplica1,
+                .at = rtc::from_ms(350.0)});
+  campaign.arm();
+  rig.net.run_until(rtc::from_sec(2.0));
+
+  EXPECT_FALSE(supervisor.hung());
+  const auto& metrics = rig.simulator.trace().metrics();
+  EXPECT_EQ(metrics.counter("supervisor.hangs"), 1u);
+  EXPECT_GE(metrics.counter("supervisor.watchdog_resets"), 1u);
+  EXPECT_GE(watchdog.resets(channel), 1u);
+  // The fault was still recovered end to end, and no token was lost.
+  const auto& report = supervisor.report(ReplicaIndex::kReplica1);
+  EXPECT_EQ(report.health, ReplicaHealth::kHealthy);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_FALSE(rig.gap);
+  EXPECT_FALSE(rig.duplicate);
+  // Heartbeats resumed after the reset: the beacon outlived the hang window.
+  EXPECT_GT(supervisor.heartbeats(),
+            static_cast<std::uint64_t>(300 / 25));  // more than the pre-hang count
+}
+
+TEST(Supervisor, BackToBackCoreWatchdogResetsConsumeTheRestartBudget) {
+  Rig rig;
+  Supervisor supervisor(rig.simulator, rig.harness->replicator(),
+                        rig.harness->selector(), rig.assets(),
+                        {.restart_budget = 1,
+                         .initial_backoff = rtc::from_ms(20.0)});
+  // Two hardware reset-line firings against R2, far enough apart that the
+  // first recovery completes. Budget 1: the first reset restarts, the second
+  // must degrade — the watchdog feeds the same budget as every other rule.
+  rig.simulator.schedule_at(rtc::from_ms(300.0), [&] {
+    supervisor.on_core_watchdog_reset(ReplicaIndex::kReplica2);
+  });
+  rig.simulator.schedule_at(rtc::from_ms(900.0), [&] {
+    supervisor.on_core_watchdog_reset(ReplicaIndex::kReplica2);
+  });
+  rig.net.run_until(rtc::from_sec(2.0));
+
+  const auto& report = supervisor.report(ReplicaIndex::kReplica2);
+  EXPECT_EQ(report.health, ReplicaHealth::kDegraded);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_EQ(report.faults_seen, 2u);
+  // The stream kept draining on the surviving replica.
+  EXPECT_FALSE(rig.gap);
+  EXPECT_FALSE(rig.duplicate);
+  EXPECT_GT(rig.consumed.size(), 180u);
+  EXPECT_EQ(supervisor.health(ReplicaIndex::kReplica1), ReplicaHealth::kHealthy);
 }
 
 // --- backoff_duration ------------------------------------------------------

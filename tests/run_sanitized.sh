@@ -50,3 +50,7 @@ ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure -LE bench
 # the same pool (and exercises the oracle/artifact layers).
 "${build_dir}/bench/fault_campaign" --jobs 4 --csv "${build_dir}/fault_campaign_sanitized.csv" > /dev/null
 "${build_dir}/bench/chaos_soak" --runs 50 --jobs 4 --csv "${build_dir}/chaos_soak_sanitized.csv" > /dev/null
+# Control-plane storms arm the watchdog + scrubber and attack the supervisor
+# and channel bookkeeping themselves — the defense paths (watchdog expiry
+# handlers, TMR scrub sweeps, flight-ring resync) run under the sanitizer too.
+"${build_dir}/bench/chaos_soak" --runs 30 --jobs 4 --control-plane --csv "${build_dir}/chaos_soak_control_sanitized.csv" > /dev/null

@@ -1,0 +1,108 @@
+// Watchdog timer tests: the deadline edge (a kick landing exactly at the
+// deadline still counts as alive), expiry firing the reset line exactly once
+// per silent window, re-arming after a reset, and per-channel independence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scc/watchdog.hpp"
+#include "sim/simulator.hpp"
+#include "trace/bus.hpp"
+
+namespace sccft::scc {
+namespace {
+
+struct ResetLog : trace::Sink {
+  std::vector<trace::Event> events;
+  void on_event(const trace::Event& event) override { events.push_back(event); }
+};
+
+TEST(Watchdog, KickExactlyAtTheDeadlineStillCountsAsAlive) {
+  sim::Simulator sim;
+  WatchdogTimer watchdog(sim, {.deadline = rtc::from_ms(100.0), .name = "wd"});
+  int handler_fired = 0;
+  const int channel =
+      watchdog.add_channel("core", TileId{3}, [&] { ++handler_fired; });
+  watchdog.arm_all();
+
+  // Kick at exactly last_kick + deadline, four times in a row. The check
+  // runs one tick later and must see each kick.
+  for (int i = 1; i <= 4; ++i) {
+    sim.schedule_at(i * rtc::from_ms(100.0), [&] { watchdog.kick(channel); });
+  }
+  sim.run_until(rtc::from_ms(450.0));
+
+  EXPECT_EQ(handler_fired, 0);
+  EXPECT_EQ(watchdog.resets(channel), 0u);
+  EXPECT_EQ(watchdog.total_resets(), 0u);
+  EXPECT_EQ(watchdog.last_kick(channel), rtc::from_ms(400.0));
+  EXPECT_EQ(sim.trace().metrics().counter("wd.core.resets"), 0u);
+}
+
+TEST(Watchdog, KickOneTickTooLateIsAReset) {
+  sim::Simulator sim;
+  WatchdogTimer watchdog(sim, {.deadline = rtc::from_ms(100.0), .name = "wd"});
+  int handler_fired = 0;
+  const int channel =
+      watchdog.add_channel("core", TileId{0}, [&] { ++handler_fired; });
+  watchdog.arm_all();
+  // The check fires at deadline + 1; a kick at deadline + 2 arrives after it.
+  sim.schedule_at(rtc::from_ms(100.0) + 2, [&] { watchdog.kick(channel); });
+  sim.run_until(rtc::from_ms(150.0));
+
+  EXPECT_EQ(handler_fired, 1);
+  EXPECT_EQ(watchdog.resets(channel), 1u);
+}
+
+TEST(Watchdog, SilentChannelResetsBackToBackAndReArms) {
+  sim::Simulator sim;
+  ResetLog log;
+  sim.trace().subscribe(&log, trace::bit(trace::EventKind::kWatchdogReset));
+  WatchdogTimer watchdog(sim, {.deadline = rtc::from_ms(100.0), .name = "wd"});
+  int handler_fired = 0;
+  const int channel =
+      watchdog.add_channel("core", TileId{5}, [&] { ++handler_fired; });
+  watchdog.arm_all();
+  // Never kicked: expiries at ~100 ms, ~200 ms, ~300 ms (each reset restarts
+  // the kick clock at the reset instant).
+  sim.run_until(rtc::from_ms(350.0));
+
+  EXPECT_EQ(handler_fired, 3);
+  EXPECT_EQ(watchdog.resets(channel), 3u);
+  EXPECT_EQ(sim.trace().metrics().counter("wd.core.resets"), 3u);
+
+  // The always-on event stream carries (channel, tile, cumulative resets).
+  ASSERT_EQ(log.events.size(), 3u);
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    EXPECT_EQ(log.events[i].a, channel);
+    EXPECT_EQ(log.events[i].b, 5);
+    EXPECT_EQ(log.events[i].c, static_cast<std::int64_t>(i + 1));
+    if (i > 0) EXPECT_GT(log.events[i].time, log.events[i - 1].time);
+  }
+  sim.trace().unsubscribe(&log);
+}
+
+TEST(Watchdog, ChannelsExpireIndependently) {
+  sim::Simulator sim;
+  WatchdogTimer watchdog(sim, {.deadline = rtc::from_ms(100.0), .name = "wd"});
+  int kicked_resets = 0, silent_resets = 0;
+  const int kicked =
+      watchdog.add_channel("kicked", TileId{1}, [&] { ++kicked_resets; });
+  const int silent =
+      watchdog.add_channel("silent", TileId{2}, [&] { ++silent_resets; });
+  ASSERT_EQ(watchdog.channel_count(), 2);
+  watchdog.arm_all();
+  for (int i = 1; i <= 6; ++i) {
+    sim.schedule_at(i * rtc::from_ms(50.0), [&] { watchdog.kick(kicked); });
+  }
+  sim.run_until(rtc::from_ms(320.0));
+
+  EXPECT_EQ(kicked_resets, 0);
+  EXPECT_EQ(watchdog.resets(kicked), 0u);
+  EXPECT_EQ(silent_resets, 3);
+  EXPECT_EQ(watchdog.resets(silent), 3u);
+  EXPECT_EQ(watchdog.total_resets(), 3u);
+}
+
+}  // namespace
+}  // namespace sccft::scc
