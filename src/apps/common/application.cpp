@@ -39,7 +39,19 @@ int ApplicationSpec::replica_process_count() const {
 SharedBytes TransformCache::apply(const std::function<Bytes(BytesView)>& fn,
                                   BytesView input) {
   SCCFT_EXPECTS(fn != nullptr);
-  const auto key = std::make_pair(util::crc32(input), input.size());
+  return apply_keyed(fn, std::make_pair(util::crc32(input), input.size()), input);
+}
+
+SharedBytes TransformCache::apply(const std::function<Bytes(BytesView)>& fn,
+                                  const kpn::PayloadRef& input) {
+  SCCFT_EXPECTS(fn != nullptr);
+  SCCFT_EXPECTS(static_cast<bool>(input));
+  return apply_keyed(fn, std::make_pair(input.crc(), input.size()), input.view());
+}
+
+SharedBytes TransformCache::apply_keyed(const std::function<Bytes(BytesView)>& fn,
+                                        std::pair<std::uint32_t, std::size_t> key,
+                                        BytesView input) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cache_.find(key);
@@ -48,7 +60,7 @@ SharedBytes TransformCache::apply(const std::function<Bytes(BytesView)>& fn,
   // Miss: transform outside the lock so concurrent workers are never
   // serialized on an expensive encode/decode. First insert wins; any racing
   // computation produced the same bytes.
-  auto result = std::make_shared<const Bytes>(fn(input));
+  auto result = SharedBytes::adopt(fn(input));
   const std::lock_guard<std::mutex> lock(mutex_);
   return cache_.emplace(key, std::move(result)).first->second;
 }

@@ -18,13 +18,17 @@
 #include <vector>
 
 #include "ft/framework.hpp"
+#include "kpn/payload.hpp"
 #include "rtc/time.hpp"
 
 namespace sccft::apps {
 
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
-using SharedBytes = std::shared_ptr<const Bytes>;
+/// Shared immutable payload bytes. Backed by the kpn payload pool: carries a
+/// CRC-32 cached at admission, so constructing Tokens from cached transform
+/// results never re-hashes the payload.
+using SharedBytes = kpn::PayloadRef;
 
 /// Internal structure of the critical subnetwork.
 enum class ReplicaTopology {
@@ -86,12 +90,23 @@ class TransformCache final {
   [[nodiscard]] SharedBytes apply(const std::function<Bytes(BytesView)>& fn,
                                   BytesView input);
 
+  /// Pooled-payload fast path: keys the lookup by the payload's CRC cached at
+  /// buffer admission instead of re-hashing the input bytes. The key equals
+  /// the BytesView overload's (a buffer's crc() is util::crc32 of its bytes),
+  /// so both overloads share one cache.
+  [[nodiscard]] SharedBytes apply(const std::function<Bytes(BytesView)>& fn,
+                                  const kpn::PayloadRef& input);
+
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return cache_.size();
   }
 
  private:
+  [[nodiscard]] SharedBytes apply_keyed(const std::function<Bytes(BytesView)>& fn,
+                                        std::pair<std::uint32_t, std::size_t> key,
+                                        BytesView input);
+
   std::string tag_;
   mutable std::mutex mutex_;
   std::map<std::pair<std::uint32_t, std::size_t>, SharedBytes> cache_;

@@ -84,7 +84,8 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
   sim::Simulator simulator;
   trace::MetricsRegistry& registry = simulator.trace().metrics();
   if (options.trace_sink != nullptr) {
-    simulator.trace().subscribe(options.trace_sink, options.trace_mask);
+    simulator.trace().subscribe(options.trace_sink, options.trace_mask,
+                                trace::DeliveryMode::kDeferred);
   }
   std::optional<scc::Platform> platform;
   if (options.use_platform) platform.emplace(simulator);
@@ -316,7 +317,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                 consume.commit(ctx.now());
                 SCCFT_FAULT_GATE(ctx);
                 co_await ctx.compute(compute);
-                const SharedBytes bytes = whole_cache_.apply(app_.transform, token.payload());
+                const SharedBytes bytes = whole_cache_.apply(app_.transform, token.payload_ref());
                 rtc::TimeNs target = emit.next_emission(ctx.now());
                 // A rate-degraded replica's interface slows proportionally
                 // (the paper's "does so at a rate lower than expected"):
@@ -352,7 +353,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                 consume.commit(ctx.now());
                 SCCFT_FAULT_GATE(ctx);
                 co_await ctx.compute(compute);
-                const SharedBytes bytes = stage1_cache_.apply(app_.stage1, token.payload());
+                const SharedBytes bytes = stage1_cache_.apply(app_.stage1, token.payload_ref());
                 co_await kpn::write(mid, kpn::Token(bytes, token.seq(), ctx.now()));
               }
             }));
@@ -368,7 +369,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                 kpn::Token token = co_await kpn::read(mid);
                 SCCFT_FAULT_GATE(ctx);
                 co_await ctx.compute(compute);
-                const SharedBytes bytes = stage2_cache_.apply(app_.stage2, token.payload());
+                const SharedBytes bytes = stage2_cache_.apply(app_.stage2, token.payload_ref());
                 rtc::TimeNs target = emit.next_emission(ctx.now());
                 // A rate-degraded replica's interface slows proportionally
                 // (the paper's "does so at a rate lower than expected"):
@@ -414,9 +415,9 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                 consume.commit(ctx.now());
                 SCCFT_FAULT_GATE(ctx);
                 co_await ctx.compute(rtc::from_us(200));
-                const SharedBytes top = split_top_cache_.apply(top_fn, token.payload());
+                const SharedBytes top = split_top_cache_.apply(top_fn, token.payload_ref());
                 const SharedBytes bottom =
-                    split_bottom_cache_.apply(bottom_fn, token.payload());
+                    split_bottom_cache_.apply(bottom_fn, token.payload_ref());
                 co_await kpn::write(to_a, kpn::Token(top, token.seq(), ctx.now()));
                 co_await kpn::write(to_b, kpn::Token(bottom, token.seq(), ctx.now()));
               }
@@ -428,7 +429,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
               kpn::Token token = co_await kpn::read(from);
               SCCFT_FAULT_GATE(ctx);
               co_await ctx.compute(compute);
-              const SharedBytes bytes = part_cache_.apply(app_.part_transform, token.payload());
+              const SharedBytes bytes = part_cache_.apply(app_.part_transform, token.payload_ref());
               co_await kpn::write(to, kpn::Token(bytes, token.seq(), ctx.now()));
             }
           };
@@ -461,7 +462,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
                 if (!merged) {
                   // Merge outside the lock; first insert wins (the merge is a
                   // pure function of the two payloads).
-                  merged = std::make_shared<const Bytes>(
+                  merged = SharedBytes::adopt(
                       app_.merge(top.payload(), bottom.payload()));
                   const std::lock_guard<std::mutex> lock(merge_mutex_);
                   merged = merge_cache_.emplace(key, std::move(merged)).first->second;
@@ -684,6 +685,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
     simulator.trace().unsubscribe(options.trace_sink);
   }
   result.metrics = std::make_shared<trace::MetricsRegistry>(registry);
+  result.events_processed = simulator.events_processed();
 
   return result;
 }

@@ -76,7 +76,9 @@ struct ExperimentOptions {
   /// Optional external trace sink, subscribed for the duration of the run
   /// with `trace_mask` (e.g. a BinarySink for determinism checks, a CsvSink
   /// for offline analysis, a RingBufferSink flight recorder). Must outlive
-  /// run().
+  /// run(). Subscribed with deferred/batched delivery: the sink is treated as
+  /// a passive recorder and sees the complete event stream in emission order,
+  /// but only at flush points — it must not be inspected mid-run.
   trace::Sink* trace_sink = nullptr;
   std::uint32_t trace_mask = trace::kAllEvents;
 
@@ -127,6 +129,12 @@ struct ExperimentResult {
   std::optional<rtc::TimeNs> watchdog_latency;
 
   std::uint64_t noc_contention_stalls = 0;
+
+  /// Simulator events dispatched over the whole run — the kernel-throughput
+  /// denominator (bench/throughput) and the determinism fingerprint
+  /// (tests/fingerprint_test): any event-count drift means the schedule
+  /// changed.
+  std::uint64_t events_processed = 0;
 
   /// Online-RTC results, one entry per monitored stream (producer, r1.out,
   /// r2.out), populated when options.online_monitor was set.

@@ -68,7 +68,7 @@ FailureArtifact make_artifact(const StormPlan& plan, const RunOptions& options,
   artifact.control_plane = options.control_plane;
   artifact.violations = std::move(violations);
   artifact.plan = plan.faults;
-  artifact.flight_csv = obs.flight_csv;
+  artifact.flight_csv = obs.render_flight_csv();
   artifact.registry_csv = obs.metrics.render_csv();
   return artifact;
 }

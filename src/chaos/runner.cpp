@@ -11,6 +11,7 @@
 #include "scc/watchdog.hpp"
 #include "trace/sinks.hpp"
 #include "util/assert.hpp"
+#include "util/csv.hpp"
 
 namespace sccft::chaos {
 namespace {
@@ -61,6 +62,22 @@ PlantedBug planted_bug_from_text(const std::string& tag) {
                          __LINE__);
 }
 
+std::string RunObservation::render_flight_csv() const {
+  util::CsvWriter csv({"time_ns", "kind", "subject", "a", "b", "c"});
+  csv.add_comment("flight recorder: last " + std::to_string(flight_events.size()) +
+                  " events (" + std::to_string(flight_dropped) + " older dropped)");
+  static const std::string kUnknownSubject = "?";
+  for (const trace::Event& event : flight_events) {
+    const std::string& subject = event.subject < flight_subjects.size()
+                                     ? flight_subjects[event.subject]
+                                     : kUnknownSubject;
+    csv.add_row({std::to_string(event.time), trace::to_string(event.kind), subject,
+                 std::to_string(event.a), std::to_string(event.b),
+                 std::to_string(event.c)});
+  }
+  return csv.render();
+}
+
 RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   SCCFT_EXPECTS(plan.run_length > 0);
   sim::Simulator simulator;
@@ -96,10 +113,15 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   // the same mask, so their counts must agree exactly. (The global
   // install_flight_recorder hook is deliberately NOT used: it is
   // process-wide state and chaos runs execute many simulators in parallel.)
+  // Both are passive recorders, so they take the bus's deferred/batched path;
+  // they lag by exactly the same staged events, which keeps the scrubber's
+  // ring-vs-tally cross-check consistent at every flush point.
   trace::RingBufferSink ring(options.ring_capacity);
   trace::CounterSink counters(simulator.trace().metrics());
-  simulator.trace().subscribe(&ring, trace::kFlightRecorderMask);
-  simulator.trace().subscribe(&counters, trace::kFlightRecorderMask);
+  simulator.trace().subscribe(&ring, trace::kFlightRecorderMask,
+                              trace::DeliveryMode::kDeferred);
+  simulator.trace().subscribe(&counters, trace::kFlightRecorderMask,
+                              trace::DeliveryMode::kDeferred);
   RestartCounter restart_counter;
   simulator.trace().subscribe(&restart_counter,
                               trace::bit(trace::EventKind::kRestart));
@@ -271,12 +293,22 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
     obs.contract_violation = violation.what();
   }
 
+  // Harvest. Deliver staged deferred events first so the ring and counter
+  // totals reflect the complete run.
+  simulator.trace().flush();
   obs.transitions = supervisor.transitions();
   obs.final_health[0] = supervisor.health(ft::ReplicaIndex::kReplica1);
   obs.final_health[1] = supervisor.health(ft::ReplicaIndex::kReplica2);
   obs.injections = campaign.injections();
+  obs.events_processed = simulator.events_processed();
   obs.flight_total_events = ring.total_events();
-  obs.flight_csv = ring.render_csv(simulator.trace());
+  obs.flight_events = ring.events();
+  obs.flight_dropped = ring.dropped();
+  obs.flight_subjects.reserve(simulator.trace().subject_count());
+  for (std::size_t id = 0; id < simulator.trace().subject_count(); ++id) {
+    obs.flight_subjects.push_back(
+        simulator.trace().subject_name(static_cast<trace::SubjectId>(id)));
+  }
   harness.replicator().publish_metrics(simulator.trace().metrics());
   harness.selector().publish_metrics(simulator.trace().metrics());
   obs.metrics = simulator.trace().metrics();

@@ -99,9 +99,20 @@ struct RunObservation {
   std::vector<ft::FaultInjectionRecord> injections;
 
   // --- trace spine ---------------------------------------------------------
+  std::uint64_t events_processed = 0;     ///< simulator events dispatched
   std::uint64_t flight_total_events = 0;  ///< ring's lifetime count
-  std::string flight_csv;                 ///< retained ring contents
+  std::vector<trace::Event> flight_events;  ///< retained ring contents, oldest first
+  std::uint64_t flight_dropped = 0;       ///< events the ring aged out
+  /// Subject-name table snapshot (index = SubjectId) so the flight recorder
+  /// can be rendered after the run's TraceBus is gone.
+  std::vector<std::string> flight_subjects;
   trace::MetricsRegistry metrics;         ///< end-of-run registry snapshot
+
+  /// Renders the retained flight-recorder events as CSV, byte-identical to
+  /// RingBufferSink::render_csv. Rendering is deferred to the failure path
+  /// (artifact construction): formatting several thousand rows per run was a
+  /// measurable fraction of soak wall-clock, and passing runs never read it.
+  [[nodiscard]] std::string render_flight_csv() const;
 
   // --- control plane (last-line defense) -----------------------------------
   ControlPlaneOptions control_plane;      ///< options echoed for the oracles

@@ -363,11 +363,16 @@ void FaultCampaign::arm_spec(ArmedSpec& armed) {
     case FaultKind::kTraceSinkStuck:
       sim_.schedule_at(spec.at, [this, &armed] {
         record(armed.spec, sim_.now());
+        // Deliver staged events first so the wedge boundary falls at exactly
+        // the same event position as with immediate delivery.
+        sim_.trace().flush();
         wiring_.flight_ring->set_wedged(true);
       });
       if (spec.duration > 0) {
-        sim_.schedule_at(spec.at + spec.duration,
-                         [this] { wiring_.flight_ring->set_wedged(false); });
+        sim_.schedule_at(spec.at + spec.duration, [this] {
+          sim_.trace().flush();
+          wiring_.flight_ring->set_wedged(false);
+        });
       }
       break;
   }

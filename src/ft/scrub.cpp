@@ -54,6 +54,10 @@ void Scrubber::tick() {
   // Flight-ring audit: resync FIRST (un-wedging the sink), then emit — so
   // the repair event itself is recorded by both the ring and the tally.
   if (ring_ != nullptr) {
+    // Deliver any staged deferred events before auditing, so the ring total
+    // and the independent tally are compared at the same event position they
+    // would hold under immediate delivery.
+    sim_.trace().flush();
     const std::uint64_t expected = expected_total_();
     if (expected != ring_->total_events() || ring_->wedged()) {
       ring_->force_resync(expected);

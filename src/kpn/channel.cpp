@@ -18,11 +18,42 @@ FifoChannel::FifoChannel(sim::Simulator& sim, std::string name, rtc::Tokens capa
   }
 }
 
+FifoChannel::Slot* FifoChannel::acquire_slot() {
+  if (free_slots_ != nullptr) {
+    Slot* slot = free_slots_;
+    free_slots_ = slot->next;
+    slot->next = nullptr;
+    return slot;
+  }
+  return slot_storage_.emplace_back(std::make_unique<Slot>()).get();
+}
+
+void FifoChannel::release_slot(Slot* slot) {
+  slot->token = Token();  // drop the payload ref now, not at next reuse
+  slot->next = free_slots_;
+  free_slots_ = slot;
+}
+
+void FifoChannel::push_back(Slot* slot) {
+  slot->next = nullptr;
+  if (tail_ != nullptr) {
+    tail_->next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+  ++fill_;
+}
+
 std::optional<Token> FifoChannel::try_read() {
-  if (queue_.empty()) return std::nullopt;
-  if (queue_.front().available_at > sim_.now()) return std::nullopt;
-  Token token = std::move(queue_.front().token);
-  queue_.pop_front();
+  if (head_ == nullptr) return std::nullopt;
+  if (head_->available_at > sim_.now()) return std::nullopt;
+  Slot* slot = head_;
+  head_ = slot->next;
+  if (head_ == nullptr) tail_ = nullptr;
+  --fill_;
+  Token token = std::move(slot->token);
+  release_slot(slot);
   ++stats_.tokens_read;
   SCCFT_TRACE(sim_.trace(), trace::EventKind::kDequeue, subject_, sim_.now(),
               static_cast<std::int64_t>(token.seq()), fill());
@@ -37,13 +68,13 @@ void FifoChannel::await_readable(std::coroutine_handle<> reader) {
   SCCFT_TRACE(sim_.trace(), trace::EventKind::kReaderBlock, subject_, sim_.now());
   // If a token is already queued but still in flight, arrange a wake at its
   // availability time (its enqueue event may have fired before we waited).
-  if (!queue_.empty()) {
-    wake_reader_at(std::max(queue_.front().available_at, sim_.now()));
+  if (head_ != nullptr) {
+    wake_reader_at(std::max(head_->available_at, sim_.now()));
   }
 }
 
 bool FifoChannel::try_write(const Token& token) {
-  if (fill() >= capacity_) {
+  if (fill_ >= capacity_) {
     ++stats_.writer_blocks;
     SCCFT_TRACE(sim_.trace(), trace::EventKind::kWriterBlock, subject_, sim_.now(),
                 static_cast<std::int64_t>(token.seq()));
@@ -65,7 +96,10 @@ bool FifoChannel::try_write(const Token& token) {
     }
     available_at = outcome.arrival;
   }
-  queue_.push_back(Slot{token, available_at});
+  Slot* slot = acquire_slot();
+  slot->token = token;
+  slot->available_at = available_at;
+  push_back(slot);
   ++stats_.tokens_written;
   stats_.max_fill = std::max(stats_.max_fill, fill());
   SCCFT_TRACE(sim_.trace(), trace::EventKind::kEnqueue, subject_, sim_.now(),
@@ -82,15 +116,25 @@ void FifoChannel::await_writable(std::coroutine_handle<> writer) {
 
 void FifoChannel::preload(const Token& token, rtc::Tokens count) {
   SCCFT_EXPECTS(count >= 0);
-  SCCFT_EXPECTS(fill() + count <= capacity_);
+  SCCFT_EXPECTS(fill_ + count <= capacity_);
   for (rtc::Tokens i = 0; i < count; ++i) {
-    queue_.push_back(Slot{token, sim_.now()});
+    Slot* slot = acquire_slot();
+    slot->token = token;
+    slot->available_at = sim_.now();
+    push_back(slot);
   }
   stats_.max_fill = std::max(stats_.max_fill, fill());
 }
 
 void FifoChannel::reset() {
-  queue_.clear();
+  for (Slot* slot = head_; slot != nullptr;) {
+    Slot* next = slot->next;
+    release_slot(slot);
+    slot = next;
+  }
+  head_ = nullptr;
+  tail_ = nullptr;
+  fill_ = 0;
   waiting_reader_ = nullptr;
   waiting_writer_ = nullptr;
 }

@@ -12,7 +12,7 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -177,7 +177,7 @@ class FifoChannel final : public ChannelBase, public TokenSource, public TokenSi
   [[nodiscard]] ChannelStats stats() const override { return stats_; }
 
   [[nodiscard]] rtc::Tokens capacity() const { return capacity_; }
-  [[nodiscard]] rtc::Tokens fill() const { return static_cast<rtc::Tokens>(queue_.size()); }
+  [[nodiscard]] rtc::Tokens fill() const { return fill_; }
 
   /// Pre-loads `count` copies of `token` (initial tokens |S|_0 per Eq. (4)).
   void preload(const Token& token, rtc::Tokens count);
@@ -193,10 +193,18 @@ class FifoChannel final : public ChannelBase, public TokenSource, public TokenSi
   void reset();
 
  private:
+  // Intrusive FIFO node, recycled through a per-channel free list: enqueueing
+  // at steady state relinks a node instead of touching the allocator (slots
+  // are allocated at most `capacity` times over the channel's lifetime).
   struct Slot {
     Token token;
     TimeNs available_at = 0;
+    Slot* next = nullptr;
   };
+
+  [[nodiscard]] Slot* acquire_slot();
+  void release_slot(Slot* slot);
+  void push_back(Slot* slot);
 
   void wake_reader_at(TimeNs when);
   void wake_writer();
@@ -206,7 +214,11 @@ class FifoChannel final : public ChannelBase, public TokenSource, public TokenSi
   trace::SubjectId subject_;
   rtc::Tokens capacity_;
   std::optional<LinkModel> link_;
-  std::deque<Slot> queue_;
+  Slot* head_ = nullptr;
+  Slot* tail_ = nullptr;
+  Slot* free_slots_ = nullptr;
+  std::vector<std::unique_ptr<Slot>> slot_storage_;
+  rtc::Tokens fill_ = 0;
   std::coroutine_handle<> waiting_reader_;
   std::coroutine_handle<> waiting_writer_;
   ChannelStats stats_;

@@ -1,41 +1,42 @@
 #include "kpn/token.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
-#include "util/crc32.hpp"
 
 namespace sccft::kpn {
 
 Token::Token(std::vector<std::uint8_t> payload, std::uint64_t seq, TimeNs produced_at)
-    : payload_(std::make_shared<const std::vector<std::uint8_t>>(std::move(payload))),
+    : payload_(PayloadRef::adopt(std::move(payload))),
       seq_(seq),
-      produced_at_(produced_at) {
-  checksum_ = util::crc32(*payload_);
-}
+      produced_at_(produced_at),
+      checksum_(payload_.crc()) {}
 
-Token::Token(std::shared_ptr<const std::vector<std::uint8_t>> payload,
-             std::uint64_t seq, TimeNs produced_at)
-    : payload_(std::move(payload)), seq_(seq), produced_at_(produced_at) {
-  SCCFT_EXPECTS(payload_ != nullptr);
-  checksum_ = util::crc32(*payload_);
+Token::Token(PayloadRef payload, std::uint64_t seq, TimeNs produced_at)
+    : payload_(std::move(payload)),
+      seq_(seq),
+      produced_at_(produced_at),
+      checksum_(payload_.crc()) {
+  SCCFT_EXPECTS(static_cast<bool>(payload_));
 }
 
 std::span<const std::uint8_t> Token::payload() const {
-  SCCFT_EXPECTS(payload_ != nullptr);
-  return *payload_;
+  SCCFT_EXPECTS(static_cast<bool>(payload_));
+  return payload_.view();
 }
 
 bool Token::verify_checksum() const {
   if (!payload_) return true;
-  return util::crc32(*payload_) == checksum_;
+  return payload_.crc() == checksum_;
 }
 
 Token Token::corrupted(std::size_t bit_index) const {
-  SCCFT_EXPECTS(payload_ != nullptr && !payload_->empty());
-  auto flipped = std::make_shared<std::vector<std::uint8_t>>(*payload_);
-  const std::size_t bit = bit_index % (flipped->size() * 8);
-  (*flipped)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-  Token copy = *this;           // keeps the (now stale) stored checksum
-  copy.payload_ = std::move(flipped);
+  SCCFT_EXPECTS(payload_ && payload_.size() > 0);
+  std::vector<std::uint8_t> flipped(payload_.view().begin(), payload_.view().end());
+  const std::size_t bit = bit_index % (flipped.size() * 8);
+  flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  Token copy = *this;  // keeps the (now stale) stored checksum
+  copy.payload_ = PayloadRef::adopt(std::move(flipped));
   return copy;
 }
 

@@ -6,13 +6,20 @@
 // token to two FIFOs without copying the bytes), and carry a CRC-32 so that
 // the experiments can check *functional* equivalence (Theorem 2) in O(1)
 // space per token.
+//
+// Payload storage is the pooled PayloadRef (see payload.hpp): a buffer's CRC
+// is computed once at admission, so constructing a token from a shared
+// payload — the hot path of every replica emission — copies a cached word
+// instead of re-hashing kilobytes, and verify_checksum() is a constant-time
+// comparison of the token's stamped checksum against the buffer's true CRC.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
+#include "kpn/payload.hpp"
 #include "rtc/time.hpp"
 
 namespace sccft::kpn {
@@ -26,24 +33,24 @@ class Token final {
   /// Creates a token with the given payload, sequence number and timestamp.
   Token(std::vector<std::uint8_t> payload, std::uint64_t seq, TimeNs produced_at);
 
-  /// Creates a token sharing an existing payload (no copy, checksum reused by
-  /// the caller via restamped(); used by payload caches).
-  Token(std::shared_ptr<const std::vector<std::uint8_t>> payload, std::uint64_t seq,
-        TimeNs produced_at);
+  /// Creates a token sharing an existing pooled payload (no copy, no CRC
+  /// recomputation; used by the payload caches on every replica emission).
+  Token(PayloadRef payload, std::uint64_t seq, TimeNs produced_at);
 
   [[nodiscard]] std::uint64_t seq() const { return seq_; }
   [[nodiscard]] TimeNs produced_at() const { return produced_at_; }
-  [[nodiscard]] int size_bytes() const {
-    return payload_ ? static_cast<int>(payload_->size()) : 0;
-  }
+  [[nodiscard]] std::size_t size_bytes() const { return payload_.size(); }
   [[nodiscard]] std::span<const std::uint8_t> payload() const;
+  /// The shared payload handle itself (cached CRC + bytes). Empty for
+  /// payload-less marker tokens.
+  [[nodiscard]] const PayloadRef& payload_ref() const { return payload_; }
   [[nodiscard]] std::uint32_t checksum() const { return checksum_; }
-  [[nodiscard]] bool valid() const { return payload_ != nullptr; }
+  [[nodiscard]] bool valid() const { return static_cast<bool>(payload_); }
 
-  /// Recomputes the CRC-32 over the payload and compares it with the stored
-  /// checksum. A token whose payload was altered *after* construction (silent
-  /// data corruption in a core or in transit) fails this check; tokens
-  /// without a payload pass vacuously.
+  /// Compares the stored checksum with the payload's true CRC-32 (cached at
+  /// buffer admission — O(1)). A token whose payload was altered *after* CRC
+  /// stamping (silent data corruption in a core or in transit) fails this
+  /// check; tokens without a payload pass vacuously.
   [[nodiscard]] bool verify_checksum() const;
 
   /// Returns a copy of this token re-stamped with a new sequence number and
@@ -58,7 +65,7 @@ class Token final {
   [[nodiscard]] Token corrupted(std::size_t bit_index) const;
 
  private:
-  std::shared_ptr<const std::vector<std::uint8_t>> payload_;
+  PayloadRef payload_;
   std::uint64_t seq_ = 0;
   TimeNs produced_at_ = 0;
   std::uint32_t checksum_ = 0;

@@ -1,7 +1,5 @@
 #include "rtc/online/conformance.hpp"
 
-#include "util/assert.hpp"
-
 namespace sccft::rtc::online {
 
 ConformanceChecker::ConformanceChecker(const CurveEstimator& estimator,
@@ -16,49 +14,7 @@ ConformanceChecker::ConformanceChecker(const CurveEstimator& estimator,
     lower_bound_.push_back(design_lower.value_at(delta));
   }
   lower_reported_.assign(static_cast<std::size_t>(n), 0);
-  lower_reported_valid_.assign(static_cast<std::size_t>(n), false);
-}
-
-std::optional<ConformanceChecker::Violation> ConformanceChecker::check(
-    const CurveEstimator& estimator) {
-  SCCFT_EXPECTS(estimator.levels() == static_cast<int>(upper_bound_.size()));
-  ++checks_;
-  std::optional<Violation> found;
-  const TimeNs at = estimator.instant();
-
-  for (int j = 0; j < estimator.levels(); ++j) {
-    const auto idx = static_cast<std::size_t>(j);
-
-    // Upper breach: the window ending right now holds more events than the
-    // design curve allows. Evaluated on the live count (not the running max)
-    // so a sustained burst is counted per offending event, not per check.
-    const Tokens count = estimator.window_count(j);
-    if (count > upper_bound_[idx]) {
-      ++upper_violations_;
-      Violation v{.at = at, .level = j, .upper = true, .observed = count,
-                  .bound = upper_bound_[idx]};
-      if (!first_) first_ = v;
-      if (!found) found = v;
-    }
-
-    // Lower breach: the running minimum dropped below the design curve. The
-    // minimum is sticky, so only count when it deepens past what was already
-    // reported.
-    if (estimator.lower_valid(j)) {
-      const Tokens low = estimator.lower_record(j);
-      if (low < lower_bound_[idx] &&
-          (!lower_reported_valid_[idx] || low < lower_reported_[idx])) {
-        lower_reported_valid_[idx] = true;
-        lower_reported_[idx] = low;
-        ++lower_violations_;
-        Violation v{.at = at, .level = j, .upper = false, .observed = low,
-                    .bound = lower_bound_[idx]};
-        if (!first_) first_ = v;
-        if (!found) found = v;
-      }
-    }
-  }
-  return found;
+  lower_reported_valid_.assign(static_cast<std::size_t>(n), 0);
 }
 
 }  // namespace sccft::rtc::online

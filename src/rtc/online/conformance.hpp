@@ -21,6 +21,19 @@
 // exposes `first()` separately so callers can escalate exactly once per
 // stream — the ft::Supervisor treats the first conformance violation like any
 // other detection and re-checks are redundant while recovery is in flight.
+//
+// Two entry styles share the counting semantics:
+//   * check(estimator) — evaluate the estimator's current records (the
+//     estimator must have been advanced with add_event/advance_to first).
+//   * add_and_check / advance_and_check — the OnlineMonitor hot path: one
+//     fused pass interleaves the estimator's per-level pointer maintenance
+//     with the comparisons, and while no upper breach is live a cross-stream
+//     advance skips the strict-pointer work entirely (counts are
+//     nonincreasing between events, so an in-bounds level cannot newly breach
+//     its upper bound without an own event). The fused lower test fires only
+//     when a level's running minimum improves — equivalent to re-testing
+//     every check, because a breach that does not deepen was already either
+//     counted or in-bounds at the previous check of the same stream.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +43,7 @@
 #include "rtc/curve.hpp"
 #include "rtc/online/estimator.hpp"
 #include "rtc/time.hpp"
+#include "util/assert.hpp"
 
 namespace sccft::rtc::online {
 
@@ -53,7 +67,75 @@ class ConformanceChecker {
 
   /// Evaluate Eq. (2) on the estimator's current records. Returns the breach
   /// found this call (if any); all breaches are also counted.
-  std::optional<Violation> check(const CurveEstimator& estimator);
+  std::optional<Violation> check(const CurveEstimator& estimator) {
+    SCCFT_EXPECTS(estimator.levels() == static_cast<int>(upper_bound_.size()));
+    ++checks_;
+    std::optional<Violation> found;
+    const TimeNs at = estimator.instant();
+    bool live = false;
+
+    const int levels = estimator.levels();
+    for (int j = 0; j < levels; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+
+      // Upper breach: the window ending right now holds more events than the
+      // design curve allows. Evaluated on the live count (not the running max)
+      // so a sustained burst is counted per offending event, not per check.
+      const Tokens count = estimator.window_count(j);
+      if (count > upper_bound_[idx]) [[unlikely]] {
+        live = true;
+        ++upper_violations_;
+        Violation v{.at = at, .level = j, .upper = true, .observed = count,
+                    .bound = upper_bound_[idx]};
+        if (!first_) first_ = v;
+        if (!found) found = v;
+      }
+
+      // Lower breach: the running minimum dropped below the design curve. The
+      // minimum is sticky, so only count when it deepens past what was already
+      // reported.
+      if (estimator.lower_valid(j)) {
+        const Tokens low = estimator.lower_record(j);
+        if (low < lower_bound_[idx] &&
+            (lower_reported_valid_[idx] == 0 || low < lower_reported_[idx]))
+            [[unlikely]] {
+          const Violation v = record_lower(at, j, low);
+          if (!found) found = v;
+        }
+      }
+    }
+    upper_live_ = live;
+    return found;
+  }
+
+  /// Fused hot path: record an own-stream emission at `at` and check. One
+  /// pass over the lattice does the pointer maintenance, the record updates,
+  /// and the Eq. (2) comparisons.
+  std::optional<Violation> add_and_check(CurveEstimator& estimator, TimeNs at) {
+    estimator.push_event(at);
+    return fused_check(estimator, at, /*is_event=*/true);
+  }
+
+  /// Fused hot path: move the stream's observation instant to `at` (a peer's
+  /// emission) and check. While no upper breach is live this touches only the
+  /// closed pointers and lower records.
+  std::optional<Violation> advance_and_check(CurveEstimator& estimator, TimeNs at) {
+    if (upper_live_) [[unlikely]] {
+      SCCFT_EXPECTS(at >= estimator.instant());
+      return fused_check(estimator, at, /*is_event=*/false);
+    }
+    ++checks_;
+    std::optional<Violation> found;
+    estimator.advance_lower(at, [&](std::size_t j, Tokens low) {
+      if (low < lower_bound_[j] &&
+          (lower_reported_valid_[j] == 0 || low < lower_reported_[j]))
+          [[unlikely]] {
+        const Violation v = record_lower(at, static_cast<int>(j), low);
+        if (!found) found = v;
+      }
+    });
+    return found;
+  }
 
   [[nodiscard]] const std::optional<Violation>& first() const { return first_; }
   [[nodiscard]] std::uint64_t upper_violations() const { return upper_violations_; }
@@ -68,18 +150,63 @@ class ConformanceChecker {
   }
 
  private:
+  std::optional<Violation> fused_check(CurveEstimator& estimator, TimeNs at,
+                                       bool is_event) {
+    ++checks_;
+    std::optional<Violation> found;
+    bool live = false;
+    estimator.observe_with(
+        at, is_event,
+        [&](std::size_t j, Tokens count) {
+          if (count > upper_bound_[j]) [[unlikely]] {
+            live = true;
+            ++upper_violations_;
+            Violation v{.at = at, .level = static_cast<int>(j), .upper = true,
+                        .observed = count, .bound = upper_bound_[j]};
+            if (!first_) first_ = v;
+            if (!found) found = v;
+          }
+        },
+        [&](std::size_t j, Tokens low) {
+          if (low < lower_bound_[j] &&
+              (lower_reported_valid_[j] == 0 || low < lower_reported_[j]))
+              [[unlikely]] {
+            const Violation v = record_lower(at, static_cast<int>(j), low);
+            if (!found) found = v;
+          }
+        });
+    upper_live_ = live;
+    return found;
+  }
+
+  /// Books a lower breach: bumps the counter, deepens the reported floor, and
+  /// latches first_. Out of the fast path — breaches are rare by design.
+  Violation record_lower(TimeNs at, int level, Tokens low) {
+    const auto idx = static_cast<std::size_t>(level);
+    lower_reported_valid_[idx] = 1;
+    lower_reported_[idx] = low;
+    ++lower_violations_;
+    const Violation v{.at = at, .level = level, .upper = false,
+                      .observed = low, .bound = lower_bound_[idx]};
+    if (!first_) first_ = v;
+    return v;
+  }
+
   std::vector<Tokens> upper_bound_;
   std::vector<Tokens> lower_bound_;
   // A lower breach at level j stays visible in the estimator's running
   // minimum forever; remember the worst value already reported so only a
   // *deepening* starvation re-counts.
   std::vector<Tokens> lower_reported_;
-  std::vector<bool> lower_reported_valid_;
+  std::vector<std::uint8_t> lower_reported_valid_;
 
   std::optional<Violation> first_;
   std::uint64_t upper_violations_ = 0;
   std::uint64_t lower_violations_ = 0;
   std::uint64_t checks_ = 0;
+  /// True while some level's current window count exceeds its upper bound —
+  /// set by every (fused or plain) check; gates the reduced advance path.
+  bool upper_live_ = false;
 };
 
 }  // namespace sccft::rtc::online

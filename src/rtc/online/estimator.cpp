@@ -23,67 +23,7 @@ CurveEstimator::CurveEstimator(const LatticeConfig& config) {
   closed_.assign(n, 0);
   upper_.assign(n, 0);
   lower_.assign(n, 0);
-  lower_valid_.assign(n, false);
-}
-
-void CurveEstimator::add_event(TimeNs at) {
-  SCCFT_EXPECTS(at >= instant_);
-  SCCFT_EXPECTS(at >= 0);
-  if (first_event_ < 0) first_event_ = at;
-  tail_equal_ = (!times_.empty() && times_.back() == at) ? tail_equal_ + 1 : 1;
-  times_.push_back(at);
-  ++events_;
-  observe(at, /*is_event=*/true);
-}
-
-void CurveEstimator::advance_to(TimeNs at) {
-  SCCFT_EXPECTS(at >= instant_);
-  observe(at, /*is_event=*/false);
-}
-
-Tokens CurveEstimator::window_count(int level) const {
-  SCCFT_EXPECTS(level >= 0 && level < levels());
-  const std::uint64_t end = base_ + times_.size();
-  return static_cast<Tokens>(end - strict_[static_cast<std::size_t>(level)]);
-}
-
-void CurveEstimator::observe(TimeNs at, bool is_event) {
-  instant_ = at;
-  const std::uint64_t end = base_ + times_.size();
-  // Events at exactly `at` belong to (lo, at] windows but not [lo, at) ones —
-  // and only [lo, at) windows are complete (later calls may still add events
-  // at time `at`).
-  const std::uint64_t at_tail =
-      (!times_.empty() && times_.back() == at) ? tail_equal_ : 0;
-
-  for (std::size_t j = 0; j < deltas_.size(); ++j) {
-    const TimeNs lo = at - deltas_[j];
-
-    auto& strict = strict_[j];
-    while (strict < end && times_[static_cast<std::size_t>(strict - base_)] <= lo) ++strict;
-    auto& closed = closed_[j];
-    while (closed < end && times_[static_cast<std::size_t>(closed - base_)] < lo) ++closed;
-
-    if (is_event) {
-      const auto count = static_cast<Tokens>(end - strict);
-      if (count > upper_[j]) upper_[j] = count;
-    }
-    if (first_event_ >= 0 && lo >= first_event_) {
-      const auto count = static_cast<Tokens>(end - closed - at_tail);
-      if (!lower_valid_[j] || count < lower_[j]) {
-        lower_valid_[j] = true;
-        lower_[j] = count;
-      }
-    }
-  }
-
-  // Events older than the largest window can no longer be referenced by any
-  // pointer (all pointers are monotone and already past them).
-  const std::uint64_t keep_from = closed_.back();
-  while (base_ < keep_from) {
-    times_.pop_front();
-    ++base_;
-  }
+  lower_valid_.assign(n, 0);
 }
 
 EmpiricalCurveSnapshot CurveEstimator::snapshot(TimeNs at) {
@@ -97,7 +37,7 @@ EmpiricalCurveSnapshot CurveEstimator::snapshot(TimeNs at) {
     snap.points.push_back({.delta = deltas_[j],
                            .upper = upper_[j],
                            .lower = lower_[j],
-                           .lower_valid = lower_valid_[j]});
+                           .lower_valid = lower_valid_[j] != 0});
   }
   return snap;
 }

@@ -24,21 +24,23 @@ OnlineMonitor::~OnlineMonitor() { bus_.unsubscribe(this); }
 void OnlineMonitor::on_event(const trace::Event& event) {
   if (event.kind != trace::EventKind::kEmission) return;
   for (auto& stream : streams_) {
+    // Fused estimator+checker passes (conformance.hpp): one loop over the
+    // lattice per stream per emission.
     if (stream.subject == event.subject) {
-      stream.estimator.add_event(event.time);
-      handle(stream, event.time);
+      escalate(stream, event.time,
+               stream.checker.add_and_check(stream.estimator, event.time));
     } else if (event.time > stream.estimator.instant()) {
       // Cross-stream advance: a peer's traffic moves this stream's clock, so
       // starvation is witnessed without waiting for the starved stream to
       // speak (or for finalize).
-      stream.estimator.advance_to(event.time);
-      handle(stream, event.time);
+      escalate(stream, event.time,
+               stream.checker.advance_and_check(stream.estimator, event.time));
     }
   }
 }
 
-void OnlineMonitor::handle(Stream& stream, TimeNs at) {
-  const auto violation = stream.checker.check(stream.estimator);
+void OnlineMonitor::escalate(Stream& stream, TimeNs at,
+                             const std::optional<ConformanceChecker::Violation>& violation) {
   if (violation && !stream.escalated) {
     stream.escalated = true;
     // Verdict-class event: always-on emit (not the macro) so the supervisor
@@ -54,8 +56,8 @@ std::vector<OnlineMonitor::StreamReport> OnlineMonitor::finalize(TimeNs at) {
   auto& metrics = bus_.metrics();
   for (auto& stream : streams_) {
     if (at > stream.estimator.instant()) {
-      stream.estimator.advance_to(at);
-      handle(stream, at);
+      escalate(stream, at,
+               stream.checker.advance_and_check(stream.estimator, at));
     }
     StreamReport report;
     report.name = stream.name;

@@ -87,8 +87,9 @@ class OnlineMonitor final : public trace::Sink {
     bool escalated = false;
   };
 
-  /// Conformance check + one-shot verdict escalation.
-  void handle(Stream& stream, TimeNs at);
+  /// One-shot verdict escalation of a check's result.
+  void escalate(Stream& stream, TimeNs at,
+                const std::optional<ConformanceChecker::Violation>& violation);
 
   trace::TraceBus& bus_;
   std::vector<Stream> streams_;

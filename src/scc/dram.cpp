@@ -31,15 +31,15 @@ DramModel::DramModel(NocModel& noc, DramConfig config) : noc_(noc), config_(conf
   busy_until_.fill(0);
 }
 
-rtc::TimeNs DramModel::service_time(int bytes) const {
+rtc::TimeNs DramModel::service_time(std::size_t bytes) const {
   return config_.access_latency +
          static_cast<rtc::TimeNs>(static_cast<double>(bytes) /
                                   config_.bandwidth_bytes_per_sec * 1e9);
 }
 
-rtc::TimeNs DramModel::transfer(CoreId src, CoreId dst, int bytes, rtc::TimeNs start) {
+rtc::TimeNs DramModel::transfer(CoreId src, CoreId dst, std::size_t bytes,
+                                rtc::TimeNs start) {
   SCCFT_EXPECTS(src.valid() && dst.valid());
-  SCCFT_EXPECTS(bytes >= 0);
   // The writer's controller serves the write; the reader fetches through the
   // same controller (the data lives in that bank).
   const int controller = controller_of(src.tile());
@@ -59,7 +59,8 @@ rtc::TimeNs DramModel::transfer(CoreId src, CoreId dst, int bytes, rtc::TimeNs s
   return noc_.transfer(gateway, dst, bytes, t);
 }
 
-rtc::TimeNs DramModel::estimate_latency(CoreId src, CoreId dst, int bytes) const {
+rtc::TimeNs DramModel::estimate_latency(CoreId src, CoreId dst,
+                                        std::size_t bytes) const {
   const int controller = controller_of(src.tile());
   const CoreId gateway{controller_tile(controller).value * kCoresPerTile};
   return noc_.estimate_latency(src, gateway, bytes) + 2 * service_time(bytes) +

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 
 #include "rtc/time.hpp"
 #include "scc/noc.hpp"
@@ -44,17 +45,17 @@ class DramModel final {
 
   /// Full transfer src -> DRAM -> dst; returns completion time and occupies
   /// the controller for the service duration.
-  [[nodiscard]] rtc::TimeNs transfer(CoreId src, CoreId dst, int bytes,
+  [[nodiscard]] rtc::TimeNs transfer(CoreId src, CoreId dst, std::size_t bytes,
                                      rtc::TimeNs start);
 
   /// Contention-free latency estimate (for comparison/planning).
-  [[nodiscard]] rtc::TimeNs estimate_latency(CoreId src, CoreId dst, int bytes) const;
+  [[nodiscard]] rtc::TimeNs estimate_latency(CoreId src, CoreId dst, std::size_t bytes) const;
 
   [[nodiscard]] std::uint64_t queued_requests() const { return queued_; }
   [[nodiscard]] const DramConfig& config() const { return config_; }
 
  private:
-  [[nodiscard]] rtc::TimeNs service_time(int bytes) const;
+  [[nodiscard]] rtc::TimeNs service_time(std::size_t bytes) const;
 
   NocModel& noc_;
   DramConfig config_;

@@ -4,9 +4,9 @@
 
 namespace sccft::scc {
 
-rtc::TimeNs MessagePassing::send(CoreId src, CoreId dst, int bytes, rtc::TimeNs now) {
+rtc::TimeNs MessagePassing::send(CoreId src, CoreId dst, std::size_t bytes,
+                                 rtc::TimeNs now) {
   SCCFT_EXPECTS(src.valid() && dst.valid());
-  SCCFT_EXPECTS(bytes >= 0);
   ++messages_sent_;
   bytes_sent_ += static_cast<std::uint64_t>(bytes);
   per_pair_[{src.value, dst.value}] += 1;

@@ -8,6 +8,7 @@
 // counters per endpoint pair for experiment bookkeeping.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <utility>
@@ -24,7 +25,7 @@ class MessagePassing final {
 
   /// Initiates a non-blocking send of `bytes` at time `now`; returns the time
   /// the payload is fully visible in the receiver's MPB.
-  [[nodiscard]] rtc::TimeNs send(CoreId src, CoreId dst, int bytes, rtc::TimeNs now);
+  [[nodiscard]] rtc::TimeNs send(CoreId src, CoreId dst, std::size_t bytes, rtc::TimeNs now);
 
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }

@@ -13,7 +13,8 @@ NocModel::NocModel(NocConfig config) : config_(config) {
   link_busy_until_.fill(0);
 }
 
-TimeNs NocModel::transfer_chunk(TileId from, TileId to, int bytes, TimeNs start) {
+TimeNs NocModel::transfer_chunk(TileId from, TileId to, std::size_t bytes,
+                                TimeNs start) {
   ++chunks_sent_;
   const TimeNs serialization = config_.serialization_latency(bytes);
   if (from == to) {
@@ -40,57 +41,105 @@ TimeNs NocModel::transfer_chunk(TileId from, TileId to, int bytes, TimeNs start)
   return t + serialization;
 }
 
-TimeNs NocModel::transfer(CoreId src, CoreId dst, int bytes, TimeNs start) {
+TimeNs NocModel::transfer_chunks_fault_free(TileId from, TileId to, std::size_t chunks,
+                                            std::size_t last_chunk_bytes, TimeNs start) {
+  // Closed form for the tail chunks of one fault-free message (all full-size
+  // except the last). Chunk k+1 reaches each link of the XY route strictly
+  // no earlier than chunk k's reservation on it expires: chunk k+1 starts at
+  // chunk k's arrival (hops*t_hop + s later than chunk k started), while the
+  // reservation at link j only extends t_hop + s past chunk k's passage — so
+  // after the first chunk cleared any foreign reservations, the rest of the
+  // message streams through stall-free and only the *final* chunk's link
+  // reservations survive. That makes per-chunk link walking equivalent to
+  // one sized event: identical arrival, identical final link state,
+  // identical counters (zero stalls).
+  chunks_sent_ += chunks;
+  const TimeNs s_full = config_.serialization_latency(config_.max_chunk_bytes);
+  const TimeNs s_last =
+      config_.serialization_latency(std::max<std::size_t>(last_chunk_bytes, 1));
+  if (from == to) {
+    return start + static_cast<TimeNs>(chunks - 1) * s_full + s_last;
+  }
+  const auto route = xy_route(from, to);
+  const auto hops = static_cast<TimeNs>(route.size() - 1);
+  const TimeNs hop = config_.hop_latency();
+  const TimeNs last_start =
+      start + static_cast<TimeNs>(chunks - 1) * (hops * hop + s_full);
+  if (config_.model_contention) {
+    TimeNs t = last_start;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      const Link link{route[i], route[i + 1]};
+      link_busy_until_[static_cast<std::size_t>(link_index(link))] =
+          t + hop + s_last;
+      t += hop;
+    }
+  }
+  return last_start + hops * hop + s_last;
+}
+
+TimeNs NocModel::transfer(CoreId src, CoreId dst, std::size_t bytes, TimeNs start) {
   return transfer_ex(src, dst, bytes, start).arrival;
 }
 
-NocTransferOutcome NocModel::transfer_ex(CoreId src, CoreId dst, int bytes,
+NocTransferOutcome NocModel::transfer_ex(CoreId src, CoreId dst, std::size_t bytes,
                                          TimeNs start) {
   SCCFT_EXPECTS(src.valid() && dst.valid());
-  SCCFT_EXPECTS(bytes >= 0);
   SCCFT_EXPECTS(start >= 0);
   NocTransferOutcome outcome;
   const bool faulted = faults_active(start);
   TimeNs t = start + config_.software_overhead_ns;
-  int remaining = bytes;
+  if (!faulted) {
+    // Fault-free fast path: the first chunk walks the route normally (it may
+    // stall on other messages' reservations); the remainder of the message is
+    // a single closed-form event (see transfer_chunks_fault_free).
+    const std::size_t first = std::min(bytes, config_.max_chunk_bytes);
+    t = transfer_chunk(src.tile(), dst.tile(), std::max<std::size_t>(first, 1), t);
+    const std::size_t remaining = bytes - first;
+    if (remaining > 0) {
+      const std::size_t rest_chunks =
+          (remaining + config_.max_chunk_bytes - 1) / config_.max_chunk_bytes;
+      const std::size_t last =
+          remaining - (rest_chunks - 1) * config_.max_chunk_bytes;
+      t = transfer_chunks_fault_free(src.tile(), dst.tile(), rest_chunks, last, t);
+    }
+    outcome.arrival = t;
+    return outcome;
+  }
+  std::size_t remaining = bytes;
   do {
-    const int chunk = std::min(remaining, config_.max_chunk_bytes);
-    if (!faulted) {
-      t = transfer_chunk(src.tile(), dst.tile(), std::max(chunk, 1), t);
-    } else {
-      // Bounded retransmission: a dropped chunk is resent after the sender's
-      // timeout; once the attempt budget is exhausted the whole message is
-      // lost (healthy traffic degrades to extra latency, not silence).
-      bool chunk_delivered = false;
-      for (int attempt = 0; attempt <= fault_plan_->max_retries; ++attempt) {
-        if (attempt > 0) {
-          ++retransmissions_;
-          ++outcome.retransmissions;
-        }
-        const TimeNs arrival = transfer_chunk(src.tile(), dst.tile(),
-                                              std::max(chunk, 1), t);
-        if (fault_rng_.chance(fault_plan_->chunk_drop_probability)) {
-          ++chunks_dropped_;
-          t += fault_plan_->retry_timeout_ns;
-          continue;
-        }
-        t = arrival;
-        if (fault_plan_->chunk_delay_probability > 0.0 &&
-            fault_rng_.chance(fault_plan_->chunk_delay_probability)) {
-          ++chunks_delayed_;
-          t += fault_rng_.uniform_int(fault_plan_->delay_min_ns,
-                                      std::max(fault_plan_->delay_min_ns,
-                                               fault_plan_->delay_max_ns));
-        }
-        chunk_delivered = true;
-        break;
+    const std::size_t chunk = std::min(remaining, config_.max_chunk_bytes);
+    // Bounded retransmission: a dropped chunk is resent after the sender's
+    // timeout; once the attempt budget is exhausted the whole message is
+    // lost (healthy traffic degrades to extra latency, not silence).
+    bool chunk_delivered = false;
+    for (int attempt = 0; attempt <= fault_plan_->max_retries; ++attempt) {
+      if (attempt > 0) {
+        ++retransmissions_;
+        ++outcome.retransmissions;
       }
-      if (!chunk_delivered) {
-        ++messages_lost_;
-        outcome.delivered = false;
-        outcome.arrival = t;
-        return outcome;
+      const TimeNs arrival = transfer_chunk(src.tile(), dst.tile(),
+                                            std::max<std::size_t>(chunk, 1), t);
+      if (fault_rng_.chance(fault_plan_->chunk_drop_probability)) {
+        ++chunks_dropped_;
+        t += fault_plan_->retry_timeout_ns;
+        continue;
       }
+      t = arrival;
+      if (fault_plan_->chunk_delay_probability > 0.0 &&
+          fault_rng_.chance(fault_plan_->chunk_delay_probability)) {
+        ++chunks_delayed_;
+        t += fault_rng_.uniform_int(fault_plan_->delay_min_ns,
+                                    std::max(fault_plan_->delay_min_ns,
+                                             fault_plan_->delay_max_ns));
+      }
+      chunk_delivered = true;
+      break;
+    }
+    if (!chunk_delivered) {
+      ++messages_lost_;
+      outcome.delivered = false;
+      outcome.arrival = t;
+      return outcome;
     }
     remaining -= chunk;
   } while (remaining > 0);
@@ -110,17 +159,16 @@ void NocModel::inject_faults(const NocFaultPlan& plan) {
 
 void NocModel::clear_faults() { fault_plan_.reset(); }
 
-TimeNs NocModel::estimate_latency(CoreId src, CoreId dst, int bytes) const {
+TimeNs NocModel::estimate_latency(CoreId src, CoreId dst, std::size_t bytes) const {
   SCCFT_EXPECTS(src.valid() && dst.valid());
-  SCCFT_EXPECTS(bytes >= 0);
-  const int chunks = std::max(1, (bytes + config_.max_chunk_bytes - 1) /
-                                     config_.max_chunk_bytes);
+  const std::size_t chunks = std::max<std::size_t>(
+      1, (bytes + config_.max_chunk_bytes - 1) / config_.max_chunk_bytes);
   const int hops = hop_count(src.tile(), dst.tile());
   TimeNs latency = config_.software_overhead_ns;
   latency += static_cast<TimeNs>(chunks) *
              (static_cast<TimeNs>(hops) * config_.hop_latency() +
               config_.serialization_latency(
-                  std::max(1, std::min(bytes, config_.max_chunk_bytes))));
+                  std::max<std::size_t>(1, std::min(bytes, config_.max_chunk_bytes))));
   return latency;
 }
 

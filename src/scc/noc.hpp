@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -35,14 +36,14 @@ struct NocConfig {
   int cycles_per_hop = 4;            ///< router forwarding latency per hop
   TimeNs software_overhead_ns = 2'000;  ///< iRCCE send+recv software path
   double link_bandwidth_bytes_per_sec = 533e6;  ///< MPB copy bandwidth
-  int max_chunk_bytes = 3 * 1024;    ///< paper: chunk size <= 3 KiB
+  std::size_t max_chunk_bytes = 3 * 1024;  ///< paper: chunk size <= 3 KiB
   bool model_contention = true;      ///< serialize chunks on shared links
 
   [[nodiscard]] TimeNs hop_latency() const {
     return static_cast<TimeNs>(static_cast<double>(cycles_per_hop) /
                                router_frequency_hz * 1e9);
   }
-  [[nodiscard]] TimeNs serialization_latency(int bytes) const {
+  [[nodiscard]] TimeNs serialization_latency(std::size_t bytes) const {
     return static_cast<TimeNs>(static_cast<double>(bytes) /
                                link_bandwidth_bytes_per_sec * 1e9);
   }
@@ -86,15 +87,15 @@ class NocModel final {
   /// With an active fault plan this includes retransmission delays; a message
   /// lost for good still returns its give-up time (use transfer_ex to tell
   /// the two apart).
-  [[nodiscard]] TimeNs transfer(CoreId src, CoreId dst, int bytes, TimeNs start);
+  [[nodiscard]] TimeNs transfer(CoreId src, CoreId dst, std::size_t bytes, TimeNs start);
 
   /// Like transfer(), but reports delivery status and retransmission count so
   /// channels can drop lost tokens instead of delivering them late.
-  [[nodiscard]] NocTransferOutcome transfer_ex(CoreId src, CoreId dst, int bytes,
-                                               TimeNs start);
+  [[nodiscard]] NocTransferOutcome transfer_ex(CoreId src, CoreId dst,
+                                               std::size_t bytes, TimeNs start);
 
   /// Pure latency query that does not reserve links (used for planning).
-  [[nodiscard]] TimeNs estimate_latency(CoreId src, CoreId dst, int bytes) const;
+  [[nodiscard]] TimeNs estimate_latency(CoreId src, CoreId dst, std::size_t bytes) const;
 
   /// Installs (replacing any previous) the message-fault plan. Faults apply
   /// to all transfers whose send time falls inside the plan's window.
@@ -116,7 +117,12 @@ class NocModel final {
   [[nodiscard]] std::uint64_t chunks_delayed() const { return chunks_delayed_; }
 
  private:
-  [[nodiscard]] TimeNs transfer_chunk(TileId from, TileId to, int bytes, TimeNs start);
+  [[nodiscard]] TimeNs transfer_chunk(TileId from, TileId to, std::size_t bytes,
+                                      TimeNs start);
+  [[nodiscard]] TimeNs transfer_chunks_fault_free(TileId from, TileId to,
+                                                  std::size_t chunks,
+                                                  std::size_t last_chunk_bytes,
+                                                  TimeNs start);
 
   NocConfig config_;
   std::array<TimeNs, kLinkTableSize> link_busy_until_{};

@@ -1,0 +1,187 @@
+// Event storage for the simulator kernel: fixed-size inline-callable event
+// records recycled through a free-list arena, ordered by a calendar queue.
+//
+// The seed kernel heap-allocated a std::function per event and kept a binary
+// heap, so every schedule paid an allocation plus O(log n) sift and every
+// dispatch another O(log n). Here an event is one 96-byte record from the
+// arena: the callable is constructed in place (callables larger than the
+// inline slot fall back to one boxed allocation), and ordering is a calendar
+// queue — O(1) amortized insert/pop for the near-uniform event densities the
+// KPN rigs produce — with the (time, seq) total order preserved exactly:
+// bucket lists are kept sorted by (time, seq), ties across buckets resolve by
+// seq, so reruns stay bit-identical with the heap kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "rtc/time.hpp"
+
+namespace sccft::sim {
+
+using rtc::TimeNs;
+
+struct EventRecord;
+
+/// Type-erased manual vtable for the callable stored in an EventRecord.
+struct EventOps {
+  void (*invoke)(EventRecord* rec);
+  void (*destroy)(EventRecord* rec) noexcept;
+};
+
+/// Inline storage for the callable. 48 bytes covers every kernel-path lambda
+/// (channel wakes capture a coroutine handle; sim::Delay adds a weak_ptr;
+/// a by-value std::function is 32) — larger captures are boxed on the heap.
+inline constexpr std::size_t kInlineCallableBytes = 48;
+
+struct EventRecord {
+  TimeNs time = 0;
+  std::uint64_t seq = 0;
+  EventRecord* next = nullptr;  ///< bucket list / free list link
+  const EventOps* ops = nullptr;
+  alignas(16) unsigned char storage[kInlineCallableBytes];
+};
+
+namespace detail {
+
+template <typename F>
+struct InlineOps {
+  static void invoke(EventRecord* rec) {
+    (*reinterpret_cast<F*>(static_cast<void*>(rec->storage)))();
+  }
+  static void destroy(EventRecord* rec) noexcept {
+    reinterpret_cast<F*>(static_cast<void*>(rec->storage))->~F();
+  }
+  static constexpr EventOps ops{&invoke, &destroy};
+};
+
+template <typename F>
+struct BoxedOps {
+  static void invoke(EventRecord* rec) {
+    (**reinterpret_cast<F**>(static_cast<void*>(rec->storage)))();
+  }
+  static void destroy(EventRecord* rec) noexcept {
+    delete *reinterpret_cast<F**>(static_cast<void*>(rec->storage));
+  }
+  static constexpr EventOps ops{&invoke, &destroy};
+};
+
+}  // namespace detail
+
+/// Constructs `fn` into `rec` (inline when it fits, boxed otherwise) and
+/// points rec->ops at the matching vtable.
+template <typename F>
+void emplace_callable(EventRecord* rec, F&& fn) {
+  using Fn = std::decay_t<F>;
+  static_assert(std::is_invocable_r_v<void, Fn&>);
+  if constexpr (sizeof(Fn) <= kInlineCallableBytes && alignof(Fn) <= 16 &&
+                std::is_nothrow_move_constructible_v<Fn>) {
+    ::new (static_cast<void*>(rec->storage)) Fn(std::forward<F>(fn));
+    rec->ops = &detail::InlineOps<Fn>::ops;
+  } else {
+    ::new (static_cast<void*>(rec->storage)) Fn*(new Fn(std::forward<F>(fn)));
+    rec->ops = &detail::BoxedOps<Fn>::ops;
+  }
+}
+
+/// Free-list arena of EventRecords in chunked blocks: allocation and release
+/// are pointer pops/pushes, and records keep cache locality across recycling
+/// (LIFO reuse means the hottest record is the one just dispatched).
+class EventArena final {
+ public:
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  [[nodiscard]] EventRecord* allocate() {
+    if (free_ == nullptr) grow();
+    EventRecord* rec = free_;
+    free_ = rec->next;
+    return rec;
+  }
+
+  /// The callable must already be destroyed (ops->destroy) by the caller.
+  void release(EventRecord* rec) noexcept {
+    rec->next = free_;
+    free_ = rec;
+  }
+
+ private:
+  void grow();
+
+  static constexpr std::size_t kBlockRecords = 256;
+  std::vector<std::unique_ptr<EventRecord[]>> blocks_;
+  EventRecord* free_ = nullptr;
+};
+
+/// Calendar queue over intrusive EventRecord lists, keyed on integer-ns time
+/// with (time, seq) tie order. Buckets are sorted singly-linked lists; the
+/// rotation scan starts at the monotone floor (the last popped time) and a
+/// full empty rotation falls back to a direct min search over bucket heads,
+/// so sparse far-future events cannot livelock the scan. Deterministic by
+/// construction: behavior is a pure function of the insert/pop sequence.
+class CalendarQueue final {
+ public:
+  CalendarQueue();
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  void insert(EventRecord* rec);
+
+  /// Minimum (time, seq) record without unlinking, or nullptr when empty.
+  /// The found position is cached, so an immediately following pop() is O(1).
+  [[nodiscard]] EventRecord* peek();
+
+  /// Unlinks and returns the minimum record, or nullptr when empty.
+  EventRecord* pop();
+
+  /// Caller guarantee: every queued event has time >= t (used by run_until
+  /// when it advances simulated time past the last event). Tightens the
+  /// rotation scan's starting bucket.
+  void advance_floor(TimeNs t);
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Visits every queued record (unordered) — the simulator's destructor uses
+  /// this to destroy still-pending callables.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (EventRecord* head : buckets_) {
+      for (EventRecord* rec = head; rec != nullptr;) {
+        EventRecord* next = rec->next;
+        fn(rec);
+        rec = next;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(TimeNs t) const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(t) >> width_shift_) &
+           mask_;
+  }
+  /// Relinks `rec` into its sorted bucket without resize bookkeeping.
+  void link(EventRecord* rec);
+  void resize(std::size_t bucket_count);
+  struct Found {
+    EventRecord* rec = nullptr;
+    std::size_t bucket = 0;
+  };
+  [[nodiscard]] Found find_min() const;
+
+  std::vector<EventRecord*> buckets_;
+  std::size_t mask_ = 0;
+  unsigned width_shift_ = 0;  ///< bucket width = 1 << width_shift_ ns
+  std::size_t size_ = 0;
+  TimeNs floor_ = 0;     ///< no queued event is earlier than this
+  TimeNs max_time_ = 0;  ///< high-water mark of inserted times
+  Found cached_min_;     ///< valid iff cache_valid_ (set by peek)
+  bool cache_valid_ = false;
+};
+
+}  // namespace sccft::sim

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <string>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -8,29 +9,38 @@ namespace sccft::sim {
 
 Simulator::Simulator() : trace_subject_(trace_.intern("sim")) {}
 
-void Simulator::schedule_at(TimeNs t, Callback cb) {
-  SCCFT_EXPECTS(t >= now_);
-  SCCFT_EXPECTS(cb != nullptr);
-  SCCFT_TRACE(trace_, trace::EventKind::kSimSchedule, trace_subject_, now_, t,
-              static_cast<std::int64_t>(next_seq_));
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+Simulator::~Simulator() {
+  // Pending events still own their callables (coroutine wake lambdas hold
+  // liveness tokens, campaign closures hold captures): destroy them so the
+  // arena can be torn down without leaking.
+  queue_.for_each([](EventRecord* rec) { rec->ops->destroy(rec); });
 }
 
-void Simulator::schedule_after(TimeNs delay, Callback cb) {
-  SCCFT_EXPECTS(delay >= 0);
-  schedule_at(now_ + delay, std::move(cb));
+void Simulator::reject_past_schedule(TimeNs t) const {
+  util::contract_failure_msg(
+      "precondition",
+      "schedule_at into the past: t=" + std::to_string(t) +
+          " < now()=" + std::to_string(now_),
+      __FILE__, __LINE__);
 }
 
-void Simulator::dispatch_one() {
-  // Copy out before pop: the callback may schedule new events.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  SCCFT_ASSERT(event.time >= now_);
-  now_ = event.time;
+void Simulator::dispatch(EventRecord* rec) {
+  SCCFT_ASSERT(rec->time >= now_);
+  now_ = rec->time;
   ++events_processed_;
   SCCFT_TRACE(trace_, trace::EventKind::kSimDispatch, trace_subject_, now_,
-              static_cast<std::int64_t>(event.seq));
-  event.cb();
+              static_cast<std::int64_t>(rec->seq));
+  // Destroy the callable and recycle the record even when the callback throws
+  // (contract violations propagate out of run_until into the chaos harness).
+  struct Reclaim {
+    EventArena& arena;
+    EventRecord* rec;
+    ~Reclaim() {
+      rec->ops->destroy(rec);
+      arena.release(rec);
+    }
+  } reclaim{arena_, rec};
+  rec->ops->invoke(rec);
 }
 
 void Simulator::run() {
@@ -38,18 +48,23 @@ void Simulator::run() {
   // condition observes it before dispatching anything, and observing is what
   // consumes the request (sticky-until-observed).
   while (!queue_.empty() && !stop_requested_) {
-    dispatch_one();
+    dispatch(queue_.pop());
   }
   stopped_ = std::exchange(stop_requested_, false);
 }
 
 bool Simulator::run_until(TimeNs t) {
   SCCFT_EXPECTS(t >= now_);
-  while (!queue_.empty() && !stop_requested_ && queue_.top().time <= t) {
-    dispatch_one();
+  while (!stop_requested_) {
+    EventRecord* head = queue_.peek();  // cached: the pop below is O(1)
+    if (head == nullptr || head->time > t) break;
+    dispatch(queue_.pop());
   }
   stopped_ = std::exchange(stop_requested_, false);
-  if (!stopped_ && now_ < t) now_ = t;
+  if (!stopped_ && now_ < t) {
+    now_ = t;
+    queue_.advance_floor(t);
+  }
   return !stopped_;
 }
 

@@ -5,15 +5,23 @@
 // discrete-event simulator with integer-nanosecond time. Determinism comes
 // from a (time, sequence) total order on events — two events at the same
 // timestamp fire in scheduling order, so reruns are bit-identical.
+//
+// Events are inline-callable records recycled through a free-list arena and
+// ordered by a calendar queue (see event_queue.hpp): scheduling neither heap-
+// allocates (for callables up to kInlineCallableBytes) nor pays a binary-heap
+// sift. schedule_at is a template so the concrete lambda is constructed
+// directly into the record; the std::function-compatible overload set of the
+// seed kernel still compiles unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "rtc/time.hpp"
+#include "sim/event_queue.hpp"
 #include "trace/bus.hpp"
+#include "util/assert.hpp"
 
 namespace sccft::sim {
 
@@ -24,6 +32,7 @@ class Simulator final {
   using Callback = std::function<void()>;
 
   Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -35,11 +44,29 @@ class Simulator final {
   /// Current simulated time. Starts at 0.
   [[nodiscard]] TimeNs now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `t` (must be >= now()).
-  void schedule_at(TimeNs t, Callback cb);
+  /// Schedules `cb` at absolute time `t`. Scheduling into the past is a
+  /// contract violation whose message carries both `t` and now().
+  template <typename F>
+  void schedule_at(TimeNs t, F&& cb) {
+    if (t < now_) [[unlikely]] reject_past_schedule(t);
+    if constexpr (requires { static_cast<bool>(cb); }) {
+      SCCFT_EXPECTS(static_cast<bool>(cb));
+    }
+    SCCFT_TRACE(trace_, trace::EventKind::kSimSchedule, trace_subject_, now_, t,
+                static_cast<std::int64_t>(next_seq_));
+    EventRecord* rec = arena_.allocate();
+    rec->time = t;
+    rec->seq = next_seq_++;
+    emplace_callable(rec, std::forward<F>(cb));
+    queue_.insert(rec);
+  }
 
   /// Schedules `cb` `delay` nanoseconds from now (delay >= 0).
-  void schedule_after(TimeNs delay, Callback cb);
+  template <typename F>
+  void schedule_after(TimeNs delay, F&& cb) {
+    SCCFT_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::forward<F>(cb));
+  }
 
   /// Runs until the event queue is empty or stop() is called.
   void run();
@@ -63,26 +90,16 @@ class Simulator final {
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
 
  private:
-  struct Event {
-    TimeNs time;
-    std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  void dispatch_one();
+  void dispatch(EventRecord* rec);
+  [[noreturn]] void reject_past_schedule(TimeNs t) const;
 
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventArena arena_;
+  CalendarQueue queue_;
   trace::TraceBus trace_;
   trace::SubjectId trace_subject_ = 0;
 };

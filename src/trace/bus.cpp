@@ -37,6 +37,7 @@ const char* to_string(EventKind kind) {
 TraceBus::TraceBus() {
   subjects_.emplace_back();  // SubjectId 0: the empty subject
   subject_index_.emplace(std::string(), 0);
+  staged_.reserve(kStagingCapacity);  // the staging store never reallocates
 }
 
 SubjectId TraceBus::intern(std::string_view name) {
@@ -55,22 +56,25 @@ const std::string& TraceBus::subject_name(SubjectId id) const {
   return subjects_[id];
 }
 
-void TraceBus::subscribe(Sink* sink, std::uint32_t mask) {
+void TraceBus::subscribe(Sink* sink, std::uint32_t mask, DeliveryMode mode) {
   SCCFT_EXPECTS(sink != nullptr);
   assert_owning_thread();
+  flush();  // staged events belong to the subscription epoch that emitted them
   for (auto& subscriber : subscribers_) {
     if (subscriber.sink == sink) {
       subscriber.mask = mask;
+      subscriber.mode = mode;
       recompute_mask();
       return;
     }
   }
-  subscribers_.push_back(Subscriber{sink, mask});
+  subscribers_.push_back(Subscriber{sink, mask, mode});
   recompute_mask();
 }
 
 void TraceBus::unsubscribe(Sink* sink) {
   assert_owning_thread();
+  flush();  // the departing sink must not miss its staged tail
   subscribers_.erase(
       std::remove_if(subscribers_.begin(), subscribers_.end(),
                      [sink](const Subscriber& s) { return s.sink == sink; }),
@@ -79,17 +83,59 @@ void TraceBus::unsubscribe(Sink* sink) {
 }
 
 void TraceBus::recompute_mask() {
-  active_mask_ = 0;
-  for (const auto& subscriber : subscribers_) active_mask_ |= subscriber.mask;
+  immediate_mask_ = 0;
+  deferred_mask_ = 0;
+  for (const auto& subscriber : subscribers_) {
+    if (subscriber.mode == DeliveryMode::kImmediate) {
+      immediate_mask_ |= subscriber.mask;
+    } else {
+      deferred_mask_ |= subscriber.mask;
+    }
+  }
+  active_mask_ = immediate_mask_ | deferred_mask_;
 }
 
-void TraceBus::dispatch(const Event& event) {
+void TraceBus::flush() {
+  if (staged_.empty()) return;
   assert_owning_thread();
-  const std::uint32_t kind_bit = bit(event.kind);
+  // Deliver to each deferred subscriber in subscription order. When a
+  // subscriber's mask covers every staged kind (the common case: one
+  // flight-recorder mask), the whole staging buffer goes over in a single
+  // on_batch call with no per-event mask test; otherwise chunk consecutive
+  // accepted events.
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    if (subscribers_[i].mode != DeliveryMode::kDeferred) continue;
+    const std::uint32_t mask = subscribers_[i].mask;
+    if ((staged_kinds_ & ~mask) == 0) {
+      subscribers_[i].sink->on_batch(staged_.data(), staged_.size());
+      continue;
+    }
+    if ((staged_kinds_ & mask) == 0) continue;
+    std::size_t begin = 0;
+    while (begin < staged_.size()) {
+      if ((mask & bit(staged_[begin].kind)) == 0) {
+        ++begin;
+        continue;
+      }
+      std::size_t end = begin + 1;
+      while (end < staged_.size() && (mask & bit(staged_[end].kind)) != 0) ++end;
+      subscribers_[i].sink->on_batch(staged_.data() + begin, end - begin);
+      begin = end;
+    }
+  }
+  staged_.clear();
+  staged_kinds_ = 0;
+}
+
+void TraceBus::dispatch_immediate(const Event& event, std::uint32_t kind_bit) {
+  assert_owning_thread();
   // Index loop: a sink's on_event may emit further (nested) events but must
   // not subscribe/unsubscribe, so indices stay valid.
   for (std::size_t i = 0; i < subscribers_.size(); ++i) {
-    if ((subscribers_[i].mask & kind_bit) != 0) subscribers_[i].sink->on_event(event);
+    if (subscribers_[i].mode == DeliveryMode::kImmediate &&
+        (subscribers_[i].mask & kind_bit) != 0) {
+      subscribers_[i].sink->on_event(event);
+    }
   }
 }
 

@@ -39,7 +39,29 @@ class Sink {
  public:
   virtual ~Sink() = default;
   virtual void on_event(const Event& event) = 0;
+
+  /// Batched delivery used for deferred subscribers (see DeliveryMode): the
+  /// bus hands over a contiguous run of events in emission order. The default
+  /// forwards each event to on_event; high-volume sinks override it to
+  /// amortize the per-event virtual dispatch away.
+  virtual void on_batch(const Event* events, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) on_event(events[i]);
+  }
 };
+
+/// How a subscriber receives events.
+///
+///  * kImmediate — inside the emitting call, in subscription order. Required
+///    for behavioural subscribers (supervisor adapters, monitor bridges,
+///    anything whose reaction feeds back into the simulation) and for sinks
+///    whose state is read back mid-run at arbitrary points.
+///  * kDeferred — staged by the bus and delivered in batches via on_batch().
+///    Only for passive recorders (flight-recorder rings, counters): events
+///    still arrive in exact emission order, but possibly later than they were
+///    emitted. The bus flushes on subscribe/unsubscribe, on explicit flush(),
+///    and when the staging buffer fills; code that mutates or inspects a
+///    deferred sink mid-run must call TraceBus::flush() first.
+enum class DeliveryMode { kImmediate, kDeferred };
 
 class TraceBus final {
  public:
@@ -56,19 +78,36 @@ class TraceBus final {
   [[nodiscard]] std::size_t subject_count() const { return subjects_.size(); }
 
   /// Registers `sink` for every kind whose bit is set in `mask`. A sink may
-  /// be subscribed at most once; re-subscribing updates its mask.
-  void subscribe(Sink* sink, std::uint32_t mask = kAllEvents);
+  /// be subscribed at most once; re-subscribing updates its mask and mode.
+  /// Subscribing or unsubscribing flushes any staged deferred events first.
+  void subscribe(Sink* sink, std::uint32_t mask = kAllEvents,
+                 DeliveryMode mode = DeliveryMode::kImmediate);
   void unsubscribe(Sink* sink);
+
+  /// Delivers all staged events to the deferred subscribers, in emission
+  /// order. Pending events that are never flushed (e.g. the bus is destroyed
+  /// mid-run) are dropped — unsubscribe before tearing down a deferred sink.
+  void flush();
 
   [[nodiscard]] bool wants(EventKind kind) const {
     return (active_mask_ & bit(kind)) != 0;
   }
 
-  /// The emission fast path: one branch when no sink wants `kind`.
+  /// The emission fast path: one branch when no sink wants `kind`. When only
+  /// deferred sinks listen, dispatch inlines to a store into the staging
+  /// buffer plus an occasional batched flush.
   void emit(EventKind kind, SubjectId subject, rtc::TimeNs time, std::int64_t a = 0,
             std::int64_t b = 0, std::int64_t c = 0) {
     if (wants(kind)) [[unlikely]] {
-      dispatch(Event{time, kind, subject, a, b, c});
+      const std::uint32_t kind_bit = bit(kind);
+      if ((immediate_mask_ & kind_bit) != 0) {
+        dispatch_immediate(Event{time, kind, subject, a, b, c}, kind_bit);
+      }
+      if ((deferred_mask_ & kind_bit) != 0) {
+        staged_kinds_ |= kind_bit;
+        staged_.push_back(Event{time, kind, subject, a, b, c});
+        if (staged_.size() >= kStagingCapacity) flush();
+      }
     }
   }
 
@@ -76,15 +115,17 @@ class TraceBus final {
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
  private:
-  void dispatch(const Event& event);
+  void dispatch_immediate(const Event& event, std::uint32_t kind_bit);
   void recompute_mask();
 
   /// The bus is single-threaded state owned by one simulation. Parallel
   /// campaigns run one Simulator (and thus one bus) per worker; any sink
   /// subscription or dispatched event from a foreign thread is a wiring bug
-  /// (e.g. a shared cross-run sink) and trips this contract. Checked off the
-  /// emit fast path only — dispatch runs when somebody listens, and
-  /// subscribe/unsubscribe are setup-time.
+  /// (e.g. a shared cross-run sink) and trips this contract. Checked on
+  /// immediate dispatch, flush, and subscribe/unsubscribe — not on the
+  /// deferred staging store, which keeps the batched path to a few
+  /// instructions (a foreign-thread emitter still trips within one staging
+  /// window, at its first flush).
   void assert_owning_thread() const {
     SCCFT_ASSERT(std::this_thread::get_id() == owner_thread_);
   }
@@ -92,10 +133,20 @@ class TraceBus final {
   struct Subscriber {
     Sink* sink = nullptr;
     std::uint32_t mask = 0;
+    DeliveryMode mode = DeliveryMode::kImmediate;
   };
+
+  /// Staged events stop accumulating past this size; the batch is then
+  /// delivered inline (deterministic: the same event sequence always flushes
+  /// at the same points).
+  static constexpr std::size_t kStagingCapacity = 1024;
 
   std::thread::id owner_thread_ = std::this_thread::get_id();
   std::uint32_t active_mask_ = 0;
+  std::uint32_t immediate_mask_ = 0;
+  std::uint32_t deferred_mask_ = 0;
+  std::uint32_t staged_kinds_ = 0;  ///< OR of bit(kind) over staged_
+  std::vector<Event> staged_;
   std::vector<Subscriber> subscribers_;
   std::vector<std::string> subjects_;
   std::unordered_map<std::string, SubjectId> subject_index_;

@@ -14,6 +14,7 @@
 //    counters, fault flags), replacing the old polling VCD sampler process.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -33,6 +34,21 @@ class RingBufferSink final : public Sink {
     if (wedged_) return;  // a stuck sink silently loses events (kTraceSinkStuck)
     ring_[next_ % ring_.size()] = event;
     ++next_;
+  }
+
+  void on_batch(const Event* events, std::size_t count) override {
+    if (wedged_) return;
+    const std::size_t cap = ring_.size();
+    // Only the last `cap` events of the batch can survive in the ring; the
+    // survivors land as (at most) two contiguous copies.
+    const std::size_t skip = count > cap ? count - cap : 0;
+    const Event* src = events + skip;
+    const std::size_t n = count - skip;
+    const std::size_t pos = static_cast<std::size_t>((next_ + skip) % cap);
+    const std::size_t first = std::min(n, cap - pos);
+    std::copy(src, src + first, ring_.begin() + static_cast<std::ptrdiff_t>(pos));
+    std::copy(src + first, src + n, ring_.begin());
+    next_ += count;
   }
 
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
@@ -110,6 +126,12 @@ class CounterSink final : public Sink {
 
   void on_event(const Event& event) override {
     ++*counters_[static_cast<std::size_t>(event.kind)];
+  }
+
+  void on_batch(const Event* events, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) {
+      ++*counters_[static_cast<std::size_t>(events[i].kind)];
+    }
   }
 
  private:

@@ -38,6 +38,18 @@ inline void set_contract_failure_hook(ContractFailureHook hook) {
                           file + ":" + std::to_string(line));
 }
 
+/// Like contract_failure, but with a caller-built detail string — for
+/// contracts whose diagnosis needs runtime values (e.g. the simulator
+/// reporting both the requested time and now() on a schedule into the past).
+/// Fires the same flight-recorder hook before throwing.
+[[noreturn]] inline void contract_failure_msg(const char* kind,
+                                              const std::string& detail,
+                                              const char* file, int line) {
+  if (const auto hook = contract_failure_hook_slot(); hook != nullptr) hook();
+  throw ContractViolation(std::string(kind) + " failed: " + detail + " at " +
+                          file + ":" + std::to_string(line));
+}
+
 }  // namespace sccft::util
 
 /// Precondition check: argument/state requirements at function entry.

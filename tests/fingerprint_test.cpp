@@ -1,0 +1,85 @@
+// Golden-fingerprint determinism pins: exact simulator event counts and
+// output CRCs for one run of each campaign rig, captured on the pre-refactor
+// (binary-heap + std::function) kernel. The DES-kernel rewrite must preserve
+// the (time, seq) total order exactly — any silent event reorder, extra wake,
+// or dropped schedule shows up here as a changed event count or stream CRC
+// long before the (slower) campaign-determinism CI lane runs.
+//
+// The pinned values are part of the kernel's compatibility contract: a PR
+// that changes them is changing simulation semantics and must say so.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/adpcm/app.hpp"
+#include "apps/common/experiment.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/storm.hpp"
+#include "util/crc32.hpp"
+
+namespace sccft {
+namespace {
+
+/// Folds a vector of integers into a running CRC-32, little-endian per value,
+/// so stream fingerprints are one number per run.
+template <typename T>
+std::uint32_t crc_fold(const std::vector<T>& values, std::uint32_t seed = 0) {
+  std::uint32_t crc = seed;
+  for (const T& value : values) {
+    std::uint8_t bytes[sizeof(T)];
+    auto v = static_cast<std::uint64_t>(value);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    crc = util::crc32(std::span<const std::uint8_t>(bytes, sizeof(T)), crc);
+  }
+  return crc;
+}
+
+TEST(Fingerprint, Table2AdpcmFaultFreeRun) {
+  apps::ExperimentRunner runner(apps::adpcm::make_application());
+  apps::ExperimentOptions options;
+  options.seed = 1;
+  options.run_periods = 240;
+  const auto result = runner.run(options);
+
+  EXPECT_EQ(result.events_processed, 2694u);
+  EXPECT_EQ(result.consumer_tokens, 239u);
+  EXPECT_EQ(crc_fold(result.output_checksums), 1353322099u);
+}
+
+TEST(Fingerprint, FaultCampaignSilenceRun) {
+  apps::ExperimentRunner runner(apps::adpcm::make_application());
+  apps::ExperimentOptions options;
+  options.seed = 1;
+  options.run_periods = 240;
+  options.fault_after_periods = 150;
+  options.inject_fault = true;
+  options.faulty_replica = ft::ReplicaIndex::kReplica1;
+  options.fault_mode = ft::FaultMode::kSilence;
+  const auto result = runner.run(options);
+
+  EXPECT_TRUE(result.any_detection);
+  EXPECT_FALSE(result.false_positive);
+  EXPECT_EQ(result.events_processed, 2257u);
+  EXPECT_EQ(result.consumer_tokens, 239u);
+  // The healthy replica covers the stream: same output as the fault-free run.
+  EXPECT_EQ(crc_fold(result.output_checksums), 1353322099u);
+}
+
+TEST(Fingerprint, ChaosStormRun) {
+  chaos::StormGenerator generator;
+  const chaos::StormPlan plan = generator.generate(1);
+  const chaos::RunObservation obs = chaos::run_storm(plan);
+
+  ASSERT_FALSE(obs.contract_violation.has_value());
+  EXPECT_EQ(obs.events_processed, 1253u);
+  EXPECT_EQ(obs.consumed_seqs.size(), 199u);
+  EXPECT_EQ(crc_fold(obs.consumed_seqs), 912480545u);
+  EXPECT_EQ(crc_fold(obs.consumed_fingerprints), 1813323357u);
+}
+
+}  // namespace
+}  // namespace sccft

@@ -2,6 +2,9 @@
 // low-contention mapping, clock synchronization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "scc/mapping.hpp"
 #include "scc/messaging.hpp"
 #include "scc/noc.hpp"
@@ -191,6 +194,70 @@ TEST(Platform, UnsyncedClocksDisagree) {
     if (std::abs(platform.local_time(CoreId{c}) - sim.now()) > 10) any_off = true;
   }
   EXPECT_TRUE(any_off);
+}
+
+
+// Property: the fault-free multi-chunk fast path (one closed-form event for
+// the tail of the message) must be indistinguishable from sending the same
+// message chunk by chunk — same arrival, same chunk counter, same stall
+// counter, and same link reservations left behind. The reference model chains
+// single-chunk transfers (each transfer_ex call with bytes <= max_chunk_bytes
+// walks the route exactly once), so it exercises the pre-closed-form
+// semantics; foreign traffic beforehand seeds contention on shared links.
+TEST(Noc, ClosedFormMatchesPerChunkReference) {
+  std::mt19937 rng(20140601);  // DAC'14, deterministic
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    NocConfig config;
+    config.software_overhead_ns = 0;  // additive start offset, irrelevant here
+    config.model_contention = (iteration % 4) != 3;
+    NocModel fast(config);
+    NocModel reference(config);
+
+    const auto core = [&] {
+      return CoreId{static_cast<int>(rng() % static_cast<unsigned>(kCoreCount))};
+    };
+
+    // Foreign traffic: identical pre-load on both models so the message under
+    // test may stall on live reservations mid-route.
+    const int foreign = static_cast<int>(rng() % 4);
+    for (int i = 0; i < foreign; ++i) {
+      const CoreId src = core(), dst = core();
+      const auto bytes = static_cast<std::size_t>(1 + rng() % (4 * 3 * 1024));
+      const auto at = static_cast<TimeNs>(rng() % 2'000);
+      (void)fast.transfer(src, dst, bytes, at);
+      (void)reference.transfer(src, dst, bytes, at);
+    }
+
+    const CoreId src = core(), dst = core();
+    const auto bytes =
+        static_cast<std::size_t>(1 + rng() % (10 * config.max_chunk_bytes));
+    const auto start = static_cast<TimeNs>(2'000 + rng() % 10'000);
+
+    const auto fast_outcome = fast.transfer_ex(src, dst, bytes, start);
+
+    // Reference: the same message, one chunk per call, each chunk departing
+    // at the previous chunk's arrival.
+    TimeNs t = start;
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min(remaining, config.max_chunk_bytes);
+      t = reference.transfer(src, dst, chunk, t);
+      remaining -= chunk;
+    }
+
+    ASSERT_TRUE(fast_outcome.delivered);
+    EXPECT_EQ(fast_outcome.arrival, t)
+        << "iteration " << iteration << ": " << bytes << " B "
+        << src.value << "->" << dst.value;
+    EXPECT_EQ(fast.chunks_sent(), reference.chunks_sent());
+    EXPECT_EQ(fast.contention_stalls(), reference.contention_stalls());
+
+    // The reservations the message leaves behind must match too: a probe
+    // chunk over the same route arrives at the same instant on both models.
+    const TimeNs probe_fast = fast.transfer(src, dst, 64, t);
+    const TimeNs probe_reference = reference.transfer(src, dst, 64, t);
+    EXPECT_EQ(probe_fast, probe_reference) << "iteration " << iteration;
+  }
 }
 
 }  // namespace

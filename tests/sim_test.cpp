@@ -1,6 +1,7 @@
 // Discrete-event simulator, coroutine task, and TSC clock tests.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -117,6 +118,22 @@ TEST(Simulator, SchedulingInThePastRejected) {
   sim.schedule_at(100, [] {});
   sim.run();
   EXPECT_THROW(sim.schedule_at(50, [] {}), util::ContractViolation);
+}
+
+TEST(Simulator, PastScheduleDiagnosticCarriesBothTimes) {
+  // The rejection must name the offending timestamp AND the current virtual
+  // time — a bare "scheduled into the past" leaves a campaign bisect blind.
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  try {
+    sim.schedule_at(50, [] {});
+    FAIL() << "schedule_at(50) with now()==100 did not throw";
+  } catch (const util::ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("t=50"), std::string::npos) << what;
+    EXPECT_NE(what.find("now()=100"), std::string::npos) << what;
+  }
 }
 
 Task counting_task(Simulator& sim, int* counter, int rounds) {
