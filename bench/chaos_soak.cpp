@@ -415,9 +415,11 @@ int main(int argc, char** argv) {
                              "Randomized multi-fault storms under invariant "
                              "oracles, with ddmin shrinking");
   sccft::util::add_jobs_flag(cli);
-  cli.add_flag("runs", "200", "number of storms to run");
-  cli.add_flag("minutes", "0", "wall-clock budget (0 = unlimited; see header)");
-  cli.add_flag("seed0", "1", "seed of the first run (run i uses seed0 + i)");
+  cli.add_int_flag("runs", 200, "number of storms to run", /*min=*/1);
+  cli.add_double_flag("minutes", 0,
+                      "wall-clock budget (0 = unlimited; see header)", /*min=*/0);
+  cli.add_int_flag("seed0", 1, "seed of the first run (run i uses seed0 + i)",
+                   /*min=*/0);
   cli.add_flag("plant-bug", "none",
                "test-only defect: none | drop-after-second-restart | "
                "corrupt-after-restart");

@@ -169,11 +169,12 @@ RunOutcome run_once(const Scenario& scenario, std::uint64_t seed) {
   std::array<ft::ReplicaAssets, 2> assets{
       ft::ReplicaAssets{ft::ReplicaIndex::kReplica1, {replicas[0]}, {}},
       ft::ReplicaAssets{ft::ReplicaIndex::kReplica2, {replicas[1]}, {}}};
+  ft::Supervisor::Config supervisor_config;
+  supervisor_config.restart_budget = 3;
+  supervisor_config.initial_backoff = rtc::from_ms(20.0);
+  supervisor_config.detection_latency_bound = outcome.bound;
   ft::Supervisor supervisor(simulator, harness.replicator(), harness.selector(),
-                            assets,
-                            {.restart_budget = 3,
-                             .initial_backoff = rtc::from_ms(20.0),
-                             .detection_latency_bound = outcome.bound});
+                            assets, supervisor_config);
 
   ft::FaultCampaign::Wiring wiring;
   wiring.replicator = &harness.replicator();

@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
                       "Online RTC conformance & re-dimensioning under PJD drift "
                       "(ADPCM, 20-run campaigns per scenario)");
   util::add_jobs_flag(cli);
-  cli.add_flag("runs", std::to_string(bench::kRuns), "runs per drift scenario");
+  cli.add_int_flag("runs", bench::kRuns, "runs per drift scenario", /*min=*/1);
   cli.add_flag("csv", "/tmp/sccft_table5_online_margins.csv",
                "path for the per-run empirical-curve export");
   if (!cli.parse(argc, argv)) {

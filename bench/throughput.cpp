@@ -205,7 +205,8 @@ int main(int argc, char** argv) {
       "throughput",
       "DES-kernel throughput over three workload shapes; writes a "
       "BENCH_throughput.json snapshot of simulated-events/sec and tokens/sec");
-  cli.add_flag("reps", "3", "repetitions per workload (wall time = best-of)");
+  cli.add_int_flag("reps", 3, "repetitions per workload (wall time = best-of)",
+                   /*min=*/1);
   cli.add_flag("out", "BENCH_throughput.json",
                "snapshot path (empty = don't write)");
   cli.add_flag("compare", "",

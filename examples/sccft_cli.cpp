@@ -21,15 +21,20 @@ int main(int argc, char** argv) {
   util::CliParser cli("sccft_cli",
                       "fault-tolerance experiment campaigns on the simulated SCC");
   cli.add_flag("app", "adpcm", "application: mjpeg | adpcm | h264");
-  cli.add_flag("runs", "5", "number of runs (seeds 1..N)");
+  cli.add_int_flag("runs", 5, "number of runs (seeds 1..N)", /*min=*/1);
   cli.add_flag("fault", "r1", "faulty replica: r1 | r2 | none");
   cli.add_flag("mode", "silence", "fault mode: silence | rate");
-  cli.add_flag("rate-factor", "4.0", "slowdown factor for --mode rate");
-  cli.add_flag("periods", "200", "simulated length in producer periods");
-  cli.add_flag("fault-after", "120", "fault injection time in periods");
+  cli.add_double_flag("rate-factor", 4.0, "slowdown factor for --mode rate",
+                      /*min=*/1.0);
+  cli.add_int_flag("periods", 200, "simulated length in producer periods",
+                   /*min=*/1);
+  cli.add_int_flag("fault-after", 120, "fault injection time in periods",
+                   /*min=*/0);
   cli.add_flag("minimize-jitter", "false", "use the Table-3 minimized-jitter variant");
-  cli.add_flag("divergence", "0", "override Eq. (5)'s D (0 = analyzed value)");
-  cli.add_flag("capacity", "0", "override Eq. (3)'s |R_i| (0 = analyzed values)");
+  cli.add_int_flag("divergence", 0, "override Eq. (5)'s D (0 = analyzed value)",
+                   /*min=*/0);
+  cli.add_int_flag("capacity", 0, "override Eq. (3)'s |R_i| (0 = analyzed values)",
+                   /*min=*/0);
   cli.add_flag("baselines", "false", "attach distance-function + watchdog monitors");
   cli.add_flag("csv", "", "write per-run results to this CSV file");
   cli.add_flag("vcd", "", "write the last run's channel waveform to this VCD file");

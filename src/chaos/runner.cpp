@@ -218,8 +218,9 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
       ft::ReplicaAssets{ft::ReplicaIndex::kReplica1, {replicas[0]}, {}},
       ft::ReplicaAssets{ft::ReplicaIndex::kReplica2, {replicas[1]}, {}}};
   const ControlPlaneOptions& cp = options.control_plane;
-  ft::Supervisor::Config supervisor_config{
-      .restart_budget = 3, .initial_backoff = rtc::from_ms(20.0)};
+  ft::Supervisor::Config supervisor_config;
+  supervisor_config.restart_budget = 3;
+  supervisor_config.initial_backoff = rtc::from_ms(20.0);
   if (cp.enabled) supervisor_config.heartbeat_period = cp.heartbeat_period;
   ft::Supervisor supervisor(simulator, harness.replicator(), harness.selector(),
                             assets, supervisor_config);

@@ -203,10 +203,11 @@ std::vector<FaultSpec> parse_fault_plan(const std::string& text) {
   return plan;
 }
 
-FaultCampaign::FaultCampaign(sim::Simulator& sim, Wiring wiring)
+FaultCampaign::FaultCampaign(sim::Simulator& sim, Wiring wiring,
+                             std::string subject_name)
     : sim_(sim),
       wiring_(std::move(wiring)),
-      subject_(sim.trace().intern("fault-campaign")),
+      subject_(sim.trace().intern(subject_name)),
       adapter_(*this) {
   SCCFT_EXPECTS(wiring_.replicator != nullptr);
   SCCFT_EXPECTS(wiring_.selector != nullptr);

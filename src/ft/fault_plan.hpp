@@ -185,7 +185,12 @@ class FaultCampaign final {
   /// supervisor can timestamp injections for detection-latency accounting.
   using InjectionListener = std::function<void(const FaultInjectionRecord&)>;
 
-  FaultCampaign(sim::Simulator& sim, Wiring wiring);
+  /// `subject_name` is the trace subject activations are emitted under —
+  /// fleets give each stream's campaign a distinct name so supervisors can
+  /// filter injections to their own stream (Supervisor::Config's
+  /// injection_subject).
+  FaultCampaign(sim::Simulator& sim, Wiring wiring,
+                std::string subject_name = "fault-campaign");
   ~FaultCampaign();
 
   FaultCampaign(const FaultCampaign&) = delete;

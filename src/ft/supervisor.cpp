@@ -49,17 +49,21 @@ Supervisor::Supervisor(sim::Simulator& sim, ReplicatorChannel& replicator,
     : sim_(sim),
       replicator_(replicator),
       selector_(selector),
-      config_(config),
-      subject_(sim.trace().intern("supervisor")),
+      config_(std::move(config)),
+      subject_(sim.trace().intern(config_.name)),
       sink_(*this) {
   SCCFT_EXPECTS(config_.restart_budget >= 0);
+  SCCFT_EXPECTS(!config_.name.empty());
+  if (!config_.injection_subject.empty()) {
+    injection_filter_ = sim.trace().intern(config_.injection_subject);
+  }
   SCCFT_EXPECTS(config_.initial_backoff >= 0);
   SCCFT_EXPECTS(config_.backoff_factor >= 1.0);
   SCCFT_EXPECTS(config_.max_backoff >= config_.initial_backoff);
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     SCCFT_EXPECTS(index_of(assets[i].index) == static_cast<int>(i));
     replicas_[i].assets = std::move(assets[i]);
-    replicas_[i].metric_prefix = "supervisor.R" + std::to_string(i + 1);
+    replicas_[i].metric_prefix = config_.name + ".R" + std::to_string(i + 1);
   }
   // Subscribed after the channels' own ObserverAdapters (construction order),
   // so externally registered FaultObservers — the framework's detection log
@@ -86,6 +90,12 @@ void Supervisor::BusSink::on_event(const trace::Event& event) {
     // Control-plane injections have no replica victim: operand b is
     // meaningless as a ReplicaIndex and must not seed a latency sample.
     if (is_control_plane(static_cast<FaultKind>(event.a))) return;
+    // Fleet rigs run one campaign per stream; only this stream's injections
+    // may seed latency samples (no filter = single-stream accept-any).
+    if (owner_.injection_filter_ &&
+        event.subject != *owner_.injection_filter_) {
+      return;
+    }
     // Injections carry the target replica in operand b; the timestamp seeds
     // the next detection-latency sample (idempotent with manual
     // note_fault_injected wiring, which records the same instant).
@@ -199,6 +209,13 @@ void Supervisor::on_detection(const DetectionRecord& record) {
     transition(state, record.replica, ReplicaHealth::kDegraded);
     return;
   }
+  if (config_.shared_budget != nullptr && !config_.shared_budget->try_acquire()) {
+    // The fleet-wide pool is dry: this replica degrades even though its own
+    // budget had headroom — repair capacity is a shared resource.
+    metrics().add(config_.name + ".pool_exhausted");
+    transition(state, record.replica, ReplicaHealth::kDegraded);
+    return;
+  }
 
   transition(state, record.replica, ReplicaHealth::kConvicted);
   schedule_restart(record.replica);
@@ -253,7 +270,7 @@ void Supervisor::attach_watchdog(scc::WatchdogTimer* watchdog, int channel) {
 
 void Supervisor::inject_hang() {
   hung_ = true;
-  metrics().add("supervisor.hangs");
+  metrics().add(config_.name + ".hangs");
 }
 
 void Supervisor::tick() {
@@ -264,7 +281,7 @@ void Supervisor::tick() {
   sim_.schedule_after(config_.heartbeat_period, [this] { tick(); });
   if (hung_) return;
   ++heartbeats_;
-  metrics().add("supervisor.heartbeats");
+  metrics().add(config_.name + ".heartbeats");
   sim_.trace().emit(trace::EventKind::kHeartbeat, subject_, sim_.now(),
                     static_cast<std::int64_t>(heartbeats_));
   if (watchdog_ != nullptr) watchdog_->kick(watchdog_channel_);
@@ -272,7 +289,7 @@ void Supervisor::tick() {
 
 void Supervisor::on_self_watchdog_reset() {
   clear_hang();
-  metrics().add("supervisor.watchdog_resets");
+  metrics().add(config_.name + ".watchdog_resets");
   // Repair what the hang broke. Restart timers that fired while hung were
   // swallowed (schedule_restart's hung_ guard), so every still-convicted
   // replica gets a fresh one; detections the BusSink missed are still

@@ -64,6 +64,22 @@ enum class ReplicaHealth {
 
 [[nodiscard]] std::string to_string(ReplicaHealth health);
 
+/// Restart budget shared across a fleet of supervisors (ft/fleet.hpp): every
+/// restart must win a unit here in addition to the replica's own budget, so
+/// a handful of flapping streams cannot consume unbounded repair capacity.
+/// Plain counters — deterministic in the single-threaded simulator.
+struct RestartBudgetPool {
+  int capacity = 0;
+  int used = 0;
+
+  [[nodiscard]] bool exhausted() const { return used >= capacity; }
+  [[nodiscard]] bool try_acquire() {
+    if (used >= capacity) return false;
+    ++used;
+    return true;
+  }
+};
+
 /// One edge of the health state machine, for post-run inspection.
 struct HealthTransition {
   ReplicaIndex replica = ReplicaIndex::kReplica1;
@@ -91,6 +107,20 @@ class Supervisor final {
     /// 0 (the default) disables the tick entirely — existing rigs keep
     /// byte-identical event schedules.
     rtc::TimeNs heartbeat_period = 0;
+    /// Trace-subject name and metric-prefix stem ("<name>.R<i>.faults_seen").
+    /// Fleets run one supervisor per stream; distinct names keep their
+    /// accounting separate in the shared MetricsRegistry.
+    std::string name = "supervisor";
+    /// When non-empty, only kInjection events from this trace subject seed
+    /// detection-latency samples. Empty (default) accepts any injection —
+    /// correct for single-stream rigs, wrong at fleet scale where another
+    /// stream's campaign would contaminate this supervisor's latencies.
+    std::string injection_subject;
+    /// Optional fleet-shared restart pool: a conviction consumes a unit here
+    /// in addition to the per-replica budget; an empty pool degrades the
+    /// replica. Null (default) = per-replica budget only. Must outlive the
+    /// supervisor.
+    RestartBudgetPool* shared_budget = nullptr;
   };
 
   /// Health accounting for one replica.
@@ -211,6 +241,7 @@ class Supervisor final {
   SelectorChannel& selector_;
   Config config_;
   trace::SubjectId subject_;
+  std::optional<trace::SubjectId> injection_filter_;
   std::array<ReplicaState, 2> replicas_;
   std::vector<HealthTransition> transitions_;
   BusSink sink_;

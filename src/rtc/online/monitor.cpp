@@ -4,7 +4,11 @@ namespace sccft::rtc::online {
 
 OnlineMonitor::OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
                              std::vector<StreamSpec> specs)
-    : bus_(bus) {
+    : OnlineMonitor(bus, lattice, std::move(specs), Options{}) {}
+
+OnlineMonitor::OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
+                             std::vector<StreamSpec> specs, Options options)
+    : bus_(bus), options_(options) {
   streams_.reserve(specs.size());
   for (auto& spec : specs) {
     CurveEstimator estimator(lattice);
@@ -29,10 +33,12 @@ void OnlineMonitor::on_event(const trace::Event& event) {
     if (stream.subject == event.subject) {
       escalate(stream, event.time,
                stream.checker.add_and_check(stream.estimator, event.time));
-    } else if (event.time > stream.estimator.instant()) {
+    } else if (event.time >
+               stream.estimator.instant() + options_.cross_advance_quantum) {
       // Cross-stream advance: a peer's traffic moves this stream's clock, so
       // starvation is witnessed without waiting for the starved stream to
-      // speak (or for finalize).
+      // speak (or for finalize). At fleet cardinality the quantum batches
+      // these advances (see Options::cross_advance_quantum).
       escalate(stream, event.time,
                stream.checker.advance_and_check(stream.estimator, event.time));
     }
@@ -41,7 +47,7 @@ void OnlineMonitor::on_event(const trace::Event& event) {
 
 void OnlineMonitor::escalate(Stream& stream, TimeNs at,
                              const std::optional<ConformanceChecker::Violation>& violation) {
-  if (violation && !stream.escalated) {
+  if (violation && !stream.escalated && options_.escalate) {
     stream.escalated = true;
     // Verdict-class event: always-on emit (not the macro) so the supervisor
     // sees it on the same code path as every other detection.

@@ -50,8 +50,28 @@ struct StreamSpec {
 
 class OnlineMonitor final : public trace::Sink {
  public:
+  /// Fleet-scale tuning knobs. Defaults reproduce the original behavior
+  /// exactly (escalating monitor, cross-advance on every emission).
+  struct Options {
+    /// Emit kCurveViolation verdicts onto the bus. Fleet rigs monitoring
+    /// many independent streams on one bus set this false: every supervisor
+    /// on the bus sees every kCurveViolation, so escalation from stream A's
+    /// monitor would convict replicas of stream B. The conformance counters
+    /// and snapshots still accumulate for finalize().
+    bool escalate = true;
+    /// Cross-stream advance is O(streams) per tracked emission — quadratic
+    /// in fleet cardinality. A non-zero quantum (ns) amortizes it: a peer
+    /// emission only advances this stream's clock when it is at least
+    /// `cross_advance_quantum` ahead of the stream's estimator instant.
+    /// Starvation detection coarsens by at most the quantum; 0 keeps the
+    /// every-event advance.
+    TimeNs cross_advance_quantum = 0;
+  };
+
   OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
                 std::vector<StreamSpec> specs);
+  OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
+                std::vector<StreamSpec> specs, Options options);
   ~OnlineMonitor() override;
   OnlineMonitor(const OnlineMonitor&) = delete;
   OnlineMonitor& operator=(const OnlineMonitor&) = delete;
@@ -92,6 +112,7 @@ class OnlineMonitor final : public trace::Sink {
                 const std::optional<ConformanceChecker::Violation>& violation);
 
   trace::TraceBus& bus_;
+  Options options_;
   std::vector<Stream> streams_;
 };
 

@@ -7,13 +7,45 @@
 
 namespace sccft::scc {
 
+namespace {
+
+/// Diagnostic-carrying precondition failures: a mapping request that names a
+/// process outside [0, process_count) or asks for more processes than tiles
+/// must die with the offending numbers in the message, not a bare `cond`
+/// string (and must never index out of bounds in release builds).
+void check_edge_in_range(const TrafficEdge& edge, std::size_t edge_index,
+                         int process_count) {
+  if (edge.from_process < 0 || edge.from_process >= process_count ||
+      edge.to_process < 0 || edge.to_process >= process_count) {
+    util::contract_failure_msg(
+        "precondition",
+        "TrafficEdge " + std::to_string(edge_index) + " references processes " +
+            std::to_string(edge.from_process) + " -> " +
+            std::to_string(edge.to_process) + " but process_count is " +
+            std::to_string(process_count),
+        __FILE__, __LINE__);
+  }
+}
+
+void check_process_count_fits(int process_count) {
+  if (process_count <= 0 || process_count > kTileCount) {
+    util::contract_failure_msg(
+        "precondition",
+        "process_count " + std::to_string(process_count) +
+            " outside the one-process-per-tile range [1, " +
+            std::to_string(kTileCount) +
+            "] (use scc::place_fleet for multi-stream placement)",
+        __FILE__, __LINE__);
+  }
+}
+
+}  // namespace
+
 std::uint64_t Mapping::cost(const std::vector<TrafficEdge>& edges) const {
   std::uint64_t total = 0;
-  for (const auto& edge : edges) {
-    SCCFT_EXPECTS(edge.from_process >= 0 &&
-                  edge.from_process < static_cast<int>(process_to_core.size()));
-    SCCFT_EXPECTS(edge.to_process >= 0 &&
-                  edge.to_process < static_cast<int>(process_to_core.size()));
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& edge = edges[i];
+    check_edge_in_range(edge, i, static_cast<int>(process_to_core.size()));
     const auto from = process_to_core[static_cast<std::size_t>(edge.from_process)];
     const auto to = process_to_core[static_cast<std::size_t>(edge.to_process)];
     total += edge.bytes_per_period *
@@ -23,15 +55,15 @@ std::uint64_t Mapping::cost(const std::vector<TrafficEdge>& edges) const {
 }
 
 Mapping map_low_contention(int process_count, const std::vector<TrafficEdge>& edges) {
-  SCCFT_EXPECTS(process_count > 0 && process_count <= kTileCount);
+  check_process_count_fits(process_count);
   const auto n = static_cast<std::size_t>(process_count);
 
   // Dense symmetric traffic matrix.
   std::vector<std::vector<std::uint64_t>> traffic(n, std::vector<std::uint64_t>(n, 0));
   std::vector<std::uint64_t> degree(n, 0);
-  for (const auto& edge : edges) {
-    SCCFT_EXPECTS(edge.from_process >= 0 && edge.from_process < process_count);
-    SCCFT_EXPECTS(edge.to_process >= 0 && edge.to_process < process_count);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& edge = edges[i];
+    check_edge_in_range(edge, i, process_count);
     const auto a = static_cast<std::size_t>(edge.from_process);
     const auto b = static_cast<std::size_t>(edge.to_process);
     traffic[a][b] += edge.bytes_per_period;
@@ -106,7 +138,7 @@ Mapping map_low_contention(int process_count, const std::vector<TrafficEdge>& ed
 }
 
 Mapping map_row_major(int process_count) {
-  SCCFT_EXPECTS(process_count > 0 && process_count <= kTileCount);
+  check_process_count_fits(process_count);
   Mapping mapping;
   mapping.process_to_core.reserve(static_cast<std::size_t>(process_count));
   for (int p = 0; p < process_count; ++p) {

@@ -31,12 +31,16 @@ struct Mapping {
 };
 
 /// Greedy low-contention placement of `process_count` processes (each gets
-/// its own tile; process_count <= kTileCount).
+/// its own tile; process_count <= kTileCount — for multi-stream fleets with
+/// more processes than tiles, see scc/placement.hpp).
 ///
 /// Strategy: seed the process with the largest total traffic at the mesh
 /// center; then repeatedly place the unplaced process with the strongest ties
 /// to already-placed ones on the free tile minimizing its weighted hop sum.
 /// Deterministic tie-breaks (lowest process index / lowest tile id).
+/// Precondition failures (process_count outside [1, kTileCount], an edge
+/// referencing an out-of-range process) throw ContractViolation with the
+/// offending counts in the message.
 [[nodiscard]] Mapping map_low_contention(int process_count,
                                          const std::vector<TrafficEdge>& edges);
 

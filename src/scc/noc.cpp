@@ -35,6 +35,8 @@ TimeNs NocModel::transfer_chunk(TileId from, TileId to, std::size_t bytes,
       // pipelining: the head moves on after one hop latency, but the body
       // streams through for the serialization duration).
       busy_until = t + config_.hop_latency() + serialization;
+      link_busy_ns_[static_cast<std::size_t>(idx)] +=
+          config_.hop_latency() + serialization;
     }
     t += config_.hop_latency();
   }
@@ -67,14 +69,29 @@ TimeNs NocModel::transfer_chunks_fault_free(TileId from, TileId to, std::size_t 
       start + static_cast<TimeNs>(chunks - 1) * (hops * hop + s_full);
   if (config_.model_contention) {
     TimeNs t = last_start;
+    // Busy-time accounting matches the per-chunk walk it replaces: every
+    // chunk occupied each route link for hop + serialization.
+    const TimeNs occupancy =
+        static_cast<TimeNs>(chunks - 1) * (hop + s_full) + (hop + s_last);
     for (std::size_t i = 0; i + 1 < route.size(); ++i) {
       const Link link{route[i], route[i + 1]};
-      link_busy_until_[static_cast<std::size_t>(link_index(link))] =
-          t + hop + s_last;
+      const auto idx = static_cast<std::size_t>(link_index(link));
+      link_busy_until_[idx] = t + hop + s_last;
+      link_busy_ns_[idx] += occupancy;
       t += hop;
     }
   }
   return last_start + hops * hop + s_last;
+}
+
+TimeNs NocModel::max_link_busy_ns() const {
+  return *std::max_element(link_busy_ns_.begin(), link_busy_ns_.end());
+}
+
+TimeNs NocModel::total_link_busy_ns() const {
+  TimeNs total = 0;
+  for (const TimeNs busy : link_busy_ns_) total += busy;
+  return total;
 }
 
 TimeNs NocModel::transfer(CoreId src, CoreId dst, std::size_t bytes, TimeNs start) {

@@ -111,6 +111,18 @@ class NocModel final {
   [[nodiscard]] const NocConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t chunks_sent() const { return chunks_sent_; }
   [[nodiscard]] std::uint64_t contention_stalls() const { return contention_stalls_; }
+
+  /// Cumulative occupancy (ns) of one directed link — the time chunks held
+  /// it for forwarding + serialization. Only accounted with
+  /// `model_contention`; divide by elapsed simulated time for utilization.
+  [[nodiscard]] rtc::TimeNs link_busy_ns(int link) const {
+    return link_busy_ns_[static_cast<std::size_t>(link)];
+  }
+  /// Occupancy of the hottest link — the fleet-saturation signal: as
+  /// concurrent streams pile onto shared mesh links, the maximum
+  /// link-utilization approaches 1 and contention stalls take over.
+  [[nodiscard]] rtc::TimeNs max_link_busy_ns() const;
+  [[nodiscard]] rtc::TimeNs total_link_busy_ns() const;
   [[nodiscard]] std::uint64_t chunks_dropped() const { return chunks_dropped_; }
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
   [[nodiscard]] std::uint64_t messages_lost() const { return messages_lost_; }
@@ -126,6 +138,7 @@ class NocModel final {
 
   NocConfig config_;
   std::array<TimeNs, kLinkTableSize> link_busy_until_{};
+  std::array<TimeNs, kLinkTableSize> link_busy_ns_{};
   std::uint64_t chunks_sent_ = 0;
   std::uint64_t contention_stalls_ = 0;
   std::optional<NocFaultPlan> fault_plan_;

@@ -1,0 +1,186 @@
+#include "scc/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sccft::scc {
+
+namespace {
+
+/// Candidate-scoring tuple compared lexicographically: weighted hop sum to
+/// placed neighbours, then core load (balance), then distance from the mesh
+/// center (cluster), then core id (determinism).
+struct Score {
+  std::uint64_t hop_cost = 0;
+  int load = 0;
+  int center_distance = 0;
+  int core = 0;
+
+  [[nodiscard]] bool operator<(const Score& other) const {
+    if (hop_cost != other.hop_cost) return hop_cost < other.hop_cost;
+    if (load != other.load) return load < other.load;
+    if (center_distance != other.center_distance) {
+      return center_distance < other.center_distance;
+    }
+    return core < other.core;
+  }
+};
+
+}  // namespace
+
+std::uint64_t Placement::cost(const std::vector<TrafficEdge>& edges) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& edge = edges[i];
+    const int n = static_cast<int>(process_to_core.size());
+    if (edge.from_process < 0 || edge.from_process >= n || edge.to_process < 0 ||
+        edge.to_process >= n) {
+      throw PlacementError("placement cost: TrafficEdge " + std::to_string(i) +
+                           " references processes " +
+                           std::to_string(edge.from_process) + " -> " +
+                           std::to_string(edge.to_process) + " but placement has " +
+                           std::to_string(n) + " processes");
+    }
+    const auto from = process_to_core[static_cast<std::size_t>(edge.from_process)];
+    const auto to = process_to_core[static_cast<std::size_t>(edge.to_process)];
+    total += edge.bytes_per_period *
+             static_cast<std::uint64_t>(hop_count(from.tile(), to.tile()));
+  }
+  return total;
+}
+
+int Placement::tiles_used() const {
+  std::array<bool, kTileCount> used{};
+  for (const CoreId core : process_to_core) {
+    used[static_cast<std::size_t>(core.tile().value)] = true;
+  }
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+int Placement::max_core_load() const {
+  return *std::max_element(core_load.begin(), core_load.end());
+}
+
+std::size_t Placement::max_tile_mpb_used() const {
+  return *std::max_element(tile_mpb_used.begin(), tile_mpb_used.end());
+}
+
+Placement place_fleet(const PlacementRequest& request) {
+  const auto n = request.processes.size();
+  if (n == 0) {
+    throw PlacementError("placement request has no processes");
+  }
+  const int process_count = static_cast<int>(n);
+  for (std::size_t i = 0; i < request.edges.size(); ++i) {
+    const auto& edge = request.edges[i];
+    if (edge.from_process < 0 || edge.from_process >= process_count ||
+        edge.to_process < 0 || edge.to_process >= process_count) {
+      throw PlacementError("placement request: TrafficEdge " + std::to_string(i) +
+                           " references processes " +
+                           std::to_string(edge.from_process) + " -> " +
+                           std::to_string(edge.to_process) +
+                           " but the request has " + std::to_string(process_count) +
+                           " processes");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (request.processes[i].mpb_bytes > request.tile_mpb_capacity) {
+      throw PlacementError(
+          "placement request: process " + std::to_string(i) + " ('" +
+          request.processes[i].name + "') demands " +
+          std::to_string(request.processes[i].mpb_bytes) +
+          " MPB bytes but a tile holds only " +
+          std::to_string(request.tile_mpb_capacity));
+    }
+  }
+
+  // Sparse adjacency + traffic degree (dense N^2 matrices stop scaling at
+  // fleet process counts).
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> adjacency(n);
+  std::vector<std::uint64_t> degree(n, 0);
+  for (const auto& edge : request.edges) {
+    const auto a = static_cast<std::size_t>(edge.from_process);
+    const auto b = static_cast<std::size_t>(edge.to_process);
+    adjacency[a].emplace_back(edge.to_process, edge.bytes_per_period);
+    adjacency[b].emplace_back(edge.from_process, edge.bytes_per_period);
+    degree[a] += edge.bytes_per_period;
+    degree[b] += edge.bytes_per_period;
+  }
+
+  // Placement order: heaviest communicators first (their neighbourhood is
+  // still unconstrained), index-ascending among equals for determinism.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&degree](std::size_t a, std::size_t b) {
+    return degree[a] > degree[b];
+  });
+
+  const TileId center = TileId::at(kMeshColumns / 2, kMeshRows / 2);
+  Placement placement;
+  placement.process_to_core.assign(n, CoreId{0});
+  std::vector<bool> placed(n, false);
+  // Per-tile set of anti-affinity groups already hosted there.
+  std::array<std::vector<int>, kTileCount> tile_groups;
+
+  for (const std::size_t p : order) {
+    const PlacementProcess& process = request.processes[p];
+    bool found = false;
+    Score best{};
+    for (int c = 0; c < kCoreCount; ++c) {
+      const CoreId core{c};
+      const auto tile = static_cast<std::size_t>(core.tile().value);
+      if (request.max_processes_per_core > 0 &&
+          placement.core_load[static_cast<std::size_t>(c)] >=
+              request.max_processes_per_core) {
+        continue;
+      }
+      if (placement.tile_mpb_used[tile] + process.mpb_bytes >
+          request.tile_mpb_capacity) {
+        continue;
+      }
+      if (process.anti_affinity_group >= 0 &&
+          std::find(tile_groups[tile].begin(), tile_groups[tile].end(),
+                    process.anti_affinity_group) != tile_groups[tile].end()) {
+        continue;
+      }
+      Score score;
+      score.core = c;
+      score.load = placement.core_load[static_cast<std::size_t>(c)];
+      score.center_distance = hop_count(core.tile(), center);
+      for (const auto& [neighbour, weight] : adjacency[p]) {
+        if (!placed[static_cast<std::size_t>(neighbour)]) continue;
+        const TileId other =
+            placement.process_to_core[static_cast<std::size_t>(neighbour)].tile();
+        score.hop_cost +=
+            weight * static_cast<std::uint64_t>(hop_count(core.tile(), other));
+      }
+      if (!found || score < best) {
+        found = true;
+        best = score;
+      }
+    }
+    if (!found) {
+      throw PlacementError(
+          "placement infeasible: no core admits process " + std::to_string(p) +
+          " ('" + process.name + "', stream " + std::to_string(process.stream) +
+          ", group " + std::to_string(process.anti_affinity_group) + ", " +
+          std::to_string(process.mpb_bytes) + " MPB bytes) — " +
+          std::to_string(n) + " processes on " + std::to_string(kCoreCount) +
+          " cores, max " + std::to_string(request.max_processes_per_core) +
+          " per core, tile MPB capacity " +
+          std::to_string(request.tile_mpb_capacity));
+    }
+    const CoreId core{best.core};
+    const auto tile = static_cast<std::size_t>(core.tile().value);
+    placement.process_to_core[p] = core;
+    placement.core_load[static_cast<std::size_t>(best.core)] += 1;
+    placement.tile_mpb_used[tile] += process.mpb_bytes;
+    if (process.anti_affinity_group >= 0) {
+      tile_groups[tile].push_back(process.anti_affinity_group);
+    }
+    placed[p] = true;
+  }
+  return placement;
+}
+
+}  // namespace sccft::scc

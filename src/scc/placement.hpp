@@ -1,0 +1,88 @@
+// Fleet-scale process placement onto the shared SCC mesh.
+//
+// The paper's mapper (scc/mapping.hpp) places one process per tile — fine
+// for a single stream's six processes, useless for a fleet of dozens of
+// concurrent KPN streams whose processes outnumber the 24 tiles several
+// times over. This module promotes placement to a first-class, testable
+// component:
+//
+//   * multiple processes per tile/core, load-balanced with deterministic
+//     tie-breaks (cost, then core load, then distance from the mesh center,
+//     then lowest core id — same request, same placement, always);
+//   * replica anti-affinity: processes sharing an `anti_affinity_group`
+//     (a critical stream's replica pair) are never placed on the same tile,
+//     so one tile-level fault cannot silence both replicas;
+//   * MPB-space accounting: each process declares the message-passing-buffer
+//     bytes its input FIFOs pin on its tile; a tile whose 16 KiB MPB cannot
+//     hold another process's demand is not a candidate. Placement fails
+//     loudly (PlacementError with the offending numbers) when no feasible
+//     core exists, instead of silently oversubscribing the buffers.
+//
+// The greedy strategy generalizes map_low_contention: processes are placed
+// in order of descending traffic degree (index-ascending among equals), each
+// on the feasible core minimizing its weighted hop sum to already-placed
+// neighbours, with the load/center/id tiebreak chain breaking cost ties.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scc/mapping.hpp"
+#include "scc/topology.hpp"
+
+namespace sccft::scc {
+
+/// One process of a fleet placement request.
+struct PlacementProcess {
+  std::string name;             ///< diagnostics only
+  int stream = -1;              ///< owning stream index (diagnostics/reporting)
+  /// Processes with the same non-negative group never share a tile (replica
+  /// anti-affinity). -1 = unconstrained.
+  int anti_affinity_group = -1;
+  /// MPB bytes this process's input FIFOs pin on its tile (Eq. (3)/(4)
+  /// capacities x token size for replicator/selector queues).
+  std::size_t mpb_bytes = 0;
+};
+
+struct PlacementRequest {
+  std::vector<PlacementProcess> processes;
+  /// Traffic edges between process indices (same weights as scc::Mapping).
+  std::vector<TrafficEdge> edges;
+  /// Hard cap on processes per core; 0 = unlimited (load still enters the
+  /// tiebreak chain, so placement balances even without a cap).
+  int max_processes_per_core = 0;
+  /// Per-tile MPB capacity the per-process demands are accounted against.
+  std::size_t tile_mpb_capacity = static_cast<std::size_t>(kMpbBytesPerTile);
+};
+
+/// Thrown when a request is malformed (edge referencing an out-of-range
+/// process) or infeasible (no core satisfies anti-affinity + MPB + load for
+/// some process). The message carries the offending counts.
+class PlacementError final : public std::runtime_error {
+ public:
+  explicit PlacementError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Result of a fleet placement.
+struct Placement {
+  std::vector<CoreId> process_to_core;
+  std::array<std::size_t, kTileCount> tile_mpb_used{};
+  std::array<int, kCoreCount> core_load{};
+
+  /// Total cost = sum over edges of weight * hop_count (same metric as
+  /// Mapping::cost, so fleet placements compare against the paper's mapper).
+  [[nodiscard]] std::uint64_t cost(const std::vector<TrafficEdge>& edges) const;
+
+  [[nodiscard]] int tiles_used() const;
+  [[nodiscard]] int max_core_load() const;
+  [[nodiscard]] std::size_t max_tile_mpb_used() const;
+};
+
+/// Deterministic greedy fleet placement. Throws PlacementError on malformed
+/// or infeasible requests (see class comment).
+[[nodiscard]] Placement place_fleet(const PlacementRequest& request);
+
+}  // namespace sccft::scc

@@ -2,11 +2,19 @@
 //
 // Supports --flag value, --flag=value, and boolean --flag forms; collects
 // unknown flags as errors and renders a usage summary. Header-only.
+//
+// Numeric flags should be declared with add_int_flag / add_double_flag:
+// their values are validated *during parse()* with strict whole-string
+// parsing (no trailing junk, range-checked, optional [min, max] bounds), so
+// `--jobs garbage` travels the ordinary parse-error path — error() + usage —
+// instead of aborting through an uncaught std::stoll exception.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -18,21 +26,71 @@
 
 namespace sccft::util {
 
+/// Strict whole-string integer parse: optional sign, digits, nothing else.
+/// Returns nullopt on empty input, non-numeric characters, trailing junk
+/// ("4x", "1e3"), or values outside std::int64_t.
+[[nodiscard]] inline std::optional<std::int64_t> parse_int64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Strict whole-string double parse (accepts the usual fixed/scientific
+/// forms; rejects empty input, trailing junk, and out-of-range values).
+[[nodiscard]] inline std::optional<double> parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
 class CliParser final {
  public:
   CliParser(std::string program, std::string description)
       : program_(std::move(program)), description_(std::move(description)) {}
 
-  /// Declares a flag with a default value and help text.
+  /// Declares a string (or "true"/"false" boolean) flag with a default value
+  /// and help text.
   void add_flag(const std::string& name, const std::string& default_value,
                 const std::string& help) {
-    SCCFT_EXPECTS(!name.empty());
-    SCCFT_EXPECTS(flags_.find(name) == flags_.end());
-    flags_[name] = Flag{default_value, help, default_value};
+    declare(name, default_value, help, Type::kString, 0, 0, 0.0, 0.0);
   }
 
-  /// Parses argv. Returns false (and fills error()) on unknown flags or
-  /// missing values. "--help" sets help_requested().
+  /// Declares an integer flag. The value is validated at parse() time with
+  /// strict whole-string parsing and the inclusive [min, max] bounds; a
+  /// non-numeric, out-of-range, or trailing-junk value fails parse() with a
+  /// diagnostic instead of throwing later in get_int().
+  void add_int_flag(const std::string& name, std::int64_t default_value,
+                    const std::string& help,
+                    std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+                    std::int64_t max = std::numeric_limits<std::int64_t>::max()) {
+    SCCFT_EXPECTS(min <= max);
+    SCCFT_EXPECTS(default_value >= min && default_value <= max);
+    declare(name, std::to_string(default_value), help, Type::kInt, min, max, 0.0, 0.0);
+  }
+
+  /// Declares a double flag, validated at parse() time like add_int_flag.
+  void add_double_flag(const std::string& name, double default_value,
+                       const std::string& help,
+                       double min = -std::numeric_limits<double>::infinity(),
+                       double max = std::numeric_limits<double>::infinity()) {
+    SCCFT_EXPECTS(min <= max);
+    SCCFT_EXPECTS(default_value >= min && default_value <= max);
+    std::ostringstream os;
+    os << default_value;
+    declare(name, os.str(), help, Type::kDouble, 0, 0, min, max);
+  }
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags,
+  /// missing values, or typed-flag values that fail validation. "--help"
+  /// sets help_requested().
   bool parse(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
@@ -68,6 +126,7 @@ class CliParser final {
           return false;
         }
       }
+      if (!validate(arg, it->second, value)) return false;
       it->second.value = value;
     }
     return true;
@@ -78,11 +137,29 @@ class CliParser final {
     SCCFT_EXPECTS(it != flags_.end());
     return it->second.value;
   }
+  /// Pre: the flag's current value parses as an integer — guaranteed for
+  /// add_int_flag flags (parse() validated it); for plain string flags a
+  /// malformed value is a contract violation here, never an uncaught
+  /// std::stoll abort.
   [[nodiscard]] std::int64_t get_int(const std::string& name) const {
-    return std::stoll(get(name));
+    const std::string value = get(name);
+    const auto parsed = parse_int64(value);
+    if (!parsed) {
+      contract_failure_msg("precondition",
+                          "flag --" + name + ": '" + value + "' is not an integer",
+                          __FILE__, __LINE__);
+    }
+    return *parsed;
   }
   [[nodiscard]] double get_double(const std::string& name) const {
-    return std::stod(get(name));
+    const std::string value = get(name);
+    const auto parsed = parse_double(value);
+    if (!parsed) {
+      contract_failure_msg("precondition",
+                          "flag --" + name + ": '" + value + "' is not a number",
+                          __FILE__, __LINE__);
+    }
+    return *parsed;
   }
   [[nodiscard]] bool get_bool(const std::string& name) const {
     return get(name) == "true" || get(name) == "1";
@@ -102,11 +179,54 @@ class CliParser final {
   }
 
  private:
+  enum class Type { kString, kInt, kDouble };
+
   struct Flag {
     std::string default_value;
     std::string help;
     std::string value;
+    Type type = Type::kString;
+    std::int64_t int_min = 0, int_max = 0;
+    double double_min = 0.0, double_max = 0.0;
   };
+
+  void declare(const std::string& name, const std::string& default_value,
+               const std::string& help, Type type, std::int64_t int_min,
+               std::int64_t int_max, double double_min, double double_max) {
+    SCCFT_EXPECTS(!name.empty());
+    SCCFT_EXPECTS(flags_.find(name) == flags_.end());
+    flags_[name] = Flag{default_value, help,       default_value, type,
+                        int_min,       int_max,    double_min,    double_max};
+  }
+
+  bool validate(const std::string& name, const Flag& flag, const std::string& value) {
+    if (flag.type == Type::kInt) {
+      const auto parsed = parse_int64(value);
+      if (!parsed) {
+        error_ = "flag --" + name + ": expected an integer, got '" + value + "'";
+        return false;
+      }
+      if (*parsed < flag.int_min || *parsed > flag.int_max) {
+        error_ = "flag --" + name + ": value " + value + " out of range [" +
+                 std::to_string(flag.int_min) + ", " + std::to_string(flag.int_max) + "]";
+        return false;
+      }
+    } else if (flag.type == Type::kDouble) {
+      const auto parsed = parse_double(value);
+      if (!parsed) {
+        error_ = "flag --" + name + ": expected a number, got '" + value + "'";
+        return false;
+      }
+      if (*parsed < flag.double_min || *parsed > flag.double_max) {
+        std::ostringstream os;
+        os << "flag --" << name << ": value " << value << " out of range ["
+           << flag.double_min << ", " << flag.double_max << "]";
+        error_ = os.str();
+        return false;
+      }
+    }
+    return true;
+  }
 
   std::string program_;
   std::string description_;
@@ -117,11 +237,13 @@ class CliParser final {
 
 /// Declares the standard `--jobs N` campaign flag (default: the hardware
 /// concurrency). Campaign results are byte-identical at any job count, so
-/// the flag trades wall clock only.
+/// the flag trades wall clock only. Validated at parse time: non-numeric or
+/// < 1 values fail parse() with a diagnostic.
 inline void add_jobs_flag(CliParser& cli) {
-  cli.add_flag("jobs", std::to_string(default_jobs()),
-               "worker threads for campaign fan-out (1 = serial; results are "
-               "byte-identical at any value)");
+  cli.add_int_flag("jobs", static_cast<std::int64_t>(default_jobs()),
+                   "worker threads for campaign fan-out (1 = serial; results are "
+                   "byte-identical at any value)",
+                   /*min=*/1, /*max=*/4096);
 }
 
 /// Returns the parsed, validated `--jobs` value (>= 1).

@@ -63,6 +63,12 @@ void SampleSet::add(double x) {
   sorted_valid_ = false;
 }
 
+void SampleSet::merge(const SampleSet& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_valid_ = false;
+}
+
 void SampleSet::ensure_sorted() const {
   if (!sorted_valid_) {
     sorted_ = samples_;

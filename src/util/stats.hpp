@@ -43,6 +43,11 @@ class SampleSet final {
   void add(double x);
   void reserve(std::size_t n) { samples_.reserve(n); }
 
+  /// Appends another set's samples (seed-order campaign folds pool per-run
+  /// sets this way). Merging an empty side is a no-op; merging into an empty
+  /// set copies.
+  void merge(const SampleSet& other);
+
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] double min() const;

@@ -1,0 +1,187 @@
+// Fleet simulation tests (ft/fleet.hpp): deterministic materialization, the
+// placement request shape, end-to-end run invariants, and the shared
+// restart-budget pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ft/fleet.hpp"
+#include "scc/placement.hpp"
+#include "scc/topology.hpp"
+
+namespace sccft::ft {
+namespace {
+
+FleetRunOptions quick_options() {
+  FleetRunOptions options;
+  options.run_length = 300'000'000;  // 300 ms keeps the test fast
+  options.fault_at = 80'000'000;
+  options.fault_duration = 40'000'000;
+  return options;
+}
+
+TEST(FleetSpec, MaterializeIsDeterministic) {
+  FleetSpec spec;
+  spec.streams = 8;
+  spec.seed = 42;
+  const auto a = spec.materialize();
+  const auto b = spec.materialize();
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].producer, b[i].producer);
+    EXPECT_EQ(a[i].stage, b[i].stage);
+    EXPECT_EQ(a[i].consumer, b[i].consumer);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].critical, b[i].critical);
+  }
+}
+
+TEST(FleetSpec, MaterializeIsPrefixStable) {
+  // Growing the fleet must not perturb the streams already in it — the
+  // saturation sweep compares stream counts, so stream i must mean the same
+  // workload at every count.
+  FleetSpec small, large;
+  small.streams = 4;
+  large.streams = 12;
+  const auto a = small.materialize();
+  const auto b = large.materialize();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].producer, b[i].producer) << "stream " << i;
+    EXPECT_EQ(a[i].seed, b[i].seed) << "stream " << i;
+  }
+}
+
+TEST(FleetSpec, CriticalEveryControlsDuplication) {
+  FleetSpec spec;
+  spec.streams = 6;
+  spec.critical_every = 2;
+  const auto streams = spec.materialize();
+  for (const auto& s : streams) {
+    EXPECT_EQ(s.critical, s.index % 2 == 0) << "stream " << s.index;
+  }
+  spec.critical_every = 0;
+  for (const auto& s : spec.materialize()) EXPECT_FALSE(s.critical);
+  spec.critical_every = 1;
+  for (const auto& s : spec.materialize()) EXPECT_TRUE(s.critical);
+}
+
+TEST(FleetSpec, PlacementRequestShape) {
+  FleetSpec spec;
+  spec.streams = 4;
+  const auto streams = spec.materialize();
+  const auto request = build_placement_request(spec, streams);
+  // Streams 0 and 2 critical (4 processes), 1 and 3 plain pipelines (3).
+  ASSERT_EQ(request.processes.size(), 4u + 3u + 4u + 3u);
+  // Each critical stream contributes exactly one anti-affine replica pair.
+  std::set<int> groups;
+  int group_members = 0;
+  for (const auto& process : request.processes) {
+    if (process.anti_affinity_group >= 0) {
+      groups.insert(process.anti_affinity_group);
+      ++group_members;
+    }
+  }
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(group_members, 4);
+  // Every FIFO demand is accounted in MPB bytes somewhere.
+  std::size_t total_mpb = 0;
+  for (const auto& process : request.processes) total_mpb += process.mpb_bytes;
+  EXPECT_GT(total_mpb, 0u);
+  // And the request must actually place.
+  const auto placement = scc::place_fleet(request);
+  EXPECT_EQ(placement.process_to_core.size(), request.processes.size());
+}
+
+TEST(Fleet, SmallRunMeetsPaperGuarantees) {
+  FleetSpec spec;
+  spec.streams = 4;
+  const auto result = run_fleet(spec, quick_options());
+  ASSERT_EQ(result.streams.size(), 4u);
+  EXPECT_GT(result.events_processed, 0u);
+  EXPECT_EQ(result.simulated_ns, quick_options().run_length);
+  EXPECT_GE(result.tiles_used, 1);
+  EXPECT_LE(result.max_tile_mpb_used,
+            static_cast<std::size_t>(scc::kMpbBytesPerTile));
+  for (const auto& stream : result.streams) {
+    EXPECT_GT(stream.tokens_consumed, 0u) << "stream " << stream.index;
+    EXPECT_GT(stream.achieved_rate_hz, 0.0) << "stream " << stream.index;
+    EXPECT_FALSE(stream.sequence_gap) << "stream " << stream.index;
+    EXPECT_FALSE(stream.false_conviction) << "stream " << stream.index;
+    if (stream.critical) {
+      // The injected silence must be caught within the Eq. (6)-(8) bound.
+      EXPECT_TRUE(stream.detected) << "stream " << stream.index;
+      ASSERT_TRUE(stream.detection_latency.has_value())
+          << "stream " << stream.index;
+      EXPECT_GT(stream.detection_bound, 0);
+      EXPECT_LE(*stream.detection_latency, stream.detection_bound)
+          << "stream " << stream.index;
+      // Designed Eq. (3)/(5) capacities were published.
+      EXPECT_GT(stream.replicator_capacity, 0u);
+      EXPECT_GT(stream.selector_capacity, 0u);
+    }
+  }
+}
+
+TEST(Fleet, RunIsDeterministic) {
+  FleetSpec spec;
+  spec.streams = 4;
+  spec.seed = 9;
+  const auto a = run_fleet(spec, quick_options());
+  const auto b = run_fleet(spec, quick_options());
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.placement_cost, b.placement_cost);
+  EXPECT_EQ(a.noc_contention_stalls, b.noc_contention_stalls);
+  EXPECT_EQ(a.max_link_busy_ns, b.max_link_busy_ns);
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (std::size_t i = 0; i < a.streams.size(); ++i) {
+    EXPECT_EQ(a.streams[i].tokens_consumed, b.streams[i].tokens_consumed);
+    EXPECT_EQ(a.streams[i].detection_latency, b.streams[i].detection_latency);
+    EXPECT_EQ(a.streams[i].restarts, b.streams[i].restarts);
+    EXPECT_EQ(a.streams[i].replicator_max_fill, b.streams[i].replicator_max_fill);
+    EXPECT_EQ(a.streams[i].selector_max_fill, b.streams[i].selector_max_fill);
+    EXPECT_EQ(a.streams[i].upper_violations, b.streams[i].upper_violations);
+    EXPECT_EQ(a.streams[i].lower_violations, b.streams[i].lower_violations);
+  }
+}
+
+TEST(Fleet, SharedPoolGatesRestartsAcrossStreams) {
+  // Two critical streams, one shared restart token: the first detection wins
+  // the restart, the second supervisor finds the pool dry and degrades its
+  // replica instead of restarting it.
+  FleetSpec spec;
+  spec.streams = 4;  // streams 0 and 2 critical
+  spec.shared_restart_budget = 1;
+  const auto result = run_fleet(spec, quick_options());
+  EXPECT_EQ(result.pool_capacity, 1);
+  EXPECT_EQ(result.pool_used, 1);
+  int restarted = 0, degraded = 0;
+  for (const auto& stream : result.streams) {
+    if (!stream.critical) continue;
+    EXPECT_TRUE(stream.detected) << "stream " << stream.index;
+    if (stream.restarts > 0) ++restarted;
+    if (stream.degraded) ++degraded;
+  }
+  EXPECT_EQ(restarted, 1);
+  EXPECT_GE(degraded, 1);
+
+  // With an ample pool both streams restart and nothing degrades.
+  spec.shared_restart_budget = 8;
+  const auto rich = run_fleet(spec, quick_options());
+  EXPECT_EQ(rich.pool_capacity, 8);
+  for (const auto& stream : rich.streams) {
+    if (stream.critical) {
+      EXPECT_FALSE(stream.degraded) << stream.index;
+    }
+  }
+}
+
+TEST(Fleet, OversubscribedFleetThrowsPlacementError) {
+  FleetSpec spec;
+  spec.streams = 96;
+  EXPECT_THROW((void)run_fleet(spec, quick_options()), scc::PlacementError);
+}
+
+}  // namespace
+}  // namespace sccft::ft

@@ -1,0 +1,208 @@
+// Fleet placement tests (scc/placement.hpp): determinism, anti-affinity,
+// MPB accounting, and the diagnostics the greedy placer must fail with.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scc/placement.hpp"
+#include "scc/topology.hpp"
+#include "util/rng.hpp"
+
+namespace sccft::scc {
+namespace {
+
+/// Randomized-but-seeded request: `streams` four-process chains (producer,
+/// two anti-affine replicas, consumer) with varying MPB demands and traffic
+/// weights — the same shape ft/fleet.hpp emits, without depending on it.
+PlacementRequest random_request(std::uint64_t seed, int streams) {
+  util::Xoshiro256 rng(seed);
+  PlacementRequest request;
+  for (int s = 0; s < streams; ++s) {
+    const int base = s * 4;
+    const auto mpb = static_cast<std::size_t>(rng.uniform_int(128, 2048));
+    const auto weight =
+        static_cast<std::uint64_t>(rng.uniform_int(1'000, 1'000'000));
+    request.processes.push_back({"s" + std::to_string(s) + ".prod", s, -1, 0});
+    request.processes.push_back({"s" + std::to_string(s) + ".r1", s, s, mpb});
+    request.processes.push_back({"s" + std::to_string(s) + ".r2", s, s, mpb});
+    request.processes.push_back(
+        {"s" + std::to_string(s) + ".cons", s, -1, 2 * mpb});
+    request.edges.push_back({base, base + 1, weight});
+    request.edges.push_back({base, base + 2, weight});
+    request.edges.push_back({base + 1, base + 3, weight});
+    request.edges.push_back({base + 2, base + 3, weight});
+  }
+  return request;
+}
+
+void expect_invariants(const PlacementRequest& request,
+                       const Placement& placement) {
+  ASSERT_EQ(placement.process_to_core.size(), request.processes.size());
+
+  // Recompute per-tile MPB use and per-core load from scratch; the published
+  // arrays must match and every tile must fit its capacity.
+  std::array<std::size_t, kTileCount> mpb{};
+  std::array<int, kCoreCount> load{};
+  std::map<int, std::set<int>> group_tiles;
+  for (std::size_t p = 0; p < request.processes.size(); ++p) {
+    const CoreId core = placement.process_to_core[p];
+    ASSERT_GE(core.value, 0);
+    ASSERT_LT(core.value, kCoreCount);
+    const auto tile = static_cast<std::size_t>(core.tile().value);
+    mpb[tile] += request.processes[p].mpb_bytes;
+    ++load[static_cast<std::size_t>(core.value)];
+    if (request.processes[p].anti_affinity_group >= 0) {
+      auto& tiles = group_tiles[request.processes[p].anti_affinity_group];
+      EXPECT_TRUE(tiles.insert(core.tile().value).second)
+          << "anti-affinity group " << request.processes[p].anti_affinity_group
+          << " shares tile " << core.tile().value;
+    }
+  }
+  for (std::size_t t = 0; t < static_cast<std::size_t>(kTileCount); ++t) {
+    EXPECT_EQ(mpb[t], placement.tile_mpb_used[t]);
+    EXPECT_LE(mpb[t], request.tile_mpb_capacity);
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(kCoreCount); ++c) {
+    EXPECT_EQ(load[c], placement.core_load[c]);
+    if (request.max_processes_per_core > 0) {
+      EXPECT_LE(load[c], request.max_processes_per_core);
+    }
+  }
+}
+
+TEST(Placement, PropertyDeterministicAndFeasibleAcrossRandomSpecs) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const int streams = 1 + static_cast<int>(seed % 12);
+    const auto request = random_request(seed, streams);
+    const auto a = place_fleet(request);
+    const auto b = place_fleet(request);
+    EXPECT_EQ(a.process_to_core, b.process_to_core)
+        << "placement not deterministic for seed " << seed;
+    expect_invariants(request, a);
+  }
+}
+
+TEST(Placement, SupportsMoreProcessesThanCores) {
+  // 30 streams x 4 processes = 120 processes on 48 cores — beyond both the
+  // one-process-per-tile mapper and one-process-per-core.
+  const auto request = random_request(7, 30);
+  ASSERT_GT(request.processes.size(), static_cast<std::size_t>(kCoreCount));
+  const auto placement = place_fleet(request);
+  expect_invariants(request, placement);
+  EXPECT_GE(placement.max_core_load(), 3);  // 120 processes / 48 cores
+}
+
+TEST(Placement, RespectsPerCoreCap) {
+  PlacementRequest request;
+  for (int p = 0; p < kCoreCount; ++p) {
+    request.processes.push_back({"p" + std::to_string(p), 0, -1, 0});
+  }
+  request.max_processes_per_core = 1;
+  const auto placement = place_fleet(request);
+  expect_invariants(request, placement);
+  EXPECT_EQ(placement.max_core_load(), 1);
+}
+
+TEST(Placement, CostMatchesMappingMetricOnSingleStream) {
+  // One four-process stream fits the paper mapper too; the fleet placer's
+  // cost must use the same weight * hops metric, so a zero-hop placement
+  // costs zero and any placement's cost is exactly recomputable.
+  const auto request = random_request(3, 1);
+  const auto placement = place_fleet(request);
+  std::uint64_t expected = 0;
+  for (const auto& edge : request.edges) {
+    const auto from =
+        placement.process_to_core[static_cast<std::size_t>(edge.from_process)];
+    const auto to =
+        placement.process_to_core[static_cast<std::size_t>(edge.to_process)];
+    expected += edge.bytes_per_period *
+                static_cast<std::uint64_t>(hop_count(from.tile(), to.tile()));
+  }
+  EXPECT_EQ(placement.cost(request.edges), expected);
+}
+
+TEST(Placement, AntiAffinityForcedAcrossTiles) {
+  // 24 groups of 2 = every tile must host exactly one member of two groups;
+  // still feasible. A 25th group member count per tile is covered below.
+  PlacementRequest request;
+  for (int g = 0; g < kTileCount; ++g) {
+    request.processes.push_back({"a" + std::to_string(g), g, g, 0});
+    request.processes.push_back({"b" + std::to_string(g), g, g, 0});
+  }
+  const auto placement = place_fleet(request);
+  expect_invariants(request, placement);
+}
+
+TEST(Placement, InfeasibleAntiAffinityThrowsWithDiagnostics) {
+  // One group with kTileCount + 1 members cannot avoid sharing a tile.
+  PlacementRequest request;
+  for (int p = 0; p <= kTileCount; ++p) {
+    request.processes.push_back({"g" + std::to_string(p), 0, /*group=*/0, 0});
+  }
+  try {
+    (void)place_fleet(request);
+    FAIL() << "expected PlacementError";
+  } catch (const PlacementError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("g" + std::to_string(kTileCount)), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Placement, InfeasibleMpbThrowsWithDiagnostics) {
+  PlacementRequest request;
+  // Two processes each demanding more than half the 16 KiB tile MPB: the
+  // second cannot share the first's tile, and a third demanding more than a
+  // whole MPB can never be placed.
+  request.processes.push_back({"fits", 0, -1, kMpbBytesPerTile});
+  request.processes.push_back(
+      {"too-big", 1, -1, static_cast<std::size_t>(kMpbBytesPerTile) + 1});
+  try {
+    (void)place_fleet(request);
+    FAIL() << "expected PlacementError";
+  } catch (const PlacementError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("too-big"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(kMpbBytesPerTile + 1)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Placement, MalformedEdgeThrowsWithDiagnostics) {
+  PlacementRequest request;
+  request.processes.push_back({"only", 0, -1, 0});
+  request.edges.push_back({0, 5, 100});
+  try {
+    (void)place_fleet(request);
+    FAIL() << "expected PlacementError";
+  } catch (const PlacementError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find('5'), std::string::npos) << what;
+    EXPECT_NE(what.find('1'), std::string::npos) << what;  // process count
+  }
+}
+
+TEST(Placement, EmptyRequestRejected) {
+  EXPECT_THROW((void)place_fleet(PlacementRequest{}), PlacementError);
+}
+
+TEST(Placement, HeavyNeighboursLandClose) {
+  // The greedy cost term must keep a heavily-communicating pair within a
+  // couple of hops even with background streams competing for tiles.
+  auto request = random_request(11, 6);
+  request.edges.push_back({0, 3, 50'000'000});  // dominate everything else
+  const auto placement = place_fleet(request);
+  const auto a = placement.process_to_core[0].tile();
+  const auto b = placement.process_to_core[3].tile();
+  EXPECT_LE(hop_count(a, b), 2);
+}
+
+}  // namespace
+}  // namespace sccft::scc

@@ -161,6 +161,47 @@ TEST(Mapping, RejectsTooManyProcesses) {
   EXPECT_THROW(map_low_contention(kTileCount + 1, {}), util::ContractViolation);
 }
 
+// Regression: a request for more processes than tiles (or a non-positive
+// count) must die with the offending count and the valid range in the
+// message, not a bare `cond` string.
+TEST(Mapping, TooManyProcessesDiagnosticNamesTheCounts) {
+  for (const int bad : {0, -3, kTileCount + 1, 1000}) {
+    try {
+      (void)map_low_contention(bad, {});
+      FAIL() << "accepted process_count " << bad;
+    } catch (const util::ContractViolation& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(std::to_string(bad)), std::string::npos) << what;
+      EXPECT_NE(what.find(std::to_string(kTileCount)), std::string::npos)
+          << what;
+    }
+    EXPECT_THROW(map_row_major(bad), util::ContractViolation);
+  }
+}
+
+// Regression: a TrafficEdge naming a process outside [0, process_count) must
+// be rejected up front with the edge's endpoints in the message — it used to
+// index the traffic matrix out of bounds in release builds.
+TEST(Mapping, OutOfRangeEdgeDiagnosticNamesTheEdge) {
+  const std::vector<TrafficEdge> edges{{0, 7, 100}};
+  try {
+    (void)map_low_contention(3, edges);
+    FAIL() << "accepted out-of-range edge";
+  } catch (const util::ContractViolation& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("0 -> 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("process_count is 3"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)map_low_contention(3, {{-1, 1, 5}}),
+               util::ContractViolation);
+}
+
+TEST(Mapping, CostRejectsOutOfRangeEdge) {
+  const auto mapping = map_row_major(4);
+  EXPECT_THROW((void)mapping.cost({{0, 4, 10}}), util::ContractViolation);
+  EXPECT_THROW((void)mapping.cost({{4, 0, 10}}), util::ContractViolation);
+}
+
 TEST(Platform, BootDefaultsMatchPaper) {
   sim::Simulator sim;
   Platform platform(sim);

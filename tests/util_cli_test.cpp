@@ -78,6 +78,113 @@ TEST(Cli, HelpRequested) {
   EXPECT_NE(cli.usage().find("--count"), std::string::npos);
 }
 
+CliParser make_typed_parser() {
+  CliParser cli("prog", "typed flags");
+  cli.add_int_flag("jobs", 2, "worker threads", /*min=*/1, /*max=*/4096);
+  cli.add_int_flag("offset", 0, "unbounded int");
+  cli.add_double_flag("ratio", 0.5, "a fraction", /*min=*/0.0, /*max=*/1.0);
+  return cli;
+}
+
+// Regression: `--jobs garbage` used to abort through an uncaught std::stoll
+// exception inside get_int(); typed flags must fail parse() with a
+// diagnostic instead.
+TEST(Cli, IntFlagRejectsNonNumeric) {
+  auto cli = make_typed_parser();
+  const char* argv[] = {"prog", "--jobs", "garbage"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("--jobs"), std::string::npos);
+  EXPECT_NE(cli.error().find("garbage"), std::string::npos);
+}
+
+TEST(Cli, IntFlagRejectsOverflow) {
+  auto cli = make_typed_parser();
+  // One past INT64_MAX: std::stoll would throw out_of_range here.
+  const char* argv[] = {"prog", "--offset=9223372036854775808"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("--offset"), std::string::npos);
+}
+
+TEST(Cli, IntFlagRejectsTrailingJunk) {
+  for (const char* bad : {"4x", "1e3", "7 ", " 7", "0x10", "++1"}) {
+    auto cli = make_typed_parser();
+    const std::string arg = std::string("--jobs=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    EXPECT_FALSE(cli.parse(2, argv)) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Cli, IntFlagEnforcesBounds) {
+  {
+    auto cli = make_typed_parser();
+    const char* argv[] = {"prog", "--jobs", "0"};
+    EXPECT_FALSE(cli.parse(3, argv));
+    EXPECT_NE(cli.error().find("out of range"), std::string::npos);
+    EXPECT_NE(cli.error().find("[1, 4096]"), std::string::npos);
+  }
+  {
+    auto cli = make_typed_parser();
+    const char* argv[] = {"prog", "--jobs", "4097"};
+    EXPECT_FALSE(cli.parse(3, argv));
+  }
+  {
+    // Negative values pass where the declared range admits them.
+    auto cli = make_typed_parser();
+    const char* argv[] = {"prog", "--offset", "-12"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EQ(cli.get_int("offset"), -12);
+  }
+}
+
+TEST(Cli, DoubleFlagValidatesAtParse) {
+  {
+    auto cli = make_typed_parser();
+    const char* argv[] = {"prog", "--ratio", "0.75"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.75);
+  }
+  for (const char* bad : {"abc", "1.5.2", "0.5x", "2.0" /* above max */}) {
+    auto cli = make_typed_parser();
+    const std::string arg = std::string("--ratio=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    EXPECT_FALSE(cli.parse(2, argv)) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Cli, TypedDeclarationsRejectBadDefaults) {
+  CliParser cli("prog", "x");
+  EXPECT_THROW(cli.add_int_flag("n", 0, "below min", /*min=*/1),
+               ContractViolation);
+  EXPECT_THROW(cli.add_double_flag("d", 2.0, "above max", 0.0, 1.0),
+               ContractViolation);
+}
+
+// get_int on an untyped (string) flag must fail as a contract violation with
+// the flag name in the message — never an uncaught std::stoll abort.
+TEST(Cli, GetIntOnMalformedStringFlagThrowsContract) {
+  CliParser cli("prog", "x");
+  cli.add_flag("mode", "fast", "a string flag");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  try {
+    (void)cli.get_int("mode");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("mode"), std::string::npos);
+  }
+}
+
+TEST(Cli, ParseInt64Strictness) {
+  EXPECT_EQ(parse_int64("42"), 42);
+  EXPECT_EQ(parse_int64("-7"), -7);
+  EXPECT_EQ(parse_int64("9223372036854775807"), 9223372036854775807LL);
+  EXPECT_FALSE(parse_int64("").has_value());
+  EXPECT_FALSE(parse_int64("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_int64("4x").has_value());
+  EXPECT_FALSE(parse_int64("1e3").has_value());
+  EXPECT_FALSE(parse_int64("  5").has_value());
+}
+
 TEST(Cli, DuplicateFlagDefinitionRejected) {
   CliParser cli("prog", "x");
   cli.add_flag("a", "1", "first");

@@ -93,6 +93,54 @@ TEST(SampleSet, EmptyRejected) {
   EXPECT_THROW((void)set.percentile(50.0), ContractViolation);
 }
 
+TEST(SampleSet, SingleSamplePinsAllPercentiles) {
+  SampleSet set;
+  set.add(7.25);
+  EXPECT_DOUBLE_EQ(set.percentile(0.0), 7.25);
+  EXPECT_DOUBLE_EQ(set.median(), 7.25);
+  EXPECT_DOUBLE_EQ(set.percentile(99.0), 7.25);
+  EXPECT_DOUBLE_EQ(set.min(), 7.25);
+  EXPECT_DOUBLE_EQ(set.max(), 7.25);
+  EXPECT_DOUBLE_EQ(set.stddev(), 0.0);
+}
+
+TEST(SampleSet, MergeEqualsSequential) {
+  SampleSet a, b, all;
+  for (int i = 0; i < 60; ++i) {
+    const double v = (i * 31 % 17) * 0.5 - 2.0;
+    (i % 3 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.median(), all.median());
+  EXPECT_DOUBLE_EQ(a.percentile(95.0), all.percentile(95.0));
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleSet, MergeWithEmptySides) {
+  SampleSet a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // merging an empty set is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);
+  empty.merge(a);  // merging into an empty set copies it
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.max(), 3.0);
+}
+
+TEST(SampleSet, MergeInvalidatesSortCache) {
+  SampleSet a, b;
+  a.add(10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);  // forces the sorted cache
+  b.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);  // cache refreshed after merge
+}
+
 TEST(Format, FixedPrecision) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(2.0, 0), "2");
