@@ -12,6 +12,10 @@
 //   chaos_soak --control-demo                 # ablation: each control-plane
 //                                             # storm clean with defenses on,
 //                                             # violating with one defense off
+//   chaos_soak --reconfigure --runs 50        # periodic live-resize windows
+//                                             # (adapt/) under storm fire, with
+//                                             # an extra template landing faults
+//                                             # inside the quiesce->resume gap
 //
 // Every run is a pure function of its seed (seed0 + index), so stdout and
 // the CSV are byte-identical for any --jobs value. Wall-clock time, file
@@ -92,6 +96,7 @@ int replay(const std::string& path) {
   chaos::RunOptions options;
   options.planted = artifact.planted;
   options.control_plane = artifact.control_plane;
+  options.reconfig = artifact.reconfig;
 
   std::cout << "replaying seed " << plan.seed << " with " << plan.faults.size()
             << " fault(s) (" << (artifact.shrunk ? "shrunk" : "full")
@@ -101,9 +106,10 @@ int replay(const std::string& path) {
                     ? std::string(options.control_plane.watchdog ? "watchdog" : "no-watchdog") +
                           "/" + (options.control_plane.scrubber ? "scrubber" : "no-scrubber")
                     : std::string("off"))
+            << ", reconfigure: " << (options.reconfig.enabled ? "on" : "off")
             << ")\n";
   const chaos::RunObservation golden =
-      chaos::run_golden(plan.seed, plan.run_length);
+      chaos::run_golden(plan.seed, plan.run_length, options.reconfig);
   const chaos::RunObservation obs = chaos::run_storm(plan, options);
   const std::vector<chaos::Violation> found =
       chaos::check_invariants(plan, obs, golden);
@@ -125,15 +131,17 @@ int replay(const std::string& path) {
 
 int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
          chaos::PlantedBug planted, const chaos::ControlPlaneOptions& cp,
-         bool shrink, const std::string& csv_path,
-         const std::string& artifact_path) {
+         const chaos::ReconfigOptions& rc, bool shrink,
+         const std::string& csv_path, const std::string& artifact_path) {
   SCCFT_EXPECTS(runs >= 1);
   chaos::StormConfig storm_config;
   storm_config.control_plane = cp.enabled;
+  storm_config.reconfigure = rc.enabled;
   const chaos::StormGenerator generator{storm_config};
   chaos::RunOptions options;
   options.planted = planted;
   options.control_plane = cp;
+  options.reconfig = rc;
 
   std::vector<SoakCell> cells(static_cast<std::size_t>(runs));
   const auto wall_start = std::chrono::steady_clock::now();
@@ -153,7 +161,7 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
       SoakCell& cell = cells[static_cast<std::size_t>(scheduled + i)];
       cell.plan = generator.generate(seed0 + static_cast<std::uint64_t>(scheduled + i));
       const chaos::RunObservation golden =
-          chaos::run_golden(cell.plan.seed, cell.plan.run_length);
+          chaos::run_golden(cell.plan.seed, cell.plan.run_length, rc);
       cell.obs = chaos::run_storm(cell.plan, options);
       cell.violations = chaos::check_invariants(cell.plan, cell.obs, golden);
       cell.executed = true;
@@ -173,6 +181,7 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
   // Fold in index order: everything below is a pure function of the cells.
   int clean = 0, lossless = 0;
   std::uint64_t watchdog_resets = 0, scrub_repairs = 0;
+  std::uint64_t reconfig_windows = 0, reconfig_clamped = 0;
   std::map<std::string, int> code_histogram;
   std::optional<int> first_violating;
   util::CsvWriter csv({"run", "seed", "faults", "lossless", "consumed",
@@ -187,6 +196,8 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
     if (is_lossless) ++lossless;
     watchdog_resets += cell.obs.watchdog_resets;
     scrub_repairs += cell.obs.scrub_repairs;
+    reconfig_windows += cell.obs.reconfig_windows;
+    reconfig_clamped += cell.obs.reconfig_clamped;
     if (cell.violations.empty()) {
       ++clean;
     } else {
@@ -221,6 +232,10 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
   if (cp.enabled) {
     table.add_row({"watchdog resets", std::to_string(watchdog_resets)});
     table.add_row({"scrub repairs", std::to_string(scrub_repairs)});
+  }
+  if (rc.enabled) {
+    table.add_row({"reconfig windows", std::to_string(reconfig_windows)});
+    table.add_row({"reconfig clamped", std::to_string(reconfig_clamped)});
   }
   for (const auto& [code, count] : code_histogram) {
     table.add_row({"  " + code, std::to_string(count)});
@@ -277,10 +292,11 @@ int soak(int runs, int jobs, double minutes, std::uint64_t seed0,
   replay_plan.run_length = parsed.run_length;
   replay_plan.faults = parsed.shrunk ? *parsed.shrunk : parsed.plan;
   const chaos::RunObservation golden =
-      chaos::run_golden(replay_plan.seed, replay_plan.run_length);
+      chaos::run_golden(replay_plan.seed, replay_plan.run_length, parsed.reconfig);
   chaos::RunOptions replay_options;
   replay_options.planted = parsed.planted;
   replay_options.control_plane = parsed.control_plane;
+  replay_options.reconfig = parsed.reconfig;
   const chaos::RunObservation obs = chaos::run_storm(replay_plan, replay_options);
   const std::vector<chaos::Violation> found =
       chaos::check_invariants(replay_plan, obs, golden);
@@ -433,6 +449,9 @@ int main(int argc, char** argv) {
                "ablation: keep --control-plane but stop the scrubber");
   cli.add_flag("control-demo", "false",
                "run the three planted control-plane ablation storms and exit");
+  cli.add_flag("reconfigure", "false",
+               "open periodic live-resize windows (adapt/) in every run and "
+               "add the fault-inside-window adversarial template");
   cli.add_flag("csv", "/tmp/sccft_chaos_soak.csv", "output CSV path");
   cli.add_flag("artifact", "/tmp/sccft_chaos_artifact.txt",
                "failure artifact output path");
@@ -455,6 +474,8 @@ int main(int argc, char** argv) {
   cp.enabled = cli.get_bool("control-plane");
   cp.watchdog = !cli.get_bool("disable-watchdog");
   cp.scrubber = !cli.get_bool("disable-scrubber");
+  sccft::chaos::ReconfigOptions rc;
+  rc.enabled = cli.get_bool("reconfigure");
   sccft::chaos::PlantedBug planted = sccft::chaos::PlantedBug::kNone;
   try {
     planted = sccft::chaos::planted_bug_from_text(cli.get("plant-bug"));
@@ -466,6 +487,6 @@ int main(int argc, char** argv) {
   return sccft::bench::soak(static_cast<int>(cli.get_int("runs")),
                             sccft::util::get_jobs(cli), cli.get_double("minutes"),
                             static_cast<std::uint64_t>(cli.get_int("seed0")),
-                            planted, cp, cli.get_bool("shrink"), cli.get("csv"),
-                            cli.get("artifact"));
+                            planted, cp, rc, cli.get_bool("shrink"),
+                            cli.get("csv"), cli.get("artifact"));
 }

@@ -1,0 +1,220 @@
+// Table 6 (this reproduction's extension): adaptive re-dimensioning under
+// long-horizon timing drift — the static design vs. the Layer-8 loop.
+//
+// The paper dimensions |F_i| (Eq. 3) and D (Eq. 5) once, at design time, and
+// the protection rules then treat any excursion past those constants as a
+// fault. This campaign runs deployments whose timing has drifted from the
+// design PJD model (rate creep or jitter creep on replica 1's output, onset
+// mid-run, sustained to the end) and compares three configurations per seed:
+//
+//   reference — no drift, adaptation off: the golden output-checksum stream;
+//   static    — drift, adaptation off: the paper's design. The drifting
+//               (but healthy) replica slides into the divergence /
+//               overflow rules and is falsely convicted;
+//   adaptive  — drift, adaptation on: the OnlineMonitor's weakly-hard (m,K)
+//               window turns the drift into graduated kAcceptanceMiss
+//               pressure, the AdaptationPolicy widens D / grows the FIFOs
+//               through lossless reconfiguration windows, and the run ends
+//               with zero false convictions.
+//
+// The no-loss proof rides the consumer's checksum stream: every adaptive
+// run's output must be a prefix of the same seed's reference stream (drift
+// slows the pipeline, so fewer tokens arrive — but every token that does
+// arrive must be the right one, in the right order, bit-exact). A resize
+// that dropped, duplicated, or reordered one token anywhere would break the
+// prefix.
+//
+// stdout is byte-identical at any --jobs value (runs fold in seed order) —
+// the campaign-determinism CI lane diffs it directly.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/adpcm/app.hpp"
+#include "bench/campaign.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace sccft;
+
+struct Scenario {
+  std::string name;
+  apps::DriftSpec drift;
+};
+
+/// Per-scenario fold of one configuration's campaign.
+struct ConfigFold {
+  int false_positive_runs = 0;
+  std::uint64_t consumer_tokens = 0;  // summed over runs
+  std::uint64_t misses = 0, widens = 0, resizes = 0, proactive = 0;
+  std::uint64_t windows = 0, clamped = 0;
+  rtc::Tokens max_final_divergence = 0;
+  rtc::Tokens max_final_fifo1 = 0;
+  int prefix_mismatch_runs = 0;  // adaptive output not a reference prefix
+  int empty_output_runs = 0;     // adaptive run consumed no data tokens
+};
+
+ConfigFold fold_campaign(const std::vector<bench::CampaignRun>& per_run,
+                         const std::vector<bench::CampaignRun>* reference) {
+  ConfigFold fold;
+  for (std::size_t i = 0; i < per_run.size(); ++i) {
+    util::flush_captured(per_run[i].log);
+    const apps::ExperimentResult& r = per_run[i].result;
+    if (r.false_positive) ++fold.false_positive_runs;
+    fold.consumer_tokens += r.consumer_tokens;
+    if (r.adaptation) {
+      const auto& a = *r.adaptation;
+      fold.misses += a.misses_seen;
+      fold.widens += a.widen_requests;
+      fold.resizes += a.resize_requests;
+      fold.proactive += a.proactive_requests;
+      fold.windows += a.windows_completed;
+      fold.clamped += a.clamped;
+      fold.max_final_divergence =
+          std::max(fold.max_final_divergence, a.final_divergence);
+      fold.max_final_fifo1 = std::max(fold.max_final_fifo1, a.final_fifo1);
+    }
+    if (reference != nullptr) {
+      const auto& got = r.output_checksums;
+      const auto& want = (*reference)[i].result.output_checksums;
+      if (got.empty()) {
+        ++fold.empty_output_runs;
+      } else if (got.size() > want.size() ||
+                 !std::equal(got.begin(), got.end(), want.begin())) {
+        ++fold.prefix_mismatch_runs;
+      }
+    }
+  }
+  return fold;
+}
+
+std::string fp_cell(int fp, int runs) {
+  return std::to_string(fp) + "/" + std::to_string(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("table6_adaptive",
+                      "Adaptive re-dimensioning vs. the static design under "
+                      "long-horizon timing drift (ADPCM)");
+  util::add_jobs_flag(cli);
+  cli.add_int_flag("runs", 10, "runs per scenario and configuration", /*min=*/1);
+  cli.add_int_flag("periods", 400, "simulated length in producer periods",
+                   /*min=*/10);
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::fprintf(stdout, "%s", cli.usage().c_str());
+    return 0;
+  }
+  const int jobs = util::get_jobs(cli);
+  const int runs = static_cast<int>(cli.get_int("runs"));
+  const auto periods = static_cast<std::uint64_t>(cli.get_int("periods"));
+
+  apps::ExperimentRunner runner(apps::adpcm::make_application());
+  const rtc::TimeNs period = runner.app().timing.producer.period;
+
+  constexpr std::uint64_t kDriftAfterPeriods = 120;
+  using Target = apps::DriftSpec::Target;
+  auto drift = [&](Target target, double rate_mult, rtc::TimeNs extra_jitter) {
+    apps::DriftSpec spec;
+    spec.target = target;
+    spec.after_periods = kDriftAfterPeriods;
+    spec.rate_mult = rate_mult;
+    spec.extra_jitter = extra_jitter;
+    return spec;
+  };
+  const std::vector<Scenario> scenarios{
+      {"R1 rate x1.2", drift(Target::kReplica1, 1.2, 0)},
+      {"R1 jitter +2P", drift(Target::kReplica1, 1.0, 2 * period)},
+  };
+
+  apps::ExperimentOptions base;
+  base.run_periods = periods;
+  // Rule (a), the stall rule, measures *absolute* lag — the one symptom of a
+  // slow replica that no amount of re-dimensioning can (or should) mask, so
+  // the comparison disables it in every configuration and isolates the two
+  // sizing-derived rules the adaptation loop actually re-dimensions:
+  // replicator overflow (Eq. 3) and selector divergence (Eq. 5).
+  base.enable_selector_stall_rule = false;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Golden checksum streams: same seeds, no drift, no adaptation.
+  const auto reference = bench::run_campaign_runs(runner, base, runs, jobs);
+  for (const auto& run : reference) util::flush_captured(run.log);
+
+  util::Table table("Table 6 (adpcm): static vs adaptive under drift (" +
+                    std::to_string(runs) + " runs x " + std::to_string(periods) +
+                    " periods per cell; drift onset at period " +
+                    std::to_string(kDriftAfterPeriods) + ")");
+  table.set_header({"Scenario", "Static FP", "Adaptive FP", "Misses", "Widen",
+                    "Resize", "Proactive", "Windows", "D final (max)",
+                    "|F1| final (max)", "No-loss prefix"});
+
+  bool all_green = true;
+  for (const auto& scenario : scenarios) {
+    auto static_options = base;
+    static_options.drift = scenario.drift;
+    const auto static_runs =
+        bench::run_campaign_runs(runner, static_options, runs, jobs);
+    const ConfigFold static_fold = fold_campaign(static_runs, nullptr);
+
+    auto adaptive_options = static_options;
+    adaptive_options.online_monitor = true;
+    adaptive_options.adaptation.enabled = true;
+    const auto adaptive_runs =
+        bench::run_campaign_runs(runner, adaptive_options, runs, jobs);
+    const ConfigFold adaptive_fold = fold_campaign(adaptive_runs, &reference);
+
+    const bool green = adaptive_fold.false_positive_runs == 0 &&
+                       adaptive_fold.prefix_mismatch_runs == 0 &&
+                       adaptive_fold.empty_output_runs == 0;
+    all_green = all_green && green;
+    table.add_row(
+        {scenario.name, fp_cell(static_fold.false_positive_runs, runs),
+         fp_cell(adaptive_fold.false_positive_runs, runs),
+         std::to_string(adaptive_fold.misses), std::to_string(adaptive_fold.widens),
+         std::to_string(adaptive_fold.resizes),
+         std::to_string(adaptive_fold.proactive),
+         std::to_string(adaptive_fold.windows),
+         std::to_string(adaptive_fold.max_final_divergence),
+         std::to_string(adaptive_fold.max_final_fifo1),
+         green ? "OK"
+               : "FAIL (" + std::to_string(adaptive_fold.prefix_mismatch_runs) +
+                     " mismatch, " + std::to_string(adaptive_fold.empty_output_runs) +
+                     " empty)"});
+  }
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  std::cerr << "table6_adaptive: " << scenarios.size() << " scenarios x 2 configs x "
+            << runs << " runs in "
+            << static_cast<long long>(wall.count() * 1000.0) << " ms with --jobs "
+            << jobs << "\n";
+
+  std::cout << table << "\n";
+  std::cout << "Static FP counts runs where the paper's fixed |F|/D design "
+               "convicted a replica with no fault injected (the drifting "
+               "replica is healthy, merely mis-modeled). Adaptive FP must be "
+               "0: the weakly-hard window absorbs the early misses, the "
+               "policy widens D and grows the FIFOs through quiesced "
+               "reconfiguration windows, and the final column proves every "
+               "consumed token matched the drift-free reference stream "
+               "(prefix-exact), i.e. no resize lost, duplicated, or "
+               "reordered a single token.\n";
+
+  if (!all_green) {
+    std::cerr << "FAILED: an adaptive run falsely convicted, lost output, or "
+                 "diverged from the reference stream\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "adapt/policy.hpp"
+
+#include <algorithm>
+
+#include "trace/event.hpp"
+#include "util/assert.hpp"
+
+namespace sccft::adapt {
+
+namespace {
+
+/// `base` grown by `percent`, at least +1 so small sizes still move.
+rtc::Tokens grown(rtc::Tokens base, int percent) {
+  return base + std::max<rtc::Tokens>(1, base * percent / 100);
+}
+
+}  // namespace
+
+AdaptationPolicy::AdaptationPolicy(sim::Simulator& sim, trace::TraceBus& bus,
+                                   ReconfigurationController& controller,
+                                   Config config, MeasureFn measure)
+    : sim_(sim),
+      bus_(bus),
+      controller_(controller),
+      config_(config),
+      measure_(std::move(measure)) {
+  SCCFT_EXPECTS(config_.window.K >= 1 && config_.window.K <= 64);
+  SCCFT_EXPECTS(config_.window.m >= 0 && config_.window.m < config_.window.K);
+  SCCFT_EXPECTS(config_.widen_at >= 1);
+  SCCFT_EXPECTS(config_.resize_at >= config_.widen_at);
+  SCCFT_EXPECTS(config_.deadband >= 0);
+  SCCFT_EXPECTS(config_.cooldown >= 0);
+  SCCFT_EXPECTS(config_.widen_percent > 0 && config_.grow_percent > 0);
+  SCCFT_EXPECTS(config_.headroom >= 0);
+  bus_.subscribe(this, trace::bit(trace::EventKind::kAcceptanceMiss) |
+                           trace::bit(trace::EventKind::kCurveViolation));
+}
+
+AdaptationPolicy::~AdaptationPolicy() { bus_.unsubscribe(this); }
+
+void AdaptationPolicy::start() {
+  SCCFT_EXPECTS(!started_);
+  started_ = true;
+  if (!measure_ || config_.redimension_period <= 0) return;
+  sim_.schedule_after(config_.redimension_period, [this] { tick(); });
+}
+
+void AdaptationPolicy::on_event(const trace::Event& event) {
+  if (event.kind == trace::EventKind::kCurveViolation) {
+    // The final rung: the monitor escalated, the Supervisor convicts. The
+    // policy only witnesses it (so experiments can count rungs climbed).
+    ++stats_.breaches_seen;
+    return;
+  }
+  if (event.kind != trace::EventKind::kAcceptanceMiss) return;
+  ++stats_.misses_seen;
+
+  const auto misses = static_cast<int>(event.b);
+  if (misses < config_.widen_at) return;
+  if (controller_.window_open() || in_cooldown(event.time)) return;
+
+  ReconfigurationController::Request request;
+  // Rung: widen D (unless rule (b) is disabled, D == 0).
+  const rtc::Tokens d = controller_.divergence();
+  if (d > 0) {
+    request.divergence = step_toward(d, grown(d, config_.widen_percent),
+                                     config_.max_divergence);
+  }
+  // Higher rung: also grow both FIFOs.
+  if (misses >= config_.resize_at) {
+    request.fifo1 = step_toward(controller_.fifo1(),
+                                grown(controller_.fifo1(), config_.grow_percent),
+                                config_.max_capacity);
+    request.fifo2 = step_toward(controller_.fifo2(),
+                                grown(controller_.fifo2(), config_.grow_percent),
+                                config_.max_capacity);
+  }
+  if (request.empty()) return;
+  if (controller_.request(request)) {
+    note_action(event.time);
+    if (misses >= config_.resize_at) {
+      ++stats_.resize_requests;
+    } else {
+      ++stats_.widen_requests;
+    }
+  }
+}
+
+void AdaptationPolicy::tick() {
+  ++stats_.ticks;
+  sim_.schedule_after(config_.redimension_period, [this] { tick(); });
+
+  const rtc::TimeNs now = sim_.now();
+  if (controller_.window_open()) return;
+  const auto margins = measure_(now);
+  if (!margins) return;
+
+  // Re-dimension toward measured demand + headroom, both directions: grow
+  // before the first miss lands, shrink back when the load recedes. Every
+  // target is floored above the live occupancy (+ headroom): the measured
+  // margins come from the *arrival-curve* analyses, which cannot see
+  // consumer-side backlog — shrinking into tokens already in flight would
+  // leave the channel clamped at zero slack and convict on the next token.
+  //
+  // A floor violation (installed value already inside the occupancy floor)
+  // is urgent: hysteresis exists to damp steady-state oscillation, but
+  // delaying this repair by a deadband or a cooldown is exactly what lets
+  // the next token convict, so urgent components bypass both.
+  bool urgent = false;
+  const auto target_for = [&](rtc::Tokens current, std::optional<rtc::Tokens> measured,
+                              rtc::Tokens floor,
+                              rtc::Tokens ceiling) -> std::optional<rtc::Tokens> {
+    if (current < floor && current < ceiling) {
+      urgent = true;
+      ++stats_.floor_overrides;
+      const rtc::Tokens demand = measured ? *measured + config_.headroom : floor;
+      return std::clamp<rtc::Tokens>(std::max(demand, floor), 1, ceiling);
+    }
+    if (!measured) return std::nullopt;
+    return step_toward(current, std::max(*measured + config_.headroom, floor),
+                       ceiling);
+  };
+  ReconfigurationController::Request request;
+  request.fifo1 = target_for(controller_.fifo1(), margins->measured_fifo1,
+                             controller_.fill1() + 1 + config_.headroom,
+                             config_.max_capacity);
+  request.fifo2 = target_for(controller_.fifo2(), margins->measured_fifo2,
+                             controller_.fill2() + 1 + config_.headroom,
+                             config_.max_capacity);
+  const rtc::Tokens d = controller_.divergence();
+  if (d > 0) {
+    request.divergence =
+        target_for(d, margins->measured_divergence,
+                   controller_.divergence_gap() + 1 + config_.headroom,
+                   config_.max_divergence);
+  }
+  if (request.empty()) return;
+  if (!urgent && in_cooldown(now)) return;
+  if (controller_.request(request)) {
+    note_action(now);
+    ++stats_.proactive_requests;
+  }
+}
+
+std::optional<rtc::Tokens> AdaptationPolicy::step_toward(rtc::Tokens current,
+                                                         rtc::Tokens target,
+                                                         rtc::Tokens ceiling) {
+  target = std::clamp<rtc::Tokens>(target, 1, ceiling);
+  const rtc::Tokens delta = target > current ? target - current : current - target;
+  if (delta < std::max<rtc::Tokens>(1, config_.deadband)) {
+    if (delta > 0) ++stats_.suppressed_deadband;
+    return std::nullopt;
+  }
+  return target;
+}
+
+bool AdaptationPolicy::in_cooldown(rtc::TimeNs now) {
+  if (stats_.last_action_at >= 0 && now - stats_.last_action_at < config_.cooldown) {
+    ++stats_.suppressed_cooldown;
+    return true;
+  }
+  return false;
+}
+
+void AdaptationPolicy::note_action(rtc::TimeNs now) { stats_.last_action_at = now; }
+
+}  // namespace sccft::adapt

@@ -1,0 +1,106 @@
+// Adaptation policy (Layer 8): decides *when* the live-resize protocol runs
+// and *what* it installs.
+//
+// Two stimuli feed the decision:
+//
+//  * kAcceptanceMiss events from the OnlineMonitor's weakly-hard (m,K)
+//    acceptance layer — the reactive path. Sub-threshold misses climb a
+//    graduated ladder: at `widen_at` misses in the window the policy widens
+//    the selector's divergence threshold D (cheap, reversible — buys the
+//    drifting replica slack before rule (b) convicts it); at `resize_at`
+//    misses it additionally grows the replicator FIFOs (absorbs sustained
+//    rate/jitter creep). The final rung — conviction — is not the policy's:
+//    when misses exceed m the monitor escalates kCurveViolation and the
+//    Supervisor convicts, exactly as without adaptation.
+//
+//  * Periodic margin snapshots from the online dimensioner — the proactive
+//    path. Every `redimension_period` the policy re-runs Eqs. (3)/(5) on
+//    measured curves (via the injected MeasureFn) and re-dimensions toward
+//    measured demand + headroom, growing before the first miss ever lands
+//    and shrinking back when the load recedes.
+//
+// Hysteresis keeps the loop stable: a request is suppressed unless the
+// target differs from the installed value by at least `deadband` tokens,
+// and at most one window opens per `cooldown` ns. Ceilings
+// (`max_capacity`, `max_divergence`) bound runaway growth — a genuinely
+// faulty replica must still be convictable, so D cannot widen forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "adapt/reconfig.hpp"
+#include "rtc/online/dimensioner.hpp"
+#include "rtc/online/weakly_hard.hpp"
+#include "rtc/time.hpp"
+#include "sim/simulator.hpp"
+#include "trace/bus.hpp"
+
+namespace sccft::adapt {
+
+/// Margin probe: re-runs the sizing analyses on measured curves at `now`.
+/// Returns nullopt while too little traffic has been observed to certify
+/// any bound (the policy then skips the proactive tick).
+using MeasureFn =
+    std::function<std::optional<rtc::online::OnlineMargins>(rtc::TimeNs)>;
+
+class AdaptationPolicy final : public trace::Sink {
+ public:
+  using Config = rtc::online::AdaptationConfig;
+
+  struct Stats {
+    std::uint64_t ticks = 0;              ///< proactive measurement ticks
+    std::uint64_t misses_seen = 0;        ///< kAcceptanceMiss events observed
+    std::uint64_t breaches_seen = 0;      ///< kCurveViolation events observed
+    std::uint64_t widen_requests = 0;     ///< ladder rung: widen D
+    std::uint64_t resize_requests = 0;    ///< ladder rung: grow FIFOs (+D)
+    std::uint64_t proactive_requests = 0; ///< margin-driven re-dimensioning
+    std::uint64_t suppressed_cooldown = 0;
+    std::uint64_t suppressed_deadband = 0;
+    /// Proactive targets that bypassed hysteresis because the installed
+    /// value had decayed inside the live-occupancy floor.
+    std::uint64_t floor_overrides = 0;
+    rtc::TimeNs last_action_at = -1;
+  };
+
+  /// Subscribes to kAcceptanceMiss + kCurveViolation on construction.
+  /// `measure` may be empty: the proactive path is then disabled and only
+  /// the reactive ladder runs.
+  AdaptationPolicy(sim::Simulator& sim, trace::TraceBus& bus,
+                   ReconfigurationController& controller, Config config,
+                   MeasureFn measure);
+  ~AdaptationPolicy() override;
+
+  AdaptationPolicy(const AdaptationPolicy&) = delete;
+  AdaptationPolicy& operator=(const AdaptationPolicy&) = delete;
+
+  /// Schedules the first proactive tick (no-op without a MeasureFn or with
+  /// redimension_period <= 0). Call once, before the simulator runs.
+  void start();
+
+  // trace::Sink — the reactive ladder.
+  void on_event(const trace::Event& event) override;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void tick();
+  /// Applies deadband + ceiling to one target; nullopt = leave unchanged.
+  [[nodiscard]] std::optional<rtc::Tokens> step_toward(rtc::Tokens current,
+                                                       rtc::Tokens target,
+                                                       rtc::Tokens ceiling);
+  [[nodiscard]] bool in_cooldown(rtc::TimeNs now);
+  void note_action(rtc::TimeNs now);
+
+  sim::Simulator& sim_;
+  trace::TraceBus& bus_;
+  ReconfigurationController& controller_;
+  Config config_;
+  MeasureFn measure_;
+  bool started_ = false;
+  Stats stats_;
+};
+
+}  // namespace sccft::adapt

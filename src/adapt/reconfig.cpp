@@ -1,0 +1,99 @@
+#include "adapt/reconfig.hpp"
+
+#include "util/assert.hpp"
+
+namespace sccft::adapt {
+
+ReconfigurationController::ReconfigurationController(
+    sim::Simulator& sim, trace::TraceBus& bus, ft::ReplicatorChannel& replicator,
+    ft::SelectorChannel& selector, Config config)
+    : sim_(sim),
+      bus_(bus),
+      replicator_(replicator),
+      selector_(selector),
+      config_(std::move(config)),
+      subject_(bus_.intern(config_.name)) {
+  SCCFT_EXPECTS(config_.quiesce_window >= 0);
+  scrub_set_.add(pending_fifo1_);
+  scrub_set_.add(pending_fifo2_);
+  scrub_set_.add(pending_divergence_);
+}
+
+bool ReconfigurationController::request(const Request& request) {
+  if (window_open_ || request.empty()) {
+    ++stats_.rejected_busy;
+    return false;
+  }
+  SCCFT_EXPECTS(!request.fifo1 || *request.fifo1 > 0);
+  SCCFT_EXPECTS(!request.fifo2 || *request.fifo2 > 0);
+  SCCFT_EXPECTS(!request.divergence || *request.divergence >= 0);
+
+  window_open_ = true;
+  ++stats_.windows_opened;
+  ++epoch_;
+  pending_fifo1_ = request.fifo1.value_or(-1);
+  pending_fifo2_ = request.fifo2.value_or(-1);
+  pending_divergence_ = request.divergence.value_or(-1);
+
+  // Phase 0: quiesce. Both channels suspend their verdict rules; the
+  // selector additionally holds resyncing writers across the window.
+  replicator_.begin_reconfiguration();
+  selector_.begin_reconfiguration();
+  bus_.emit(trace::EventKind::kReconfig, subject_, sim_.now(), /*phase=*/0,
+            /*target=*/-1, 0);
+
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(config_.quiesce_window, [this, epoch] {
+    if (epoch == epoch_ && window_open_) close_window();
+  });
+  return true;
+}
+
+void ReconfigurationController::close_window() {
+  const rtc::TimeNs now = sim_.now();
+
+  // Phase 1: apply, reading the TMR vote of each pending word so a bit flip
+  // in the decision-to-apply gap cannot install a garbage size.
+  struct Target {
+    rtc::Tokens pending;
+    int id;
+  };
+  const Target targets[] = {{pending_fifo1_.vote(), 0},
+                            {pending_fifo2_.vote(), 1},
+                            {pending_divergence_.vote(), 2}};
+  for (const Target& target : targets) {
+    if (target.pending < 0) continue;
+    rtc::Tokens applied = 0;
+    switch (target.id) {
+      case 0:
+        applied =
+            replicator_.set_capacity(ft::ReplicaIndex::kReplica1, target.pending);
+        break;
+      case 1:
+        applied =
+            replicator_.set_capacity(ft::ReplicaIndex::kReplica2, target.pending);
+        break;
+      default:
+        applied = selector_.set_divergence_threshold(target.pending);
+        break;
+    }
+    ++stats_.targets_applied;
+    if (applied != target.pending) ++stats_.clamped;
+    bus_.emit(trace::EventKind::kReconfig, subject_, now, /*phase=*/1,
+              target.id, applied);
+  }
+  pending_fifo1_ = -1;
+  pending_fifo2_ = -1;
+  pending_divergence_ = -1;
+
+  // Phase 2: resume. Deferred detection re-arms against the new sizes and
+  // held writers are woken.
+  replicator_.end_reconfiguration();
+  selector_.end_reconfiguration();
+  window_open_ = false;
+  ++stats_.windows_completed;
+  bus_.emit(trace::EventKind::kReconfig, subject_, now, /*phase=*/2,
+            /*target=*/-1, 0);
+}
+
+}  // namespace sccft::adapt

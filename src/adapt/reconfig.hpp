@@ -1,0 +1,160 @@
+// Live-resize protocol driver (Layer 8, adaptation loop).
+//
+// The channels implement the mechanics of a reconfiguration window
+// (ReplicatorChannel / SelectorChannel begin/end_reconfiguration + the
+// clamped setters); this controller sequences them into the three-phase
+// protocol the adaptation policy speaks:
+//
+//   quiesce  — both channels enter the window: the replicator's overflow
+//              rule and the selector's divergence rule are suspended, and
+//              writers rejoining through the reintegration frontier stay
+//              held, so no verdict can fire against in-flight sizes;
+//   resize   — after `quiesce_window` ns the pending targets (TMR-voted,
+//              see below) are applied through the channels' clamped
+//              setters, which guarantee a resize by itself can never
+//              convict retroactively;
+//   resume   — both channels leave the window in the same event: deferred
+//              detection re-arms against the new sizes (any fault that
+//              landed inside the window is convicted now, bounding its
+//              detection latency by the window length) and held writers
+//              are woken.
+//
+// No token is ever dropped by a window: the replicator's physical deque
+// absorbs over-capacity demand while the rule is suspended, and the
+// selector keeps serving reads throughout. The chaos no-loss/ordering
+// oracles run unchanged across reconfiguration windows (chaos_soak
+// --reconfigure) to enforce exactly that.
+//
+// TMR pending words: the decision-to-apply gap is a window in which a bit
+// flip could install a garbage capacity, so the pending targets are held
+// in Tmr words and the apply phase reads the majority vote. The
+// controller is its own Scrubbable (stable word order {pending |F1|,
+// pending |F2|, pending D}) registered with the scrubber only when
+// adaptation is enabled — the channels' own word indices, which fault
+// plans address globally, are untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ft/replicator.hpp"
+#include "ft/scrub.hpp"
+#include "ft/selector.hpp"
+#include "rtc/time.hpp"
+#include "sim/simulator.hpp"
+#include "trace/bus.hpp"
+
+namespace sccft::adapt {
+
+/// Sequences quiesce -> resize -> resume windows over one replicator /
+/// selector pair. One window in flight at a time; requests arriving while a
+/// window is open are rejected (the policy retries on its next stimulus).
+/// Must outlive every scheduled window close (i.e. the simulator run).
+class ReconfigurationController final : public ft::Scrubbable {
+ public:
+  struct Config {
+    /// Quiesce-to-apply delay; also the bound on deferred detection latency.
+    rtc::TimeNs quiesce_window = 1'000'000;
+    std::string name = "reconfig";
+  };
+
+  /// Resize targets; unset fields keep the channel's current value.
+  struct Request {
+    std::optional<rtc::Tokens> fifo1;
+    std::optional<rtc::Tokens> fifo2;
+    std::optional<rtc::Tokens> divergence;
+
+    [[nodiscard]] bool empty() const {
+      return !fifo1 && !fifo2 && !divergence;
+    }
+  };
+
+  struct Stats {
+    std::uint64_t windows_opened = 0;
+    std::uint64_t windows_completed = 0;
+    std::uint64_t targets_applied = 0;
+    std::uint64_t rejected_busy = 0;
+    /// Requested values adjusted by the channels' no-retroactive-conviction
+    /// clamps (shrink below fill+1, narrow below gap+1).
+    std::uint64_t clamped = 0;
+  };
+
+  ReconfigurationController(sim::Simulator& sim, trace::TraceBus& bus,
+                            ft::ReplicatorChannel& replicator,
+                            ft::SelectorChannel& selector, Config config);
+
+  ReconfigurationController(const ReconfigurationController&) = delete;
+  ReconfigurationController& operator=(const ReconfigurationController&) = delete;
+
+  /// Opens a window for `request`. Returns false (and counts rejected_busy)
+  /// if a window is already open or the request is empty.
+  bool request(const Request& request);
+
+  [[nodiscard]] bool window_open() const { return window_open_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] trace::SubjectId trace_subject() const { return subject_; }
+
+  // Currently-installed sizes, read back from the channels' own TMR words.
+  [[nodiscard]] rtc::Tokens fifo1() const {
+    return replicator_.capacity(ft::ReplicaIndex::kReplica1);
+  }
+  [[nodiscard]] rtc::Tokens fifo2() const {
+    return replicator_.capacity(ft::ReplicaIndex::kReplica2);
+  }
+  [[nodiscard]] rtc::Tokens divergence() const {
+    return selector_.divergence_threshold();
+  }
+
+  // Live occupancy, for shrink floors: a re-dimensioning target below the
+  // tokens currently in flight would be clamped by the channels to fill+1 /
+  // gap+1 — legal, but with zero slack, so the very next token trips the
+  // rule. The policy floors its targets above these instead.
+  [[nodiscard]] rtc::Tokens fill1() const {
+    return replicator_.fill(ft::ReplicaIndex::kReplica1);
+  }
+  [[nodiscard]] rtc::Tokens fill2() const {
+    return replicator_.fill(ft::ReplicaIndex::kReplica2);
+  }
+  /// Current |W1 - W2| write gap the divergence rule (b) measures.
+  [[nodiscard]] rtc::Tokens divergence_gap() const {
+    const auto w1 =
+        static_cast<std::int64_t>(selector_.tokens_received(ft::ReplicaIndex::kReplica1));
+    const auto w2 =
+        static_cast<std::int64_t>(selector_.tokens_received(ft::ReplicaIndex::kReplica2));
+    return static_cast<rtc::Tokens>(w1 > w2 ? w1 - w2 : w2 - w1);
+  }
+
+  // Scrubbable: pending-target words in stable order
+  //   {0: pending |F1|, 1: pending |F2|, 2: pending D}
+  // (-1 = no change requested; only meaningful while a window is open).
+  [[nodiscard]] std::string scrub_name() const override { return config_.name; }
+  [[nodiscard]] int control_word_count() const override { return scrub_set_.size(); }
+  void corrupt_control_word(int word, int copy, std::uint64_t mask) override {
+    scrub_set_.corrupt(word, copy, mask);
+  }
+  [[nodiscard]] ft::ScrubReport scrub_control_state() override {
+    return scrub_set_.scrub();
+  }
+
+ private:
+  void close_window();
+
+  sim::Simulator& sim_;
+  trace::TraceBus& bus_;
+  ft::ReplicatorChannel& replicator_;
+  ft::SelectorChannel& selector_;
+  Config config_;
+  trace::SubjectId subject_ = 0;
+  bool window_open_ = false;
+  /// Bumped per window; the scheduled close checks it so a stale event can
+  /// never close a later window (defensive — requests are serialized).
+  std::uint64_t epoch_ = 0;
+  ft::Tmr<rtc::Tokens> pending_fifo1_ = -1;
+  ft::Tmr<rtc::Tokens> pending_fifo2_ = -1;
+  ft::Tmr<rtc::Tokens> pending_divergence_ = -1;
+  ft::ScrubSet scrub_set_;
+  Stats stats_;
+};
+
+}  // namespace sccft::adapt

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "adapt/policy.hpp"
+#include "adapt/reconfig.hpp"
 #include "kpn/network.hpp"
 #include "kpn/timing.hpp"
 #include "monitor/driver.hpp"
@@ -242,7 +244,43 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
     specs.push_back(stream("producer", -1, app_.timing.producer));
     specs.push_back(stream("r1.out", 0, app_.timing.replica1_out));
     specs.push_back(stream("r2.out", 1, app_.timing.replica2_out));
-    online_monitor.emplace(simulator.trace(), lattice, std::move(specs));
+    rtc::online::OnlineMonitor::Options monitor_options;
+    if (options.adaptation.enabled) {
+      monitor_options.weakly_hard = options.adaptation.window;
+    }
+    online_monitor.emplace(simulator.trace(), lattice, std::move(specs),
+                           monitor_options);
+  }
+
+  // ----- adaptation loop (Layer 8) -----------------------------------------
+  // Policy listens for the monitor's kAcceptanceMiss/kCurveViolation events
+  // and polls its empirical snapshots through the MeasureFn; the controller
+  // runs quiesce -> resize -> resume windows over the harness channels.
+  std::optional<adapt::ReconfigurationController> reconfigurator;
+  std::optional<adapt::AdaptationPolicy> adaptation_policy;
+  if (options.adaptation.enabled) {
+    SCCFT_EXPECTS(options.duplicated && options.online_monitor);
+    reconfigurator.emplace(
+        simulator, simulator.trace(), harness->replicator(), harness->selector(),
+        adapt::ReconfigurationController::Config{
+            .quiesce_window = options.adaptation.quiesce_window});
+    const rtc::NetworkTimingModel design_model = app_.timing.to_model();
+    const rtc::SizingReport designed = result.sizing;
+    adapt::MeasureFn measure =
+        [&monitor = *online_monitor, design_model, designed](rtc::TimeNs now)
+        -> std::optional<rtc::online::OnlineMargins> {
+      // No bound is certifiable until every stream has been witnessed.
+      for (std::size_t s = 0; s < 3; ++s) {
+        if (monitor.stream_events(s) == 0) return std::nullopt;
+      }
+      return rtc::online::redimension(monitor.snapshot_stream(0, now),
+                                      monitor.snapshot_stream(1, now),
+                                      monitor.snapshot_stream(2, now),
+                                      design_model, designed);
+    };
+    adaptation_policy.emplace(simulator, simulator.trace(), *reconfigurator,
+                              options.adaptation, std::move(measure));
+    adaptation_policy->start();
   }
 
   // ----- processes ---------------------------------------------------------
@@ -668,7 +706,8 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
     for (const auto& report : reports) {
       result.online_streams.push_back({report.name, report.replica, report.events,
                                        report.upper_violations,
-                                       report.lower_violations, report.first,
+                                       report.lower_violations,
+                                       report.acceptance_misses, report.first,
                                        report.snapshot});
     }
     if (reports.size() == 3 && reports[0].events > 0) {
@@ -676,6 +715,23 @@ ExperimentResult ExperimentRunner::run(const ExperimentOptions& options) {
           reports[0].snapshot, reports[1].snapshot, reports[2].snapshot,
           app_.timing.to_model(), result.sizing);
     }
+  }
+  if (adaptation_policy) {
+    ExperimentResult::AdaptationOutcome outcome;
+    const auto& policy_stats = adaptation_policy->stats();
+    const auto& controller_stats = reconfigurator->stats();
+    outcome.misses_seen = policy_stats.misses_seen;
+    outcome.breaches_seen = policy_stats.breaches_seen;
+    outcome.widen_requests = policy_stats.widen_requests;
+    outcome.resize_requests = policy_stats.resize_requests;
+    outcome.proactive_requests = policy_stats.proactive_requests;
+    outcome.windows_completed = controller_stats.windows_completed;
+    outcome.targets_applied = controller_stats.targets_applied;
+    outcome.clamped = controller_stats.clamped;
+    outcome.final_fifo1 = reconfigurator->fifo1();
+    outcome.final_fifo2 = reconfigurator->fifo2();
+    outcome.final_divergence = reconfigurator->divergence();
+    result.adaptation = outcome;
   }
   if (vcd_sink) {
     simulator.trace().unsubscribe(&*vcd_sink);

@@ -21,6 +21,7 @@
 #include "rtc/online/conformance.hpp"
 #include "rtc/online/dimensioner.hpp"
 #include "rtc/online/snapshot.hpp"
+#include "rtc/online/weakly_hard.hpp"
 #include "trace/bus.hpp"
 #include "trace/metrics.hpp"
 #include "util/stats.hpp"
@@ -96,6 +97,15 @@ struct ExperimentOptions {
 
   /// Timing drift applied to one stream's emissions (see DriftSpec).
   DriftSpec drift;
+
+  /// Adaptation loop (src/adapt, Layer 8). Requires duplicated +
+  /// online_monitor. When enabled, the monitor runs the weakly-hard (m,K)
+  /// acceptance window from `adaptation.window` (graduated kAcceptanceMiss
+  /// pressure instead of first-miss conviction), and an AdaptationPolicy +
+  /// ReconfigurationController pair re-dimensions the replicator FIFOs and
+  /// the selector divergence threshold live. Disabled (the default) leaves
+  /// every run byte-identical to the pre-adaptation build.
+  rtc::online::AdaptationConfig adaptation;
 };
 
 struct ExperimentResult {
@@ -144,6 +154,8 @@ struct ExperimentResult {
     std::uint64_t events = 0;
     std::uint64_t upper_violations = 0;
     std::uint64_t lower_violations = 0;
+    /// Weakly-hard misses recorded (0 unless adaptation was enabled).
+    std::uint64_t acceptance_misses = 0;
     std::optional<rtc::online::ConformanceChecker::Violation> first_violation;
     rtc::online::EmpiricalCurveSnapshot snapshot;
   };
@@ -151,6 +163,23 @@ struct ExperimentResult {
   /// Eqs. (3)/(5)/(8) re-derived on the measured curves (nullopt when the
   /// monitor was off or saw no events).
   std::optional<rtc::online::OnlineMargins> online_margins;
+
+  /// Adaptation-loop outcome (populated when options.adaptation.enabled).
+  struct AdaptationOutcome {
+    std::uint64_t misses_seen = 0;       ///< kAcceptanceMiss events observed
+    std::uint64_t breaches_seen = 0;     ///< kCurveViolation events observed
+    std::uint64_t widen_requests = 0;    ///< reactive rung: widen D
+    std::uint64_t resize_requests = 0;   ///< reactive rung: grow FIFOs (+D)
+    std::uint64_t proactive_requests = 0;
+    std::uint64_t windows_completed = 0;
+    std::uint64_t targets_applied = 0;
+    std::uint64_t clamped = 0;
+    // Sizes installed when the run ended (== designed if nothing fired).
+    rtc::Tokens final_fifo1 = 0;
+    rtc::Tokens final_fifo2 = 0;
+    rtc::Tokens final_divergence = 0;
+  };
+  std::optional<AdaptationOutcome> adaptation;
 
   /// Snapshot of the run's full metrics registry (channel gauges/counters,
   /// consumer stream series, trace-event counts). Campaign harnesses merge

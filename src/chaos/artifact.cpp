@@ -66,6 +66,7 @@ FailureArtifact make_artifact(const StormPlan& plan, const RunOptions& options,
   artifact.run_length = plan.run_length;
   artifact.planted = options.planted;
   artifact.control_plane = options.control_plane;
+  artifact.reconfig = options.reconfig;
   artifact.violations = std::move(violations);
   artifact.plan = plan.faults;
   artifact.flight_csv = obs.render_flight_csv();
@@ -85,6 +86,9 @@ std::string serialize(const FailureArtifact& artifact) {
       << artifact.control_plane.heartbeat_period << ' '
       << artifact.control_plane.watchdog_deadline << ' '
       << artifact.control_plane.scrub_period << '\n';
+  out << "reconfigure " << (artifact.reconfig.enabled ? 1 : 0) << ' '
+      << artifact.reconfig.period << ' ' << artifact.reconfig.quiesce_window
+      << ' ' << artifact.reconfig.grow << '\n';
   for (const Violation& violation : artifact.violations) {
     out << "violation " << to_string(violation.code) << ' ' << violation.detail
         << '\n';
@@ -159,6 +163,18 @@ FailureArtifact parse_artifact(const std::string& text) {
           static_cast<rtc::TimeNs>(parse_u64(deadline));
       artifact.control_plane.scrub_period =
           static_cast<rtc::TimeNs>(parse_u64(scrub));
+      ++i;
+    } else if (key == "reconfigure") {
+      std::string enabled, period, quiesce, grow;
+      fields >> enabled >> period >> quiesce >> grow;
+      if (enabled != "0" && enabled != "1") {
+        malformed("reconfigure flag must be 0 or 1");
+      }
+      artifact.reconfig.enabled = enabled == "1";
+      artifact.reconfig.period = static_cast<rtc::TimeNs>(parse_u64(period));
+      artifact.reconfig.quiesce_window =
+          static_cast<rtc::TimeNs>(parse_u64(quiesce));
+      artifact.reconfig.grow = static_cast<rtc::Tokens>(parse_u64(grow));
       ++i;
     } else if (key == "violation") {
       std::string tag;

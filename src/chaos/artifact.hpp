@@ -17,6 +17,9 @@
 //                 <heartbeat_ns> <deadline_ns> <scrub_ns>
 //                                               (optional; legacy artifacts
 //                                                omit it = defenses off)
+//   reconfigure <enabled:0|1> <period_ns> <quiesce_ns> <grow>
+//                                               (optional; legacy artifacts
+//                                                omit it = no resize windows)
 //   violation <code-tag> <free-text detail>     (repeated, >= 1)
 //   plan-begin
 //   fault ...                                   (ft/fault_plan.hpp lines)
@@ -53,6 +56,8 @@ struct FailureArtifact {
   PlantedBug planted = PlantedBug::kNone;
   /// Defense configuration of the failing run, replayed verbatim.
   ControlPlaneOptions control_plane;
+  /// Live-resize window cadence of the failing run, replayed verbatim.
+  ReconfigOptions reconfig;
   std::vector<Violation> violations;
   std::vector<ft::FaultSpec> plan;
   /// Minimal reproducer, present once the shrinker has run.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
 
+#include "adapt/reconfig.hpp"
 #include "ft/framework.hpp"
 #include "ft/scrub.hpp"
 #include "kpn/network.hpp"
@@ -226,6 +228,31 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
                             assets, supervisor_config);
   obs.restart_budget = supervisor_config.restart_budget;
 
+  // --- benign live-resize windows (adapt/) ---------------------------------
+  const ReconfigOptions& rc = options.reconfig;
+  std::optional<adapt::ReconfigurationController> reconfigurator;
+  std::uint64_t reconfig_round = 0;
+  std::function<void()> reconfig_tick;
+  if (rc.enabled) {
+    reconfigurator.emplace(
+        simulator, simulator.trace(), harness.replicator(), harness.selector(),
+        adapt::ReconfigurationController::Config{.quiesce_window = rc.quiesce_window});
+    const rtc::Tokens base_f1 = harness.sizing().replicator_capacity1;
+    const rtc::Tokens base_f2 = harness.sizing().replicator_capacity2;
+    const rtc::Tokens base_d = harness.sizing().selector_threshold;
+    reconfig_tick = [&, base_f1, base_f2, base_d] {
+      ++reconfig_round;
+      adapt::ReconfigurationController::Request request;
+      const rtc::Tokens delta = reconfig_round % 2 == 1 ? rc.grow : 0;
+      request.fifo1 = base_f1 + delta;
+      request.fifo2 = base_f2 + delta;
+      request.divergence = base_d + delta;
+      (void)reconfigurator->request(request);
+      simulator.schedule_after(rc.period, [&] { reconfig_tick(); });
+    };
+    simulator.schedule_after(rc.period, [&] { reconfig_tick(); });
+  }
+
   // --- last-line defense: per-tile watchdog + control-state scrubber -------
   std::optional<scc::WatchdogTimer> watchdog;
   std::optional<ft::Scrubber> scrubber;
@@ -252,6 +279,10 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
     scrubber.emplace(simulator, ft::Scrubber::Config{.period = cp.scrub_period});
     scrubber->add_target(&harness.replicator());
     scrubber->add_target(&harness.selector());
+    // The controller's pending-target words join the scrub walk strictly
+    // AFTER the channels', so the channels' pinned global word indices (which
+    // fault plans address) are unchanged.
+    if (reconfigurator) scrubber->add_target(&*reconfigurator);
     // The ring audit's independent tally: the CounterSink subscribes the
     // same mask, so its per-kind totals are what the ring should have seen.
     scrubber->watch_flight_ring(&ring, [&simulator] {
@@ -278,6 +309,8 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   // asymmetry is exactly what the ablation demos measure.
   wiring.supervisor = &supervisor;
   wiring.scrubbables = {&harness.replicator(), &harness.selector()};
+  // Appended last (like the scrub walk) so pinned global word indices hold.
+  if (reconfigurator) wiring.scrubbables.push_back(&*reconfigurator);
   wiring.flight_ring = &ring;
   ft::FaultCampaign campaign(simulator, wiring);
   campaign.set_injection_listener([&](const ft::FaultInjectionRecord& rec) {
@@ -314,6 +347,13 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   harness.selector().publish_metrics(simulator.trace().metrics());
   obs.metrics = simulator.trace().metrics();
 
+  obs.reconfig = rc;
+  if (reconfigurator) {
+    obs.reconfig_windows = reconfigurator->stats().windows_completed;
+    obs.reconfig_targets = reconfigurator->stats().targets_applied;
+    obs.reconfig_clamped = reconfigurator->stats().clamped;
+  }
+
   obs.control_plane = cp;
   obs.heartbeats = heartbeat_monitor.count;
   obs.last_heartbeat = heartbeat_monitor.last;
@@ -328,11 +368,14 @@ RunObservation run_storm(const StormPlan& plan, const RunOptions& options) {
   return obs;
 }
 
-RunObservation run_golden(std::uint64_t seed, rtc::TimeNs run_length) {
+RunObservation run_golden(std::uint64_t seed, rtc::TimeNs run_length,
+                          const ReconfigOptions& reconfig) {
   StormPlan golden;
   golden.seed = seed;
   golden.run_length = run_length;
-  return run_storm(golden);
+  RunOptions options;
+  options.reconfig = reconfig;
+  return run_storm(golden, options);
 }
 
 }  // namespace sccft::chaos

@@ -72,11 +72,28 @@ struct ControlPlaneOptions {
   rtc::TimeNs scrub_period = rtc::from_ms(5.0);
 };
 
+/// Benign periodic live-resize windows driven by the adaptation layer's
+/// ReconfigurationController (src/adapt/reconfig.hpp): every `period` a
+/// quiesce -> resize -> resume window opens; odd windows grow both FIFO
+/// capacities and the divergence threshold by `grow` tokens, even windows
+/// restore the designed sizes — so both the grow path and the shrink clamps
+/// run under storm fire. Off by default: existing rigs keep byte-identical
+/// schedules (a larger |F| changes when a blocked producer wakes even in
+/// fault-free runs, so the golden reference must share these options —
+/// run_golden takes them).
+struct ReconfigOptions {
+  bool enabled = false;
+  rtc::TimeNs period = kReconfigPeriodNs;
+  rtc::TimeNs quiesce_window = kReconfigWindowNs;
+  rtc::Tokens grow = 8;
+};
+
 struct RunOptions {
   PlantedBug planted = PlantedBug::kNone;
   /// Flight-recorder ring capacity (events retained for the artifact).
   std::size_t ring_capacity = 4096;
   ControlPlaneOptions control_plane;
+  ReconfigOptions reconfig;
 };
 
 /// Everything observed about one run, in the redundant views the oracles
@@ -122,6 +139,12 @@ struct RunObservation {
   std::uint64_t scrub_repairs = 0;        ///< TMR minority copies rewritten
   std::uint64_t flight_ring_resyncs = 0;  ///< wedged-ring force resyncs
 
+  // --- reconfiguration (adapt/ live-resize windows) ------------------------
+  ReconfigOptions reconfig;               ///< options echoed
+  std::uint64_t reconfig_windows = 0;     ///< completed quiesce->resume windows
+  std::uint64_t reconfig_targets = 0;     ///< capacity/threshold applications
+  std::uint64_t reconfig_clamped = 0;     ///< requests adjusted by safety clamps
+
   /// Set when the run died on a SCCFT_EXPECTS/ENSURES/ASSERT failure instead
   /// of completing (the message); itself an unconditional violation.
   std::optional<std::string> contract_violation;
@@ -133,7 +156,10 @@ struct RunObservation {
                                        const RunOptions& options = {});
 
 /// The fault-free reference for Theorem-2 output equivalence: the same rig
-/// and seed with an empty fault plan.
-[[nodiscard]] RunObservation run_golden(std::uint64_t seed, rtc::TimeNs run_length);
+/// and seed with an empty fault plan. Reconfiguration windows perturb even
+/// the fault-free schedule, so a reference for a reconfiguring run must open
+/// the same windows — pass the run's ReconfigOptions.
+[[nodiscard]] RunObservation run_golden(std::uint64_t seed, rtc::TimeNs run_length,
+                                        const ReconfigOptions& reconfig = {});
 
 }  // namespace sccft::chaos

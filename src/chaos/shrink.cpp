@@ -43,7 +43,8 @@ ShrinkResult shrink_plan(const StormPlan& plan, const RunOptions& options,
   std::set<ViolationCode> wanted;
   for (const Violation& violation : original) wanted.insert(violation.code);
 
-  const RunObservation golden = run_golden(plan.seed, plan.run_length);
+  const RunObservation golden =
+      run_golden(plan.seed, plan.run_length, options.reconfig);
 
   ShrinkResult result;
   // Probes a candidate fault list; on reproduction returns true and leaves

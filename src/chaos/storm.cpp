@@ -190,6 +190,7 @@ StormPlan StormGenerator::generate(std::uint64_t seed) const {
       templates.push_back(5);
       templates.push_back(6);
     }
+    if (config_.reconfigure) templates.push_back(7);
     switch (templates[static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(templates.size()) - 1))]) {
       case 0: {
@@ -265,6 +266,23 @@ StormPlan StormGenerator::generate(std::uint64_t seed) const {
         plan.faults.push_back(flips);
         plan.faults.push_back(sink_stuck_fault(
             rng, flips.at + ms_between(rng, 20.0, 100.0)));
+        break;
+      }
+      case 7: {
+        // Fault inside a reconfiguration window: the onset lands between
+        // quiesce and resume of one of the runner's periodic live-resize
+        // windows, while verdict rules are suspended and detection is
+        // deferred — then a cross-replica follow-up arrives once the window
+        // has closed.
+        const std::int64_t last_window = std::max<std::int64_t>(
+            1, (config_.run_length - rtc::from_ms(300.0)) / kReconfigPeriodNs);
+        const std::int64_t k = rng.uniform_int(1, last_window);
+        const rtc::TimeNs at =
+            k * kReconfigPeriodNs +
+            static_cast<rtc::TimeNs>(rng.uniform_int(0, kReconfigWindowNs - 1));
+        plan.faults.push_back(silence_fault(rng, a, at));
+        plan.faults.push_back(
+            replica_fault(rng, b, at + ms_between(rng, 150.0, 500.0)));
         break;
       }
     }

@@ -44,6 +44,13 @@ struct StormPlan {
 /// replica faults hit one victim, leaving the peer to cover the stream.
 [[nodiscard]] bool plan_is_lossless(const std::vector<ft::FaultSpec>& faults);
 
+/// Reconfiguration-window cadence, shared by the soak runner (which opens a
+/// benign live-resize window every period) and the adversarial template that
+/// aims fault onsets into the quiesce->resume gap. One set of constants so
+/// the generator's aim and the runner's windows cannot drift apart.
+inline constexpr rtc::TimeNs kReconfigPeriodNs = 250'000'000;  ///< 250 ms
+inline constexpr rtc::TimeNs kReconfigWindowNs = 2'000'000;    ///< 2 ms
+
 struct StormConfig {
   rtc::TimeNs run_length = rtc::from_sec(2.0);
   /// Faults per storm, inclusive bounds.
@@ -60,6 +67,12 @@ struct StormConfig {
   /// the hang-during-reintegration and flip-plus-wedge interleavings. Off by
   /// default so existing soak lanes keep byte-identical plans.
   bool control_plane = false;
+  /// Add the reconfiguration-window adversarial template: a fault whose
+  /// onset lands between quiesce and resume of a live-resize window (the
+  /// soak runner opens one every kReconfigPeriodNs when its ReconfigOptions
+  /// are enabled), so deferred detection and held-writer wakeups run under
+  /// fire. Off by default: existing lanes keep byte-identical plans.
+  bool reconfigure = false;
 };
 
 /// Seeded storm factory. Stateless between calls: generate(seed) is a pure

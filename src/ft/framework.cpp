@@ -58,6 +58,23 @@ std::optional<DetectionRecord> DetectionLog::first_selector() const {
 
 FaultTolerantHarness::FaultTolerantHarness(kpn::Network& network, Config config)
     : injector_(network.simulator()) {
+  // The overrides use 0 as "unset"; a negative value is neither unset nor a
+  // legal size, and the `override > 0 ? override : analyzed` selection below
+  // would silently discard it. Diagnose with the offending value instead.
+  if (config.divergence_threshold_override < 0) {
+    util::contract_failure_msg(
+        "precondition",
+        "divergence_threshold_override must be >= 0 (0 = use Eq. (5)), got " +
+            std::to_string(config.divergence_threshold_override),
+        __FILE__, __LINE__);
+  }
+  if (config.replicator_capacity_override < 0) {
+    util::contract_failure_msg(
+        "precondition",
+        "replicator_capacity_override must be >= 0 (0 = use Eq. (3)), got " +
+            std::to_string(config.replicator_capacity_override),
+        __FILE__, __LINE__);
+  }
   const rtc::TimeNs horizon = config.timing.default_horizon();
   sizing_ = rtc::analyze_duplicated_network(config.timing.to_model(), horizon);
 

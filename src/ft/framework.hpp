@@ -80,9 +80,10 @@ class FaultTolerantHarness final {
     /// CRC mismatches needed to convict a replica under rule (c).
     int corruption_conviction_threshold = 3;
     /// Override Eq. (5)'s D (0 = use the analyzed value). For ablations.
+    /// Negative values throw util::ContractViolation from the constructor.
     rtc::Tokens divergence_threshold_override = 0;
     /// Override Eq. (3)'s |R_1| = |R_2| (0 = use analyzed values). For the
-    /// queue-sizing ablation.
+    /// queue-sizing ablation. Negative values throw util::ContractViolation.
     rtc::Tokens replicator_capacity_override = 0;
   };
 

@@ -46,10 +46,15 @@ bool ReplicatorChannel::try_write(const kpn::Token& token) {
   // Section 3.3: a write attempt that finds space_i == 0 marks replica i
   // faulty; from then on queue i receives no tokens. Applied per queue so a
   // single fault never blocks the producer or starves the healthy replica.
-  for (std::size_t i = 0; i < queues_.size(); ++i) {
-    Queue& queue = queues_[i];
-    if (!queue.fault && static_cast<rtc::Tokens>(queue.slots.size()) >= queue.capacity) {
-      declare_fault(static_cast<ReplicaIndex>(i));
+  // Inside a reconfiguration window the rule is suspended (capacities are in
+  // flux); the deferred check in end_reconfiguration() convicts any queue
+  // whose fill outran its capacity meanwhile.
+  if (!reconfiguring_) {
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      Queue& queue = queues_[i];
+      if (!queue.fault && static_cast<rtc::Tokens>(queue.slots.size()) >= queue.capacity) {
+        declare_fault(static_cast<ReplicaIndex>(i));
+      }
     }
   }
   // Rule 3 on the remaining healthy queues: all of them have space now
@@ -58,7 +63,8 @@ bool ReplicatorChannel::try_write(const kpn::Token& token) {
   for (Queue& queue : queues_) {
     if (queue.fault) continue;
     any_healthy = true;
-    SCCFT_ASSERT(static_cast<rtc::Tokens>(queue.slots.size()) < queue.capacity);
+    SCCFT_ASSERT(reconfiguring_ ||
+                 static_cast<rtc::Tokens>(queue.slots.size()) < queue.capacity);
     enqueue(queue, token);
   }
   // Both replicas faulty exceeds the single-fault hypothesis; the write is
@@ -106,6 +112,39 @@ void ReplicatorChannel::enqueue(Queue& queue, const kpn::Token& token) {
                     static_cast<std::int64_t>(token.seq()),
                     static_cast<std::int64_t>(queue.slots.size()));
   if (queue.waiting_reader) wake_reader(queue, available_at);
+}
+
+void ReplicatorChannel::begin_reconfiguration() {
+  SCCFT_EXPECTS(!reconfiguring_);
+  reconfiguring_ = true;
+}
+
+void ReplicatorChannel::end_reconfiguration() {
+  SCCFT_EXPECTS(reconfiguring_);
+  reconfiguring_ = false;
+  // Deferred overflow check. Fill == capacity is a legal steady state (the
+  // overflow rule fires on the *write attempt* that finds no space), so only
+  // a fill strictly above capacity — reachable solely through window writes —
+  // convicts here; anything at exactly capacity is caught by the next write.
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    Queue& queue = queues_[i];
+    if (!queue.fault &&
+        static_cast<rtc::Tokens>(queue.slots.size()) > queue.capacity) {
+      declare_fault(static_cast<ReplicaIndex>(i));
+    }
+  }
+}
+
+rtc::Tokens ReplicatorChannel::set_capacity(ReplicaIndex r, rtc::Tokens requested) {
+  SCCFT_EXPECTS(requested > 0);
+  Queue& queue = queues_[static_cast<std::size_t>(index_of(r))];
+  // No retroactive conviction: a shrink stops one slot above the current
+  // fill, so the resize itself never makes the overflow rule fire — the
+  // queue must genuinely outgrow the new capacity afterwards.
+  const auto fill = static_cast<rtc::Tokens>(queue.slots.size());
+  const rtc::Tokens applied = std::max(requested, fill + 1);
+  queue.capacity = applied;
+  return applied;
 }
 
 void ReplicatorChannel::freeze_reader(ReplicaIndex r) {

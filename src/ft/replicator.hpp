@@ -111,6 +111,31 @@ class ReplicatorChannel final : public kpn::ChannelBase,
   /// resumes duplication into its queue.
   void reintegrate(ReplicaIndex r);
 
+  // --- live-resize protocol (src/adapt/reconfig.hpp) ----------------------
+  /// Opens a reconfiguration window: the overflow rule is suspended and
+  /// writes beyond capacity are absorbed by the physical deque, so no token
+  /// is ever dropped while capacities are in flux. Detection is deferred,
+  /// not lost — see end_reconfiguration().
+  void begin_reconfiguration();
+
+  /// Closes the window: the overflow rule re-arms against the (possibly
+  /// resized) capacities, and any healthy queue whose fill outran its
+  /// capacity during the window is convicted now — detection latency for a
+  /// fault landing inside the window is bounded by the window length.
+  void end_reconfiguration();
+
+  [[nodiscard]] bool reconfiguring() const { return reconfiguring_; }
+
+  /// Applies a new capacity to queue `r` and returns the value actually
+  /// installed. A shrink clamps at fill+1 — one slot above the current fill —
+  /// so a resize by itself can never trip the overflow rule retroactively;
+  /// demand is policed at the new capacity from the next write on.
+  rtc::Tokens set_capacity(ReplicaIndex r, rtc::Tokens requested);
+
+  [[nodiscard]] rtc::Tokens capacity(ReplicaIndex r) const {
+    return queues_[static_cast<std::size_t>(index_of(r))].capacity;
+  }
+
   [[nodiscard]] rtc::Tokens space(ReplicaIndex r) const {
     const auto& queue = queues_[static_cast<std::size_t>(index_of(r))];
     return queue.capacity - static_cast<rtc::Tokens>(queue.slots.size());
@@ -197,6 +222,7 @@ class ReplicatorChannel final : public kpn::ChannelBase,
   sim::Simulator& sim_;
   std::string name_;
   trace::SubjectId subject_;
+  bool reconfiguring_ = false;
   std::array<Queue, 2> queues_;
   std::array<ReadInterface, 2> read_interfaces_;
   std::coroutine_handle<> waiting_writer_;

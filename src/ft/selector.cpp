@@ -126,6 +126,16 @@ bool SelectorChannel::side_try_write(ReplicaIndex r, const kpn::Token& token) {
   }
 
   if (side.resync_pending) {
+    // Reconfiguration window: the re-anchor below reads the peer's counters
+    // and the capacity words, which a resize is about to rewrite. Defer the
+    // rejoin across the window through the same hold machinery as the
+    // frontier hold — end_reconfiguration() wakes the writer and the retry
+    // re-anchors against settled state.
+    if (reconfiguring_) {
+      side.held_seq = token.seq();
+      ++stats_.writer_blocks;
+      return false;
+    }
     // A rejoining replica may only re-enter AT the delivered frontier. If its
     // first token is ahead of peer.last_seq + 1, the missing sequence numbers
     // exist solely in the peer's pipeline (e.g. the peer is mid-burst of a
@@ -371,7 +381,39 @@ void SelectorChannel::declare_fault(ReplicaIndex r, DetectionRule rule) {
   wake_writers();
 }
 
+void SelectorChannel::begin_reconfiguration() {
+  SCCFT_EXPECTS(!reconfiguring_);
+  reconfiguring_ = true;
+}
+
+void SelectorChannel::end_reconfiguration() {
+  SCCFT_EXPECTS(reconfiguring_);
+  reconfiguring_ = false;
+  // Deferred detection: a divergence that deepened past the (possibly new)
+  // threshold during the window is convicted now. The set_divergence_threshold
+  // clamp guarantees the resize alone never triggers this — only genuine
+  // drift accumulated inside the window can.
+  check_divergence();
+  wake_writers();
+}
+
+rtc::Tokens SelectorChannel::set_divergence_threshold(rtc::Tokens requested) {
+  SCCFT_EXPECTS(requested >= 0);
+  rtc::Tokens applied = requested;
+  if (requested > 0) {
+    // No retroactive conviction: a narrowing stops one token above the
+    // current gap, so the divergence must genuinely deepen after the resize
+    // before rule (b) can fire.
+    const auto w1 = static_cast<std::int64_t>(sides_[0].tokens_received);
+    const auto w2 = static_cast<std::int64_t>(sides_[1].tokens_received);
+    applied = std::max(requested, static_cast<rtc::Tokens>(std::abs(w1 - w2)) + 1);
+  }
+  divergence_threshold_ = applied;
+  return applied;
+}
+
 void SelectorChannel::check_divergence() {
+  if (reconfiguring_) return;  // deferred to end_reconfiguration()
   if (divergence_threshold_ <= 0) return;
   if (sides_[0].fault || sides_[1].fault) return;  // single-fault hypothesis
   if (sides_[0].resync_pending || sides_[1].resync_pending) return;  // recovery grace
@@ -413,6 +455,9 @@ void SelectorChannel::wake_reader(rtc::TimeNs when) {
 bool SelectorChannel::frontier_hold_active(std::size_t i) const {
   const Side& side = sides_[i];
   if (!side.resync_pending) return false;
+  // Rejoin re-anchoring is deferred across a reconfiguration window (see
+  // begin_reconfiguration); the hold lifts when the window closes.
+  if (reconfiguring_) return true;
   const Side& peer = sides_[1 - i];
   return !peer.fault && !peer.resync_pending && peer.tokens_received > 0 &&
          side.held_seq > peer.last_seq + 1;

@@ -168,6 +168,33 @@ class SelectorChannel final : public kpn::ChannelBase,
   /// replica skipped the tokens that were in flight while it was down.
   void reintegrate(ReplicaIndex r);
 
+  // --- live-resize protocol (src/adapt/reconfig.hpp) ----------------------
+  /// Opens a reconfiguration window. While it is open the divergence rule
+  /// (b) is suspended (its threshold is in flux) and a rejoining writer's
+  /// re-anchor is deferred — frontier_hold_active treats every resync-pending
+  /// side as held, reusing the rejoin frontier-hold machinery, because the
+  /// re-anchor reads exactly the counters a resize is about to re-baseline.
+  /// Data-path writes, reads, and the stall/CRC rules flow untouched.
+  void begin_reconfiguration();
+
+  /// Closes the window: re-runs the divergence rule against the (possibly
+  /// resized) threshold — detection deferred across the window, not lost —
+  /// and wakes any writer the window held.
+  void end_reconfiguration();
+
+  [[nodiscard]] bool reconfiguring() const { return reconfiguring_; }
+
+  /// Installs a new divergence threshold D and returns the value actually
+  /// applied. A narrowing clamps one token above the current received-count
+  /// gap |W1 - W2| so the resize itself never convicts retroactively — the
+  /// divergence must genuinely deepen afterwards to reach the new threshold.
+  /// 0 disables rule (b), as at construction.
+  rtc::Tokens set_divergence_threshold(rtc::Tokens requested);
+
+  [[nodiscard]] rtc::Tokens divergence_threshold() const {
+    return divergence_threshold_;
+  }
+
   /// Control-structure memory, payloads excluded (Table 2 memory overhead).
   [[nodiscard]] std::size_t control_memory_bytes() const { return sizeof(SelectorChannel); }
 
@@ -265,6 +292,7 @@ class SelectorChannel final : public kpn::ChannelBase,
   sim::Simulator& sim_;
   std::string name_;
   trace::SubjectId subject_;
+  bool reconfiguring_ = false;
   std::array<Side, 2> sides_;
   std::array<WriteInterface, 2> write_interfaces_;
   std::deque<Slot> queue_;

@@ -1,5 +1,7 @@
 #include "rtc/online/monitor.hpp"
 
+#include <algorithm>
+
 namespace sccft::rtc::online {
 
 OnlineMonitor::OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
@@ -19,6 +21,9 @@ OnlineMonitor::OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
                               .replica = spec.replica,
                               .estimator = std::move(estimator),
                               .checker = std::move(checker)});
+    if (options_.weakly_hard) {
+      streams_.back().window.emplace(*options_.weakly_hard);
+    }
   }
   bus_.subscribe(this, trace::bit(trace::EventKind::kEmission));
 }
@@ -31,18 +36,44 @@ void OnlineMonitor::on_event(const trace::Event& event) {
     // Fused estimator+checker passes (conformance.hpp): one loop over the
     // lattice per stream per emission.
     if (stream.subject == event.subject) {
-      escalate(stream, event.time,
-               stream.checker.add_and_check(stream.estimator, event.time));
+      observe(stream, event.time,
+              stream.checker.add_and_check(stream.estimator, event.time),
+              /*own=*/true);
     } else if (event.time >
                stream.estimator.instant() + options_.cross_advance_quantum) {
       // Cross-stream advance: a peer's traffic moves this stream's clock, so
       // starvation is witnessed without waiting for the starved stream to
       // speak (or for finalize). At fleet cardinality the quantum batches
       // these advances (see Options::cross_advance_quantum).
-      escalate(stream, event.time,
-               stream.checker.advance_and_check(stream.estimator, event.time));
+      observe(stream, event.time,
+              stream.checker.advance_and_check(stream.estimator, event.time),
+              /*own=*/false);
     }
   }
+}
+
+void OnlineMonitor::observe(Stream& stream, TimeNs at,
+                            const std::optional<ConformanceChecker::Violation>& violation,
+                            bool own) {
+  if (!stream.window) {
+    escalate(stream, at, violation);
+    return;
+  }
+  // Weakly-hard acceptance: the stream's own emissions record hit-or-miss;
+  // peer-driven advances record only misses (a starving stream accumulates
+  // pressure from its peers' traffic, but never hits it did not earn).
+  const bool miss = violation.has_value();
+  if (!miss) {
+    if (own) stream.window->record(false);
+    return;
+  }
+  const bool breach = stream.window->record(true);
+  ++stream.misses;
+  // Always-on emit, like kCurveViolation: the adaptation policy acts on
+  // sub-threshold pressure on the same code path as every other verdict.
+  bus_.emit(trace::EventKind::kAcceptanceMiss, stream.subject, at,
+            stream.replica, stream.window->misses(), stream.window->params().K);
+  if (breach) escalate(stream, at, violation);
 }
 
 void OnlineMonitor::escalate(Stream& stream, TimeNs at,
@@ -62,8 +93,9 @@ std::vector<OnlineMonitor::StreamReport> OnlineMonitor::finalize(TimeNs at) {
   auto& metrics = bus_.metrics();
   for (auto& stream : streams_) {
     if (at > stream.estimator.instant()) {
-      escalate(stream, at,
-               stream.checker.advance_and_check(stream.estimator, at));
+      observe(stream, at,
+              stream.checker.advance_and_check(stream.estimator, at),
+              /*own=*/false);
     }
     StreamReport report;
     report.name = stream.name;
@@ -72,6 +104,7 @@ std::vector<OnlineMonitor::StreamReport> OnlineMonitor::finalize(TimeNs at) {
     report.events = stream.estimator.events();
     report.upper_violations = stream.checker.upper_violations();
     report.lower_violations = stream.checker.lower_violations();
+    report.acceptance_misses = stream.misses;
     report.first = stream.checker.first();
     metrics.add("online." + stream.name + ".events", report.events);
     metrics.add("online." + stream.name + ".upper_violations", report.upper_violations);
@@ -80,9 +113,23 @@ std::vector<OnlineMonitor::StreamReport> OnlineMonitor::finalize(TimeNs at) {
       metrics.gauge_max("online." + stream.name + ".first_violation_ns",
                         report.first->at);
     }
+    if (stream.window) {
+      metrics.add("online." + stream.name + ".acceptance_misses", stream.misses);
+    }
     reports.push_back(std::move(report));
   }
   return reports;
+}
+
+EmpiricalCurveSnapshot OnlineMonitor::snapshot_stream(std::size_t index, TimeNs at) {
+  SCCFT_EXPECTS(index < streams_.size());
+  Stream& stream = streams_[index];
+  return stream.estimator.snapshot(std::max(at, stream.estimator.instant()));
+}
+
+std::uint64_t OnlineMonitor::stream_events(std::size_t index) const {
+  SCCFT_EXPECTS(index < streams_.size());
+  return streams_[index].estimator.events();
 }
 
 }  // namespace sccft::rtc::online

@@ -33,6 +33,7 @@
 #include "rtc/online/conformance.hpp"
 #include "rtc/online/estimator.hpp"
 #include "rtc/online/snapshot.hpp"
+#include "rtc/online/weakly_hard.hpp"
 #include "rtc/time.hpp"
 #include "trace/bus.hpp"
 
@@ -66,6 +67,13 @@ class OnlineMonitor final : public trace::Sink {
     /// Starvation detection coarsens by at most the quantum; 0 keeps the
     /// every-event advance.
     TimeNs cross_advance_quantum = 0;
+    /// Weakly-hard (m,K) acceptance (rtc/online/weakly_hard.hpp). When set,
+    /// each stream tolerates m conformance misses per sliding window of K
+    /// checks: every miss is reported as a kAcceptanceMiss event (graduated
+    /// pressure for the adaptation policy), and kCurveViolation escalates
+    /// only once the window breaches — instead of on the first miss. Unset
+    /// (the default) keeps first-breach escalation byte-identical.
+    std::optional<WeaklyHardParams> weakly_hard;
   };
 
   OnlineMonitor(trace::TraceBus& bus, const LatticeConfig& lattice,
@@ -85,6 +93,8 @@ class OnlineMonitor final : public trace::Sink {
     std::uint64_t events = 0;
     std::uint64_t upper_violations = 0;
     std::uint64_t lower_violations = 0;
+    /// Weakly-hard misses recorded (0 unless Options::weakly_hard was set).
+    std::uint64_t acceptance_misses = 0;
     std::optional<ConformanceChecker::Violation> first;
     EmpiricalCurveSnapshot snapshot;
   };
@@ -97,6 +107,15 @@ class OnlineMonitor final : public trace::Sink {
 
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
 
+  /// Mid-run empirical snapshot of stream `index` — what the adaptation loop
+  /// polls periodically to re-run the sizing analyses on live curves. Unlike
+  /// finalize() this neither advances conformance checking nor publishes
+  /// metrics; `at` is clamped up to the estimator's current instant.
+  [[nodiscard]] EmpiricalCurveSnapshot snapshot_stream(std::size_t index, TimeNs at);
+
+  /// Emission events stream `index` has absorbed so far.
+  [[nodiscard]] std::uint64_t stream_events(std::size_t index) const;
+
  private:
   struct Stream {
     trace::SubjectId subject = 0;
@@ -105,7 +124,19 @@ class OnlineMonitor final : public trace::Sink {
     CurveEstimator estimator;
     ConformanceChecker checker;
     bool escalated = false;
+    /// Weakly-hard acceptance state (engaged when Options::weakly_hard set).
+    std::optional<WeaklyHardWindow> window;
+    std::uint64_t misses = 0;
   };
+
+  /// Routes a check result through the weakly-hard window when one is
+  /// configured (miss events, breach-gated escalation), or straight to
+  /// escalate() otherwise. `own` distinguishes the stream's own emissions
+  /// (which record hits as well) from peer-driven advances (misses only, so
+  /// cross-stream chatter cannot dilute the window).
+  void observe(Stream& stream, TimeNs at,
+               const std::optional<ConformanceChecker::Violation>& violation,
+               bool own);
 
   /// One-shot verdict escalation of a check's result.
   void escalate(Stream& stream, TimeNs at,

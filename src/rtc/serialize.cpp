@@ -18,6 +18,15 @@ std::int64_t read_int(std::istringstream& is, const char* what) {
   return value;
 }
 
+std::uint64_t read_uint(std::istringstream& is, const char* what) {
+  std::uint64_t value = 0;
+  is >> value;
+  if (is.fail()) {
+    throw util::ContractViolation(std::string("malformed curve text: missing ") + what);
+  }
+  return value;
+}
+
 }  // namespace
 
 std::string to_text(const PJD& model) {
@@ -157,6 +166,115 @@ online::EmpiricalCurveSnapshot snapshot_from_text(const std::string& text) {
     snapshot.points.push_back(point);
   }
   return snapshot;
+}
+
+std::string to_text(const online::AdaptationConfig& config) {
+  std::ostringstream os;
+  os << "adapt-policy " << (config.enabled ? 1 : 0) << " " << config.window.m
+     << " " << config.window.K << " " << config.deadband << " "
+     << config.cooldown << " " << config.redimension_period << " "
+     << config.quiesce_window << " " << config.widen_at << " "
+     << config.resize_at << " " << config.widen_percent << " "
+     << config.grow_percent << " " << config.headroom << " "
+     << config.max_capacity << " " << config.max_divergence;
+  return os.str();
+}
+
+online::AdaptationConfig adaptation_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  is >> tag;
+  if (tag != "adapt-policy") {
+    throw util::ContractViolation("unknown adaptation tag: " + tag);
+  }
+  const std::int64_t enabled = read_int(is, "enabled flag");
+  if (enabled != 0 && enabled != 1) {
+    throw util::ContractViolation("malformed adapt-policy: enabled flag must be 0 or 1");
+  }
+  online::AdaptationConfig config;
+  config.enabled = enabled == 1;
+  config.window.m = static_cast<int>(read_int(is, "window m"));
+  config.window.K = static_cast<int>(read_int(is, "window K"));
+  if (config.window.K < 1 || config.window.K > 64 || config.window.m < 0 ||
+      config.window.m >= config.window.K) {
+    throw util::ContractViolation(
+        "malformed adapt-policy: (m,K) must satisfy 0 <= m < K <= 64, got (" +
+        std::to_string(config.window.m) + "," + std::to_string(config.window.K) + ")");
+  }
+  config.deadband = read_int(is, "deadband");
+  config.cooldown = read_int(is, "cooldown");
+  config.redimension_period = read_int(is, "redimension period");
+  config.quiesce_window = read_int(is, "quiesce window");
+  if (config.deadband < 0 || config.cooldown < 0 ||
+      config.redimension_period < 0 || config.quiesce_window < 0) {
+    throw util::ContractViolation(
+        "malformed adapt-policy: hysteresis/timing fields must be >= 0");
+  }
+  config.widen_at = static_cast<int>(read_int(is, "widen threshold"));
+  config.resize_at = static_cast<int>(read_int(is, "resize threshold"));
+  if (config.widen_at < 1 || config.resize_at < config.widen_at) {
+    throw util::ContractViolation(
+        "malformed adapt-policy: ladder must satisfy 1 <= widen_at <= resize_at");
+  }
+  config.widen_percent = static_cast<int>(read_int(is, "widen percent"));
+  config.grow_percent = static_cast<int>(read_int(is, "grow percent"));
+  if (config.widen_percent <= 0 || config.grow_percent <= 0) {
+    throw util::ContractViolation(
+        "malformed adapt-policy: actuation percents must be > 0");
+  }
+  config.headroom = read_int(is, "headroom");
+  config.max_capacity = read_int(is, "max capacity");
+  config.max_divergence = read_int(is, "max divergence");
+  if (config.headroom < 0 || config.max_capacity < 1 || config.max_divergence < 0) {
+    throw util::ContractViolation(
+        "malformed adapt-policy: headroom/ceiling fields out of range");
+  }
+  return config;
+}
+
+std::string to_text(const online::WeaklyHardWindow& window) {
+  std::ostringstream os;
+  os << "mk-window " << window.params().m << " " << window.params().K << " "
+     << window.mask() << " " << window.filled() << " " << window.cursor();
+  return os.str();
+}
+
+online::WeaklyHardWindow window_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag;
+  is >> tag;
+  if (tag != "mk-window") {
+    throw util::ContractViolation("unknown window tag: " + tag);
+  }
+  online::WeaklyHardParams params;
+  params.m = static_cast<int>(read_int(is, "window m"));
+  params.K = static_cast<int>(read_int(is, "window K"));
+  if (params.K < 1 || params.K > 64 || params.m < 0 || params.m >= params.K) {
+    throw util::ContractViolation(
+        "malformed mk-window: (m,K) must satisfy 0 <= m < K <= 64, got (" +
+        std::to_string(params.m) + "," + std::to_string(params.K) + ")");
+  }
+  const std::uint64_t mask = read_uint(is, "window mask");
+  if (params.K < 64 && (mask >> params.K) != 0) {
+    throw util::ContractViolation("malformed mk-window: mask bits beyond K");
+  }
+  const std::int64_t filled = read_int(is, "window filled");
+  const std::int64_t cursor = read_int(is, "window cursor");
+  if (filled < 0 || filled > params.K || cursor < 0 || cursor >= params.K) {
+    throw util::ContractViolation(
+        "malformed mk-window: filled/cursor outside the ring");
+  }
+  int misses = 0;
+  for (int i = 0; i < params.K; ++i) {
+    if ((mask >> i) & 1u) ++misses;
+  }
+  if (misses > filled) {
+    throw util::ContractViolation(
+        "malformed mk-window: more miss bits than checks seen");
+  }
+  return online::WeaklyHardWindow::from_state(params, mask,
+                                              static_cast<int>(filled),
+                                              static_cast<int>(cursor));
 }
 
 }  // namespace sccft::rtc

@@ -10,9 +10,14 @@
 //   zero
 //   staircase <base> <jump_count> {<at_ns> <step>}... <tail_start> <tail_period> <tail_step>
 //   empirical <at_ns> <events> <first_event_ns> <point_count> {<delta_ns> <upper> <lower> <lower_valid>}...
+//   adapt-policy <enabled> <m> <K> <deadband> <cooldown_ns> <redimension_period_ns>
+//                <quiesce_window_ns> <widen_at> <resize_at> <widen_percent>
+//                <grow_percent> <headroom> <max_capacity> <max_divergence>
+//   mk-window <m> <K> <mask> <filled> <cursor>
 //
 // Round-trip guarantee: parse(serialize(x)) evaluates identically to x (for
-// empirical snapshots: compares equal field-by-field).
+// empirical snapshots, adaptation configs and (m,K) windows: compares equal
+// field-by-field).
 #pragma once
 
 #include <memory>
@@ -20,6 +25,7 @@
 
 #include "rtc/curve.hpp"
 #include "rtc/online/snapshot.hpp"
+#include "rtc/online/weakly_hard.hpp"
 #include "rtc/pjd.hpp"
 
 namespace sccft::rtc {
@@ -44,5 +50,22 @@ namespace sccft::rtc {
 /// malformed input (wrong tag, missing/garbage fields, absurd point counts,
 /// non-increasing deltas, out-of-range flags) — never undefined behaviour.
 [[nodiscard]] online::EmpiricalCurveSnapshot snapshot_from_text(const std::string& text);
+
+/// Serializes an adaptation-policy configuration ("adapt-policy ..." line).
+[[nodiscard]] std::string to_text(const online::AdaptationConfig& config);
+
+/// Parses an "adapt-policy ..." line. Throws util::ContractViolation on
+/// malformed input (wrong tag, missing/garbage fields, out-of-range ladder
+/// thresholds or window parameters).
+[[nodiscard]] online::AdaptationConfig adaptation_from_text(const std::string& text);
+
+/// Serializes a weakly-hard window's live state ("mk-window ..." line). The
+/// miss count is not stored — it is recomputed from the mask on parse.
+[[nodiscard]] std::string to_text(const online::WeaklyHardWindow& window);
+
+/// Parses an "mk-window ..." line. Throws util::ContractViolation on
+/// malformed input (m/K out of range, mask bits beyond K, cursor/filled
+/// outside the ring, more mask bits than checks seen).
+[[nodiscard]] online::WeaklyHardWindow window_from_text(const std::string& text);
 
 }  // namespace sccft::rtc

@@ -29,6 +29,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kWatchdogReset: return "watchdog-reset";
     case EventKind::kHeartbeat: return "heartbeat";
     case EventKind::kScrubRepair: return "scrub-repair";
+    case EventKind::kReconfig: return "reconfig";
+    case EventKind::kAcceptanceMiss: return "acceptance-miss";
     case EventKind::kCount: break;
   }
   return "?";

@@ -59,6 +59,13 @@ enum class EventKind : std::uint8_t {
   kScrubRepair,       ///< scrubber repaired control state; a: target index
                       ///< (-1: flight-ring resync), b: repaired words,
                       ///< c: unrepairable words
+  // --- adapt/ reconfiguration and weakly-hard acceptance -------------------
+  kReconfig,          ///< live-resize protocol phase; a: 0 quiesce / 1 apply /
+                      ///< 2 resume, b: target (0 |F1|, 1 |F2|, 2 D; -1 none),
+                      ///< c: applied value (apply phase only)
+  kAcceptanceMiss,    ///< weakly-hard (m,K) window recorded a miss;
+                      ///< a: replica index (-1: none), b: misses in window,
+                      ///< c: window length K
   kCount,
 };
 
@@ -84,7 +91,8 @@ inline constexpr std::uint32_t kVerdictEvents =
     bit(EventKind::kUnfreeze) | bit(EventKind::kReintegrate) |
     bit(EventKind::kRestart) | bit(EventKind::kHealthTransition) |
     bit(EventKind::kCurveViolation) | bit(EventKind::kWatchdogReset) |
-    bit(EventKind::kHeartbeat) | bit(EventKind::kScrubRepair);
+    bit(EventKind::kHeartbeat) | bit(EventKind::kScrubRepair) |
+    bit(EventKind::kReconfig) | bit(EventKind::kAcceptanceMiss);
 
 [[nodiscard]] const char* to_string(EventKind kind);
 

@@ -264,6 +264,7 @@ std::string valid_artifact_text() {
          "run-length-ns 2000000000\n"
          "planted none\n"
          "control-plane 0 1 1 25000000 120000000 5000000\n"
+         "reconfigure 0 250000000 2000000 8\n"
          "violation sequence-gap gap after seq 12\n"
          "plan-begin\n"
          "fault transient-silence 1 500000000 100000000 4 1 0 0 9 0 0 0 0 3 "

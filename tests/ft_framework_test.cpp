@@ -1,9 +1,12 @@
 // FaultTolerantHarness + FaultInjector tests.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "apps/mjpeg/app.hpp"
 #include "ft/framework.hpp"
 #include "kpn/network.hpp"
+#include "util/assert.hpp"
 
 namespace sccft::ft {
 namespace {
@@ -48,6 +51,32 @@ TEST(Harness, CapacityOverrideApplies) {
       net, {.timing = mjpeg_timing(), .replicator_capacity_override = 7});
   EXPECT_EQ(harness.replicator().space(ReplicaIndex::kReplica1), 7);
   EXPECT_EQ(harness.replicator().space(ReplicaIndex::kReplica2), 7);
+}
+
+TEST(Harness, NegativeOverridesAreRejectedWithTheOffendingValue) {
+  // 0 means "use the analyzed size"; a negative override is neither unset
+  // nor legal, and silently falling back to the analysis would hide the
+  // caller's bug. The diagnostic must carry the value that was passed.
+  sim::Simulator sim;
+  kpn::Network net(sim);
+  try {
+    FaultTolerantHarness harness(
+        net, {.timing = mjpeg_timing(), .divergence_threshold_override = -3});
+    FAIL() << "negative divergence override accepted";
+  } catch (const util::ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("divergence_threshold_override"),
+              std::string::npos);
+    EXPECT_NE(std::string(violation.what()).find("-3"), std::string::npos);
+  }
+  try {
+    FaultTolerantHarness harness(
+        net, {.timing = mjpeg_timing(), .replicator_capacity_override = -7});
+    FAIL() << "negative capacity override accepted";
+  } catch (const util::ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("replicator_capacity_override"),
+              std::string::npos);
+    EXPECT_NE(std::string(violation.what()).find("-7"), std::string::npos);
+  }
 }
 
 TEST(Harness, DetectionLogAggregatesBothChannels) {

@@ -7,6 +7,7 @@
 #include "rtc/serialize.hpp"
 #include "rtc/sizing.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace sccft::rtc {
 namespace {
@@ -110,6 +111,129 @@ TEST(Serialize, MalformedSnapshotRejected) {
   EXPECT_THROW((void)snapshot_from_text("empirical 10 5 0 1 100 2 0 7"),
                util::ContractViolation);
   EXPECT_THROW((void)snapshot_from_text("empirical 10 five 0 0"), util::ContractViolation);
+}
+
+TEST(Serialize, AdaptationConfigRoundTrip) {
+  online::AdaptationConfig config;
+  config.enabled = true;
+  config.window = {.m = 3, .K = 17};
+  config.deadband = 5;
+  config.cooldown = 123'456;
+  config.redimension_period = 7'000'000;
+  config.quiesce_window = 250'000;
+  config.widen_at = 2;
+  config.resize_at = 3;
+  config.widen_percent = 25;
+  config.grow_percent = 75;
+  config.headroom = 6;
+  config.max_capacity = 512;
+  config.max_divergence = 99;
+  EXPECT_EQ(adaptation_from_text(to_text(config)), config);
+  // And the defaults survive too (the disabled config every rig starts with).
+  EXPECT_EQ(adaptation_from_text(to_text(online::AdaptationConfig{})),
+            online::AdaptationConfig{});
+}
+
+TEST(Serialize, WeaklyHardWindowRoundTrip) {
+  online::WeaklyHardWindow window(online::WeaklyHardParams{.m = 2, .K = 9});
+  for (const bool miss : {true, false, false, true, true, false}) {
+    window.record(miss);
+  }
+  const online::WeaklyHardWindow parsed = window_from_text(to_text(window));
+  EXPECT_EQ(parsed, window);
+  EXPECT_EQ(parsed.misses(), window.misses());
+  // A full (wrapped) window round-trips as well.
+  for (int i = 0; i < 20; ++i) window.record(i % 3 == 0);
+  EXPECT_EQ(window_from_text(to_text(window)), window);
+}
+
+TEST(Serialize, MalformedAdaptationRejected) {
+  // Wrong tag and truncation.
+  EXPECT_THROW((void)adaptation_from_text("adapt 1 2 10"), util::ContractViolation);
+  EXPECT_THROW((void)adaptation_from_text("adapt-policy 1 2 10"),
+               util::ContractViolation);
+  // Enabled flag outside {0, 1}.
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 2 2 10 2 0 0 0 1 2 50 50 4 16 16"),
+      util::ContractViolation);
+  // m >= K and K beyond the one-word ring.
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 0 10 10 2 0 0 0 1 2 50 50 4 16 16"),
+      util::ContractViolation);
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 0 2 65 2 0 0 0 1 2 50 50 4 16 16"),
+      util::ContractViolation);
+  // Negative hysteresis, inverted ladder, zero percent, zero ceiling.
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 0 2 10 -1 0 0 0 1 2 50 50 4 16 16"),
+      util::ContractViolation);
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 0 2 10 2 0 0 0 3 2 50 50 4 16 16"),
+      util::ContractViolation);
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 0 2 10 2 0 0 0 1 2 0 50 4 16 16"),
+      util::ContractViolation);
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 0 2 10 2 0 0 0 1 2 50 50 4 0 16"),
+      util::ContractViolation);
+  // Garbage where a number belongs.
+  EXPECT_THROW(
+      (void)adaptation_from_text("adapt-policy 0 two 10 2 0 0 0 1 2 50 50 4 16 16"),
+      util::ContractViolation);
+}
+
+TEST(Serialize, MalformedWindowRejected) {
+  EXPECT_THROW((void)window_from_text("window 2 10 0 0 0"), util::ContractViolation);
+  EXPECT_THROW((void)window_from_text("mk-window 2 10 0 0"), util::ContractViolation);
+  // Mask bits beyond K, cursor outside the ring, filled beyond K.
+  EXPECT_THROW((void)window_from_text("mk-window 2 10 1024 0 0"),
+               util::ContractViolation);
+  EXPECT_THROW((void)window_from_text("mk-window 2 10 0 0 10"),
+               util::ContractViolation);
+  EXPECT_THROW((void)window_from_text("mk-window 2 10 0 11 0"),
+               util::ContractViolation);
+  // More miss bits than checks recorded.
+  EXPECT_THROW((void)window_from_text("mk-window 2 10 3 1 2"),
+               util::ContractViolation);
+  EXPECT_THROW((void)window_from_text("mk-window 10 10 0 0 0"),
+               util::ContractViolation);
+}
+
+TEST(Serialize, FuzzedAdaptationLinesNeverMisbehave) {
+  // Byte-level mutations of valid lines must either parse to a config that
+  // re-serializes losslessly or throw ContractViolation — never crash,
+  // hang, or hand back a half-validated object.
+  util::Xoshiro256 rng(99);
+  const std::string valid_policy = to_text(online::AdaptationConfig{});
+  const std::string valid_window =
+      to_text(online::WeaklyHardWindow(online::WeaklyHardParams{.m = 2, .K = 10}));
+  const std::string charset = "0123456789 -abkz";
+  for (int round = 0; round < 400; ++round) {
+    std::string line = rng.chance(0.5) ? valid_policy : valid_window;
+    const int edits = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+      if (rng.chance(0.3)) {
+        line.erase(pos, 1);
+        if (line.empty()) line = " ";
+      } else {
+        line[pos] = charset[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(charset.size()) - 1))];
+      }
+    }
+    try {
+      const auto config = adaptation_from_text(line);
+      EXPECT_EQ(adaptation_from_text(to_text(config)), config);
+    } catch (const util::ContractViolation&) {
+      // expected for most mutations
+    }
+    try {
+      const auto window = window_from_text(line);
+      EXPECT_EQ(window_from_text(to_text(window)), window);
+    } catch (const util::ContractViolation&) {
+    }
+  }
 }
 
 TEST(Serialize, ParsedCurvesUsableInSizing) {

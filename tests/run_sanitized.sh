@@ -54,3 +54,7 @@ ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure -LE bench
 # and channel bookkeeping themselves — the defense paths (watchdog expiry
 # handlers, TMR scrub sweeps, flight-ring resync) run under the sanitizer too.
 "${build_dir}/bench/chaos_soak" --runs 30 --jobs 4 --control-plane --csv "${build_dir}/chaos_soak_control_sanitized.csv" > /dev/null
+# Reconfiguration storms open periodic live-resize windows while faults land
+# inside them — the quiesce/apply/resume path, the suspended-rule deque, and
+# the frontier-hold interactions all churn channel state under the sanitizer.
+"${build_dir}/bench/chaos_soak" --runs 30 --jobs 4 --reconfigure --csv "${build_dir}/chaos_soak_reconfig_sanitized.csv" > /dev/null
